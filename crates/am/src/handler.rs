@@ -1,0 +1,111 @@
+//! Handler registry types and the inline-handler context.
+
+use std::rc::Rc;
+
+use oam_model::{Dur, NodeId};
+use oam_net::Packet;
+use oam_threads::Node;
+
+use crate::layer::Am;
+
+/// Identifies a message handler. The stub layer assigns these; hand-coded
+/// applications pick their own constants. The same id must be registered on
+/// every node that can receive it (SPMD style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HandlerId(pub u32);
+
+/// A hand-coded Active Message handler: a plain synchronous function run on
+/// the stack of the interrupted computation. It cannot block — the blocking
+/// primitives are `async`, which this signature rules out statically; the
+/// escape hatches (`try_lock`) return failure instead of suspending. This
+/// is exactly the restriction §2 of the paper describes.
+pub type InlineHandler = Rc<dyn Fn(&AmToken)>;
+
+/// A handler installed by a higher layer (the OAM engine, the TRPC
+/// dispatcher) that decides how to execute the message.
+pub trait PacketHandler {
+    /// Process one delivered packet on `node`.
+    fn handle(&self, am: &Am, node: &Node, pkt: Packet);
+}
+
+/// Registry entry: how messages with a given [`HandlerId`] are executed.
+#[derive(Clone)]
+pub enum HandlerEntry {
+    /// Run synchronously on the current stack (hand-coded AM).
+    Inline(InlineHandler),
+    /// Delegate to a higher-layer execution engine.
+    Custom(Rc<dyn PacketHandler>),
+}
+
+/// Context passed to hand-coded inline handlers.
+pub struct AmToken<'a> {
+    pub(crate) am: &'a Am,
+    pub(crate) node: &'a Node,
+    pub(crate) pkt: &'a Packet,
+}
+
+impl<'a> AmToken<'a> {
+    /// The node executing the handler.
+    pub fn node(&self) -> &Node {
+        self.node
+    }
+
+    /// The sending node.
+    pub fn src(&self) -> NodeId {
+        self.pkt.src
+    }
+
+    /// The message payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.pkt.payload
+    }
+
+    /// Decode the `i`-th 32-bit little-endian argument word.
+    ///
+    /// # Panics
+    /// Panics if the payload is too short.
+    pub fn arg_u32(&self, i: usize) -> u32 {
+        let b = &self.pkt.payload[i * 4..i * 4 + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Charge handler compute time (accumulates; settles when the dispatch
+    /// completes).
+    pub fn charge(&self, d: Dur) {
+        self.node.add_pending(d);
+    }
+
+    /// Send a short reply (or any message) from handler context. On the
+    /// CM-5 sends from handlers drain the network automatically; with
+    /// `auto_drain_on_handler_send` disabled a full NI panics — "the
+    /// program dies".
+    pub fn reply(&self, dst: NodeId, handler: HandlerId, payload: Vec<u8>) {
+        self.am.send_from_handler(self.node, dst, handler, payload);
+    }
+
+    /// Start a bulk transfer from handler context.
+    pub fn reply_bulk(&self, dst: NodeId, handler: HandlerId, payload: Vec<u8>) {
+        self.am.send_bulk(self.node, dst, handler, payload);
+    }
+}
+
+/// Pack a slice of `u32`s into a little-endian payload (CM-5 argument
+/// words).
+pub fn pack_u32(words: &[u32]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        v.extend_from_slice(&w.to_le_bytes());
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_u32_is_little_endian() {
+        let p = pack_u32(&[1, 0x0203_0405]);
+        assert_eq!(p, vec![1, 0, 0, 0, 5, 4, 3, 2]);
+    }
+}

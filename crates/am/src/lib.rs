@@ -1,0 +1,15 @@
+//! # oam-am
+//!
+//! The Active Messages layer (von Eicken et al., reproduced per §2 of the
+//! OAM paper): handler registration, short request/reply messages, polling
+//! dispatch, send-with-drain semantics, and the bulk-transfer API. The OAM
+//! engine (`oam-core`) and the RPC stub layer (`oam-rpc`) plug into this
+//! layer through [`PacketHandler`] registry entries.
+
+#![warn(missing_docs)]
+
+pub mod handler;
+pub mod layer;
+
+pub use handler::{pack_u32, AmToken, HandlerEntry, HandlerId, InlineHandler, PacketHandler};
+pub use layer::{Am, SendShort};

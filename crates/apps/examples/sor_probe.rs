@@ -1,0 +1,21 @@
+use oam_apps::sor::{self, SorParams};
+use oam_apps::System;
+use std::time::Instant;
+
+fn main() {
+    let p = SorParams::default();
+    let (ck, t) = sor::sequential(p);
+    println!("seq: checksum={ck:x} vtime={:.3}s", t.as_secs_f64());
+    for procs in [16usize, 64, 128] {
+        for sys in [System::HandAm, System::Orpc, System::Trpc] {
+            let w = Instant::now();
+            let out = sor::run(sys, procs, p);
+            let tot = out.stats.total();
+            println!(
+                "{:5} P={procs:3}: vtime={:7.3}s speedup={:6.2} ok={} oam={}/{} bulk={} wall={:.1}s",
+                sys.label(), out.elapsed.as_secs_f64(), out.speedup(t), (out.answer == ck),
+                tot.oam_successes, tot.oam_attempts, tot.bulk_transfers_sent, w.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+use oam_apps::triangle;
+use oam_apps::System;
+use std::time::Instant;
+
+fn main() {
+    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let procs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let (sol, pos, t) = triangle::sequential(size);
+    println!("seq: solutions={sol} positions={pos} vtime={:.3}s", t.as_secs_f64());
+    for sys in System::ALL {
+        let w = Instant::now();
+        let out = triangle::run(sys, procs, size);
+        println!(
+            "{:5} P={procs}: vtime={:.3}s speedup={:.2} answer={:x} succ={:?} wall={:.1}s",
+            sys.label(), out.elapsed.as_secs_f64(), out.speedup(t), out.answer,
+            out.oam_success_rate(), w.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,21 @@
+use oam_apps::tsp::{self, TspParams};
+use oam_apps::System;
+use std::time::Instant;
+
+fn main() {
+    let p = TspParams::default();
+    let (best, visited, t) = tsp::sequential(p);
+    println!("seq: best={best} visited={visited} vtime={:.3}s", t.as_secs_f64());
+    for slaves in [1usize, 4, 16, 64, 127] {
+        for sys in [System::HandAm, System::Orpc, System::Trpc] {
+            let w = Instant::now();
+            let out = tsp::run(sys, slaves, p);
+            let tot = out.stats.total();
+            println!(
+                "{:5} S={slaves:3}: vtime={:8.3}s speedup={:6.2} best={} oam={}/{} wall={:.1}s",
+                sys.label(), out.elapsed.as_secs_f64(), out.speedup(t), out.answer,
+                tot.oam_successes, tot.oam_attempts, w.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

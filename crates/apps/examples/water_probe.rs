@@ -1,0 +1,22 @@
+use oam_apps::water::{self, WaterParams, WaterVariant};
+use std::time::Instant;
+
+fn main() {
+    let p = WaterParams::default();
+    let (ck, t) = water::sequential(p);
+    println!("seq: ck={ck:x} vtime={:.3}s per-iter={:.3}s", t.as_secs_f64(), t.as_secs_f64()/5.0);
+    for procs in [16usize, 128] {
+        for v in WaterVariant::ALL {
+            let w = Instant::now();
+            let out = water::run(v, procs, p);
+            let tot = out.outcome.stats.total();
+            println!(
+                "{:15} P={procs:3}: vtime={:7.3}s steady/iter={:7.1}ms ck_ok={} oam={}/{} wall={:.1}s",
+                v.label(), out.outcome.elapsed.as_secs_f64(),
+                out.steady_per_iter(p.iters).as_secs_f64()*1e3,
+                out.outcome.answer.abs_diff(ck) < 10_000, // pico-unit tolerance across P
+                tot.oam_successes, tot.oam_attempts, w.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # oam-apps
+//!
+//! The four applications of the paper's evaluation (§4.2), each in
+//! hand-coded Active Message, Optimistic RPC, and Traditional RPC
+//! variants, plus sequential baselines for speedup normalization:
+//!
+//! * [`triangle`] — fine-grained exhaustive search (many small messages);
+//! * [`tsp`] — master/worker branch-and-bound with a blocking job queue;
+//! * [`sor`] — successive overrelaxation with bulk boundary exchange;
+//! * [`water`] — an n-body molecular-dynamics code with broadcast and
+//!   scatter communication phases.
+
+#![warn(missing_docs)]
+
+pub mod system;
+pub mod sor;
+pub mod triangle;
+pub mod tsp;
+pub mod water;
+
+pub use system::{AppOutcome, System};

@@ -1,0 +1,8 @@
+//! Successive overrelaxation (§4.2.3): iterative Laplace solver with bulk
+//! boundary exchange — the workload behind Figure 3.
+
+pub mod grid;
+pub mod run;
+
+pub use grid::{partition, reference_checksum, Slab};
+pub use run::{run, sequential, SorParams, SorState};

@@ -1,0 +1,156 @@
+//! The Triangle puzzle board (§4.2.1): a triangular peg-solitaire board
+//! with `n` holes per side, positions as bitboards, and precomputed jump
+//! moves.
+
+/// A peg configuration: bit `i` set = hole `i` holds a peg. A size-6
+/// triangle has 21 holes, so `u32` suffices for every size the paper uses.
+pub type Position = u32;
+
+/// A jump move: the peg at `from` jumps over `over` into the empty `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jump {
+    /// Source hole.
+    pub from: u8,
+    /// Hole jumped over (peg removed).
+    pub over: u8,
+    /// Destination hole (must be empty).
+    pub to: u8,
+}
+
+/// Board geometry and move table for a size-`n` triangle.
+#[derive(Debug, Clone)]
+pub struct Board {
+    /// Holes per side.
+    pub size: usize,
+    /// Total holes: `n (n + 1) / 2`.
+    pub holes: usize,
+    /// All legal jump triples (both directions of each line of three).
+    pub jumps: Vec<Jump>,
+    /// The initially empty hole.
+    pub start_empty: u8,
+}
+
+/// Hole index of row `r`, column `c` (`0 ≤ c ≤ r`).
+fn idx(r: usize, c: usize) -> u8 {
+    (r * (r + 1) / 2 + c) as u8
+}
+
+impl Board {
+    /// Build the board for a triangle with `size` holes per side.
+    ///
+    /// # Panics
+    /// Panics if `size < 4` (no jumps exist) or `size > 7` (the bitboard
+    /// would not fit the paper-era 32-bit word).
+    pub fn new(size: usize) -> Self {
+        assert!((4..=7).contains(&size), "triangle size must be 4..=7");
+        let holes = size * (size + 1) / 2;
+        let mut jumps = Vec::new();
+        let mut push = |a: u8, b: u8, c: u8| {
+            jumps.push(Jump { from: a, over: b, to: c });
+            jumps.push(Jump { from: c, over: b, to: a });
+        };
+        for r in 0..size {
+            for c in 0..=r {
+                // Horizontal line within a row.
+                if c + 2 <= r {
+                    push(idx(r, c), idx(r, c + 1), idx(r, c + 2));
+                }
+                if r + 2 < size {
+                    // Down-left diagonal (same column).
+                    push(idx(r, c), idx(r + 1, c), idx(r + 2, c));
+                    // Down-right diagonal.
+                    push(idx(r, c), idx(r + 1, c + 1), idx(r + 2, c + 2));
+                }
+            }
+        }
+        // The conventional starting hole: middle of the interior. For the
+        // paper's size 6 this is hole (2,1); the choice only needs to be
+        // consistent across systems.
+        let start_empty = idx(2, 1);
+        Board { size, holes, jumps, start_empty }
+    }
+
+    /// The starting position: every hole pegged except `start_empty`.
+    pub fn initial(&self) -> Position {
+        let full = if self.holes == 32 { u32::MAX } else { (1u32 << self.holes) - 1 };
+        full & !(1 << self.start_empty)
+    }
+
+    /// Apply every legal jump to `pos`, invoking `f` per successor.
+    pub fn for_each_successor(&self, pos: Position, mut f: impl FnMut(Position)) {
+        for j in &self.jumps {
+            let from = 1u32 << j.from;
+            let over = 1u32 << j.over;
+            let to = 1u32 << j.to;
+            if pos & from != 0 && pos & over != 0 && pos & to == 0 {
+                f(pos & !from & !over | to);
+            }
+        }
+    }
+
+    /// Number of pegs in a position.
+    pub fn pegs(pos: Position) -> u32 {
+        pos.count_ones()
+    }
+
+    /// Is this a solution (exactly one peg remains)?
+    pub fn solved(pos: Position) -> bool {
+        pos.count_ones() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_consistent() {
+        for size in 4..=7 {
+            let b = Board::new(size);
+            assert_eq!(b.holes, size * (size + 1) / 2);
+            assert!(b.jumps.iter().all(|j| (j.from as usize) < b.holes
+                && (j.over as usize) < b.holes
+                && (j.to as usize) < b.holes));
+            // Jump pairs are symmetric: every (from, to) has its reverse.
+            for j in &b.jumps {
+                assert!(b.jumps.iter().any(|k| k.from == j.to && k.to == j.from && k.over == j.over));
+            }
+        }
+    }
+
+    #[test]
+    fn size_5_has_the_classic_36_directed_jumps() {
+        // The classic 15-hole triangle has 18 lines of three, each usable
+        // in both directions.
+        let b = Board::new(5);
+        assert_eq!(b.holes, 15);
+        assert_eq!(b.jumps.len(), 36);
+    }
+
+    #[test]
+    fn initial_position_has_one_empty_hole() {
+        let b = Board::new(6);
+        let p = b.initial();
+        assert_eq!(Board::pegs(p), (b.holes - 1) as u32);
+        assert_eq!(p & (1 << b.start_empty), 0);
+    }
+
+    #[test]
+    fn successors_preserve_peg_count_minus_one() {
+        let b = Board::new(5);
+        let p = b.initial();
+        let mut count = 0;
+        b.for_each_successor(p, |s| {
+            count += 1;
+            assert_eq!(Board::pegs(s), Board::pegs(p) - 1);
+        });
+        assert!(count > 0, "the initial position has moves");
+    }
+
+    #[test]
+    fn solved_detects_single_peg() {
+        assert!(Board::solved(0b100));
+        assert!(!Board::solved(0b101));
+        assert!(!Board::solved(0));
+    }
+}

@@ -1,0 +1,8 @@
+//! The Triangle puzzle (§4.2.1): fine-grained exhaustive search sending
+//! many small asynchronous RPCs into a distributed transposition table.
+
+pub mod board;
+pub mod run;
+
+pub use board::{Board, Jump, Position};
+pub use run::{run, run_configured, run_with_poll_every, sequential, TriangleState};

@@ -1,0 +1,204 @@
+//! City sets and the branch-and-bound tour search (§4.2.2).
+
+use oam_model::Dur;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A symmetric TSP instance with integer (scaled Euclidean) distances.
+#[derive(Debug, Clone)]
+pub struct Cities {
+    /// Number of cities.
+    pub n: usize,
+    /// Distance matrix, `dist[i][j] == dist[j][i]`.
+    pub dist: Vec<Vec<u32>>,
+}
+
+impl Cities {
+    /// Generate `n` cities at seeded-random integer coordinates in a
+    /// 1000×1000 plane.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0))).collect();
+        let dist = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        let dx = pts[i].0 - pts[j].0;
+                        let dy = pts[i].1 - pts[j].1;
+                        (dx * dx + dy * dy).sqrt().round() as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        Cities { n, dist }
+    }
+
+    /// Distance between two cities.
+    #[inline]
+    pub fn d(&self, i: u8, j: u8) -> u32 {
+        self.dist[i as usize][j as usize]
+    }
+}
+
+/// All partial routes of the paper's shape: tours fixed to start at city 0
+/// followed by every ordered choice of `prefix_len - 1` distinct further
+/// cities. For 12 cities and prefix length 5 this is 11·10·9·8 = 7920
+/// jobs, the paper's workload.
+pub fn generate_prefixes(n: usize, prefix_len: usize) -> Vec<Vec<u8>> {
+    assert!((2..=6).contains(&prefix_len) && prefix_len <= n);
+    let mut out = Vec::new();
+    let mut prefix = vec![0u8];
+    fn rec(n: usize, prefix: &mut Vec<u8>, want: usize, out: &mut Vec<Vec<u8>>) {
+        if prefix.len() == want {
+            out.push(prefix.clone());
+            return;
+        }
+        for c in 1..n as u8 {
+            if !prefix.contains(&c) {
+                prefix.push(c);
+                rec(n, prefix, want, out);
+                prefix.pop();
+            }
+        }
+    }
+    rec(n, &mut prefix, prefix_len, &mut out);
+    out
+}
+
+/// Result of expanding one partial route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expansion {
+    /// Best complete-tour length found (≤ the incoming bound, or the
+    /// incoming bound if nothing better).
+    pub best: u32,
+    /// Search-tree nodes visited (drives the compute charge).
+    pub visited: u64,
+}
+
+/// Depth-first branch-and-bound from `prefix`, trying the remaining cities
+/// closest-first (the paper's "closest-city-next" heuristic) and pruning
+/// against `bound`. Tours are closed cycles back to city 0.
+pub fn expand(cities: &Cities, prefix: &[u8], bound: u32) -> Expansion {
+    let mut used = vec![false; cities.n];
+    let mut len = 0u32;
+    for (k, &c) in prefix.iter().enumerate() {
+        used[c as usize] = true;
+        if k > 0 {
+            len += cities.d(prefix[k - 1], c);
+        }
+    }
+    let mut best = bound;
+    let mut visited = 0u64;
+    let mut path: Vec<u8> = prefix.to_vec();
+    dfs(cities, &mut path, &mut used, len, &mut best, &mut visited);
+    Expansion { best, visited }
+}
+
+fn dfs(cities: &Cities, path: &mut Vec<u8>, used: &mut [bool], len: u32, best: &mut u32, visited: &mut u64) {
+    *visited += 1;
+    if len >= *best {
+        return;
+    }
+    let last = *path.last().expect("non-empty path");
+    if path.len() == cities.n {
+        let total = len + cities.d(last, 0);
+        if total < *best {
+            *best = total;
+        }
+        return;
+    }
+    // Closest-city-next: order the remaining cities by distance from here.
+    let mut next: Vec<u8> = (0..cities.n as u8).filter(|&c| !used[c as usize]).collect();
+    next.sort_by_key(|&c| cities.d(last, c));
+    for c in next {
+        used[c as usize] = true;
+        path.push(c);
+        dfs(cities, path, used, len + cities.d(last, c), best, visited);
+        path.pop();
+        used[c as usize] = false;
+    }
+}
+
+/// Sequential baseline: expand every job in order, sharing the bound.
+/// Returns `(best tour, total nodes visited, virtual time)` given the
+/// per-node and per-job-generation costs.
+pub fn sequential(cities: &Cities, prefix_len: usize, gen_cost: Dur, node_cost: Dur) -> (u32, u64, Dur) {
+    let jobs = generate_prefixes(cities.n, prefix_len);
+    let mut best = u32::MAX;
+    let mut visited = 0u64;
+    for job in &jobs {
+        let e = expand(cities, job, best);
+        best = e.best;
+        visited += e.visited;
+    }
+    let time = gen_cost.times(jobs.len() as u64) + node_cost.times(visited);
+    (best, visited, time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_symmetric_with_zero_diagonal() {
+        let c = Cities::random(8, 42);
+        for i in 0..8u8 {
+            assert_eq!(c.d(i, i), 0);
+            for j in 0..8u8 {
+                assert_eq!(c.d(i, j), c.d(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_counts_match_the_paper() {
+        // 12 cities, prefix length 5: 11·10·9·8 = 7920 partial routes.
+        assert_eq!(generate_prefixes(12, 5).len(), 7920);
+        assert_eq!(generate_prefixes(6, 3).len(), 20);
+    }
+
+    #[test]
+    fn prefixes_are_distinct_routes_from_city_zero() {
+        let p = generate_prefixes(6, 3);
+        for route in &p {
+            assert_eq!(route[0], 0);
+            let mut sorted = route.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), route.len(), "no repeated city");
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_matches_brute_force_on_small_instances() {
+        let c = Cities::random(8, 7);
+        // Brute force over all tours.
+        let perms = generate_prefixes(8, 6); // fix first 6, finish by expand
+        let mut brute = u32::MAX;
+        for p in &perms {
+            brute = brute.min(expand(&c, p, u32::MAX).best);
+        }
+        let (bb, visited, _) = sequential(&c, 3, Dur::ZERO, Dur::ZERO);
+        assert_eq!(bb, brute);
+        assert!(visited > 0);
+    }
+
+    #[test]
+    fn tighter_bounds_prune_more() {
+        let c = Cities::random(10, 3);
+        let jobs = generate_prefixes(10, 4);
+        let loose = expand(&c, &jobs[0], u32::MAX);
+        let tight = expand(&c, &jobs[0], loose.best);
+        assert!(tight.visited <= loose.visited);
+        assert_eq!(tight.best, loose.best);
+    }
+
+    #[test]
+    fn sequential_is_deterministic() {
+        let c = Cities::random(10, 11);
+        let a = sequential(&c, 4, Dur::from_micros(20), Dur::from_micros(2));
+        let b = sequential(&c, 4, Dur::from_micros(20), Dur::from_micros(2));
+        assert_eq!(a, b);
+    }
+}

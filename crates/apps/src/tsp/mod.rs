@@ -1,0 +1,9 @@
+//! The Traveling Salesman Problem (§4.2.2): master/slave branch-and-bound
+//! with a blocking job-queue RPC — the workload behind Figure 2 and
+//! Table 2.
+
+pub mod cities;
+pub mod run;
+
+pub use cities::{expand, generate_prefixes, Cities, Expansion};
+pub use run::{run, run_configured, sequential, TspParams, TspState};

@@ -1,0 +1,9 @@
+//! Water (§4.2.4): an n-body molecular-dynamics application with
+//! position-broadcast and acceleration-scatter communication phases — the
+//! workload behind Figure 4 and Table 3.
+
+pub mod run;
+pub mod sim;
+
+pub use run::{providers, run, sequential, targets, WaterOutcome, WaterParams, WaterVariant};
+pub use sim::{initial_molecules, kinetic_energy, Molecule};

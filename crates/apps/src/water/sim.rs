@@ -1,0 +1,259 @@
+//! The n-body molecular-dynamics computation behind the Water application
+//! (§4.2.4).
+//!
+//! **Substitution note (see DESIGN.md):** the paper runs Romein's
+//! message-passing port of SPLASH Water. The experiment measures
+//! *communication scheduling* — a position-broadcast phase and an
+//! acceleration-scatter phase per iteration with potentially-blocking
+//! remote procedures — not water chemistry. We therefore run a
+//! Lennard-Jones point-molecule system with exactly the paper's
+//! communication structure and calibrate the per-pair compute charge so a
+//! sequential iteration of 512 molecules costs the paper's ~24 s.
+//!
+//! Forces are accumulated **per source block and applied in block order**,
+//! which makes the arithmetic independent of message arrival timing: all
+//! five system variants produce bit-identical trajectories for a given
+//! node count.
+
+/// One molecule: position and velocity (mass 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Molecule {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+}
+
+/// Integration time step.
+pub const DT: f64 = 0.005;
+/// Lennard-Jones sigma.
+pub const SIGMA: f64 = 1.0;
+/// Lennard-Jones epsilon.
+pub const EPSILON: f64 = 1.0;
+/// Initial lattice spacing (σ units; > 2^(1/6) so the lattice starts in
+/// the attractive region and nothing explodes).
+pub const SPACING: f64 = 1.5;
+
+/// Deterministic initial configuration: molecules on a cubic lattice with
+/// tiny deterministic velocity perturbations so the dynamics are not
+/// symmetric.
+pub fn initial_molecules(n: usize) -> Vec<Molecule> {
+    let side = (n as f64).cbrt().ceil() as usize;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (x, y, z) = (i % side, (i / side) % side, i / (side * side));
+        // A tiny, fully deterministic velocity pattern.
+        let h = |k: usize| (((i.wrapping_mul(2654435761) >> k) & 0xFF) as f64 / 255.0 - 0.5) * 1e-3;
+        out.push(Molecule {
+            pos: [x as f64 * SPACING, y as f64 * SPACING, z as f64 * SPACING],
+            vel: [h(0), h(8), h(16)],
+        });
+    }
+    out
+}
+
+/// Lennard-Jones force of molecule `j` on molecule `i` (to be *added* to
+/// `i`'s acceleration and subtracted from `j`'s).
+pub fn lj_force(pi: &[f64; 3], pj: &[f64; 3]) -> [f64; 3] {
+    let dx = pi[0] - pj[0];
+    let dy = pi[1] - pj[1];
+    let dz = pi[2] - pj[2];
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let inv_r2 = 1.0 / r2;
+    let s2 = SIGMA * SIGMA * inv_r2;
+    let s6 = s2 * s2 * s2;
+    // F = 24ε (2 s^12 − s^6) / r² · r⃗
+    let mag = 24.0 * EPSILON * (2.0 * s6 * s6 - s6) * inv_r2;
+    [mag * dx, mag * dy, mag * dz]
+}
+
+/// Pair interactions *within* one block (`i < j`), accumulating both
+/// sides into `acc`. Returns pairs evaluated (drives the compute charge).
+pub fn block_internal(pos: &[[f64; 3]], acc: &mut [[f64; 3]]) -> u64 {
+    let mut pairs = 0;
+    for i in 0..pos.len() {
+        for j in i + 1..pos.len() {
+            let f = lj_force(&pos[i], &pos[j]);
+            for k in 0..3 {
+                acc[i][k] += f[k];
+                acc[j][k] -= f[k];
+            }
+            pairs += 1;
+        }
+    }
+    pairs
+}
+
+/// Pair interactions *between* two distinct blocks, accumulating into the
+/// respective buffers. Returns pairs evaluated.
+pub fn block_cross(
+    pos_a: &[[f64; 3]],
+    pos_b: &[[f64; 3]],
+    acc_a: &mut [[f64; 3]],
+    acc_b: &mut [[f64; 3]],
+) -> u64 {
+    let mut pairs = 0;
+    for i in 0..pos_a.len() {
+        for j in 0..pos_b.len() {
+            let f = lj_force(&pos_a[i], &pos_b[j]);
+            for k in 0..3 {
+                acc_a[i][k] += f[k];
+                acc_b[j][k] -= f[k];
+            }
+            pairs += 1;
+        }
+    }
+    pairs
+}
+
+/// Advance a block of molecules one step given their total accelerations
+/// (semi-implicit Euler).
+pub fn integrate(mols: &mut [Molecule], acc: &[[f64; 3]]) {
+    for (m, a) in mols.iter_mut().zip(acc) {
+        for (k, ak) in a.iter().enumerate() {
+            m.vel[k] += ak * DT;
+            m.pos[k] += m.vel[k] * DT;
+        }
+    }
+}
+
+/// Kinetic energy of a block.
+pub fn kinetic_energy(mols: &[Molecule]) -> f64 {
+    mols.iter()
+        .map(|m| 0.5 * (m.vel[0] * m.vel[0] + m.vel[1] * m.vel[1] + m.vel[2] * m.vel[2]))
+        .sum()
+}
+
+/// Total momentum of a block (conserved by the pairwise forces; a physics
+/// sanity check).
+pub fn momentum(mols: &[Molecule]) -> [f64; 3] {
+    let mut p = [0.0; 3];
+    for m in mols {
+        for (pk, vk) in p.iter_mut().zip(&m.vel) {
+            *pk += vk;
+        }
+    }
+    p
+}
+
+/// Quantized, order-independent checksum of a block's kinetic energy:
+/// pico-units, wrapping. Summed across nodes with a `u64` reducer so no
+/// floating-point summation order is involved.
+pub fn energy_checksum(mols: &[Molecule]) -> u64 {
+    (kinetic_energy(mols) * 1e12).round() as i64 as u64
+}
+
+/// Sequential reference: simulate `n` molecules for `iters` steps on one
+/// block. Returns `(energy checksum, pairs evaluated per iteration)`.
+pub fn reference(n: usize, iters: usize) -> (u64, u64) {
+    let mut mols = initial_molecules(n);
+    let mut pairs_per_iter = 0;
+    for _ in 0..iters {
+        let pos: Vec<[f64; 3]> = mols.iter().map(|m| m.pos).collect();
+        let mut acc = vec![[0.0; 3]; n];
+        // Split-borrow trick: same-block accumulation needs one buffer.
+        let mut pairs = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                let f = lj_force(&pos[i], &pos[j]);
+                for k in 0..3 {
+                    acc[i][k] += f[k];
+                    acc[j][k] -= f[k];
+                }
+                pairs += 1;
+            }
+        }
+        pairs_per_iter = pairs;
+        integrate(&mut mols, &acc);
+    }
+    (energy_checksum(&mols), pairs_per_iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_initialisation_is_deterministic() {
+        let a = initial_molecules(64);
+        let b = initial_molecules(64);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        // Distinct positions.
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i].pos, a[j].pos, "molecules {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn forces_are_antisymmetric() {
+        let p1 = [0.0, 0.0, 0.0];
+        let p2 = [1.3, 0.4, -0.2];
+        let f12 = lj_force(&p1, &p2);
+        let f21 = lj_force(&p2, &p1);
+        for k in 0..3 {
+            assert_eq!(f12[k], -f21[k]);
+        }
+    }
+
+    #[test]
+    fn momentum_is_conserved_over_a_run() {
+        let n = 27;
+        let mut mols = initial_molecules(n);
+        let p0 = momentum(&mols);
+        for _ in 0..20 {
+            let mut acc = vec![[0.0; 3]; n];
+            let pos: Vec<[f64; 3]> = mols.iter().map(|m| m.pos).collect();
+            for i in 0..n {
+                for j in i + 1..n {
+                    let f = lj_force(&pos[i], &pos[j]);
+                    for k in 0..3 {
+                        acc[i][k] += f[k];
+                        acc[j][k] -= f[k];
+                    }
+                }
+            }
+            integrate(&mut mols, &acc);
+        }
+        let p1 = momentum(&mols);
+        for k in 0..3 {
+            assert!((p1[k] - p0[k]).abs() < 1e-9, "momentum drift {:?} -> {:?}", p0, p1);
+        }
+    }
+
+    #[test]
+    fn split_block_computation_matches_direct_computation() {
+        let mols = initial_molecules(10);
+        let pos: Vec<[f64; 3]> = mols.iter().map(|m| m.pos).collect();
+        // Direct: all pairs into one buffer.
+        let mut direct = vec![[0.0; 3]; 10];
+        let all = block_internal(&pos, &mut direct);
+        assert_eq!(all, 45);
+        // Split 10 molecules into blocks of 4 and 6.
+        let (pa, pb) = pos.split_at(4);
+        let mut aa = vec![[0.0; 3]; 4];
+        let mut ab = vec![[0.0; 3]; 6];
+        assert_eq!(block_internal(pa, &mut aa), 6);
+        assert_eq!(block_internal(pb, &mut ab), 15);
+        assert_eq!(block_cross(pa, pb, &mut aa, &mut ab), 24);
+        // Same totals (order differs, so allow for f64 rounding).
+        for i in 0..10 {
+            let got = if i < 4 { aa[i] } else { ab[i - 4] };
+            for k in 0..3 {
+                assert!((got[k] - direct[i][k]).abs() < 1e-9, "molecule {i} axis {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_is_reproducible_and_nontrivial() {
+        let (c1, pairs) = reference(27, 3);
+        let (c2, _) = reference(27, 3);
+        assert_eq!(c1, c2);
+        assert_eq!(pairs, 27 * 26 / 2);
+        let (c3, _) = reference(27, 4);
+        assert_ne!(c1, c3, "dynamics actually evolve");
+    }
+}

@@ -1,0 +1,38 @@
+//! Ablation: the three abort strategies of §2 — promote the partially-run
+//! continuation (lazy thread creation), rerun the whole call as a thread,
+//! or NACK the sender — compared on TSP at slave counts where aborts
+//! actually happen.
+
+use oam_apps::tsp::{self, TspParams};
+use oam_apps::System;
+use oam_bench::report::{print_table, quick_mode, write_csv};
+use oam_model::{AbortStrategy, MachineConfig};
+
+fn main() {
+    let params = TspParams::default();
+    let slave_counts: &[usize] = if quick_mode() { &[16] } else { &[32, 64, 127] };
+    let (best, _, _) = tsp::sequential(params);
+    let mut rows = Vec::new();
+    for &slaves in slave_counts {
+        for strategy in [AbortStrategy::Promote, AbortStrategy::Rerun, AbortStrategy::Nack] {
+            let cfg = MachineConfig::cm5(slaves + 1).with_abort_strategy(strategy);
+            let out = tsp::run_configured(System::Orpc, cfg, params);
+            assert_eq!(out.answer, best as u64, "wrong tour under {strategy:?}");
+            let t = out.stats.total();
+            rows.push(vec![
+                slaves.to_string(),
+                strategy.label().to_string(),
+                format!("{:.3}", out.elapsed.as_secs_f64()),
+                t.oam_attempts.to_string(),
+                t.total_aborts().to_string(),
+                t.oam_promotions.to_string(),
+                t.oam_reruns.to_string(),
+                t.oam_nacks_sent.to_string(),
+            ]);
+        }
+    }
+    let headers =
+        ["slaves", "strategy", "time (s)", "# OAMs", "aborts", "promoted", "rerun", "nacked"];
+    print_table("Ablation: abort strategies on TSP (ORPC)", &headers, &rows);
+    write_csv("ablate_abort_strategy", &headers, &rows);
+}

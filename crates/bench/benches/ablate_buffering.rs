@@ -1,0 +1,38 @@
+//! Ablation: network buffering depth. §2 of the paper contrasts the
+//! CM-5's "substantial amount of buffering in the network" (infrequent
+//! polling is fine) with Alewife-like machines (little buffering — other
+//! processors block quickly, and a full NI becomes a real abort
+//! condition). This harness runs the Triangle puzzle under both machine
+//! models, also sweeping the application's polling interval.
+
+use oam_apps::{triangle, System};
+use oam_bench::report::{print_table, quick_mode, write_csv};
+use oam_model::MachineConfig;
+
+fn main() {
+    let (size, procs) = if quick_mode() { (5, 8) } else { (6, 32) };
+    let poll_intervals: &[usize] = if quick_mode() { &[1, 16] } else { &[1, 4, 16, 64] };
+    let mut rows = Vec::new();
+    for (label, cfg) in
+        [("cm5-deep", MachineConfig::cm5(procs)), ("alewife-shallow", MachineConfig::alewife_like(procs))]
+    {
+        for &poll_every in poll_intervals {
+            let out = triangle::run_configured(System::Orpc, cfg.clone(), size, poll_every);
+            let t = out.stats.total();
+            rows.push(vec![
+                label.to_string(),
+                poll_every.to_string(),
+                format!("{:.3}", out.elapsed.as_secs_f64()),
+                t.send_backpressure_events.to_string(),
+                t.total_aborts().to_string(),
+            ]);
+        }
+    }
+    let headers = ["machine", "poll every", "time (s)", "backpressure", "aborts"];
+    print_table(
+        &format!("Ablation: network buffering x polling interval (triangle size {size}, P={procs}, ORPC)"),
+        &headers,
+        &rows,
+    );
+    write_csv("ablate_buffering", &headers, &rows);
+}

@@ -1,0 +1,108 @@
+//! Ablation: the "runs too long" abort threshold. §2: a handler that runs
+//! too long congests the network; the stub compiler should insert checks
+//! that promote long-running handlers to threads. The paper's prototype
+//! *didn't* implement this (§3.3 lists it as a restriction); ours does,
+//! via `checkpoint()` fuel checks against `handler_budget`.
+//!
+//! The trade-off this sweep exposes: a small budget promotes eagerly
+//! (paying thread costs but freeing the receiving node quickly — other
+//! traffic flows); a huge budget runs everything inline (cheap calls, but
+//! the node is unresponsive for the handler's whole duration).
+
+use std::rc::Rc;
+
+use oam_apps::System;
+use oam_bench::report::{print_table, quick_mode, write_csv};
+use oam_machine::MachineBuilder;
+use oam_model::{Dur, NodeId};
+use oam_rpc::define_rpc_service;
+
+pub struct WorkState;
+
+define_rpc_service! {
+    /// A remote procedure with a stub-inserted progress check per chunk.
+    service Work {
+        state WorkState;
+
+        /// Compute `chunks` × 20 µs with a checkpoint between chunks.
+        rpc grind(ctx, st, chunks: u32) -> u32 {
+            let _ = st;
+            for _ in 0..chunks {
+                ctx.charge(Dur::from_micros(20)).await;
+                ctx.checkpoint().await;
+            }
+            chunks
+        }
+
+        /// A latency probe: a null call racing with the grinds.
+        rpc probe(ctx, st) -> u32 {
+            let _ = (ctx, st);
+            0
+        }
+    }
+}
+
+fn run(budget_us: u64, chunks: u32) -> (f64, u64, f64) {
+    let m = MachineBuilder::new(3)
+        .tweak(|c| c.handler_budget = Dur::from_micros(budget_us))
+        .build();
+    for node in m.nodes() {
+        Work::register_all(m.rpc(), node.id(), Rc::new(WorkState), System::Orpc.rpc_mode());
+    }
+    let probe_total = Rc::new(std::cell::Cell::new(0.0f64));
+    let pt = Rc::clone(&probe_total);
+    let calls = if quick_mode() { 8 } else { 32 };
+    let report = m.run(move |env| {
+        let pt = Rc::clone(&pt);
+        async move {
+            match env.id().index() {
+                // Node 1 grinds long calls on node 0.
+                1 => {
+                    for _ in 0..calls {
+                        Work::grind::call(env.rpc(), env.node(), NodeId(0), chunks).await;
+                    }
+                }
+                // Node 2 fires latency probes at node 0 the whole time.
+                2 => {
+                    let mut total = 0.0;
+                    for _ in 0..calls * 4 {
+                        let t0 = env.now();
+                        Work::probe::call(env.rpc(), env.node(), NodeId(0)).await;
+                        total += env.now().since(t0).as_micros_f64();
+                        env.charge_micros(40).await;
+                    }
+                    pt.set(total / (calls * 4) as f64);
+                }
+                _ => {}
+            }
+            env.barrier().await;
+        }
+    });
+    let t = report.stats.total();
+    (
+        report.end_time.as_micros_f64() / 1e3,
+        t.oam_aborts[oam_model::AbortReason::RanTooLong.index()],
+        probe_total.get(),
+    )
+}
+
+fn main() {
+    let chunks = 10; // 200 µs of handler work per grind call
+    let mut rows = Vec::new();
+    for budget_us in [40u64, 100, 200, 1_000, 100_000] {
+        let (total_ms, too_long, probe_us) = run(budget_us, chunks);
+        rows.push(vec![
+            budget_us.to_string(),
+            format!("{total_ms:.2}"),
+            too_long.to_string(),
+            format!("{probe_us:.1}"),
+        ]);
+    }
+    let headers = ["budget (us)", "total (ms)", "too-long aborts", "probe RTT (us)"];
+    print_table(
+        "Ablation: handler budget vs. responsiveness (200 us handlers + latency probes)",
+        &headers,
+        &rows,
+    );
+    write_csv("ablate_handler_budget", &headers, &rows);
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Figure 1**: runtime and speedup of the Triangle puzzle
+//! (size 6, the paper's workload; sequential ≈ 13.7 s) for hand-coded AM,
+//! ORPC, and TRPC over 1…128 processors. The paper's headline: ORPC and
+//! AM are almost three times faster than TRPC (2.9× / 3.2×).
+
+use oam_apps::{triangle, System};
+use oam_bench::report::{print_table, quick_mode, write_csv};
+
+fn main() {
+    let (size, procs): (usize, &[usize]) = if quick_mode() {
+        (5, &[1, 4, 16])
+    } else {
+        (6, &[1, 2, 4, 8, 16, 32, 64, 128])
+    };
+    let (_, _, seq) = triangle::sequential(size);
+    println!("sequential baseline (size {size}): {:.2} s (paper: 13.7 s)", seq.as_secs_f64());
+
+    let mut rows = Vec::new();
+    for &p in procs {
+        let mut cells = vec![p.to_string()];
+        let mut answers = Vec::new();
+        for system in System::ALL {
+            let out = triangle::run(system, p, size);
+            answers.push(out.answer);
+            cells.push(format!("{:.3}", out.elapsed.as_secs_f64()));
+            cells.push(format!("{:.2}", out.speedup(seq)));
+        }
+        assert!(answers.windows(2).all(|w| w[0] == w[1]), "systems disagree at P={p}");
+        rows.push(cells);
+    }
+    let headers =
+        ["procs", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
+    print_table("Figure 1: Triangle puzzle", &headers, &rows);
+    write_csv("fig1_triangle", &headers, &rows);
+
+    // The paper's headline ratio at the largest configuration.
+    if let Some(last) = rows.last() {
+        let am: f64 = last[1].parse().unwrap();
+        let orpc: f64 = last[3].parse().unwrap();
+        let trpc: f64 = last[5].parse().unwrap();
+        println!(
+            "\nAt P={}: TRPC/ORPC = {:.2}x (paper 2.9x), TRPC/AM = {:.2}x (paper 3.2x)",
+            last[0],
+            trpc / orpc,
+            trpc / am
+        );
+    }
+}

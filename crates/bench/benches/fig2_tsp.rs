@@ -1,0 +1,36 @@
+//! Regenerates **Figure 2**: runtime and speedup of the 12-city TSP
+//! (7920 partial routes; sequential ≈ 12.4 s) versus the number of
+//! slaves. The paper: all systems equal up to 16 slaves; TRPC's
+//! performance "drops dramatically" at 64; ORPC and AM keep going, with
+//! ORPC degrading at 127 when the master saturates.
+
+use oam_apps::tsp::{self, TspParams};
+use oam_apps::System;
+use oam_bench::report::{print_table, quick_mode, write_csv};
+
+fn main() {
+    let params = TspParams::default();
+    let slaves: &[usize] =
+        if quick_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 127] };
+    let (best, _, seq) = tsp::sequential(params);
+    println!(
+        "sequential baseline: {:.2} s, optimal tour {best} (paper: 12.4 s)",
+        seq.as_secs_f64()
+    );
+
+    let mut rows = Vec::new();
+    for &s in slaves {
+        let mut cells = vec![s.to_string()];
+        for system in System::ALL {
+            let out = tsp::run(system, s, params);
+            assert_eq!(out.answer, best as u64, "{} found a wrong tour", system.label());
+            cells.push(format!("{:.3}", out.elapsed.as_secs_f64()));
+            cells.push(format!("{:.2}", out.speedup(seq)));
+        }
+        rows.push(cells);
+    }
+    let headers =
+        ["slaves", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
+    print_table("Figure 2: Traveling salesman problem", &headers, &rows);
+    write_csv("fig2_tsp", &headers, &rows);
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Figure 4**: runtime and speedup of Water (512 molecules,
+//! 5 iterations with the first discarded; sequential ≈ 24 s/iteration)
+//! for the paper's five variants: AM w/ barrier, ORPC and TRPC each with
+//! and without barriers. The paper: at 128 processors everything is
+//! within a few percent.
+
+use oam_apps::water::{self, WaterParams, WaterVariant};
+use oam_bench::report::{print_table, quick_mode, write_csv};
+
+fn main() {
+    let params = if quick_mode() {
+        WaterParams { molecules: 64, iters: 3 }
+    } else {
+        WaterParams::default()
+    };
+    let procs: &[usize] = if quick_mode() { &[2, 8] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
+    let (_, seq) = water::sequential(params);
+    println!(
+        "sequential baseline: {:.2} s total, {:.2} s/iter (paper: 24 s/iter)",
+        seq.as_secs_f64(),
+        seq.as_secs_f64() / params.iters as f64
+    );
+
+    let mut rows = Vec::new();
+    for &p in procs {
+        let mut cells = vec![p.to_string()];
+        let mut answers = Vec::new();
+        for v in WaterVariant::ALL {
+            let out = water::run(v, p, params);
+            answers.push(out.outcome.answer);
+            cells.push(format!("{:.3}", out.outcome.elapsed.as_secs_f64()));
+            cells.push(format!("{:.2}", out.outcome.speedup(seq)));
+        }
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "variants computed different trajectories at P={p}"
+        );
+        rows.push(cells);
+    }
+    let headers = [
+        "procs", "AM+b (s)", "spd", "ORPC+b (s)", "spd", "TRPC+b (s)", "spd", "ORPC (s)", "spd",
+        "TRPC (s)", "spd",
+    ];
+    print_table("Figure 4: Water (512 molecules)", &headers, &rows);
+    write_csv("fig4_water", &headers, &rows);
+}

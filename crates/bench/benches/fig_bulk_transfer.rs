@@ -1,0 +1,30 @@
+//! Regenerates the **§4.1.2 bulk-data-transfer** result: a "null" RPC with
+//! varying amounts of data. The absolute TRPC−ORPC gap stays constant
+//! while the relative gap shrinks; crossing the short-message limit
+//! engages the bulk mechanism (~40 µs).
+
+use oam_apps::System;
+use oam_bench::report::{print_table, quick_mode, write_csv};
+use oam_bench::{payload_rpc_roundtrip, ServerLoad};
+
+fn main() {
+    let rounds = if quick_mode() { 4 } else { 16 };
+    let sizes: &[usize] = &[0, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+    let mut rows = Vec::new();
+    for &bytes in sizes {
+        let am = payload_rpc_roundtrip(System::HandAm, ServerLoad::Idle, rounds, bytes);
+        let orpc = payload_rpc_roundtrip(System::Orpc, ServerLoad::Idle, rounds, bytes);
+        let trpc = payload_rpc_roundtrip(System::Trpc, ServerLoad::Idle, rounds, bytes);
+        rows.push(vec![
+            bytes.to_string(),
+            format!("{:.1}", am.as_micros_f64()),
+            format!("{:.1}", orpc.as_micros_f64()),
+            format!("{:.1}", trpc.as_micros_f64()),
+            format!("{:.1}", trpc.as_micros_f64() - orpc.as_micros_f64()),
+            format!("{:.2}", trpc.as_micros_f64() / orpc.as_micros_f64()),
+        ]);
+    }
+    let headers = ["bytes", "AM (us)", "ORPC (us)", "TRPC (us)", "abs gap", "rel gap"];
+    print_table("S4.1.2: RPC time vs. data size (server idle)", &headers, &rows);
+    write_csv("fig_bulk_transfer", &headers, &rows);
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Table 1**: time (µs) for a round-trip "null" RPC under
+//! the paper's two server conditions, for TRPC, ORPC, and AM.
+
+use oam_apps::System;
+use oam_bench::report::{print_table, write_csv};
+use oam_bench::{null_rpc_roundtrip, ServerLoad};
+
+fn main() {
+    let rounds = 64;
+    // Paper values (µs): [system][idle, busy]; None = not reported.
+    let paper: &[(System, [Option<f64>; 2])] = &[
+        (System::Trpc, [Some(21.0), Some(74.0)]),
+        (System::Orpc, [Some(14.0), Some(14.0)]),
+        (System::HandAm, [Some(13.0), None]),
+    ];
+    let mut rows = Vec::new();
+    for (system, expect) in paper {
+        let mut cells = vec![system.label().to_string()];
+        for (i, load) in [ServerLoad::Idle, ServerLoad::Busy].into_iter().enumerate() {
+            let t = null_rpc_roundtrip(*system, load, rounds);
+            cells.push(format!("{:.1}", t.as_micros_f64()));
+            cells.push(expect[i].map_or("-".into(), |p| format!("{p:.0}")));
+        }
+        rows.push(cells);
+    }
+    let headers = ["System", "idle (us)", "paper", "busy (us)", "paper"];
+    print_table(
+        "Table 1: round-trip null RPC (measured vs. paper)",
+        &headers,
+        &rows,
+    );
+    write_csv("table1_null_rpc", &headers, &rows);
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table 2**: the percentage of Optimistic Active Messages
+//! that succeeded (executed without aborting) in the TSP application, by
+//! slave count. The paper: ≥99% through 64 slaves, collapsing at 127
+//! when the master's queue can no longer stay ahead of the slaves.
+
+use oam_apps::tsp::{self, TspParams};
+use oam_apps::System;
+use oam_bench::report::{print_table, quick_mode, write_csv};
+
+fn main() {
+    let params = TspParams::default();
+    let slaves: &[usize] =
+        if quick_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 127] };
+    // Paper's "% Successes" row for comparison.
+    let paper: &[(usize, f64)] = &[
+        (1, 100.0),
+        (2, 100.0),
+        (4, 99.9),
+        (8, 99.9),
+        (16, 99.8),
+        (32, 99.5),
+        (64, 99.1),
+        (127, 0.0),
+    ];
+    let mut rows = Vec::new();
+    for &s in slaves {
+        let out = tsp::run(System::Orpc, s, params);
+        let t = out.stats.total();
+        let rate = t.success_rate().unwrap_or(0.0) * 100.0;
+        let paper_rate = paper
+            .iter()
+            .find(|(n, _)| *n == s)
+            .map(|(_, r)| format!("{r:.1}"))
+            .unwrap_or_else(|| "-".into());
+        rows.push(vec![
+            s.to_string(),
+            t.oam_attempts.to_string(),
+            t.oam_successes.to_string(),
+            format!("{rate:.1}"),
+            paper_rate,
+        ]);
+    }
+    let headers = ["slaves", "# OAMs", "successes", "% success", "paper %"];
+    print_table("Table 2: OAM success rate in TSP (ORPC)", &headers, &rows);
+    write_csv("table2_tsp_aborts", &headers, &rows);
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Table 3**: the percentage of Optimistic Active Messages
+//! that succeeded in the Water application (ORPC, no barriers), by
+//! processor count. The paper: 100% up to 16 processors, ≥99.6%
+//! everywhere.
+
+use oam_apps::water::{self, WaterParams, WaterVariant};
+use oam_apps::System;
+use oam_bench::report::{print_table, quick_mode, write_csv};
+
+fn main() {
+    let params = if quick_mode() {
+        WaterParams { molecules: 64, iters: 3 }
+    } else {
+        WaterParams::default()
+    };
+    let procs: &[usize] = if quick_mode() { &[2, 8] } else { &[2, 4, 8, 16, 32, 64, 128] };
+    // Paper's Table 3 "% Successes".
+    let paper: &[(usize, f64)] = &[
+        (2, 100.0),
+        (4, 100.0),
+        (8, 100.0),
+        (16, 100.0),
+        (32, 99.8),
+        (64, 99.7),
+        (128, 99.6),
+    ];
+    let variant = WaterVariant { system: System::Orpc, barrier: false };
+    let mut rows = Vec::new();
+    for &p in procs {
+        let out = water::run(variant, p, params);
+        let t = out.outcome.stats.total();
+        let rate = t.success_rate().unwrap_or(0.0) * 100.0;
+        let paper_rate = paper
+            .iter()
+            .find(|(n, _)| *n == p)
+            .map(|(_, r)| format!("{r:.1}"))
+            .unwrap_or_else(|| "-".into());
+        rows.push(vec![
+            p.to_string(),
+            t.oam_attempts.to_string(),
+            t.oam_successes.to_string(),
+            format!("{rate:.1}"),
+            paper_rate,
+        ]);
+    }
+    let headers = ["procs", "# OAMs", "successes", "% success", "paper %"];
+    print_table("Table 3: OAM success rate in Water (ORPC, no barriers)", &headers, &rows);
+    write_csv("table3_water_aborts", &headers, &rows);
+}

@@ -1,0 +1,13 @@
+//! # oam-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation (§4), plus the ablations DESIGN.md calls out. Each
+//! bench target prints the paper's rows/series next to our measured values
+//! and writes a CSV under `target/experiments/`.
+
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod report;
+
+pub use micro::{micro_rpc, null_rpc_roundtrip, payload_rpc_roundtrip, MicroParams, ServerLoad};

@@ -1,0 +1,60 @@
+//! Table/CSV reporting shared by the experiment harnesses.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory where harnesses drop their CSVs: `target/experiments/` at
+/// the workspace root.
+pub fn experiments_dir() -> PathBuf {
+    let dir = match std::env::var("CARGO_TARGET_DIR") {
+        Ok(t) => PathBuf::from(t),
+        // Benches run with the package as CWD; resolve the workspace root
+        // from this crate's manifest directory.
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("target"),
+    }
+    .join("experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Print an aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Write the same data as CSV under `target/experiments/<name>.csv`.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", headers.join(",")).expect("write csv header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write csv row");
+    }
+    println!("[csv] {}", path.display());
+}
+
+/// Is the quick (CI-sized) mode requested?
+pub fn quick_mode() -> bool {
+    std::env::var("OAM_QUICK").map(|v| v != "0").unwrap_or(false)
+}

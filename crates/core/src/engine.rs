@@ -1,0 +1,494 @@
+//! The Optimistic Active Message execution engine — the paper's core
+//! mechanism (§2).
+//!
+//! A remote procedure is compiled (here: written as an `async` block built
+//! by a *factory*) under two optimistic assumptions: it will not block, and
+//! it will finish quickly. The engine executes it **inline** in the message
+//! handler by polling the future once on the receiving thread's stack:
+//!
+//! * `Poll::Ready` without suspension → **success**: the call ran as a pure
+//!   Active Message; no thread was ever created (the provisional slot is
+//!   released for free).
+//! * `Poll::Pending` → the handler attempted to block or ran too long; the
+//!   node's abort-cause cell says why ([`AbortReason`]), and the execution
+//!   **aborts** per the configured [`AbortStrategy`]:
+//!     * [`AbortStrategy::Promote`] — the partially-executed future becomes
+//!       a real thread (*lazy thread creation*, the paper's continuation
+//!       abort). No work is redone; the wait-list registrations the handler
+//!       made while blocking carry over to the thread.
+//!     * [`AbortStrategy::Rerun`] — the future is dropped (its `Drop` impls
+//!       deregister from wait lists) and a *fresh* future from the factory
+//!       runs as a thread from the beginning. Requires the paper's §3.3
+//!       restriction: the procedure may only mutate shared state once all
+//!       its locks are held and its conditions tested.
+//!     * [`AbortStrategy::Nack`] — the future is dropped and a negative
+//!       acknowledgment is sent to the caller, who backs off and resends.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use oam_model::{AbortReason, AbortStrategy};
+use oam_net::Packet;
+use oam_am::{Am, PacketHandler};
+use oam_threads::{ExecMode, Node, Placement};
+
+/// The context an optimistic call executes in: everything a handler body
+/// needs to compute, synchronize, and reply.
+#[derive(Clone)]
+pub struct OamCall {
+    /// The Active Message layer (for replies and further sends).
+    pub am: Am,
+    /// The node executing the call.
+    pub node: Node,
+    /// The message that triggered it.
+    pub pkt: Rc<Packet>,
+}
+
+/// Builds the handler future for a call. Must be re-invocable: the rerun
+/// strategy calls it a second time with the same packet.
+pub type CallFactory = Rc<dyn Fn(&OamCall) -> Pin<Box<dyn Future<Output = ()>>>>;
+
+/// Builds and sends a NACK for a call that aborted under
+/// [`AbortStrategy::Nack`]. Owned by the stub layer, which knows its own
+/// wire format.
+pub type NackSender = Rc<dyn Fn(&OamCall)>;
+
+/// A registry entry that executes messages as Optimistic Active Messages.
+pub struct OptimisticEntry {
+    factory: CallFactory,
+    nack: Option<NackSender>,
+    strategy_override: Option<AbortStrategy>,
+}
+
+impl OptimisticEntry {
+    /// Execute calls built by `factory` optimistically, resolving aborts
+    /// per the machine's configured strategy.
+    pub fn new(factory: CallFactory) -> Self {
+        OptimisticEntry { factory, nack: None, strategy_override: None }
+    }
+
+    /// Provide the NACK constructor (required if the machine uses
+    /// [`AbortStrategy::Nack`]).
+    pub fn with_nack(mut self, nack: NackSender) -> Self {
+        self.nack = Some(nack);
+        self
+    }
+
+    /// Override the abort strategy for this entry only.
+    pub fn with_strategy(mut self, s: AbortStrategy) -> Self {
+        self.strategy_override = Some(s);
+        self
+    }
+}
+
+impl PacketHandler for OptimisticEntry {
+    fn handle(&self, am: &Am, node: &Node, pkt: Packet) {
+        let cfg = Rc::clone(node.config());
+        let strategy = self.strategy_override.unwrap_or(cfg.abort_strategy);
+        node.stats().borrow_mut().oam_attempts += 1;
+        node.add_pending(cfg.cost.oam_entry);
+
+        let call = OamCall { am: am.clone(), node: node.clone(), pkt: Rc::new(pkt) };
+        let tid = node.reserve_provisional();
+        let mut fut = (self.factory)(&call);
+
+        // Optimistic inline execution: one poll on the current stack.
+        let prev_mode = node.set_mode(ExecMode::Optimistic);
+        let prev_provisional = node.set_active_provisional_replace(Some(tid));
+        node.reset_handler_elapsed();
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let outcome = fut.as_mut().poll(&mut cx);
+        node.set_active_provisional_replace(prev_provisional);
+        node.set_mode(prev_mode);
+
+        match outcome {
+            Poll::Ready(()) => {
+                node.release_provisional(tid);
+                node.stats().borrow_mut().oam_successes += 1;
+                node.emit(oam_model::TraceKind::OamSuccess { tag: call.pkt.tag });
+                node.add_pending(cfg.cost.oam_commit);
+            }
+            Poll::Pending => {
+                let cause = node
+                    .take_abort_cause()
+                    .expect("optimistic handler suspended without recording an abort cause");
+                {
+                    let mut st = node.stats().borrow_mut();
+                    st.record_abort(cause);
+                }
+                node.emit(oam_model::TraceKind::OamAborted { tag: call.pkt.tag, reason: cause });
+                node.add_pending(cfg.cost.oam_abort_overhead);
+                match strategy {
+                    AbortStrategy::Promote => {
+                        node.stats().borrow_mut().oam_promotions += 1;
+                        node.promote(tid, fut);
+                        if needs_immediate_wake(cause) {
+                            node.make_runnable(tid, Placement::Policy);
+                        }
+                    }
+                    AbortStrategy::Rerun => {
+                        // Undo: dropping the future deregisters it from any
+                        // wait lists it joined.
+                        drop(fut);
+                        node.stats().borrow_mut().oam_reruns += 1;
+                        let fresh = (self.factory)(&call);
+                        node.promote(tid, fresh);
+                        node.make_runnable(tid, Placement::Policy);
+                    }
+                    AbortStrategy::Nack => {
+                        drop(fut);
+                        node.release_provisional(tid);
+                        node.stats().borrow_mut().oam_nacks_sent += 1;
+                        let nack = self
+                            .nack
+                            .as_ref()
+                            .expect("AbortStrategy::Nack requires a NACK sender on the entry");
+                        nack(&call);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Causes that leave no wait-list registration behind, so a promoted or
+/// rerun thread must be made runnable explicitly.
+fn needs_immediate_wake(cause: AbortReason) -> bool {
+    matches!(cause, AbortReason::NetworkFull | AbortReason::RanTooLong)
+}
+
+/// A registry entry that always creates a thread per message — Traditional
+/// RPC, the paper's comparison baseline (§3.2).
+pub struct ThreadedEntry {
+    factory: CallFactory,
+}
+
+impl ThreadedEntry {
+    /// Execute every call built by `factory` in a fresh thread.
+    pub fn new(factory: CallFactory) -> Self {
+        ThreadedEntry { factory }
+    }
+}
+
+impl PacketHandler for ThreadedEntry {
+    fn handle(&self, am: &Am, node: &Node, pkt: Packet) {
+        node.add_pending(node.config().cost.trpc_dispatch);
+        let call = OamCall { am: am.clone(), node: node.clone(), pkt: Rc::new(pkt) };
+        let fut = (self.factory)(&call);
+        node.spawn_incoming(fut);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::{Cell, RefCell};
+    use oam_model::{Dur, MachineConfig, NodeId, NodeStats};
+    use oam_net::{NetConfig, Network};
+    use oam_sim::Sim;
+    use oam_am::{HandlerEntry, HandlerId};
+    use oam_threads::{CondVar, Mutex};
+
+    fn build(nprocs: usize, cfg: MachineConfig) -> (Sim, Am, Vec<Rc<RefCell<NodeStats>>>) {
+        let sim = Sim::new(5);
+        let cfg = Rc::new(cfg);
+        let stats: Vec<Rc<RefCell<NodeStats>>> =
+            (0..nprocs).map(|_| Rc::new(RefCell::new(NodeStats::new()))).collect();
+        let net = Network::new(&sim, NetConfig::from_machine(&cfg), stats.clone());
+        let nodes: Vec<Node> = (0..nprocs)
+            .map(|i| Node::new(&sim, NodeId(i), nprocs, Rc::clone(&cfg), Rc::clone(&stats[i])))
+            .collect();
+        let am = Am::new(net, cfg, nodes);
+        (sim, am, stats)
+    }
+
+    const CALL: HandlerId = HandlerId(10);
+
+    fn send_one(am: &Am, payload: Vec<u8>) {
+        let node0 = am.nodes()[0].clone();
+        let am2 = am.clone();
+        let n0 = node0.clone();
+        node0.spawn(async move {
+            am2.send(&n0, NodeId(1), CALL, payload).await;
+        });
+    }
+
+    #[test]
+    fn non_blocking_handler_succeeds_without_creating_a_thread() {
+        let (sim, am, stats) = build(2, MachineConfig::cm5(2));
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let factory: CallFactory = Rc::new(move |_call| {
+            let h = h.clone();
+            Box::pin(async move {
+                h.set(h.get() + 1);
+            })
+        });
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        send_one(&am, vec![]);
+        sim.run();
+        assert_eq!(hits.get(), 1);
+        let st = stats[1].borrow();
+        assert_eq!(st.oam_attempts, 1);
+        assert_eq!(st.oam_successes, 1);
+        assert_eq!(st.total_aborts(), 0);
+        assert_eq!(st.threads_created, 0, "success path never creates a thread");
+    }
+
+    #[test]
+    fn lock_held_aborts_and_promotion_finishes_after_release() {
+        let (sim, am, stats) = build(2, MachineConfig::cm5(2));
+        let node1 = am.nodes()[1].clone();
+        let m = Mutex::new(&node1, 0u32);
+        let m2 = m.clone();
+        let factory: CallFactory = Rc::new(move |call| {
+            let m = m2.clone();
+            let node = call.node.clone();
+            Box::pin(async move {
+                let g = m.lock().await;
+                node.charge(Dur::from_micros(1)).await;
+                g.with_mut(|v| *v += 1);
+            })
+        });
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        // A server thread holds the lock while spin-waiting (and therefore
+        // polling — the incoming OAM dispatches inline and must abort).
+        let release = oam_threads::Flag::new();
+        let (n1, mh, rel) = (node1.clone(), m.clone(), release.clone());
+        node1.spawn(async move {
+            let _g = mh.lock().await;
+            n1.spin_on(rel).await;
+        });
+        let n1k = node1.clone();
+        sim.schedule_at(oam_model::Time::from_nanos(100_000), move |_| {
+            release.set();
+            n1k.kick();
+        });
+        send_one(&am, vec![]);
+        sim.run();
+        assert_eq!(m.try_lock().expect("free at end").get(), 1, "promoted continuation ran");
+        let st = stats[1].borrow();
+        assert_eq!(st.oam_attempts, 1);
+        assert_eq!(st.oam_successes, 0);
+        assert_eq!(st.oam_aborts[AbortReason::LockHeld.index()], 1);
+        assert_eq!(st.oam_promotions, 1);
+        // The lock-holder thread plus the promoted continuation.
+        assert_eq!(st.threads_created, 2);
+    }
+
+    #[test]
+    fn rerun_strategy_replays_the_whole_call() {
+        let cfg = MachineConfig::cm5(2).with_abort_strategy(AbortStrategy::Rerun);
+        let (sim, am, stats) = build(2, cfg);
+        let node1 = am.nodes()[1].clone();
+        let m = Mutex::new(&node1, ());
+        let pre_lock_executions = Rc::new(Cell::new(0u32));
+        let body_executions = Rc::new(Cell::new(0u32));
+        let (m2, pre, body) = (m.clone(), pre_lock_executions.clone(), body_executions.clone());
+        let factory: CallFactory = Rc::new(move |_call| {
+            let (m, pre, body) = (m2.clone(), pre.clone(), body.clone());
+            Box::pin(async move {
+                pre.set(pre.get() + 1); // runs again on rerun
+                let _g = m.lock().await;
+                body.set(body.get() + 1);
+            })
+        });
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        let release = oam_threads::Flag::new();
+        let (n1, mh, rel) = (node1.clone(), m.clone(), release.clone());
+        node1.spawn(async move {
+            let _g = mh.lock().await;
+            n1.spin_on(rel).await;
+        });
+        let n1k = node1.clone();
+        sim.schedule_at(oam_model::Time::from_nanos(50_000), move |_| {
+            release.set();
+            n1k.kick();
+        });
+        send_one(&am, vec![]);
+        sim.run();
+        // The optimistic attempt executed the prefix once, the rerun thread
+        // executed the whole body from scratch: prefix twice, body once.
+        assert_eq!(pre_lock_executions.get(), 2);
+        assert_eq!(body_executions.get(), 1);
+        assert_eq!(stats[1].borrow().oam_reruns, 1);
+        assert_eq!(stats[1].borrow().oam_promotions, 0);
+    }
+
+    #[test]
+    fn nack_strategy_notifies_the_sender() {
+        let cfg = MachineConfig::cm5(2).with_abort_strategy(AbortStrategy::Nack);
+        let (sim, am, stats) = build(2, cfg);
+        const NACK: HandlerId = HandlerId(11);
+        let node1 = am.nodes()[1].clone();
+        let m = Mutex::new(&node1, ());
+        let m2 = m.clone();
+        let factory: CallFactory = Rc::new(move |_call| {
+            let m = m2.clone();
+            Box::pin(async move {
+                let _g = m.lock().await;
+            })
+        });
+        let nack: NackSender = Rc::new(|call: &OamCall| {
+            let src = call.pkt.src;
+            call.am.send_from_handler(&call.node, src, NACK, vec![]);
+        });
+        am.register(
+            NodeId(1),
+            CALL,
+            HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory).with_nack(nack))),
+        );
+        let nacks_seen = Rc::new(Cell::new(0u32));
+        let ns = nacks_seen.clone();
+        am.register(NodeId(0), NACK, HandlerEntry::Inline(Rc::new(move |_t| ns.set(ns.get() + 1))));
+        let release = oam_threads::Flag::new();
+        let (n1, mh, rel) = (node1.clone(), m.clone(), release.clone());
+        node1.spawn(async move {
+            let _g = mh.lock().await;
+            n1.spin_on(rel).await;
+        });
+        let n1k = node1.clone();
+        sim.schedule_at(oam_model::Time::from_nanos(50_000), move |_| {
+            release.set();
+            n1k.kick();
+        });
+        send_one(&am, vec![]);
+        sim.run();
+        assert_eq!(nacks_seen.get(), 1);
+        let st = stats[1].borrow();
+        assert_eq!(st.oam_nacks_sent, 1);
+        assert_eq!(st.threads_created, 1, "only the lock-holder thread; the call never became one");
+    }
+
+    #[test]
+    fn condition_false_aborts_and_signal_resumes_the_promotion() {
+        let (sim, am, stats) = build(2, MachineConfig::cm5(2));
+        let node1 = am.nodes()[1].clone();
+        let m = Mutex::new(&node1, false);
+        let cv = CondVar::new(&node1);
+        let done = Rc::new(Cell::new(false));
+        let (m2, cv2, d2) = (m.clone(), cv.clone(), done.clone());
+        let factory: CallFactory = Rc::new(move |_call| {
+            let (m, cv, d) = (m2.clone(), cv2.clone(), d2.clone());
+            Box::pin(async move {
+                let mut g = m.lock().await;
+                while !g.get() {
+                    g = cv.wait(g).await;
+                }
+                d.set(true);
+            })
+        });
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        // Setter thread spin-waits (polling — the OAM dispatches inline,
+        // finds the condition false, aborts), then flips the condition at
+        // t≈200 µs.
+        let release = oam_threads::Flag::new();
+        let (n1, ms, cvs, rel) = (node1.clone(), m.clone(), cv.clone(), release.clone());
+        node1.spawn(async move {
+            n1.spin_on(rel).await;
+            let g = ms.lock().await;
+            g.set(true);
+            cvs.signal();
+        });
+        let n1k = node1.clone();
+        sim.schedule_at(oam_model::Time::from_nanos(200_000), move |_| {
+            release.set();
+            n1k.kick();
+        });
+        send_one(&am, vec![]);
+        sim.run();
+        assert!(done.get());
+        let st = stats[1].borrow();
+        assert_eq!(st.oam_aborts[AbortReason::ConditionFalse.index()], 1);
+        assert_eq!(st.oam_promotions, 1);
+    }
+
+    #[test]
+    fn too_long_handler_aborts_at_checkpoint_and_finishes_as_thread() {
+        let (sim, am, stats) = build(2, MachineConfig::cm5(2)); // budget 200 µs
+        let finished = Rc::new(Cell::new(false));
+        let f = finished.clone();
+        let factory: CallFactory = Rc::new(move |call| {
+            let node = call.node.clone();
+            let f = f.clone();
+            Box::pin(async move {
+                for _ in 0..10 {
+                    node.charge(Dur::from_micros(50)).await;
+                    node.checkpoint().await;
+                }
+                f.set(true);
+            })
+        });
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        send_one(&am, vec![]);
+        sim.run();
+        assert!(finished.get());
+        let st = stats[1].borrow();
+        assert_eq!(st.oam_aborts[AbortReason::RanTooLong.index()], 1);
+        assert_eq!(st.oam_promotions, 1);
+        assert_eq!(st.threads_created, 1);
+    }
+
+    #[test]
+    fn network_full_aborts_when_auto_drain_disabled() {
+        let mut cfg = MachineConfig::cm5(3);
+        cfg.auto_drain_on_handler_send = false;
+        cfg.ni_out_capacity = 1;
+        cfg.fabric_capacity = 1;
+        cfg.ni_in_capacity = 1;
+        let (sim, am, stats) = build(3, cfg);
+        const FAN: HandlerId = HandlerId(12);
+        const SINK: HandlerId = HandlerId(13);
+        let delivered = Rc::new(Cell::new(0u32));
+        let d = delivered.clone();
+        // Node 1's optimistic handler fans out 6 messages to node 2; the
+        // 1-deep FIFO forces a NetworkFull abort, and the promoted thread
+        // finishes the sends with blocking semantics.
+        let factory: CallFactory = Rc::new(move |call| {
+            let (am, node) = (call.am.clone(), call.node.clone());
+            Box::pin(async move {
+                for i in 0..6u32 {
+                    am.send(&node, NodeId(2), SINK, oam_am::pack_u32(&[i])).await;
+                }
+            })
+        });
+        am.register(NodeId(1), FAN, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        am.register(NodeId(2), SINK, HandlerEntry::Inline(Rc::new(move |_t| d.set(d.get() + 1))));
+        let node0 = am.nodes()[0].clone();
+        let am2 = am.clone();
+        let n0 = node0.clone();
+        node0.spawn(async move {
+            am2.send(&n0, NodeId(1), FAN, vec![]).await;
+        });
+        sim.run();
+        assert_eq!(delivered.get(), 6);
+        let st = stats[1].borrow();
+        assert_eq!(st.oam_aborts[AbortReason::NetworkFull.index()], 1);
+        assert_eq!(st.oam_promotions, 1);
+    }
+
+    #[test]
+    fn threaded_entry_always_creates_a_thread() {
+        let (sim, am, stats) = build(2, MachineConfig::cm5(2));
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let factory: CallFactory = Rc::new(move |_call| {
+            let h = h.clone();
+            Box::pin(async move {
+                h.set(h.get() + 1);
+            })
+        });
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(ThreadedEntry::new(factory))));
+        for _ in 0..3 {
+            send_one(&am, vec![]);
+        }
+        sim.run();
+        assert_eq!(hits.get(), 3);
+        let st = stats[1].borrow();
+        assert_eq!(st.threads_created, 3);
+        assert_eq!(st.oam_attempts, 0, "TRPC never attempts optimistic execution");
+    }
+}

@@ -1,0 +1,15 @@
+//! # oam-core
+//!
+//! **Optimistic Active Messages** — the paper's primary contribution.
+//!
+//! The engine runs remote-procedure handlers inline in the message handler
+//! under the optimistic assumption that they neither block nor run long,
+//! verified at runtime; failed assumptions *abort* the optimistic execution
+//! and fall back to a thread (promotion of the partially-run continuation,
+//! re-execution from scratch, or a NACK to the sender). See [`engine`].
+
+#![warn(missing_docs)]
+
+pub mod engine;
+
+pub use engine::{CallFactory, NackSender, OamCall, OptimisticEntry, ThreadedEntry};

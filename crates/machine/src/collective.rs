@@ -1,0 +1,253 @@
+//! Collectives over the simulated control network.
+//!
+//! The CM-5 had a separate low-latency *control network* with hardware
+//! barriers and reductions; the paper's SOR and Water applications use a
+//! split-phase barrier, a global-OR set/get pair, and a global reduction
+//! (§4.2.3, §4.2.4). These are modelled as shared gadgets with a small
+//! constant completion latency from the cost model. Waiting is a
+//! spin-wait: the waiting node keeps polling the data network and running
+//! runnable threads, exactly like a CM-5 node spinning on the control-
+//! network status register.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use oam_model::Dur;
+use oam_sim::Sim;
+use oam_threads::{Flag, Node};
+
+/// One reduction round. Entrants hold an `Rc` to the round they joined,
+/// so a node may start the *next* round before slower nodes have read this
+/// one's result.
+struct Round<T> {
+    entered: Cell<usize>,
+    contributed: Vec<Cell<bool>>,
+    acc: RefCell<Option<T>>,
+    result: RefCell<Option<T>>,
+    flag: Flag,
+}
+
+impl<T> Round<T> {
+    fn new(n: usize) -> Rc<Self> {
+        Rc::new(Round {
+            entered: Cell::new(0),
+            contributed: (0..n).map(|_| Cell::new(false)).collect(),
+            acc: RefCell::new(None),
+            result: RefCell::new(None),
+            flag: Flag::new(),
+        })
+    }
+}
+
+type ReduceOp<T> = Box<dyn Fn(&T, &T) -> T>;
+
+struct ReduceInner<T> {
+    sim: Sim,
+    nodes: Vec<Node>,
+    latency: Dur,
+    op: ReduceOp<T>,
+    current: RefCell<Option<Rc<Round<T>>>>,
+}
+
+/// A reusable global reduction (and, with `bool`/`|`, the CM-5 global-OR).
+/// Every node must contribute exactly once per round; rounds complete in
+/// entry order and may be reused immediately.
+pub struct Reducer<T> {
+    inner: Rc<ReduceInner<T>>,
+}
+
+impl<T> Clone for Reducer<T> {
+    fn clone(&self) -> Self {
+        Reducer { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T: Clone + 'static> Reducer<T> {
+    /// Create a reducer combining contributions with `op` (must be
+    /// associative and commutative — contributions combine in arrival
+    /// order).
+    pub fn new(coll: &Collectives, op: impl Fn(&T, &T) -> T + 'static) -> Self {
+        Self::with_latency(&coll.sim, coll.nodes.clone(), coll.reduction_latency, op)
+    }
+
+    fn with_latency(sim: &Sim, nodes: Vec<Node>, latency: Dur, op: impl Fn(&T, &T) -> T + 'static) -> Self {
+        Reducer {
+            inner: Rc::new(ReduceInner {
+                sim: sim.clone(),
+                nodes,
+                latency,
+                op: Box::new(op),
+                current: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// Contribute this node's value and wait for the combined result.
+    pub async fn reduce(&self, node: &Node, value: T) -> T {
+        let idx = node.id().index();
+        let n = self.inner.nodes.len();
+        // Join the current round, or open a fresh one.
+        let round = {
+            let mut cur = self.inner.current.borrow_mut();
+            match cur.as_ref() {
+                Some(r) => Rc::clone(r),
+                None => {
+                    let r = Round::new(n);
+                    *cur = Some(Rc::clone(&r));
+                    r
+                }
+            }
+        };
+        assert!(!round.contributed[idx].replace(true), "node contributed twice to one reduction round");
+        {
+            let mut acc = round.acc.borrow_mut();
+            *acc = Some(match acc.take() {
+                None => value,
+                Some(a) => (self.inner.op)(&a, &value),
+            });
+        }
+        round.entered.set(round.entered.get() + 1);
+        if round.entered.get() == n {
+            // Last contributor: close the round (the next entrant opens a
+            // new one) and publish after the control-network latency.
+            *self.inner.current.borrow_mut() = None;
+            let inner = Rc::clone(&self.inner);
+            let done = Rc::clone(&round);
+            self.inner.sim.schedule_after(self.inner.latency, move |_| {
+                let acc = done.acc.borrow().clone().expect("round has an accumulator");
+                *done.result.borrow_mut() = Some(acc);
+                done.flag.set();
+                for nd in &inner.nodes {
+                    nd.kick();
+                }
+            });
+        }
+        node.spin_on(round.flag.clone()).await;
+        let result = round.result.borrow().clone().expect("reduction result published");
+        result
+    }
+}
+
+/// The collective-communication substrate: a split-phase barrier plus
+/// constructors for [`Reducer`]s.
+#[derive(Clone)]
+pub struct Collectives {
+    sim: Sim,
+    nodes: Vec<Node>,
+    reduction_latency: Dur,
+    barrier: Reducer<()>,
+}
+
+impl Collectives {
+    /// Build the collectives for a machine.
+    pub fn new(sim: &Sim, nodes: Vec<Node>, barrier_latency: Dur, reduction_latency: Dur) -> Self {
+        let barrier = Reducer::with_latency(sim, nodes.clone(), barrier_latency, |_, _| ());
+        Collectives { sim: sim.clone(), nodes, reduction_latency, barrier }
+    }
+
+    /// Wait until every node has entered the barrier. Split-phase
+    /// underneath: the node spins (polling the data network, running
+    /// runnable threads) until the control network reports completion.
+    pub async fn barrier(&self, node: &Node) {
+        self.barrier.reduce(node, ()).await;
+    }
+
+    /// Number of participating nodes.
+    pub fn nprocs(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use oam_model::{MachineConfig, NodeId, NodeStats, Time};
+
+    fn setup(n: usize) -> (Sim, Vec<Node>, Collectives) {
+        let sim = Sim::new(9);
+        let cfg = Rc::new(MachineConfig::cm5(n));
+        let nodes: Vec<Node> = (0..n)
+            .map(|i| {
+                Node::new(&sim, NodeId(i), n, Rc::clone(&cfg), Rc::new(RefCell::new(NodeStats::new())))
+            })
+            .collect();
+        let coll = Collectives::new(&sim, nodes.clone(), cfg.cost.barrier_latency, cfg.cost.reduction_latency);
+        (sim, nodes, coll)
+    }
+
+    #[test]
+    fn barrier_releases_all_at_last_entry_plus_latency() {
+        let (sim, nodes, coll) = setup(3);
+        let released: Rc<RefCell<Vec<(usize, Time)>>> = Rc::default();
+        for (i, node) in nodes.iter().enumerate() {
+            let (n, c, r) = (node.clone(), coll.clone(), released.clone());
+            node.spawn(async move {
+                // Stagger arrivals: node i works i×100 µs first.
+                n.charge(Dur::from_micros(100 * i as u64)).await;
+                c.barrier(&n).await;
+                r.borrow_mut().push((i, n.now()));
+            });
+        }
+        sim.run();
+        let rel = released.borrow();
+        assert_eq!(rel.len(), 3);
+        let t0 = rel[0].1;
+        assert!(rel.iter().all(|(_, t)| *t == t0), "all released together: {rel:?}");
+        // Last entrant arrives at ≈ 207 µs (spawn overheads), +5 µs barrier.
+        assert!(t0 >= Time::from_nanos(205_000), "released at {t0}");
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_iterations() {
+        let (sim, nodes, coll) = setup(2);
+        let count = Rc::new(Cell::new(0u32));
+        for node in &nodes {
+            let (n, c, cnt) = (node.clone(), coll.clone(), count.clone());
+            node.spawn(async move {
+                for _ in 0..5 {
+                    c.barrier(&n).await;
+                    cnt.set(cnt.get() + 1);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    fn sum_reduction_combines_all_contributions() {
+        let (sim, nodes, coll) = setup(4);
+        let red = Reducer::new(&coll, |a: &f64, b: &f64| a + b);
+        let results: Rc<RefCell<Vec<f64>>> = Rc::default();
+        for (i, node) in nodes.iter().enumerate() {
+            let (n, r, out) = (node.clone(), red.clone(), results.clone());
+            node.spawn(async move {
+                let total = r.reduce(&n, (i + 1) as f64).await;
+                out.borrow_mut().push(total);
+            });
+        }
+        sim.run();
+        assert_eq!(*results.borrow(), vec![10.0; 4]);
+    }
+
+    #[test]
+    fn global_or_detects_any_true() {
+        let (sim, nodes, coll) = setup(3);
+        let or = Reducer::new(&coll, |a: &bool, b: &bool| *a || *b);
+        let results: Rc<RefCell<Vec<bool>>> = Rc::default();
+        for (i, node) in nodes.iter().enumerate() {
+            let (n, r, out) = (node.clone(), or.clone(), results.clone());
+            node.spawn(async move {
+                let any = r.reduce(&n, i == 2).await;
+                out.borrow_mut().push(any);
+                let none = r.reduce(&n, false).await;
+                out.borrow_mut().push(none);
+            });
+        }
+        sim.run();
+        let res = results.borrow();
+        assert_eq!(res.iter().filter(|b| **b).count(), 3, "first round true everywhere");
+        assert_eq!(res.len(), 6);
+    }
+}

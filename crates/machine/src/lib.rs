@@ -1,0 +1,15 @@
+//! # oam-machine
+//!
+//! The simulated multicomputer, assembled: [`MachineBuilder`] wires the
+//! discrete-event simulation, network, per-node thread schedulers, Active
+//! Message layer, RPC runtime, and control-network collectives together;
+//! [`Machine::run`] executes an SPMD node main to completion and harvests
+//! the statistics the paper's tables are built from.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod machine;
+
+pub use collective::{Collectives, Reducer};
+pub use machine::{Machine, MachineBuilder, NodeEnv, RunReport};

@@ -1,0 +1,408 @@
+//! The simulated multicomputer: construction and whole-program runs.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::rc::Rc;
+
+use oam_model::{
+    AbortStrategy, CostModel, Dur, MachineConfig, MachineStats, NodeId, NodeStats, QueuePolicy, Time,
+};
+use oam_net::{NetConfig, Network};
+use oam_sim::Sim;
+use oam_am::Am;
+use oam_rpc::Rpc;
+use oam_threads::{Flag, Node};
+
+use crate::collective::Collectives;
+
+/// Configures and builds a [`Machine`].
+///
+/// ```
+/// use oam_machine::MachineBuilder;
+///
+/// let machine = MachineBuilder::new(4).seed(7).build();
+/// let report = machine.run(|env| async move {
+///     env.charge_micros(10).await;
+///     env.barrier().await;
+/// });
+/// assert_eq!(report.stats.nodes(), 4);
+/// ```
+pub struct MachineBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineBuilder {
+    /// A CM-5-like machine with `nodes` processors.
+    pub fn new(nodes: usize) -> Self {
+        MachineBuilder { cfg: MachineConfig::cm5(nodes) }
+    }
+
+    /// An Alewife-like machine (shallow network buffering).
+    pub fn alewife_like(nodes: usize) -> Self {
+        MachineBuilder { cfg: MachineConfig::alewife_like(nodes) }
+    }
+
+    /// Start from an explicit configuration.
+    pub fn from_config(cfg: MachineConfig) -> Self {
+        MachineBuilder { cfg }
+    }
+
+    /// Seed for all deterministic randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Run-queue placement for incoming RPC threads.
+    pub fn queue_policy(mut self, p: QueuePolicy) -> Self {
+        self.cfg.queue_policy = p;
+        self
+    }
+
+    /// Resolution of aborted optimistic executions.
+    pub fn abort_strategy(mut self, s: AbortStrategy) -> Self {
+        self.cfg.abort_strategy = s;
+        self
+    }
+
+    /// Replace the cost model.
+    pub fn cost_model(mut self, c: CostModel) -> Self {
+        self.cfg.cost = c;
+        self
+    }
+
+    /// Mutate the configuration in place (escape hatch for experiments).
+    pub fn tweak(mut self, f: impl FnOnce(&mut MachineConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Build the machine: simulation, network, node runtimes, AM layer,
+    /// RPC runtime, and collectives.
+    pub fn build(self) -> Machine {
+        self.cfg.validate().expect("invalid machine configuration");
+        let cfg = Rc::new(self.cfg);
+        let sim = Sim::new(cfg.seed);
+        let stats: Vec<Rc<RefCell<NodeStats>>> =
+            (0..cfg.nodes).map(|_| Rc::new(RefCell::new(NodeStats::new()))).collect();
+        let net = Network::new(&sim, NetConfig::from_machine(&cfg), stats.clone());
+        let nodes: Vec<Node> = (0..cfg.nodes)
+            .map(|i| Node::new(&sim, NodeId(i), cfg.nodes, Rc::clone(&cfg), Rc::clone(&stats[i])))
+            .collect();
+        let am = Am::new(net.clone(), Rc::clone(&cfg), nodes.clone());
+        let rpc = Rpc::new(am.clone());
+        let coll = Collectives::new(&sim, nodes.clone(), cfg.cost.barrier_latency, cfg.cost.reduction_latency);
+        Machine { sim, cfg, stats, net, am, rpc, coll, nodes }
+    }
+}
+
+/// A fully wired simulated multicomputer.
+pub struct Machine {
+    sim: Sim,
+    cfg: Rc<MachineConfig>,
+    stats: Vec<Rc<RefCell<NodeStats>>>,
+    net: Network,
+    am: Am,
+    rpc: Rpc,
+    coll: Collectives,
+    nodes: Vec<Node>,
+}
+
+/// Outcome of a [`Machine::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time at which the machine went quiet.
+    pub end_time: Time,
+    /// Harvested per-node statistics.
+    pub stats: MachineStats,
+    /// Whether every node's main completed (false = distributed deadlock
+    /// or a thread waiting on an event that never comes).
+    pub completed: bool,
+    /// Total simulation events executed (a proxy for simulation work).
+    pub events: u64,
+}
+
+impl Machine {
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The configuration the machine was built with.
+    pub fn config(&self) -> &Rc<MachineConfig> {
+        &self.cfg
+    }
+
+    /// The node runtimes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The RPC runtime.
+    pub fn rpc(&self) -> &Rpc {
+        &self.rpc
+    }
+
+    /// The Active Message layer.
+    pub fn am(&self) -> &Am {
+        &self.am
+    }
+
+    /// The raw network (diagnostics).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The collective-communication substrate.
+    pub fn collectives(&self) -> &Collectives {
+        &self.coll
+    }
+
+    /// The per-node environment handed to node mains.
+    pub fn env(&self, i: usize) -> NodeEnv {
+        NodeEnv {
+            node: self.nodes[i].clone(),
+            rpc: self.rpc.clone(),
+            coll: self.coll.clone(),
+        }
+    }
+
+    /// Run `main` on every node (SPMD) to completion and harvest
+    /// statistics.
+    ///
+    /// # Panics
+    /// Panics if any node's main fails to complete — in this simulation
+    /// that is always a distributed-deadlock bug. Use [`Machine::try_run`]
+    /// to inspect such outcomes instead.
+    pub fn run<F, Fut>(&self, main: F) -> RunReport
+    where
+        F: Fn(NodeEnv) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let report = self.try_run(main);
+        assert!(
+            report.completed,
+            "machine run did not complete: some node main is deadlocked (end time {})",
+            report.end_time
+        );
+        report
+    }
+
+    /// Like [`Machine::run`], but reports incompletion instead of
+    /// panicking.
+    pub fn try_run<F, Fut>(&self, main: F) -> RunReport
+    where
+        F: Fn(NodeEnv) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let done: Vec<Flag> = (0..self.cfg.nodes).map(|_| Flag::new()).collect();
+        for (i, flag) in done.iter().enumerate() {
+            let env = self.env(i);
+            let fut = main(env);
+            let flag = flag.clone();
+            self.nodes[i].spawn(async move {
+                fut.await;
+                flag.set();
+            });
+        }
+        let end_time = self.sim.run();
+        let completed = done.iter().all(Flag::get);
+        RunReport {
+            end_time,
+            stats: self.harvest(),
+            completed,
+            events: self.sim.events_executed(),
+        }
+    }
+
+    /// Snapshot all nodes' statistics.
+    pub fn harvest(&self) -> MachineStats {
+        MachineStats::new(self.stats.iter().map(|s| s.borrow().clone()).collect())
+    }
+}
+
+/// Per-node facade handed to node mains: the node runtime plus the RPC and
+/// collective layers, with ergonomic shortcuts.
+#[derive(Clone)]
+pub struct NodeEnv {
+    node: Node,
+    rpc: Rpc,
+    coll: Collectives,
+}
+
+impl NodeEnv {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.node.id()
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.node.nprocs()
+    }
+
+    /// The node runtime.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// The RPC runtime.
+    pub fn rpc(&self) -> &Rpc {
+        &self.rpc
+    }
+
+    /// The Active Message layer.
+    pub fn am(&self) -> &Am {
+        self.rpc.am()
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &Rc<MachineConfig> {
+        self.node.config()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.node.now()
+    }
+
+    /// Charge compute time.
+    pub fn charge(&self, d: Dur) -> oam_threads::Charge {
+        self.node.charge(d)
+    }
+
+    /// Charge compute time given in microseconds.
+    pub fn charge_micros(&self, us: u64) -> oam_threads::Charge {
+        self.node.charge(Dur::from_micros(us))
+    }
+
+    /// The application-level `poll()`: drain deliverable messages and run
+    /// the threads they produce ("carefully tuned polling", §4).
+    pub fn poll(&self) -> oam_threads::PollBatch {
+        self.node.poll_batch()
+    }
+
+    /// Voluntarily yield the processor.
+    pub fn yield_now(&self) -> oam_threads::YieldNow {
+        self.node.yield_now()
+    }
+
+    /// Enter the split-phase barrier and wait for all nodes.
+    pub async fn barrier(&self) {
+        self.coll.barrier(&self.node).await;
+    }
+
+    /// The collective substrate (for building [`crate::Reducer`]s).
+    pub fn collectives(&self) -> &Collectives {
+        &self.coll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use crate::collective::Reducer;
+
+    #[test]
+    fn spmd_run_reaches_all_nodes_and_completes() {
+        let m = MachineBuilder::new(8).build();
+        let visited = Rc::new(RefCell::new(Vec::new()));
+        let v = visited.clone();
+        let report = m.run(move |env| {
+            let v = v.clone();
+            async move {
+                v.borrow_mut().push(env.id().index());
+                env.charge_micros(5).await;
+            }
+        });
+        assert!(report.completed);
+        let mut got = visited.borrow().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert_eq!(report.stats.total().threads_completed, 8);
+    }
+
+    #[test]
+    fn try_run_reports_deadlock_instead_of_panicking() {
+        let m = MachineBuilder::new(2).build();
+        let report = m.try_run(|env| async move {
+            if env.id().index() == 0 {
+                // Node 0 waits on a flag nobody sets.
+                env.node().spin_on(Flag::new()).await;
+            }
+        });
+        assert!(!report.completed);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        fn run_once() -> (Time, u64) {
+            let m = MachineBuilder::new(4).seed(99).build();
+            let r = m.run(|env| async move {
+                for i in 0..3u64 {
+                    env.charge_micros(7 + i + env.id().index() as u64).await;
+                    env.barrier().await;
+                }
+            });
+            (r.end_time, r.events)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn rpc_through_env_works_under_both_policies() {
+        for policy in [QueuePolicy::Front, QueuePolicy::Back] {
+            let m = MachineBuilder::new(2).queue_policy(policy).build();
+            let hits = Rc::new(Cell::new(0u32));
+            let h = hits.clone();
+            // Register a raw ORPC handler via the runtime primitives.
+            let id = oam_rpc::handler_id_for("test::bump");
+            for node in m.nodes() {
+                let h = h.clone();
+                let factory: oam_rpc::CallFactory = Rc::new(move |_call| {
+                    let h = h.clone();
+                    Box::pin(async move {
+                        h.set(h.get() + 1);
+                    })
+                });
+                m.rpc().register(node.id(), id, oam_rpc::RpcMode::Orpc, factory, false);
+            }
+            m.run(move |env| async move {
+                if env.id().index() == 0 {
+                    env.rpc().send_oneway_raw(env.node(), NodeId(1), id, &[]).await;
+                    // Wait for delivery before exiting so the run is quiet.
+                    env.barrier().await;
+                } else {
+                    env.charge_micros(50).await;
+                    env.barrier().await;
+                }
+            });
+            assert_eq!(hits.get(), 1, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn reducer_via_env_collectives() {
+        let m = MachineBuilder::new(4).build();
+        let red = Reducer::new(m.collectives(), |a: &u64, b: &u64| a.max(b).to_owned());
+        let out = Rc::new(Cell::new(0u64));
+        let o = out.clone();
+        m.run(move |env| {
+            let red = red.clone();
+            let o = o.clone();
+            async move {
+                let max = red.reduce(env.node(), env.id().index() as u64 * 10).await;
+                o.set(max);
+            }
+        });
+        assert_eq!(out.get(), 30);
+    }
+
+    #[test]
+    fn builder_tweak_applies() {
+        let m = MachineBuilder::new(2).tweak(|c| c.ni_out_capacity = 9).build();
+        assert_eq!(m.config().ni_out_capacity, 9);
+        assert_eq!(m.nodes().len(), 2);
+    }
+}

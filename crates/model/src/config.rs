@@ -1,0 +1,212 @@
+//! Whole-machine configuration.
+
+use crate::cost::CostModel;
+use crate::time::Dur;
+
+/// Where the scheduler places newly runnable RPC threads (§4.1: the paper
+/// measured both and reports all results with front-of-queue placement,
+/// which always performed better).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueuePolicy {
+    /// Place incoming work at the front of the run queue (paper default).
+    #[default]
+    Front,
+    /// Place incoming work at the back of the run queue.
+    Back,
+}
+
+/// How an aborted optimistic execution is resolved (§2 lists exactly these
+/// three ways).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AbortStrategy {
+    /// Create a continuation: the remainder of the handler executes in a
+    /// separate thread ("lazy thread creation"). The default, and the
+    /// cheapest: no work is redone.
+    #[default]
+    Promote,
+    /// Undo the execution and start a thread that re-runs the whole remote
+    /// procedure. Requires the procedure to mutate shared state only after
+    /// acquiring all its locks and testing all its conditions (§3.3).
+    Rerun,
+    /// Undo the execution and send a negative acknowledgment; the sender
+    /// backs off and resends.
+    Nack,
+}
+
+impl QueuePolicy {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueuePolicy::Front => "front",
+            QueuePolicy::Back => "back",
+        }
+    }
+}
+
+impl AbortStrategy {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortStrategy::Promote => "promote",
+            AbortStrategy::Rerun => "rerun",
+            AbortStrategy::Nack => "nack",
+        }
+    }
+}
+
+/// Full configuration of a simulated machine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of processing nodes.
+    pub nodes: usize,
+    /// Primitive-operation costs.
+    pub cost: CostModel,
+    /// Seed for all deterministic pseudo-randomness (workload jitter,
+    /// NACK back-off jitter).
+    pub seed: u64,
+    /// Run-queue placement for incoming RPC threads.
+    pub queue_policy: QueuePolicy,
+    /// Resolution of aborted optimistic executions.
+    pub abort_strategy: AbortStrategy,
+    /// Capacity (packets) of each node's NI output FIFO. When full, sends
+    /// block — one of the three abort conditions.
+    pub ni_out_capacity: usize,
+    /// Capacity (packets) of each node's NI input FIFO.
+    pub ni_in_capacity: usize,
+    /// Packets the fabric will buffer per destination beyond the input FIFO.
+    /// The CM-5 had "a substantial amount of buffering in the network" (§2);
+    /// Alewife-like machines have very little.
+    pub fabric_capacity: usize,
+    /// Virtual-time budget for an optimistic handler before a `checkpoint()`
+    /// triggers a [`crate::stats::AbortReason::RanTooLong`] abort.
+    pub handler_budget: Dur,
+    /// Encoded payloads (including the RPC call header) strictly larger
+    /// than this use the bulk-transfer mechanism instead of a short
+    /// active message (the CM-5's four argument words = 16 bytes, §4.1.2).
+    pub bulk_threshold: usize,
+    /// Maximum nesting depth of inline handler dispatch (handlers that send
+    /// drain the network, which can run further handlers).
+    pub max_dispatch_depth: usize,
+    /// CM-5 behaviour (§3.3): sends from inside a message handler
+    /// automatically drain the network, so a full NI never forces a
+    /// handler to abort — staged packets flush as space frees. Disable to
+    /// model machines where a full NI is a real OAM abort condition
+    /// ([`crate::stats::AbortReason::NetworkFull`]).
+    pub auto_drain_on_handler_send: bool,
+}
+
+impl MachineConfig {
+    /// CM-5-like defaults: deep network buffering, front-of-queue placement,
+    /// promotion on abort.
+    pub fn cm5(nodes: usize) -> Self {
+        MachineConfig {
+            nodes,
+            cost: CostModel::cm5(),
+            seed: 0x0a11_ce55_0a11_ce55,
+            queue_policy: QueuePolicy::Front,
+            abort_strategy: AbortStrategy::Promote,
+            ni_out_capacity: 4,
+            ni_in_capacity: 16,
+            fabric_capacity: 512,
+            handler_budget: Dur::from_micros(200),
+            bulk_threshold: 16,
+            max_dispatch_depth: 8,
+            auto_drain_on_handler_send: true,
+        }
+    }
+
+    /// Alewife-like defaults: the same processors but almost no network
+    /// buffering, so a node that fails to poll quickly backs the fabric up
+    /// into its senders (§2).
+    pub fn alewife_like(nodes: usize) -> Self {
+        MachineConfig {
+            cost: CostModel::alewife_like(),
+            ni_out_capacity: 2,
+            ni_in_capacity: 2,
+            fabric_capacity: 8,
+            auto_drain_on_handler_send: false,
+            ..Self::cm5(nodes)
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style queue-policy override.
+    pub fn with_queue_policy(mut self, p: QueuePolicy) -> Self {
+        self.queue_policy = p;
+        self
+    }
+
+    /// Builder-style abort-strategy override.
+    pub fn with_abort_strategy(mut self, s: AbortStrategy) -> Self {
+        self.abort_strategy = s;
+        self
+    }
+
+    /// Validate internal consistency (positive capacities, at least one node).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("machine must have at least one node".into());
+        }
+        if self.ni_out_capacity == 0 || self.ni_in_capacity == 0 {
+            return Err("NI FIFOs must hold at least one packet".into());
+        }
+        if self.fabric_capacity == 0 {
+            return Err("fabric must buffer at least one packet".into());
+        }
+        if self.max_dispatch_depth == 0 {
+            return Err("dispatch depth must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm5_config_is_valid_and_deeply_buffered() {
+        let c = MachineConfig::cm5(128);
+        assert!(c.validate().is_ok());
+        assert!(c.fabric_capacity >= 256);
+        assert_eq!(c.bulk_threshold, 16);
+        assert_eq!(c.queue_policy, QueuePolicy::Front);
+    }
+
+    #[test]
+    fn alewife_config_is_shallowly_buffered() {
+        let a = MachineConfig::alewife_like(16);
+        assert!(a.validate().is_ok());
+        assert!(a.fabric_capacity < MachineConfig::cm5(16).fabric_capacity);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = MachineConfig::cm5(0);
+        assert!(c.validate().is_err());
+        c.nodes = 2;
+        c.ni_in_capacity = 0;
+        assert!(c.validate().is_err());
+        c.ni_in_capacity = 1;
+        c.fabric_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = MachineConfig::cm5(4)
+            .with_seed(7)
+            .with_queue_policy(QueuePolicy::Back)
+            .with_abort_strategy(AbortStrategy::Nack);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.queue_policy, QueuePolicy::Back);
+        assert_eq!(c.abort_strategy, AbortStrategy::Nack);
+        assert_eq!(AbortStrategy::Nack.label(), "nack");
+        assert_eq!(QueuePolicy::Back.label(), "back");
+    }
+}

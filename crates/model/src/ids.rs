@@ -1,0 +1,37 @@
+//! Identifiers shared across layers.
+
+use core::fmt;
+
+/// A processing node of the simulated multicomputer.
+///
+/// Plain newtype over the node index; `NodeId(0)..NodeId(n-1)` for an
+/// `n`-node machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The node index as a `usize` (for indexing per-node tables).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let n = NodeId(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.to_string(), "n7");
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

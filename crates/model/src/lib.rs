@@ -1,0 +1,22 @@
+//! # oam-model
+//!
+//! Shared vocabulary of the OAM reproduction: virtual time, the calibrated
+//! CM-5 cost model, machine configuration, and the statistics counters from
+//! which the paper's tables are built. This crate is pure data — it has no
+//! dependencies and every other crate in the workspace builds on it.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod ids;
+pub mod cost;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use config::{AbortStrategy, MachineConfig, QueuePolicy};
+pub use cost::CostModel;
+pub use ids::NodeId;
+pub use stats::{AbortReason, MachineStats, NodeStats};
+pub use trace::{TraceEvent, TraceKind, TraceObserver};
+pub use time::{Dur, Time};

@@ -1,0 +1,279 @@
+//! Statistics counters shared by every layer of the stack.
+//!
+//! The paper's stub compiler generates a "termination routine ... that prints
+//! statistics about the application behavior" (§3.2); Tables 2 and 3 are
+//! built from exactly these counters (optimistic successes vs. aborts), and
+//! the TSP discussion quotes live-stack hit rates. Each node owns a
+//! [`NodeStats`]; [`MachineStats`] aggregates them after a run.
+
+use core::fmt;
+
+use crate::time::Dur;
+
+/// Why an optimistic execution had to abort (§2 lists the three detectable
+/// conditions; we split lock waits and condition waits as §3.3 does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// The handler tried to acquire a lock that is held.
+    LockHeld,
+    /// The handler waited on a condition variable whose condition was false.
+    ConditionFalse,
+    /// The handler tried to send while the network interface was full.
+    NetworkFull,
+    /// The handler exceeded its execution budget ("runs for too long").
+    RanTooLong,
+}
+
+impl AbortReason {
+    /// All reasons, in display order.
+    pub const ALL: [AbortReason; 4] = [
+        AbortReason::LockHeld,
+        AbortReason::ConditionFalse,
+        AbortReason::NetworkFull,
+        AbortReason::RanTooLong,
+    ];
+
+    /// Dense index for counter arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            AbortReason::LockHeld => 0,
+            AbortReason::ConditionFalse => 1,
+            AbortReason::NetworkFull => 2,
+            AbortReason::RanTooLong => 3,
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::LockHeld => "lock-held",
+            AbortReason::ConditionFalse => "condition-false",
+            AbortReason::NetworkFull => "network-full",
+            AbortReason::RanTooLong => "ran-too-long",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-node event counters. All counts are cumulative over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    // ---- optimistic execution (Tables 2 & 3) ----
+    /// Optimistic Active Messages attempted on this node (as receiver).
+    pub oam_attempts: u64,
+    /// OAMs that ran to completion in the handler without aborting.
+    pub oam_successes: u64,
+    /// Aborts by reason; index with [`AbortReason::index`].
+    pub oam_aborts: [u64; 4],
+    /// Aborted OAMs resolved by promoting the partially-run handler.
+    pub oam_promotions: u64,
+    /// Aborted OAMs resolved by re-running the whole call as a thread.
+    pub oam_reruns: u64,
+    /// Aborted OAMs resolved by NACKing the sender.
+    pub oam_nacks_sent: u64,
+    /// NACKs received by this node's client stubs (each implies a resend).
+    pub nacks_received: u64,
+
+    // ---- threads ----
+    /// Threads created (including promotions and TRPC per-call threads).
+    pub threads_created: u64,
+    /// Threads that ran to completion.
+    pub threads_completed: u64,
+    /// Full context switches charged.
+    pub context_switches: u64,
+    /// Thread starts that used the live-stack optimization (scheduler was on
+    /// a terminated thread's stack; no register state to restore).
+    pub live_stack_hits: u64,
+    /// Thread starts that needed a full context switch.
+    pub live_stack_misses: u64,
+    /// Voluntary yields.
+    pub yields: u64,
+
+    // ---- communication ----
+    /// Short active messages sent.
+    pub messages_sent: u64,
+    /// Short active messages received and dispatched.
+    pub messages_received: u64,
+    /// Bulk (scopy) transfers initiated.
+    pub bulk_transfers_sent: u64,
+    /// Payload bytes sent (short + bulk).
+    pub bytes_sent: u64,
+    /// Polls that found the NI empty.
+    pub polls_empty: u64,
+    /// Polls that dispatched at least one message.
+    pub polls_nonempty: u64,
+    /// Sends that found the NI output FIFO full and had to wait or abort.
+    pub send_backpressure_events: u64,
+
+    // ---- RPC ----
+    /// Synchronous RPCs issued by this node.
+    pub rpcs_sync: u64,
+    /// Asynchronous RPCs issued by this node.
+    pub rpcs_async: u64,
+
+    // ---- time accounting ----
+    /// Virtual time this node spent in application compute charges.
+    pub compute_time: Dur,
+    /// Virtual time this node spent idle (no runnable thread, empty NI).
+    pub idle_time: Dur,
+}
+
+impl NodeStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one abort with its reason.
+    #[inline]
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        self.oam_aborts[reason.index()] += 1;
+    }
+
+    /// Total aborts across all reasons.
+    pub fn total_aborts(&self) -> u64 {
+        self.oam_aborts.iter().sum()
+    }
+
+    /// Fraction of OAM attempts that succeeded, in `[0, 1]`; `None` if no
+    /// attempts were made.
+    pub fn success_rate(&self) -> Option<f64> {
+        if self.oam_attempts == 0 {
+            None
+        } else {
+            Some(self.oam_successes as f64 / self.oam_attempts as f64)
+        }
+    }
+
+    /// Fraction of thread starts that hit the live-stack optimization.
+    pub fn live_stack_rate(&self) -> Option<f64> {
+        let total = self.live_stack_hits + self.live_stack_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.live_stack_hits as f64 / total as f64)
+        }
+    }
+
+    /// Accumulate another node's counters into this one.
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.oam_attempts += other.oam_attempts;
+        self.oam_successes += other.oam_successes;
+        for i in 0..self.oam_aborts.len() {
+            self.oam_aborts[i] += other.oam_aborts[i];
+        }
+        self.oam_promotions += other.oam_promotions;
+        self.oam_reruns += other.oam_reruns;
+        self.oam_nacks_sent += other.oam_nacks_sent;
+        self.nacks_received += other.nacks_received;
+        self.threads_created += other.threads_created;
+        self.threads_completed += other.threads_completed;
+        self.context_switches += other.context_switches;
+        self.live_stack_hits += other.live_stack_hits;
+        self.live_stack_misses += other.live_stack_misses;
+        self.yields += other.yields;
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+        self.bulk_transfers_sent += other.bulk_transfers_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.polls_empty += other.polls_empty;
+        self.polls_nonempty += other.polls_nonempty;
+        self.send_backpressure_events += other.send_backpressure_events;
+        self.rpcs_sync += other.rpcs_sync;
+        self.rpcs_async += other.rpcs_async;
+        self.compute_time += other.compute_time;
+        self.idle_time += other.idle_time;
+    }
+}
+
+/// Whole-machine statistics: one entry per node plus the aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// Per-node counters, indexed by node id.
+    pub per_node: Vec<NodeStats>,
+}
+
+impl MachineStats {
+    /// Wrap harvested per-node counters.
+    pub fn new(per_node: Vec<NodeStats>) -> Self {
+        MachineStats { per_node }
+    }
+
+    /// Sum of all nodes' counters.
+    pub fn total(&self) -> NodeStats {
+        let mut acc = NodeStats::new();
+        for n in &self.per_node {
+            acc.merge(n);
+        }
+        acc
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.per_node.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_reason_indices_are_dense_and_distinct() {
+        let mut seen = [false; 4];
+        for r in AbortReason::ALL {
+            assert!(!seen[r.index()]);
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn success_rate_handles_zero_attempts() {
+        let mut s = NodeStats::new();
+        assert_eq!(s.success_rate(), None);
+        s.oam_attempts = 4;
+        s.oam_successes = 3;
+        assert_eq!(s.success_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = NodeStats::new();
+        a.oam_attempts = 1;
+        a.record_abort(AbortReason::LockHeld);
+        a.compute_time = Dur::from_micros(5);
+        let mut b = NodeStats::new();
+        b.oam_attempts = 2;
+        b.record_abort(AbortReason::LockHeld);
+        b.record_abort(AbortReason::NetworkFull);
+        b.compute_time = Dur::from_micros(7);
+        a.merge(&b);
+        assert_eq!(a.oam_attempts, 3);
+        assert_eq!(a.oam_aborts[AbortReason::LockHeld.index()], 2);
+        assert_eq!(a.total_aborts(), 3);
+        assert_eq!(a.compute_time, Dur::from_micros(12));
+    }
+
+    #[test]
+    fn machine_stats_total_sums_nodes() {
+        let mut n0 = NodeStats::new();
+        n0.messages_sent = 10;
+        let mut n1 = NodeStats::new();
+        n1.messages_sent = 32;
+        let m = MachineStats::new(vec![n0, n1]);
+        assert_eq!(m.nodes(), 2);
+        assert_eq!(m.total().messages_sent, 42);
+    }
+
+    #[test]
+    fn live_stack_rate() {
+        let mut s = NodeStats::new();
+        assert!(s.live_stack_rate().is_none());
+        s.live_stack_hits = 3;
+        s.live_stack_misses = 1;
+        assert_eq!(s.live_stack_rate(), Some(0.75));
+    }
+}

@@ -1,0 +1,280 @@
+//! Virtual time for the simulated multicomputer.
+//!
+//! All simulation timing is expressed in integer **nanoseconds** so that
+//! sub-microsecond costs (message injection, poll checks) compose without
+//! rounding drift. The paper reports times in microseconds; [`Dur::as_micros_f64`]
+//! and the `Display` impls convert for reporting.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, measured in nanoseconds since the start of the
+/// simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of virtual time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+    /// A time later than any the simulation will reach; used as a sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (possibly fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant expressed in (possibly fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Dur {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Saturating difference: zero if `earlier` is later than `self`.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+}
+
+impl Dur {
+    /// The empty span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Dur(ns)
+    }
+
+    /// Construct from integer microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Dur(us * 1_000)
+    }
+
+    /// Construct from integer milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Construct from integer seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional microseconds (e.g. cost-model constants such
+    /// as `1.6 µs`). Rounds to the nearest nanosecond; negative values clamp
+    /// to zero.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        Dur((us * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span in (possibly fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This span in (possibly fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// True if this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by an integer count (e.g. per-byte costs).
+    #[inline]
+    pub const fn times(self, n: u64) -> Dur {
+        Dur(self.0 * n)
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = Time::from_nanos(5_000);
+        let d = Dur::from_micros(3);
+        assert_eq!((t + d).as_nanos(), 8_000);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn dur_conversions() {
+        assert_eq!(Dur::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Dur::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Dur::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Dur::from_micros_f64(1.5).as_nanos(), 1_500);
+        assert_eq!(Dur::from_micros_f64(-3.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn dur_scaling_and_sums() {
+        let d = Dur::from_micros(2);
+        assert_eq!(d * 3, Dur::from_micros(6));
+        assert_eq!(d.times(4), Dur::from_micros(8));
+        assert_eq!(d / 2, Dur::from_micros(1));
+        let total: Dur = [d, d, d].into_iter().sum();
+        assert_eq!(total, Dur::from_micros(6));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let a = Time::from_nanos(10);
+        let b = Time::from_nanos(20);
+        assert_eq!(a.saturating_since(b), Dur::ZERO);
+        assert_eq!(b.saturating_since(a), Dur::from_nanos(10));
+        assert_eq!(Dur::from_nanos(5).saturating_sub(Dur::from_nanos(9)), Dur::ZERO);
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        assert_eq!(format!("{}", Dur::from_micros_f64(13.0)), "13.000us");
+        assert_eq!(format!("{}", Time::from_nanos(1_500)), "1.500us");
+    }
+}

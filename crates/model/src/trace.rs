@@ -1,0 +1,116 @@
+//! Structured execution-trace events.
+//!
+//! The runtime layers emit these through an optional per-node observer
+//! (`oam-threads::Node::set_observer`); the `oam-trace` crate records and
+//! exports them (Chrome trace JSON, text timelines, summaries). With no
+//! observer installed the emission cost is a null check.
+
+use crate::stats::AbortReason;
+use crate::time::{Dur, Time};
+use crate::NodeId;
+
+/// One trace event. `t` is the *settled* virtual time at emission; costs
+/// still accruing appear on the following events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Node the event happened on.
+    pub node: NodeId,
+    /// Virtual timestamp.
+    pub t: Time,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Event payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// A thread was created (spawn, TRPC dispatch, or promotion).
+    ThreadSpawned {
+        /// Scheduler-local thread id.
+        tid: u64,
+    },
+    /// A thread was switched in. `cost` is the switch/start charge and
+    /// `live_stack` whether the live-stack optimization applied (fresh
+    /// starts only).
+    ThreadStarted {
+        /// Scheduler-local thread id.
+        tid: u64,
+        /// Charge for this start/resume.
+        cost: Dur,
+        /// `Some(hit)` for fresh starts; `None` for resumes.
+        live_stack: Option<bool>,
+    },
+    /// A thread ran to completion.
+    ThreadFinished {
+        /// Scheduler-local thread id.
+        tid: u64,
+    },
+    /// A message was dispatched from the NI.
+    Dispatched {
+        /// Handler tag.
+        tag: u32,
+        /// Sender.
+        src: NodeId,
+        /// Payload bytes.
+        bytes: usize,
+        /// Bulk-transfer completion rather than a short message.
+        bulk: bool,
+    },
+    /// An optimistic execution completed inline.
+    OamSuccess {
+        /// Handler tag.
+        tag: u32,
+    },
+    /// An optimistic execution aborted.
+    OamAborted {
+        /// Handler tag.
+        tag: u32,
+        /// Why it aborted.
+        reason: AbortReason,
+    },
+    /// The node went idle (nothing runnable, NI empty).
+    IdleStart,
+    /// The node left idle state.
+    IdleEnd,
+}
+
+impl TraceKind {
+    /// Short label for text renderings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::ThreadSpawned { .. } => "spawn",
+            TraceKind::ThreadStarted { .. } => "start",
+            TraceKind::ThreadFinished { .. } => "finish",
+            TraceKind::Dispatched { .. } => "dispatch",
+            TraceKind::OamSuccess { .. } => "oam-ok",
+            TraceKind::OamAborted { .. } => "oam-abort",
+            TraceKind::IdleStart => "idle",
+            TraceKind::IdleEnd => "wake",
+        }
+    }
+}
+
+/// Observer callback type: installed per node, invoked synchronously at
+/// each event.
+pub type TraceObserver = std::rc::Rc<dyn Fn(&TraceEvent)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_all_variants() {
+        let kinds = [
+            TraceKind::ThreadSpawned { tid: 0 },
+            TraceKind::ThreadStarted { tid: 0, cost: Dur::ZERO, live_stack: Some(true) },
+            TraceKind::ThreadFinished { tid: 0 },
+            TraceKind::Dispatched { tag: 1, src: NodeId(0), bytes: 4, bulk: false },
+            TraceKind::OamSuccess { tag: 1 },
+            TraceKind::OamAborted { tag: 1, reason: AbortReason::LockHeld },
+            TraceKind::IdleStart,
+            TraceKind::IdleEnd,
+        ];
+        let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len(), "labels are distinct");
+    }
+}

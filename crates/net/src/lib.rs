@@ -1,0 +1,13 @@
+//! # oam-net
+//!
+//! The simulated multicomputer data network: short-packet fabric with finite
+//! NI FIFOs and backpressure, plus the bulk-transfer (scopy) engine. See
+//! [`fabric`] for the model and its fidelity notes.
+
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod packet;
+
+pub use fabric::{InjectError, NetConfig, Network};
+pub use packet::{Packet, PacketKind, SHORT_PAYLOAD_MAX};

@@ -1,0 +1,97 @@
+//! Packet format of the simulated data network.
+//!
+//! Short packets mirror the CM-5's active-message format: a handler tag plus
+//! a small payload (at most [`SHORT_PAYLOAD_MAX`] bytes — the CM-5's four
+//! 32-bit argument words). Larger payloads must use the bulk-transfer engine
+//! ([`crate::fabric::Network::start_bulk`]), which delivers a
+//! [`PacketKind::BulkDone`] completion carrying the data.
+
+use oam_model::NodeId;
+
+/// Maximum payload of a short packet, in bytes (CM-5: 4 argument words).
+pub const SHORT_PAYLOAD_MAX: usize = 16;
+
+/// What a delivered packet represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A short active message travelling through the data network.
+    Short,
+    /// Completion of a bulk (scopy) transfer; the payload is the full
+    /// transferred buffer.
+    BulkDone,
+}
+
+/// A packet as seen by the layers above the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Short message or bulk completion.
+    pub kind: PacketKind,
+    /// Dispatch tag; the Active Message layer stores the handler id here.
+    pub tag: u32,
+    /// Message payload. For `Short` packets this is at most
+    /// [`SHORT_PAYLOAD_MAX`] bytes; for `BulkDone` it is the whole buffer.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Build a short packet.
+    ///
+    /// # Panics
+    /// Panics if `payload` exceeds [`SHORT_PAYLOAD_MAX`]; callers must route
+    /// larger payloads through the bulk engine (the stub layer does this
+    /// automatically).
+    pub fn short(src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) -> Self {
+        assert!(
+            payload.len() <= SHORT_PAYLOAD_MAX,
+            "short packet payload {} exceeds {} bytes — use a bulk transfer",
+            payload.len(),
+            SHORT_PAYLOAD_MAX
+        );
+        Packet { src, dst, kind: PacketKind::Short, tag, payload }
+    }
+
+    /// Build a bulk-completion packet (internal to the network layer).
+    pub(crate) fn bulk_done(src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) -> Self {
+        Packet { src, dst, kind: PacketKind::BulkDone, tag, payload }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_packet_accepts_up_to_16_bytes() {
+        let p = Packet::short(NodeId(0), NodeId(1), 7, vec![0u8; 16]);
+        assert_eq!(p.kind, PacketKind::Short);
+        assert_eq!(p.len(), 16);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "use a bulk transfer")]
+    fn short_packet_rejects_oversized_payload() {
+        let _ = Packet::short(NodeId(0), NodeId(1), 7, vec![0u8; 17]);
+    }
+
+    #[test]
+    fn bulk_done_carries_arbitrary_sizes() {
+        let p = Packet::bulk_done(NodeId(0), NodeId(1), 3, vec![0u8; 4096]);
+        assert_eq!(p.kind, PacketKind::BulkDone);
+        assert_eq!(p.len(), 4096);
+    }
+}

@@ -1,0 +1,163 @@
+//! Object classes: named read/write operations over a state type.
+//!
+//! Orca's object model distinguishes *read* operations (no state
+//! mutation; may run on a local replica without communication) from
+//! *write* operations (mutations; must be applied in the same order at
+//! every replica). Operations take one `Wire` argument and produce one
+//! `Wire` result; the class stores them type-erased so the runtime can
+//! apply marshaled operations uniformly.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use oam_rpc::{from_bytes, handler_id_for, to_bytes, Wire};
+
+/// Identifies an operation within a class (FNV hash of its name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpId(pub u32);
+
+/// Derive the operation id from its name.
+pub fn op_id(name: &str) -> OpId {
+    OpId(handler_id_for(name).0)
+}
+
+type ErasedRead = Rc<dyn Fn(&dyn Any, &[u8]) -> Vec<u8>>;
+type ErasedWrite = Rc<dyn Fn(&dyn Any, &[u8]) -> Vec<u8>>;
+
+/// A class of shared objects with state `S`.
+pub struct ObjectClass<S: 'static> {
+    reads: HashMap<u32, ErasedRead>,
+    writes: HashMap<u32, ErasedWrite>,
+    _marker: std::marker::PhantomData<fn(S)>,
+}
+
+impl<S: 'static> Default for ObjectClass<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: 'static> ObjectClass<S> {
+    /// An empty class.
+    pub fn new() -> Self {
+        ObjectClass { reads: HashMap::new(), writes: HashMap::new(), _marker: std::marker::PhantomData }
+    }
+
+    /// Register a read operation.
+    ///
+    /// # Panics
+    /// Panics if the name collides with an existing operation.
+    pub fn read<A: Wire, R: Wire>(mut self, name: &str, f: impl Fn(&S, A) -> R + 'static) -> Self {
+        let id = op_id(name).0;
+        let erased: ErasedRead = Rc::new(move |state, arg_bytes| {
+            let cell = state.downcast_ref::<RefCell<S>>().expect("object state type mismatch");
+            let arg: A = from_bytes(arg_bytes).expect("read-op argument decode");
+            to_bytes(&f(&cell.borrow(), arg))
+        });
+        let clash = self.reads.insert(id, erased).is_some() || self.writes.contains_key(&id);
+        assert!(!clash, "operation name collision: {name}");
+        self
+    }
+
+    /// Register a write operation.
+    ///
+    /// # Panics
+    /// Panics if the name collides with an existing operation.
+    pub fn write<A: Wire, R: Wire>(mut self, name: &str, f: impl Fn(&mut S, A) -> R + 'static) -> Self {
+        let id = op_id(name).0;
+        let erased: ErasedWrite = Rc::new(move |state, arg_bytes| {
+            let cell = state.downcast_ref::<RefCell<S>>().expect("object state type mismatch");
+            let arg: A = from_bytes(arg_bytes).expect("write-op argument decode");
+            to_bytes(&f(&mut cell.borrow_mut(), arg))
+        });
+        let clash = self.writes.insert(id, erased).is_some() || self.reads.contains_key(&id);
+        assert!(!clash, "operation name collision: {name}");
+        self
+    }
+
+    pub(crate) fn erase(self) -> ErasedClass {
+        ErasedClass { reads: self.reads, writes: self.writes }
+    }
+}
+
+/// A type-erased class usable by the runtime.
+#[derive(Clone)]
+pub struct ErasedClass {
+    reads: HashMap<u32, ErasedRead>,
+    writes: HashMap<u32, ErasedWrite>,
+}
+
+impl ErasedClass {
+    /// Is this op a write?
+    pub fn is_write(&self, op: OpId) -> bool {
+        self.writes.contains_key(&op.0)
+    }
+
+    /// Apply a read op to the erased state.
+    pub fn apply_read(&self, state: &dyn Any, op: OpId, arg: &[u8]) -> Vec<u8> {
+        (self.reads.get(&op.0).unwrap_or_else(|| panic!("unknown read op {:#x}", op.0)))(state, arg)
+    }
+
+    /// Apply a write op to the erased state.
+    pub fn apply_write(&self, state: &dyn Any, op: OpId, arg: &[u8]) -> Vec<u8> {
+        (self.writes.get(&op.0).unwrap_or_else(|| panic!("unknown write op {:#x}", op.0)))(state, arg)
+    }
+}
+
+/// A replica: the type-erased object state (its class lives on the
+/// runtime's object entry).
+#[derive(Clone)]
+pub struct Replica {
+    pub(crate) state: Rc<dyn Any>,
+}
+
+impl Replica {
+    /// Wrap a state value.
+    pub fn new<S: 'static>(init: S) -> Self {
+        Replica { state: Rc::new(RefCell::new(init)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_class() -> ObjectClass<u64> {
+        ObjectClass::new()
+            .read("get", |s: &u64, (): ()| *s)
+            .write("add", |s: &mut u64, n: u64| {
+                *s += n;
+                *s
+            })
+    }
+
+    #[test]
+    fn ops_roundtrip_through_erasure() {
+        let class = Rc::new(counter_class().erase());
+        let rep = Replica::new(10u64);
+        let r = class.apply_write(&*rep.state, op_id("add"), &to_bytes(&5u64));
+        assert_eq!(from_bytes::<u64>(&r).unwrap(), 15);
+        let r = class.apply_read(&*rep.state, op_id("get"), &to_bytes(&()));
+        assert_eq!(from_bytes::<u64>(&r).unwrap(), 15);
+        assert!(class.is_write(op_id("add")));
+        assert!(!class.is_write(op_id("get")));
+    }
+
+    #[test]
+    #[should_panic(expected = "operation name collision")]
+    fn duplicate_op_names_panic() {
+        let _ = ObjectClass::<u64>::new()
+            .read("x", |s: &u64, (): ()| *s)
+            .write("x", |s: &mut u64, (): ()| *s);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown read op")]
+    fn unknown_op_panics() {
+        let class = Rc::new(counter_class().erase());
+        let rep = Replica::new(0u64);
+        class.apply_read(&*rep.state, op_id("nope"), &[]);
+    }
+}

@@ -1,0 +1,264 @@
+//! The shared-object runtime.
+//!
+//! Placement strategies, as in Orca's CM-5 port (the paper, §1/§5 [13]):
+//!
+//! * [`Placement::Single`] — the object lives on one node; every
+//!   operation ships there as an RPC (an Optimistic Active Message in
+//!   ORPC mode: simple method calls execute in the message handler).
+//! * [`Placement::Replicated`] — every node holds a replica; **read
+//!   operations run locally with no communication**, and write
+//!   operations ship to the object's *manager*, which applies them and
+//!   broadcasts the update. The single sequencer plus per-source FIFO
+//!   delivery yields a total order on writes, so replicas converge.
+//!
+//! Consistency: writes are linearized at the manager. A writer's own
+//! replica is updated by the broadcast, not synchronously — so
+//! read-your-write requires either reading through the manager or a
+//! synchronization point (barrier), as in update-protocol Orca.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use oam_model::{Dur, NodeId};
+use oam_rpc::{
+    from_bytes, handler_id_for, to_bytes, CallFactory, Rpc, RpcMode, Wire, WireReader,
+};
+use oam_threads::Node;
+
+use crate::class::{op_id, ErasedClass, ObjectClass, OpId, Replica};
+
+/// Identifies a shared object machine-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjId(pub u32);
+
+/// Where an object's state lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// One copy, on `owner`; all operations ship there.
+    Single {
+        /// The owning node.
+        owner: NodeId,
+    },
+    /// A replica on every node; reads are local, writes sequence through
+    /// `manager`.
+    Replicated {
+        /// The sequencing node for writes.
+        manager: NodeId,
+    },
+}
+
+/// Virtual-time cost of applying an operation to object state.
+pub const APPLY_COST: Dur = Dur::from_nanos(1_000);
+
+/// Invocation wire format: `[obj: u32][op: u32][arg bytes...]` — the
+/// argument is appended raw (no length framing) so a small method call
+/// fits the CM-5's argument words and travels as a short active message.
+fn encode_invocation(id: ObjId, op: OpId, arg: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + arg.len());
+    id.0.encode(&mut out);
+    op.0.encode(&mut out);
+    out.extend_from_slice(arg);
+    out
+}
+
+/// Split a request payload (after the RPC call header) back into
+/// `(call_id, obj, op, arg)`.
+fn decode_invocation(payload: &[u8]) -> (u32, ObjId, OpId, &[u8]) {
+    let mut rd = WireReader::new(payload);
+    let cid = u32::decode(&mut rd).expect("call id");
+    let obj = u32::decode(&mut rd).expect("object id");
+    let op = u32::decode(&mut rd).expect("op id");
+    let at = rd.position();
+    (cid, ObjId(obj), OpId(op), &payload[at..])
+}
+
+const INVOKE_ID: oam_am::HandlerId = oam_am::HandlerId(handler_id_for("oam-objects::invoke").0);
+const UPDATE_ID: oam_am::HandlerId = oam_am::HandlerId(handler_id_for("oam-objects::update").0);
+
+struct ObjEntry {
+    replica: Option<Replica>,
+    placement: Placement,
+    class: Rc<ErasedClass>,
+}
+
+struct ObjectsInner {
+    rpc: Rpc,
+    /// Per node: object table.
+    tables: Vec<RefCell<HashMap<u32, ObjEntry>>>,
+}
+
+/// The shared-object layer. Create once per machine, then [`Objects::create`]
+/// objects before running node mains.
+#[derive(Clone)]
+pub struct Objects {
+    inner: Rc<ObjectsInner>,
+}
+
+impl Objects {
+    /// Build the layer over an RPC runtime, registering its handlers on
+    /// every node in the given stub mode (ORPC = method calls run as
+    /// Optimistic Active Messages).
+    pub fn new(rpc: &Rpc, mode: RpcMode) -> Self {
+        let n = rpc.nodes().len();
+        let objects = Objects {
+            inner: Rc::new(ObjectsInner {
+                rpc: rpc.clone(),
+                tables: (0..n).map(|_| RefCell::new(HashMap::new())).collect(),
+            }),
+        };
+        // invoke: apply an operation at the owner/manager, reply result.
+        for node in rpc.nodes() {
+            let objs = objects.clone();
+            let factory: CallFactory = Rc::new(move |call| {
+                let objs = objs.clone();
+                let call = call.clone();
+                Box::pin(async move {
+                    let (call_id, obj, op, arg) = {
+                        let (cid, obj, op, arg) = decode_invocation(&call.pkt.payload);
+                        (cid, obj, op, arg.to_vec())
+                    };
+                    let node = call.node.clone();
+                    node.charge(APPLY_COST).await;
+                    let result = objs.apply_at_home(&node, obj, op, &arg).await;
+                    if call_id != oam_rpc::ONEWAY_SENTINEL {
+                        objs.inner.rpc.reply(&call, call_id, result).await;
+                    }
+                })
+            });
+            rpc.register(node.id(), INVOKE_ID, mode, factory, true);
+
+            // update: apply a sequenced write at a replica. Always
+            // optimistic-friendly (it cannot block), registered in the
+            // same mode for comparability.
+            let objs = objects.clone();
+            let factory: CallFactory = Rc::new(move |call| {
+                let objs = objs.clone();
+                let call = call.clone();
+                Box::pin(async move {
+                    let (_cid, obj, op, arg) = {
+                        let (cid, obj, op, arg) = decode_invocation(&call.pkt.payload);
+                        (cid, obj, op, arg.to_vec())
+                    };
+                    let node = call.node.clone();
+                    node.charge(APPLY_COST).await;
+                    objs.apply_local_write(&node, obj, op, &arg);
+                })
+            });
+            rpc.register(node.id(), UPDATE_ID, mode, factory, false);
+        }
+        objects
+    }
+
+    /// Create an object. Must be called before node mains run (setup
+    /// time). `Single` placement instantiates state on the owner only;
+    /// `Replicated` on every node.
+    pub fn create<S: 'static>(
+        &self,
+        id: ObjId,
+        placement: Placement,
+        class: ObjectClass<S>,
+        init: impl Fn() -> S,
+    ) {
+        let class = Rc::new(class.erase());
+        for (i, table) in self.inner.tables.iter().enumerate() {
+            let holds_state = match placement {
+                Placement::Single { owner } => owner.index() == i,
+                Placement::Replicated { .. } => true,
+            };
+            let replica = holds_state.then(|| Replica::new(init()));
+            let prev = table
+                .borrow_mut()
+                .insert(id.0, ObjEntry { replica, placement, class: Rc::clone(&class) });
+            assert!(prev.is_none(), "object {id:?} created twice");
+        }
+    }
+
+    /// Invoke operation `op` on object `id` from `node`. Reads on local
+    /// replicas complete without communication; everything else ships to
+    /// the object's home node.
+    pub async fn invoke<A: Wire, R: Wire>(&self, node: &Node, id: ObjId, op: &str, arg: A) -> R {
+        let op = op_id(op);
+        let me = node.id().index();
+        let (home, is_write, local_replica) = {
+            let table = self.inner.tables[me].borrow();
+            let e = table.get(&id.0).unwrap_or_else(|| panic!("unknown object {id:?}"));
+            let home = match e.placement {
+                Placement::Single { owner } => owner,
+                Placement::Replicated { manager } => manager,
+            };
+            (home, e.class.is_write(op), e.replica.is_some())
+        };
+        if !is_write && local_replica {
+            // Orca's payoff: local read, zero messages.
+            node.charge(APPLY_COST).await;
+            let table = self.inner.tables[me].borrow();
+            let e = &table[&id.0];
+            let rep = e.replica.as_ref().expect("checked present");
+            let out = e.class.apply_read(&*rep.state, op, &to_bytes(&arg));
+            return from_bytes(&out).expect("read result decode");
+        }
+        if home.index() == me {
+            node.charge(APPLY_COST).await;
+            let out = self.apply_at_home(node, id, op, &to_bytes(&arg)).await;
+            return from_bytes(&out).expect("local result decode");
+        }
+        let args = encode_invocation(id, op, &to_bytes(&arg));
+        let reply = self.inner.rpc.call_raw(node, home, INVOKE_ID, &args).await;
+        from_bytes(&reply).expect("invoke result decode")
+    }
+
+    /// Apply an operation at the object's home node (owner or manager);
+    /// for replicated writes, broadcast the update to the other replicas.
+    async fn apply_at_home(&self, node: &Node, id: ObjId, op: OpId, arg: &[u8]) -> Vec<u8> {
+        let me = node.id().index();
+        let (result, broadcast) = {
+            let table = self.inner.tables[me].borrow();
+            let e = table.get(&id.0).unwrap_or_else(|| panic!("object {id:?} missing at home"));
+            let rep = e.replica.as_ref().expect("home node holds state");
+            if e.class.is_write(op) {
+                let result = e.class.apply_write(&*rep.state, op, arg);
+                let broadcast = matches!(e.placement, Placement::Replicated { .. });
+                (result, broadcast)
+            } else {
+                (e.class.apply_read(&*rep.state, op, arg), false)
+            }
+        };
+        if broadcast {
+            // Sequenced write-update: per-source FIFO from the single
+            // manager gives every replica the same order. Routed through
+            // the RPC transport so large arguments use bulk transfers.
+            let args = encode_invocation(id, op, arg);
+            for other in 0..self.inner.tables.len() {
+                if other != me {
+                    self.inner.rpc.send_oneway_raw(node, NodeId(other), UPDATE_ID, &args).await;
+                }
+            }
+        }
+        result
+    }
+
+    fn apply_local_write(&self, node: &Node, id: ObjId, op: OpId, arg: &[u8]) {
+        let me = node.id().index();
+        let table = self.inner.tables[me].borrow();
+        let e = table.get(&id.0).unwrap_or_else(|| panic!("object {id:?} missing at replica"));
+        let rep = e.replica.as_ref().expect("replica holds state");
+        let _ = e.class.apply_write(&*rep.state, op, arg);
+    }
+
+    /// Peek at a replica's state from outside the simulation (tests,
+    /// reports). Returns `None` when the node holds no state for the
+    /// object.
+    pub fn peek<S: 'static, R>(&self, node: NodeId, id: ObjId, f: impl FnOnce(&S) -> R) -> Option<R> {
+        let state: Rc<dyn std::any::Any> = {
+            let table = self.inner.tables[node.index()].borrow();
+            let e = table.get(&id.0)?;
+            Rc::clone(&e.replica.as_ref()?.state)
+        };
+        let cell = state
+            .downcast_ref::<RefCell<S>>()
+            .expect("peek type mismatch");
+        let out = f(&cell.borrow());
+        Some(out)
+    }
+}

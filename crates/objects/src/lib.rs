@@ -1,0 +1,20 @@
+//! # oam-objects
+//!
+//! Orca-style shared data objects over Optimistic RPC — the programming
+//! model the paper's authors ported to the CM-5 using OAM, reporting
+//! 2–30× improvements over the original implementation (§1).
+//!
+//! An object class declares named *read* and *write* operations over a
+//! state type ([`ObjectClass`]); objects are placed [`Placement::Single`]
+//! (one owner, operations ship as RPCs — Optimistic Active Messages in
+//! ORPC mode) or [`Placement::Replicated`] (reads run locally with zero
+//! communication; writes sequence through a manager and propagate by
+//! write-update broadcast).
+
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod layer;
+
+pub use class::{op_id, ObjectClass, OpId};
+pub use layer::{ObjId, Objects, Placement, APPLY_COST};

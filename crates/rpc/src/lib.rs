@@ -1,0 +1,26 @@
+//! # oam-rpc
+//!
+//! The RPC system of the paper (§3): a "stub compiler"
+//! ([`define_rpc_service!`]) that generates client stubs, server dispatch,
+//! and marshaling from a service definition, able to emit both **ORPC**
+//! (remote procedures run as Optimistic Active Messages) and **TRPC**
+//! (a thread per call) variants; plus the runtime that carries calls:
+//! correlation slots, reply/NACK handlers, short-vs-bulk transport
+//! selection, and NACK back-off.
+
+#![warn(missing_docs)]
+
+pub mod macros;
+pub mod runtime;
+pub mod wire;
+
+pub use runtime::{
+    decode_request, handler_id_for, Rpc, RpcCtx, RpcMode, NACK_ID, ONEWAY_SENTINEL, REPLY_ID,
+};
+pub use wire::{from_bytes, to_bytes, Wire, WireError, WireReader};
+
+// Re-exports the generated stubs refer to via `$crate::`.
+pub use oam_core::{CallFactory, OamCall};
+pub use oam_model::NodeId;
+pub use oam_am::HandlerId;
+pub use oam_threads::Node;

@@ -1,0 +1,225 @@
+//! The stub compiler (§3.2 of the paper), as a declarative macro.
+//!
+//! The paper's stub compiler takes a remote-procedure specification and
+//! generates handlers, stubs, marshaling, and data-transfer code, in both
+//! TRPC and ORPC flavours. [`define_rpc_service!`] does the same from a
+//! service block:
+//!
+//! ```
+//! use std::rc::Rc;
+//! use oam_rpc::define_rpc_service;
+//! use oam_threads::Mutex;
+//!
+//! pub struct CounterState {
+//!     pub value: Mutex<u64>,
+//! }
+//!
+//! define_rpc_service! {
+//!     /// A remote counter.
+//!     service Counter {
+//!         state CounterState;
+//!
+//!         /// Add `n`, returning the previous value.
+//!         rpc add(ctx, st, n: u64) -> u64 {
+//!             let g = st.value.lock().await;
+//!             let old = g.get();
+//!             g.set(old + n);
+//!             old
+//!         }
+//!
+//!         /// Fire-and-forget bump.
+//!         oneway bump(ctx, st) {
+//!             let g = st.value.lock().await;
+//!             g.with_mut(|v| *v += 1);
+//!         }
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+//!
+//! For each method this generates a module `Counter::add` with:
+//!
+//! * `ID` — the handler id (an FNV hash of `"Counter::add"`);
+//! * a client stub — `call(rpc, node, dst, args..) -> Ret` for `rpc`
+//!   methods (synchronous: spin-waits for the reply), `send(..)` for
+//!   `oneway` methods (asynchronous, no reply);
+//! * `register(rpc, node, state, mode)` — installs the server side in
+//!   either [`crate::RpcMode::Orpc`] or [`crate::RpcMode::Trpc`];
+//!
+//! plus `Counter::register_all` to install every method at once.
+//!
+//! Programmers "can call remote procedures like regular procedures": the
+//! stub marshals arguments, picks short-AM or bulk transport by size,
+//! correlates the reply, and handles NACK back-off — none of it visible at
+//! the call site.
+//!
+//! Like the paper's prototype, a procedure registered under the *rerun*
+//! abort strategy must only mutate shared state after acquiring all its
+//! locks and testing all its conditions (§3.3).
+
+/// Selects the method return type (defaults to `()`).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __rpc_ret {
+    () => { () };
+    ($t:ty) => { $t };
+}
+
+/// Generates one method module. Internal to [`define_rpc_service!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __rpc_method {
+    (@rpc [$state:ty] $(#[$mmeta:meta])* $svc:ident $name:ident ($ctx:ident, $st:ident $(, $arg:ident : $aty:ty)*) ($($ret:ty)?) $body:block) => {
+        $(#[$mmeta])*
+        #[allow(non_snake_case)]
+        pub mod $name {
+            use super::*;
+
+            /// Handler id of this remote procedure.
+            pub const ID: $crate::HandlerId =
+                $crate::handler_id_for(concat!(stringify!($svc), "::", stringify!($name)));
+
+            /// Synchronous client stub: marshals the arguments, sends the
+            /// request, spin-waits for the reply, and unmarshals the result.
+            pub async fn call(
+                __rpc: &$crate::Rpc,
+                __node: &$crate::Node,
+                __dst: $crate::NodeId
+                $(, $arg : $aty)*
+            ) -> $crate::__rpc_ret!($($ret)?) {
+                let __args = $crate::wire::to_bytes(&($($arg,)*));
+                let __reply = __rpc.call_raw(__node, __dst, ID, &__args).await;
+                $crate::wire::from_bytes(&__reply).expect("reply decode")
+            }
+
+            /// Install the server side of this method on `node`.
+            pub fn register(
+                __rpc: &$crate::Rpc,
+                __node: $crate::NodeId,
+                __state: ::std::rc::Rc<$state>,
+                __mode: $crate::RpcMode,
+            ) {
+                let __rpc_outer = __rpc.clone();
+                let __factory: $crate::CallFactory = ::std::rc::Rc::new(move |__call| {
+                    let __state = ::std::rc::Rc::clone(&__state);
+                    let __rpc = __rpc_outer.clone();
+                    let __call = __call.clone();
+                    ::std::boxed::Box::pin(async move {
+                        #[allow(unused_variables, unused_parens)]
+                        let (__call_id, ($($arg,)*)): (u32, ($($aty,)*)) =
+                            $crate::decode_request(&__call.pkt.payload);
+                        __call.node.add_pending(
+                            __rpc.config().cost.marshal_per_word
+                                .times(__call.pkt.payload.len().div_ceil(4) as u64),
+                        );
+                        let __ctx_val = $crate::RpcCtx { call: __call.clone(), rpc: __rpc.clone() };
+                        #[allow(unused_variables)]
+                        let $ctx = &__ctx_val;
+                        #[allow(unused_variables)]
+                        let $st = &*__state;
+                        let __result: $crate::__rpc_ret!($($ret)?) = { $body };
+                        if __call_id != $crate::ONEWAY_SENTINEL {
+                            __rpc.reply(&__call, __call_id, $crate::wire::to_bytes(&__result)).await;
+                        }
+                    })
+                });
+                __rpc.register(__node, ID, __mode, __factory, true);
+            }
+        }
+    };
+
+    (@oneway [$state:ty] $(#[$mmeta:meta])* $svc:ident $name:ident ($ctx:ident, $st:ident $(, $arg:ident : $aty:ty)*) () $body:block) => {
+        $(#[$mmeta])*
+        #[allow(non_snake_case)]
+        pub mod $name {
+            use super::*;
+
+            /// Handler id of this remote procedure.
+            pub const ID: $crate::HandlerId =
+                $crate::handler_id_for(concat!(stringify!($svc), "::", stringify!($name)));
+
+            /// Asynchronous client stub: fire and forget.
+            pub async fn send(
+                __rpc: &$crate::Rpc,
+                __node: &$crate::Node,
+                __dst: $crate::NodeId
+                $(, $arg : $aty)*
+            ) {
+                let __args = $crate::wire::to_bytes(&($($arg,)*));
+                __rpc.send_oneway_raw(__node, __dst, ID, &__args).await;
+            }
+
+            /// Install the server side of this method on `node`.
+            pub fn register(
+                __rpc: &$crate::Rpc,
+                __node: $crate::NodeId,
+                __state: ::std::rc::Rc<$state>,
+                __mode: $crate::RpcMode,
+            ) {
+                let __rpc_outer = __rpc.clone();
+                let __factory: $crate::CallFactory = ::std::rc::Rc::new(move |__call| {
+                    let __state = ::std::rc::Rc::clone(&__state);
+                    let __rpc = __rpc_outer.clone();
+                    let __call = __call.clone();
+                    ::std::boxed::Box::pin(async move {
+                        #[allow(unused_variables, unused_parens)]
+                        let (__call_id, ($($arg,)*)): (u32, ($($aty,)*)) =
+                            $crate::decode_request(&__call.pkt.payload);
+                        debug_assert_eq!(__call_id, $crate::ONEWAY_SENTINEL, "oneway called synchronously");
+                        __call.node.add_pending(
+                            __rpc.config().cost.marshal_per_word
+                                .times(__call.pkt.payload.len().div_ceil(4) as u64),
+                        );
+                        let __ctx_val = $crate::RpcCtx { call: __call.clone(), rpc: __rpc.clone() };
+                        #[allow(unused_variables)]
+                        let $ctx = &__ctx_val;
+                        #[allow(unused_variables)]
+                        let $st = &*__state;
+                        let _: () = { $body };
+                    })
+                });
+                __rpc.register(__node, ID, __mode, __factory, false);
+            }
+        }
+    };
+}
+
+/// Generate client stubs, server dispatch, and marshaling for a service —
+/// the stub compiler. See the [module documentation](self) for the syntax
+/// and a complete example.
+#[macro_export]
+macro_rules! define_rpc_service {
+    (
+        $(#[$smeta:meta])*
+        service $svc:ident {
+            state $state:ty;
+            $(
+                $(#[$mmeta:meta])*
+                $kind:ident $name:ident ($ctx:ident, $st:ident $(, $arg:ident : $aty:ty)* $(,)?) $(-> $ret:ty)? $body:block
+            )*
+        }
+    ) => {
+        $(#[$smeta])*
+        #[allow(non_snake_case)]
+        pub mod $svc {
+            use super::*;
+
+            $(
+                $crate::__rpc_method! {
+                    @$kind [$state] $(#[$mmeta])* $svc $name ($ctx, $st $(, $arg : $aty)*) ($($ret)?) $body
+                }
+            )*
+
+            /// Install every method of this service on `node`.
+            pub fn register_all(
+                rpc: &$crate::Rpc,
+                node: $crate::NodeId,
+                state: ::std::rc::Rc<$state>,
+                mode: $crate::RpcMode,
+            ) {
+                $( $name::register(rpc, node, ::std::rc::Rc::clone(&state), mode); )*
+                let _ = state;
+            }
+        }
+    };
+}

@@ -1,0 +1,385 @@
+//! The RPC runtime: call correlation, reply/NACK plumbing, request
+//! transport selection (short AM vs. bulk transfer), and handler
+//! registration in ORPC or TRPC mode.
+//!
+//! Request payload: `[call_id: u32][args...]`. A `call_id` of
+//! [`ONEWAY_SENTINEL`] marks an asynchronous RPC (no reply). Replies and
+//! NACKs are delivered to two reserved inline handlers that complete the
+//! caller's spin-wait. Payloads whose *data* exceeds the machine's bulk
+//! threshold (16 bytes on the CM-5) travel through the scopy engine, as the
+//! paper's generated stubs do (§3.2).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use oam_core::{CallFactory, NackSender, OamCall, OptimisticEntry, ThreadedEntry};
+use oam_model::{AbortStrategy, Dur, MachineConfig, NodeId};
+use oam_am::{Am, AmToken, HandlerEntry, HandlerId};
+use oam_threads::{Flag, Node};
+
+use crate::wire::{Wire, WireReader};
+
+/// Reserved handler id for RPC replies.
+pub const REPLY_ID: HandlerId = HandlerId(0xFFFF_0001);
+/// Reserved handler id for RPC NACKs.
+pub const NACK_ID: HandlerId = HandlerId(0xFFFF_0002);
+/// `call_id` marking a one-way (asynchronous) RPC.
+pub const ONEWAY_SENTINEL: u32 = u32::MAX;
+
+/// Compile-time FNV-1a hash used to derive handler ids from
+/// `"Service::method"` names. The top bit is cleared so generated ids never
+/// collide with the reserved ones.
+pub const fn handler_id_for(name: &str) -> HandlerId {
+    let bytes = name.as_bytes();
+    let mut h: u32 = 0x811c_9dc5;
+    let mut i = 0;
+    while i < bytes.len() {
+        h ^= bytes[i] as u32;
+        h = h.wrapping_mul(16_777_619);
+        i += 1;
+    }
+    HandlerId(h & 0x7FFF_FFFF)
+}
+
+/// How a registered service executes its remote procedures — the paper's
+/// two stub-compiler outputs (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RpcMode {
+    /// Optimistic RPC: run the procedure as an Optimistic Active Message.
+    Orpc,
+    /// Traditional RPC: always create a thread per call.
+    Trpc,
+}
+
+impl RpcMode {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RpcMode::Orpc => "ORPC",
+            RpcMode::Trpc => "TRPC",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Pending,
+    Replied,
+    Nacked,
+}
+
+struct CallSlot {
+    flag: Flag,
+    outcome: Cell<Outcome>,
+    reply: RefCell<Vec<u8>>,
+}
+
+#[derive(Default)]
+struct CallTable {
+    slots: Vec<Option<Rc<CallSlot>>>,
+    free: Vec<u32>,
+}
+
+impl CallTable {
+    fn alloc(&mut self) -> (u32, Rc<CallSlot>) {
+        let slot = Rc::new(CallSlot {
+            flag: Flag::new(),
+            outcome: Cell::new(Outcome::Pending),
+            reply: RefCell::new(Vec::new()),
+        });
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(Rc::clone(&slot));
+                (id, slot)
+            }
+            None => {
+                let id = self.slots.len() as u32;
+                assert!(id != ONEWAY_SENTINEL, "call table overflow");
+                self.slots.push(Some(Rc::clone(&slot)));
+                (id, slot)
+            }
+        }
+    }
+
+    fn get(&self, id: u32) -> Rc<CallSlot> {
+        self.slots[id as usize].as_ref().expect("reply for a dead call slot").clone()
+    }
+
+    fn release(&mut self, id: u32) {
+        self.slots[id as usize] = None;
+        self.free.push(id);
+    }
+}
+
+struct RpcInner {
+    am: Am,
+    cfg: Rc<MachineConfig>,
+    tables: Vec<RefCell<CallTable>>,
+}
+
+/// Handle to the RPC runtime. Cheap to clone.
+#[derive(Clone)]
+pub struct Rpc {
+    inner: Rc<RpcInner>,
+}
+
+impl Rpc {
+    /// Build the runtime over an AM layer; installs the reserved reply and
+    /// NACK handlers on every node.
+    pub fn new(am: Am) -> Self {
+        let cfg = Rc::clone(am.config());
+        let n = am.nodes().len();
+        let rpc = Rpc {
+            inner: Rc::new(RpcInner {
+                am,
+                cfg,
+                tables: (0..n).map(|_| RefCell::new(CallTable::default())).collect(),
+            }),
+        };
+        let r = rpc.clone();
+        rpc.inner.am.register_inline_all(REPLY_ID, move |t: &AmToken| {
+            let mut rd = WireReader::new(t.payload());
+            let call_id = u32::decode(&mut rd).expect("reply call id");
+            let slot = r.inner.tables[t.node().id().index()].borrow().get(call_id);
+            *slot.reply.borrow_mut() = t.payload()[4..].to_vec();
+            slot.outcome.set(Outcome::Replied);
+            slot.flag.set();
+        });
+        let r = rpc.clone();
+        rpc.inner.am.register_inline_all(NACK_ID, move |t: &AmToken| {
+            let mut rd = WireReader::new(t.payload());
+            let call_id = u32::decode(&mut rd).expect("nack call id");
+            t.node().stats().borrow_mut().nacks_received += 1;
+            let slot = r.inner.tables[t.node().id().index()].borrow().get(call_id);
+            slot.outcome.set(Outcome::Nacked);
+            slot.flag.set();
+        });
+        rpc
+    }
+
+    /// The AM layer underneath.
+    pub fn am(&self) -> &Am {
+        &self.inner.am
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &Rc<MachineConfig> {
+        &self.inner.cfg
+    }
+
+    /// Node runtimes (convenience passthrough).
+    pub fn nodes(&self) -> &[Node] {
+        self.inner.am.nodes()
+    }
+
+    fn marshal_cost(&self, bytes: usize) -> Dur {
+        self.inner.cfg.cost.marshal_per_word.times(bytes.div_ceil(4) as u64)
+    }
+
+    /// Send a request payload, choosing short AM or bulk transfer like the
+    /// paper's stubs: anything that fits the CM-5's argument words (16
+    /// bytes including the call header) goes as a short active message,
+    /// everything else through the scopy engine.
+    async fn send_request(&self, node: &Node, dst: NodeId, id: HandlerId, payload: Vec<u8>) {
+        if payload.len() > self.inner.cfg.bulk_threshold {
+            self.inner.am.send_bulk(node, dst, id, payload);
+        } else {
+            self.inner.am.send(node, dst, id, payload).await;
+        }
+    }
+
+    /// Perform a synchronous RPC: marshals nothing itself — `args` are the
+    /// already-encoded argument bytes — but owns correlation, transport,
+    /// the reply wait, and NACK back-off/retry. Returns the encoded reply.
+    ///
+    /// This is the primitive the generated stubs call; it is also usable
+    /// directly for dynamically-constructed calls.
+    pub async fn call_raw(&self, node: &Node, dst: NodeId, id: HandlerId, args: &[u8]) -> Vec<u8> {
+        node.stats().borrow_mut().rpcs_sync += 1;
+        node.add_pending(self.inner.cfg.cost.rpc_caller_overhead);
+        node.add_pending(self.marshal_cost(args.len()));
+        let idx = node.id().index();
+        let mut attempt = 0u32;
+        loop {
+            let (call_id, slot) = self.inner.tables[idx].borrow_mut().alloc();
+            let mut payload = Vec::with_capacity(4 + args.len());
+            call_id.encode(&mut payload);
+            payload.extend_from_slice(args);
+            self.send_request(node, dst, id, payload).await;
+            node.spin_on(slot.flag.clone()).await;
+            let outcome = slot.outcome.get();
+            let reply = slot.reply.borrow().clone();
+            self.inner.tables[idx].borrow_mut().release(call_id);
+            match outcome {
+                Outcome::Replied => {
+                    node.add_pending(self.inner.cfg.cost.reply_integrate);
+                    node.add_pending(self.marshal_cost(reply.len()));
+                    return reply;
+                }
+                Outcome::Nacked => {
+                    attempt += 1;
+                    self.backoff(node, attempt).await;
+                }
+                Outcome::Pending => unreachable!("flag set without an outcome"),
+            }
+        }
+    }
+
+    /// Perform an asynchronous (one-way) RPC: fire and forget.
+    pub async fn send_oneway_raw(&self, node: &Node, dst: NodeId, id: HandlerId, args: &[u8]) {
+        node.stats().borrow_mut().rpcs_async += 1;
+        node.add_pending(self.marshal_cost(args.len()));
+        let mut payload = Vec::with_capacity(4 + args.len());
+        ONEWAY_SENTINEL.encode(&mut payload);
+        payload.extend_from_slice(args);
+        self.send_request(node, dst, id, payload).await;
+    }
+
+    /// Exponential back-off with deterministic jitter after a NACK. The
+    /// waiter spin-polls (it must keep serving incoming messages).
+    async fn backoff(&self, node: &Node, attempt: u32) {
+        let base = self.inner.cfg.cost.nack_backoff_base;
+        let factor = 1u64 << attempt.min(4);
+        let jitter_ns = node.sim().with_rng(|r| {
+            use rand::Rng;
+            r.gen_range(0..=base.as_nanos() / 2)
+        });
+        let delay = base.times(factor) + Dur::from_nanos(jitter_ns);
+        let flag = Flag::new();
+        let f = flag.clone();
+        let n = node.clone();
+        node.sim().schedule_after(delay, move |_| {
+            f.set();
+            n.kick();
+        });
+        node.spin_on(flag).await;
+    }
+
+    /// Send the reply for a completed call (server side). Chooses short or
+    /// bulk transport like requests do.
+    pub async fn reply(&self, call: &OamCall, call_id: u32, result: Vec<u8>) {
+        let node = &call.node;
+        node.add_pending(self.marshal_cost(result.len()));
+        let mut payload = Vec::with_capacity(4 + result.len());
+        call_id.encode(&mut payload);
+        payload.extend_from_slice(&result);
+        let dst = call.pkt.src;
+        if payload.len() > self.inner.cfg.bulk_threshold {
+            self.inner.am.send_bulk(node, dst, REPLY_ID, payload);
+        } else {
+            self.inner.am.send(node, dst, REPLY_ID, payload).await;
+        }
+    }
+
+    /// Register a remote procedure on `node` in the given mode. The factory
+    /// builds the handler future (decode → body → reply). `expects_reply`
+    /// distinguishes `rpc` from `oneway` methods: under
+    /// [`AbortStrategy::Nack`] only reply-bearing calls can be NACKed
+    /// (the caller is waiting); one-way calls fall back to rerun.
+    pub fn register(&self, node: NodeId, id: HandlerId, mode: RpcMode, factory: CallFactory, expects_reply: bool) {
+        match mode {
+            RpcMode::Trpc => {
+                self.inner.am.register(node, id, HandlerEntry::Custom(Rc::new(ThreadedEntry::new(factory))));
+            }
+            RpcMode::Orpc => {
+                let mut entry = OptimisticEntry::new(factory);
+                if self.inner.cfg.abort_strategy == AbortStrategy::Nack {
+                    if expects_reply {
+                        let am = self.inner.am.clone();
+                        let nack: NackSender = Rc::new(move |call: &OamCall| {
+                            let mut rd = WireReader::new(&call.pkt.payload);
+                            let call_id = u32::decode(&mut rd).expect("nack: call id");
+                            debug_assert_ne!(call_id, ONEWAY_SENTINEL);
+                            let mut payload = Vec::with_capacity(4);
+                            call_id.encode(&mut payload);
+                            am.send_from_handler(&call.node, call.pkt.src, NACK_ID, payload);
+                        });
+                        entry = entry.with_nack(nack);
+                    } else {
+                        entry = entry.with_strategy(AbortStrategy::Rerun);
+                    }
+                }
+                self.inner.am.register(node, id, HandlerEntry::Custom(Rc::new(entry)));
+            }
+        }
+    }
+}
+
+/// Context passed to remote-procedure bodies by the generated stubs.
+#[derive(Clone)]
+pub struct RpcCtx {
+    /// The underlying call (node, AM layer, triggering packet).
+    pub call: OamCall,
+    /// The RPC runtime (for nested calls).
+    pub rpc: Rpc,
+}
+
+impl RpcCtx {
+    /// The node executing the procedure.
+    pub fn node(&self) -> &Node {
+        &self.call.node
+    }
+
+    /// The calling node.
+    pub fn caller(&self) -> NodeId {
+        self.call.pkt.src
+    }
+
+    /// Charge compute time.
+    pub fn charge(&self, d: Dur) -> oam_threads::Charge {
+        self.call.node.charge(d)
+    }
+
+    /// Stub-inserted progress check (see [`Node::checkpoint`]).
+    pub fn checkpoint(&self) -> oam_threads::Checkpoint {
+        self.call.node.checkpoint()
+    }
+}
+
+/// Decode the call header and argument tuple from a request payload.
+/// Returns `(call_id, args)`. Used by the generated stubs.
+pub fn decode_request<A: Wire>(payload: &[u8]) -> (u32, A) {
+    let mut rd = WireReader::new(payload);
+    let call_id = u32::decode(&mut rd).expect("request call id");
+    let args = A::decode(&mut rd).expect("request arguments");
+    (call_id, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_ids_are_stable_and_distinct() {
+        let a = handler_id_for("Queue::get_job");
+        let b = handler_id_for("Queue::put_job");
+        let c = handler_id_for("Queue::get_job");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(a.0 & 0x8000_0000, 0, "top bit reserved");
+        assert_ne!(a, REPLY_ID);
+        assert_ne!(a, NACK_ID);
+    }
+
+    #[test]
+    fn call_table_reuses_slots() {
+        let mut t = CallTable::default();
+        let (id0, _) = t.alloc();
+        let (id1, _) = t.alloc();
+        assert_ne!(id0, id1);
+        t.release(id0);
+        let (id2, _) = t.alloc();
+        assert_eq!(id2, id0, "freed slot is reused");
+    }
+
+    #[test]
+    fn decode_request_splits_header_and_args() {
+        let mut p = Vec::new();
+        7u32.encode(&mut p);
+        (3u32, 4.5f64).encode(&mut p);
+        let (cid, (a, b)): (u32, (u32, f64)) = decode_request(&p);
+        assert_eq!(cid, 7);
+        assert_eq!(a, 3);
+        assert_eq!(b, 4.5);
+    }
+}

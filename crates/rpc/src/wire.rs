@@ -1,0 +1,288 @@
+//! Marshaling: the wire format the stub compiler generates code for.
+//!
+//! Hand-rolled (no serde) so that byte counts — and therefore marshaling
+//! and copy *costs* — are explicit and chargeable, mirroring the paper's
+//! stub compiler, which emits marshaling code per remote procedure (§3.2).
+//!
+//! Encoding: little-endian fixed-width integers and floats; `Vec`/`String`
+//! are a `u32` length followed by elements; `Option` is a presence byte.
+
+use core::fmt;
+
+/// Marshaling/unmarshaling failure: the payload did not match the expected
+/// shape. In this simulation that is always a programming error (there is
+/// no packet corruption), so stubs `expect` on it; the type exists so the
+/// trait is honest about fallibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was being decoded.
+    pub what: &'static str,
+    /// Byte offset at which decoding failed.
+    pub at: usize,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode of {} failed at byte {}", self.what, self.at)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over a received payload.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError { what, at: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// Types that can cross the simulated wire.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one value.
+    fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encode a value into a fresh buffer.
+pub fn to_bytes<T: Wire>(v: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    v.encode(&mut out);
+    out
+}
+
+/// Decode a value that must consume the whole buffer.
+pub fn from_bytes<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
+    let mut rd = WireReader::new(buf);
+    let v = T::decode(&mut rd)?;
+    if rd.remaining() != 0 {
+        return Err(WireError { what: "trailing bytes", at: rd.position() });
+    }
+    Ok(v)
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+                let n = core::mem::size_of::<$t>();
+                let b = rd.take(n, stringify!($t))?;
+                let mut a = [0u8; core::mem::size_of::<$t>()];
+                a.copy_from_slice(b);
+                Ok(<$t>::from_le_bytes(a))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(u64::decode(rd)? as usize)
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(rd.take(1, "bool")?[0] != 0)
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match rd.take(1, "Option tag")?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(rd)?)),
+            _ => Err(WireError { what: "Option tag", at: rd.position() - 1 }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = u32::decode(rd)? as usize;
+        let mut v = Vec::with_capacity(n.min(rd.remaining()));
+        for _ in 0..n {
+            v.push(T::decode(rd)?);
+        }
+        Ok(v)
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = u32::decode(rd)? as usize;
+        let b = rd.take(n, "String")?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError { what: "String utf8", at: rd.position() })
+    }
+}
+
+impl<const N: usize, T: Wire + Copy + Default> Wire for [T; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut a = [T::default(); N];
+        for slot in &mut a {
+            *slot = T::decode(rd)?;
+        }
+        Ok(a)
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::decode(rd)?,)+))
+            }
+        }
+    };
+}
+
+wire_tuple!(A: 0);
+wire_tuple!(A: 0, B: 1);
+wire_tuple!(A: 0, B: 1, C: 2);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + core::fmt::Debug>(v: T) {
+        let b = to_bytes(&v);
+        let back: T = from_bytes(&b).expect("roundtrip decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(-1i8);
+        roundtrip(i16::MIN);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(3.25f32);
+        roundtrip(-2.5e300f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip("hello wire".to_string());
+        roundtrip(String::new());
+        roundtrip([1.5f64, 2.5, 3.5]);
+        roundtrip((1u32, 2.5f64, true));
+        roundtrip((1u8, 2u16, 3u32, 4u64, 5i32));
+        roundtrip(vec![Some((1u32, false)), None]);
+    }
+
+    #[test]
+    fn truncated_buffers_error_not_panic() {
+        let b = to_bytes(&vec![1u64, 2, 3]);
+        for cut in 0..b.len() {
+            let r: Result<Vec<u64>, _> = from_bytes(&b[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut b = to_bytes(&7u32);
+        b.push(0);
+        let r: Result<u32, _> = from_bytes(&b);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_option_tag_is_an_error() {
+        let r: Result<Option<u32>, _> = from_bytes(&[2, 0, 0, 0, 0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn encoding_is_little_endian_and_compact() {
+        assert_eq!(to_bytes(&1u32), vec![1, 0, 0, 0]);
+        assert_eq!(to_bytes(&(1u32, 2u32)), vec![1, 0, 0, 0, 2, 0, 0, 0]);
+        assert_eq!(to_bytes(&vec![9u8]), vec![1, 0, 0, 0, 9]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Harder RPC paths: nested calls from inside handlers (an optimistic
+//! execution that performs a *synchronous* RPC must abort and finish as a
+//! thread), large replies over bulk transfers, and promoted continuations
+//! that send.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use oam_model::{MachineConfig, NodeId, NodeStats};
+use oam_net::{NetConfig, Network};
+use oam_sim::Sim;
+use oam_am::Am;
+use oam_rpc::{define_rpc_service, Rpc, RpcMode};
+use oam_threads::Node;
+
+fn build(cfg: MachineConfig) -> (Sim, Rpc, Vec<Rc<RefCell<NodeStats>>>) {
+    let sim = Sim::new(23);
+    let nprocs = cfg.nodes;
+    let cfg = Rc::new(cfg);
+    let stats: Vec<Rc<RefCell<NodeStats>>> =
+        (0..nprocs).map(|_| Rc::new(RefCell::new(NodeStats::new()))).collect();
+    let net = Network::new(&sim, NetConfig::from_machine(&cfg), stats.clone());
+    let nodes: Vec<Node> = (0..nprocs)
+        .map(|i| Node::new(&sim, NodeId(i), nprocs, Rc::clone(&cfg), Rc::clone(&stats[i])))
+        .collect();
+    let am = Am::new(net, cfg, nodes);
+    (sim, Rpc::new(am), stats)
+}
+
+pub struct ChainState {
+    pub level: u32,
+}
+
+define_rpc_service! {
+    /// A call that forwards to the next node — a handler performing a
+    /// synchronous nested RPC.
+    service Chain {
+        state ChainState;
+
+        /// Forward `hops` more times, collecting the path.
+        rpc relay(ctx, st, hops: u32, path: Vec<u32>) -> Vec<u32> {
+            let mut path = path;
+            path.push(ctx.node().id().index() as u32);
+            let _ = st.level;
+            if hops == 0 {
+                path
+            } else {
+                let next = oam_rpc::NodeId((ctx.node().id().index() + 1) % ctx.node().nprocs());
+                // A synchronous call inside the handler: the optimistic
+                // execution must abort (it waits) and complete as a
+                // promoted thread.
+                Chain::relay::call(&ctx.rpc, ctx.node(), next, hops - 1, path).await
+            }
+        }
+
+        /// Return a payload big enough to force a bulk-transfer reply.
+        rpc big(ctx, st, n: u32) -> Vec<u64> {
+            let _ = (ctx, st);
+            (0..n as u64).collect()
+        }
+    }
+}
+
+fn setup(rpc: &Rpc, mode: RpcMode) {
+    for node in rpc.nodes() {
+        Chain::register_all(rpc, node.id(), Rc::new(ChainState { level: 0 }), mode);
+    }
+}
+
+#[test]
+fn nested_synchronous_calls_abort_and_complete_as_threads() {
+    let (sim, rpc, stats) = build(MachineConfig::cm5(4));
+    setup(&rpc, RpcMode::Orpc);
+    let node0 = rpc.nodes()[0].clone();
+    let (r, n0) = (rpc.clone(), node0.clone());
+    let got: Rc<RefCell<Vec<u32>>> = Rc::default();
+    let g = got.clone();
+    node0.spawn(async move {
+        *g.borrow_mut() = Chain::relay::call(&r, &n0, NodeId(1), 5, Vec::new()).await;
+    });
+    sim.run();
+    assert_eq!(*got.borrow(), vec![1, 2, 3, 0, 1, 2], "the relay visited six nodes in ring order");
+    let total: NodeStats = {
+        let mut acc = NodeStats::new();
+        for s in &stats {
+            acc.merge(&s.borrow());
+        }
+        acc
+    };
+    // Every relay hop except the last waits on a nested reply → aborts
+    // (ConditionFalse via the reply spin) and is promoted.
+    assert_eq!(total.oam_attempts, 6);
+    assert_eq!(total.oam_successes, 1, "only the terminal hop completes inline");
+    assert_eq!(total.oam_promotions, 5);
+}
+
+#[test]
+fn nested_calls_also_work_under_trpc() {
+    let (sim, rpc, _) = build(MachineConfig::cm5(3));
+    setup(&rpc, RpcMode::Trpc);
+    let node0 = rpc.nodes()[0].clone();
+    let (r, n0) = (rpc.clone(), node0.clone());
+    let got: Rc<RefCell<Vec<u32>>> = Rc::default();
+    let g = got.clone();
+    node0.spawn(async move {
+        *g.borrow_mut() = Chain::relay::call(&r, &n0, NodeId(1), 3, Vec::new()).await;
+    });
+    sim.run();
+    assert_eq!(*got.borrow(), vec![1, 2, 0, 1]);
+}
+
+#[test]
+fn bulk_reply_roundtrips_large_data() {
+    let (sim, rpc, stats) = build(MachineConfig::cm5(2));
+    setup(&rpc, RpcMode::Orpc);
+    let node0 = rpc.nodes()[0].clone();
+    let (r, n0) = (rpc.clone(), node0.clone());
+    let ok = Rc::new(RefCell::new(false));
+    let okc = ok.clone();
+    node0.spawn(async move {
+        let v = Chain::big::call(&r, &n0, NodeId(1), 10_000).await;
+        assert_eq!(v.len(), 10_000);
+        assert_eq!(v[9_999], 9_999);
+        *okc.borrow_mut() = true;
+    });
+    sim.run();
+    assert!(*ok.borrow());
+    // The reply (80 KB) went through the bulk engine.
+    assert_eq!(stats[1].borrow().bulk_transfers_sent, 1);
+}
+
+#[test]
+fn deep_recursion_respects_dispatch_depth_limits() {
+    // A two-node ping-pong chain with many hops stresses nested dispatch
+    // (send-drain can run handlers inside handlers); the depth cap must
+    // keep it bounded rather than overflowing the real stack.
+    let (sim, rpc, _) = build(MachineConfig::cm5(2));
+    setup(&rpc, RpcMode::Orpc);
+    let node0 = rpc.nodes()[0].clone();
+    let (r, n0) = (rpc.clone(), node0.clone());
+    let got: Rc<RefCell<usize>> = Rc::default();
+    let g = got.clone();
+    node0.spawn(async move {
+        let path = Chain::relay::call(&r, &n0, NodeId(1), 40, Vec::new()).await;
+        *g.borrow_mut() = path.len();
+    });
+    sim.run();
+    assert_eq!(*got.borrow(), 41);
+}

@@ -1,0 +1,28 @@
+//! # oam-sim
+//!
+//! Deterministic discrete-event simulation core. Provides the virtual clock,
+//! an event queue of timed closures, a single-threaded executor for
+//! non-`Send` futures, and sleep timers. The network fabric (`oam-net`) and
+//! the per-node thread schedulers (`oam-threads`) are built directly on
+//! these primitives.
+//!
+//! ```
+//! use oam_sim::{Sim, sleep};
+//! use oam_model::Dur;
+//!
+//! let sim = Sim::new(42);
+//! let s = sim.clone();
+//! sim.spawn(async move {
+//!     sleep(&s, Dur::from_micros(10)).await;
+//!     assert_eq!(s.now().as_micros_f64(), 10.0);
+//! });
+//! sim.run();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod timer;
+
+pub use executor::{EventId, Sim, TaskId};
+pub use timer::{sleep, sleep_until, Sleep};

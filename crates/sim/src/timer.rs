@@ -1,0 +1,148 @@
+//! Virtual-time sleep futures.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use oam_model::{Dur, Time};
+
+use crate::executor::Sim;
+
+#[derive(Default)]
+struct SleepShared {
+    fired: bool,
+    waker: Option<Waker>,
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`]; resolves when the virtual
+/// clock reaches the target time.
+pub struct Sleep {
+    sim: Sim,
+    at: Time,
+    shared: Option<Rc<RefCell<SleepShared>>>,
+}
+
+/// Suspend the calling task for `d` of virtual time.
+pub fn sleep(sim: &Sim, d: Dur) -> Sleep {
+    sleep_until(sim, sim.now() + d)
+}
+
+/// Suspend the calling task until the virtual clock reaches `at`.
+pub fn sleep_until(sim: &Sim, at: Time) -> Sleep {
+    Sleep { sim: sim.clone(), at, shared: None }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match &this.shared {
+            None => {
+                if this.sim.now() >= this.at {
+                    return Poll::Ready(());
+                }
+                let shared = Rc::new(RefCell::new(SleepShared {
+                    fired: false,
+                    waker: Some(cx.waker().clone()),
+                }));
+                let event_shared = Rc::clone(&shared);
+                this.sim.schedule_at(this.at, move |_| {
+                    let mut s = event_shared.borrow_mut();
+                    s.fired = true;
+                    if let Some(w) = s.waker.take() {
+                        w.wake();
+                    }
+                });
+                this.shared = Some(shared);
+                Poll::Pending
+            }
+            Some(shared) => {
+                let mut s = shared.borrow_mut();
+                if s.fired {
+                    Poll::Ready(())
+                } else {
+                    s.waker = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new(1);
+        let woke_at = Rc::new(Cell::new(Time::ZERO));
+        let w = woke_at.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            sleep(&s, Dur::from_micros(5)).await;
+            w.set(s.now());
+        });
+        sim.run();
+        assert_eq!(woke_at.get(), Time::from_nanos(5_000));
+    }
+
+    #[test]
+    fn zero_sleep_completes_without_suspending() {
+        let sim = Sim::new(1);
+        let polled = Rc::new(Cell::new(false));
+        let p = polled.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            sleep(&s, Dur::ZERO).await;
+            p.set(true);
+        });
+        sim.run();
+        assert!(polled.get());
+        assert_eq!(sim.now(), Time::ZERO);
+    }
+
+    #[test]
+    fn concurrent_sleeps_interleave_deterministically() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<(u32, Time)>>> = Rc::default();
+        for (id, us) in [(1u32, 30u64), (2, 10), (3, 20)] {
+            let log = log.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                sleep(&s, Dur::from_micros(us)).await;
+                log.borrow_mut().push((id, s.now()));
+            });
+        }
+        sim.run();
+        let got = log.borrow().clone();
+        assert_eq!(
+            got,
+            vec![
+                (2, Time::from_nanos(10_000)),
+                (3, Time::from_nanos(20_000)),
+                (1, Time::from_nanos(30_000)),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let end = Rc::new(Cell::new(Time::ZERO));
+        let e = end.clone();
+        sim.spawn(async move {
+            for _ in 0..4 {
+                sleep(&s, Dur::from_micros(3)).await;
+            }
+            e.set(s.now());
+        });
+        sim.run();
+        assert_eq!(end.get(), Time::from_nanos(12_000));
+    }
+}

@@ -1,0 +1,292 @@
+//! Per-node scheduler state.
+//!
+//! Mirrors the paper's thread package (§3.1): non-preemptive, one running
+//! thread per node, run-to-completion except on blocking or voluntary
+//! yield, and the *live-stack optimization* — when the scheduler is running
+//! on the stack of a terminated thread, a newly created thread can be
+//! started directly (7 µs) instead of through a full context switch (52 µs).
+//!
+//! The scheduler itself is an event-driven object (not a future); threads
+//! are futures it polls. The actual step loop lives in
+//! [`crate::node::Node::step`]; this module holds the data structures and
+//! the cost accounting they imply.
+
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use oam_model::{CostModel, Dur};
+
+/// Identifier of a thread (or a provisional optimistic-execution slot) on a
+/// single node. Not meaningful across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub(crate) u64);
+
+impl ThreadId {
+    /// The raw scheduler-local id (trace correlation).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Where [`crate::node::Node::make_runnable`] inserts a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Front of the run queue (runs next).
+    Front,
+    /// Back of the run queue.
+    Back,
+    /// Per the machine's configured [`oam_model::QueuePolicy`] — used for
+    /// incoming RPC threads, the knob §4.1 of the paper sweeps.
+    Policy,
+}
+
+/// A shared boolean used for spin-waits (reply flags, barrier completion).
+///
+/// A thread that `wait`s on a flag keeps the processor and busy-polls the
+/// network, exactly like a CM-5 stub waiting for an RPC reply; the scheduler
+/// may run other runnable threads in the meantime (paying switch costs) and
+/// resumes the spinner once the flag is set.
+#[derive(Clone, Default)]
+pub struct Flag(Rc<Cell<bool>>);
+
+impl Flag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the flag, releasing any spinner.
+    pub fn set(&self) {
+        self.0.set(true);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> bool {
+        self.0.get()
+    }
+}
+
+impl std::fmt::Debug for Flag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Flag({})", self.0.get())
+    }
+}
+
+/// How the currently polled thread suspended, reported through
+/// `Node::block_kind` by the synchronization primitives.
+pub(crate) enum BlockKind {
+    /// Apply the node's accumulated pending charge, then resume this thread
+    /// (the `charge` primitive).
+    Settle,
+    /// Requeue at the back and run someone else.
+    Yield,
+    /// Parked in a primitive's wait list; the primitive will call
+    /// `make_runnable` later.
+    Blocked,
+    /// Busy-wait for a flag while letting messages (and runnable threads)
+    /// through.
+    Spin(Flag),
+}
+
+/// Lifecycle state of a thread slot.
+pub(crate) enum SlotState {
+    /// Reserved for an optimistic handler execution that has not (and may
+    /// never) become a real thread. `woken` records a wake that arrived
+    /// before promotion.
+    Provisional { woken: bool },
+    /// In the run queue.
+    Runnable,
+    /// Currently being executed.
+    Running,
+    /// Parked: in a primitive's wait list, spinning on a flag, or mid-charge.
+    Parked,
+}
+
+pub(crate) struct ThreadSlot {
+    pub fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    pub state: SlotState,
+    /// True until the thread's first poll: drives live-stack accounting.
+    pub never_ran: bool,
+}
+
+/// What is occupying the processor's stack — determines the cost of
+/// starting/resuming the next thread (see [`switch_cost`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StackState {
+    /// Fresh node (nothing has run yet) — like a terminated stack.
+    Pristine,
+    /// The scheduler is on a terminated thread's stack: a fresh thread can
+    /// be started directly.
+    Terminated,
+    /// This thread suspended (blocked/yielded/spinning) and is still "hot":
+    /// resuming *it* is free, but running anything else costs a full switch.
+    Live(ThreadId),
+}
+
+/// Outcome of the cost computation for starting/resuming a thread.
+pub(crate) struct SwitchCharge {
+    pub cost: Dur,
+    pub full_switch: bool,
+    /// `Some(true)` = live-stack hit, `Some(false)` = miss, `None` = not a
+    /// fresh start (doesn't enter the live-stack statistics).
+    pub live_stack: Option<bool>,
+}
+
+/// Compute the cost of making `next` the running thread given the current
+/// stack occupancy (§3.1 cost structure):
+///
+/// * resuming the thread that is still hot on the stack: free;
+/// * starting a *fresh* thread from a terminated/pristine stack: direct
+///   start, 7 µs — the live-stack optimization;
+/// * starting a fresh thread over a live suspended thread: save the live
+///   state (52 µs) plus the direct start (7 µs) — the paper's ~60 µs;
+/// * resuming a suspended thread: a full context switch (52 µs); the paper
+///   notes the register restore could not be avoided even from a
+///   terminated stack (SPARC register windows).
+pub(crate) fn switch_cost(cost: &CostModel, stack: StackState, next: ThreadId, never_ran: bool) -> SwitchCharge {
+    match (stack, never_ran) {
+        (StackState::Live(cur), _) if cur == next => SwitchCharge {
+            cost: Dur::ZERO,
+            full_switch: false,
+            live_stack: None,
+        },
+        (StackState::Terminated | StackState::Pristine, true) => SwitchCharge {
+            cost: cost.thread_create_direct,
+            full_switch: false,
+            live_stack: Some(true),
+        },
+        (StackState::Live(_), true) => SwitchCharge {
+            cost: cost.context_switch + cost.thread_create_direct,
+            full_switch: true,
+            live_stack: Some(false),
+        },
+        (_, false) => SwitchCharge {
+            cost: cost.context_switch,
+            full_switch: true,
+            live_stack: None,
+        },
+    }
+}
+
+/// The per-node scheduler bookkeeping.
+pub(crate) struct Sched {
+    pub slots: HashMap<u64, ThreadSlot>,
+    pub run_queue: VecDeque<ThreadId>,
+    pub current: Option<ThreadId>,
+    /// Spin-waiting threads, in registration order.
+    pub spinners: Vec<(ThreadId, Flag)>,
+    pub stack_state: StackState,
+    pub next_id: u64,
+    /// Count of live (not Done, not Provisional) threads.
+    pub live_threads: usize,
+}
+
+impl Sched {
+    pub fn new() -> Self {
+        Sched {
+            slots: HashMap::new(),
+            run_queue: VecDeque::new(),
+            current: None,
+            spinners: Vec::new(),
+            stack_state: StackState::Pristine,
+            next_id: 0,
+            live_threads: 0,
+        }
+    }
+
+    pub fn alloc_id(&mut self) -> ThreadId {
+        let id = self.next_id;
+        self.next_id += 1;
+        ThreadId(id)
+    }
+
+    /// Remove and return spinners whose flag is set, in registration order.
+    /// The node makes each runnable (handling provisional slots correctly).
+    pub fn take_ready_spinners(&mut self) -> Vec<ThreadId> {
+        if self.spinners.is_empty() {
+            return Vec::new();
+        }
+        let mut ready: Vec<ThreadId> = Vec::new();
+        self.spinners.retain(|(tid, flag)| {
+            if flag.get() {
+                ready.push(*tid);
+                false
+            } else {
+                true
+            }
+        });
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm5() -> CostModel {
+        CostModel::cm5()
+    }
+
+    #[test]
+    fn resuming_hot_thread_is_free() {
+        let c = switch_cost(&cm5(), StackState::Live(ThreadId(3)), ThreadId(3), false);
+        assert_eq!(c.cost, Dur::ZERO);
+        assert!(!c.full_switch);
+        assert_eq!(c.live_stack, None);
+    }
+
+    #[test]
+    fn fresh_thread_from_terminated_stack_is_7us() {
+        let c = switch_cost(&cm5(), StackState::Terminated, ThreadId(1), true);
+        assert_eq!(c.cost, Dur::from_micros(7));
+        assert_eq!(c.live_stack, Some(true));
+    }
+
+    #[test]
+    fn fresh_thread_over_live_thread_is_59us() {
+        let c = switch_cost(&cm5(), StackState::Live(ThreadId(0)), ThreadId(1), true);
+        assert_eq!(c.cost, Dur::from_micros(59));
+        assert!(c.full_switch);
+        assert_eq!(c.live_stack, Some(false));
+    }
+
+    #[test]
+    fn resuming_suspended_thread_always_pays_full_switch() {
+        for stack in [StackState::Pristine, StackState::Terminated, StackState::Live(ThreadId(9))] {
+            let c = switch_cost(&cm5(), stack, ThreadId(1), false);
+            assert_eq!(c.cost, Dur::from_micros(52), "stack = {stack:?}");
+            assert!(c.full_switch);
+        }
+    }
+
+    #[test]
+    fn ready_spinners_are_taken_in_registration_order() {
+        let mut s = Sched::new();
+        let (f1, f2, f3) = (Flag::new(), Flag::new(), Flag::new());
+        for (i, f) in [&f1, &f2, &f3].iter().enumerate() {
+            let tid = ThreadId(i as u64);
+            s.slots.insert(tid.0, ThreadSlot { fut: None, state: SlotState::Parked, never_ran: false });
+            s.spinners.push((tid, (*f).clone()));
+        }
+        f1.set();
+        f3.set();
+        let ready = s.take_ready_spinners();
+        assert_eq!(ready, vec![ThreadId(0), ThreadId(2)]);
+        assert_eq!(s.spinners.len(), 1);
+        assert_eq!(s.spinners[0].0, ThreadId(1));
+        assert!(s.take_ready_spinners().is_empty(), "taking twice yields nothing new");
+    }
+
+    #[test]
+    fn flag_set_get() {
+        let f = Flag::new();
+        assert!(!f.get());
+        f.set();
+        assert!(f.get());
+        let g = f.clone();
+        assert!(g.get(), "clones share state");
+    }
+}

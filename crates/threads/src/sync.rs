@@ -1,0 +1,371 @@
+//! Locks and condition variables (§3.1 of the paper).
+//!
+//! These are *per-node* primitives: the paper's threads synchronize within
+//! a node; cross-node synchronization happens through RPC. Both primitives
+//! are mode-aware:
+//!
+//! * in **thread** mode a contended `lock()` / false-condition `wait()`
+//!   parks the thread and releases the processor;
+//! * in **optimistic** mode they record the abort cause
+//!   ([`AbortReason::LockHeld`] / [`AbortReason::ConditionFalse`]) and
+//!   return `Pending`, leaving the provisional slot registered in the wait
+//!   list — so a *promoted* continuation resumes exactly where the handler
+//!   would have (lazy thread creation needs no undo);
+//! * the rerun/NACK abort paths simply drop the futures, whose `Drop`
+//!   impls deregister and, when a lock grant raced in, pass it on.
+//!
+//! Lock handoff is FIFO and direct (the releasing thread grants to the
+//! longest waiter), which keeps scheduling deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use oam_model::AbortReason;
+
+use crate::node::{ExecMode, Node};
+use crate::sched::{BlockKind, Placement, ThreadId};
+
+type WaitEntry = (ThreadId, Rc<Cell<bool>>);
+
+struct MutexInner<T> {
+    node: Node,
+    locked: Cell<bool>,
+    waiters: RefCell<VecDeque<WaitEntry>>,
+    value: RefCell<T>,
+}
+
+/// A non-preemptive, FIFO-handoff mutex protecting a `T`.
+pub struct Mutex<T> {
+    inner: Rc<MutexInner<T>>,
+}
+
+impl<T> Clone for Mutex<T> {
+    fn clone(&self) -> Self {
+        Mutex { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex on `node` guarding `value`.
+    pub fn new(node: &Node, value: T) -> Self {
+        Mutex {
+            inner: Rc::new(MutexInner {
+                node: node.clone(),
+                locked: Cell::new(false),
+                waiters: RefCell::new(VecDeque::new()),
+                value: RefCell::new(value),
+            }),
+        }
+    }
+
+    /// Acquire the lock. Await point: may park the thread or abort an
+    /// optimistic execution.
+    pub fn lock(&self) -> LockFuture<T> {
+        LockFuture { mutex: self.clone(), registration: None, acquired: false }
+    }
+
+    /// Non-blocking acquisition attempt (usable from hand-coded AM
+    /// handlers, which must not block).
+    pub fn try_lock(&self) -> Option<MutexGuard<T>> {
+        if self.inner.locked.get() {
+            None
+        } else {
+            self.inner.locked.set(true);
+            self.inner.node.add_pending(self.inner.node.config().cost.mutex_op);
+            Some(MutexGuard { mutex: self.clone(), released: false })
+        }
+    }
+
+    /// Is the lock currently held?
+    pub fn is_locked(&self) -> bool {
+        self.inner.locked.get()
+    }
+
+    /// Number of threads waiting for the lock.
+    pub fn waiters(&self) -> usize {
+        self.inner.waiters.borrow().len()
+    }
+
+    /// Release: hand off to the longest waiter, or unlock.
+    fn unlock(&self) {
+        debug_assert!(self.inner.locked.get(), "unlock of an unlocked mutex");
+        let next = self.inner.waiters.borrow_mut().pop_front();
+        match next {
+            Some((tid, granted)) => {
+                granted.set(true);
+                self.inner.node.make_runnable(tid, Placement::Front);
+            }
+            None => self.inner.locked.set(false),
+        }
+        self.inner.node.add_pending(self.inner.node.config().cost.mutex_op);
+    }
+}
+
+/// RAII guard; the lock is released on drop. Access the protected value
+/// through [`MutexGuard::with`] / [`MutexGuard::with_mut`].
+pub struct MutexGuard<T> {
+    mutex: Mutex<T>,
+    released: bool,
+}
+
+impl<T> MutexGuard<T> {
+    /// Read access to the protected value.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.mutex.inner.value.borrow())
+    }
+
+    /// Mutable access to the protected value.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.mutex.inner.value.borrow_mut())
+    }
+
+    /// Copy the protected value out.
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        *self.mutex.inner.value.borrow()
+    }
+
+    /// Replace the protected value.
+    pub fn set(&self, v: T) {
+        *self.mutex.inner.value.borrow_mut() = v;
+    }
+
+    /// Explicit early release (equivalent to dropping the guard).
+    pub fn unlock(mut self) {
+        self.release();
+    }
+
+    fn release(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.mutex.unlock();
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<T> {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// Future returned by [`Mutex::lock`].
+pub struct LockFuture<T> {
+    mutex: Mutex<T>,
+    /// `(tid, granted)` once parked in the wait list.
+    registration: Option<WaitEntry>,
+    acquired: bool,
+}
+
+impl<T> Future for LockFuture<T> {
+    type Output = MutexGuard<T>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<MutexGuard<T>> {
+        let this = self.get_mut();
+        let node = this.mutex.inner.node.clone();
+        if let Some((_tid, granted)) = &this.registration {
+            if granted.get() {
+                // Direct handoff: the releaser already made us the holder.
+                this.registration = None;
+                this.acquired = true;
+                node.add_pending(node.config().cost.mutex_op);
+                return Poll::Ready(MutexGuard { mutex: this.mutex.clone(), released: false });
+            }
+            // Spurious re-poll while still waiting.
+            match node.mode() {
+                ExecMode::Thread => node.set_block_kind(BlockKind::Blocked),
+                ExecMode::Optimistic => node.set_abort_cause(AbortReason::LockHeld),
+                ExecMode::AmInline => unreachable!("AM handlers cannot be re-polled"),
+            }
+            return Poll::Pending;
+        }
+        if !this.mutex.inner.locked.get() {
+            this.mutex.inner.locked.set(true);
+            this.acquired = true;
+            node.add_pending(node.config().cost.mutex_op);
+            return Poll::Ready(MutexGuard { mutex: this.mutex.clone(), released: false });
+        }
+        // Contended: park.
+        let tid = node.current_exec();
+        let granted = Rc::new(Cell::new(false));
+        this.mutex.inner.waiters.borrow_mut().push_back((tid, Rc::clone(&granted)));
+        this.registration = Some((tid, granted));
+        match node.mode() {
+            ExecMode::Thread => node.set_block_kind(BlockKind::Blocked),
+            ExecMode::Optimistic => node.set_abort_cause(AbortReason::LockHeld),
+            ExecMode::AmInline => unreachable!("current_exec panics in AM mode"),
+        }
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for LockFuture<T> {
+    fn drop(&mut self) {
+        if let Some((tid, granted)) = self.registration.take() {
+            if granted.get() {
+                // The lock was handed to us but never consumed (abort
+                // raced with the release): pass it on.
+                self.mutex.unlock();
+            } else {
+                self.mutex.inner.waiters.borrow_mut().retain(|(t, _)| *t != tid);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condition variables
+// ---------------------------------------------------------------------------
+
+struct CondVarInner {
+    node: Node,
+    waiters: RefCell<VecDeque<WaitEntry>>,
+}
+
+/// A condition variable. Use with the owning node's [`Mutex`].
+pub struct CondVar {
+    inner: Rc<CondVarInner>,
+}
+
+impl Clone for CondVar {
+    fn clone(&self) -> Self {
+        CondVar { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl CondVar {
+    /// Create a condition variable on `node`.
+    pub fn new(node: &Node) -> Self {
+        CondVar {
+            inner: Rc::new(CondVarInner { node: node.clone(), waiters: RefCell::new(VecDeque::new()) }),
+        }
+    }
+
+    /// Atomically release `guard`, wait for a signal, and reacquire the
+    /// lock. Returns the new guard. The caller must re-check its condition
+    /// in a loop, as with any condition variable.
+    pub fn wait<T>(&self, guard: MutexGuard<T>) -> CvWait<T> {
+        CvWait {
+            cv: self.clone(),
+            mutex: guard.mutex.clone(),
+            phase: CvPhase::Start(guard),
+        }
+    }
+
+    /// Wake the longest-waiting thread, if any.
+    pub fn signal(&self) {
+        let next = self.inner.waiters.borrow_mut().pop_front();
+        if let Some((tid, signaled)) = next {
+            signaled.set(true);
+            self.inner.node.make_runnable(tid, Placement::Front);
+        }
+        self.inner.node.add_pending(self.inner.node.config().cost.condvar_signal);
+    }
+
+    /// Wake all waiting threads, preserving their wait order (the
+    /// longest waiter runs first).
+    pub fn broadcast(&self) {
+        let drained: Vec<WaitEntry> = self.inner.waiters.borrow_mut().drain(..).collect();
+        // Front placement reverses insertion order, so walk the waiters
+        // back-to-front: the earliest waiter ends up frontmost.
+        for (tid, signaled) in drained.into_iter().rev() {
+            signaled.set(true);
+            self.inner.node.make_runnable(tid, Placement::Front);
+        }
+        self.inner.node.add_pending(self.inner.node.config().cost.condvar_signal);
+    }
+
+    /// Number of threads currently waiting.
+    pub fn waiters(&self) -> usize {
+        self.inner.waiters.borrow().len()
+    }
+}
+
+enum CvPhase<T> {
+    /// Holding the guard; about to release and park.
+    Start(MutexGuard<T>),
+    /// Parked, waiting for a signal.
+    Waiting(WaitEntry),
+    /// Signalled; reacquiring the mutex.
+    Relock(LockFuture<T>),
+    Done,
+}
+
+/// Future returned by [`CondVar::wait`].
+pub struct CvWait<T> {
+    cv: CondVar,
+    mutex: Mutex<T>,
+    phase: CvPhase<T>,
+}
+
+impl<T> Future for CvWait<T> {
+    type Output = MutexGuard<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<MutexGuard<T>> {
+        let this = self.get_mut();
+        let node = this.cv.inner.node.clone();
+        loop {
+            match std::mem::replace(&mut this.phase, CvPhase::Done) {
+                CvPhase::Start(guard) => {
+                    let tid = node.current_exec();
+                    let signaled = Rc::new(Cell::new(false));
+                    // Register *before* releasing the lock so a signal sent
+                    // by the thread the release wakes cannot be missed.
+                    this.cv.inner.waiters.borrow_mut().push_back((tid, Rc::clone(&signaled)));
+                    node.add_pending(node.config().cost.condvar_wait_setup);
+                    drop(guard); // releases the mutex (possible handoff)
+                    this.phase = CvPhase::Waiting((tid, signaled));
+                    match node.mode() {
+                        ExecMode::Thread => node.set_block_kind(BlockKind::Blocked),
+                        ExecMode::Optimistic => node.set_abort_cause(AbortReason::ConditionFalse),
+                        ExecMode::AmInline => unreachable!("current_exec panics in AM mode"),
+                    }
+                    return Poll::Pending;
+                }
+                CvPhase::Waiting(entry) => {
+                    if entry.1.get() {
+                        this.phase = CvPhase::Relock(this.mutex.lock());
+                        continue;
+                    }
+                    this.phase = CvPhase::Waiting(entry);
+                    match node.mode() {
+                        ExecMode::Thread => node.set_block_kind(BlockKind::Blocked),
+                        ExecMode::Optimistic => node.set_abort_cause(AbortReason::ConditionFalse),
+                        ExecMode::AmInline => unreachable!(),
+                    }
+                    return Poll::Pending;
+                }
+                CvPhase::Relock(mut lf) => match Pin::new(&mut lf).poll(cx) {
+                    Poll::Ready(guard) => return Poll::Ready(guard),
+                    Poll::Pending => {
+                        this.phase = CvPhase::Relock(lf);
+                        return Poll::Pending;
+                    }
+                },
+                CvPhase::Done => panic!("CvWait polled after completion"),
+            }
+        }
+    }
+}
+
+impl<T> Drop for CvWait<T> {
+    fn drop(&mut self) {
+        if let CvPhase::Waiting((tid, signaled)) = &self.phase {
+            if signaled.get() {
+                // A signal was consumed by a wait that is being abandoned
+                // (abort path): forward it so no wakeup is lost.
+                self.cv.signal();
+            } else {
+                self.cv.inner.waiters.borrow_mut().retain(|(t, _)| t != tid);
+            }
+        }
+        // CvPhase::Relock drops the inner LockFuture, whose own Drop
+        // deregisters / passes the lock on.
+    }
+}

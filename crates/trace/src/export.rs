@@ -1,0 +1,193 @@
+//! Trace exporters: Chrome trace-event JSON (load in `chrome://tracing`
+//! or Perfetto), a plain-text timeline, and per-node summaries.
+
+use std::fmt::Write as _;
+
+use oam_model::{Dur, NodeId, TraceKind};
+
+use crate::recorder::Recorder;
+
+/// Render the recorded events as Chrome trace-event JSON.
+///
+/// Threads appear as duration events on their node's track; dispatches,
+/// OAM outcomes, and idle periods as instant/duration events. Timestamps
+/// are virtual microseconds.
+pub fn to_chrome_json(rec: &Recorder) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+    };
+    // Track open intervals: (node, tid) -> start; node -> idle start.
+    let mut running: std::collections::HashMap<(usize, u64), f64> = std::collections::HashMap::new();
+    let mut idle: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    for ev in rec.events() {
+        let pid = ev.node.index();
+        let ts = ev.t.as_micros_f64();
+        match &ev.kind {
+            TraceKind::ThreadStarted { tid, .. } => {
+                running.insert((pid, *tid), ts);
+            }
+            TraceKind::ThreadFinished { tid } => {
+                if let Some(start) = running.remove(&(pid, *tid)) {
+                    sep(&mut out);
+                    let _ = write!(
+                        out,
+                        r#"  {{"name":"thread {tid}","ph":"X","pid":{pid},"tid":{tid},"ts":{start},"dur":{}}}"#,
+                        (ts - start).max(0.01)
+                    );
+                }
+            }
+            TraceKind::IdleStart => {
+                idle.insert(pid, ts);
+            }
+            TraceKind::IdleEnd => {
+                if let Some(start) = idle.remove(&pid) {
+                    sep(&mut out);
+                    let _ = write!(
+                        out,
+                        r#"  {{"name":"idle","ph":"X","pid":{pid},"tid":0,"ts":{start},"dur":{},"cname":"grey"}}"#,
+                        (ts - start).max(0.01)
+                    );
+                }
+            }
+            TraceKind::Dispatched { tag, src, bytes, bulk } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"dispatch {tag}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"t","args":{{"src":{},"bytes":{bytes},"bulk":{bulk}}}}}"#,
+                    src.index()
+                );
+            }
+            TraceKind::OamSuccess { tag } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"oam-ok {tag}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"t"}}"#
+                );
+            }
+            TraceKind::OamAborted { tag, reason } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"oam-abort {tag} ({reason})","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p"}}"#
+                );
+            }
+            TraceKind::ThreadSpawned { .. } => {}
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Render a plain-text, per-node timeline (one line per event).
+pub fn to_text(rec: &Recorder) -> String {
+    let mut out = String::new();
+    for ev in rec.events() {
+        let _ = writeln!(out, "{:>12} {} {:10} {:?}", ev.t.to_string(), ev.node, ev.kind.label(), ev.kind);
+    }
+    out
+}
+
+/// Per-node activity summary derived from a trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeSummary {
+    /// Threads started (fresh or resumed) on the node.
+    pub thread_starts: usize,
+    /// Messages dispatched.
+    pub dispatches: usize,
+    /// Optimistic successes.
+    pub oam_ok: usize,
+    /// Optimistic aborts.
+    pub oam_aborts: usize,
+    /// Total time spent idle (closed intervals only).
+    pub idle: Dur,
+}
+
+/// Summarize a trace per node.
+pub fn summarize(rec: &Recorder, nodes: usize) -> Vec<NodeSummary> {
+    let mut out = vec![NodeSummary::default(); nodes];
+    let mut idle_start: Vec<Option<f64>> = vec![None; nodes];
+    for ev in rec.events() {
+        let s = &mut out[ev.node.index()];
+        match &ev.kind {
+            TraceKind::ThreadStarted { .. } => s.thread_starts += 1,
+            TraceKind::Dispatched { .. } => s.dispatches += 1,
+            TraceKind::OamSuccess { .. } => s.oam_ok += 1,
+            TraceKind::OamAborted { .. } => s.oam_aborts += 1,
+            TraceKind::IdleStart => idle_start[ev.node.index()] = Some(ev.t.as_micros_f64()),
+            TraceKind::IdleEnd => {
+                if let Some(st) = idle_start[ev.node.index()].take() {
+                    s.idle += Dur::from_micros_f64(ev.t.as_micros_f64() - st);
+                }
+            }
+            TraceKind::ThreadSpawned { .. } | TraceKind::ThreadFinished { .. } => {}
+        }
+    }
+    out
+}
+
+/// Render per-node summaries as an aligned text table.
+pub fn summary_table(rec: &Recorder, nodes: usize) -> String {
+    let mut out = String::from("node  starts  dispatches  oam-ok  oam-abort  idle\n");
+    for (i, s) in summarize(rec, nodes).iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>6}  {:>10}  {:>6}  {:>9}  {}",
+            NodeId(i),
+            s.thread_starts,
+            s.dispatches,
+            s.oam_ok,
+            s.oam_aborts,
+            s.idle
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oam_machine::MachineBuilder;
+
+    fn traced_run() -> (Recorder, usize) {
+        let m = MachineBuilder::new(2).build();
+        let rec = Recorder::install(m.nodes());
+        m.run(|env| async move {
+            env.charge_micros(5).await;
+            env.barrier().await;
+        });
+        (rec, 2)
+    }
+
+    #[test]
+    fn chrome_json_is_syntactically_plausible() {
+        let (rec, _) = traced_run();
+        let json = to_chrome_json(&rec);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains(r#""ph":"X""#), "has duration events");
+        // Balanced braces (cheap sanity check; content is machine-made).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn text_timeline_has_one_line_per_event() {
+        let (rec, _) = traced_run();
+        let text = to_text(&rec);
+        assert_eq!(text.lines().count(), rec.len());
+    }
+
+    #[test]
+    fn summaries_count_thread_starts() {
+        let (rec, nodes) = traced_run();
+        let sums = summarize(&rec, nodes);
+        assert_eq!(sums.len(), 2);
+        assert!(sums.iter().all(|s| s.thread_starts >= 1));
+        let table = summary_table(&rec, nodes);
+        assert!(table.contains("n0"));
+        assert!(table.contains("n1"));
+    }
+}

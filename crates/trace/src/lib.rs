@@ -1,0 +1,16 @@
+//! # oam-trace
+//!
+//! Execution-trace recording for the simulated multicomputer: attach a
+//! [`Recorder`] to a machine's nodes, run, then export the trace as
+//! Chrome trace-event JSON (`chrome://tracing` / Perfetto), a text
+//! timeline, or per-node summaries. The runtime layers emit
+//! [`oam_model::TraceEvent`]s for thread lifecycle, message dispatch,
+//! optimistic successes/aborts, and idle transitions.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod recorder;
+
+pub use export::{summarize, summary_table, to_chrome_json, to_text, NodeSummary};
+pub use recorder::Recorder;

@@ -1,0 +1,131 @@
+//! Recording trace events from a running machine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use oam_model::{NodeId, TraceEvent, TraceKind};
+use oam_threads::Node;
+
+/// Records every [`TraceEvent`] emitted by the nodes it is installed on.
+///
+/// ```
+/// # use oam_machine::MachineBuilder;
+/// # use oam_trace::Recorder;
+/// let machine = MachineBuilder::new(4).build();
+/// let rec = Recorder::install(machine.nodes());
+/// machine.run(|env| async move { env.charge_micros(5).await; });
+/// assert!(rec.len() > 0);
+/// ```
+#[derive(Clone, Default)]
+pub struct Recorder {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl Recorder {
+    /// A fresh, unattached recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a recorder and attach it to every node.
+    pub fn install(nodes: &[Node]) -> Self {
+        let rec = Self::new();
+        for n in nodes {
+            rec.attach(n);
+        }
+        rec
+    }
+
+    /// Attach to one node (events from several nodes interleave by
+    /// emission order, which is deterministic).
+    pub fn attach(&self, node: &Node) {
+        let events = Rc::clone(&self.events);
+        node.set_observer(Some(Rc::new(move |ev: &TraceEvent| {
+            events.borrow_mut().push(ev.clone());
+        })));
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot all events (emission order).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Events for one node only.
+    pub fn events_for(&self, node: NodeId) -> Vec<TraceEvent> {
+        self.events.borrow().iter().filter(|e| e.node == node).cloned().collect()
+    }
+
+    /// Drop everything recorded so far.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, f: impl Fn(&TraceKind) -> bool) -> usize {
+        self.events.borrow().iter().filter(|e| f(&e.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oam_machine::MachineBuilder;
+
+    #[test]
+    fn records_thread_lifecycle_and_idle_transitions() {
+        let m = MachineBuilder::new(2).build();
+        let rec = Recorder::install(m.nodes());
+        m.run(|env| async move {
+            env.charge_micros(10).await;
+        });
+        let spawns = rec.count(|k| matches!(k, TraceKind::ThreadSpawned { .. }));
+        let starts = rec.count(|k| matches!(k, TraceKind::ThreadStarted { .. }));
+        let finishes = rec.count(|k| matches!(k, TraceKind::ThreadFinished { .. }));
+        assert_eq!(spawns, 2, "one main per node");
+        assert_eq!(finishes, 2);
+        assert!(starts >= 2);
+        assert!(rec.count(|k| matches!(k, TraceKind::IdleStart)) >= 2);
+    }
+
+    #[test]
+    fn per_node_filtering_and_clear() {
+        let m = MachineBuilder::new(3).build();
+        let rec = Recorder::install(m.nodes());
+        m.run(|env| async move {
+            env.charge_micros(1).await;
+        });
+        let n0 = rec.events_for(NodeId(0));
+        assert!(!n0.is_empty());
+        assert!(n0.iter().all(|e| e.node == NodeId(0)));
+        let total = rec.len();
+        assert!(total > n0.len());
+        rec.clear();
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_node() {
+        let m = MachineBuilder::new(2).build();
+        let rec = Recorder::install(m.nodes());
+        m.run(|env| async move {
+            for _ in 0..5 {
+                env.charge_micros(3).await;
+                env.yield_now().await;
+            }
+        });
+        for n in 0..2 {
+            let evs = rec.events_for(NodeId(n));
+            assert!(evs.windows(2).all(|w| w[0].t <= w[1].t), "node {n} timestamps monotone");
+        }
+    }
+}

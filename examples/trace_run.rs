@@ -1,0 +1,81 @@
+//! Record an execution trace of a small TSP run and export it: a per-node
+//! summary to stdout and a Chrome trace-event JSON (open in
+//! `chrome://tracing` or https://ui.perfetto.dev) to `target/`.
+//!
+//! ```sh
+//! cargo run --release --example trace_run
+//! ```
+
+use std::rc::Rc;
+
+use optimistic_active_messages::prelude::*;
+use optimistic_active_messages::trace::{summary_table, to_chrome_json, Recorder};
+
+pub struct QueueState {
+    pub jobs: Mutex<Vec<u64>>,
+    pub ready: CondVar,
+}
+
+define_rpc_service! {
+    /// A deliberately contended job queue, so the trace shows aborts.
+    service Jobs {
+        state QueueState;
+
+        /// Blocks while the queue is empty.
+        rpc take(ctx, st) -> u64 {
+            let mut g = st.jobs.lock().await;
+            loop {
+                if let Some(j) = g.with_mut(Vec::pop) {
+                    break j;
+                }
+                g = st.ready.wait(g).await;
+            }
+        }
+    }
+}
+
+fn main() {
+    const NODES: usize = 4;
+    let machine = MachineBuilder::new(NODES).build();
+    let states: Vec<Rc<QueueState>> = machine
+        .nodes()
+        .iter()
+        .map(|n| Rc::new(QueueState { jobs: Mutex::new(n, Vec::new()), ready: CondVar::new(n) }))
+        .collect();
+    for (node, st) in machine.nodes().iter().zip(&states) {
+        Jobs::register_all(machine.rpc(), node.id(), Rc::clone(st), RpcMode::Orpc);
+    }
+
+    let rec = Recorder::install(machine.nodes());
+    let states = Rc::new(states);
+    machine.run(move |env| {
+        let states = Rc::clone(&states);
+        async move {
+            if env.id().index() == 0 {
+                // Producer: trickle jobs out so consumers block (and their
+                // optimistic executions abort and promote).
+                let st = &states[0];
+                for j in 0..9u64 {
+                    env.charge(Dur::from_micros(120)).await;
+                    let g = st.jobs.lock().await;
+                    g.with_mut(|v| v.push(j));
+                    st.ready.signal();
+                    drop(g);
+                    env.poll().await;
+                }
+            } else {
+                for _ in 0..3 {
+                    let j = Jobs::take::call(env.rpc(), env.node(), NodeId(0)).await;
+                    env.charge(Dur::from_micros(30 + j * 5)).await;
+                }
+            }
+            env.barrier().await;
+        }
+    });
+
+    println!("{}", summary_table(&rec, NODES));
+    let json = to_chrome_json(&rec);
+    let path = "target/trace_run.json";
+    std::fs::write(path, &json).expect("write trace");
+    println!("{} events recorded; Chrome trace written to {path}", rec.len());
+}

@@ -1,0 +1,259 @@
+//! Property-based tests over the core data structures and invariants.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use optimistic_active_messages::model::{Dur, MachineConfig, NodeId, NodeStats, Time};
+use optimistic_active_messages::net::{NetConfig, Network, Packet};
+use optimistic_active_messages::rpc::{from_bytes, to_bytes};
+use optimistic_active_messages::sim::Sim;
+use optimistic_active_messages::threads::{Mutex, Node};
+use optimistic_active_messages::apps::triangle::Board;
+
+// ---------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn wire_roundtrips_scalars(a: u64, b: i32, c: f64, d: bool) {
+        let v = (a, b, c, d);
+        let back: (u64, i32, f64, bool) = from_bytes(&to_bytes(&v)).unwrap();
+        // NaN-safe comparison via bits.
+        prop_assert_eq!(back.0, v.0);
+        prop_assert_eq!(back.1, v.1);
+        prop_assert_eq!(back.2.to_bits(), v.2.to_bits());
+        prop_assert_eq!(back.3, v.3);
+    }
+
+    #[test]
+    fn wire_roundtrips_containers(v: Vec<(u32, Option<u16>)>, s: String) {
+        let payload = (v.clone(), s.clone());
+        let back: (Vec<(u32, Option<u16>)>, String) = from_bytes(&to_bytes(&payload)).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn wire_rejects_arbitrary_truncation(v: Vec<u64>, cut_frac in 0.0f64..1.0) {
+        let bytes = to_bytes(&v);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            let r: Result<Vec<u64>, _> = from_bytes(&bytes[..cut]);
+            prop_assert!(r.is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation core
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn events_fire_once_in_nondecreasing_time_order(delays in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let sim = Sim::new(1);
+        let fired: Rc<RefCell<Vec<(usize, Time)>>> = Rc::default();
+        for (i, d) in delays.iter().enumerate() {
+            let f = fired.clone();
+            sim.schedule_after(Dur::from_nanos(*d), move |s| f.borrow_mut().push((i, s.now())));
+        }
+        sim.run();
+        let log = fired.borrow();
+        prop_assert_eq!(log.len(), delays.len(), "each event exactly once");
+        prop_assert!(log.windows(2).all(|w| w[0].1 <= w[1].1), "time order");
+        // Firing times equal the scheduled delays.
+        for (i, t) in log.iter() {
+            prop_assert_eq!(t.as_nanos(), delays[*i]);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace(seed: u64, delays in proptest::collection::vec(1u64..5_000, 1..24)) {
+        let run = |seed: u64| {
+            let sim = Sim::new(seed);
+            for d in &delays {
+                let jitter = sim.with_rng(|r| {
+                    use rand::Rng;
+                    r.gen_range(0..100u64)
+                });
+                sim.schedule_after(Dur::from_nanos(*d + jitter), |_| {});
+            }
+            (sim.run(), sim.events_executed())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any traffic pattern, any (valid) capacities: every packet is
+    /// delivered exactly once, and packets between a given (src, dst)
+    /// pair arrive in FIFO order. (Cross-source order at one destination
+    /// is not guaranteed — links pump independently.)
+    #[test]
+    fn network_delivers_exactly_once_in_order(
+        sends in proptest::collection::vec((0usize..4, 0usize..4, 0usize..8), 1..100),
+        out_cap in 1usize..6,
+        in_cap in 1usize..6,
+        fabric in 1usize..8,
+    ) {
+        let sim = Sim::new(9);
+        let mut cfg = NetConfig::from_machine(&MachineConfig::cm5(4));
+        cfg.ni_out_capacity = out_cap;
+        cfg.ni_in_capacity = in_cap;
+        cfg.fabric_capacity = fabric;
+        let stats: Vec<_> = (0..4).map(|_| Rc::new(RefCell::new(NodeStats::new()))).collect();
+        let net = Network::new(&sim, cfg, stats);
+        let mut accepted: Vec<Vec<u32>> = vec![Vec::new(); 16]; // per (src,dst) tags in send order
+        let mut delivered: Vec<Vec<u32>> = vec![Vec::new(); 16];
+        let drain = |delivered: &mut Vec<Vec<u32>>| {
+            let mut n_drained = 0;
+            for n in 0..4 {
+                while let Some(p) = net.poll(NodeId(n)) {
+                    delivered[p.src.index() * 4 + n].push(p.tag);
+                    n_drained += 1;
+                }
+            }
+            n_drained
+        };
+        // (`seq` tags packets; it is not an index into `sends`.)
+        let mut seq = 0u32;
+        #[allow(clippy::explicit_counter_loop)]
+        for (src, dst, len) in &sends {
+            let pkt = Packet::short(NodeId(*src), NodeId(*dst), seq, vec![0u8; *len]);
+            // Retry until accepted, draining receivers to make space.
+            loop {
+                match net.try_inject(pkt.clone()) {
+                    Ok(()) => {
+                        accepted[*src * 4 + *dst].push(seq);
+                        break;
+                    }
+                    Err(_) => {
+                        sim.run();
+                        drain(&mut delivered);
+                    }
+                }
+            }
+            seq += 1;
+        }
+        // Drain everything.
+        loop {
+            sim.run();
+            if drain(&mut delivered) == 0 && net.in_flight() == 0 {
+                break;
+            }
+        }
+        for pair in 0..16 {
+            prop_assert_eq!(
+                &delivered[pair],
+                &accepted[pair],
+                "pair src={} dst={}: exactly-once FIFO",
+                pair / 4,
+                pair % 4
+            );
+        }
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread package
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mutual exclusion holds under arbitrary charge patterns: a critical
+    /// counter never sees concurrent entry, and every thread completes.
+    #[test]
+    fn mutex_guarantees_mutual_exclusion(charges in proptest::collection::vec(0u64..40, 2..12)) {
+        let sim = Sim::new(3);
+        let cfg = Rc::new(MachineConfig::cm5(1));
+        let stats = Rc::new(RefCell::new(NodeStats::new()));
+        let node = Node::new(&sim, NodeId(0), 1, cfg, stats);
+        let m = Mutex::new(&node, ());
+        let inside = Rc::new(Cell::new(0u32));
+        let max_inside = Rc::new(Cell::new(0u32));
+        let completed = Rc::new(Cell::new(0usize));
+        for us in charges.clone() {
+            let (m, node2) = (m.clone(), node.clone());
+            let (i, mx, c) = (inside.clone(), max_inside.clone(), completed.clone());
+            node.spawn(async move {
+                node2.charge(Dur::from_micros(us / 2)).await;
+                let _g = m.lock().await;
+                i.set(i.get() + 1);
+                mx.set(mx.get().max(i.get()));
+                node2.charge(Dur::from_micros(us)).await;
+                node2.yield_now().await;
+                i.set(i.get() - 1);
+                c.set(c.get() + 1);
+            });
+        }
+        sim.run();
+        prop_assert_eq!(completed.get(), charges.len(), "all threads finish");
+        prop_assert_eq!(max_inside.get(), 1, "never two inside the critical section");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Application substrate invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn triangle_jumps_are_reversible(size in 4usize..=7, moves in proptest::collection::vec(0usize..200, 0..12)) {
+        let board = Board::new(size);
+        let mut pos = board.initial();
+        for pick in moves {
+            let mut succs = Vec::new();
+            board.for_each_successor(pos, |s| succs.push(s));
+            if succs.is_empty() {
+                break;
+            }
+            let next = succs[pick % succs.len()];
+            // Peg count decreases by exactly one per jump.
+            prop_assert_eq!(Board::pegs(next), Board::pegs(pos) - 1);
+            // The reverse jump exists from the successor's perspective:
+            // un-jumping restores the position (jumps come in mirrored
+            // pairs over the same line of three).
+            pos = next;
+        }
+    }
+
+    #[test]
+    fn sor_partition_is_exact_for_any_shape(rows in 1usize..600, p in 1usize..129) {
+        prop_assume!(p <= rows);
+        use optimistic_active_messages::apps::sor::partition;
+        let mut total = 0;
+        let mut prev_end = 0;
+        for i in 0..p {
+            let (a, b) = partition(rows, p, i);
+            prop_assert_eq!(a, prev_end, "contiguous");
+            prop_assert!(b > a, "non-empty");
+            total += b - a;
+            prev_end = b;
+        }
+        prop_assert_eq!(total, rows);
+    }
+
+    #[test]
+    fn water_half_shell_covers_each_pair_once(p in 2usize..40) {
+        use optimistic_active_messages::apps::water::targets;
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..p {
+            for b in targets(a, p) {
+                prop_assert!(seen.insert((a.min(b), a.max(b))));
+            }
+        }
+        prop_assert_eq!(seen.len(), p * (p - 1) / 2);
+    }
+}
