@@ -121,7 +121,13 @@ impl Am {
     /// the sender drain the network and retry; in a thread this can block
     /// (spin-polling) until space frees, and in an optimistic handler with
     /// auto-drain disabled it records a [`AbortReason::NetworkFull`] abort.
-    pub fn send(&self, node: &Node, dst: NodeId, handler: HandlerId, payload: Vec<u8>) -> SendShort {
+    pub fn send(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        handler: HandlerId,
+        payload: Vec<u8>,
+    ) -> SendShort {
         SendShort {
             am: self.clone(),
             node: node.clone(),
@@ -132,7 +138,13 @@ impl Am {
 
     /// Synchronous send from hand-coded handler context (see
     /// [`AmToken::reply`]).
-    pub fn send_from_handler(&self, node: &Node, dst: NodeId, handler: HandlerId, payload: Vec<u8>) {
+    pub fn send_from_handler(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        handler: HandlerId,
+        payload: Vec<u8>,
+    ) {
         node.add_pending(self.inner.cfg.cost.am_send);
         let pkt = Packet::short(node.id(), dst, handler.0, payload);
         let idx = node.id().index();
@@ -331,7 +343,10 @@ mod tests {
     use oam_net::NetConfig;
     use oam_sim::Sim;
 
-    pub(crate) fn build(nprocs: usize, cfg: MachineConfig) -> (Sim, Am, Vec<Rc<RefCell<NodeStats>>>) {
+    pub(crate) fn build(
+        nprocs: usize,
+        cfg: MachineConfig,
+    ) -> (Sim, Am, Vec<Rc<RefCell<NodeStats>>>) {
         let sim = Sim::new(3);
         let cfg = Rc::new(cfg);
         let stats: Vec<Rc<RefCell<NodeStats>>> =

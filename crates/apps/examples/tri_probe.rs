@@ -12,8 +12,12 @@ fn main() {
         let out = triangle::run(sys, procs, size);
         println!(
             "{:5} P={procs}: vtime={:.3}s speedup={:.2} answer={:x} succ={:?} wall={:.1}s",
-            sys.label(), out.elapsed.as_secs_f64(), out.speedup(t), out.answer,
-            out.oam_success_rate(), w.elapsed().as_secs_f64()
+            sys.label(),
+            out.elapsed.as_secs_f64(),
+            out.speedup(t),
+            out.answer,
+            out.oam_success_rate(),
+            w.elapsed().as_secs_f64()
         );
     }
 }

@@ -13,8 +13,13 @@ fn main() {
             let tot = out.stats.total();
             println!(
                 "{:5} S={slaves:3}: vtime={:8.3}s speedup={:6.2} best={} oam={}/{} wall={:.1}s",
-                sys.label(), out.elapsed.as_secs_f64(), out.speedup(t), out.answer,
-                tot.oam_successes, tot.oam_attempts, w.elapsed().as_secs_f64()
+                sys.label(),
+                out.elapsed.as_secs_f64(),
+                out.speedup(t),
+                out.answer,
+                tot.oam_successes,
+                tot.oam_attempts,
+                w.elapsed().as_secs_f64()
             );
         }
     }

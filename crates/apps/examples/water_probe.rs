@@ -4,7 +4,7 @@ use std::time::Instant;
 fn main() {
     let p = WaterParams::default();
     let (ck, t) = water::sequential(p);
-    println!("seq: ck={ck:x} vtime={:.3}s per-iter={:.3}s", t.as_secs_f64(), t.as_secs_f64()/5.0);
+    println!("seq: ck={ck:x} vtime={:.3}s per-iter={:.3}s", t.as_secs_f64(), t.as_secs_f64() / 5.0);
     for procs in [16usize, 128] {
         for v in WaterVariant::ALL {
             let w = Instant::now();

@@ -12,8 +12,8 @@
 
 #![warn(missing_docs)]
 
-pub mod system;
 pub mod sor;
+pub mod system;
 pub mod triangle;
 pub mod tsp;
 pub mod water;

@@ -15,11 +15,11 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use oam_am::{AmToken, HandlerId};
 use oam_machine::{MachineBuilder, Reducer};
 use oam_model::{Dur, NodeId};
 use oam_rpc::define_rpc_service;
 use oam_threads::{CondVar, Flag, Mutex};
-use oam_am::{AmToken, HandlerId};
 
 use crate::sor::grid::Slab;
 use crate::system::{AppOutcome, System};
@@ -48,7 +48,11 @@ pub struct BoundarySlot {
 impl BoundarySlot {
     /// Create an empty slot on `node`.
     pub fn new(node: &oam_threads::Node) -> Self {
-        BoundarySlot { slot: Mutex::new(node, None), full: CondVar::new(node), empty: CondVar::new(node) }
+        BoundarySlot {
+            slot: Mutex::new(node, None),
+            full: CondVar::new(node),
+            empty: CondVar::new(node),
+        }
     }
 
     /// Consume the boundary (application side), blocking until present.
@@ -145,12 +149,7 @@ pub fn run(system: System, nprocs: usize, p: SorParams) -> AppOutcome {
         })
         .collect();
     let am_states: Vec<Rc<AmSor>> = (0..nprocs)
-        .map(|_| {
-            Rc::new(AmSor {
-                ghost: Default::default(),
-                flag: Default::default(),
-            })
-        })
+        .map(|_| Rc::new(AmSor { ghost: Default::default(), flag: Default::default() }))
         .collect();
 
     match system {
@@ -227,7 +226,12 @@ pub fn run(system: System, nprocs: usize, p: SorParams) -> AppOutcome {
                         }
                         _ => {
                             Sor::store_boundary::send(
-                                env.rpc(), env.node(), NodeId(me - 1), FROM_BELOW as u32, parity, row,
+                                env.rpc(),
+                                env.node(),
+                                NodeId(me - 1),
+                                FROM_BELOW as u32,
+                                parity,
+                                row,
                             )
                             .await;
                         }
@@ -242,7 +246,12 @@ pub fn run(system: System, nprocs: usize, p: SorParams) -> AppOutcome {
                         }
                         _ => {
                             Sor::store_boundary::send(
-                                env.rpc(), env.node(), NodeId(me + 1), FROM_ABOVE as u32, parity, row,
+                                env.rpc(),
+                                env.node(),
+                                NodeId(me + 1),
+                                FROM_ABOVE as u32,
+                                parity,
+                                row,
                             )
                             .await;
                         }
@@ -268,7 +277,8 @@ pub fn run(system: System, nprocs: usize, p: SorParams) -> AppOutcome {
                             let flag =
                                 am_states[me].flag[FROM_ABOVE][parity as usize].borrow().clone();
                             env.node().spin_on(flag).await;
-                            *am_states[me].flag[FROM_ABOVE][parity as usize].borrow_mut() = Flag::new();
+                            *am_states[me].flag[FROM_ABOVE][parity as usize].borrow_mut() =
+                                Flag::new();
                             am_states[me].ghost[FROM_ABOVE][parity as usize]
                                 .borrow_mut()
                                 .take()
@@ -288,7 +298,8 @@ pub fn run(system: System, nprocs: usize, p: SorParams) -> AppOutcome {
                             let flag =
                                 am_states[me].flag[FROM_BELOW][parity as usize].borrow().clone();
                             env.node().spin_on(flag).await;
-                            *am_states[me].flag[FROM_BELOW][parity as usize].borrow_mut() = Flag::new();
+                            *am_states[me].flag[FROM_BELOW][parity as usize].borrow_mut() =
+                                Flag::new();
                             am_states[me].ghost[FROM_BELOW][parity as usize]
                                 .borrow_mut()
                                 .take()

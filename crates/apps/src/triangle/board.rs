@@ -113,7 +113,10 @@ mod tests {
                 && (j.to as usize) < b.holes));
             // Jump pairs are symmetric: every (from, to) has its reverse.
             for j in &b.jumps {
-                assert!(b.jumps.iter().any(|k| k.from == j.to && k.to == j.from && k.over == j.over));
+                assert!(b
+                    .jumps
+                    .iter()
+                    .any(|k| k.from == j.to && k.to == j.from && k.over == j.over));
             }
         }
     }

@@ -17,11 +17,11 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 
+use oam_am::{pack_u32, AmToken, HandlerId};
 use oam_machine::{MachineBuilder, Reducer};
 use oam_model::{Dur, NodeId};
 use oam_rpc::define_rpc_service;
 use oam_threads::Mutex;
-use oam_am::{pack_u32, AmToken, HandlerId};
 
 use crate::system::{AppOutcome, System};
 use crate::triangle::board::{Board, Position};
@@ -134,7 +134,12 @@ pub fn run(system: System, nprocs: usize, size: usize) -> AppOutcome {
 
 /// As [`run`], with an explicit polling interval (positions between
 /// application polls — the paper's "carefully tuned polling").
-pub fn run_with_poll_every(system: System, nprocs: usize, size: usize, poll_every: usize) -> AppOutcome {
+pub fn run_with_poll_every(
+    system: System,
+    nprocs: usize,
+    size: usize,
+    poll_every: usize,
+) -> AppOutcome {
     run_configured(system, oam_model::MachineConfig::cm5(nprocs), size, poll_every)
 }
 
@@ -155,7 +160,9 @@ pub fn run_configured(
     // atomicity comes from non-preemption, the hand-synthesized critical
     // region of the paper's AM code.
     let rpc_states: Vec<Rc<TriangleState>> = (0..nprocs)
-        .map(|i| Rc::new(TriangleState { core: Mutex::new(&machine.nodes()[i], TriangleCore::new()) }))
+        .map(|i| {
+            Rc::new(TriangleState { core: Mutex::new(&machine.nodes()[i], TriangleCore::new()) })
+        })
         .collect();
     let am_states: Vec<Rc<RefCell<TriangleCore>>> =
         (0..nprocs).map(|_| Rc::new(RefCell::new(TriangleCore::new()))).collect();
@@ -209,7 +216,11 @@ pub fn run_configured(
                 let am_states = Rc::clone(&am_states);
                 move |pos: Position| match system {
                     System::HandAm => am_states[me].borrow_mut().insert(pos),
-                    _ => rpc_states[me].core.try_lock().expect("own table free").with_mut(|c| c.insert(pos)),
+                    _ => rpc_states[me]
+                        .core
+                        .try_lock()
+                        .expect("own table free")
+                        .with_mut(|c| c.insert(pos)),
                 }
             };
             let take_frontier = {
@@ -293,7 +304,9 @@ pub fn run_configured(
                 }
                 let next_len = match system {
                     System::HandAm => am_states[me].borrow().next.len() as u64,
-                    _ => rpc_states[me].core.try_lock().expect("free").with(|c| c.next.len() as u64),
+                    _ => {
+                        rpc_states[me].core.try_lock().expect("free").with(|c| c.next.len() as u64)
+                    }
                 };
                 if next_r.reduce(env.node(), next_len).await == 0 {
                     break;

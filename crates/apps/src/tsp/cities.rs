@@ -1,8 +1,7 @@
 //! City sets and the branch-and-bound tour search (§4.2.2).
 
 use oam_model::Dur;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use oam_sim::Prng;
 
 /// A symmetric TSP instance with integer (scaled Euclidean) distances.
 #[derive(Debug, Clone)]
@@ -17,9 +16,10 @@ impl Cities {
     /// Generate `n` cities at seeded-random integer coordinates in a
     /// 1000×1000 plane.
     pub fn random(n: usize, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let pts: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0))).collect();
+        let mut rng = Prng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range_f64(0.0, 1000.0), rng.gen_range_f64(0.0, 1000.0)))
+            .collect();
         let dist = (0..n)
             .map(|i| {
                 (0..n)
@@ -95,7 +95,14 @@ pub fn expand(cities: &Cities, prefix: &[u8], bound: u32) -> Expansion {
     Expansion { best, visited }
 }
 
-fn dfs(cities: &Cities, path: &mut Vec<u8>, used: &mut [bool], len: u32, best: &mut u32, visited: &mut u64) {
+fn dfs(
+    cities: &Cities,
+    path: &mut Vec<u8>,
+    used: &mut [bool],
+    len: u32,
+    best: &mut u32,
+    visited: &mut u64,
+) {
     *visited += 1;
     if len >= *best {
         return;
@@ -123,7 +130,12 @@ fn dfs(cities: &Cities, path: &mut Vec<u8>, used: &mut [bool], len: u32, best: &
 /// Sequential baseline: expand every job in order, sharing the bound.
 /// Returns `(best tour, total nodes visited, virtual time)` given the
 /// per-node and per-job-generation costs.
-pub fn sequential(cities: &Cities, prefix_len: usize, gen_cost: Dur, node_cost: Dur) -> (u32, u64, Dur) {
+pub fn sequential(
+    cities: &Cities,
+    prefix_len: usize,
+    gen_cost: Dur,
+    node_cost: Dur,
+) -> (u32, u64, Dur) {
     let jobs = generate_prefixes(cities.n, prefix_len);
     let mut best = u32::MAX;
     let mut visited = 0u64;

@@ -14,11 +14,11 @@ use std::cell::Cell;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use oam_am::{AmToken, HandlerId};
 use oam_machine::{MachineBuilder, Reducer};
 use oam_model::{Dur, NodeId, Time};
 use oam_rpc::define_rpc_service;
 use oam_threads::Flag;
-use oam_am::{AmToken, HandlerId};
 
 use crate::sor::run::BoundarySlot;
 use crate::system::{AppOutcome, System};
@@ -190,8 +190,12 @@ pub fn run(variant: WaterVariant, nprocs: usize, p: WaterParams) -> WaterOutcome
         .map(|i| {
             let node = &machine.nodes()[i];
             Rc::new(WaterState {
-                pos: (0..nprocs).map(|_| [BoundarySlot::new(node), BoundarySlot::new(node)]).collect(),
-                upd: (0..nprocs).map(|_| [BoundarySlot::new(node), BoundarySlot::new(node)]).collect(),
+                pos: (0..nprocs)
+                    .map(|_| [BoundarySlot::new(node), BoundarySlot::new(node)])
+                    .collect(),
+                upd: (0..nprocs)
+                    .map(|_| [BoundarySlot::new(node), BoundarySlot::new(node)])
+                    .collect(),
             })
         })
         .collect();
@@ -235,7 +239,12 @@ pub fn run(variant: WaterVariant, nprocs: usize, p: WaterParams) -> WaterOutcome
         }
         System::Orpc | System::Trpc => {
             for (i, st) in rpc_states.iter().enumerate() {
-                Water::register_all(machine.rpc(), NodeId(i), Rc::clone(st), variant.system.rpc_mode());
+                Water::register_all(
+                    machine.rpc(),
+                    NodeId(i),
+                    Rc::clone(st),
+                    variant.system.rpc_mode(),
+                );
             }
         }
     }
@@ -289,8 +298,14 @@ pub fn run(variant: WaterVariant, nprocs: usize, p: WaterParams) -> WaterOutcome
                             env.am().send_bulk(env.node(), dst, AM_POS, payload);
                         }
                         _ => {
-                            Water::store_positions::send(env.rpc(), env.node(), dst, parity, flat.clone())
-                                .await;
+                            Water::store_positions::send(
+                                env.rpc(),
+                                env.node(),
+                                dst,
+                                parity,
+                                flat.clone(),
+                            )
+                            .await;
                         }
                     }
                 }
@@ -346,8 +361,14 @@ pub fn run(variant: WaterVariant, nprocs: usize, p: WaterParams) -> WaterOutcome
                             env.am().send_bulk(env.node(), NodeId(dst), AM_UPD, payload);
                         }
                         _ => {
-                            Water::store_updates::send(env.rpc(), env.node(), NodeId(dst), parity, flat_upd)
-                                .await;
+                            Water::store_updates::send(
+                                env.rpc(),
+                                env.node(),
+                                NodeId(dst),
+                                parity,
+                                flat_upd,
+                            )
+                            .await;
                         }
                     }
                 }
@@ -437,10 +458,8 @@ mod tests {
 
     #[test]
     fn all_variants_compute_identical_trajectories() {
-        let reference: Vec<u64> = WaterVariant::ALL
-            .iter()
-            .map(|v| run(*v, 4, small()).outcome.answer)
-            .collect();
+        let reference: Vec<u64> =
+            WaterVariant::ALL.iter().map(|v| run(*v, 4, small()).outcome.answer).collect();
         assert!(
             reference.windows(2).all(|w| w[0] == w[1]),
             "variant answers differ: {reference:?}"
@@ -452,9 +471,8 @@ mod tests {
         // Different node counts change summation order, so compare the
         // quantized energies with a small tolerance rather than exactly.
         let (seq_ck, _) = sequential(small());
-        let par_ck = run(WaterVariant { system: System::Orpc, barrier: false }, 3, small())
-            .outcome
-            .answer;
+        let par_ck =
+            run(WaterVariant { system: System::Orpc, barrier: false }, 3, small()).outcome.answer;
         let diff = (seq_ck as i64 - par_ck as i64).abs();
         // Pico-unit quantization: allow a few nano-units of float noise.
         assert!(diff < 10_000, "energy mismatch: seq {seq_ck} vs par {par_ck}");

@@ -13,9 +13,10 @@ fn main() {
     let (size, procs) = if quick_mode() { (5, 8) } else { (6, 32) };
     let poll_intervals: &[usize] = if quick_mode() { &[1, 16] } else { &[1, 4, 16, 64] };
     let mut rows = Vec::new();
-    for (label, cfg) in
-        [("cm5-deep", MachineConfig::cm5(procs)), ("alewife-shallow", MachineConfig::alewife_like(procs))]
-    {
+    for (label, cfg) in [
+        ("cm5-deep", MachineConfig::cm5(procs)),
+        ("alewife-shallow", MachineConfig::alewife_like(procs)),
+    ] {
         for &poll_every in poll_intervals {
             let out = triangle::run_configured(System::Orpc, cfg.clone(), size, poll_every);
             let t = out.stats.total();

@@ -43,9 +43,8 @@ define_rpc_service! {
 }
 
 fn run(budget_us: u64, chunks: u32) -> (f64, u64, f64) {
-    let m = MachineBuilder::new(3)
-        .tweak(|c| c.handler_budget = Dur::from_micros(budget_us))
-        .build();
+    let m =
+        MachineBuilder::new(3).tweak(|c| c.handler_budget = Dur::from_micros(budget_us)).build();
     for node in m.nodes() {
         Work::register_all(m.rpc(), node.id(), Rc::new(WorkState), System::Orpc.rpc_mode());
     }

@@ -36,7 +36,9 @@ fn main() {
     }
     let headers = ["policy", "triangle TRPC (s)", "tsp TRPC (s)"];
     print_table(
-        &format!("Ablation: run-queue placement, applications (triangle P={procs}, tsp slaves={slaves})"),
+        &format!(
+            "Ablation: run-queue placement, applications (triangle P={procs}, tsp slaves={slaves})"
+        ),
         &headers,
         &rows,
     );

@@ -1,9 +1,14 @@
-//! Criterion microbenchmarks of the simulation substrate itself: how fast
-//! (in wall-clock) the simulator executes events, round-trips RPCs, and
+//! Microbenchmarks of the simulation substrate itself: how fast (in
+//! wall-clock) the simulator executes events, round-trips RPCs, and
 //! marshals data. These guard the *usability* of the reproduction (a slow
 //! simulator makes the figure sweeps painful), not the paper's numbers.
+//!
+//! Self-timed with `std::time::Instant` so the workspace has no external
+//! bench-harness dependency; each benchmark reports ns/iter over a fixed
+//! number of warm iterations.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use oam_apps::System;
 use oam_bench::{null_rpc_roundtrip, ServerLoad};
@@ -11,70 +16,65 @@ use oam_model::Dur;
 use oam_rpc::{from_bytes, to_bytes};
 use oam_sim::Sim;
 
-fn bench_event_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("event_chain_10k", |b| {
-        b.iter(|| {
-            let sim = Sim::new(1);
-            fn chain(sim: &oam_sim::Sim, left: u32) {
-                if left > 0 {
-                    sim.schedule_after(Dur::from_nanos(100), move |s| chain(s, left - 1));
-                }
-            }
-            chain(&sim, 10_000);
-            sim.run()
-        });
-    });
-    g.finish();
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // Warm up, then time.
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_nanos() / iters as u128;
+    println!("{name:<40} {per_iter:>12} ns/iter  ({iters} iters)");
 }
 
-fn bench_null_rpc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("null_rpc_simulated");
+fn bench_event_throughput() {
+    bench("sim/event_chain_10k", 50, || {
+        let sim = Sim::new(1);
+        fn chain(sim: &Sim, left: u32) {
+            if left > 0 {
+                sim.schedule_after(Dur::from_nanos(100), move |s| chain(s, left - 1));
+            }
+        }
+        chain(&sim, 10_000);
+        black_box(sim.run());
+    });
+}
+
+fn bench_null_rpc() {
     for system in [System::HandAm, System::Orpc, System::Trpc] {
-        g.bench_function(system.label(), |b| {
-            b.iter(|| null_rpc_roundtrip(system, ServerLoad::Idle, 16));
+        bench(&format!("null_rpc_simulated/{}", system.label()), 100, || {
+            black_box(null_rpc_roundtrip(system, ServerLoad::Idle, 16));
         });
     }
-    g.finish();
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire");
+fn bench_wire() {
     let data: Vec<f64> = (0..1024).map(|i| i as f64).collect();
-    g.throughput(Throughput::Bytes(8 * 1024));
-    g.bench_function("encode_decode_8KiB_f64", |b| {
-        b.iter(|| {
-            let bytes = to_bytes(&data);
-            let back: Vec<f64> = from_bytes(&bytes).expect("roundtrip");
-            back
-        });
+    bench("wire/encode_decode_8KiB_f64", 1_000, || {
+        let bytes = to_bytes(&data);
+        let back: Vec<f64> = from_bytes(&bytes).expect("roundtrip");
+        black_box(back);
     });
-    g.finish();
 }
 
-fn bench_thread_package(c: &mut Criterion) {
+fn bench_thread_package() {
     use oam_machine::MachineBuilder;
-    let mut g = c.benchmark_group("threads");
-    g.bench_function("spawn_run_1k_threads", |b| {
-        b.iter(|| {
-            let m = MachineBuilder::new(1).build();
-            m.run(|env| async move {
-                for _ in 0..1000 {
-                    env.node().spawn(async {});
-                }
-                env.poll().await;
-            })
-        });
+    bench("threads/spawn_run_1k_threads", 20, || {
+        let m = MachineBuilder::new(1).build();
+        black_box(m.run(|env| async move {
+            for _ in 0..1000 {
+                env.node().spawn(async {});
+            }
+            env.poll().await;
+        }));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_throughput,
-    bench_null_rpc,
-    bench_wire,
-    bench_thread_package
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_throughput();
+    bench_null_rpc();
+    bench_wire();
+    bench_thread_package();
+}

@@ -7,11 +7,8 @@ use oam_apps::{triangle, System};
 use oam_bench::report::{print_table, quick_mode, write_csv};
 
 fn main() {
-    let (size, procs): (usize, &[usize]) = if quick_mode() {
-        (5, &[1, 4, 16])
-    } else {
-        (6, &[1, 2, 4, 8, 16, 32, 64, 128])
-    };
+    let (size, procs): (usize, &[usize]) =
+        if quick_mode() { (5, &[1, 4, 16]) } else { (6, &[1, 2, 4, 8, 16, 32, 64, 128]) };
     let (_, _, seq) = triangle::sequential(size);
     println!("sequential baseline (size {size}): {:.2} s (paper: 13.7 s)", seq.as_secs_f64());
 
@@ -28,8 +25,7 @@ fn main() {
         assert!(answers.windows(2).all(|w| w[0] == w[1]), "systems disagree at P={p}");
         rows.push(cells);
     }
-    let headers =
-        ["procs", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
+    let headers = ["procs", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
     print_table("Figure 1: Triangle puzzle", &headers, &rows);
     write_csv("fig1_triangle", &headers, &rows);
 

@@ -10,8 +10,7 @@ use oam_bench::report::{print_table, quick_mode, write_csv};
 
 fn main() {
     let params = TspParams::default();
-    let slaves: &[usize] =
-        if quick_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 127] };
+    let slaves: &[usize] = if quick_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 127] };
     let (best, _, seq) = tsp::sequential(params);
     println!(
         "sequential baseline: {:.2} s, optimal tour {best} (paper: 12.4 s)",
@@ -29,8 +28,7 @@ fn main() {
         }
         rows.push(cells);
     }
-    let headers =
-        ["slaves", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
+    let headers = ["slaves", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
     print_table("Figure 2: Traveling salesman problem", &headers, &rows);
     write_csv("fig2_tsp", &headers, &rows);
 }

@@ -14,8 +14,7 @@ fn main() {
     } else {
         SorParams::default()
     };
-    let procs: &[usize] =
-        if quick_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
+    let procs: &[usize] = if quick_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
     let (reference, seq) = sor::sequential(params);
     println!("sequential baseline: {:.2} s (paper: 15.3 s)", seq.as_secs_f64());
 
@@ -32,14 +31,17 @@ fn main() {
         }
         rows.push(cells);
     }
-    let headers =
-        ["procs", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
+    let headers = ["procs", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
     print_table("Figure 3: Successive overrelaxation (482x80)", &headers, &rows);
     write_csv("fig3_sor", &headers, &rows);
     println!("\ntotal ORPC aborts across all runs: {aborts_seen} (paper: none)");
     if let Some(last) = rows.last() {
         let orpc: f64 = last[3].parse().unwrap();
         let trpc: f64 = last[5].parse().unwrap();
-        println!("At P={}: ORPC is {:.1}% faster than TRPC (paper: 8%)", last[0], (trpc / orpc - 1.0) * 100.0);
+        println!(
+            "At P={}: ORPC is {:.1}% faster than TRPC (paper: 8%)",
+            last[0],
+            (trpc / orpc - 1.0) * 100.0
+        );
     }
 }

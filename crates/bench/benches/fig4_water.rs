@@ -8,11 +8,8 @@ use oam_apps::water::{self, WaterParams, WaterVariant};
 use oam_bench::report::{print_table, quick_mode, write_csv};
 
 fn main() {
-    let params = if quick_mode() {
-        WaterParams { molecules: 64, iters: 3 }
-    } else {
-        WaterParams::default()
-    };
+    let params =
+        if quick_mode() { WaterParams { molecules: 64, iters: 3 } } else { WaterParams::default() };
     let procs: &[usize] = if quick_mode() { &[2, 8] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
     let (_, seq) = water::sequential(params);
     println!(
@@ -38,8 +35,17 @@ fn main() {
         rows.push(cells);
     }
     let headers = [
-        "procs", "AM+b (s)", "spd", "ORPC+b (s)", "spd", "TRPC+b (s)", "spd", "ORPC (s)", "spd",
-        "TRPC (s)", "spd",
+        "procs",
+        "AM+b (s)",
+        "spd",
+        "ORPC+b (s)",
+        "spd",
+        "TRPC+b (s)",
+        "spd",
+        "ORPC (s)",
+        "spd",
+        "TRPC (s)",
+        "spd",
     ];
     print_table("Figure 4: Water (512 molecules)", &headers, &rows);
     write_csv("fig4_water", &headers, &rows);

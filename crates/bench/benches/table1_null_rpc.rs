@@ -24,10 +24,6 @@ fn main() {
         rows.push(cells);
     }
     let headers = ["System", "idle (us)", "paper", "busy (us)", "paper"];
-    print_table(
-        "Table 1: round-trip null RPC (measured vs. paper)",
-        &headers,
-        &rows,
-    );
+    print_table("Table 1: round-trip null RPC (measured vs. paper)", &headers, &rows);
     write_csv("table1_null_rpc", &headers, &rows);
 }

@@ -9,8 +9,7 @@ use oam_bench::report::{print_table, quick_mode, write_csv};
 
 fn main() {
     let params = TspParams::default();
-    let slaves: &[usize] =
-        if quick_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 127] };
+    let slaves: &[usize] = if quick_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 127] };
     // Paper's "% Successes" row for comparison.
     let paper: &[(usize, f64)] = &[
         (1, 100.0),

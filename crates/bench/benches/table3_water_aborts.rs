@@ -8,22 +8,12 @@ use oam_apps::System;
 use oam_bench::report::{print_table, quick_mode, write_csv};
 
 fn main() {
-    let params = if quick_mode() {
-        WaterParams { molecules: 64, iters: 3 }
-    } else {
-        WaterParams::default()
-    };
+    let params =
+        if quick_mode() { WaterParams { molecules: 64, iters: 3 } } else { WaterParams::default() };
     let procs: &[usize] = if quick_mode() { &[2, 8] } else { &[2, 4, 8, 16, 32, 64, 128] };
     // Paper's Table 3 "% Successes".
-    let paper: &[(usize, f64)] = &[
-        (2, 100.0),
-        (4, 100.0),
-        (8, 100.0),
-        (16, 100.0),
-        (32, 99.8),
-        (64, 99.7),
-        (128, 99.6),
-    ];
+    let paper: &[(usize, f64)] =
+        &[(2, 100.0), (4, 100.0), (8, 100.0), (16, 100.0), (32, 99.8), (64, 99.7), (128, 99.6)];
     let variant = WaterVariant { system: System::Orpc, barrier: false };
     let mut rows = Vec::new();
     for &p in procs {

@@ -5,12 +5,12 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
+use oam_am::{AmToken, HandlerId};
 use oam_apps::System;
 use oam_machine::MachineBuilder;
 use oam_model::{Dur, NodeId};
 use oam_rpc::define_rpc_service;
 use oam_threads::{CondVar, Flag, Mutex};
-use oam_am::{AmToken, HandlerId};
 
 /// Cost of the null remote procedure's body (increment a variable).
 const BODY_COST: Dur = Dur::from_nanos(400);
@@ -90,7 +90,12 @@ pub fn null_rpc_roundtrip(system: System, load: ServerLoad, rounds: u32) -> Dur 
 /// As [`null_rpc_roundtrip`], sending `payload_bytes` of argument data
 /// with each call (§4.1.2; sizes above the CM-5's 16 bytes go through the
 /// bulk-transfer mechanism).
-pub fn payload_rpc_roundtrip(system: System, load: ServerLoad, rounds: u32, payload_bytes: usize) -> Dur {
+pub fn payload_rpc_roundtrip(
+    system: System,
+    load: ServerLoad,
+    rounds: u32,
+    payload_bytes: usize,
+) -> Dur {
     micro_rpc(MicroParams {
         system,
         load,
@@ -129,8 +134,16 @@ pub struct MicroParams {
 
 /// Run the microbenchmark with full control over the configuration.
 pub fn micro_rpc(params: MicroParams) -> Dur {
-    let MicroParams { system, load, rounds, payload_bytes, background_threads, cfg, warmup, initial_offset } =
-        params;
+    let MicroParams {
+        system,
+        load,
+        rounds,
+        payload_bytes,
+        background_threads,
+        cfg,
+        warmup,
+        initial_offset,
+    } = params;
     assert_eq!(cfg.nodes, 2, "microbenchmarks run on two nodes");
     let machine = MachineBuilder::from_config(cfg).build();
     let states: Vec<Rc<BenchState>> = machine
@@ -263,7 +276,8 @@ pub fn micro_rpc(params: MicroParams) -> Dur {
                                 if payload.is_empty() {
                                     Bench::incr::call(env.rpc(), env.node(), NodeId(1)).await;
                                 } else {
-                                    Bench::sink::call(env.rpc(), env.node(), NodeId(1), payload).await;
+                                    Bench::sink::call(env.rpc(), env.node(), NodeId(1), payload)
+                                        .await;
                                 }
                             }
                         }

@@ -23,15 +23,33 @@
 //!       its locks are held and its conditions tested.
 //!     * [`AbortStrategy::Nack`] — the future is dropped and a negative
 //!       acknowledgment is sent to the caller, who backs off and resends.
+//!
+//! # The rerun idempotency contract
+//!
+//! A procedure registered under [`AbortStrategy::Rerun`] may be executed
+//! more than once *per arrival*: the optimistic attempt runs the body from
+//! the top, and if it aborts, a fresh future built from the **same**
+//! [`OamCall`] (same `Rc<Packet>`) replays it as a thread. The §3.3 rule —
+//! mutate shared state only after every lock is held and every condition
+//! tested — is exactly what makes that replay safe: all observable effects
+//! happen in the post-synchronization suffix, which runs once.
+//!
+//! Layers above rely on this shape. The RPC runtime's duplicate-suppression
+//! table distinguishes a *rerun* (same packet instance, allowed through)
+//! from a *retransmission or fabric duplicate* (same call id on a different
+//! packet instance, suppressed) by `Rc` identity of `OamCall::pkt` — so the
+//! contract extends to lossy networks: a call body may be attempted several
+//! times on one arrival but is **executed to completion at most once per
+//! call id**, no matter how many copies of the request the fabric delivers.
 
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use oam_am::{Am, PacketHandler};
 use oam_model::{AbortReason, AbortStrategy};
 use oam_net::Packet;
-use oam_am::{Am, PacketHandler};
 use oam_threads::{ExecMode, Node, Placement};
 
 /// The context an optimistic call executes in: everything a handler body
@@ -185,12 +203,12 @@ impl PacketHandler for ThreadedEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::{Cell, RefCell};
+    use oam_am::{HandlerEntry, HandlerId};
     use oam_model::{Dur, MachineConfig, NodeId, NodeStats};
     use oam_net::{NetConfig, Network};
     use oam_sim::Sim;
-    use oam_am::{HandlerEntry, HandlerId};
     use oam_threads::{CondVar, Mutex};
+    use std::cell::{Cell, RefCell};
 
     fn build(nprocs: usize, cfg: MachineConfig) -> (Sim, Am, Vec<Rc<RefCell<NodeStats>>>) {
         let sim = Sim::new(5);

@@ -70,7 +70,12 @@ impl<T: Clone + 'static> Reducer<T> {
         Self::with_latency(&coll.sim, coll.nodes.clone(), coll.reduction_latency, op)
     }
 
-    fn with_latency(sim: &Sim, nodes: Vec<Node>, latency: Dur, op: impl Fn(&T, &T) -> T + 'static) -> Self {
+    fn with_latency(
+        sim: &Sim,
+        nodes: Vec<Node>,
+        latency: Dur,
+        op: impl Fn(&T, &T) -> T + 'static,
+    ) -> Self {
         Reducer {
             inner: Rc::new(ReduceInner {
                 sim: sim.clone(),
@@ -98,7 +103,10 @@ impl<T: Clone + 'static> Reducer<T> {
                 }
             }
         };
-        assert!(!round.contributed[idx].replace(true), "node contributed twice to one reduction round");
+        assert!(
+            !round.contributed[idx].replace(true),
+            "node contributed twice to one reduction round"
+        );
         {
             let mut acc = round.acc.borrow_mut();
             *acc = Some(match acc.take() {
@@ -161,18 +169,29 @@ impl Collectives {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
     use oam_model::{MachineConfig, NodeId, NodeStats, Time};
+    use std::cell::Cell;
 
     fn setup(n: usize) -> (Sim, Vec<Node>, Collectives) {
         let sim = Sim::new(9);
         let cfg = Rc::new(MachineConfig::cm5(n));
         let nodes: Vec<Node> = (0..n)
             .map(|i| {
-                Node::new(&sim, NodeId(i), n, Rc::clone(&cfg), Rc::new(RefCell::new(NodeStats::new())))
+                Node::new(
+                    &sim,
+                    NodeId(i),
+                    n,
+                    Rc::clone(&cfg),
+                    Rc::new(RefCell::new(NodeStats::new())),
+                )
             })
             .collect();
-        let coll = Collectives::new(&sim, nodes.clone(), cfg.cost.barrier_latency, cfg.cost.reduction_latency);
+        let coll = Collectives::new(
+            &sim,
+            nodes.clone(),
+            cfg.cost.barrier_latency,
+            cfg.cost.reduction_latency,
+        );
         (sim, nodes, coll)
     }
 

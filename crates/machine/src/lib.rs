@@ -10,6 +10,8 @@
 
 pub mod collective;
 pub mod machine;
+pub mod watchdog;
 
 pub use collective::{Collectives, Reducer};
 pub use machine::{Machine, MachineBuilder, NodeEnv, RunReport};
+pub use watchdog::{HangKind, HangReport, NodeHangInfo};

@@ -4,16 +4,18 @@ use std::cell::RefCell;
 use std::future::Future;
 use std::rc::Rc;
 
+use oam_am::Am;
 use oam_model::{
-    AbortStrategy, CostModel, Dur, MachineConfig, MachineStats, NodeId, NodeStats, QueuePolicy, Time,
+    AbortStrategy, CostModel, Dur, MachineConfig, MachineStats, NodeId, NodeStats, QueuePolicy,
+    Time,
 };
 use oam_net::{NetConfig, Network};
-use oam_sim::Sim;
-use oam_am::Am;
 use oam_rpc::Rpc;
+use oam_sim::Sim;
 use oam_threads::{Flag, Node};
 
 use crate::collective::Collectives;
+use crate::watchdog::{HangKind, HangReport, NodeHangInfo};
 
 /// Configures and builds a [`Machine`].
 ///
@@ -90,8 +92,19 @@ impl MachineBuilder {
             .map(|i| Node::new(&sim, NodeId(i), cfg.nodes, Rc::clone(&cfg), Rc::clone(&stats[i])))
             .collect();
         let am = Am::new(net.clone(), Rc::clone(&cfg), nodes.clone());
+        if cfg.fault_plan.is_some() {
+            // Route fabric fault events (drops, dups, delays) to the sending
+            // node's trace observer so they appear on its timeline.
+            let hook_nodes = nodes.clone();
+            net.set_fault_hook(move |src, kind| hook_nodes[src.index()].emit(kind));
+        }
         let rpc = Rpc::new(am.clone());
-        let coll = Collectives::new(&sim, nodes.clone(), cfg.cost.barrier_latency, cfg.cost.reduction_latency);
+        let coll = Collectives::new(
+            &sim,
+            nodes.clone(),
+            cfg.cost.barrier_latency,
+            cfg.cost.reduction_latency,
+        );
         Machine { sim, cfg, stats, net, am, rpc, coll, nodes }
     }
 }
@@ -160,11 +173,7 @@ impl Machine {
 
     /// The per-node environment handed to node mains.
     pub fn env(&self, i: usize) -> NodeEnv {
-        NodeEnv {
-            node: self.nodes[i].clone(),
-            rpc: self.rpc.clone(),
-            coll: self.coll.clone(),
-        }
+        NodeEnv { node: self.nodes[i].clone(), rpc: self.rpc.clone(), coll: self.coll.clone() }
     }
 
     /// Run `main` on every node (SPMD) to completion and harvest
@@ -207,12 +216,59 @@ impl Machine {
         }
         let end_time = self.sim.run();
         let completed = done.iter().all(Flag::get);
-        RunReport {
-            end_time,
-            stats: self.harvest(),
-            completed,
-            events: self.sim.events_executed(),
+        RunReport { end_time, stats: self.harvest(), completed, events: self.sim.events_executed() }
+    }
+
+    /// Run `main` on every node under a virtual-time budget, with hang
+    /// diagnosis. Returns `Ok` when every node's main completes within the
+    /// budget; otherwise a structured [`HangReport`] saying whether the
+    /// machine deadlocked (went quiet with work unfinished — e.g. a dropped
+    /// request with retransmission disabled) or was still live when the
+    /// budget ran out, with per-node scheduler snapshots, outstanding-call
+    /// counts, and in-flight packets.
+    pub fn run_with_watchdog<F, Fut>(&self, budget: Time, main: F) -> Result<RunReport, HangReport>
+    where
+        F: Fn(NodeEnv) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let done: Vec<Flag> = (0..self.cfg.nodes).map(|_| Flag::new()).collect();
+        for (i, flag) in done.iter().enumerate() {
+            let env = self.env(i);
+            let fut = main(env);
+            let flag = flag.clone();
+            self.nodes[i].spawn(async move {
+                fut.await;
+                flag.set();
+            });
         }
+        let quiesced = self.sim.run_with_deadline(budget);
+        let completed = done.iter().all(Flag::get);
+        if quiesced && completed {
+            return Ok(RunReport {
+                end_time: self.sim.now(),
+                stats: self.harvest(),
+                completed: true,
+                events: self.sim.events_executed(),
+            });
+        }
+        let kind = if quiesced { HangKind::Deadlock } else { HangKind::BudgetExceeded };
+        let nodes = self
+            .nodes
+            .iter()
+            .zip(&done)
+            .map(|(node, flag)| NodeHangInfo {
+                diag: node.diagnostics(),
+                outstanding_calls: self.rpc.outstanding_calls(node.id()),
+                main_done: flag.get(),
+            })
+            .collect();
+        Err(HangReport {
+            kind,
+            at: self.sim.now(),
+            nodes,
+            in_flight_packets: self.net.in_flight(),
+            events: self.sim.events_executed(),
+        })
     }
 
     /// Snapshot all nodes' statistics.
@@ -301,8 +357,8 @@ impl NodeEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
     use crate::collective::Reducer;
+    use std::cell::Cell;
 
     #[test]
     fn spmd_run_reaches_all_nodes_and_completes() {

@@ -1,0 +1,150 @@
+//! Hang diagnosis: distinguishing a deadlocked machine from one that merely
+//! ran out of virtual-time budget, and explaining either.
+//!
+//! A simulated multicomputer can stop making progress in two distinct ways:
+//!
+//! * **Deadlock / lost completion** — the event heap drains while some
+//!   node's main is still blocked. With a fault plan active and
+//!   retransmission disabled, a single dropped request is enough: the
+//!   caller spins on a reply that will never come, the node goes idle, and
+//!   the simulation quiesces. The same signature arises from genuine
+//!   distributed deadlock (cyclic lock waits across nodes).
+//! * **Budget overrun** — virtual time reaches the caller-supplied budget
+//!   with events still pending. The machine is *live* (e.g. retransmission
+//!   timers keep firing) but has not finished; either the budget is too
+//!   small or the workload is livelocked.
+//!
+//! [`crate::Machine::run_with_watchdog`] runs a program under a budget and
+//! returns a structured [`HangReport`] instead of panicking or hanging, with
+//! per-node scheduler snapshots, outstanding-call counts, and the number of
+//! packets still sitting in the fabric — enough to tell "waiting on a lost
+//! reply" from "two nodes hold each other's locks" at a glance.
+
+use core::fmt;
+
+use oam_model::Time;
+use oam_threads::NodeDiag;
+
+/// Why the watchdog stopped the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HangKind {
+    /// The simulation went completely quiet — no events, no runnable
+    /// threads — with at least one node's main still incomplete. Nothing
+    /// will ever wake the machine again.
+    Deadlock,
+    /// Virtual time reached the budget with events still pending: the
+    /// machine is live but not done.
+    BudgetExceeded,
+}
+
+impl fmt::Display for HangKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HangKind::Deadlock => f.write_str("deadlock"),
+            HangKind::BudgetExceeded => f.write_str("budget-exceeded"),
+        }
+    }
+}
+
+/// Per-node slice of a [`HangReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeHangInfo {
+    /// Scheduler snapshot (idle, runnable/spinning/parked thread counts).
+    pub diag: NodeDiag,
+    /// RPCs this node issued that never completed (no reply, ack, or NACK).
+    pub outstanding_calls: usize,
+    /// Whether this node's main ran to completion.
+    pub main_done: bool,
+}
+
+/// Structured diagnosis of a run that failed to complete, returned by
+/// [`crate::Machine::run_with_watchdog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangReport {
+    /// Deadlock or budget overrun.
+    pub kind: HangKind,
+    /// Virtual time when the run was stopped.
+    pub at: Time,
+    /// One entry per node, indexed by node id.
+    pub nodes: Vec<NodeHangInfo>,
+    /// Packets still sitting in NI FIFOs or the fabric.
+    pub in_flight_packets: usize,
+    /// Simulation events executed before the stop.
+    pub events: u64,
+}
+
+impl HangReport {
+    /// Nodes whose main never completed.
+    pub fn stuck_nodes(&self) -> impl Iterator<Item = &NodeHangInfo> {
+        self.nodes.iter().filter(|n| !n.main_done)
+    }
+
+    /// Total calls outstanding across the machine.
+    pub fn total_outstanding_calls(&self) -> usize {
+        self.nodes.iter().map(|n| n.outstanding_calls).sum()
+    }
+}
+
+impl fmt::Display for HangReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "machine hang: {} at {} ({} events, {} packets in flight)",
+            self.kind, self.at, self.events, self.in_flight_packets
+        )?;
+        for n in &self.nodes {
+            let d = &n.diag;
+            writeln!(
+                f,
+                "  node {}: main {}, {} live ({} runnable, {} spinning, {} parked), \
+                 {} outstanding call(s){}",
+                d.node.index(),
+                if n.main_done { "done" } else { "STUCK" },
+                d.live_threads,
+                d.runnable,
+                d.spinning,
+                d.parked,
+                n.outstanding_calls,
+                if d.idle { ", idle" } else { "" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oam_model::NodeId;
+
+    fn diag(node: usize, spinning: usize) -> NodeDiag {
+        NodeDiag {
+            node: NodeId(node),
+            idle: true,
+            live_threads: 1,
+            runnable: 0,
+            spinning,
+            parked: 0,
+        }
+    }
+
+    #[test]
+    fn report_accessors_and_display() {
+        let r = HangReport {
+            kind: HangKind::Deadlock,
+            at: Time::from_nanos(123),
+            nodes: vec![
+                NodeHangInfo { diag: diag(0, 1), outstanding_calls: 1, main_done: false },
+                NodeHangInfo { diag: diag(1, 0), outstanding_calls: 0, main_done: true },
+            ],
+            in_flight_packets: 0,
+            events: 42,
+        };
+        assert_eq!(r.stuck_nodes().count(), 1);
+        assert_eq!(r.total_outstanding_calls(), 1);
+        let text = r.to_string();
+        assert!(text.contains("deadlock"));
+        assert!(text.contains("node 0: main STUCK"));
+        assert!(text.contains("node 1: main done"));
+    }
+}

@@ -96,10 +96,8 @@ fn every_config_combination_completes_a_mixed_workload() {
     for policy in [QueuePolicy::Front, QueuePolicy::Back] {
         for strategy in [AbortStrategy::Promote, AbortStrategy::Rerun, AbortStrategy::Nack] {
             for mode in [RpcMode::Orpc, RpcMode::Trpc] {
-                let m = MachineBuilder::new(4)
-                    .queue_policy(policy)
-                    .abort_strategy(strategy)
-                    .build();
+                let m =
+                    MachineBuilder::new(4).queue_policy(policy).abort_strategy(strategy).build();
                 let states = setup_mode(&m, mode);
                 let st = Rc::clone(&states);
                 let report = m.try_run(move |env| {

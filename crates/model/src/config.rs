@@ -1,6 +1,7 @@
 //! Whole-machine configuration.
 
 use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 use crate::time::Dur;
 
 /// Where the scheduler places newly runnable RPC threads (§4.1: the paper
@@ -54,6 +55,44 @@ impl AbortStrategy {
     }
 }
 
+/// End-to-end RPC reliability policy: what the client stubs do about lost
+/// requests and replies.
+///
+/// Off by default so fault-free runs reproduce the paper's protocol
+/// exactly (no timers, no acks, identical message counts). Turn it on when
+/// a [`FaultPlan`] can lose packets; with it on, two-way calls retransmit
+/// on a per-call timeout with exponential back-off, one-way calls are
+/// acknowledged and retransmitted the same way, and servers suppress the
+/// resulting duplicates so every call still executes at most once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityConfig {
+    /// Enable per-call timeout + retransmission (and oneway acks).
+    pub retransmit: bool,
+    /// Base per-call timeout before the first retransmission. Subsequent
+    /// timeouts back off exponentially from this base plus jitter derived
+    /// from [`CostModel::nack_backoff_base`].
+    pub retransmit_timeout: Dur,
+    /// Cap on the back-off exponent (delay grows as `2^min(attempt, cap)`).
+    pub max_backoff_exp: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            retransmit: false,
+            retransmit_timeout: Dur::from_micros(200),
+            max_backoff_exp: 6,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// Retransmission enabled with default timing.
+    pub fn retransmitting() -> Self {
+        ReliabilityConfig { retransmit: true, ..Default::default() }
+    }
+}
+
 /// Full configuration of a simulated machine run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
@@ -93,6 +132,11 @@ pub struct MachineConfig {
     /// model machines where a full NI is a real OAM abort condition
     /// ([`crate::stats::AbortReason::NetworkFull`]).
     pub auto_drain_on_handler_send: bool,
+    /// Fault-injection plan for the data network; `None` (the default)
+    /// reproduces the paper's lossless CM-5 fabric.
+    pub fault_plan: Option<FaultPlan>,
+    /// End-to-end RPC reliability policy (timeouts, retransmission, acks).
+    pub reliability: ReliabilityConfig,
 }
 
 impl MachineConfig {
@@ -112,6 +156,8 @@ impl MachineConfig {
             bulk_threshold: 16,
             max_dispatch_depth: 8,
             auto_drain_on_handler_send: true,
+            fault_plan: None,
+            reliability: ReliabilityConfig::default(),
         }
     }
 
@@ -147,6 +193,19 @@ impl MachineConfig {
         self
     }
 
+    /// Builder-style fault-plan override.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style reliability override (most often
+    /// [`ReliabilityConfig::retransmitting`] next to a lossy fault plan).
+    pub fn with_reliability(mut self, r: ReliabilityConfig) -> Self {
+        self.reliability = r;
+        self
+    }
+
     /// Validate internal consistency (positive capacities, at least one node).
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes == 0 {
@@ -160,6 +219,12 @@ impl MachineConfig {
         }
         if self.max_dispatch_depth == 0 {
             return Err("dispatch depth must be at least 1".into());
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
+        }
+        if self.reliability.retransmit && self.reliability.retransmit_timeout == Dur::ZERO {
+            return Err("retransmit timeout must be positive".into());
         }
         Ok(())
     }

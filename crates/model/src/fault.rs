@@ -1,0 +1,245 @@
+//! Deterministic fault injection: what can go wrong in the fabric.
+//!
+//! The paper's CM-5 data network is lossless and FIFO; a production-scale
+//! machine is not. A [`FaultPlan`] describes a reproducible fault regime —
+//! packet drop/duplication/delay, per-link degradation windows, and node
+//! poll stalls — that `oam-net` applies at its pump/delivery points using
+//! the simulation's seeded RNG, so a faulted run is exactly as
+//! deterministic as a clean one: same seed, same faults, same outcome.
+//!
+//! Faults apply to *short packets* crossing the fabric (requests, replies,
+//! NACKs, acks). Bulk (scopy) transfers model a DMA engine with link-level
+//! flow control and stay reliable; collectives ride the separate control
+//! network and are likewise untouched.
+
+use crate::ids::NodeId;
+use crate::time::{Dur, Time};
+
+/// A time window during which one link (or a set of links) degrades:
+/// extra loss and/or extra latency for packets pumped into the fabric
+/// while the window is open.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDegradation {
+    /// Source filter; `None` matches every sender.
+    pub src: Option<NodeId>,
+    /// Destination filter; `None` matches every receiver.
+    pub dst: Option<NodeId>,
+    /// Window start (inclusive, virtual time).
+    pub from: Time,
+    /// Window end (exclusive, virtual time).
+    pub until: Time,
+    /// Additional drop probability while the window is open.
+    pub drop_prob: f64,
+    /// Additional fixed delay added to matching packets.
+    pub extra_delay: Dur,
+}
+
+impl LinkDegradation {
+    fn matches(&self, src: NodeId, dst: NodeId, now: Time) -> bool {
+        self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+            && now >= self.from
+            && now < self.until
+    }
+}
+
+/// A window during which one node stops polling its input FIFO — the
+/// machine equivalent of a GC pause, an OS hiccup, or a slow interrupt
+/// handler. Packets still arrive and buffer; the node just does not eject
+/// them until the window closes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStall {
+    /// The stalled node.
+    pub node: NodeId,
+    /// Stall start (inclusive).
+    pub from: Time,
+    /// Stall end (exclusive); polling resumes here.
+    pub until: Time,
+}
+
+impl NodeStall {
+    /// Whether this stall covers `node` at `now`.
+    pub fn covers(&self, node: NodeId, now: Time) -> bool {
+        self.node == node && now >= self.from && now < self.until
+    }
+}
+
+/// A reproducible fault regime for the data network.
+///
+/// All probabilities are per-packet and evaluated with the simulation's
+/// seeded RNG at the moment the packet is pumped from the sender's output
+/// FIFO into the fabric, so two runs with the same seed and plan inject
+/// byte-identical fault sequences.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability a pumped packet is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a pumped packet is duplicated (both copies delivered).
+    pub dup_prob: f64,
+    /// Probability a pumped packet is held back by an extra random delay.
+    pub delay_prob: f64,
+    /// Upper bound on the extra random delay (uniform in `[0, delay_max]`).
+    pub delay_max: Dur,
+    /// Time-windowed per-link degradations, applied on top of the base
+    /// probabilities.
+    pub degraded: Vec<LinkDegradation>,
+    /// Poll-stall windows.
+    pub stalls: Vec<NodeStall>,
+}
+
+impl FaultPlan {
+    /// A plan that only drops packets, with probability `p`.
+    pub fn drop_only(p: f64) -> Self {
+        FaultPlan { drop_prob: p, ..Default::default() }
+    }
+
+    /// Builder-style duplication probability.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Builder-style random-delay fault.
+    pub fn with_delay(mut self, p: f64, max: Dur) -> Self {
+        self.delay_prob = p;
+        self.delay_max = max;
+        self
+    }
+
+    /// Builder-style stall window.
+    pub fn with_stall(mut self, node: NodeId, from: Time, until: Time) -> Self {
+        self.stalls.push(NodeStall { node, from, until });
+        self
+    }
+
+    /// Builder-style link-degradation window.
+    pub fn with_degradation(mut self, w: LinkDegradation) -> Self {
+        self.degraded.push(w);
+        self
+    }
+
+    /// Effective (drop probability, extra fixed delay) for a packet crossing
+    /// `src → dst` at `now`: the base rates plus every matching window.
+    pub fn link_faults(&self, src: NodeId, dst: NodeId, now: Time) -> (f64, Dur) {
+        let mut drop = self.drop_prob;
+        let mut delay = Dur::ZERO;
+        for w in &self.degraded {
+            if w.matches(src, dst, now) {
+                drop += w.drop_prob;
+                delay += w.extra_delay;
+            }
+        }
+        (drop.min(1.0), delay)
+    }
+
+    /// Whether `node` is inside a poll-stall window at `now`.
+    pub fn stalled(&self, node: NodeId, now: Time) -> bool {
+        self.stalls.iter().any(|s| s.covers(node, now))
+    }
+
+    /// True if the plan can never perturb anything (the default).
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.dup_prob <= 0.0
+            && self.delay_prob <= 0.0
+            && self.degraded.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Validate probability ranges and window ordering.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("dup_prob", self.dup_prob),
+            ("delay_prob", self.delay_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault plan: {name} = {p} outside [0, 1]"));
+            }
+        }
+        for w in &self.degraded {
+            if !(0.0..=1.0).contains(&w.drop_prob) {
+                return Err(format!(
+                    "fault plan: window drop_prob = {} outside [0, 1]",
+                    w.drop_prob
+                ));
+            }
+            if w.from >= w.until {
+                return Err("fault plan: degradation window is empty or inverted".into());
+            }
+        }
+        for s in &self.stalls {
+            if s.from >= s.until {
+                return Err("fault plan: stall window is empty or inverted".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop_and_valid() {
+        let p = FaultPlan::default();
+        assert!(p.is_noop());
+        assert!(p.validate().is_ok());
+        assert_eq!(p.link_faults(NodeId(0), NodeId(1), Time::ZERO), (0.0, Dur::ZERO));
+    }
+
+    #[test]
+    fn windows_compose_with_base_rates() {
+        let p = FaultPlan::drop_only(0.1).with_degradation(LinkDegradation {
+            src: Some(NodeId(1)),
+            dst: None,
+            from: Time::from_nanos(100),
+            until: Time::from_nanos(200),
+            drop_prob: 0.5,
+            extra_delay: Dur::from_nanos(30),
+        });
+        // Outside the window: base only.
+        assert_eq!(p.link_faults(NodeId(1), NodeId(0), Time::from_nanos(50)), (0.1, Dur::ZERO));
+        // Inside, matching src: base + window.
+        let (d, extra) = p.link_faults(NodeId(1), NodeId(2), Time::from_nanos(150));
+        assert!((d - 0.6).abs() < 1e-12);
+        assert_eq!(extra, Dur::from_nanos(30));
+        // Inside, other src: unaffected.
+        assert_eq!(p.link_faults(NodeId(2), NodeId(1), Time::from_nanos(150)), (0.1, Dur::ZERO));
+    }
+
+    #[test]
+    fn drop_probability_saturates_at_one() {
+        let p = FaultPlan::drop_only(0.8).with_degradation(LinkDegradation {
+            src: None,
+            dst: None,
+            from: Time::ZERO,
+            until: Time::from_nanos(10),
+            drop_prob: 0.8,
+            extra_delay: Dur::ZERO,
+        });
+        assert_eq!(p.link_faults(NodeId(0), NodeId(1), Time::ZERO).0, 1.0);
+    }
+
+    #[test]
+    fn stall_windows_are_half_open() {
+        let p =
+            FaultPlan::default().with_stall(NodeId(2), Time::from_nanos(10), Time::from_nanos(20));
+        assert!(!p.is_noop());
+        assert!(!p.stalled(NodeId(2), Time::from_nanos(9)));
+        assert!(p.stalled(NodeId(2), Time::from_nanos(10)));
+        assert!(p.stalled(NodeId(2), Time::from_nanos(19)));
+        assert!(!p.stalled(NodeId(2), Time::from_nanos(20)));
+        assert!(!p.stalled(NodeId(1), Time::from_nanos(15)));
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities_and_windows() {
+        assert!(FaultPlan::drop_only(1.5).validate().is_err());
+        assert!(FaultPlan::default().with_dup(-0.1).validate().is_err());
+        let inverted =
+            FaultPlan::default().with_stall(NodeId(0), Time::from_nanos(20), Time::from_nanos(10));
+        assert!(inverted.validate().is_err());
+    }
+}

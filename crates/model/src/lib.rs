@@ -8,15 +8,17 @@
 #![warn(missing_docs)]
 
 pub mod config;
-pub mod ids;
 pub mod cost;
+pub mod fault;
+pub mod ids;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use config::{AbortStrategy, MachineConfig, QueuePolicy};
+pub use config::{AbortStrategy, MachineConfig, QueuePolicy, ReliabilityConfig};
 pub use cost::CostModel;
+pub use fault::{FaultPlan, LinkDegradation, NodeStall};
 pub use ids::NodeId;
 pub use stats::{AbortReason, MachineStats, NodeStats};
-pub use trace::{TraceEvent, TraceKind, TraceObserver};
 pub use time::{Dur, Time};
+pub use trace::{TraceEvent, TraceKind, TraceObserver};

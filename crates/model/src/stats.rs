@@ -113,6 +113,23 @@ pub struct NodeStats {
     /// Asynchronous RPCs issued by this node.
     pub rpcs_async: u64,
 
+    // ---- faults & reliability ----
+    /// Packets this node sent that the (faulted) fabric dropped.
+    pub packets_dropped: u64,
+    /// Packets this node sent that the fabric duplicated.
+    pub packets_duplicated: u64,
+    /// Packets this node sent that the fabric hit with an extra delay.
+    pub packets_delayed: u64,
+    /// Per-call timeouts that expired on this node's outstanding calls.
+    pub call_timeouts: u64,
+    /// Requests this node retransmitted after a timeout.
+    pub retransmits: u64,
+    /// Duplicate requests this node suppressed as server (at-most-once).
+    pub dups_suppressed: u64,
+    /// Replies/acks that arrived for an already-completed call and were
+    /// dropped instead of corrupting a recycled call slot.
+    pub stale_replies_dropped: u64,
+
     // ---- time accounting ----
     /// Virtual time this node spent in application compute charges.
     pub compute_time: Dur,
@@ -183,13 +200,20 @@ impl NodeStats {
         self.send_backpressure_events += other.send_backpressure_events;
         self.rpcs_sync += other.rpcs_sync;
         self.rpcs_async += other.rpcs_async;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_duplicated += other.packets_duplicated;
+        self.packets_delayed += other.packets_delayed;
+        self.call_timeouts += other.call_timeouts;
+        self.retransmits += other.retransmits;
+        self.dups_suppressed += other.dups_suppressed;
+        self.stale_replies_dropped += other.stale_replies_dropped;
         self.compute_time += other.compute_time;
         self.idle_time += other.idle_time;
     }
 }
 
 /// Whole-machine statistics: one entry per node plus the aggregate.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Per-node counters, indexed by node id.
     pub per_node: Vec<NodeStats>,

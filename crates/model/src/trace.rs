@@ -72,6 +72,60 @@ pub enum TraceKind {
     IdleStart,
     /// The node left idle state.
     IdleEnd,
+    /// The fabric dropped a packet this node sent (fault injection).
+    PacketDropped {
+        /// Handler tag of the lost packet.
+        tag: u32,
+        /// Destination it never reached.
+        dst: NodeId,
+    },
+    /// The fabric duplicated a packet this node sent (fault injection).
+    PacketDuplicated {
+        /// Handler tag of the duplicated packet.
+        tag: u32,
+        /// Destination receiving both copies.
+        dst: NodeId,
+    },
+    /// The fabric delayed a packet this node sent beyond the wire latency.
+    PacketDelayed {
+        /// Handler tag of the delayed packet.
+        tag: u32,
+        /// Destination.
+        dst: NodeId,
+        /// Extra delay beyond the normal wire latency.
+        by: Dur,
+    },
+    /// A per-call retransmission timer expired (reply still outstanding).
+    CallTimeout {
+        /// The timed-out call.
+        call_id: u32,
+        /// Callee.
+        dst: NodeId,
+        /// How many timeouts this call has now suffered.
+        attempt: u32,
+    },
+    /// A request was retransmitted after a timeout.
+    CallRetransmit {
+        /// The retransmitted call.
+        call_id: u32,
+        /// Callee.
+        dst: NodeId,
+        /// Retransmission attempt number (1 = first resend).
+        attempt: u32,
+    },
+    /// A duplicate request was suppressed by the server (at-most-once).
+    DupSuppressed {
+        /// The caller whose retransmission arrived twice.
+        caller: NodeId,
+        /// The duplicated call.
+        call_id: u32,
+    },
+    /// A reply or ack arrived for a call that already completed and was
+    /// discarded.
+    StaleReplyDropped {
+        /// The stale correlation id.
+        call_id: u32,
+    },
 }
 
 impl TraceKind {
@@ -86,6 +140,13 @@ impl TraceKind {
             TraceKind::OamAborted { .. } => "oam-abort",
             TraceKind::IdleStart => "idle",
             TraceKind::IdleEnd => "wake",
+            TraceKind::PacketDropped { .. } => "drop",
+            TraceKind::PacketDuplicated { .. } => "dup",
+            TraceKind::PacketDelayed { .. } => "delay",
+            TraceKind::CallTimeout { .. } => "timeout",
+            TraceKind::CallRetransmit { .. } => "retransmit",
+            TraceKind::DupSuppressed { .. } => "dup-suppressed",
+            TraceKind::StaleReplyDropped { .. } => "stale-reply",
         }
     }
 }
@@ -109,6 +170,13 @@ mod tests {
             TraceKind::OamAborted { tag: 1, reason: AbortReason::LockHeld },
             TraceKind::IdleStart,
             TraceKind::IdleEnd,
+            TraceKind::PacketDropped { tag: 1, dst: NodeId(1) },
+            TraceKind::PacketDuplicated { tag: 1, dst: NodeId(1) },
+            TraceKind::PacketDelayed { tag: 1, dst: NodeId(1), by: Dur::ZERO },
+            TraceKind::CallTimeout { call_id: 0, dst: NodeId(1), attempt: 1 },
+            TraceKind::CallRetransmit { call_id: 0, dst: NodeId(1), attempt: 1 },
+            TraceKind::DupSuppressed { caller: NodeId(0), call_id: 0 },
+            TraceKind::StaleReplyDropped { call_id: 0 },
         ];
         let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len(), "labels are distinct");

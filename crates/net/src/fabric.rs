@@ -22,7 +22,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 
-use oam_model::{Dur, MachineConfig, NodeId, NodeStats, Time};
+use oam_model::{Dur, FaultPlan, MachineConfig, NodeId, NodeStats, Time, TraceKind};
 use oam_sim::Sim;
 
 use crate::packet::{Packet, PacketKind};
@@ -52,6 +52,8 @@ pub struct NetConfig {
     pub ni_in_capacity: usize,
     /// Fabric buffering per destination (packets).
     pub fabric_capacity: usize,
+    /// Fault-injection plan; `None` keeps the fabric lossless.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl NetConfig {
@@ -65,11 +67,16 @@ impl NetConfig {
             ni_out_capacity: cfg.ni_out_capacity,
             ni_in_capacity: cfg.ni_in_capacity,
             fabric_capacity: cfg.fabric_capacity,
+            fault_plan: cfg.fault_plan.clone(),
         }
     }
 }
 
 type ArrivalHook = Rc<dyn Fn(&Sim)>;
+
+/// Observer for injected faults: `(node the event is attributed to, event)`.
+/// Installed by the machine layer to forward fabric faults into the trace.
+type FaultHook = Rc<dyn Fn(NodeId, TraceKind)>;
 
 struct NodeNet {
     /// `(earliest launch, packet)`: a packet may not pump before its
@@ -118,6 +125,7 @@ struct NetInner {
     cfg: NetConfig,
     nodes: Vec<NodeNet>,
     stats: Vec<Rc<RefCell<NodeStats>>>,
+    fault_hook: Option<FaultHook>,
 }
 
 /// Handle to the simulated network. Cheap to clone.
@@ -132,10 +140,34 @@ impl Network {
     pub fn new(sim: &Sim, cfg: NetConfig, stats: Vec<Rc<RefCell<NodeStats>>>) -> Self {
         assert_eq!(stats.len(), cfg.nodes, "one NodeStats per node required");
         let nodes = (0..cfg.nodes).map(|_| NodeNet::new()).collect();
-        Network {
+        let stall_ends: Vec<(NodeId, Time)> = cfg
+            .fault_plan
+            .as_ref()
+            .map(|p| p.stalls.iter().map(|s| (s.node, s.until)).collect())
+            .unwrap_or_default();
+        let net = Network {
             sim: sim.clone(),
-            inner: Rc::new(RefCell::new(NetInner { cfg, nodes, stats })),
+            inner: Rc::new(RefCell::new(NetInner { cfg, nodes, stats, fault_hook: None })),
+        };
+        // A stalled node may have gone idle with packets already waiting in
+        // its input FIFO; wake it the moment each stall window closes.
+        for (node, until) in stall_ends {
+            let n = net.clone();
+            sim.schedule_at(until, move |sim| {
+                let hook = n.inner.borrow().nodes[node.index()].arrival_hook.clone();
+                if let Some(h) = hook {
+                    h(sim);
+                }
+            });
         }
+        net
+    }
+
+    /// Install the observer invoked for every injected fault (drop,
+    /// duplication, delay). At most one; the machine layer forwards these
+    /// into the per-node trace stream.
+    pub fn set_fault_hook(&self, hook: impl Fn(NodeId, TraceKind) + 'static) {
+        self.inner.borrow_mut().fault_hook = Some(Rc::new(hook));
     }
 
     /// The simulation this network is attached to.
@@ -211,6 +243,14 @@ impl Network {
     pub fn poll(&self, node: NodeId) -> Option<Packet> {
         let (pkt, freed_fifo_space) = {
             let mut inner = self.inner.borrow_mut();
+            if let Some(plan) = &inner.cfg.fault_plan {
+                // A stalled node's poll instruction finds nothing: arrived
+                // packets sit in the FIFOs until the window closes (the
+                // network schedules a wake at each window's end).
+                if plan.stalled(node, self.sim.now()) {
+                    return None;
+                }
+            }
             let n = &mut inner.nodes[node.index()];
             if let Some(c) = n.completions.pop_front() {
                 (Some(c), false)
@@ -266,7 +306,8 @@ impl Network {
             let send_start = now.max(inner.nodes[src.index()].out_link_free);
             let send_end = send_start + dur;
             inner.nodes[src.index()].out_link_free = send_end;
-            let recv_start = (send_start + inner.cfg.wire_latency).max(inner.nodes[dst.index()].in_link_free);
+            let recv_start =
+                (send_start + inner.cfg.wire_latency).max(inner.nodes[dst.index()].in_link_free);
             let recv_end = recv_start + dur;
             inner.nodes[dst.index()].in_link_free = recv_end;
             {
@@ -331,10 +372,11 @@ impl Network {
         enum Outcome {
             Retry(Time),
             Stalled,
-            Sent { dst: usize, waiters: Vec<SpaceWaiter> },
+            Sent { dst: usize, delivered: bool, waiters: Vec<SpaceWaiter> },
             Idle,
         }
-        let outcome = {
+        let mut fault_events: Vec<TraceKind> = Vec::new();
+        let (outcome, hook) = {
             let mut inner = self.inner.borrow_mut();
             let now = self.sim.now();
             let fabric_cap = inner.cfg.fabric_capacity;
@@ -343,7 +385,7 @@ impl Network {
             let n = &mut inner.nodes[src];
             n.pump_scheduled = false;
             let head = n.out_fifo.front().map(|(launch, pkt)| (*launch, pkt.dst.index()));
-            match head {
+            let outcome = match head {
                 None => Outcome::Idle,
                 Some((launch, _)) if n.out_link_free.max(launch) > now => {
                     // A bulk transfer grabbed the link after this pump was
@@ -356,15 +398,75 @@ impl Network {
                         inner.nodes[dst].stalled_senders.insert(src);
                         Outcome::Stalled
                     } else {
-                        let (_, pkt) = inner.nodes[src].out_fifo.pop_front().expect("checked non-empty");
+                        let (_, pkt) =
+                            inner.nodes[src].out_fifo.pop_front().expect("checked non-empty");
                         inner.nodes[src].out_link_free = now + gap;
-                        inner.nodes[dst].pending.push_back((now + wire, pkt));
+                        // Fault injection happens here, at the NI → fabric
+                        // hand-off: the packet has left the sender (link
+                        // time is spent, stats counted) and whatever the
+                        // plan decides is what the fabric delivers.
+                        let mut copies: usize = 1;
+                        let mut extra = Dur::ZERO;
+                        if let Some(plan) = &inner.cfg.fault_plan {
+                            let (drop_p, window_delay) = plan.link_faults(pkt.src, pkt.dst, now);
+                            extra = window_delay;
+                            if drop_p > 0.0 && self.sim.with_rng(|r| r.gen_bool(drop_p)) {
+                                copies = 0;
+                                fault_events
+                                    .push(TraceKind::PacketDropped { tag: pkt.tag, dst: pkt.dst });
+                            } else {
+                                if plan.dup_prob > 0.0
+                                    && self.sim.with_rng(|r| r.gen_bool(plan.dup_prob))
+                                {
+                                    copies = 2;
+                                    fault_events.push(TraceKind::PacketDuplicated {
+                                        tag: pkt.tag,
+                                        dst: pkt.dst,
+                                    });
+                                }
+                                if plan.delay_prob > 0.0
+                                    && self.sim.with_rng(|r| r.gen_bool(plan.delay_prob))
+                                {
+                                    extra += Dur::from_nanos(self.sim.with_rng(|r| {
+                                        r.gen_inclusive(0, plan.delay_max.as_nanos())
+                                    }));
+                                }
+                                if extra > Dur::ZERO {
+                                    fault_events.push(TraceKind::PacketDelayed {
+                                        tag: pkt.tag,
+                                        dst: pkt.dst,
+                                        by: extra,
+                                    });
+                                }
+                            }
+                        }
+                        {
+                            let mut st = inner.stats[src].borrow_mut();
+                            match copies {
+                                0 => st.packets_dropped += 1,
+                                2 => st.packets_duplicated += 1,
+                                _ => {}
+                            }
+                            if copies > 0 && extra > Dur::ZERO {
+                                st.packets_delayed += 1;
+                            }
+                        }
+                        let ready = now + wire + extra;
+                        for _ in 0..copies {
+                            inner.nodes[dst].pending.push_back((ready, pkt.clone()));
+                        }
                         let waiters = std::mem::take(&mut inner.nodes[src].space_waiters);
-                        Outcome::Sent { dst, waiters }
+                        Outcome::Sent { dst, delivered: copies > 0, waiters }
                     }
                 }
-            }
+            };
+            (outcome, inner.fault_hook.clone())
         };
+        if let Some(hook) = hook {
+            for ev in fault_events {
+                hook(NodeId(src), ev);
+            }
+        }
         match outcome {
             Outcome::Idle | Outcome::Stalled => {}
             Outcome::Retry(at) => {
@@ -372,8 +474,10 @@ impl Network {
                 self.inner.borrow_mut().nodes[src].pump_scheduled = true;
                 self.sim.schedule_at(at, move |_| net.pump(src));
             }
-            Outcome::Sent { dst, waiters } => {
-                self.ensure_delivery(dst);
+            Outcome::Sent { dst, delivered, waiters } => {
+                if delivered {
+                    self.ensure_delivery(dst);
+                }
                 self.ensure_pump(src); // more queued output?
                 for w in waiters {
                     w(&self.sim);
@@ -423,7 +527,8 @@ impl Network {
                 n.in_link_free = now + gap;
                 n.in_fifo.push_back(pkt);
                 let hook = n.arrival_hook.clone();
-                let woken: Vec<usize> = std::mem::take(&mut n.stalled_senders).into_iter().collect();
+                let woken: Vec<usize> =
+                    std::mem::take(&mut n.stalled_senders).into_iter().collect();
                 (hook, woken)
             }
         };
@@ -571,6 +676,145 @@ mod tests {
         net.try_inject(Packet::short(NodeId(2), NodeId(3), 2, vec![])).unwrap();
         sim.run();
         assert_eq!(t1.get(), t2.get(), "disjoint pairs see identical latency");
+    }
+
+    #[test]
+    fn drop_all_plan_loses_every_packet() {
+        let (sim, net) = mk(2, |c| c.fault_plan = Some(FaultPlan::drop_only(1.0)));
+        let dropped_events = Rc::new(Cell::new(0usize));
+        let d = dropped_events.clone();
+        net.set_fault_hook(move |src, kind| {
+            assert_eq!(src, NodeId(0), "drop attributed to the sender");
+            assert!(matches!(kind, TraceKind::PacketDropped { .. }));
+            d.set(d.get() + 1);
+        });
+        for i in 0..5u32 {
+            net.try_inject(Packet::short(NodeId(0), NodeId(1), i, vec![])).unwrap();
+            sim.run();
+        }
+        assert!(net.poll(NodeId(1)).is_none(), "nothing survives p=1 loss");
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(dropped_events.get(), 5);
+        let st = net.inner.borrow().stats[0].clone();
+        assert_eq!(st.borrow().packets_dropped, 5);
+        assert_eq!(st.borrow().messages_sent, 5, "sends are counted before the fabric eats them");
+    }
+
+    #[test]
+    fn duplication_delivers_two_copies() {
+        let (sim, net) = mk(2, |c| {
+            c.fault_plan = Some(FaultPlan::default().with_dup(1.0));
+        });
+        net.try_inject(Packet::short(NodeId(0), NodeId(1), 7, vec![9])).unwrap();
+        sim.run();
+        let tags: Vec<u32> = std::iter::from_fn(|| {
+            let p = net.poll(NodeId(1));
+            sim.run(); // let the second delivery event fire
+            p
+        })
+        .map(|p| p.tag)
+        .collect();
+        assert_eq!(tags, vec![7, 7], "both copies arrive");
+        let st = net.inner.borrow().stats[0].clone();
+        assert_eq!(st.borrow().packets_duplicated, 1);
+    }
+
+    #[test]
+    fn delay_postpones_arrival_beyond_wire_latency() {
+        let max = Dur::from_micros(40);
+        let (sim, net) = mk(2, |c| {
+            c.fault_plan = Some(FaultPlan::default().with_delay(1.0, max));
+        });
+        let arrived = Rc::new(Cell::new(Time::MAX));
+        let a = arrived.clone();
+        net.set_arrival_hook(NodeId(1), move |sim| a.set(sim.now()));
+        net.try_inject(Packet::short(NodeId(0), NodeId(1), 1, vec![])).unwrap();
+        sim.run();
+        let wire = Time::from_nanos(2_700);
+        assert!(arrived.get() >= wire, "never earlier than the wire");
+        assert!(arrived.get() <= wire + max, "delay bounded by delay_max");
+        let st = net.inner.borrow().stats[0].clone();
+        assert_eq!(st.borrow().packets_delayed, 1);
+    }
+
+    #[test]
+    fn degradation_window_only_bites_inside_its_interval() {
+        let window = oam_model::LinkDegradation {
+            src: Some(NodeId(0)),
+            dst: None,
+            from: Time::from_nanos(100_000),
+            until: Time::from_nanos(200_000),
+            drop_prob: 1.0,
+            extra_delay: Dur::ZERO,
+        };
+        let (sim, net) = mk(2, |c| {
+            c.fault_plan = Some(FaultPlan::default().with_degradation(window));
+        });
+        // Before the window: survives.
+        net.try_inject(Packet::short(NodeId(0), NodeId(1), 0, vec![])).unwrap();
+        sim.run();
+        assert!(net.poll(NodeId(1)).is_some());
+        // Inside the window: certain loss.
+        let n2 = net.clone();
+        sim.schedule_at(Time::from_nanos(150_000), move |_| {
+            n2.try_inject(Packet::short(NodeId(0), NodeId(1), 1, vec![])).unwrap();
+        });
+        sim.run();
+        assert!(net.poll(NodeId(1)).is_none());
+        // After the window: survives again.
+        let n3 = net.clone();
+        sim.schedule_at(Time::from_nanos(250_000), move |_| {
+            n3.try_inject(Packet::short(NodeId(0), NodeId(1), 2, vec![])).unwrap();
+        });
+        sim.run();
+        assert_eq!(net.poll(NodeId(1)).map(|p| p.tag), Some(2));
+    }
+
+    #[test]
+    fn stalled_node_polls_nothing_until_the_window_closes() {
+        let until = Time::from_nanos(50_000);
+        let (sim, net) = mk(2, |c| {
+            c.fault_plan = Some(FaultPlan::default().with_stall(NodeId(1), Time::ZERO, until));
+        });
+        let polled_in_window = Rc::new(Cell::new(false));
+        let polled_after = Rc::new(Cell::new(false));
+        net.try_inject(Packet::short(NodeId(0), NodeId(1), 3, vec![])).unwrap();
+        let (n2, p2) = (net.clone(), polled_in_window.clone());
+        sim.schedule_at(Time::from_nanos(10_000), move |_| {
+            p2.set(n2.poll(NodeId(1)).is_some());
+        });
+        let (n3, p3) = (net.clone(), polled_after.clone());
+        sim.schedule_at(until, move |_| {
+            p3.set(n3.poll(NodeId(1)).is_some());
+        });
+        sim.run();
+        assert!(!polled_in_window.get(), "stalled node's polls find nothing");
+        assert!(polled_after.get(), "packet waited in the FIFO and is polled at window end");
+    }
+
+    #[test]
+    fn identical_seeds_make_identical_fault_decisions() {
+        fn run_once() -> (u64, u64, u64) {
+            let sim = Sim::new(42);
+            let mut cfg = NetConfig::from_machine(&MachineConfig::cm5(2));
+            cfg.fault_plan =
+                Some(FaultPlan::drop_only(0.3).with_dup(0.2).with_delay(0.2, Dur::from_micros(5)));
+            let stats: Vec<Rc<RefCell<NodeStats>>> =
+                (0..2).map(|_| Rc::new(RefCell::new(NodeStats::new()))).collect();
+            let net = Network::new(&sim, cfg, stats.clone());
+            for i in 0..200u32 {
+                net.try_inject(Packet::short(NodeId(0), NodeId(1), i, vec![])).unwrap();
+                sim.run();
+                while net.poll(NodeId(1)).is_some() {
+                    sim.run();
+                }
+            }
+            let st = stats[0].borrow();
+            (st.packets_dropped, st.packets_duplicated, st.packets_delayed)
+        }
+        let a = run_once();
+        assert_eq!(a, run_once(), "fault draws are a pure function of the seed");
+        assert!(a.0 > 0 && a.1 > 0 && a.2 > 0, "all fault types exercised: {a:?}");
     }
 
     #[test]

@@ -42,7 +42,11 @@ impl<S: 'static> Default for ObjectClass<S> {
 impl<S: 'static> ObjectClass<S> {
     /// An empty class.
     pub fn new() -> Self {
-        ObjectClass { reads: HashMap::new(), writes: HashMap::new(), _marker: std::marker::PhantomData }
+        ObjectClass {
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Register a read operation.
@@ -65,7 +69,11 @@ impl<S: 'static> ObjectClass<S> {
     ///
     /// # Panics
     /// Panics if the name collides with an existing operation.
-    pub fn write<A: Wire, R: Wire>(mut self, name: &str, f: impl Fn(&mut S, A) -> R + 'static) -> Self {
+    pub fn write<A: Wire, R: Wire>(
+        mut self,
+        name: &str,
+        f: impl Fn(&mut S, A) -> R + 'static,
+    ) -> Self {
         let id = op_id(name).0;
         let erased: ErasedWrite = Rc::new(move |state, arg_bytes| {
             let cell = state.downcast_ref::<RefCell<S>>().expect("object state type mismatch");
@@ -102,7 +110,9 @@ impl ErasedClass {
 
     /// Apply a write op to the erased state.
     pub fn apply_write(&self, state: &dyn Any, op: OpId, arg: &[u8]) -> Vec<u8> {
-        (self.writes.get(&op.0).unwrap_or_else(|| panic!("unknown write op {:#x}", op.0)))(state, arg)
+        (self.writes.get(&op.0).unwrap_or_else(|| panic!("unknown write op {:#x}", op.0)))(
+            state, arg,
+        )
     }
 }
 
@@ -125,12 +135,10 @@ mod tests {
     use super::*;
 
     fn counter_class() -> ObjectClass<u64> {
-        ObjectClass::new()
-            .read("get", |s: &u64, (): ()| *s)
-            .write("add", |s: &mut u64, n: u64| {
-                *s += n;
-                *s
-            })
+        ObjectClass::new().read("get", |s: &u64, (): ()| *s).write("add", |s: &mut u64, n: u64| {
+            *s += n;
+            *s
+        })
     }
 
     #[test]

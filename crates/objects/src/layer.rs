@@ -21,9 +21,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use oam_model::{Dur, NodeId};
-use oam_rpc::{
-    from_bytes, handler_id_for, to_bytes, CallFactory, Rpc, RpcMode, Wire, WireReader,
-};
+use oam_rpc::{from_bytes, handler_id_for, to_bytes, CallFactory, Rpc, RpcMode, Wire, WireReader};
 use oam_threads::Node;
 
 use crate::class::{op_id, ErasedClass, ObjectClass, OpId, Replica};
@@ -249,15 +247,18 @@ impl Objects {
     /// Peek at a replica's state from outside the simulation (tests,
     /// reports). Returns `None` when the node holds no state for the
     /// object.
-    pub fn peek<S: 'static, R>(&self, node: NodeId, id: ObjId, f: impl FnOnce(&S) -> R) -> Option<R> {
+    pub fn peek<S: 'static, R>(
+        &self,
+        node: NodeId,
+        id: ObjId,
+        f: impl FnOnce(&S) -> R,
+    ) -> Option<R> {
         let state: Rc<dyn std::any::Any> = {
             let table = self.inner.tables[node.index()].borrow();
             let e = table.get(&id.0)?;
             Rc::clone(&e.replica.as_ref()?.state)
         };
-        let cell = state
-            .downcast_ref::<RefCell<S>>()
-            .expect("peek type mismatch");
+        let cell = state.downcast_ref::<RefCell<S>>().expect("peek type mismatch");
         let out = f(&cell.borrow());
         Some(out)
     }

@@ -10,12 +10,10 @@ use oam_objects::{ObjId, ObjectClass, Objects, Placement};
 use oam_rpc::RpcMode;
 
 fn counter_class() -> ObjectClass<u64> {
-    ObjectClass::new()
-        .read("get", |s: &u64, (): ()| *s)
-        .write("add", |s: &mut u64, n: u64| {
-            *s += n;
-            *s
-        })
+    ObjectClass::new().read("get", |s: &u64, (): ()| *s).write("add", |s: &mut u64, n: u64| {
+        *s += n;
+        *s
+    })
 }
 
 fn histogram_class() -> ObjectClass<Vec<u64>> {
@@ -47,7 +45,11 @@ fn single_placement_ships_every_operation_to_the_owner() {
             }
         });
         assert_eq!(objects.peek::<u64, _>(NodeId(2), ObjId(1), |v| *v), Some(40), "{mode:?}");
-        assert_eq!(objects.peek::<u64, _>(NodeId(0), ObjId(1), |v| *v), None, "no replica off-owner");
+        assert_eq!(
+            objects.peek::<u64, _>(NodeId(0), ObjId(1), |v| *v),
+            None,
+            "no replica off-owner"
+        );
     }
 }
 
@@ -55,7 +57,8 @@ fn single_placement_ships_every_operation_to_the_owner() {
 fn replicated_reads_are_local_and_free_of_messages() {
     let m = MachineBuilder::new(4).build();
     let objects = Objects::new(m.rpc(), RpcMode::Orpc);
-    objects.create(ObjId(7), Placement::Replicated { manager: NodeId(0) }, counter_class(), || 99u64);
+    objects
+        .create(ObjId(7), Placement::Replicated { manager: NodeId(0) }, counter_class(), || 99u64);
     let objs = objects.clone();
     let report = m.run(move |env| {
         let objs = objs.clone();
@@ -133,7 +136,12 @@ fn deterministic_across_runs() {
     let run_once = || {
         let m = MachineBuilder::new(4).seed(5).build();
         let objects = Objects::new(m.rpc(), RpcMode::Orpc);
-        objects.create(ObjId(9), Placement::Replicated { manager: NodeId(3) }, counter_class(), || 0);
+        objects.create(
+            ObjId(9),
+            Placement::Replicated { manager: NodeId(3) },
+            counter_class(),
+            || 0,
+        );
         let objs = objects.clone();
         let out = Rc::new(Cell::new(0u64));
         let o = Rc::clone(&out);

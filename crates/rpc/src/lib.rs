@@ -20,7 +20,7 @@ pub use runtime::{
 pub use wire::{from_bytes, to_bytes, Wire, WireError, WireReader};
 
 // Re-exports the generated stubs refer to via `$crate::`.
+pub use oam_am::HandlerId;
 pub use oam_core::{CallFactory, OamCall};
 pub use oam_model::NodeId;
-pub use oam_am::HandlerId;
 pub use oam_threads::Node;

@@ -61,8 +61,12 @@
 #[macro_export]
 #[doc(hidden)]
 macro_rules! __rpc_ret {
-    () => { () };
-    ($t:ty) => { $t };
+    () => {
+        ()
+    };
+    ($t:ty) => {
+        $t
+    };
 }
 
 /// Generates one method module. Internal to [`define_rpc_service!`].
@@ -165,7 +169,6 @@ macro_rules! __rpc_method {
                         #[allow(unused_variables, unused_parens)]
                         let (__call_id, ($($arg,)*)): (u32, ($($aty,)*)) =
                             $crate::decode_request(&__call.pkt.payload);
-                        debug_assert_eq!(__call_id, $crate::ONEWAY_SENTINEL, "oneway called synchronously");
                         __call.node.add_pending(
                             __rpc.config().cost.marshal_per_word
                                 .times(__call.pkt.payload.len().div_ceil(4) as u64),
@@ -176,6 +179,11 @@ macro_rules! __rpc_method {
                         #[allow(unused_variables)]
                         let $st = &*__state;
                         let _: () = { $body };
+                        // Reliable one-way calls carry a real call id and
+                        // expect an empty reply as their delivery ack.
+                        if __call_id != $crate::ONEWAY_SENTINEL {
+                            __rpc.reply(&__call, __call_id, ::std::vec::Vec::new()).await;
+                        }
                     })
                 });
                 __rpc.register(__node, ID, __mode, __factory, false);

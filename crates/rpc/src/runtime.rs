@@ -1,6 +1,7 @@
 //! The RPC runtime: call correlation, reply/NACK plumbing, request
-//! transport selection (short AM vs. bulk transfer), and handler
-//! registration in ORPC or TRPC mode.
+//! transport selection (short AM vs. bulk transfer), handler registration
+//! in ORPC or TRPC mode, and — when the machine is configured for it —
+//! end-to-end reliability over a lossy fabric.
 //!
 //! Request payload: `[call_id: u32][args...]`. A `call_id` of
 //! [`ONEWAY_SENTINEL`] marks an asynchronous RPC (no reply). Replies and
@@ -8,13 +9,36 @@
 //! caller's spin-wait. Payloads whose *data* exceeds the machine's bulk
 //! threshold (16 bytes on the CM-5) travel through the scopy engine, as the
 //! paper's generated stubs do (§3.2).
+//!
+//! # Reliability
+//!
+//! `call_id`s are generation-tagged: the low 16 bits index a slot in the
+//! caller's call table, the high 16 bits count how many times that slot has
+//! been recycled. A reply or NACK whose generation does not match the live
+//! slot is *stale* — from a call that already completed — and is dropped
+//! (counted in `stale_replies_dropped`) instead of completing the wrong
+//! call.
+//!
+//! With [`oam_model::ReliabilityConfig::retransmit`] enabled, every call
+//! (including one-way sends, which are then acknowledged with an empty
+//! reply) arms a per-call timer. On expiry the original request bytes are
+//! retransmitted and the timer re-arms with exponential back-off plus
+//! jitter derived from `nack_backoff_base`. Servers keep a per-caller
+//! duplicate-suppression table keyed on `(caller, call_id)` — the
+//! generation tag acts as the epoch — so a retransmitted request either
+//! re-sends the cached reply (call already executed) or is dropped (call
+//! still executing): **at-most-once execution** under arbitrary loss,
+//! duplication, and delay.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use oam_core::{CallFactory, NackSender, OamCall, OptimisticEntry, ThreadedEntry};
-use oam_model::{AbortStrategy, Dur, MachineConfig, NodeId};
 use oam_am::{Am, AmToken, HandlerEntry, HandlerId};
+use oam_core::{CallFactory, NackSender, OamCall, OptimisticEntry, ThreadedEntry};
+use oam_model::{AbortStrategy, Dur, MachineConfig, NodeId, TraceKind};
+use oam_net::Packet;
+use oam_sim::{EventId, Sim};
 use oam_threads::{Flag, Node};
 
 use crate::wire::{Wire, WireReader};
@@ -25,6 +49,11 @@ pub const REPLY_ID: HandlerId = HandlerId(0xFFFF_0001);
 pub const NACK_ID: HandlerId = HandlerId(0xFFFF_0002);
 /// `call_id` marking a one-way (asynchronous) RPC.
 pub const ONEWAY_SENTINEL: u32 = u32::MAX;
+
+/// Low bits of a `call_id` index the call table; high bits carry the slot
+/// generation.
+const CALL_INDEX_BITS: u32 = 16;
+const CALL_INDEX_MASK: u32 = (1 << CALL_INDEX_BITS) - 1;
 
 /// Compile-time FNV-1a hash used to derive handler ids from
 /// `"Service::method"` names. The top bit is cleared so generated ids never
@@ -72,49 +101,121 @@ struct CallSlot {
     flag: Flag,
     outcome: Cell<Outcome>,
     reply: RefCell<Vec<u8>>,
+    /// One-way calls: nobody spins on the flag; the ack releases the slot.
+    oneway: Cell<bool>,
+    /// Retransmission attempts so far (drives the back-off exponent).
+    attempts: Cell<u32>,
+    /// Armed retransmission timer, if any.
+    timer: Cell<Option<EventId>>,
 }
 
-#[derive(Default)]
-struct CallTable {
-    slots: Vec<Option<Rc<CallSlot>>>,
-    free: Vec<u32>,
-}
-
-impl CallTable {
-    fn alloc(&mut self) -> (u32, Rc<CallSlot>) {
-        let slot = Rc::new(CallSlot {
+impl CallSlot {
+    fn new() -> Rc<Self> {
+        Rc::new(CallSlot {
             flag: Flag::new(),
             outcome: Cell::new(Outcome::Pending),
             reply: RefCell::new(Vec::new()),
-        });
+            oneway: Cell::new(false),
+            attempts: Cell::new(0),
+            timer: Cell::new(None),
+        })
+    }
+}
+
+struct TableSlot {
+    gen: u16,
+    active: Option<Rc<CallSlot>>,
+}
+
+/// Caller-side call table with generation-tagged ids. Indices are recycled
+/// aggressively (ids stay small) but each recycling bumps the slot's
+/// generation, so an id uniquely names one logical call until the
+/// generation counter wraps 65 536 allocations later — far longer than any
+/// packet survives in the fabric.
+#[derive(Default)]
+struct CallTable {
+    slots: Vec<TableSlot>,
+    free: Vec<u16>,
+}
+
+impl CallTable {
+    fn pack(gen: u16, idx: u16) -> u32 {
+        ((gen as u32) << CALL_INDEX_BITS) | idx as u32
+    }
+
+    fn alloc(&mut self) -> (u32, Rc<CallSlot>) {
+        let slot = CallSlot::new();
         match self.free.pop() {
-            Some(id) => {
-                self.slots[id as usize] = Some(Rc::clone(&slot));
-                (id, slot)
+            Some(idx) => {
+                let s = &mut self.slots[idx as usize];
+                s.active = Some(Rc::clone(&slot));
+                (Self::pack(s.gen, idx), slot)
             }
             None => {
-                let id = self.slots.len() as u32;
-                assert!(id != ONEWAY_SENTINEL, "call table overflow");
-                self.slots.push(Some(Rc::clone(&slot)));
-                (id, slot)
+                let idx = self.slots.len();
+                assert!(idx < CALL_INDEX_MASK as usize, "call table overflow");
+                self.slots.push(TableSlot { gen: 0, active: Some(Rc::clone(&slot)) });
+                (Self::pack(0, idx as u16), slot)
             }
         }
     }
 
-    fn get(&self, id: u32) -> Rc<CallSlot> {
-        self.slots[id as usize].as_ref().expect("reply for a dead call slot").clone()
+    /// Look up a live call by id; `None` if the id is stale (slot released,
+    /// possibly recycled under a newer generation) or out of range.
+    fn get(&self, id: u32) -> Option<Rc<CallSlot>> {
+        let idx = (id & CALL_INDEX_MASK) as usize;
+        let gen = (id >> CALL_INDEX_BITS) as u16;
+        let s = self.slots.get(idx)?;
+        if s.gen != gen {
+            return None;
+        }
+        s.active.clone()
     }
 
+    /// Release a call slot, bumping its generation so in-flight packets
+    /// naming the old id become stale.
     fn release(&mut self, id: u32) {
-        self.slots[id as usize] = None;
-        self.free.push(id);
+        let idx = (id & CALL_INDEX_MASK) as usize;
+        let gen = (id >> CALL_INDEX_BITS) as u16;
+        let s = &mut self.slots[idx];
+        debug_assert_eq!(s.gen, gen, "releasing a stale call id");
+        if s.gen == gen && s.active.is_some() {
+            s.active = None;
+            s.gen = s.gen.wrapping_add(1);
+            self.free.push(idx as u16);
+        }
     }
+
+    /// Calls currently awaiting completion.
+    fn outstanding(&self) -> usize {
+        self.slots.iter().filter(|s| s.active.is_some()).count()
+    }
+}
+
+/// Server-side duplicate-suppression state for one `(caller, call_id)`.
+struct DupEntry {
+    /// While executing, the packet instance (by `Rc` address) that claimed
+    /// the call — so an abort-driven *rerun* of the same arrival is allowed
+    /// through while a retransmitted or fabric-duplicated copy is not.
+    claimed_by: Option<usize>,
+    /// Cached reply payload (header included), re-sent verbatim when a
+    /// duplicate of an already-executed call arrives.
+    reply: Option<Rc<Vec<u8>>>,
+    done: bool,
 }
 
 struct RpcInner {
     am: Am,
     cfg: Rc<MachineConfig>,
     tables: Vec<RefCell<CallTable>>,
+    /// Per-server-node duplicate suppression; only populated when faults or
+    /// retransmission make duplicates possible.
+    dedup: Vec<RefCell<HashMap<(NodeId, u32), DupEntry>>>,
+    /// Retransmission enabled (per-call timers armed).
+    reliable: bool,
+    /// Duplicate suppression enabled (retransmission on, or a fault plan
+    /// that can duplicate/redeliver packets).
+    dedup_on: bool,
 }
 
 /// Handle to the RPC runtime. Cheap to clone.
@@ -129,30 +230,64 @@ impl Rpc {
     pub fn new(am: Am) -> Self {
         let cfg = Rc::clone(am.config());
         let n = am.nodes().len();
+        let reliable = cfg.reliability.retransmit;
+        let dedup_on = reliable || cfg.fault_plan.is_some();
         let rpc = Rpc {
             inner: Rc::new(RpcInner {
                 am,
                 cfg,
                 tables: (0..n).map(|_| RefCell::new(CallTable::default())).collect(),
+                dedup: (0..n).map(|_| RefCell::new(HashMap::new())).collect(),
+                reliable,
+                dedup_on,
             }),
         };
         let r = rpc.clone();
         rpc.inner.am.register_inline_all(REPLY_ID, move |t: &AmToken| {
             let mut rd = WireReader::new(t.payload());
             let call_id = u32::decode(&mut rd).expect("reply call id");
-            let slot = r.inner.tables[t.node().id().index()].borrow().get(call_id);
-            *slot.reply.borrow_mut() = t.payload()[4..].to_vec();
-            slot.outcome.set(Outcome::Replied);
-            slot.flag.set();
+            let idx = t.node().id().index();
+            let slot = r.inner.tables[idx].borrow().get(call_id);
+            match slot {
+                Some(slot) if slot.outcome.get() == Outcome::Pending => {
+                    *slot.reply.borrow_mut() = t.payload()[4..].to_vec();
+                    slot.outcome.set(Outcome::Replied);
+                    r.cancel_timer(t.node().sim(), &slot);
+                    slot.flag.set();
+                    if slot.oneway.get() {
+                        // Ack for a one-way call: nobody is waiting, release
+                        // the slot here.
+                        r.inner.tables[idx].borrow_mut().release(call_id);
+                    }
+                }
+                _ => {
+                    // Stale: the call already completed (e.g. the reply was
+                    // duplicated, or a retransmitted request produced a
+                    // second reply). Dropping it is the whole point of the
+                    // generation tag.
+                    t.node().stats().borrow_mut().stale_replies_dropped += 1;
+                    t.node().emit(TraceKind::StaleReplyDropped { call_id });
+                }
+            }
         });
         let r = rpc.clone();
         rpc.inner.am.register_inline_all(NACK_ID, move |t: &AmToken| {
             let mut rd = WireReader::new(t.payload());
             let call_id = u32::decode(&mut rd).expect("nack call id");
-            t.node().stats().borrow_mut().nacks_received += 1;
-            let slot = r.inner.tables[t.node().id().index()].borrow().get(call_id);
-            slot.outcome.set(Outcome::Nacked);
-            slot.flag.set();
+            let idx = t.node().id().index();
+            let slot = r.inner.tables[idx].borrow().get(call_id);
+            match slot {
+                Some(slot) if slot.outcome.get() == Outcome::Pending => {
+                    t.node().stats().borrow_mut().nacks_received += 1;
+                    slot.outcome.set(Outcome::Nacked);
+                    r.cancel_timer(t.node().sim(), &slot);
+                    slot.flag.set();
+                }
+                _ => {
+                    t.node().stats().borrow_mut().stale_replies_dropped += 1;
+                    t.node().emit(TraceKind::StaleReplyDropped { call_id });
+                }
+            }
         });
         rpc
     }
@@ -170,6 +305,12 @@ impl Rpc {
     /// Node runtimes (convenience passthrough).
     pub fn nodes(&self) -> &[Node] {
         self.inner.am.nodes()
+    }
+
+    /// Calls issued by `node` still awaiting a reply, ack, or NACK. The
+    /// machine watchdog reports this per node in a hang diagnosis.
+    pub fn outstanding_calls(&self, node: NodeId) -> usize {
+        self.inner.tables[node.index()].borrow().outstanding()
     }
 
     fn marshal_cost(&self, bytes: usize) -> Dur {
@@ -190,7 +331,8 @@ impl Rpc {
 
     /// Perform a synchronous RPC: marshals nothing itself — `args` are the
     /// already-encoded argument bytes — but owns correlation, transport,
-    /// the reply wait, and NACK back-off/retry. Returns the encoded reply.
+    /// the reply wait, retransmission, and NACK back-off/retry. Returns the
+    /// encoded reply.
     ///
     /// This is the primitive the generated stubs call; it is also usable
     /// directly for dynamically-constructed calls.
@@ -205,8 +347,13 @@ impl Rpc {
             let mut payload = Vec::with_capacity(4 + args.len());
             call_id.encode(&mut payload);
             payload.extend_from_slice(args);
+            let resend = self.inner.reliable.then(|| Rc::new(payload.clone()));
             self.send_request(node, dst, id, payload).await;
+            if let Some(bytes) = resend {
+                self.arm_timer(node, dst, id, call_id, &slot, bytes);
+            }
             node.spin_on(slot.flag.clone()).await;
+            self.cancel_timer(node.sim(), &slot);
             let outcome = slot.outcome.get();
             let reply = slot.reply.borrow().clone();
             self.inner.tables[idx].borrow_mut().release(call_id);
@@ -225,14 +372,104 @@ impl Rpc {
         }
     }
 
-    /// Perform an asynchronous (one-way) RPC: fire and forget.
+    /// Perform an asynchronous (one-way) RPC. Fire-and-forget on a lossless
+    /// fabric; with retransmission enabled the call is correlated and
+    /// acknowledged like a two-way call (the caller just does not wait),
+    /// so a lost request or ack is recovered by the timer.
     pub async fn send_oneway_raw(&self, node: &Node, dst: NodeId, id: HandlerId, args: &[u8]) {
         node.stats().borrow_mut().rpcs_async += 1;
         node.add_pending(self.marshal_cost(args.len()));
+        if !self.inner.reliable {
+            let mut payload = Vec::with_capacity(4 + args.len());
+            ONEWAY_SENTINEL.encode(&mut payload);
+            payload.extend_from_slice(args);
+            self.send_request(node, dst, id, payload).await;
+            return;
+        }
+        let idx = node.id().index();
+        let (call_id, slot) = self.inner.tables[idx].borrow_mut().alloc();
+        slot.oneway.set(true);
         let mut payload = Vec::with_capacity(4 + args.len());
-        ONEWAY_SENTINEL.encode(&mut payload);
+        call_id.encode(&mut payload);
         payload.extend_from_slice(args);
+        let bytes = Rc::new(payload.clone());
         self.send_request(node, dst, id, payload).await;
+        self.arm_timer(node, dst, id, call_id, &slot, bytes);
+    }
+
+    /// Arm (or re-arm) the retransmission timer for an outstanding call.
+    /// Delay grows exponentially with the attempt count, capped, plus
+    /// jitter derived from the NACK back-off base so synchronized timeouts
+    /// de-correlate.
+    fn arm_timer(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        handler: HandlerId,
+        call_id: u32,
+        slot: &Rc<CallSlot>,
+        bytes: Rc<Vec<u8>>,
+    ) {
+        if slot.outcome.get() != Outcome::Pending {
+            return; // completed while the request was still being sent
+        }
+        let rel = &self.inner.cfg.reliability;
+        let exp = slot.attempts.get().min(rel.max_backoff_exp);
+        let jitter = node
+            .sim()
+            .with_rng(|r| r.gen_inclusive(0, self.inner.cfg.cost.nack_backoff_base.as_nanos()));
+        let delay = rel.retransmit_timeout.times(1u64 << exp) + Dur::from_nanos(jitter);
+        let rpc = self.clone();
+        let node2 = node.clone();
+        let slot2 = Rc::clone(slot);
+        let ev = node.sim().schedule_after(delay, move |_| {
+            rpc.on_timeout(&node2, dst, handler, call_id, &slot2, bytes);
+        });
+        slot.timer.set(Some(ev));
+    }
+
+    /// A per-call timer expired with the call still outstanding: count it,
+    /// retransmit the original request bytes, and re-arm with back-off.
+    fn on_timeout(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        handler: HandlerId,
+        call_id: u32,
+        slot: &Rc<CallSlot>,
+        bytes: Rc<Vec<u8>>,
+    ) {
+        slot.timer.set(None);
+        if slot.outcome.get() != Outcome::Pending {
+            return;
+        }
+        let attempt = slot.attempts.get() + 1;
+        slot.attempts.set(attempt);
+        node.stats().borrow_mut().call_timeouts += 1;
+        node.emit(TraceKind::CallTimeout { call_id, dst, attempt });
+        // Retransmit. Short requests go straight into the NI output FIFO —
+        // the resend is NI-engine work, not processor work, so no cost is
+        // charged; if the FIFO is full right now this round is skipped and
+        // the back-off timer tries again. Oversized requests re-run the
+        // bulk engine.
+        if bytes.len() > self.inner.cfg.bulk_threshold {
+            self.inner.am.send_bulk(node, dst, handler, (*bytes).clone());
+            node.stats().borrow_mut().retransmits += 1;
+            node.emit(TraceKind::CallRetransmit { call_id, dst, attempt });
+        } else {
+            let pkt = Packet::short(node.id(), dst, handler.0, (*bytes).clone());
+            if self.inner.am.network().try_inject(pkt).is_ok() {
+                node.stats().borrow_mut().retransmits += 1;
+                node.emit(TraceKind::CallRetransmit { call_id, dst, attempt });
+            }
+        }
+        self.arm_timer(node, dst, handler, call_id, slot, bytes);
+    }
+
+    fn cancel_timer(&self, sim: &Sim, slot: &CallSlot) {
+        if let Some(ev) = slot.timer.take() {
+            sim.cancel(ev);
+        }
     }
 
     /// Exponential back-off with deterministic jitter after a NACK. The
@@ -240,10 +477,7 @@ impl Rpc {
     async fn backoff(&self, node: &Node, attempt: u32) {
         let base = self.inner.cfg.cost.nack_backoff_base;
         let factor = 1u64 << attempt.min(4);
-        let jitter_ns = node.sim().with_rng(|r| {
-            use rand::Rng;
-            r.gen_range(0..=base.as_nanos() / 2)
-        });
+        let jitter_ns = node.sim().with_rng(|r| r.gen_inclusive(0, base.as_nanos() / 2));
         let delay = base.times(factor) + Dur::from_nanos(jitter_ns);
         let flag = Flag::new();
         let f = flag.clone();
@@ -256,13 +490,21 @@ impl Rpc {
     }
 
     /// Send the reply for a completed call (server side). Chooses short or
-    /// bulk transport like requests do.
+    /// bulk transport like requests do. With duplicate suppression active
+    /// the encoded reply is cached so a retransmitted request can be
+    /// answered without re-executing the procedure.
     pub async fn reply(&self, call: &OamCall, call_id: u32, result: Vec<u8>) {
         let node = &call.node;
         node.add_pending(self.marshal_cost(result.len()));
         let mut payload = Vec::with_capacity(4 + result.len());
         call_id.encode(&mut payload);
         payload.extend_from_slice(&result);
+        if self.inner.dedup_on && call_id != ONEWAY_SENTINEL {
+            let key = (call.pkt.src, call_id);
+            if let Some(e) = self.inner.dedup[node.id().index()].borrow_mut().get_mut(&key) {
+                e.reply = Some(Rc::new(payload.clone()));
+            }
+        }
         let dst = call.pkt.src;
         if payload.len() > self.inner.cfg.bulk_threshold {
             self.inner.am.send_bulk(node, dst, REPLY_ID, payload);
@@ -271,25 +513,123 @@ impl Rpc {
         }
     }
 
+    /// Wrap a handler factory with server-side duplicate suppression. A
+    /// request is *fresh* the first time its `(caller, call_id)` is seen;
+    /// an abort-driven rerun of the same packet instance is allowed
+    /// through; any other copy is a duplicate — dropped while the original
+    /// is still executing, answered from the reply cache once it has
+    /// finished.
+    fn dedup_factory(&self, inner_factory: CallFactory) -> CallFactory {
+        let rpc = self.clone();
+        Rc::new(move |call: &OamCall| {
+            let call_id = peek_call_id(&call.pkt.payload);
+            if call_id == ONEWAY_SENTINEL {
+                // Unreliable oneway: nothing to correlate or suppress.
+                return inner_factory(call);
+            }
+            enum Decision {
+                Run,
+                Drop,
+                Resend(Option<Rc<Vec<u8>>>),
+            }
+            let caller = call.pkt.src;
+            let key = (caller, call_id);
+            let sidx = call.node.id().index();
+            let pkt_ptr = Rc::as_ptr(&call.pkt) as usize;
+            let decision = {
+                let mut map = rpc.inner.dedup[sidx].borrow_mut();
+                match map.get(&key) {
+                    None => {
+                        map.insert(
+                            key,
+                            DupEntry { claimed_by: Some(pkt_ptr), reply: None, done: false },
+                        );
+                        Decision::Run
+                    }
+                    Some(e) if e.done => Decision::Resend(e.reply.clone()),
+                    Some(e) if e.claimed_by == Some(pkt_ptr) => Decision::Run,
+                    Some(_) => Decision::Drop,
+                }
+            };
+            match decision {
+                Decision::Run => {
+                    let fut = inner_factory(call);
+                    let rpc = rpc.clone();
+                    Box::pin(async move {
+                        fut.await;
+                        if let Some(e) = rpc.inner.dedup[sidx].borrow_mut().get_mut(&key) {
+                            e.done = true;
+                            e.claimed_by = None;
+                        }
+                    })
+                }
+                Decision::Drop => {
+                    call.node.stats().borrow_mut().dups_suppressed += 1;
+                    call.node.emit(TraceKind::DupSuppressed { caller, call_id });
+                    Box::pin(async {})
+                }
+                Decision::Resend(reply) => {
+                    call.node.stats().borrow_mut().dups_suppressed += 1;
+                    call.node.emit(TraceKind::DupSuppressed { caller, call_id });
+                    let payload = match reply {
+                        Some(r) => (*r).clone(),
+                        None => {
+                            // Completed without a cached reply (should not
+                            // happen — acks cache too); synthesize an empty
+                            // one so the caller can still make progress.
+                            let mut p = Vec::with_capacity(4);
+                            call_id.encode(&mut p);
+                            p
+                        }
+                    };
+                    rpc.inner.am.send_from_handler(&call.node, caller, REPLY_ID, payload);
+                    Box::pin(async {})
+                }
+            }
+        })
+    }
+
+    /// Forget a dedup claim after a NACK: the server rejected the call
+    /// without executing it, and the caller will re-issue it (under a fresh
+    /// call id), so a retransmission of *this* id must be free to execute.
+    fn dedup_forget(&self, server: usize, caller: NodeId, call_id: u32) {
+        if self.inner.dedup_on {
+            self.inner.dedup[server].borrow_mut().remove(&(caller, call_id));
+        }
+    }
+
     /// Register a remote procedure on `node` in the given mode. The factory
     /// builds the handler future (decode → body → reply). `expects_reply`
     /// distinguishes `rpc` from `oneway` methods: under
     /// [`AbortStrategy::Nack`] only reply-bearing calls can be NACKed
     /// (the caller is waiting); one-way calls fall back to rerun.
-    pub fn register(&self, node: NodeId, id: HandlerId, mode: RpcMode, factory: CallFactory, expects_reply: bool) {
+    pub fn register(
+        &self,
+        node: NodeId,
+        id: HandlerId,
+        mode: RpcMode,
+        factory: CallFactory,
+        expects_reply: bool,
+    ) {
+        let factory = if self.inner.dedup_on { self.dedup_factory(factory) } else { factory };
         match mode {
             RpcMode::Trpc => {
-                self.inner.am.register(node, id, HandlerEntry::Custom(Rc::new(ThreadedEntry::new(factory))));
+                self.inner.am.register(
+                    node,
+                    id,
+                    HandlerEntry::Custom(Rc::new(ThreadedEntry::new(factory))),
+                );
             }
             RpcMode::Orpc => {
                 let mut entry = OptimisticEntry::new(factory);
                 if self.inner.cfg.abort_strategy == AbortStrategy::Nack {
                     if expects_reply {
                         let am = self.inner.am.clone();
+                        let rpc = self.clone();
                         let nack: NackSender = Rc::new(move |call: &OamCall| {
-                            let mut rd = WireReader::new(&call.pkt.payload);
-                            let call_id = u32::decode(&mut rd).expect("nack: call id");
+                            let call_id = peek_call_id(&call.pkt.payload);
                             debug_assert_ne!(call_id, ONEWAY_SENTINEL);
+                            rpc.dedup_forget(call.node.id().index(), call.pkt.src, call_id);
                             let mut payload = Vec::with_capacity(4);
                             call_id.encode(&mut payload);
                             am.send_from_handler(&call.node, call.pkt.src, NACK_ID, payload);
@@ -336,6 +676,12 @@ impl RpcCtx {
     }
 }
 
+/// Decode just the call header from a request payload.
+fn peek_call_id(payload: &[u8]) -> u32 {
+    let mut rd = WireReader::new(payload);
+    u32::decode(&mut rd).expect("request call id")
+}
+
 /// Decode the call header and argument tuple from a request payload.
 /// Returns `(call_id, args)`. Used by the generated stubs.
 pub fn decode_request<A: Wire>(payload: &[u8]) -> (u32, A) {
@@ -362,14 +708,31 @@ mod tests {
     }
 
     #[test]
-    fn call_table_reuses_slots() {
+    fn call_table_recycles_indices_under_fresh_generations() {
         let mut t = CallTable::default();
         let (id0, _) = t.alloc();
         let (id1, _) = t.alloc();
         assert_ne!(id0, id1);
         t.release(id0);
+        assert!(t.get(id0).is_none(), "released id is dead");
         let (id2, _) = t.alloc();
-        assert_eq!(id2, id0, "freed slot is reused");
+        assert_eq!(id2 & CALL_INDEX_MASK, id0 & CALL_INDEX_MASK, "index is recycled");
+        assert_ne!(id2, id0, "but the generation differs");
+        assert!(t.get(id2).is_some());
+        assert!(t.get(id0).is_none(), "stale id stays dead after recycling");
+        assert_eq!(t.outstanding(), 2);
+    }
+
+    #[test]
+    fn stale_ids_never_resolve_to_the_wrong_call() {
+        let mut t = CallTable::default();
+        let (id0, s0) = t.alloc();
+        t.release(id0);
+        let (id1, s1) = t.alloc(); // same index, new generation
+        let got = t.get(id1).expect("live call resolves");
+        assert!(Rc::ptr_eq(&got, &s1));
+        assert!(!Rc::ptr_eq(&got, &s0));
+        assert!(t.get(id0).is_none(), "a late reply for id0 is dropped, not misdelivered");
     }
 
     #[test]

@@ -175,7 +175,8 @@ impl Wire for String {
     fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
         let n = u32::decode(rd)? as usize;
         let b = rd.take(n, "String")?;
-        String::from_utf8(b.to_vec()).map_err(|_| WireError { what: "String utf8", at: rd.position() })
+        String::from_utf8(b.to_vec())
+            .map_err(|_| WireError { what: "String utf8", at: rd.position() })
     }
 }
 

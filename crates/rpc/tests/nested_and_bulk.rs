@@ -6,11 +6,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use oam_am::Am;
 use oam_model::{MachineConfig, NodeId, NodeStats};
 use oam_net::{NetConfig, Network};
-use oam_sim::Sim;
-use oam_am::Am;
 use oam_rpc::{define_rpc_service, Rpc, RpcMode};
+use oam_sim::Sim;
 use oam_threads::Node;
 
 fn build(cfg: MachineConfig) -> (Sim, Rpc, Vec<Rc<RefCell<NodeStats>>>) {

@@ -5,11 +5,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use oam_am::Am;
 use oam_model::{AbortStrategy, MachineConfig, NodeId, NodeStats};
 use oam_net::{NetConfig, Network};
-use oam_sim::Sim;
-use oam_am::Am;
 use oam_rpc::{define_rpc_service, Rpc, RpcMode};
+use oam_sim::Sim;
 use oam_threads::{CondVar, Flag, Mutex, Node};
 
 fn build(cfg: MachineConfig) -> (Sim, Rpc, Vec<Rc<RefCell<NodeStats>>>) {
@@ -275,7 +275,11 @@ fn nack_strategy_retries_until_success() {
     assert_eq!(*got.borrow(), Some(None), "the put eventually succeeded");
     assert!(stats[1].borrow().oam_nacks_sent >= 1, "at least one NACK was sent");
     assert_eq!(stats[0].borrow().nacks_received, stats[1].borrow().oam_nacks_sent);
-    assert_eq!(stats[1].borrow().threads_created, 1, "only the lock holder; calls never became threads");
+    assert_eq!(
+        stats[1].borrow().threads_created,
+        1,
+        "only the lock holder; calls never became threads"
+    );
 }
 
 #[test]

@@ -22,8 +22,8 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
 use oam_model::{Dur, Time};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+
+use crate::rng::Prng;
 
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,7 +71,7 @@ struct Inner {
     actions: HashMap<u64, EventAction>,
     tasks: HashMap<u64, Option<TaskFuture>>,
     ready: VecDeque<u64>,
-    rng: SmallRng,
+    rng: Prng,
     events_executed: u64,
     tasks_polled: u64,
 }
@@ -95,7 +95,7 @@ impl Sim {
                 actions: HashMap::new(),
                 tasks: HashMap::new(),
                 ready: VecDeque::new(),
-                rng: SmallRng::seed_from_u64(seed),
+                rng: Prng::seed_from_u64(seed),
                 events_executed: 0,
                 tasks_polled: 0,
             })),
@@ -119,7 +119,7 @@ impl Sim {
     }
 
     /// Run `f` with the simulation's random-number generator.
-    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut Prng) -> R) -> R {
         f(&mut self.inner.borrow_mut().rng)
     }
 
@@ -367,10 +367,9 @@ mod tests {
 
     #[test]
     fn deterministic_rng_across_same_seed() {
-        use rand::Rng;
-        let a = Sim::new(42).with_rng(|r| (0..8).map(|_| r.gen::<u64>()).collect::<Vec<_>>());
-        let b = Sim::new(42).with_rng(|r| (0..8).map(|_| r.gen::<u64>()).collect::<Vec<_>>());
-        let c = Sim::new(43).with_rng(|r| (0..8).map(|_| r.gen::<u64>()).collect::<Vec<_>>());
+        let a = Sim::new(42).with_rng(|r| (0..8).map(|_| r.next_u64()).collect::<Vec<_>>());
+        let b = Sim::new(42).with_rng(|r| (0..8).map(|_| r.next_u64()).collect::<Vec<_>>());
+        let c = Sim::new(43).with_rng(|r| (0..8).map(|_| r.next_u64()).collect::<Vec<_>>());
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -22,7 +22,9 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod rng;
 pub mod timer;
 
 pub use executor::{EventId, Sim, TaskId};
+pub use rng::Prng;
 pub use timer::{sleep, sleep_until, Sleep};

@@ -20,6 +20,9 @@ pub mod node;
 pub mod sched;
 pub mod sync;
 
-pub use node::{Charge, Checkpoint, Dispatcher, ExecMode, Join, JoinHandle, Node, PollBatch, SpinOn, YieldNow};
+pub use node::{
+    Charge, Checkpoint, Dispatcher, ExecMode, Join, JoinHandle, Node, NodeDiag, PollBatch, SpinOn,
+    YieldNow,
+};
 pub use sched::{Flag, Placement, ThreadId};
 pub use sync::{CondVar, CvWait, LockFuture, Mutex, MutexGuard};

@@ -30,10 +30,15 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use oam_model::{AbortReason, Dur, MachineConfig, NodeId, NodeStats, QueuePolicy, Time, TraceEvent, TraceKind, TraceObserver};
+use oam_model::{
+    AbortReason, Dur, MachineConfig, NodeId, NodeStats, QueuePolicy, Time, TraceEvent, TraceKind,
+    TraceObserver,
+};
 use oam_sim::Sim;
 
-use crate::sched::{switch_cost, BlockKind, Flag, Placement, Sched, SlotState, ThreadId, ThreadSlot};
+use crate::sched::{
+    switch_cost, BlockKind, Flag, Placement, Sched, SlotState, ThreadId, ThreadSlot,
+};
 
 /// What kind of code is currently executing on a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +61,24 @@ pub trait Dispatcher {
     /// own costs via [`Node::add_pending`]. Returns `true` if a message was
     /// processed.
     fn poll_once(&self, node: &Node) -> bool;
+}
+
+/// A point-in-time snapshot of one node's scheduler, used by the machine
+/// watchdog to explain why a run stopped making progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeDiag {
+    /// Which node.
+    pub node: NodeId,
+    /// The node is idle (nothing runnable, NI empty at last poll).
+    pub idle: bool,
+    /// Threads alive on the node.
+    pub live_threads: usize,
+    /// Threads in the run queue.
+    pub runnable: usize,
+    /// Threads spin-waiting on a flag (RPC replies, barriers).
+    pub spinning: usize,
+    /// Threads parked in a primitive's wait list (locks, conditions).
+    pub parked: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,11 +270,18 @@ impl Node {
 
     /// Spawn a thread for an incoming RPC, placed per the machine's
     /// configured queue policy (§4.1 of the paper).
-    pub fn spawn_incoming<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+    pub fn spawn_incoming<T: 'static>(
+        &self,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
         self.spawn_placed(fut, Placement::Policy)
     }
 
-    fn spawn_placed<T: 'static>(&self, fut: impl Future<Output = T> + 'static, place: Placement) -> JoinHandle<T> {
+    fn spawn_placed<T: 'static>(
+        &self,
+        fut: impl Future<Output = T> + 'static,
+        place: Placement,
+    ) -> JoinHandle<T> {
         let handle = JoinHandle::new(self.clone());
         let inner = handle.shared();
         let node = self.clone();
@@ -264,7 +294,11 @@ impl Node {
             let tid = sched.alloc_id();
             sched.slots.insert(
                 tid.0,
-                ThreadSlot { fut: Some(Box::pin(wrapped)), state: SlotState::Runnable, never_ran: true },
+                ThreadSlot {
+                    fut: Some(Box::pin(wrapped)),
+                    state: SlotState::Runnable,
+                    never_ran: true,
+                },
             );
             sched.live_threads += 1;
             tid
@@ -284,9 +318,14 @@ impl Node {
     pub fn reserve_provisional(&self) -> ThreadId {
         let mut sched = self.inner.sched.borrow_mut();
         let tid = sched.alloc_id();
-        sched
-            .slots
-            .insert(tid.0, ThreadSlot { fut: None, state: SlotState::Provisional { woken: false }, never_ran: true });
+        sched.slots.insert(
+            tid.0,
+            ThreadSlot {
+                fut: None,
+                state: SlotState::Provisional { woken: false },
+                never_ran: true,
+            },
+        );
         tid
     }
 
@@ -332,20 +371,19 @@ impl Node {
     /// Wait lists park this id.
     pub fn current_exec(&self) -> ThreadId {
         match self.inner.mode.get() {
-            ExecMode::Thread => self
-                .inner
-                .sched
-                .borrow()
-                .current
-                .expect("current_exec outside a running thread"),
+            ExecMode::Thread => {
+                self.inner.sched.borrow().current.expect("current_exec outside a running thread")
+            }
             ExecMode::Optimistic => self
                 .inner
                 .active_provisional
                 .get()
                 .expect("optimistic mode without a provisional slot"),
             ExecMode::AmInline => {
-                panic!("a hand-coded Active Message handler attempted a blocking operation — \
-                        the paper's semantics: the program dies")
+                panic!(
+                    "a hand-coded Active Message handler attempted a blocking operation — \
+                        the paper's semantics: the program dies"
+                )
             }
         }
     }
@@ -405,6 +443,27 @@ impl Node {
     /// Number of threads that are alive (running, runnable, or parked).
     pub fn live_threads(&self) -> usize {
         self.inner.sched.borrow().live_threads
+    }
+
+    /// Snapshot the scheduler state for hang diagnosis. Cheap; callable at
+    /// any quiescent point (e.g. after a run stops making progress).
+    pub fn diagnostics(&self) -> NodeDiag {
+        let sched = self.inner.sched.borrow();
+        let spinning = sched.spinners.len();
+        let parked = sched
+            .slots
+            .values()
+            .filter(|s| matches!(s.state, SlotState::Parked))
+            .count()
+            .saturating_sub(spinning);
+        NodeDiag {
+            node: self.id(),
+            idle: self.inner.run_state.get() == RunState::Idle,
+            live_threads: sched.live_threads,
+            runnable: sched.run_queue.len(),
+            spinning,
+            parked,
+        }
     }
 
     // ---- primitive futures ----
@@ -574,13 +633,10 @@ impl Node {
                 true
             }
             Poll::Pending => {
-                let kind = self
-                    .inner
-                    .block_kind
-                    .borrow_mut()
-                    .take()
-                    .expect("thread returned Pending without using a node primitive — \
-                             foreign futures cannot run on the node scheduler");
+                let kind = self.inner.block_kind.borrow_mut().take().expect(
+                    "thread returned Pending without using a node primitive — \
+                             foreign futures cannot run on the node scheduler",
+                );
                 let mut sched = self.inner.sched.borrow_mut();
                 let slot = sched.slots.get_mut(&cur.0).expect("slot vanished");
                 slot.fut = Some(fut);
@@ -913,7 +969,9 @@ impl<T> Future for Join<T> {
         let this = self.get_mut();
         if this.shared.done.get() {
             this.registered = None;
-            return Poll::Ready(this.shared.result.borrow_mut().take().expect("join result taken twice"));
+            return Poll::Ready(
+                this.shared.result.borrow_mut().take().expect("join result taken twice"),
+            );
         }
         let tid = this.node.current_exec();
         if this.registered != Some(tid) {

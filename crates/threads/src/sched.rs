@@ -146,13 +146,16 @@ pub(crate) struct SwitchCharge {
 /// * resuming a suspended thread: a full context switch (52 µs); the paper
 ///   notes the register restore could not be avoided even from a
 ///   terminated stack (SPARC register windows).
-pub(crate) fn switch_cost(cost: &CostModel, stack: StackState, next: ThreadId, never_ran: bool) -> SwitchCharge {
+pub(crate) fn switch_cost(
+    cost: &CostModel,
+    stack: StackState,
+    next: ThreadId,
+    never_ran: bool,
+) -> SwitchCharge {
     match (stack, never_ran) {
-        (StackState::Live(cur), _) if cur == next => SwitchCharge {
-            cost: Dur::ZERO,
-            full_switch: false,
-            live_stack: None,
-        },
+        (StackState::Live(cur), _) if cur == next => {
+            SwitchCharge { cost: Dur::ZERO, full_switch: false, live_stack: None }
+        }
         (StackState::Terminated | StackState::Pristine, true) => SwitchCharge {
             cost: cost.thread_create_direct,
             full_switch: false,
@@ -163,11 +166,9 @@ pub(crate) fn switch_cost(cost: &CostModel, stack: StackState, next: ThreadId, n
             full_switch: true,
             live_stack: Some(false),
         },
-        (_, false) => SwitchCharge {
-            cost: cost.context_switch,
-            full_switch: true,
-            live_stack: None,
-        },
+        (_, false) => {
+            SwitchCharge { cost: cost.context_switch, full_switch: true, live_stack: None }
+        }
     }
 }
 
@@ -268,7 +269,10 @@ mod tests {
         let (f1, f2, f3) = (Flag::new(), Flag::new(), Flag::new());
         for (i, f) in [&f1, &f2, &f3].iter().enumerate() {
             let tid = ThreadId(i as u64);
-            s.slots.insert(tid.0, ThreadSlot { fut: None, state: SlotState::Parked, never_ran: false });
+            s.slots.insert(
+                tid.0,
+                ThreadSlot { fut: None, state: SlotState::Parked, never_ran: false },
+            );
             s.spinners.push((tid, (*f).clone()));
         }
         f1.set();

@@ -243,7 +243,10 @@ impl CondVar {
     /// Create a condition variable on `node`.
     pub fn new(node: &Node) -> Self {
         CondVar {
-            inner: Rc::new(CondVarInner { node: node.clone(), waiters: RefCell::new(VecDeque::new()) }),
+            inner: Rc::new(CondVarInner {
+                node: node.clone(),
+                waiters: RefCell::new(VecDeque::new()),
+            }),
         }
     }
 
@@ -251,11 +254,7 @@ impl CondVar {
     /// lock. Returns the new guard. The caller must re-check its condition
     /// in a loop, as with any condition variable.
     pub fn wait<T>(&self, guard: MutexGuard<T>) -> CvWait<T> {
-        CvWait {
-            cv: self.clone(),
-            mutex: guard.mutex.clone(),
-            phase: CvPhase::Start(guard),
-        }
+        CvWait { cv: self.clone(), mutex: guard.mutex.clone(), phase: CvPhase::Start(guard) }
     }
 
     /// Wake the longest-waiting thread, if any.

@@ -47,7 +47,8 @@ fn bounded_buffer_with_multiple_producers_and_consumers() {
     let total = PRODUCERS * ITEMS_EACH;
     let per_consumer = total / CONSUMERS; // 100 / 3 -> 33, remainder to last
     for c in 0..CONSUMERS {
-        let take = if c == CONSUMERS - 1 { total - per_consumer * (CONSUMERS - 1) } else { per_consumer };
+        let take =
+            if c == CONSUMERS - 1 { total - per_consumer * (CONSUMERS - 1) } else { per_consumer };
         let (m, nf, ne, n, out) =
             (buf.clone(), not_full.clone(), not_empty.clone(), node.clone(), consumed.clone());
         node.spawn(async move {

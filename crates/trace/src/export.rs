@@ -21,7 +21,8 @@ pub fn to_chrome_json(rec: &Recorder) -> String {
         }
     };
     // Track open intervals: (node, tid) -> start; node -> idle start.
-    let mut running: std::collections::HashMap<(usize, u64), f64> = std::collections::HashMap::new();
+    let mut running: std::collections::HashMap<(usize, u64), f64> =
+        std::collections::HashMap::new();
     let mut idle: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
     for ev in rec.events() {
         let pid = ev.node.index();
@@ -75,6 +76,62 @@ pub fn to_chrome_json(rec: &Recorder) -> String {
                     r#"  {{"name":"oam-abort {tag} ({reason})","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p"}}"#
                 );
             }
+            TraceKind::PacketDropped { tag, dst } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"drop {tag}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"dst":{}}}}}"#,
+                    dst.index()
+                );
+            }
+            TraceKind::PacketDuplicated { tag, dst } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"dup {tag}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"dst":{}}}}}"#,
+                    dst.index()
+                );
+            }
+            TraceKind::PacketDelayed { tag, dst, by } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"delay {tag}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"dst":{},"by_us":{}}}}}"#,
+                    dst.index(),
+                    by.as_micros_f64()
+                );
+            }
+            TraceKind::CallTimeout { call_id, dst, attempt } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"timeout {call_id}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"dst":{},"attempt":{attempt}}}}}"#,
+                    dst.index()
+                );
+            }
+            TraceKind::CallRetransmit { call_id, dst, attempt } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"retransmit {call_id}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"t","args":{{"dst":{},"attempt":{attempt}}}}}"#,
+                    dst.index()
+                );
+            }
+            TraceKind::DupSuppressed { caller, call_id } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"dup-suppressed {call_id}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"t","args":{{"caller":{}}}}}"#,
+                    caller.index()
+                );
+            }
+            TraceKind::StaleReplyDropped { call_id } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"stale-reply {call_id}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"t"}}"#
+                );
+            }
             TraceKind::ThreadSpawned { .. } => {}
         }
     }
@@ -86,7 +143,14 @@ pub fn to_chrome_json(rec: &Recorder) -> String {
 pub fn to_text(rec: &Recorder) -> String {
     let mut out = String::new();
     for ev in rec.events() {
-        let _ = writeln!(out, "{:>12} {} {:10} {:?}", ev.t.to_string(), ev.node, ev.kind.label(), ev.kind);
+        let _ = writeln!(
+            out,
+            "{:>12} {} {:10} {:?}",
+            ev.t.to_string(),
+            ev.node,
+            ev.kind.label(),
+            ev.kind
+        );
     }
     out
 }
@@ -102,6 +166,12 @@ pub struct NodeSummary {
     pub oam_ok: usize,
     /// Optimistic aborts.
     pub oam_aborts: usize,
+    /// Fault-injection events (drops + dups + delays) on packets this node
+    /// sent.
+    pub faults: usize,
+    /// Reliability events (timeouts, retransmits, suppressed duplicates,
+    /// stale replies) on this node.
+    pub recoveries: usize,
     /// Total time spent idle (closed intervals only).
     pub idle: Dur,
 }
@@ -123,6 +193,13 @@ pub fn summarize(rec: &Recorder, nodes: usize) -> Vec<NodeSummary> {
                     s.idle += Dur::from_micros_f64(ev.t.as_micros_f64() - st);
                 }
             }
+            TraceKind::PacketDropped { .. }
+            | TraceKind::PacketDuplicated { .. }
+            | TraceKind::PacketDelayed { .. } => s.faults += 1,
+            TraceKind::CallTimeout { .. }
+            | TraceKind::CallRetransmit { .. }
+            | TraceKind::DupSuppressed { .. }
+            | TraceKind::StaleReplyDropped { .. } => s.recoveries += 1,
             TraceKind::ThreadSpawned { .. } | TraceKind::ThreadFinished { .. } => {}
         }
     }

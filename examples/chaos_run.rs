@@ -1,0 +1,61 @@
+//! Fault injection demo: run TSP and Triangle on a perfect fabric, then on
+//! one that drops, duplicates, and delays packets — with retransmission and
+//! duplicate suppression turned on. The answers must not change; only the
+//! completion time and the recovery counters do.
+//!
+//! ```sh
+//! cargo run --release --example chaos_run
+//! ```
+
+use optimistic_active_messages::apps::tsp::TspParams;
+use optimistic_active_messages::apps::{triangle, tsp, AppOutcome, System};
+use optimistic_active_messages::model::{Dur, FaultPlan, MachineConfig, ReliabilityConfig};
+
+fn faulted(nodes: usize, p: f64) -> MachineConfig {
+    let plan = FaultPlan::drop_only(p).with_dup(p).with_delay(p, Dur::from_micros(20));
+    MachineConfig::cm5(nodes)
+        .with_fault_plan(plan)
+        .with_reliability(ReliabilityConfig::retransmitting())
+}
+
+fn row(label: &str, out: &AppOutcome) {
+    let t = out.stats.total();
+    println!(
+        "{label:<24} {:>10.1} us | answer {:>14} | dropped {:>4} | dup'd {:>3} | delayed {:>3} | retransmits {:>4} | suppressed {:>4}",
+        out.elapsed.as_micros_f64(),
+        out.answer,
+        t.packets_dropped,
+        t.packets_duplicated,
+        t.packets_delayed,
+        t.retransmits,
+        t.dups_suppressed,
+    );
+}
+
+fn main() {
+    let params = TspParams::default(); // the paper's 12-city instance
+    println!("TSP, 12 cities, 5 nodes, ORPC:");
+    let base = tsp::run_configured(System::Orpc, MachineConfig::cm5(5), params);
+    row("  perfect fabric", &base);
+    for p in [0.01, 0.05] {
+        let out = tsp::run_configured(System::Orpc, faulted(5, p), params);
+        assert_eq!(out.answer, base.answer, "faults must not change the answer");
+        row(&format!("  {:.0}% drop+dup+delay", p * 100.0), &out);
+    }
+
+    println!("\nTriangle, size 5, 4 nodes, ORPC:");
+    let base = triangle::run_configured(System::Orpc, MachineConfig::cm5(4), 5, 1);
+    row("  perfect fabric", &base);
+    for p in [0.01, 0.05] {
+        let out = triangle::run_configured(System::Orpc, faulted(4, p), 5, 1);
+        assert_eq!(out.answer, base.answer, "faults must not change the answer");
+        row(&format!("  {:.0}% drop+dup+delay", p * 100.0), &out);
+    }
+
+    println!(
+        "\nEvery run computed the fault-free answer; losses were recovered by\n\
+         per-call retransmission, and the duplicates that recovery (and the\n\
+         fabric itself) created were absorbed by the servers' at-most-once\n\
+         suppression tables."
+    );
+}

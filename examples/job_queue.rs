@@ -105,12 +105,13 @@ fn main() {
 
     assert_eq!(done_work.get(), JOBS);
     let t = report.stats.total();
-    println!("workers={WORKERS} jobs={JOBS}  elapsed={:.2} ms", report.end_time.as_micros_f64() / 1e3);
+    println!(
+        "workers={WORKERS} jobs={JOBS}  elapsed={:.2} ms",
+        report.end_time.as_micros_f64() / 1e3
+    );
     println!(
         "take() calls: {}   optimistic successes: {}   aborted-and-promoted: {}",
-        t.rpcs_sync,
-        t.oam_successes,
-        t.oam_promotions
+        t.rpcs_sync, t.oam_successes, t.oam_promotions
     );
     println!(
         "\nEvery abort above is a worker that asked before work existed: the\n\

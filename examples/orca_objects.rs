@@ -29,9 +29,12 @@ fn run(mode: RpcMode, reads_per_write: u64) -> (f64, u64, u64) {
     const NODES: usize = 16;
     let machine = MachineBuilder::new(NODES).build();
     let objects = Objects::new(machine.rpc(), mode);
-    objects.create(ObjId(1), Placement::Replicated { manager: NodeId(0) }, histogram_class(), || {
-        vec![0u64; 64]
-    });
+    objects.create(
+        ObjId(1),
+        Placement::Replicated { manager: NodeId(0) },
+        histogram_class(),
+        || vec![0u64; 64],
+    );
     let objs = objects.clone();
     let report = machine.run(move |env| {
         let objs = objs.clone();
@@ -40,8 +43,9 @@ fn run(mode: RpcMode, reads_per_write: u64) -> (f64, u64, u64) {
             for k in 0..20u32 {
                 objs.invoke::<u32, u64>(env.node(), ObjId(1), "bump", me * 20 + k).await;
                 for r in 0..reads_per_write {
-                    let _: u64 =
-                        objs.invoke(env.node(), ObjId(1), "bucket", me * 20 + (k + r as u32) % 20).await;
+                    let _: u64 = objs
+                        .invoke(env.node(), ObjId(1), "bucket", me * 20 + (k + r as u32) % 20)
+                        .await;
                 }
             }
             env.barrier().await;

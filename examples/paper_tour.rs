@@ -7,10 +7,10 @@
 //! cargo run --release --example paper_tour
 //! ```
 
-use optimistic_active_messages::apps::{sor, triangle, tsp, water, System};
 use optimistic_active_messages::apps::sor::SorParams;
 use optimistic_active_messages::apps::tsp::TspParams;
 use optimistic_active_messages::apps::water::{WaterParams, WaterVariant};
+use optimistic_active_messages::apps::{sor, triangle, tsp, water, System};
 
 fn main() {
     let procs = 16;
@@ -40,10 +40,8 @@ fn main() {
 
     // SOR: bulk transfers dominate — systems converge.
     let sp = SorParams { rows: 64, cols: 80, iters: 20 };
-    let sor: Vec<f64> = System::ALL
-        .iter()
-        .map(|&s| sor::run(s, procs, sp).elapsed.as_secs_f64() * 1e3)
-        .collect();
+    let sor: Vec<f64> =
+        System::ALL.iter().map(|&s| sor::run(s, procs, sp).elapsed.as_secs_f64() * 1e3).collect();
     println!(
         "{:<10} {:>10.2} {:>10.2} {:>10.2}  data transfer dominates; all close",
         "sor", sor[0], sor[1], sor[2]

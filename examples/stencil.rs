@@ -79,16 +79,16 @@ fn main() {
             let me = env.id().index();
             let n = env.nprocs();
             // 1-D ring domain: each node owns WIDTH cells.
-            let mut cells: Vec<f64> = (0..WIDTH)
-                .map(|i| if me == 0 && i == 0 { 1000.0 } else { 0.0 })
-                .collect();
+            let mut cells: Vec<f64> =
+                (0..WIDTH).map(|i| if me == 0 && i == 0 { 1000.0 } else { 0.0 }).collect();
             for _ in 0..ITERS {
                 // Exchange single-cell boundaries padded into bulk-sized
                 // rows (exercises the scopy path).
                 let left = NodeId((me + n - 1) % n);
                 let right = NodeId((me + 1) % n);
                 Stencil::put_halo::send(env.rpc(), env.node(), left, 1, vec![cells[0]; 8]).await;
-                Stencil::put_halo::send(env.rpc(), env.node(), right, 0, vec![cells[WIDTH - 1]; 8]).await;
+                Stencil::put_halo::send(env.rpc(), env.node(), right, 0, vec![cells[WIDTH - 1]; 8])
+                    .await;
                 let from_left = take_halo(&states[me], 0).await[0];
                 let from_right = take_halo(&states[me], 1).await[0];
                 // Jacobi smooth.
@@ -102,8 +102,8 @@ fn main() {
                 }
                 cells = next;
                 env.charge(Dur::from_micros(WIDTH as u64)).await; // ~1 µs/cell
-                // Global convergence measure over the control network
-                // (observed, not acted on: the run uses fixed iterations).
+                                                                  // Global convergence measure over the control network
+                                                                  // (observed, not acted on: the run uses fixed iterations).
                 let global_delta = max_r.reduce(env.node(), delta).await;
                 debug_assert!(global_delta.is_finite());
                 env.barrier().await;

@@ -72,25 +72,25 @@
 #![warn(missing_docs)]
 
 pub use oam_am as am;
+pub use oam_apps as apps;
 pub use oam_core as core;
 pub use oam_machine as machine;
 pub use oam_model as model;
 pub use oam_net as net;
+pub use oam_objects as objects;
 pub use oam_rpc as rpc;
 pub use oam_sim as sim;
 pub use oam_threads as threads;
 pub use oam_trace as trace;
-pub use oam_objects as objects;
-pub use oam_apps as apps;
 
 /// Everything needed to build and run programs on the simulated machine.
 pub mod prelude {
+    pub use oam_am::{AmToken, HandlerEntry, HandlerId};
+    pub use oam_core::{CallFactory, OamCall, OptimisticEntry, ThreadedEntry};
     pub use oam_machine::{Collectives, Machine, MachineBuilder, NodeEnv, Reducer, RunReport};
     pub use oam_model::{
         AbortReason, AbortStrategy, CostModel, Dur, MachineConfig, NodeId, QueuePolicy, Time,
     };
     pub use oam_rpc::{define_rpc_service, Rpc, RpcCtx, RpcMode, Wire};
     pub use oam_threads::{CondVar, Flag, JoinHandle, Mutex, Node};
-    pub use oam_am::{AmToken, HandlerEntry, HandlerId};
-    pub use oam_core::{CallFactory, OamCall, OptimisticEntry, ThreadedEntry};
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_abort_strategy-a02bf03a1e909945.d: crates/bench/benches/ablate_abort_strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_abort_strategy-a02bf03a1e909945.rmeta: crates/bench/benches/ablate_abort_strategy.rs Cargo.toml
+
+crates/bench/benches/ablate_abort_strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_buffering-71a224277e956df9.d: crates/bench/benches/ablate_buffering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_buffering-71a224277e956df9.rmeta: crates/bench/benches/ablate_buffering.rs Cargo.toml
+
+crates/bench/benches/ablate_buffering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_handler_budget-d291760295e3722d.d: crates/bench/benches/ablate_handler_budget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_handler_budget-d291760295e3722d.rmeta: crates/bench/benches/ablate_handler_budget.rs Cargo.toml
+
+crates/bench/benches/ablate_handler_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_queue_policy-db4771f77d12855b.d: crates/bench/benches/ablate_queue_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_queue_policy-db4771f77d12855b.rmeta: crates/bench/benches/ablate_queue_policy.rs Cargo.toml
+
+crates/bench/benches/ablate_queue_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

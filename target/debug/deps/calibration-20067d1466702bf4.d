@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-20067d1466702bf4.d: crates/bench/tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-20067d1466702bf4.rmeta: crates/bench/tests/calibration.rs Cargo.toml
+
+crates/bench/tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-5628136a330bbe0b.d: crates/bench/tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-5628136a330bbe0b: crates/bench/tests/calibration.rs
+
+crates/bench/tests/calibration.rs:

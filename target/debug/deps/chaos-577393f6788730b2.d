@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-577393f6788730b2.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-577393f6788730b2: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives_under_load-682e2331f2a4f110.d: crates/machine/tests/collectives_under_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives_under_load-682e2331f2a4f110.rmeta: crates/machine/tests/collectives_under_load.rs Cargo.toml
+
+crates/machine/tests/collectives_under_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

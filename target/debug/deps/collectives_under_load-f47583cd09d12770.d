@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives_under_load-f47583cd09d12770.d: crates/machine/tests/collectives_under_load.rs
+
+/root/repo/target/debug/deps/collectives_under_load-f47583cd09d12770: crates/machine/tests/collectives_under_load.rs
+
+crates/machine/tests/collectives_under_load.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion_micro-c6af6116fed134c0.d: crates/bench/benches/criterion_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion_micro-c6af6116fed134c0.rmeta: crates/bench/benches/criterion_micro.rs Cargo.toml
+
+crates/bench/benches/criterion_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

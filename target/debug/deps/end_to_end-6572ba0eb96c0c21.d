@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6572ba0eb96c0c21.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6572ba0eb96c0c21: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_triangle-79967465ee58ee91.d: crates/bench/benches/fig1_triangle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_triangle-79967465ee58ee91.rmeta: crates/bench/benches/fig1_triangle.rs Cargo.toml
+
+crates/bench/benches/fig1_triangle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tsp-475fcdf08cb7bbce.d: crates/bench/benches/fig2_tsp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tsp-475fcdf08cb7bbce.rmeta: crates/bench/benches/fig2_tsp.rs Cargo.toml
+
+crates/bench/benches/fig2_tsp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_sor-e8f9656aebde9ece.d: crates/bench/benches/fig3_sor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_sor-e8f9656aebde9ece.rmeta: crates/bench/benches/fig3_sor.rs Cargo.toml
+
+crates/bench/benches/fig3_sor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_water-45942542184ba178.d: crates/bench/benches/fig4_water.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_water-45942542184ba178.rmeta: crates/bench/benches/fig4_water.rs Cargo.toml
+
+crates/bench/benches/fig4_water.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_bulk_transfer-1061bb09ff018237.d: crates/bench/benches/fig_bulk_transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_bulk_transfer-1061bb09ff018237.rmeta: crates/bench/benches/fig_bulk_transfer.rs Cargo.toml
+
+crates/bench/benches/fig_bulk_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

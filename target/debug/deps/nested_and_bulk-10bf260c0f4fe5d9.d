@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nested_and_bulk-10bf260c0f4fe5d9.d: crates/rpc/tests/nested_and_bulk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnested_and_bulk-10bf260c0f4fe5d9.rmeta: crates/rpc/tests/nested_and_bulk.rs Cargo.toml
+
+crates/rpc/tests/nested_and_bulk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

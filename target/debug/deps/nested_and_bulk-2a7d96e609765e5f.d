@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nested_and_bulk-2a7d96e609765e5f.d: crates/rpc/tests/nested_and_bulk.rs
+
+/root/repo/target/debug/deps/nested_and_bulk-2a7d96e609765e5f: crates/rpc/tests/nested_and_bulk.rs
+
+crates/rpc/tests/nested_and_bulk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_edge_cases-9774ccb0c404b34f.d: crates/net/tests/network_edge_cases.rs
+
+/root/repo/target/debug/deps/network_edge_cases-9774ccb0c404b34f: crates/net/tests/network_edge_cases.rs
+
+crates/net/tests/network_edge_cases.rs:

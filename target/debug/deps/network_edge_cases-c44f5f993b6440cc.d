@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network_edge_cases-c44f5f993b6440cc.d: crates/net/tests/network_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork_edge_cases-c44f5f993b6440cc.rmeta: crates/net/tests/network_edge_cases.rs Cargo.toml
+
+crates/net/tests/network_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

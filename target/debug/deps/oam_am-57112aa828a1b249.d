@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oam_am-57112aa828a1b249.d: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_am-57112aa828a1b249.rmeta: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs Cargo.toml
+
+crates/am/src/lib.rs:
+crates/am/src/handler.rs:
+crates/am/src/layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

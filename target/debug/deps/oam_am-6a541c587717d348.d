@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oam_am-6a541c587717d348.d: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+/root/repo/target/debug/deps/oam_am-6a541c587717d348: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+crates/am/src/lib.rs:
+crates/am/src/handler.rs:
+crates/am/src/layer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oam_am-ca702c79f0da506d.d: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_am-ca702c79f0da506d.rmeta: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs Cargo.toml
+
+crates/am/src/lib.rs:
+crates/am/src/handler.rs:
+crates/am/src/layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

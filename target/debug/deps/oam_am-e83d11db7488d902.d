@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oam_am-e83d11db7488d902.d: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+/root/repo/target/debug/deps/liboam_am-e83d11db7488d902.rlib: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+/root/repo/target/debug/deps/liboam_am-e83d11db7488d902.rmeta: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+crates/am/src/lib.rs:
+crates/am/src/handler.rs:
+crates/am/src/layer.rs:

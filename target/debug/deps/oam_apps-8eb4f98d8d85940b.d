@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/oam_apps-8eb4f98d8d85940b.d: crates/apps/src/lib.rs crates/apps/src/sor/mod.rs crates/apps/src/sor/grid.rs crates/apps/src/sor/run.rs crates/apps/src/system.rs crates/apps/src/triangle/mod.rs crates/apps/src/triangle/board.rs crates/apps/src/triangle/run.rs crates/apps/src/tsp/mod.rs crates/apps/src/tsp/cities.rs crates/apps/src/tsp/run.rs crates/apps/src/water/mod.rs crates/apps/src/water/run.rs crates/apps/src/water/sim.rs
+
+/root/repo/target/debug/deps/liboam_apps-8eb4f98d8d85940b.rlib: crates/apps/src/lib.rs crates/apps/src/sor/mod.rs crates/apps/src/sor/grid.rs crates/apps/src/sor/run.rs crates/apps/src/system.rs crates/apps/src/triangle/mod.rs crates/apps/src/triangle/board.rs crates/apps/src/triangle/run.rs crates/apps/src/tsp/mod.rs crates/apps/src/tsp/cities.rs crates/apps/src/tsp/run.rs crates/apps/src/water/mod.rs crates/apps/src/water/run.rs crates/apps/src/water/sim.rs
+
+/root/repo/target/debug/deps/liboam_apps-8eb4f98d8d85940b.rmeta: crates/apps/src/lib.rs crates/apps/src/sor/mod.rs crates/apps/src/sor/grid.rs crates/apps/src/sor/run.rs crates/apps/src/system.rs crates/apps/src/triangle/mod.rs crates/apps/src/triangle/board.rs crates/apps/src/triangle/run.rs crates/apps/src/tsp/mod.rs crates/apps/src/tsp/cities.rs crates/apps/src/tsp/run.rs crates/apps/src/water/mod.rs crates/apps/src/water/run.rs crates/apps/src/water/sim.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/sor/mod.rs:
+crates/apps/src/sor/grid.rs:
+crates/apps/src/sor/run.rs:
+crates/apps/src/system.rs:
+crates/apps/src/triangle/mod.rs:
+crates/apps/src/triangle/board.rs:
+crates/apps/src/triangle/run.rs:
+crates/apps/src/tsp/mod.rs:
+crates/apps/src/tsp/cities.rs:
+crates/apps/src/tsp/run.rs:
+crates/apps/src/water/mod.rs:
+crates/apps/src/water/run.rs:
+crates/apps/src/water/sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oam_bench-0ea77aa914e8bc3d.d: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/liboam_bench-0ea77aa914e8bc3d.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/liboam_bench-0ea77aa914e8bc3d.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oam_bench-240b3e61a450b05e.d: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/oam_bench-240b3e61a450b05e: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/oam_bench-964017b7a338c8e6.d: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_bench-964017b7a338c8e6.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

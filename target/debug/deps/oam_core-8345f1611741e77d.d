@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/oam_core-8345f1611741e77d.d: crates/core/src/lib.rs crates/core/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_core-8345f1611741e77d.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

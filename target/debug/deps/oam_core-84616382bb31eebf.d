@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/oam_core-84616382bb31eebf.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/oam_core-84616382bb31eebf: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oam_core-cfd71399c6728bad.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/liboam_core-cfd71399c6728bad.rlib: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/liboam_core-cfd71399c6728bad.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

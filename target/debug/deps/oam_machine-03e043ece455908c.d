@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/oam_machine-03e043ece455908c.d: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/debug/deps/liboam_machine-03e043ece455908c.rlib: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/debug/deps/liboam_machine-03e043ece455908c.rmeta: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collective.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/watchdog.rs:

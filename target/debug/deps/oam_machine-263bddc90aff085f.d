@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oam_machine-263bddc90aff085f.d: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/debug/deps/oam_machine-263bddc90aff085f: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collective.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/watchdog.rs:

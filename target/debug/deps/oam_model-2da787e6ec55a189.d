@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/oam_model-2da787e6ec55a189.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_model-2da787e6ec55a189.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/fault.rs:
+crates/model/src/ids.rs:
+crates/model/src/stats.rs:
+crates/model/src/time.rs:
+crates/model/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oam_net-0c92127629f1233c.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+/root/repo/target/debug/deps/liboam_net-0c92127629f1233c.rlib: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+/root/repo/target/debug/deps/liboam_net-0c92127629f1233c.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/packet.rs:

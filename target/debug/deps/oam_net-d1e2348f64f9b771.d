@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oam_net-d1e2348f64f9b771.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_net-d1e2348f64f9b771.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/packet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oam_net-ff2b126410d95492.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+/root/repo/target/debug/deps/oam_net-ff2b126410d95492: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/packet.rs:

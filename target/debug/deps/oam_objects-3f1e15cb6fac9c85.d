@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oam_objects-3f1e15cb6fac9c85.d: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_objects-3f1e15cb6fac9c85.rmeta: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs Cargo.toml
+
+crates/objects/src/lib.rs:
+crates/objects/src/class.rs:
+crates/objects/src/layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

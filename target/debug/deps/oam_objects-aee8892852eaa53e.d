@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oam_objects-aee8892852eaa53e.d: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_objects-aee8892852eaa53e.rmeta: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs Cargo.toml
+
+crates/objects/src/lib.rs:
+crates/objects/src/class.rs:
+crates/objects/src/layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oam_objects-d4b3e5b116719084.d: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+/root/repo/target/debug/deps/oam_objects-d4b3e5b116719084: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+crates/objects/src/lib.rs:
+crates/objects/src/class.rs:
+crates/objects/src/layer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oam_objects-df93c22853cad45a.d: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+/root/repo/target/debug/deps/liboam_objects-df93c22853cad45a.rlib: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+/root/repo/target/debug/deps/liboam_objects-df93c22853cad45a.rmeta: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+crates/objects/src/lib.rs:
+crates/objects/src/class.rs:
+crates/objects/src/layer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/oam_rpc-2aa615100d9d5f89.d: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+/root/repo/target/debug/deps/liboam_rpc-2aa615100d9d5f89.rlib: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+/root/repo/target/debug/deps/liboam_rpc-2aa615100d9d5f89.rmeta: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/macros.rs:
+crates/rpc/src/runtime.rs:
+crates/rpc/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/oam_rpc-748d30070bbca907.d: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_rpc-748d30070bbca907.rmeta: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs Cargo.toml
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/macros.rs:
+crates/rpc/src/runtime.rs:
+crates/rpc/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

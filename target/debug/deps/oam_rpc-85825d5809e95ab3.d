@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oam_rpc-85825d5809e95ab3.d: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+/root/repo/target/debug/deps/oam_rpc-85825d5809e95ab3: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/macros.rs:
+crates/rpc/src/runtime.rs:
+crates/rpc/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/oam_sim-041136a2a922d808.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_sim-041136a2a922d808.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

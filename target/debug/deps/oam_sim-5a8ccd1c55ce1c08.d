@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oam_sim-5a8ccd1c55ce1c08.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+
+/root/repo/target/debug/deps/oam_sim-5a8ccd1c55ce1c08: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/timer.rs:

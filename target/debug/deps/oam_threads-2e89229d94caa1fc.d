@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/oam_threads-2e89229d94caa1fc.d: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_threads-2e89229d94caa1fc.rmeta: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs Cargo.toml
+
+crates/threads/src/lib.rs:
+crates/threads/src/node.rs:
+crates/threads/src/sched.rs:
+crates/threads/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/oam_threads-94a91fdb501283d7.d: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+/root/repo/target/debug/deps/liboam_threads-94a91fdb501283d7.rlib: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+/root/repo/target/debug/deps/liboam_threads-94a91fdb501283d7.rmeta: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+crates/threads/src/lib.rs:
+crates/threads/src/node.rs:
+crates/threads/src/sched.rs:
+crates/threads/src/sync.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oam_trace-5ca4637e82d646ca.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboam_trace-5ca4637e82d646ca.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/recorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

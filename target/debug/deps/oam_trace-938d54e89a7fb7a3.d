@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oam_trace-938d54e89a7fb7a3.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/liboam_trace-938d54e89a7fb7a3.rlib: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/liboam_trace-938d54e89a7fb7a3.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/recorder.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oam_trace-af2cb502272f7c5b.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/oam_trace-af2cb502272f7c5b: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/recorder.rs:

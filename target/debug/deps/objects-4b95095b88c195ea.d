@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/objects-4b95095b88c195ea.d: crates/objects/tests/objects.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobjects-4b95095b88c195ea.rmeta: crates/objects/tests/objects.rs Cargo.toml
+
+crates/objects/tests/objects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/objects-506a078d99e19ebf.d: crates/objects/tests/objects.rs
+
+/root/repo/target/debug/deps/objects-506a078d99e19ebf: crates/objects/tests/objects.rs
+
+crates/objects/tests/objects.rs:

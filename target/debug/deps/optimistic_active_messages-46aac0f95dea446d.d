@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/optimistic_active_messages-46aac0f95dea446d.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboptimistic_active_messages-46aac0f95dea446d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liboptimistic_active_messages-46aac0f95dea446d.rmeta: src/lib.rs
+
+src/lib.rs:

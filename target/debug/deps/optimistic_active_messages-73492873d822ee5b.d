@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimistic_active_messages-73492873d822ee5b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimistic_active_messages-73492873d822ee5b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimistic_active_messages-ea0b1979c5493bf8.d: src/lib.rs
+
+/root/repo/target/debug/deps/optimistic_active_messages-ea0b1979c5493bf8: src/lib.rs
+
+src/lib.rs:

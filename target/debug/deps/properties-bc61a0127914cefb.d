@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bc61a0127914cefb.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bc61a0127914cefb: tests/properties.rs
+
+tests/properties.rs:

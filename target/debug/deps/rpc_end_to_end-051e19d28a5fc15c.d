@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpc_end_to_end-051e19d28a5fc15c.d: crates/rpc/tests/rpc_end_to_end.rs
+
+/root/repo/target/debug/deps/rpc_end_to_end-051e19d28a5fc15c: crates/rpc/tests/rpc_end_to_end.rs
+
+crates/rpc/tests/rpc_end_to_end.rs:

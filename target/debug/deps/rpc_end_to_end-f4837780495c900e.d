@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpc_end_to_end-f4837780495c900e.d: crates/rpc/tests/rpc_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpc_end_to_end-f4837780495c900e.rmeta: crates/rpc/tests/rpc_end_to_end.rs Cargo.toml
+
+crates/rpc/tests/rpc_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler-935715c002b96895.d: crates/threads/tests/scheduler.rs
+
+/root/repo/target/debug/deps/scheduler-935715c002b96895: crates/threads/tests/scheduler.rs
+
+crates/threads/tests/scheduler.rs:

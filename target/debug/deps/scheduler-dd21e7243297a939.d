@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler-dd21e7243297a939.d: crates/threads/tests/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler-dd21e7243297a939.rmeta: crates/threads/tests/scheduler.rs Cargo.toml
+
+crates/threads/tests/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync_stress-2f97c21593a00c85.d: crates/threads/tests/sync_stress.rs
+
+/root/repo/target/debug/deps/sync_stress-2f97c21593a00c85: crates/threads/tests/sync_stress.rs
+
+crates/threads/tests/sync_stress.rs:

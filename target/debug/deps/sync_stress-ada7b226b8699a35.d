@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sync_stress-ada7b226b8699a35.d: crates/threads/tests/sync_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsync_stress-ada7b226b8699a35.rmeta: crates/threads/tests/sync_stress.rs Cargo.toml
+
+crates/threads/tests/sync_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

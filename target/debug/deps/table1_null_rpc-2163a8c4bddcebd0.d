@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_null_rpc-2163a8c4bddcebd0.d: crates/bench/benches/table1_null_rpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_null_rpc-2163a8c4bddcebd0.rmeta: crates/bench/benches/table1_null_rpc.rs Cargo.toml
+
+crates/bench/benches/table1_null_rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

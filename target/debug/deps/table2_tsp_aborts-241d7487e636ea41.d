@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_tsp_aborts-241d7487e636ea41.d: crates/bench/benches/table2_tsp_aborts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_tsp_aborts-241d7487e636ea41.rmeta: crates/bench/benches/table2_tsp_aborts.rs Cargo.toml
+
+crates/bench/benches/table2_tsp_aborts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

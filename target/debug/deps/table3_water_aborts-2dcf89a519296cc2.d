@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_water_aborts-2dcf89a519296cc2.d: crates/bench/benches/table3_water_aborts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_water_aborts-2dcf89a519296cc2.rmeta: crates/bench/benches/table3_water_aborts.rs Cargo.toml
+
+crates/bench/benches/table3_water_aborts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_run-5565ccff21731955.d: examples/chaos_run.rs
+
+/root/repo/target/debug/examples/chaos_run-5565ccff21731955: examples/chaos_run.rs
+
+examples/chaos_run.rs:

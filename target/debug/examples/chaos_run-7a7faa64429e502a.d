@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_run-7a7faa64429e502a.d: examples/chaos_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_run-7a7faa64429e502a.rmeta: examples/chaos_run.rs Cargo.toml
+
+examples/chaos_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/job_queue-40ee6b78b259fcb5.d: examples/job_queue.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjob_queue-40ee6b78b259fcb5.rmeta: examples/job_queue.rs Cargo.toml
+
+examples/job_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/job_queue-8dd3285936e4436a.d: examples/job_queue.rs
+
+/root/repo/target/debug/examples/job_queue-8dd3285936e4436a: examples/job_queue.rs
+
+examples/job_queue.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/orca_objects-39bebc1c0b9551e9.d: examples/orca_objects.rs Cargo.toml
+
+/root/repo/target/debug/examples/liborca_objects-39bebc1c0b9551e9.rmeta: examples/orca_objects.rs Cargo.toml
+
+examples/orca_objects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/orca_objects-65e13b8a51e8143f.d: examples/orca_objects.rs
+
+/root/repo/target/debug/examples/orca_objects-65e13b8a51e8143f: examples/orca_objects.rs
+
+examples/orca_objects.rs:

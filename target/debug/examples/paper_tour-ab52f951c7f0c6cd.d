@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_tour-ab52f951c7f0c6cd.d: examples/paper_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_tour-ab52f951c7f0c6cd.rmeta: examples/paper_tour.rs Cargo.toml
+
+examples/paper_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_tour-f920f14ca84779fb.d: examples/paper_tour.rs
+
+/root/repo/target/debug/examples/paper_tour-f920f14ca84779fb: examples/paper_tour.rs
+
+examples/paper_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c53aeac533a4660a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c53aeac533a4660a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sor_probe-b7c0d77d05af1d8d.d: crates/apps/examples/sor_probe.rs
+
+/root/repo/target/debug/examples/sor_probe-b7c0d77d05af1d8d: crates/apps/examples/sor_probe.rs
+
+crates/apps/examples/sor_probe.rs:

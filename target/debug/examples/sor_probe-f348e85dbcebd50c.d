@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sor_probe-f348e85dbcebd50c.d: crates/apps/examples/sor_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsor_probe-f348e85dbcebd50c.rmeta: crates/apps/examples/sor_probe.rs Cargo.toml
+
+crates/apps/examples/sor_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil-07c67882401ac944.d: examples/stencil.rs
+
+/root/repo/target/debug/examples/stencil-07c67882401ac944: examples/stencil.rs
+
+examples/stencil.rs:

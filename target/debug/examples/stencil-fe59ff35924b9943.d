@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stencil-fe59ff35924b9943.d: examples/stencil.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstencil-fe59ff35924b9943.rmeta: examples/stencil.rs Cargo.toml
+
+examples/stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

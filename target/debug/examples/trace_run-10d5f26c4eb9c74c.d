@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_run-10d5f26c4eb9c74c.d: examples/trace_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_run-10d5f26c4eb9c74c.rmeta: examples/trace_run.rs Cargo.toml
+
+examples/trace_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_run-527ca7f4a7ade2d5.d: examples/trace_run.rs
+
+/root/repo/target/debug/examples/trace_run-527ca7f4a7ade2d5: examples/trace_run.rs
+
+examples/trace_run.rs:

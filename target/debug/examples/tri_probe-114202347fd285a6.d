@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tri_probe-114202347fd285a6.d: crates/apps/examples/tri_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtri_probe-114202347fd285a6.rmeta: crates/apps/examples/tri_probe.rs Cargo.toml
+
+crates/apps/examples/tri_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tri_probe-32b45508a748733c.d: crates/apps/examples/tri_probe.rs
+
+/root/repo/target/debug/examples/tri_probe-32b45508a748733c: crates/apps/examples/tri_probe.rs
+
+crates/apps/examples/tri_probe.rs:

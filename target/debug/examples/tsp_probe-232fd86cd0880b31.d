@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tsp_probe-232fd86cd0880b31.d: crates/apps/examples/tsp_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtsp_probe-232fd86cd0880b31.rmeta: crates/apps/examples/tsp_probe.rs Cargo.toml
+
+crates/apps/examples/tsp_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

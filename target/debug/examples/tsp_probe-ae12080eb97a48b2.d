@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tsp_probe-ae12080eb97a48b2.d: crates/apps/examples/tsp_probe.rs
+
+/root/repo/target/debug/examples/tsp_probe-ae12080eb97a48b2: crates/apps/examples/tsp_probe.rs
+
+crates/apps/examples/tsp_probe.rs:

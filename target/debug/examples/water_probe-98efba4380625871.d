@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/water_probe-98efba4380625871.d: crates/apps/examples/water_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwater_probe-98efba4380625871.rmeta: crates/apps/examples/water_probe.rs Cargo.toml
+
+crates/apps/examples/water_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/water_probe-9bbbc295ca1cbce0.d: crates/apps/examples/water_probe.rs
+
+/root/repo/target/debug/examples/water_probe-9bbbc295ca1cbce0: crates/apps/examples/water_probe.rs
+
+crates/apps/examples/water_probe.rs:

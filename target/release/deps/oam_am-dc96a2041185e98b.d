@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oam_am-dc96a2041185e98b.d: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+/root/repo/target/release/deps/liboam_am-dc96a2041185e98b.rlib: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+/root/repo/target/release/deps/liboam_am-dc96a2041185e98b.rmeta: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+crates/am/src/lib.rs:
+crates/am/src/handler.rs:
+crates/am/src/layer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/oam_core-5304020ab04f78c8.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/release/deps/liboam_core-5304020ab04f78c8.rlib: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/release/deps/liboam_core-5304020ab04f78c8.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

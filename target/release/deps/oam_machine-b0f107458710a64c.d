@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/oam_machine-b0f107458710a64c.d: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/release/deps/liboam_machine-b0f107458710a64c.rlib: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/release/deps/liboam_machine-b0f107458710a64c.rmeta: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collective.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/watchdog.rs:

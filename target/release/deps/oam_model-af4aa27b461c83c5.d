@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/oam_model-af4aa27b461c83c5.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs
+
+/root/repo/target/release/deps/liboam_model-af4aa27b461c83c5.rlib: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs
+
+/root/repo/target/release/deps/liboam_model-af4aa27b461c83c5.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/fault.rs:
+crates/model/src/ids.rs:
+crates/model/src/stats.rs:
+crates/model/src/time.rs:
+crates/model/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oam_net-da53d701874f7847.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+/root/repo/target/release/deps/liboam_net-da53d701874f7847.rlib: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+/root/repo/target/release/deps/liboam_net-da53d701874f7847.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/packet.rs:

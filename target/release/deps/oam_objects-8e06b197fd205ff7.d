@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oam_objects-8e06b197fd205ff7.d: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+/root/repo/target/release/deps/liboam_objects-8e06b197fd205ff7.rlib: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+/root/repo/target/release/deps/liboam_objects-8e06b197fd205ff7.rmeta: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+crates/objects/src/lib.rs:
+crates/objects/src/class.rs:
+crates/objects/src/layer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/oam_rpc-b1423eeac48cd7bd.d: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+/root/repo/target/release/deps/liboam_rpc-b1423eeac48cd7bd.rlib: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+/root/repo/target/release/deps/liboam_rpc-b1423eeac48cd7bd.rmeta: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/macros.rs:
+crates/rpc/src/runtime.rs:
+crates/rpc/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/oam_threads-f4323b13f18e2fa1.d: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+/root/repo/target/release/deps/liboam_threads-f4323b13f18e2fa1.rlib: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+/root/repo/target/release/deps/liboam_threads-f4323b13f18e2fa1.rmeta: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+crates/threads/src/lib.rs:
+crates/threads/src/node.rs:
+crates/threads/src/sched.rs:
+crates/threads/src/sync.rs:

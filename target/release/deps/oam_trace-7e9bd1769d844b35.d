@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oam_trace-7e9bd1769d844b35.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/liboam_trace-7e9bd1769d844b35.rlib: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/liboam_trace-7e9bd1769d844b35.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/recorder.rs:

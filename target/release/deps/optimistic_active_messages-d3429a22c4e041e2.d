@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/optimistic_active_messages-d3429a22c4e041e2.d: src/lib.rs
+
+/root/repo/target/release/deps/liboptimistic_active_messages-d3429a22c4e041e2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liboptimistic_active_messages-d3429a22c4e041e2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-0d921983077e9054.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-0d921983077e9054: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_run-9a7cc0da1eab276a.d: examples/chaos_run.rs
+
+/root/repo/target/release/examples/chaos_run-9a7cc0da1eab276a: examples/chaos_run.rs
+
+examples/chaos_run.rs:

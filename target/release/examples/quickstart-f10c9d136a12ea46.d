@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f10c9d136a12ea46.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f10c9d136a12ea46: examples/quickstart.rs
+
+examples/quickstart.rs:

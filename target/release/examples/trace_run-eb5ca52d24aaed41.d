@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_run-eb5ca52d24aaed41.d: examples/trace_run.rs
+
+/root/repo/target/release/examples/trace_run-eb5ca52d24aaed41: examples/trace_run.rs
+
+examples/trace_run.rs:

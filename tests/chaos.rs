@@ -1,0 +1,230 @@
+//! Fault-injection ("chaos") tests: applications must compute the same
+//! answers over a lossy, duplicating, delaying fabric — with retransmission
+//! and duplicate suppression turned on — as over a perfect one; runs must
+//! stay bit-deterministic per seed; and with recovery disabled the machine
+//! must *diagnose* the resulting hang instead of panicking or spinning.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use optimistic_active_messages::apps::tsp::TspParams;
+use optimistic_active_messages::apps::{triangle, tsp, System};
+use optimistic_active_messages::machine::{HangKind, MachineBuilder};
+use optimistic_active_messages::model::{
+    Dur, FaultPlan, MachineConfig, NodeId, ReliabilityConfig, Time,
+};
+use optimistic_active_messages::prelude::*;
+
+fn chaos_plan(drop: f64) -> FaultPlan {
+    FaultPlan::drop_only(drop).with_dup(drop).with_delay(drop, Dur::from_micros(20))
+}
+
+fn reliable_cfg(nodes: usize, drop: f64) -> MachineConfig {
+    MachineConfig::cm5(nodes)
+        .with_fault_plan(chaos_plan(drop))
+        .with_reliability(ReliabilityConfig::retransmitting())
+}
+
+pub struct EchoState;
+
+define_rpc_service! {
+    /// Minimal service for targeted reliability tests.
+    service Echo {
+        state EchoState;
+
+        /// Echo with increment.
+        rpc echo(ctx, st, x: u64) -> u64 {
+            let _ = (ctx, st);
+            x + 1
+        }
+    }
+}
+
+#[test]
+fn triangle_survives_1pct_and_5pct_chaos_with_the_fault_free_answer() {
+    let (sol, pos, _) = triangle::sequential(5);
+    let expect = (sol << 40) | pos;
+    let baseline = triangle::run_configured(System::Orpc, MachineConfig::cm5(4), 5, 1);
+    assert_eq!(baseline.answer, expect);
+    for drop in [0.01, 0.05] {
+        let out = triangle::run_configured(System::Orpc, reliable_cfg(4, drop), 5, 1);
+        assert_eq!(out.answer, expect, "answer must survive {drop} chaos");
+        let t = out.stats.total();
+        assert!(t.packets_dropped > 0, "plan actually dropped packets at {drop}");
+        assert!(t.retransmits > 0, "losses were recovered by retransmission at {drop}");
+        assert!(out.elapsed >= baseline.elapsed, "recovery costs time, never saves it");
+    }
+}
+
+#[test]
+fn tsp_survives_5pct_chaos_with_the_fault_free_answer() {
+    let params = TspParams::default(); // 12 cities, the paper's instance
+    let (best, _, _) = tsp::sequential(params);
+    for system in [System::Orpc, System::Trpc] {
+        let out = tsp::run_configured(system, reliable_cfg(5, 0.05), params);
+        assert_eq!(out.answer, best as u64, "{}", system.label());
+        let t = out.stats.total();
+        assert!(t.packets_dropped > 0);
+        assert!(t.retransmits > 0);
+        assert!(
+            t.dups_suppressed > 0,
+            "retransmissions + fabric duplicates must hit the suppression table ({})",
+            system.label()
+        );
+    }
+}
+
+#[test]
+fn tsp_chaos_survives_a_mid_run_node_stall() {
+    let params = TspParams { ncities: 10, prefix_len: 4, ..Default::default() };
+    let (best, _, _) = tsp::sequential(params);
+    // Slave 2 freezes for 30 ms mid-run: its polls find nothing, packets
+    // pile up in its FIFOs, callers retransmit into the void. The answer
+    // must still come out right once it thaws.
+    let plan = chaos_plan(0.01).with_stall(
+        NodeId(2),
+        Time::from_nanos(2_000_000),
+        Time::from_nanos(32_000_000),
+    );
+    let cfg = MachineConfig::cm5(4)
+        .with_fault_plan(plan)
+        .with_reliability(ReliabilityConfig::retransmitting());
+    let out = tsp::run_configured(System::Orpc, cfg, params);
+    assert_eq!(out.answer, best as u64);
+    assert!(out.stats.total().retransmits > 0);
+}
+
+#[test]
+fn chaos_runs_are_bit_deterministic_per_seed() {
+    let run_tsp = |seed: u64| {
+        let params = TspParams { ncities: 9, prefix_len: 3, ..Default::default() };
+        let cfg = reliable_cfg(4, 0.05).with_seed(seed);
+        let out = tsp::run_configured(System::Orpc, cfg, params);
+        (out.answer, out.elapsed, out.stats)
+    };
+    let a = run_tsp(7);
+    let b = run_tsp(7);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1, "identical completion time");
+    assert_eq!(a.2, b.2, "identical per-node statistics, counter for counter");
+    let c = run_tsp(8);
+    assert!(a.1 != c.1 || a.2 != c.2, "a different seed must shuffle the fault draws");
+
+    let run_triangle = |drop: f64| {
+        let out = triangle::run_configured(System::Orpc, reliable_cfg(4, drop), 5, 1);
+        (out.answer, out.elapsed, out.stats)
+    };
+    let t1 = run_triangle(0.05);
+    let t2 = run_triangle(0.05);
+    assert_eq!(t1.0, t2.0);
+    assert_eq!(t1.1, t2.1);
+    assert_eq!(t1.2, t2.2);
+}
+
+#[test]
+fn adding_a_fault_plan_changes_nothing_but_the_faults_when_probability_is_zero() {
+    // A present-but-zero plan turns the dedup machinery on; the answer and
+    // message counts must be unaffected.
+    let params = TspParams { ncities: 8, prefix_len: 3, ..Default::default() };
+    let base = tsp::run_configured(System::Orpc, MachineConfig::cm5(3), params);
+    let zero = tsp::run_configured(
+        System::Orpc,
+        MachineConfig::cm5(3).with_fault_plan(FaultPlan::drop_only(0.0)),
+        params,
+    );
+    assert_eq!(base.answer, zero.answer);
+    assert_eq!(base.stats.total().messages_sent, zero.stats.total().messages_sent);
+    assert_eq!(base.stats.total().dups_suppressed, 0);
+    assert_eq!(zero.stats.total().packets_dropped, 0);
+}
+
+#[test]
+fn without_retransmission_a_lossy_run_yields_a_hang_report_not_a_hang() {
+    // Certain loss, no recovery: the caller's request evaporates and the
+    // machine goes quiet with node 0 spinning on a reply that cannot come.
+    let cfg = MachineConfig::cm5(2).with_fault_plan(FaultPlan::drop_only(1.0));
+    let machine = MachineBuilder::from_config(cfg).build();
+    for node in machine.nodes() {
+        Echo::register_all(machine.rpc(), node.id(), Rc::new(EchoState), RpcMode::Orpc);
+    }
+    let report = machine
+        .run_with_watchdog(Time::from_nanos(1_000_000_000), |env| async move {
+            if env.id().index() == 0 {
+                let _ = Echo::echo::call(env.rpc(), env.node(), NodeId(1), 1).await;
+            }
+        })
+        .expect_err("a run with certain loss and no retransmission cannot complete");
+    assert_eq!(report.kind, HangKind::Deadlock, "quiet machine, not budget overrun");
+    let stuck: Vec<usize> = report.stuck_nodes().map(|n| n.diag.node.index()).collect();
+    assert_eq!(stuck, vec![0], "exactly the caller is stuck");
+    assert_eq!(report.nodes[0].outstanding_calls, 1, "its lost call is visible");
+    assert_eq!(report.nodes[0].diag.spinning, 1, "…as a spinning thread");
+    assert!(report.nodes[1].main_done);
+    let text = report.to_string();
+    assert!(text.contains("deadlock") && text.contains("STUCK"), "{text}");
+}
+
+#[test]
+fn a_live_but_unfinished_run_reports_budget_exceeded() {
+    // Retransmission ON under certain loss: timers fire forever, so the
+    // machine is live at any budget — the watchdog must say so rather than
+    // claim deadlock.
+    let cfg = MachineConfig::cm5(2)
+        .with_fault_plan(FaultPlan::drop_only(1.0))
+        .with_reliability(ReliabilityConfig::retransmitting());
+    let machine = MachineBuilder::from_config(cfg).build();
+    for node in machine.nodes() {
+        Echo::register_all(machine.rpc(), node.id(), Rc::new(EchoState), RpcMode::Orpc);
+    }
+    let report = machine
+        .run_with_watchdog(Time::from_nanos(50_000_000), |env| async move {
+            if env.id().index() == 0 {
+                let _ = Echo::echo::call(env.rpc(), env.node(), NodeId(1), 1).await;
+            }
+        })
+        .expect_err("certain loss cannot complete even with retransmission");
+    assert_eq!(report.kind, HangKind::BudgetExceeded);
+    assert!(report.total_outstanding_calls() >= 1);
+}
+
+pub struct BumpState {
+    pub hits: Rc<Cell<u64>>,
+}
+
+define_rpc_service! {
+    /// One-way delivery test service.
+    service Bump {
+        state BumpState;
+
+        /// Count an arrival.
+        oneway bump(ctx, st) {
+            let _ = ctx;
+            st.hits.set(st.hits.get() + 1);
+        }
+    }
+}
+
+#[test]
+fn reliable_oneway_calls_are_delivered_exactly_once_under_chaos() {
+    let hits = Rc::new(Cell::new(0u64));
+    const SENDS: u64 = 40;
+    let cfg = reliable_cfg(2, 0.05);
+    let machine = MachineBuilder::from_config(cfg).build();
+    for node in machine.nodes() {
+        let st = Rc::new(BumpState { hits: Rc::clone(&hits) });
+        Bump::register_all(machine.rpc(), node.id(), st, RpcMode::Orpc);
+    }
+    let report = machine.run(|env| async move {
+        if env.id().index() == 0 {
+            for _ in 0..SENDS {
+                Bump::bump::send(env.rpc(), env.node(), NodeId(1)).await;
+            }
+        }
+        // The run ends only when the sim quiesces, i.e. all acks and
+        // retransmission timers have resolved.
+        env.barrier().await;
+    });
+    assert_eq!(hits.get(), SENDS, "at-most-once + retransmission = exactly once");
+    let t = report.stats.total();
+    assert!(t.packets_dropped > 0, "the plan did bite");
+}

@@ -4,10 +4,10 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use optimistic_active_messages::apps::{sor, triangle, tsp, water, System};
 use optimistic_active_messages::apps::sor::SorParams;
 use optimistic_active_messages::apps::tsp::TspParams;
 use optimistic_active_messages::apps::water::{WaterParams, WaterVariant};
+use optimistic_active_messages::apps::{sor, triangle, tsp, water, System};
 use optimistic_active_messages::machine::Reducer;
 use optimistic_active_messages::prelude::*;
 

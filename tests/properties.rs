@@ -1,60 +1,84 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! These used to run under an external property-testing framework; they now
+//! drive the same invariants from the repo's own deterministic [`Prng`], so
+//! the whole suite builds offline and every failure is reproducible from
+//! the case seed printed in the assertion message.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use proptest::prelude::*;
-
+use optimistic_active_messages::apps::triangle::Board;
 use optimistic_active_messages::model::{Dur, MachineConfig, NodeId, NodeStats, Time};
 use optimistic_active_messages::net::{NetConfig, Network, Packet};
 use optimistic_active_messages::rpc::{from_bytes, to_bytes};
-use optimistic_active_messages::sim::Sim;
+use optimistic_active_messages::sim::{Prng, Sim};
 use optimistic_active_messages::threads::{Mutex, Node};
-use optimistic_active_messages::apps::triangle::Board;
+
+/// Run `case` once per seed with an independent generator. The seed is the
+/// case number, so a failing case replays exactly.
+fn for_cases(cases: u64, mut case: impl FnMut(u64, &mut Prng)) {
+    for c in 0..cases {
+        let mut rng = Prng::seed_from_u64(0xBA5E ^ c.wrapping_mul(0x9E37_79B9));
+        case(c, &mut rng);
+    }
+}
 
 // ---------------------------------------------------------------------
 // Wire format
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn wire_roundtrips_scalars(a: u64, b: i32, c: f64, d: bool) {
-        let v = (a, b, c, d);
+#[test]
+fn wire_roundtrips_scalars() {
+    for_cases(256, |case, r| {
+        let v = (r.next_u64(), r.next_u64() as i32, f64::from_bits(r.next_u64()), r.gen_bool(0.5));
         let back: (u64, i32, f64, bool) = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(back.0, v.0, "case {case}");
+        assert_eq!(back.1, v.1, "case {case}");
         // NaN-safe comparison via bits.
-        prop_assert_eq!(back.0, v.0);
-        prop_assert_eq!(back.1, v.1);
-        prop_assert_eq!(back.2.to_bits(), v.2.to_bits());
-        prop_assert_eq!(back.3, v.3);
-    }
+        assert_eq!(back.2.to_bits(), v.2.to_bits(), "case {case}");
+        assert_eq!(back.3, v.3, "case {case}");
+    });
+}
 
-    #[test]
-    fn wire_roundtrips_containers(v: Vec<(u32, Option<u16>)>, s: String) {
-        let payload = (v.clone(), s.clone());
+#[test]
+fn wire_roundtrips_containers() {
+    for_cases(128, |case, r| {
+        let v: Vec<(u32, Option<u16>)> = (0..r.gen_below(20))
+            .map(|_| {
+                let opt = if r.gen_bool(0.5) { Some(r.next_u64() as u16) } else { None };
+                (r.next_u64() as u32, opt)
+            })
+            .collect();
+        let s: String =
+            (0..r.gen_below(32)).map(|_| char::from(b'a' + r.gen_below(26) as u8)).collect();
+        let payload = (v, s);
         let back: (Vec<(u32, Option<u16>)>, String) = from_bytes(&to_bytes(&payload)).unwrap();
-        prop_assert_eq!(back, payload);
-    }
+        assert_eq!(back, payload, "case {case}");
+    });
+}
 
-    #[test]
-    fn wire_rejects_arbitrary_truncation(v: Vec<u64>, cut_frac in 0.0f64..1.0) {
+#[test]
+fn wire_rejects_arbitrary_truncation() {
+    for_cases(128, |case, r| {
+        let v: Vec<u64> = (0..r.gen_below(16)).map(|_| r.next_u64()).collect();
         let bytes = to_bytes(&v);
-        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut = ((bytes.len() as f64) * r.gen_f64()) as usize;
         if cut < bytes.len() {
-            let r: Result<Vec<u64>, _> = from_bytes(&bytes[..cut]);
-            prop_assert!(r.is_err());
+            let back: Result<Vec<u64>, _> = from_bytes(&bytes[..cut]);
+            assert!(back.is_err(), "case {case}: truncated decode at {cut} succeeded");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Simulation core
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn events_fire_once_in_nondecreasing_time_order(delays in proptest::collection::vec(0u64..10_000, 1..64)) {
+#[test]
+fn events_fire_once_in_nondecreasing_time_order() {
+    for_cases(64, |case, r| {
+        let delays: Vec<u64> = (0..1 + r.gen_below(63)).map(|_| r.gen_below(10_000)).collect();
         let sim = Sim::new(1);
         let fired: Rc<RefCell<Vec<(usize, Time)>>> = Rc::default();
         for (i, d) in delays.iter().enumerate() {
@@ -63,54 +87,51 @@ proptest! {
         }
         sim.run();
         let log = fired.borrow();
-        prop_assert_eq!(log.len(), delays.len(), "each event exactly once");
-        prop_assert!(log.windows(2).all(|w| w[0].1 <= w[1].1), "time order");
+        assert_eq!(log.len(), delays.len(), "case {case}: each event exactly once");
+        assert!(log.windows(2).all(|w| w[0].1 <= w[1].1), "case {case}: time order");
         // Firing times equal the scheduled delays.
         for (i, t) in log.iter() {
-            prop_assert_eq!(t.as_nanos(), delays[*i]);
+            assert_eq!(t.as_nanos(), delays[*i], "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn same_seed_same_trace(seed: u64, delays in proptest::collection::vec(1u64..5_000, 1..24)) {
+#[test]
+fn same_seed_same_trace() {
+    for_cases(64, |case, r| {
+        let seed = r.next_u64();
+        let delays: Vec<u64> = (0..1 + r.gen_below(23)).map(|_| 1 + r.gen_below(4_999)).collect();
         let run = |seed: u64| {
             let sim = Sim::new(seed);
             for d in &delays {
-                let jitter = sim.with_rng(|r| {
-                    use rand::Rng;
-                    r.gen_range(0..100u64)
-                });
+                let jitter = sim.with_rng(|r| r.gen_below(100));
                 sim.schedule_after(Dur::from_nanos(*d + jitter), |_| {});
             }
             (sim.run(), sim.events_executed())
         };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+        assert_eq!(run(seed), run(seed), "case {case}");
+    });
 }
 
 // ---------------------------------------------------------------------
 // Network
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any traffic pattern, any (valid) capacities: every packet is
-    /// delivered exactly once, and packets between a given (src, dst)
-    /// pair arrive in FIFO order. (Cross-source order at one destination
-    /// is not guaranteed — links pump independently.)
-    #[test]
-    fn network_delivers_exactly_once_in_order(
-        sends in proptest::collection::vec((0usize..4, 0usize..4, 0usize..8), 1..100),
-        out_cap in 1usize..6,
-        in_cap in 1usize..6,
-        fabric in 1usize..8,
-    ) {
+/// Any traffic pattern, any (valid) capacities: every packet is delivered
+/// exactly once, and packets between a given (src, dst) pair arrive in
+/// FIFO order. (Cross-source order at one destination is not guaranteed —
+/// links pump independently.)
+#[test]
+fn network_delivers_exactly_once_in_order() {
+    for_cases(48, |case, r| {
+        let sends: Vec<(usize, usize, usize)> = (0..1 + r.gen_below(99))
+            .map(|_| (r.gen_below(4) as usize, r.gen_below(4) as usize, r.gen_below(8) as usize))
+            .collect();
         let sim = Sim::new(9);
         let mut cfg = NetConfig::from_machine(&MachineConfig::cm5(4));
-        cfg.ni_out_capacity = out_cap;
-        cfg.ni_in_capacity = in_cap;
-        cfg.fabric_capacity = fabric;
+        cfg.ni_out_capacity = 1 + r.gen_below(5) as usize;
+        cfg.ni_in_capacity = 1 + r.gen_below(5) as usize;
+        cfg.fabric_capacity = 1 + r.gen_below(7) as usize;
         let stats: Vec<_> = (0..4).map(|_| Rc::new(RefCell::new(NodeStats::new()))).collect();
         let net = Network::new(&sim, cfg, stats);
         let mut accepted: Vec<Vec<u32>> = vec![Vec::new(); 16]; // per (src,dst) tags in send order
@@ -126,15 +147,13 @@ proptest! {
             n_drained
         };
         // (`seq` tags packets; it is not an index into `sends`.)
-        let mut seq = 0u32;
-        #[allow(clippy::explicit_counter_loop)]
-        for (src, dst, len) in &sends {
-            let pkt = Packet::short(NodeId(*src), NodeId(*dst), seq, vec![0u8; *len]);
+        for (seq, (src, dst, len)) in sends.iter().enumerate() {
+            let pkt = Packet::short(NodeId(*src), NodeId(*dst), seq as u32, vec![0u8; *len]);
             // Retry until accepted, draining receivers to make space.
             loop {
                 match net.try_inject(pkt.clone()) {
                     Ok(()) => {
-                        accepted[*src * 4 + *dst].push(seq);
+                        accepted[*src * 4 + *dst].push(seq as u32);
                         break;
                     }
                     Err(_) => {
@@ -143,7 +162,6 @@ proptest! {
                     }
                 }
             }
-            seq += 1;
         }
         // Drain everything.
         loop {
@@ -153,29 +171,28 @@ proptest! {
             }
         }
         for pair in 0..16 {
-            prop_assert_eq!(
-                &delivered[pair],
-                &accepted[pair],
-                "pair src={} dst={}: exactly-once FIFO",
+            assert_eq!(
+                delivered[pair],
+                accepted[pair],
+                "case {case} pair src={} dst={}: exactly-once FIFO",
                 pair / 4,
                 pair % 4
             );
         }
-        prop_assert_eq!(net.in_flight(), 0);
-    }
+        assert_eq!(net.in_flight(), 0, "case {case}");
+    });
 }
 
 // ---------------------------------------------------------------------
 // Thread package
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Mutual exclusion holds under arbitrary charge patterns: a critical
-    /// counter never sees concurrent entry, and every thread completes.
-    #[test]
-    fn mutex_guarantees_mutual_exclusion(charges in proptest::collection::vec(0u64..40, 2..12)) {
+/// Mutual exclusion holds under arbitrary charge patterns: a critical
+/// counter never sees concurrent entry, and every thread completes.
+#[test]
+fn mutex_guarantees_mutual_exclusion() {
+    for_cases(32, |case, r| {
+        let charges: Vec<u64> = (0..2 + r.gen_below(10)).map(|_| r.gen_below(40)).collect();
         let sim = Sim::new(3);
         let cfg = Rc::new(MachineConfig::cm5(1));
         let stats = Rc::new(RefCell::new(NodeStats::new()));
@@ -199,18 +216,20 @@ proptest! {
             });
         }
         sim.run();
-        prop_assert_eq!(completed.get(), charges.len(), "all threads finish");
-        prop_assert_eq!(max_inside.get(), 1, "never two inside the critical section");
-    }
+        assert_eq!(completed.get(), charges.len(), "case {case}: all threads finish");
+        assert_eq!(max_inside.get(), 1, "case {case}: never two inside the critical section");
+    });
 }
 
 // ---------------------------------------------------------------------
 // Application substrate invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn triangle_jumps_are_reversible(size in 4usize..=7, moves in proptest::collection::vec(0usize..200, 0..12)) {
+#[test]
+fn triangle_jumps_are_reversible() {
+    for_cases(256, |case, r| {
+        let size = 4 + r.gen_below(4) as usize;
+        let moves: Vec<usize> = (0..r.gen_below(12)).map(|_| r.gen_below(200) as usize).collect();
         let board = Board::new(size);
         let mut pos = board.initial();
         for pick in moves {
@@ -221,39 +240,44 @@ proptest! {
             }
             let next = succs[pick % succs.len()];
             // Peg count decreases by exactly one per jump.
-            prop_assert_eq!(Board::pegs(next), Board::pegs(pos) - 1);
-            // The reverse jump exists from the successor's perspective:
-            // un-jumping restores the position (jumps come in mirrored
-            // pairs over the same line of three).
+            assert_eq!(Board::pegs(next), Board::pegs(pos) - 1, "case {case}");
             pos = next;
         }
-    }
+    });
+}
 
-    #[test]
-    fn sor_partition_is_exact_for_any_shape(rows in 1usize..600, p in 1usize..129) {
-        prop_assume!(p <= rows);
-        use optimistic_active_messages::apps::sor::partition;
+#[test]
+fn sor_partition_is_exact_for_any_shape() {
+    use optimistic_active_messages::apps::sor::partition;
+    for_cases(256, |case, r| {
+        let rows = 1 + r.gen_below(599) as usize;
+        let p = 1 + r.gen_below(128) as usize;
+        if p > rows {
+            return;
+        }
         let mut total = 0;
         let mut prev_end = 0;
         for i in 0..p {
             let (a, b) = partition(rows, p, i);
-            prop_assert_eq!(a, prev_end, "contiguous");
-            prop_assert!(b > a, "non-empty");
+            assert_eq!(a, prev_end, "case {case}: contiguous");
+            assert!(b > a, "case {case}: non-empty");
             total += b - a;
             prev_end = b;
         }
-        prop_assert_eq!(total, rows);
-    }
+        assert_eq!(total, rows, "case {case}");
+    });
+}
 
-    #[test]
-    fn water_half_shell_covers_each_pair_once(p in 2usize..40) {
-        use optimistic_active_messages::apps::water::targets;
+#[test]
+fn water_half_shell_covers_each_pair_once() {
+    use optimistic_active_messages::apps::water::targets;
+    for p in 2usize..40 {
         let mut seen = std::collections::HashSet::new();
         for a in 0..p {
             for b in targets(a, p) {
-                prop_assert!(seen.insert((a.min(b), a.max(b))));
+                assert!(seen.insert((a.min(b), a.max(b))), "p={p}");
             }
         }
-        prop_assert_eq!(seen.len(), p * (p - 1) / 2);
+        assert_eq!(seen.len(), p * (p - 1) / 2, "p={p}");
     }
 }
