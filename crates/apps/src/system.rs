@@ -56,6 +56,11 @@ pub struct AppOutcome {
     pub answer: u64,
     /// Per-node statistics.
     pub stats: MachineStats,
+    /// Simulation events executed (a proxy for simulator work, and the
+    /// numerator of the perf harness's events/sec metric).
+    pub events: u64,
+    /// High-water mark of the simulator's event queue during the run.
+    pub peak_queue_depth: u64,
 }
 
 impl AppOutcome {

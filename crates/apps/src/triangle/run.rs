@@ -331,6 +331,8 @@ pub fn run_configured(
         elapsed: report.end_time.since(oam_model::Time::ZERO),
         answer: answer_out.get(),
         stats: report.stats,
+        events: report.events,
+        peak_queue_depth: report.peak_queue_depth,
     }
 }
 

@@ -424,6 +424,8 @@ pub fn run(variant: WaterVariant, nprocs: usize, p: WaterParams) -> WaterOutcome
             elapsed: report.end_time.since(Time::ZERO),
             answer: answer_out.get(),
             stats: report.stats,
+            events: report.events,
+            peak_queue_depth: report.peak_queue_depth,
         },
         after_first_iter: first_iter_out.get(),
     }

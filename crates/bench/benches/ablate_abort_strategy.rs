@@ -34,5 +34,8 @@ fn main() {
     let headers =
         ["slaves", "strategy", "time (s)", "# OAMs", "aborts", "promoted", "rerun", "nacked"];
     print_table("Ablation: abort strategies on TSP (ORPC)", &headers, &rows);
-    write_csv("ablate_abort_strategy", &headers, &rows);
+    if let Err(e) = write_csv("ablate_abort_strategy", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

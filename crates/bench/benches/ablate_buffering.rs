@@ -35,5 +35,8 @@ fn main() {
         &headers,
         &rows,
     );
-    write_csv("ablate_buffering", &headers, &rows);
+    if let Err(e) = write_csv("ablate_buffering", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

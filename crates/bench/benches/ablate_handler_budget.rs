@@ -103,5 +103,8 @@ fn main() {
         &headers,
         &rows,
     );
-    write_csv("ablate_handler_budget", &headers, &rows);
+    if let Err(e) = write_csv("ablate_handler_budget", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

@@ -42,7 +42,10 @@ fn main() {
         &headers,
         &rows,
     );
-    write_csv("ablate_queue_policy_apps", &headers, &rows);
+    if let Err(e) = write_csv("ablate_queue_policy_apps", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 
     // Latency-level effect: with a deep run queue on the server, a
     // front-placed incoming call runs next; a back-placed one waits for
@@ -81,5 +84,8 @@ fn main() {
         &headers,
         &rows,
     );
-    write_csv("ablate_queue_policy_latency", &headers, &rows);
+    if let Err(e) = write_csv("ablate_queue_policy_latency", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

@@ -27,7 +27,10 @@ fn main() {
     }
     let headers = ["procs", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
     print_table("Figure 1: Triangle puzzle", &headers, &rows);
-    write_csv("fig1_triangle", &headers, &rows);
+    if let Err(e) = write_csv("fig1_triangle", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 
     // The paper's headline ratio at the largest configuration.
     if let Some(last) = rows.last() {

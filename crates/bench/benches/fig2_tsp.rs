@@ -30,5 +30,8 @@ fn main() {
     }
     let headers = ["slaves", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
     print_table("Figure 2: Traveling salesman problem", &headers, &rows);
-    write_csv("fig2_tsp", &headers, &rows);
+    if let Err(e) = write_csv("fig2_tsp", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

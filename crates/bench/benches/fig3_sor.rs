@@ -33,7 +33,10 @@ fn main() {
     }
     let headers = ["procs", "AM (s)", "AM spd", "ORPC (s)", "ORPC spd", "TRPC (s)", "TRPC spd"];
     print_table("Figure 3: Successive overrelaxation (482x80)", &headers, &rows);
-    write_csv("fig3_sor", &headers, &rows);
+    if let Err(e) = write_csv("fig3_sor", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
     println!("\ntotal ORPC aborts across all runs: {aborts_seen} (paper: none)");
     if let Some(last) = rows.last() {
         let orpc: f64 = last[3].parse().unwrap();

@@ -48,5 +48,8 @@ fn main() {
         "spd",
     ];
     print_table("Figure 4: Water (512 molecules)", &headers, &rows);
-    write_csv("fig4_water", &headers, &rows);
+    if let Err(e) = write_csv("fig4_water", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

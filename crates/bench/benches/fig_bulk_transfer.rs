@@ -26,5 +26,8 @@ fn main() {
     }
     let headers = ["bytes", "AM (us)", "ORPC (us)", "TRPC (us)", "abs gap", "rel gap"];
     print_table("S4.1.2: RPC time vs. data size (server idle)", &headers, &rows);
-    write_csv("fig_bulk_transfer", &headers, &rows);
+    if let Err(e) = write_csv("fig_bulk_transfer", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

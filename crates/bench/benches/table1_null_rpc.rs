@@ -25,5 +25,8 @@ fn main() {
     }
     let headers = ["System", "idle (us)", "paper", "busy (us)", "paper"];
     print_table("Table 1: round-trip null RPC (measured vs. paper)", &headers, &rows);
-    write_csv("table1_null_rpc", &headers, &rows);
+    if let Err(e) = write_csv("table1_null_rpc", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

@@ -41,5 +41,8 @@ fn main() {
     }
     let headers = ["slaves", "# OAMs", "successes", "% success", "paper %"];
     print_table("Table 2: OAM success rate in TSP (ORPC)", &headers, &rows);
-    write_csv("table2_tsp_aborts", &headers, &rows);
+    if let Err(e) = write_csv("table2_tsp_aborts", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

@@ -35,5 +35,8 @@ fn main() {
     }
     let headers = ["procs", "# OAMs", "successes", "% success", "paper %"];
     print_table("Table 3: OAM success rate in Water (ORPC, no barriers)", &headers, &rows);
-    write_csv("table3_water_aborts", &headers, &rows);
+    if let Err(e) = write_csv("table3_water_aborts", &headers, &rows) {
+        eprintln!("csv not written: {e}");
+        std::process::exit(1);
+    }
 }

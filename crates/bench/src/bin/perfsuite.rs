@@ -1,0 +1,256 @@
+//! Headless simulator-performance suite with a machine-readable report.
+//!
+//! Runs a fixed set of workloads — null-RPC churn, TSP, SOR, Water, and
+//! chaos-on variants — and records, per suite: host wall-clock, simulator
+//! events/sec, peak event-queue depth, heap allocations (via a counting
+//! global allocator), and the key sim-domain counters. The report is
+//! written as `BENCH_results.json` at the workspace root; CI diffs it
+//! against the committed `BENCH_baseline.json` with
+//! `scripts/bench_check.rs`.
+//!
+//! ```sh
+//! cargo run --release -p oam-bench --bin perfsuite            # full sizes
+//! cargo run --release -p oam-bench --bin perfsuite -- --quick # CI sizes
+//! ```
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::time::Instant;
+
+use oam_apps::tsp::TspParams;
+use oam_apps::water::{WaterParams, WaterVariant};
+use oam_apps::{sor, tsp, water, AppOutcome, System};
+use oam_bench::report::workspace_root;
+use oam_machine::MachineBuilder;
+use oam_model::{Dur, FaultPlan, MachineConfig, NodeId, NodeStats, ReliabilityConfig};
+use oam_rpc::define_rpc_service;
+use oam_sim::{alloc_snapshot, AllocSnapshot, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// State of the churn service: one counter per node.
+pub struct ChurnState {
+    /// Calls served.
+    pub counter: Cell<u64>,
+}
+
+define_rpc_service! {
+    /// The null-RPC churn service: the cheapest possible remote call, so
+    /// the measurement is dominated by simulator overhead per message.
+    service Churn {
+        state ChurnState;
+
+        /// Increment and return the server-side counter.
+        rpc bump(ctx, st) -> u64 {
+            let _ = ctx;
+            let v = st.counter.get() + 1;
+            st.counter.set(v);
+            v
+        }
+    }
+}
+
+/// One measured suite.
+struct SuiteRun {
+    name: &'static str,
+    wall: std::time::Duration,
+    virtual_us: f64,
+    events: u64,
+    peak_queue_depth: u64,
+    alloc: AllocSnapshot,
+    answer: u64,
+    totals: NodeStats,
+}
+
+impl SuiteRun {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+fn chaos_cfg(nodes: usize, p: f64) -> MachineConfig {
+    let plan = FaultPlan::drop_only(p).with_dup(p).with_delay(p, Dur::from_micros(20));
+    MachineConfig::cm5(nodes)
+        .with_fault_plan(plan)
+        .with_reliability(ReliabilityConfig::retransmitting())
+}
+
+/// How many times each suite runs; the fastest wall-clock wins. The runs
+/// are deterministic (same seed ⇒ same virtual work), so the minimum is the
+/// least-noise estimate of the suite's true cost — means and medians still
+/// carry scheduler jitter from the CI host.
+const REPS: usize = 3;
+
+/// Time `body` [`REPS`] times, keeping the fastest run, bracketing it with
+/// allocator snapshots.
+fn measure(name: &'static str, mut body: impl FnMut() -> AppOutcome) -> SuiteRun {
+    let mut best: Option<SuiteRun> = None;
+    for _ in 0..REPS {
+        let before = alloc_snapshot();
+        let t0 = Instant::now();
+        let out = body();
+        let wall = t0.elapsed();
+        let alloc = alloc_snapshot().since(before);
+        let run = SuiteRun {
+            name,
+            wall,
+            virtual_us: out.elapsed.as_micros_f64(),
+            events: out.events,
+            peak_queue_depth: out.peak_queue_depth,
+            alloc,
+            answer: out.answer,
+            totals: out.stats.total(),
+        };
+        if best.as_ref().is_none_or(|b| run.wall < b.wall) {
+            best = Some(run);
+        }
+    }
+    best.expect("REPS >= 1")
+}
+
+/// `rounds` back-to-back null RPCs from node 0 to node 1.
+fn churn(rounds: u32, cfg: MachineConfig) -> AppOutcome {
+    let machine = MachineBuilder::from_config(cfg).build();
+    let states: Vec<Rc<ChurnState>> =
+        (0..2).map(|_| Rc::new(ChurnState { counter: Cell::new(0) })).collect();
+    for (i, st) in states.iter().enumerate() {
+        Churn::register_all(machine.rpc(), NodeId(i), Rc::clone(st), oam_rpc::RpcMode::Orpc);
+    }
+    let answer = Rc::new(Cell::new(0u64));
+    let a = Rc::clone(&answer);
+    let report = machine.run(move |env| {
+        let a = Rc::clone(&a);
+        async move {
+            if env.id().index() == 0 {
+                let mut last = 0;
+                for _ in 0..rounds {
+                    last = Churn::bump::call(env.rpc(), env.node(), NodeId(1)).await;
+                }
+                a.set(last);
+            }
+            env.barrier().await;
+        }
+    });
+    AppOutcome {
+        elapsed: report.end_time.since(oam_model::Time::ZERO),
+        answer: answer.get(),
+        stats: report.stats,
+        events: report.events,
+        peak_queue_depth: report.peak_queue_depth,
+    }
+}
+
+fn run_suites(quick: bool) -> Vec<SuiteRun> {
+    let churn_rounds: u32 = if quick { 5_000 } else { 50_000 };
+    let churn_chaos_rounds: u32 = if quick { 2_000 } else { 20_000 };
+    let sor_iters = if quick { 3 } else { 10 };
+    let water_iters = if quick { 2 } else { 4 };
+
+    // Unmeasured warm-up: fault in code pages and the allocator's arenas so
+    // the first measured suite is not charged for process cold start.
+    let _ = churn(200, MachineConfig::cm5(2));
+
+    let tsp_params = TspParams { ncities: 10, prefix_len: 4, ..Default::default() };
+    vec![
+        measure("null_rpc_churn", || churn(churn_rounds, MachineConfig::cm5(2))),
+        measure("null_rpc_churn_chaos", || churn(churn_chaos_rounds, chaos_cfg(2, 0.01))),
+        measure("tsp_n10", || tsp::run_configured(System::Orpc, MachineConfig::cm5(5), tsp_params)),
+        measure("tsp_n10_chaos", || {
+            tsp::run_configured(System::Orpc, chaos_cfg(5, 0.05), tsp_params)
+        }),
+        measure("sor_256", || {
+            sor::run(
+                System::Orpc,
+                4,
+                oam_apps::sor::SorParams { rows: 256, cols: 256, iters: sor_iters },
+            )
+        }),
+        measure("water_64", || {
+            water::run(
+                WaterVariant { system: System::Orpc, barrier: true },
+                4,
+                WaterParams { molecules: 64, iters: water_iters },
+            )
+            .outcome
+        }),
+    ]
+}
+
+fn json_report(mode: &str, suites: &[SuiteRun]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"suites\": [\n");
+    for (i, r) in suites.iter().enumerate() {
+        let t = &r.totals;
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"wall_ms\": {:.3},", r.wall.as_secs_f64() * 1e3);
+        let _ = writeln!(s, "      \"virtual_us\": {:.3},", r.virtual_us);
+        let _ = writeln!(s, "      \"events\": {},", r.events);
+        let _ = writeln!(s, "      \"events_per_sec\": {:.0},", r.events_per_sec());
+        let _ = writeln!(s, "      \"peak_queue_depth\": {},", r.peak_queue_depth);
+        let _ = writeln!(s, "      \"allocs\": {},", r.alloc.allocs);
+        let _ = writeln!(s, "      \"alloc_bytes\": {},", r.alloc.bytes);
+        let _ = writeln!(s, "      \"answer\": {},", r.answer);
+        let _ = writeln!(s, "      \"messages_sent\": {},", t.messages_sent);
+        let _ = writeln!(s, "      \"oam_attempts\": {},", t.oam_attempts);
+        let _ = writeln!(s, "      \"oam_successes\": {},", t.oam_successes);
+        let _ = writeln!(s, "      \"retransmits\": {}", t.retransmits);
+        let _ = write!(s, "    }}{}", if i + 1 < suites.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            "--help" | "-h" => {
+                println!("usage: perfsuite [--quick] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if quick { "quick" } else { "full" };
+    let suites = run_suites(quick);
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>6} {:>12} {:>14}",
+        "suite", "wall ms", "events", "events/s", "peakq", "allocs", "alloc bytes"
+    );
+    for r in &suites {
+        println!(
+            "{:<22} {:>10.2} {:>12} {:>12.0} {:>6} {:>12} {:>14}",
+            r.name,
+            r.wall.as_secs_f64() * 1e3,
+            r.events,
+            r.events_per_sec(),
+            r.peak_queue_depth,
+            r.alloc.allocs,
+            r.alloc.bytes,
+        );
+    }
+
+    let path = out.unwrap_or_else(|| workspace_root().join("BENCH_results.json"));
+    match std::fs::write(&path, json_report(mode, &suites)) {
+        Ok(()) => println!("\n[json] {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,21 +1,44 @@
 //! Table/CSV reporting shared by the experiment harnesses.
 
 use std::fs;
-use std::io::Write;
+use std::io::{self, Write};
 use std::path::PathBuf;
 
-/// Directory where harnesses drop their CSVs: `target/experiments/` at
-/// the workspace root.
-pub fn experiments_dir() -> PathBuf {
-    let dir = match std::env::var("CARGO_TARGET_DIR") {
-        Ok(t) => PathBuf::from(t),
-        // Benches run with the package as CWD; resolve the workspace root
-        // from this crate's manifest directory.
-        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("target"),
-    }
-    .join("experiments");
-    fs::create_dir_all(&dir).expect("create experiments dir");
-    dir
+/// The workspace root, resolved from this crate's manifest directory
+/// (`crates/bench/` sits two levels below it). Canonicalized so harnesses
+/// running with an arbitrary CWD still agree on one location; falls back to
+/// the uncanonicalized path if the filesystem refuses (the join itself
+/// cannot fail).
+pub fn workspace_root() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    root.canonicalize().unwrap_or(root)
+}
+
+/// Directory where harnesses drop their CSVs: `<target>/experiments/`,
+/// where `<target>` honors `CARGO_TARGET_DIR` (resolved against the
+/// workspace root when relative, matching cargo's own interpretation) and
+/// defaults to `target/` at the workspace root.
+///
+/// Creates the directory; returns the error instead of panicking so
+/// harnesses can report a usable message (read-only checkouts, exotic
+/// `CARGO_TARGET_DIR` values) and still print their tables.
+pub fn experiments_dir() -> io::Result<PathBuf> {
+    let target = match std::env::var_os("CARGO_TARGET_DIR") {
+        Some(t) => {
+            let t = PathBuf::from(t);
+            if t.is_absolute() {
+                t
+            } else {
+                // Cargo resolves a relative CARGO_TARGET_DIR against the
+                // workspace root, not the process CWD.
+                workspace_root().join(t)
+            }
+        }
+        None => workspace_root().join("target"),
+    };
+    let dir = target.join("experiments");
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 /// Print an aligned table to stdout.
@@ -43,18 +66,40 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Write the same data as CSV under `target/experiments/<name>.csv`.
-pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
-    let path = experiments_dir().join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{}", headers.join(",")).expect("write csv header");
+/// Write the same data as CSV under `<experiments_dir>/<name>.csv` and
+/// return the path written. Errors (directory creation, file write) are
+/// returned for the harness to surface.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    let path = experiments_dir()?.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", headers.join(","))?;
     for row in rows {
-        writeln!(f, "{}", row.join(",")).expect("write csv row");
+        writeln!(f, "{}", row.join(","))?;
     }
     println!("[csv] {}", path.display());
+    Ok(path)
 }
 
 /// Is the quick (CI-sized) mode requested?
 pub fn quick_mode() -> bool {
     std::env::var("OAM_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_contains_the_bench_crate() {
+        let root = workspace_root();
+        assert!(root.join("crates").join("bench").join("Cargo.toml").exists(), "{root:?}");
+    }
+
+    #[test]
+    fn experiments_dir_is_created_and_absolute() {
+        let dir = experiments_dir().expect("experiments dir");
+        assert!(dir.is_dir());
+        assert!(dir.is_absolute());
+        assert!(dir.ends_with("experiments"));
+    }
 }

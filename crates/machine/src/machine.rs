@@ -133,6 +133,8 @@ pub struct RunReport {
     pub completed: bool,
     /// Total simulation events executed (a proxy for simulation work).
     pub events: u64,
+    /// High-water mark of the simulator's event queue during the run.
+    pub peak_queue_depth: u64,
 }
 
 impl Machine {
@@ -216,7 +218,13 @@ impl Machine {
         }
         let end_time = self.sim.run();
         let completed = done.iter().all(Flag::get);
-        RunReport { end_time, stats: self.harvest(), completed, events: self.sim.events_executed() }
+        RunReport {
+            end_time,
+            stats: self.harvest(),
+            completed,
+            events: self.sim.events_executed(),
+            peak_queue_depth: self.sim.peak_event_queue_depth(),
+        }
     }
 
     /// Run `main` on every node under a virtual-time budget, with hang
@@ -249,6 +257,7 @@ impl Machine {
                 stats: self.harvest(),
                 completed: true,
                 events: self.sim.events_executed(),
+                peak_queue_depth: self.sim.peak_event_queue_depth(),
             });
         }
         let kind = if quiesced { HangKind::Deadlock } else { HangKind::BudgetExceeded };

@@ -10,4 +10,4 @@ pub mod fabric;
 pub mod packet;
 
 pub use fabric::{InjectError, NetConfig, Network};
-pub use packet::{Packet, PacketKind, SHORT_PAYLOAD_MAX};
+pub use packet::{Packet, PacketKind, PayloadBuf, SHORT_PAYLOAD_MAX};

@@ -5,11 +5,130 @@
 //! 32-bit argument words). Larger payloads must use the bulk-transfer engine
 //! ([`crate::fabric::Network::start_bulk`]), which delivers a
 //! [`PacketKind::BulkDone`] completion carrying the data.
+//!
+//! Short payloads are stored inline in the packet ([`PayloadBuf`]), so the
+//! fabric's per-hop packet clones — duplication faults, retransmission
+//! buffers, staging queues — are plain memcpys with no heap traffic.
+
+use std::fmt;
+use std::ops::Deref;
 
 use oam_model::NodeId;
 
 /// Maximum payload of a short packet, in bytes (CM-5: 4 argument words).
 pub const SHORT_PAYLOAD_MAX: usize = 16;
+
+/// A packet payload: stored inline when it fits a short packet
+/// ([`SHORT_PAYLOAD_MAX`] bytes), spilled to the heap only for bulk
+/// transfers. Cloning an inline payload allocates nothing.
+///
+/// Dereferences to `&[u8]`, so existing slice-based consumers (wire
+/// decoders, handlers) need no changes.
+#[derive(Clone, PartialEq, Eq)]
+pub enum PayloadBuf {
+    /// At most [`SHORT_PAYLOAD_MAX`] bytes, stored in the packet itself.
+    Inline {
+        /// Number of meaningful bytes in `bytes`.
+        len: u8,
+        /// Payload storage; bytes past `len` are zero.
+        bytes: [u8; SHORT_PAYLOAD_MAX],
+    },
+    /// A heap-backed payload of any size (bulk transfers).
+    Heap(Vec<u8>),
+}
+
+impl PayloadBuf {
+    /// The payload bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            PayloadBuf::Inline { len, bytes } => &bytes[..*len as usize],
+            PayloadBuf::Heap(v) => v,
+        }
+    }
+
+    /// Payload length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            PayloadBuf::Inline { len, .. } => *len as usize,
+            PayloadBuf::Heap(v) => v.len(),
+        }
+    }
+
+    /// True when the payload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy `src` into an inline payload.
+    ///
+    /// # Panics
+    /// Panics if `src` exceeds [`SHORT_PAYLOAD_MAX`] bytes.
+    pub fn inline(src: &[u8]) -> Self {
+        assert!(src.len() <= SHORT_PAYLOAD_MAX, "payload {} bytes won't inline", src.len());
+        let mut bytes = [0u8; SHORT_PAYLOAD_MAX];
+        bytes[..src.len()].copy_from_slice(src);
+        PayloadBuf::Inline { len: src.len() as u8, bytes }
+    }
+}
+
+impl Deref for PayloadBuf {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for PayloadBuf {
+    /// Inline when it fits; keep the existing heap buffer otherwise.
+    fn from(v: Vec<u8>) -> Self {
+        if v.len() <= SHORT_PAYLOAD_MAX {
+            PayloadBuf::inline(&v)
+        } else {
+            PayloadBuf::Heap(v)
+        }
+    }
+}
+
+impl From<&[u8]> for PayloadBuf {
+    fn from(src: &[u8]) -> Self {
+        if src.len() <= SHORT_PAYLOAD_MAX {
+            PayloadBuf::inline(src)
+        } else {
+            PayloadBuf::Heap(src.to_vec())
+        }
+    }
+}
+
+impl PartialEq<Vec<u8>> for PayloadBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<PayloadBuf> for Vec<u8> {
+    fn eq(&self, other: &PayloadBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for PayloadBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl fmt::Debug for PayloadBuf {
+    /// Render as the byte list, independent of the storage variant, so
+    /// traces and assertions don't distinguish inline from heap.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
 
 /// What a delivered packet represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +152,9 @@ pub struct Packet {
     /// Dispatch tag; the Active Message layer stores the handler id here.
     pub tag: u32,
     /// Message payload. For `Short` packets this is at most
-    /// [`SHORT_PAYLOAD_MAX`] bytes; for `BulkDone` it is the whole buffer.
-    pub payload: Vec<u8>,
+    /// [`SHORT_PAYLOAD_MAX`] bytes (held inline); for `BulkDone` it is the
+    /// whole buffer.
+    pub payload: PayloadBuf,
 }
 
 impl Packet {
@@ -44,7 +164,8 @@ impl Packet {
     /// Panics if `payload` exceeds [`SHORT_PAYLOAD_MAX`]; callers must route
     /// larger payloads through the bulk engine (the stub layer does this
     /// automatically).
-    pub fn short(src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) -> Self {
+    pub fn short(src: NodeId, dst: NodeId, tag: u32, payload: impl Into<PayloadBuf>) -> Self {
+        let payload = payload.into();
         assert!(
             payload.len() <= SHORT_PAYLOAD_MAX,
             "short packet payload {} exceeds {} bytes — use a bulk transfer",
@@ -56,7 +177,7 @@ impl Packet {
 
     /// Build a bulk-completion packet (internal to the network layer).
     pub(crate) fn bulk_done(src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) -> Self {
-        Packet { src, dst, kind: PacketKind::BulkDone, tag, payload }
+        Packet { src, dst, kind: PacketKind::BulkDone, tag, payload: PayloadBuf::Heap(payload) }
     }
 
     /// Payload length in bytes.
@@ -93,5 +214,24 @@ mod tests {
         let p = Packet::bulk_done(NodeId(0), NodeId(1), 3, vec![0u8; 4096]);
         assert_eq!(p.kind, PacketKind::BulkDone);
         assert_eq!(p.len(), 4096);
+    }
+
+    #[test]
+    fn short_payloads_inline_and_compare_as_bytes() {
+        let p = Packet::short(NodeId(0), NodeId(1), 7, vec![1, 2, 3]);
+        assert!(matches!(p.payload, PayloadBuf::Inline { len: 3, .. }));
+        assert_eq!(p.payload, vec![1, 2, 3]);
+        assert_eq!(&p.payload[1..], &[2, 3]);
+        // Debug output is storage-independent: inline renders like a slice.
+        assert_eq!(format!("{:?}", p.payload), format!("{:?}", [1u8, 2, 3]));
+        let q = p.clone();
+        assert_eq!(p, q, "clone is byte-identical");
+    }
+
+    #[test]
+    fn oversized_vec_conversion_keeps_the_heap_buffer() {
+        let buf: PayloadBuf = vec![0u8; 64].into();
+        assert!(matches!(buf, PayloadBuf::Heap(_)));
+        assert_eq!(buf.len(), 64);
     }
 }

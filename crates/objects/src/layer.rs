@@ -1,6 +1,6 @@
 //! The shared-object runtime.
 //!
-//! Placement strategies, as in Orca's CM-5 port (the paper, §1/§5 [13]):
+//! Placement strategies, as in Orca's CM-5 port (the paper, §1/§5 \[13\]):
 //!
 //! * [`Placement::Single`] — the object lives on one node; every
 //!   operation ships there as an RPC (an Optimistic Active Message in

@@ -2,7 +2,7 @@
 //!
 //! The paper's stub compiler takes a remote-procedure specification and
 //! generates handlers, stubs, marshaling, and data-transfer code, in both
-//! TRPC and ORPC flavours. [`define_rpc_service!`] does the same from a
+//! TRPC and ORPC flavours. [`define_rpc_service!`](crate::define_rpc_service) does the same from a
 //! service block:
 //!
 //! ```

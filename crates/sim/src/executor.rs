@@ -11,11 +11,25 @@
 //! sequence number breaks ties), tasks run in wake order, and all randomness
 //! flows from one seeded generator. Two runs with the same seed produce
 //! bit-identical traces.
+//!
+//! # Hot-path layout
+//!
+//! The event queue is an indexed [calendar queue](crate::calq) rather than
+//! a global binary heap: pushes and pops are `O(1)` in the common case.
+//! Event actions live in a generation-tagged slab indexed by the queue
+//! entry itself, so firing an event touches no hash map; cancellation just
+//! bumps the slot's generation, turning the queue entry stale in `O(1)`.
+//! Task wakers are created once per task (not per poll), wake drains swap
+//! a recycled scratch buffer instead of allocating, and the task table uses
+//! a trivial multiplicative hasher — task ids are dense monotone integers,
+//! so SipHash buys nothing.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::future::Future;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::marker::PhantomData;
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
@@ -23,18 +37,163 @@ use std::task::{Context, Poll, Wake, Waker};
 
 use oam_model::{Dur, Time};
 
+use crate::calq::{CalendarQueue, Entry};
 use crate::rng::Prng;
 
 /// Identifier of a scheduled event, usable for cancellation.
+///
+/// Packs the event's slab slot and the slot's generation at scheduling
+/// time; once the event fires or is cancelled the generation moves on and
+/// the id goes permanently stale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// Identifier of a spawned task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskId(u64);
 
-type EventAction = Box<dyn FnOnce(&Sim)>;
 type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Inline capacity of an [`EventAction`], in `usize` words. 48 bytes holds
+/// every closure the network fabric and timers schedule (a couple of `Rc`
+/// handles plus a few scalars); anything bigger spills to a `Box`.
+const ACTION_WORDS: usize = 6;
+
+/// A type-erased `FnOnce(&Sim)` with small-closure optimization: closures
+/// up to `ACTION_WORDS` words (and word alignment) are stored inline in
+/// the event slab, making the schedule → fire cycle allocation-free. The
+/// event path runs a few million times per simulated second, so the
+/// per-event `Box` this replaces was the simulator's single largest
+/// allocation source.
+struct EventAction {
+    /// The closure's bytes (inline case) or a `Box<dyn FnOnce(&Sim)>`
+    /// (spilled case).
+    buf: MaybeUninit<[usize; ACTION_WORDS]>,
+    /// Moves the closure out of `buf` and runs it.
+    call: unsafe fn(*mut u8, &Sim),
+    /// Drops the closure in place without running it (cancellation).
+    drop_in_place: unsafe fn(*mut u8),
+    /// Captured state is single-threaded (`Rc`, `Cell`); keep the erased
+    /// container `!Send + !Sync` like the `Box<dyn FnOnce>` it replaces.
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl EventAction {
+    fn new<F: FnOnce(&Sim) + 'static>(f: F) -> Self {
+        unsafe fn call_inline<F: FnOnce(&Sim)>(p: *mut u8, sim: &Sim) {
+            // SAFETY: `p` holds a valid `F` written by `new`; reading it
+            // moves ownership here, and the caller never touches it again.
+            unsafe { (p.cast::<F>()).read()(sim) }
+        }
+        unsafe fn drop_inline<F>(p: *mut u8) {
+            // SAFETY: as above; drop consumes the stored closure.
+            unsafe { p.cast::<F>().drop_in_place() }
+        }
+        type Spilled = Box<dyn FnOnce(&Sim)>;
+        unsafe fn call_spilled(p: *mut u8, sim: &Sim) {
+            // SAFETY: `p` holds the `Box` written by `new`'s spill path.
+            unsafe { (p.cast::<Spilled>()).read()(sim) }
+        }
+        unsafe fn drop_spilled(p: *mut u8) {
+            // SAFETY: as above.
+            unsafe { p.cast::<Spilled>().drop_in_place() }
+        }
+
+        let mut buf = MaybeUninit::<[usize; ACTION_WORDS]>::uninit();
+        // Both branches of this size test are resolved per monomorphized
+        // `F` at compile time.
+        if size_of::<F>() <= size_of::<[usize; ACTION_WORDS]>()
+            && align_of::<F>() <= align_of::<usize>()
+        {
+            // SAFETY: `f` fits the buffer in size and alignment; the value
+            // is owned by the buffer from here on (`f` is moved, not
+            // dropped).
+            unsafe { buf.as_mut_ptr().cast::<F>().write(f) };
+            EventAction {
+                buf,
+                call: call_inline::<F>,
+                drop_in_place: drop_inline::<F>,
+                _not_send: PhantomData,
+            }
+        } else {
+            let boxed: Spilled = Box::new(f);
+            // SAFETY: a fat `Box` pointer is two words — always fits.
+            unsafe { buf.as_mut_ptr().cast::<Spilled>().write(boxed) };
+            EventAction {
+                buf,
+                call: call_spilled,
+                drop_in_place: drop_spilled,
+                _not_send: PhantomData,
+            }
+        }
+    }
+
+    /// Run the stored closure, consuming it.
+    fn invoke(self, sim: &Sim) {
+        let mut this = ManuallyDrop::new(self);
+        // SAFETY: `call` moves the closure out of the buffer exactly once;
+        // wrapping in `ManuallyDrop` ensures `drop_in_place` never sees the
+        // moved-out bytes.
+        unsafe { (this.call)(this.buf.as_mut_ptr().cast(), sim) }
+    }
+}
+
+impl Drop for EventAction {
+    fn drop(&mut self) {
+        // Only reached when the action never ran (cancellation).
+        // SAFETY: the buffer still owns a live closure.
+        unsafe { (self.drop_in_place)(self.buf.as_mut_ptr().cast()) }
+    }
+}
+
+/// One slab slot for an event action. `gen` counts how many times the slot
+/// has been retired (fired or cancelled); queue entries and [`EventId`]s
+/// snapshot the generation and are ignored once it moves on.
+struct EventSlot {
+    gen: u32,
+    action: Option<EventAction>,
+}
+
+/// Multiplicative hasher for the task table. Task ids are dense monotone
+/// `u64`s handed out by the executor itself — not attacker-controlled — so
+/// a single Fibonacci multiply spreads them across buckets at a fraction
+/// of SipHash's cost.
+#[derive(Default)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type TaskMap = HashMap<u64, TaskEntry, BuildHasherDefault<SeqHasher>>;
 
 /// Wake requests posted by [`Waker`]s; drained by the run loop.
 ///
@@ -60,20 +219,36 @@ impl Wake for TaskWaker {
     }
 }
 
+/// A live task: its future (taken while being polled), a waker built once
+/// at spawn (cloning it is a refcount bump, not an allocation), and a flag
+/// deduplicating entries in the ready queue.
+struct TaskEntry {
+    fut: Option<TaskFuture>,
+    waker: Waker,
+    queued: bool,
+}
+
 struct Inner {
     now: Time,
-    next_event: u64,
+    next_seq: u64,
     next_task: u64,
-    /// Min-heap on (time, sequence): deterministic FIFO within a timestamp.
-    heap: BinaryHeap<Reverse<(Time, u64)>>,
-    /// Actions keyed by sequence number; a missing entry means the event
-    /// was cancelled and its heap entry is stale.
-    actions: HashMap<u64, EventAction>,
-    tasks: HashMap<u64, Option<TaskFuture>>,
+    /// Pending events, min-ordered on (time, sequence): deterministic FIFO
+    /// within a timestamp.
+    queue: CalendarQueue,
+    /// Event actions, indexed by the queue entries' slot/generation pairs.
+    slots: Vec<EventSlot>,
+    /// Retired slots available for reuse.
+    free_slots: Vec<u32>,
+    tasks: TaskMap,
     ready: VecDeque<u64>,
+    /// Recycled buffer swapped with the wake queue on each drain.
+    wake_scratch: Vec<u64>,
     rng: Prng,
     events_executed: u64,
     tasks_polled: u64,
+    /// High-water mark of the event queue (pending entries, including
+    /// stale cancelled ones), for capacity planning and perf harnesses.
+    queue_peak: u64,
 }
 
 /// Handle to the simulation. Cheap to clone; all clones share state.
@@ -89,15 +264,18 @@ impl Sim {
         Sim {
             inner: Rc::new(RefCell::new(Inner {
                 now: Time::ZERO,
-                next_event: 0,
+                next_seq: 0,
                 next_task: 0,
-                heap: BinaryHeap::new(),
-                actions: HashMap::new(),
-                tasks: HashMap::new(),
+                queue: CalendarQueue::new(),
+                slots: Vec::new(),
+                free_slots: Vec::new(),
+                tasks: TaskMap::default(),
                 ready: VecDeque::new(),
+                wake_scratch: Vec::new(),
                 rng: Prng::seed_from_u64(seed),
                 events_executed: 0,
                 tasks_polled: 0,
+                queue_peak: 0,
             })),
             wakes: Arc::new(WakeQueue::default()),
         }
@@ -118,6 +296,17 @@ impl Sim {
         self.inner.borrow().tasks_polled
     }
 
+    /// Number of events currently pending (including cancelled entries not
+    /// yet garbage-collected).
+    pub fn event_queue_depth(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// High-water mark of the event queue over the whole run.
+    pub fn peak_event_queue_depth(&self) -> u64 {
+        self.inner.borrow().queue_peak
+    }
+
     /// Run `f` with the simulation's random-number generator.
     pub fn with_rng<R>(&self, f: impl FnOnce(&mut Prng) -> R) -> R {
         f(&mut self.inner.borrow_mut().rng)
@@ -128,11 +317,23 @@ impl Sim {
     pub fn schedule_at(&self, at: Time, action: impl FnOnce(&Sim) + 'static) -> EventId {
         let mut inner = self.inner.borrow_mut();
         let at = at.max(inner.now);
-        let seq = inner.next_event;
-        inner.next_event += 1;
-        inner.heap.push(Reverse((at, seq)));
-        inner.actions.insert(seq, Box::new(action));
-        EventId(seq)
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let action = EventAction::new(action);
+        let slot = match inner.free_slots.pop() {
+            Some(s) => {
+                inner.slots[s as usize].action = Some(action);
+                s
+            }
+            None => {
+                inner.slots.push(EventSlot { gen: 0, action: Some(action) });
+                (inner.slots.len() - 1) as u32
+            }
+        };
+        let gen = inner.slots[slot as usize].gen;
+        inner.queue.push(Entry { t: at, seq, slot, gen });
+        inner.queue_peak = inner.queue_peak.max(inner.queue.len() as u64);
+        EventId::new(slot, gen)
     }
 
     /// Schedule `action` to run `after` from now.
@@ -143,7 +344,17 @@ impl Sim {
 
     /// Cancel a pending event. Returns `true` if it had not yet fired.
     pub fn cancel(&self, id: EventId) -> bool {
-        self.inner.borrow_mut().actions.remove(&id.0).is_some()
+        let mut inner = self.inner.borrow_mut();
+        let slot = id.slot();
+        match inner.slots.get_mut(slot as usize) {
+            Some(s) if s.gen == id.gen() && s.action.is_some() => {
+                s.action = None;
+                s.gen = s.gen.wrapping_add(1);
+                inner.free_slots.push(slot);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Spawn a task; it will be polled on the next run-loop iteration.
@@ -151,7 +362,8 @@ impl Sim {
         let mut inner = self.inner.borrow_mut();
         let id = inner.next_task;
         inner.next_task += 1;
-        inner.tasks.insert(id, Some(Box::pin(fut)));
+        let waker: Waker = Arc::new(TaskWaker { id, queue: Arc::clone(&self.wakes) }).into();
+        inner.tasks.insert(id, TaskEntry { fut: Some(Box::pin(fut)), waker, queued: true });
         inner.ready.push_back(id);
         TaskId(id)
     }
@@ -203,31 +415,41 @@ impl Sim {
 
     fn peek_event_time(&self) -> Option<Time> {
         let mut inner = self.inner.borrow_mut();
-        // Discard stale (cancelled) heap entries.
-        while let Some(Reverse((t, seq))) = inner.heap.peek().copied() {
-            if inner.actions.contains_key(&seq) {
-                return Some(t);
+        // Discard stale (cancelled) queue entries.
+        while let Some(e) = inner.queue.peek() {
+            if inner.slots[e.slot as usize].gen == e.gen {
+                return Some(e.t);
             }
-            inner.heap.pop();
+            inner.queue.pop();
         }
         None
     }
 
     fn drain_wakes(&self) {
-        let woken: Vec<u64> = {
-            let mut q = self.wakes.woken.lock().expect("wake queue poisoned");
-            std::mem::take(&mut *q)
-        };
-        if woken.is_empty() {
-            return;
-        }
         let mut inner = self.inner.borrow_mut();
-        for id in woken {
+        let inner = &mut *inner;
+        let mut scratch = std::mem::take(&mut inner.wake_scratch);
+        {
+            let mut q = self.wakes.woken.lock().expect("wake queue poisoned");
+            if q.is_empty() {
+                inner.wake_scratch = scratch;
+                return;
+            }
+            // Swap buffers: the wake queue gets the (empty, pre-sized)
+            // scratch Vec back, so steady-state draining never allocates.
+            std::mem::swap(&mut *q, &mut scratch);
+        }
+        for &id in &scratch {
             // Skip completed tasks and dedupe tasks already queued.
-            if inner.tasks.contains_key(&id) && !inner.ready.contains(&id) {
-                inner.ready.push_back(id);
+            if let Some(entry) = inner.tasks.get_mut(&id) {
+                if !entry.queued {
+                    entry.queued = true;
+                    inner.ready.push_back(id);
+                }
             }
         }
+        scratch.clear();
+        inner.wake_scratch = scratch;
     }
 
     /// Fire the earliest pending event, advancing the clock. Returns `false`
@@ -236,40 +458,47 @@ impl Sim {
         let action = {
             let mut inner = self.inner.borrow_mut();
             loop {
-                match inner.heap.pop() {
+                match inner.queue.pop() {
                     None => return false,
-                    Some(Reverse((t, seq))) => {
-                        if let Some(action) = inner.actions.remove(&seq) {
-                            debug_assert!(t >= inner.now, "event queue went backwards");
-                            inner.now = t;
-                            inner.events_executed += 1;
-                            break action;
+                    Some(e) => {
+                        let s = &mut inner.slots[e.slot as usize];
+                        if s.gen != e.gen {
+                            // Stale entry for a cancelled event.
+                            continue;
                         }
-                        // Stale entry for a cancelled event: keep popping.
+                        let action = s.action.take().expect("live slot has an action");
+                        s.gen = s.gen.wrapping_add(1);
+                        inner.free_slots.push(e.slot);
+                        debug_assert!(e.t >= inner.now, "event queue went backwards");
+                        inner.now = e.t;
+                        inner.events_executed += 1;
+                        break action;
                     }
                 }
             }
         };
-        action(self);
+        action.invoke(self);
         true
     }
 
     fn poll_task(&self, tid: u64) {
-        let fut = {
+        let (mut fut, waker) = {
             let mut inner = self.inner.borrow_mut();
             match inner.tasks.get_mut(&tid) {
-                // `None` slot: task is already being polled (re-entrant wake);
-                // absent key: task completed. Either way nothing to do.
-                Some(slot) => match slot.take() {
-                    Some(f) => f,
-                    None => return,
-                },
+                // Empty `fut`: task is already being polled (re-entrant
+                // wake); absent key: task completed. Nothing to do either
+                // way.
+                Some(entry) => {
+                    entry.queued = false;
+                    match entry.fut.take() {
+                        Some(f) => (f, entry.waker.clone()),
+                        None => return,
+                    }
+                }
                 None => return,
             }
         };
-        let waker: Waker = Arc::new(TaskWaker { id: tid, queue: Arc::clone(&self.wakes) }).into();
         let mut cx = Context::from_waker(&waker);
-        let mut fut = fut;
         self.inner.borrow_mut().tasks_polled += 1;
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
@@ -277,8 +506,8 @@ impl Sim {
             }
             Poll::Pending => {
                 let mut inner = self.inner.borrow_mut();
-                if let Some(slot) = inner.tasks.get_mut(&tid) {
-                    *slot = Some(fut);
+                if let Some(entry) = inner.tasks.get_mut(&tid) {
+                    entry.fut = Some(fut);
                 }
             }
         }
@@ -330,6 +559,66 @@ mod tests {
         sim.run();
         assert_eq!(hits.get(), 0);
         assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn event_ids_from_reused_slots_do_not_collide() {
+        let sim = Sim::new(1);
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let a = sim.schedule_after(Dur::from_micros(1), move |_| h.set(h.get() + 1));
+        assert!(sim.cancel(a));
+        // The next schedule reuses `a`'s slab slot under a new generation;
+        // the retired id must not be able to cancel it.
+        let h = hits.clone();
+        let b = sim.schedule_after(Dur::from_micros(2), move |_| h.set(h.get() + 10));
+        assert!(!sim.cancel(a), "stale id must not cancel the slot's new occupant");
+        sim.run();
+        assert_eq!(hits.get(), 10, "replacement event still fires");
+        assert!(!sim.cancel(b), "fired event reports false on cancel");
+    }
+
+    #[test]
+    fn oversized_closures_spill_and_still_run_or_drop() {
+        // Captures 128 bytes — far beyond the inline action buffer — to
+        // force the spilled (boxed) path of `EventAction`.
+        let sim = Sim::new(1);
+        let big = [7u8; 128];
+        let sum = Rc::new(Cell::new(0u32));
+        let s = sum.clone();
+        sim.schedule_after(Dur::from_micros(1), move |_| {
+            s.set(big.iter().map(|&b| b as u32).sum());
+        });
+        sim.run();
+        assert_eq!(sum.get(), 7 * 128);
+    }
+
+    #[test]
+    fn cancelled_actions_drop_their_captures() {
+        // The capture's destructor must run exactly once whether the event
+        // fires, is cancelled, or (spilled case) is cancelled while boxed.
+        struct DropCounter(Rc<Cell<u32>>);
+        impl Drop for DropCounter {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let drops = Rc::new(Cell::new(0u32));
+
+        let sim = Sim::new(1);
+        let small = DropCounter(drops.clone());
+        let id = sim.schedule_after(Dur::from_micros(1), move |_| {
+            let _keep = &small;
+        });
+        let big = DropCounter(drops.clone());
+        let ballast = [0u8; 128];
+        let id2 = sim.schedule_after(Dur::from_micros(1), move |_| {
+            let _keep = (&big, &ballast);
+        });
+        assert!(sim.cancel(id) && sim.cancel(id2));
+        assert_eq!(drops.get(), 2, "cancellation dropped both captures");
+        sim.run();
+        assert_eq!(drops.get(), 2, "no double drop after the run");
     }
 
     #[test]

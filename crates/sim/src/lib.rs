@@ -21,10 +21,13 @@
 
 #![warn(missing_docs)]
 
+pub mod calq;
 pub mod executor;
+pub mod mem;
 pub mod rng;
 pub mod timer;
 
 pub use executor::{EventId, Sim, TaskId};
+pub use mem::{alloc_snapshot, AllocSnapshot, CountingAlloc};
 pub use rng::Prng;
 pub use timer::{sleep, sleep_until, Sleep};

@@ -115,6 +115,10 @@ pub(crate) struct NodeInner {
     kick_scheduled: Cell<bool>,
     /// Optional trace observer (None = zero-cost).
     observer: RefCell<Option<TraceObserver>>,
+    /// Mirror of `observer.is_some()`, checkable without a `RefCell`
+    /// borrow: keeps every `emit` call site to a single branch when no
+    /// observer is installed (the common, measured-performance case).
+    observer_installed: Cell<bool>,
 }
 
 /// Handle to a node's runtime. Cheap to clone; all clones share state.
@@ -152,6 +156,7 @@ impl Node {
                 idle_since: Cell::new(None),
                 kick_scheduled: Cell::new(false),
                 observer: RefCell::new(None),
+                observer_installed: Cell::new(false),
             }),
         }
     }
@@ -197,11 +202,30 @@ impl Node {
     /// above flow to it synchronously; `None` (the default) costs a null
     /// check per event site.
     pub fn set_observer(&self, obs: Option<TraceObserver>) {
+        self.inner.observer_installed.set(obs.is_some());
         *self.inner.observer.borrow_mut() = obs;
     }
 
+    /// True when a trace observer is installed. Call sites that would do
+    /// non-trivial work just to *build* a [`TraceKind`] can skip it.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.inner.observer_installed.get()
+    }
+
     /// Emit a trace event (used by this crate and the AM/OAM layers).
+    #[inline]
     pub fn emit(&self, kind: TraceKind) {
+        if !self.inner.observer_installed.get() {
+            return;
+        }
+        self.emit_slow(kind);
+    }
+
+    /// Out-of-line observer dispatch, so the untraced fast path in
+    /// [`Node::emit`] stays small enough to inline everywhere.
+    #[cold]
+    fn emit_slow(&self, kind: TraceKind) {
         let obs = self.inner.observer.borrow().clone();
         if let Some(obs) = obs {
             obs(&TraceEvent { node: self.inner.id, t: self.now(), kind });

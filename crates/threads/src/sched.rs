@@ -8,7 +8,7 @@
 //!
 //! The scheduler itself is an event-driven object (not a future); threads
 //! are futures it polls. The actual step loop lives in
-//! [`crate::node::Node::step`]; this module holds the data structures and
+//! `Node::step` (private to [`crate::node`]); this module holds the data structures and
 //! the cost accounting they imply.
 
 use std::cell::Cell;

@@ -7,9 +7,14 @@
 //! ```
 
 use std::rc::Rc;
+use std::time::Instant;
 
 use optimistic_active_messages::prelude::*;
+use optimistic_active_messages::sim::{alloc_snapshot, CountingAlloc};
 use optimistic_active_messages::trace::{summary_table, to_chrome_json, Recorder};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 pub struct QueueState {
     pub jobs: Mutex<Vec<u64>>,
@@ -48,7 +53,9 @@ fn main() {
 
     let rec = Recorder::install(machine.nodes());
     let states = Rc::new(states);
-    machine.run(move |env| {
+    let alloc_before = alloc_snapshot();
+    let t0 = Instant::now();
+    let report = machine.run(move |env| {
         let states = Rc::clone(&states);
         async move {
             if env.id().index() == 0 {
@@ -73,9 +80,22 @@ fn main() {
         }
     });
 
+    let wall = t0.elapsed();
+    let alloc = alloc_snapshot().since(alloc_before);
+
     println!("{}", summary_table(&rec, NODES));
     let json = to_chrome_json(&rec);
     let path = "target/trace_run.json";
     std::fs::write(path, &json).expect("write trace");
     println!("{} events recorded; Chrome trace written to {path}", rec.len());
+    println!(
+        "[perf] {} sim events in {:.2} ms wall ({:.0} events/s), peak queue depth {}, \
+         {} heap allocs / {} bytes during the run",
+        report.events,
+        wall.as_secs_f64() * 1e3,
+        report.events as f64 / wall.as_secs_f64().max(1e-9),
+        report.peak_queue_depth,
+        alloc.allocs,
+        alloc.bytes,
+    );
 }

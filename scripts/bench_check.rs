@@ -1,0 +1,170 @@
+//! Benchmark regression gate.
+//!
+//! Compares a fresh `BENCH_results.json` (written by the `perfsuite`
+//! binary) against the committed `BENCH_baseline.json` and exits non-zero
+//! if any suite's wall-clock regressed by more than the threshold, or if a
+//! suite's deterministic counters (events, answer) drifted — a drift means
+//! the two files aren't measuring the same work and the wall-clock
+//! comparison would be meaningless.
+//!
+//! Dependency-free single file so CI can run it without touching the
+//! workspace build graph:
+//!
+//! ```sh
+//! rustc -O scripts/bench_check.rs -o /tmp/bench_check
+//! /tmp/bench_check BENCH_baseline.json BENCH_results.json
+//! ```
+//!
+//! The parser handles exactly the JSON subset `perfsuite` emits (flat
+//! string/number fields, one array of suite objects) — it is not a general
+//! JSON parser and does not try to be.
+
+use std::process::ExitCode;
+
+/// Maximum tolerated wall-clock growth per suite, as a fraction of the
+/// baseline (0.15 = +15%). Above this, the gate fails.
+const MAX_WALL_REGRESSION: f64 = 0.15;
+
+#[derive(Debug, Default, Clone)]
+struct Suite {
+    name: String,
+    wall_ms: f64,
+    events: u64,
+    answer: u64,
+}
+
+/// Extract the value of `"key": ...` from a flat object body. String
+/// values lose their quotes; numbers come back as the raw token.
+fn field(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let i = body.find(&pat)? + pat.len();
+    let rest = body[i..].trim_start().strip_prefix(':')?.trim_start();
+    if let Some(s) = rest.strip_prefix('"') {
+        Some(s[..s.find('"')?].to_string())
+    } else {
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    }
+}
+
+/// Split the `"suites": [ {..}, {..} ]` array into per-suite object bodies.
+fn suite_bodies(json: &str) -> Vec<String> {
+    let Some(start) = json.find("\"suites\"") else { return Vec::new() };
+    let Some(open) = json[start..].find('[').map(|i| start + i) else { return Vec::new() };
+    let mut bodies = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = None;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(open + i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = obj_start.take() {
+                        bodies.push(json[s + 1..open + i].to_string());
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    bodies
+}
+
+fn parse_suites(json: &str) -> Vec<Suite> {
+    suite_bodies(json)
+        .iter()
+        .map(|body| {
+            let num = |k: &str| field(body, k).and_then(|v| v.parse::<f64>().ok()).unwrap_or(0.0);
+            Suite {
+                name: field(body, "name").unwrap_or_default(),
+                wall_ms: num("wall_ms"),
+                events: num("events") as u64,
+                answer: num("answer") as u64,
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(base_path), Some(new_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_check BENCH_baseline.json BENCH_results.json");
+        return ExitCode::from(2);
+    };
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_check: cannot read {p}: {e}");
+            None
+        }
+    };
+    let (Some(base_json), Some(new_json)) = (read(&base_path), read(&new_path)) else {
+        return ExitCode::from(2);
+    };
+    let base = parse_suites(&base_json);
+    let new = parse_suites(&new_json);
+    if base.is_empty() || new.is_empty() {
+        eprintln!(
+            "bench_check: no suites parsed (baseline: {}, new: {})",
+            base.len(),
+            new.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0u32;
+    println!(
+        "{:<24} {:>12} {:>12} {:>8}   verdict",
+        "suite", "base ms", "new ms", "delta"
+    );
+    for b in &base {
+        let Some(n) = new.iter().find(|n| n.name == b.name) else {
+            println!("{:<24} {:>12.2} {:>12} {:>8}   MISSING from new results", b.name, b.wall_ms, "-", "-");
+            failures += 1;
+            continue;
+        };
+        // Determinism cross-check: same suite definition must do the same
+        // virtual work. `events` legitimately changes when the simulator or
+        // workload changes — that's what re-recording the baseline is for —
+        // but inside one CI run it must match the committed expectations
+        // unless the PR also updates the baseline.
+        if n.answer != b.answer {
+            println!(
+                "{:<24} {:>12.2} {:>12.2} {:>8}   ANSWER DRIFT ({} -> {})",
+                b.name, b.wall_ms, n.wall_ms, "-", b.answer, n.answer
+            );
+            failures += 1;
+            continue;
+        }
+        let delta = (n.wall_ms - b.wall_ms) / b.wall_ms.max(1e-9);
+        let verdict = if delta > MAX_WALL_REGRESSION {
+            failures += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        let events_note = if n.events != b.events { " (events changed; consider re-recording baseline)" } else { "" };
+        println!(
+            "{:<24} {:>12.2} {:>12.2} {:>+7.1}%   {verdict}{events_note}",
+            b.name, b.wall_ms, n.wall_ms, delta * 100.0
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "\nbench_check: {failures} suite(s) regressed more than {:.0}% (or drifted); \
+             if intentional, re-record with `cargo run --release -p oam-bench --bin perfsuite \
+             -- --quick --out BENCH_baseline.json`",
+            MAX_WALL_REGRESSION * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("\nbench_check: all suites within {:.0}% of baseline", MAX_WALL_REGRESSION * 100.0);
+    ExitCode::SUCCESS
+}

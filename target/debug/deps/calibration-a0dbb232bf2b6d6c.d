@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-a0dbb232bf2b6d6c.d: crates/bench/tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-a0dbb232bf2b6d6c: crates/bench/tests/calibration.rs
+
+crates/bench/tests/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_golden-26b3598f1b440077.d: tests/determinism_golden.rs
+
+/root/repo/target/debug/deps/determinism_golden-26b3598f1b440077: tests/determinism_golden.rs
+
+tests/determinism_golden.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism_golden-e0846bdfe9fa0dee.d: tests/determinism_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism_golden-e0846bdfe9fa0dee.rmeta: tests/determinism_golden.rs Cargo.toml
+
+tests/determinism_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

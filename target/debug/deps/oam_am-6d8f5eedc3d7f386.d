@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oam_am-6d8f5eedc3d7f386.d: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+/root/repo/target/debug/deps/liboam_am-6d8f5eedc3d7f386.rmeta: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+crates/am/src/lib.rs:
+crates/am/src/handler.rs:
+crates/am/src/layer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oam_bench-d29e8ab9b747d2f0.d: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/liboam_bench-d29e8ab9b747d2f0.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/oam_core-821886767b25ba03.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/liboam_core-821886767b25ba03.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oam_machine-ca6d318b7f953575.d: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/debug/deps/liboam_machine-ca6d318b7f953575.rmeta: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collective.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/watchdog.rs:

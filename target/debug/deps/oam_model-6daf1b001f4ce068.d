@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/oam_model-6daf1b001f4ce068.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs
+
+/root/repo/target/debug/deps/liboam_model-6daf1b001f4ce068.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/fault.rs:
+crates/model/src/ids.rs:
+crates/model/src/stats.rs:
+crates/model/src/time.rs:
+crates/model/src/trace.rs:

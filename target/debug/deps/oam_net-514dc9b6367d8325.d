@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oam_net-514dc9b6367d8325.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+/root/repo/target/debug/deps/liboam_net-514dc9b6367d8325.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/packet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oam_objects-c2a0b5a966061d63.d: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+/root/repo/target/debug/deps/liboam_objects-c2a0b5a966061d63.rmeta: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+crates/objects/src/lib.rs:
+crates/objects/src/class.rs:
+crates/objects/src/layer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oam_rpc-f95fc861cbc6b1ba.d: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+/root/repo/target/debug/deps/liboam_rpc-f95fc861cbc6b1ba.rmeta: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/macros.rs:
+crates/rpc/src/runtime.rs:
+crates/rpc/src/wire.rs:

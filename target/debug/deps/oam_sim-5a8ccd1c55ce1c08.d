@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/oam_sim-5a8ccd1c55ce1c08.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+/root/repo/target/debug/deps/oam_sim-5a8ccd1c55ce1c08.d: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
 
-/root/repo/target/debug/deps/oam_sim-5a8ccd1c55ce1c08: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+/root/repo/target/debug/deps/oam_sim-5a8ccd1c55ce1c08: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/calq.rs:
 crates/sim/src/executor.rs:
+crates/sim/src/mem.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/timer.rs:

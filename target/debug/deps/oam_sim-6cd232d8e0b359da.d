@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/oam_sim-6cd232d8e0b359da.d: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+
+/root/repo/target/debug/deps/liboam_sim-6cd232d8e0b359da.rmeta: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calq.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/timer.rs:

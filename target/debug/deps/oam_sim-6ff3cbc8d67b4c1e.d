@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/oam_sim-6ff3cbc8d67b4c1e.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+/root/repo/target/debug/deps/oam_sim-6ff3cbc8d67b4c1e.d: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
 
-/root/repo/target/debug/deps/liboam_sim-6ff3cbc8d67b4c1e.rlib: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+/root/repo/target/debug/deps/liboam_sim-6ff3cbc8d67b4c1e.rlib: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
 
-/root/repo/target/debug/deps/liboam_sim-6ff3cbc8d67b4c1e.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+/root/repo/target/debug/deps/liboam_sim-6ff3cbc8d67b4c1e.rmeta: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/calq.rs:
 crates/sim/src/executor.rs:
+crates/sim/src/mem.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/timer.rs:

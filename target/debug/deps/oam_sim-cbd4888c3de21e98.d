@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/oam_sim-cbd4888c3de21e98.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
+/root/repo/target/debug/deps/oam_sim-cbd4888c3de21e98.d: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
 
-/root/repo/target/debug/deps/liboam_sim-cbd4888c3de21e98.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
+/root/repo/target/debug/deps/liboam_sim-cbd4888c3de21e98.rmeta: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
 
 crates/sim/src/lib.rs:
+crates/sim/src/calq.rs:
 crates/sim/src/executor.rs:
+crates/sim/src/mem.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/timer.rs:
 Cargo.toml:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/oam_threads-ffa1307d10212421.d: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+/root/repo/target/debug/deps/liboam_threads-ffa1307d10212421.rmeta: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+crates/threads/src/lib.rs:
+crates/threads/src/node.rs:
+crates/threads/src/sched.rs:
+crates/threads/src/sync.rs:

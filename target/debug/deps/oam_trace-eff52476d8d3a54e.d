@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oam_trace-eff52476d8d3a54e.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/liboam_trace-eff52476d8d3a54e.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/recorder.rs:

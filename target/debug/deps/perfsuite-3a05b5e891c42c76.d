@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfsuite-3a05b5e891c42c76.d: crates/bench/src/bin/perfsuite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfsuite-3a05b5e891c42c76.rmeta: crates/bench/src/bin/perfsuite.rs Cargo.toml
+
+crates/bench/src/bin/perfsuite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfsuite-a18f00a98e7a3c63.d: crates/bench/src/bin/perfsuite.rs
+
+/root/repo/target/debug/deps/perfsuite-a18f00a98e7a3c63: crates/bench/src/bin/perfsuite.rs
+
+crates/bench/src/bin/perfsuite.rs:

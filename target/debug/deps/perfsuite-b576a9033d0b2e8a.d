@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfsuite-b576a9033d0b2e8a.d: crates/bench/src/bin/perfsuite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfsuite-b576a9033d0b2e8a.rmeta: crates/bench/src/bin/perfsuite.rs Cargo.toml
+
+crates/bench/src/bin/perfsuite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

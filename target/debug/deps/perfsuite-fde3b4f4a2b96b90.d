@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfsuite-fde3b4f4a2b96b90.d: crates/bench/src/bin/perfsuite.rs
+
+/root/repo/target/debug/deps/perfsuite-fde3b4f4a2b96b90: crates/bench/src/bin/perfsuite.rs
+
+crates/bench/src/bin/perfsuite.rs:

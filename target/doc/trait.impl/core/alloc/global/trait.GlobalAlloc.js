@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["oam_sim",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/alloc/global/trait.GlobalAlloc.html\" title=\"trait core::alloc::global::GlobalAlloc\">GlobalAlloc</a> for <a class=\"struct\" href=\"oam_sim/mem/struct.CountingAlloc.html\" title=\"struct oam_sim::mem::CountingAlloc\">CountingAlloc</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[325]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["oam_rpc",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"oam_rpc/wire/struct.WireError.html\" title=\"struct oam_rpc::wire::WireError\">WireError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[282]}

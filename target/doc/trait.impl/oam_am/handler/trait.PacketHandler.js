@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["oam_core",[["impl <a class=\"trait\" href=\"oam_am/handler/trait.PacketHandler.html\" title=\"trait oam_am::handler::PacketHandler\">PacketHandler</a> for <a class=\"struct\" href=\"oam_core/engine/struct.OptimisticEntry.html\" title=\"struct oam_core::engine::OptimisticEntry\">OptimisticEntry</a>",0],["impl <a class=\"trait\" href=\"oam_am/handler/trait.PacketHandler.html\" title=\"trait oam_am::handler::PacketHandler\">PacketHandler</a> for <a class=\"struct\" href=\"oam_core/engine/struct.ThreadedEntry.html\" title=\"struct oam_core::engine::ThreadedEntry\">ThreadedEntry</a>",0]]],["oam_core",[["impl PacketHandler for <a class=\"struct\" href=\"oam_core/engine/struct.OptimisticEntry.html\" title=\"struct oam_core::engine::OptimisticEntry\">OptimisticEntry</a>",0],["impl PacketHandler for <a class=\"struct\" href=\"oam_core/engine/struct.ThreadedEntry.html\" title=\"struct oam_core::engine::ThreadedEntry\">ThreadedEntry</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[592,355]}

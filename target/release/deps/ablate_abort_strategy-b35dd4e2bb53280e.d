@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_abort_strategy-b35dd4e2bb53280e.d: crates/bench/benches/ablate_abort_strategy.rs
+
+/root/repo/target/release/deps/ablate_abort_strategy-b35dd4e2bb53280e: crates/bench/benches/ablate_abort_strategy.rs
+
+crates/bench/benches/ablate_abort_strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_abort_strategy-e504f5c764411e22.d: crates/bench/benches/ablate_abort_strategy.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_abort_strategy-e504f5c764411e22.rmeta: crates/bench/benches/ablate_abort_strategy.rs Cargo.toml
+
+crates/bench/benches/ablate_abort_strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_buffering-2023c363724e8643.d: crates/bench/benches/ablate_buffering.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_buffering-2023c363724e8643.rmeta: crates/bench/benches/ablate_buffering.rs Cargo.toml
+
+crates/bench/benches/ablate_buffering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_buffering-bd6665cbbb98945a.d: crates/bench/benches/ablate_buffering.rs
+
+/root/repo/target/release/deps/ablate_buffering-bd6665cbbb98945a: crates/bench/benches/ablate_buffering.rs
+
+crates/bench/benches/ablate_buffering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_handler_budget-96cc89e94b4fed09.d: crates/bench/benches/ablate_handler_budget.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_handler_budget-96cc89e94b4fed09.rmeta: crates/bench/benches/ablate_handler_budget.rs Cargo.toml
+
+crates/bench/benches/ablate_handler_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

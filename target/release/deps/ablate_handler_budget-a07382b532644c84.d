@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_handler_budget-a07382b532644c84.d: crates/bench/benches/ablate_handler_budget.rs
+
+/root/repo/target/release/deps/ablate_handler_budget-a07382b532644c84: crates/bench/benches/ablate_handler_budget.rs
+
+crates/bench/benches/ablate_handler_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_queue_policy-3006fbd030412d38.d: crates/bench/benches/ablate_queue_policy.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_queue_policy-3006fbd030412d38.rmeta: crates/bench/benches/ablate_queue_policy.rs Cargo.toml
+
+crates/bench/benches/ablate_queue_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_queue_policy-72ad4fcb7616c8f1.d: crates/bench/benches/ablate_queue_policy.rs
+
+/root/repo/target/release/deps/ablate_queue_policy-72ad4fcb7616c8f1: crates/bench/benches/ablate_queue_policy.rs
+
+crates/bench/benches/ablate_queue_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-4456ba557ebf49a5.d: crates/bench/tests/calibration.rs
+
+/root/repo/target/release/deps/calibration-4456ba557ebf49a5: crates/bench/tests/calibration.rs
+
+crates/bench/tests/calibration.rs:

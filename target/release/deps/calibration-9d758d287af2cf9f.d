@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibration-9d758d287af2cf9f.d: crates/bench/tests/calibration.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibration-9d758d287af2cf9f.rmeta: crates/bench/tests/calibration.rs Cargo.toml
+
+crates/bench/tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

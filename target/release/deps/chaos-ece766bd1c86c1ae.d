@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chaos-ece766bd1c86c1ae.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/release/deps/libchaos-ece766bd1c86c1ae.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

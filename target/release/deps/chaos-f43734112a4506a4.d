@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-f43734112a4506a4.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-f43734112a4506a4: tests/chaos.rs
+
+tests/chaos.rs:

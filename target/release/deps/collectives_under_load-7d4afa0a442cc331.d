@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/collectives_under_load-7d4afa0a442cc331.d: crates/machine/tests/collectives_under_load.rs Cargo.toml
+
+/root/repo/target/release/deps/libcollectives_under_load-7d4afa0a442cc331.rmeta: crates/machine/tests/collectives_under_load.rs Cargo.toml
+
+crates/machine/tests/collectives_under_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

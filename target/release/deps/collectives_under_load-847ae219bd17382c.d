@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collectives_under_load-847ae219bd17382c.d: crates/machine/tests/collectives_under_load.rs
+
+/root/repo/target/release/deps/collectives_under_load-847ae219bd17382c: crates/machine/tests/collectives_under_load.rs
+
+crates/machine/tests/collectives_under_load.rs:

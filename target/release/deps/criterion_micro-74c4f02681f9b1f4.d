@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion_micro-74c4f02681f9b1f4.d: crates/bench/benches/criterion_micro.rs
+
+/root/repo/target/release/deps/criterion_micro-74c4f02681f9b1f4: crates/bench/benches/criterion_micro.rs
+
+crates/bench/benches/criterion_micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion_micro-c37e3d3085c9c6d4.d: crates/bench/benches/criterion_micro.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion_micro-c37e3d3085c9c6d4.rmeta: crates/bench/benches/criterion_micro.rs Cargo.toml
+
+crates/bench/benches/criterion_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

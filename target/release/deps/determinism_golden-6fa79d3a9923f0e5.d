@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism_golden-6fa79d3a9923f0e5.d: tests/determinism_golden.rs
+
+/root/repo/target/release/deps/determinism_golden-6fa79d3a9923f0e5: tests/determinism_golden.rs
+
+tests/determinism_golden.rs:

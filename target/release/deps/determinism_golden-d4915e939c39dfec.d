@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism_golden-d4915e939c39dfec.d: tests/determinism_golden.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism_golden-d4915e939c39dfec.rmeta: tests/determinism_golden.rs Cargo.toml
+
+tests/determinism_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end-5f473ecb68f15b5d.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end-5f473ecb68f15b5d.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-a7b2e6b42b85a35f.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-a7b2e6b42b85a35f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig1_triangle-45cbf22d0f5e3761.d: crates/bench/benches/fig1_triangle.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig1_triangle-45cbf22d0f5e3761.rmeta: crates/bench/benches/fig1_triangle.rs Cargo.toml
+
+crates/bench/benches/fig1_triangle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_triangle-e1170d26a453dda2.d: crates/bench/benches/fig1_triangle.rs
+
+/root/repo/target/release/deps/fig1_triangle-e1170d26a453dda2: crates/bench/benches/fig1_triangle.rs
+
+crates/bench/benches/fig1_triangle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_tsp-0b13043821831504.d: crates/bench/benches/fig2_tsp.rs
+
+/root/repo/target/release/deps/fig2_tsp-0b13043821831504: crates/bench/benches/fig2_tsp.rs
+
+crates/bench/benches/fig2_tsp.rs:

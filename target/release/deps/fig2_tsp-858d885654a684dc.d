@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig2_tsp-858d885654a684dc.d: crates/bench/benches/fig2_tsp.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig2_tsp-858d885654a684dc.rmeta: crates/bench/benches/fig2_tsp.rs Cargo.toml
+
+crates/bench/benches/fig2_tsp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_sor-0132dece9d261c9a.d: crates/bench/benches/fig3_sor.rs
+
+/root/repo/target/release/deps/fig3_sor-0132dece9d261c9a: crates/bench/benches/fig3_sor.rs
+
+crates/bench/benches/fig3_sor.rs:

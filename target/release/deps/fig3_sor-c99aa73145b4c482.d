@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_sor-c99aa73145b4c482.d: crates/bench/benches/fig3_sor.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_sor-c99aa73145b4c482.rmeta: crates/bench/benches/fig3_sor.rs Cargo.toml
+
+crates/bench/benches/fig3_sor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_water-fe523288173ad7de.d: crates/bench/benches/fig4_water.rs
+
+/root/repo/target/release/deps/fig4_water-fe523288173ad7de: crates/bench/benches/fig4_water.rs
+
+crates/bench/benches/fig4_water.rs:

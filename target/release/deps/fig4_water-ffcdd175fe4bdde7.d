@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig4_water-ffcdd175fe4bdde7.d: crates/bench/benches/fig4_water.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig4_water-ffcdd175fe4bdde7.rmeta: crates/bench/benches/fig4_water.rs Cargo.toml
+
+crates/bench/benches/fig4_water.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

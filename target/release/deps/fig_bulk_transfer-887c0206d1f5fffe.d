@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig_bulk_transfer-887c0206d1f5fffe.d: crates/bench/benches/fig_bulk_transfer.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig_bulk_transfer-887c0206d1f5fffe.rmeta: crates/bench/benches/fig_bulk_transfer.rs Cargo.toml
+
+crates/bench/benches/fig_bulk_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

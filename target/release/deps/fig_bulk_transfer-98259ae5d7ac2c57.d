@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_bulk_transfer-98259ae5d7ac2c57.d: crates/bench/benches/fig_bulk_transfer.rs
+
+/root/repo/target/release/deps/fig_bulk_transfer-98259ae5d7ac2c57: crates/bench/benches/fig_bulk_transfer.rs
+
+crates/bench/benches/fig_bulk_transfer.rs:

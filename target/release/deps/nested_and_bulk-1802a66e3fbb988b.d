@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nested_and_bulk-1802a66e3fbb988b.d: crates/rpc/tests/nested_and_bulk.rs Cargo.toml
+
+/root/repo/target/release/deps/libnested_and_bulk-1802a66e3fbb988b.rmeta: crates/rpc/tests/nested_and_bulk.rs Cargo.toml
+
+crates/rpc/tests/nested_and_bulk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nested_and_bulk-df78b9f1ca449421.d: crates/rpc/tests/nested_and_bulk.rs
+
+/root/repo/target/release/deps/nested_and_bulk-df78b9f1ca449421: crates/rpc/tests/nested_and_bulk.rs
+
+crates/rpc/tests/nested_and_bulk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/network_edge_cases-06ce12400f0baeae.d: crates/net/tests/network_edge_cases.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetwork_edge_cases-06ce12400f0baeae.rmeta: crates/net/tests/network_edge_cases.rs Cargo.toml
+
+crates/net/tests/network_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/network_edge_cases-35dfb2c8ca57316c.d: crates/net/tests/network_edge_cases.rs
+
+/root/repo/target/release/deps/network_edge_cases-35dfb2c8ca57316c: crates/net/tests/network_edge_cases.rs
+
+crates/net/tests/network_edge_cases.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oam_am-79e7f5fbb093c81a.d: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_am-79e7f5fbb093c81a.rmeta: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs Cargo.toml
+
+crates/am/src/lib.rs:
+crates/am/src/handler.rs:
+crates/am/src/layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oam_am-e009258f73a522fd.d: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+/root/repo/target/release/deps/oam_am-e009258f73a522fd: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs
+
+crates/am/src/lib.rs:
+crates/am/src/handler.rs:
+crates/am/src/layer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oam_am-e7b8ef10c4654066.d: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_am-e7b8ef10c4654066.rmeta: crates/am/src/lib.rs crates/am/src/handler.rs crates/am/src/layer.rs Cargo.toml
+
+crates/am/src/lib.rs:
+crates/am/src/handler.rs:
+crates/am/src/layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/oam_apps-265e91ff0c1393f5.d: crates/apps/src/lib.rs crates/apps/src/sor/mod.rs crates/apps/src/sor/grid.rs crates/apps/src/sor/run.rs crates/apps/src/system.rs crates/apps/src/triangle/mod.rs crates/apps/src/triangle/board.rs crates/apps/src/triangle/run.rs crates/apps/src/tsp/mod.rs crates/apps/src/tsp/cities.rs crates/apps/src/tsp/run.rs crates/apps/src/water/mod.rs crates/apps/src/water/run.rs crates/apps/src/water/sim.rs
+
+/root/repo/target/release/deps/oam_apps-265e91ff0c1393f5: crates/apps/src/lib.rs crates/apps/src/sor/mod.rs crates/apps/src/sor/grid.rs crates/apps/src/sor/run.rs crates/apps/src/system.rs crates/apps/src/triangle/mod.rs crates/apps/src/triangle/board.rs crates/apps/src/triangle/run.rs crates/apps/src/tsp/mod.rs crates/apps/src/tsp/cities.rs crates/apps/src/tsp/run.rs crates/apps/src/water/mod.rs crates/apps/src/water/run.rs crates/apps/src/water/sim.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/sor/mod.rs:
+crates/apps/src/sor/grid.rs:
+crates/apps/src/sor/run.rs:
+crates/apps/src/system.rs:
+crates/apps/src/triangle/mod.rs:
+crates/apps/src/triangle/board.rs:
+crates/apps/src/triangle/run.rs:
+crates/apps/src/tsp/mod.rs:
+crates/apps/src/tsp/cities.rs:
+crates/apps/src/tsp/run.rs:
+crates/apps/src/water/mod.rs:
+crates/apps/src/water/run.rs:
+crates/apps/src/water/sim.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/oam_apps-7520d861eed9abb6.d: crates/apps/src/lib.rs crates/apps/src/sor/mod.rs crates/apps/src/sor/grid.rs crates/apps/src/sor/run.rs crates/apps/src/system.rs crates/apps/src/triangle/mod.rs crates/apps/src/triangle/board.rs crates/apps/src/triangle/run.rs crates/apps/src/tsp/mod.rs crates/apps/src/tsp/cities.rs crates/apps/src/tsp/run.rs crates/apps/src/water/mod.rs crates/apps/src/water/run.rs crates/apps/src/water/sim.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_apps-7520d861eed9abb6.rmeta: crates/apps/src/lib.rs crates/apps/src/sor/mod.rs crates/apps/src/sor/grid.rs crates/apps/src/sor/run.rs crates/apps/src/system.rs crates/apps/src/triangle/mod.rs crates/apps/src/triangle/board.rs crates/apps/src/triangle/run.rs crates/apps/src/tsp/mod.rs crates/apps/src/tsp/cities.rs crates/apps/src/tsp/run.rs crates/apps/src/water/mod.rs crates/apps/src/water/run.rs crates/apps/src/water/sim.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/sor/mod.rs:
+crates/apps/src/sor/grid.rs:
+crates/apps/src/sor/run.rs:
+crates/apps/src/system.rs:
+crates/apps/src/triangle/mod.rs:
+crates/apps/src/triangle/board.rs:
+crates/apps/src/triangle/run.rs:
+crates/apps/src/tsp/mod.rs:
+crates/apps/src/tsp/cities.rs:
+crates/apps/src/tsp/run.rs:
+crates/apps/src/water/mod.rs:
+crates/apps/src/water/run.rs:
+crates/apps/src/water/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

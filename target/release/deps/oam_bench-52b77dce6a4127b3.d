@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oam_bench-52b77dce6a4127b3.d: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/liboam_bench-52b77dce6a4127b3.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/liboam_bench-52b77dce6a4127b3.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

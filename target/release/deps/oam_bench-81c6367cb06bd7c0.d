@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/oam_bench-81c6367cb06bd7c0.d: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_bench-81c6367cb06bd7c0.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

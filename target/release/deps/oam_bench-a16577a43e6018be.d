@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oam_bench-a16577a43e6018be.d: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/oam_bench-a16577a43e6018be: crates/bench/src/lib.rs crates/bench/src/micro.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/oam_core-1d3cf5daddb3bc50.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/release/deps/oam_core-1d3cf5daddb3bc50: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/oam_core-297710f72ce7641b.d: crates/core/src/lib.rs crates/core/src/engine.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_core-297710f72ce7641b.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

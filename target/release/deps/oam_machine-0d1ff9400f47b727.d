@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/oam_machine-0d1ff9400f47b727.d: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/release/deps/oam_machine-0d1ff9400f47b727: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collective.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/watchdog.rs:

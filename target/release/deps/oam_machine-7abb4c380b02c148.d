@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/oam_machine-7abb4c380b02c148.d: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_machine-7abb4c380b02c148.rmeta: crates/machine/src/lib.rs crates/machine/src/collective.rs crates/machine/src/machine.rs crates/machine/src/watchdog.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/collective.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/watchdog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

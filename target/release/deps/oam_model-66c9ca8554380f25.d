@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/oam_model-66c9ca8554380f25.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_model-66c9ca8554380f25.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/fault.rs:
+crates/model/src/ids.rs:
+crates/model/src/stats.rs:
+crates/model/src/time.rs:
+crates/model/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/oam_model-aaa327535f282644.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs
+
+/root/repo/target/release/deps/oam_model-aaa327535f282644: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/fault.rs crates/model/src/ids.rs crates/model/src/stats.rs crates/model/src/time.rs crates/model/src/trace.rs
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/fault.rs:
+crates/model/src/ids.rs:
+crates/model/src/stats.rs:
+crates/model/src/time.rs:
+crates/model/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oam_net-096e20f1a954b7a2.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_net-096e20f1a954b7a2.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/packet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oam_net-fcd04efbfe6feb63.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+/root/repo/target/release/deps/oam_net-fcd04efbfe6feb63: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/packet.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/packet.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oam_objects-8be87ba499fcc91f.d: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_objects-8be87ba499fcc91f.rmeta: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs Cargo.toml
+
+crates/objects/src/lib.rs:
+crates/objects/src/class.rs:
+crates/objects/src/layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

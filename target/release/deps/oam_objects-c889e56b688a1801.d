@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oam_objects-c889e56b688a1801.d: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+/root/repo/target/release/deps/oam_objects-c889e56b688a1801: crates/objects/src/lib.rs crates/objects/src/class.rs crates/objects/src/layer.rs
+
+crates/objects/src/lib.rs:
+crates/objects/src/class.rs:
+crates/objects/src/layer.rs:

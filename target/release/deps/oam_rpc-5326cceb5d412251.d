@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/oam_rpc-5326cceb5d412251.d: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_rpc-5326cceb5d412251.rmeta: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs Cargo.toml
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/macros.rs:
+crates/rpc/src/runtime.rs:
+crates/rpc/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/oam_rpc-888ae39f4f38e94d.d: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+/root/repo/target/release/deps/oam_rpc-888ae39f4f38e94d: crates/rpc/src/lib.rs crates/rpc/src/macros.rs crates/rpc/src/runtime.rs crates/rpc/src/wire.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/macros.rs:
+crates/rpc/src/runtime.rs:
+crates/rpc/src/wire.rs:

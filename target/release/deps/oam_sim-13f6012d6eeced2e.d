@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/oam_sim-13f6012d6eeced2e.d: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_sim-13f6012d6eeced2e.rmeta: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/calq.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/oam_sim-60e8cfdf6d8309c6.d: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+
+/root/repo/target/release/deps/oam_sim-60e8cfdf6d8309c6: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calq.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/timer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/oam_sim-7cd59a9dd22c243f.d: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_sim-7cd59a9dd22c243f.rmeta: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/calq.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,12 @@
-/root/repo/target/release/deps/oam_sim-bbb4ff7c674b7b17.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+/root/repo/target/release/deps/oam_sim-bbb4ff7c674b7b17.d: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
 
-/root/repo/target/release/deps/liboam_sim-bbb4ff7c674b7b17.rlib: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+/root/repo/target/release/deps/liboam_sim-bbb4ff7c674b7b17.rlib: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
 
-/root/repo/target/release/deps/liboam_sim-bbb4ff7c674b7b17.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
+/root/repo/target/release/deps/liboam_sim-bbb4ff7c674b7b17.rmeta: crates/sim/src/lib.rs crates/sim/src/calq.rs crates/sim/src/executor.rs crates/sim/src/mem.rs crates/sim/src/rng.rs crates/sim/src/timer.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/calq.rs:
 crates/sim/src/executor.rs:
+crates/sim/src/mem.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/timer.rs:

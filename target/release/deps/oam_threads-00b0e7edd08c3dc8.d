@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/oam_threads-00b0e7edd08c3dc8.d: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+/root/repo/target/release/deps/oam_threads-00b0e7edd08c3dc8: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs
+
+crates/threads/src/lib.rs:
+crates/threads/src/node.rs:
+crates/threads/src/sched.rs:
+crates/threads/src/sync.rs:

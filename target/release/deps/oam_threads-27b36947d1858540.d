@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/oam_threads-27b36947d1858540.d: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_threads-27b36947d1858540.rmeta: crates/threads/src/lib.rs crates/threads/src/node.rs crates/threads/src/sched.rs crates/threads/src/sync.rs Cargo.toml
+
+crates/threads/src/lib.rs:
+crates/threads/src/node.rs:
+crates/threads/src/sched.rs:
+crates/threads/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

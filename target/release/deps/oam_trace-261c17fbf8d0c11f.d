@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oam_trace-261c17fbf8d0c11f.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs Cargo.toml
+
+/root/repo/target/release/deps/liboam_trace-261c17fbf8d0c11f.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/recorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

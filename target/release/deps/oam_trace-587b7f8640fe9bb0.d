@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oam_trace-587b7f8640fe9bb0.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/oam_trace-587b7f8640fe9bb0: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/recorder.rs:

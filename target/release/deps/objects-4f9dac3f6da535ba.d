@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/objects-4f9dac3f6da535ba.d: crates/objects/tests/objects.rs
+
+/root/repo/target/release/deps/objects-4f9dac3f6da535ba: crates/objects/tests/objects.rs
+
+crates/objects/tests/objects.rs:

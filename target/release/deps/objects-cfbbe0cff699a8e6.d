@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/objects-cfbbe0cff699a8e6.d: crates/objects/tests/objects.rs Cargo.toml
+
+/root/repo/target/release/deps/libobjects-cfbbe0cff699a8e6.rmeta: crates/objects/tests/objects.rs Cargo.toml
+
+crates/objects/tests/objects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimistic_active_messages-0b6235e97a5b8a5a.d: src/lib.rs
+
+/root/repo/target/release/deps/optimistic_active_messages-0b6235e97a5b8a5a: src/lib.rs
+
+src/lib.rs:

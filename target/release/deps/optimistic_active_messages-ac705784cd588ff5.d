@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/optimistic_active_messages-ac705784cd588ff5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liboptimistic_active_messages-ac705784cd588ff5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perfsuite-35816f9c8d6aee1c.d: crates/bench/src/bin/perfsuite.rs
+
+/root/repo/target/release/deps/perfsuite-35816f9c8d6aee1c: crates/bench/src/bin/perfsuite.rs
+
+crates/bench/src/bin/perfsuite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perfsuite-51e540d940b99067.d: crates/bench/src/bin/perfsuite.rs
+
+/root/repo/target/release/deps/perfsuite-51e540d940b99067: crates/bench/src/bin/perfsuite.rs
+
+crates/bench/src/bin/perfsuite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/perfsuite-8784ad888eb16b64.d: crates/bench/src/bin/perfsuite.rs Cargo.toml
+
+/root/repo/target/release/deps/libperfsuite-8784ad888eb16b64.rmeta: crates/bench/src/bin/perfsuite.rs Cargo.toml
+
+crates/bench/src/bin/perfsuite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

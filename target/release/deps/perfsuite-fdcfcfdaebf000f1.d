@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/perfsuite-fdcfcfdaebf000f1.d: crates/bench/src/bin/perfsuite.rs Cargo.toml
+
+/root/repo/target/release/deps/libperfsuite-fdcfcfdaebf000f1.rmeta: crates/bench/src/bin/perfsuite.rs Cargo.toml
+
+crates/bench/src/bin/perfsuite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7d5229f162945c74.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-7d5229f162945c74: tests/properties.rs
+
+tests/properties.rs:

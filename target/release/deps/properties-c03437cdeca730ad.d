@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-c03437cdeca730ad.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-c03437cdeca730ad.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rpc_end_to_end-9c47e5be65ed80f8.d: crates/rpc/tests/rpc_end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/librpc_end_to_end-9c47e5be65ed80f8.rmeta: crates/rpc/tests/rpc_end_to_end.rs Cargo.toml
+
+crates/rpc/tests/rpc_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

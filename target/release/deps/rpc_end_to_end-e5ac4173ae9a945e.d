@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rpc_end_to_end-e5ac4173ae9a945e.d: crates/rpc/tests/rpc_end_to_end.rs
+
+/root/repo/target/release/deps/rpc_end_to_end-e5ac4173ae9a945e: crates/rpc/tests/rpc_end_to_end.rs
+
+crates/rpc/tests/rpc_end_to_end.rs:

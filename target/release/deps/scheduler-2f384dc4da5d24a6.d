@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scheduler-2f384dc4da5d24a6.d: crates/threads/tests/scheduler.rs Cargo.toml
+
+/root/repo/target/release/deps/libscheduler-2f384dc4da5d24a6.rmeta: crates/threads/tests/scheduler.rs Cargo.toml
+
+crates/threads/tests/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

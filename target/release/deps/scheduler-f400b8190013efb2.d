@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler-f400b8190013efb2.d: crates/threads/tests/scheduler.rs
+
+/root/repo/target/release/deps/scheduler-f400b8190013efb2: crates/threads/tests/scheduler.rs
+
+crates/threads/tests/scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sync_stress-219cfd5d34ac25b9.d: crates/threads/tests/sync_stress.rs
+
+/root/repo/target/release/deps/sync_stress-219cfd5d34ac25b9: crates/threads/tests/sync_stress.rs
+
+crates/threads/tests/sync_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sync_stress-d806a383c2d6b5a9.d: crates/threads/tests/sync_stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libsync_stress-d806a383c2d6b5a9.rmeta: crates/threads/tests/sync_stress.rs Cargo.toml
+
+crates/threads/tests/sync_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1_null_rpc-6276395d442c6791.d: crates/bench/benches/table1_null_rpc.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1_null_rpc-6276395d442c6791.rmeta: crates/bench/benches/table1_null_rpc.rs Cargo.toml
+
+crates/bench/benches/table1_null_rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

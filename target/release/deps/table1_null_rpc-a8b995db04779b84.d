@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_null_rpc-a8b995db04779b84.d: crates/bench/benches/table1_null_rpc.rs
+
+/root/repo/target/release/deps/table1_null_rpc-a8b995db04779b84: crates/bench/benches/table1_null_rpc.rs
+
+crates/bench/benches/table1_null_rpc.rs:

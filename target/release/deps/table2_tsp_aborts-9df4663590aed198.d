@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_tsp_aborts-9df4663590aed198.d: crates/bench/benches/table2_tsp_aborts.rs
+
+/root/repo/target/release/deps/table2_tsp_aborts-9df4663590aed198: crates/bench/benches/table2_tsp_aborts.rs
+
+crates/bench/benches/table2_tsp_aborts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table2_tsp_aborts-a3825b612f3af41d.d: crates/bench/benches/table2_tsp_aborts.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable2_tsp_aborts-a3825b612f3af41d.rmeta: crates/bench/benches/table2_tsp_aborts.rs Cargo.toml
+
+crates/bench/benches/table2_tsp_aborts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

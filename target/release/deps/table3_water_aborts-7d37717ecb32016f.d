@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table3_water_aborts-7d37717ecb32016f.d: crates/bench/benches/table3_water_aborts.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable3_water_aborts-7d37717ecb32016f.rmeta: crates/bench/benches/table3_water_aborts.rs Cargo.toml
+
+crates/bench/benches/table3_water_aborts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

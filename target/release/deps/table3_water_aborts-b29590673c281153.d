@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_water_aborts-b29590673c281153.d: crates/bench/benches/table3_water_aborts.rs
+
+/root/repo/target/release/deps/table3_water_aborts-b29590673c281153: crates/bench/benches/table3_water_aborts.rs
+
+crates/bench/benches/table3_water_aborts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/chaos_run-02b38ca10e333a9b.d: examples/chaos_run.rs Cargo.toml
+
+/root/repo/target/release/examples/libchaos_run-02b38ca10e333a9b.rmeta: examples/chaos_run.rs Cargo.toml
+
+examples/chaos_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

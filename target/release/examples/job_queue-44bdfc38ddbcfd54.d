@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/job_queue-44bdfc38ddbcfd54.d: examples/job_queue.rs Cargo.toml
+
+/root/repo/target/release/examples/libjob_queue-44bdfc38ddbcfd54.rmeta: examples/job_queue.rs Cargo.toml
+
+examples/job_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/job_queue-92796561294a47e6.d: examples/job_queue.rs
+
+/root/repo/target/release/examples/job_queue-92796561294a47e6: examples/job_queue.rs
+
+examples/job_queue.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/orca_objects-5138a39c208fd233.d: examples/orca_objects.rs Cargo.toml
+
+/root/repo/target/release/examples/liborca_objects-5138a39c208fd233.rmeta: examples/orca_objects.rs Cargo.toml
+
+examples/orca_objects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/orca_objects-5d97f05f6293fa7f.d: examples/orca_objects.rs
+
+/root/repo/target/release/examples/orca_objects-5d97f05f6293fa7f: examples/orca_objects.rs
+
+examples/orca_objects.rs:

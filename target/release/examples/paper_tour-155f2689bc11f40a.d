@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paper_tour-155f2689bc11f40a.d: examples/paper_tour.rs
+
+/root/repo/target/release/examples/paper_tour-155f2689bc11f40a: examples/paper_tour.rs
+
+examples/paper_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/paper_tour-530af6d392f6a485.d: examples/paper_tour.rs Cargo.toml
+
+/root/repo/target/release/examples/libpaper_tour-530af6d392f6a485.rmeta: examples/paper_tour.rs Cargo.toml
+
+examples/paper_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

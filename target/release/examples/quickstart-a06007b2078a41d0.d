@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-a06007b2078a41d0.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-a06007b2078a41d0.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sor_probe-5188a46bf6e8edcc.d: crates/apps/examples/sor_probe.rs Cargo.toml
+
+/root/repo/target/release/examples/libsor_probe-5188a46bf6e8edcc.rmeta: crates/apps/examples/sor_probe.rs Cargo.toml
+
+crates/apps/examples/sor_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

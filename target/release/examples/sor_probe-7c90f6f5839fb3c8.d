@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sor_probe-7c90f6f5839fb3c8.d: crates/apps/examples/sor_probe.rs
+
+/root/repo/target/release/examples/sor_probe-7c90f6f5839fb3c8: crates/apps/examples/sor_probe.rs
+
+crates/apps/examples/sor_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/stencil-46f44ec5ce66682b.d: examples/stencil.rs Cargo.toml
+
+/root/repo/target/release/examples/libstencil-46f44ec5ce66682b.rmeta: examples/stencil.rs Cargo.toml
+
+examples/stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

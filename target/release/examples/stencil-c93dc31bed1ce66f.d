@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/stencil-c93dc31bed1ce66f.d: examples/stencil.rs
+
+/root/repo/target/release/examples/stencil-c93dc31bed1ce66f: examples/stencil.rs
+
+examples/stencil.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/trace_run-ecfdc30c3f81dc8f.d: examples/trace_run.rs Cargo.toml
+
+/root/repo/target/release/examples/libtrace_run-ecfdc30c3f81dc8f.rmeta: examples/trace_run.rs Cargo.toml
+
+examples/trace_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

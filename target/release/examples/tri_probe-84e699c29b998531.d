@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/tri_probe-84e699c29b998531.d: crates/apps/examples/tri_probe.rs Cargo.toml
+
+/root/repo/target/release/examples/libtri_probe-84e699c29b998531.rmeta: crates/apps/examples/tri_probe.rs Cargo.toml
+
+crates/apps/examples/tri_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

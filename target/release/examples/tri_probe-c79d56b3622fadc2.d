@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tri_probe-c79d56b3622fadc2.d: crates/apps/examples/tri_probe.rs
+
+/root/repo/target/release/examples/tri_probe-c79d56b3622fadc2: crates/apps/examples/tri_probe.rs
+
+crates/apps/examples/tri_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tsp_probe-3d9807cdf7f263d8.d: crates/apps/examples/tsp_probe.rs
+
+/root/repo/target/release/examples/tsp_probe-3d9807cdf7f263d8: crates/apps/examples/tsp_probe.rs
+
+crates/apps/examples/tsp_probe.rs:

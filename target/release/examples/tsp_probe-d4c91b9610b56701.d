@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/tsp_probe-d4c91b9610b56701.d: crates/apps/examples/tsp_probe.rs Cargo.toml
+
+/root/repo/target/release/examples/libtsp_probe-d4c91b9610b56701.rmeta: crates/apps/examples/tsp_probe.rs Cargo.toml
+
+crates/apps/examples/tsp_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/water_probe-5fc122a9db34d74c.d: crates/apps/examples/water_probe.rs
+
+/root/repo/target/release/examples/water_probe-5fc122a9db34d74c: crates/apps/examples/water_probe.rs
+
+crates/apps/examples/water_probe.rs:

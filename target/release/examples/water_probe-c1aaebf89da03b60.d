@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/water_probe-c1aaebf89da03b60.d: crates/apps/examples/water_probe.rs Cargo.toml
+
+/root/repo/target/release/examples/libwater_probe-c1aaebf89da03b60.rmeta: crates/apps/examples/water_probe.rs Cargo.toml
+
+crates/apps/examples/water_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

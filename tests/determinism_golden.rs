@@ -1,0 +1,98 @@
+//! Golden determinism checks for the simulator core.
+//!
+//! The event-queue implementation (a calendar queue since the perf PR) must
+//! preserve the executor's (time, sequence) total order *exactly*: a
+//! fixed-seed run must produce a byte-identical trace to the one recorded
+//! with the original `BinaryHeap` executor. These constants were captured
+//! before the queue swap; any change to them means the swap (or a later
+//! "optimization") altered observable scheduling order, which is a bug even
+//! if every answer still comes out right.
+//!
+//! If a *deliberate* semantic change to the runtime invalidates them,
+//! re-record with `OAM_PRINT_GOLDEN=1 cargo test -q --test
+//! determinism_golden -- --nocapture`.
+
+use optimistic_active_messages::apps::tsp::{self, TspParams};
+use optimistic_active_messages::apps::System;
+use optimistic_active_messages::model::{Dur, FaultPlan, MachineConfig, ReliabilityConfig};
+use optimistic_active_messages::trace::Recorder;
+
+/// FNV-1a 64-bit over `bytes` — stable, dependency-free fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The scenario under test: TSP (10 cities) over a 5% drop/dup/delay
+/// fabric with retransmission — every subsystem (executor, fabric faults,
+/// RNG, scheduler, RPC reliability) feeds the trace.
+fn chaos_tsp() -> (Recorder, tsp::TspParams, optimistic_active_messages::apps::AppOutcome) {
+    let p = 0.05;
+    let cfg = MachineConfig::cm5(5)
+        .with_fault_plan(FaultPlan::drop_only(p).with_dup(p).with_delay(p, Dur::from_micros(20)))
+        .with_reliability(ReliabilityConfig::retransmitting());
+    let params = TspParams { ncities: 10, prefix_len: 4, ..Default::default() };
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    let out = tsp::run_hooked(System::Orpc, cfg, params, move |m| {
+        for n in m.nodes() {
+            rec2.attach(n);
+        }
+    });
+    (rec, params, out)
+}
+
+/// Render the whole trace to bytes. `Debug` for trace events is plain data
+/// (ids, integer nanoseconds, enum names) — no addresses, no floats — so
+/// the rendering is stable for a fixed binary and seed.
+fn trace_bytes(rec: &Recorder) -> Vec<u8> {
+    let mut buf = String::new();
+    for ev in rec.events() {
+        buf.push_str(&format!("{ev:?}\n"));
+    }
+    buf.into_bytes()
+}
+
+const GOLDEN_TRACE_HASH: u64 = 0x38b7_c4b1_2123_036d;
+const GOLDEN_ANSWER: u64 = 3187;
+const GOLDEN_END_NS: u64 = 294_384_659;
+const GOLDEN_EVENTS: u64 = 7281;
+
+#[test]
+fn fixed_seed_tsp_chaos_trace_is_byte_identical_to_the_pre_swap_golden() {
+    let (rec, _params, out) = chaos_tsp();
+    let bytes = trace_bytes(&rec);
+    let hash = fnv1a(&bytes);
+    if std::env::var("OAM_PRINT_GOLDEN").is_ok() {
+        println!(
+            "GOLDEN_TRACE_HASH = {hash:#018x}\nGOLDEN_ANSWER = {}\nGOLDEN_END_NS = {}\nGOLDEN_EVENTS = {}\n({} trace events, {} bytes)",
+            out.answer,
+            out.elapsed.as_nanos(),
+            out.events,
+            rec.len(),
+            bytes.len(),
+        );
+    }
+    assert!(rec.len() > 1_000, "trace is non-trivial ({} events)", rec.len());
+    assert_eq!(out.answer, GOLDEN_ANSWER, "TSP chaos answer drifted");
+    assert_eq!(out.elapsed.as_nanos(), GOLDEN_END_NS, "virtual end time drifted");
+    assert_eq!(out.events, GOLDEN_EVENTS, "executed event count drifted");
+    assert_eq!(
+        hash, GOLDEN_TRACE_HASH,
+        "trace bytes drifted (hash {hash:#018x}): the event queue no longer preserves the \
+         original (time, seq) execution order"
+    );
+}
+
+#[test]
+fn golden_scenario_is_reproducible_within_one_binary() {
+    let (rec_a, _, out_a) = chaos_tsp();
+    let (rec_b, _, out_b) = chaos_tsp();
+    assert_eq!(trace_bytes(&rec_a), trace_bytes(&rec_b));
+    assert_eq!(out_a.answer, out_b.answer);
+    assert_eq!(out_a.elapsed, out_b.elapsed);
+}

@@ -281,3 +281,67 @@ fn water_half_shell_covers_each_pair_once() {
         assert_eq!(seen.len(), p * (p - 1) / 2, "p={p}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Calendar queue (the executor's event queue)
+// ---------------------------------------------------------------------
+
+/// The calendar queue must dequeue in exactly the order a
+/// `BinaryHeap<Reverse<(Time, seq)>>` would — the executor's determinism
+/// rests on the two being interchangeable. The workload mixes heavy ties
+/// (equal times, distinct seqs), small steps inside one calendar day,
+/// mid-range steps across days, and jumps far beyond the wheel horizon
+/// (`NBUCKETS << DAY_SHIFT` ns) so near-wheel, current-bucket merge, and
+/// far-heap paths are all exercised, with pushes interleaved among pops.
+#[test]
+fn calendar_queue_matches_binary_heap_order() {
+    use optimistic_active_messages::sim::calq::{CalendarQueue, Entry, DAY_SHIFT, NBUCKETS};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let horizon = (NBUCKETS as u64) << DAY_SHIFT;
+    for_cases(48, |case, r| {
+        let mut cq = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        // `now` mirrors the executor clock: pushes are clamped to it, so the
+        // queue never sees a time earlier than the last pop.
+        let mut now = 0u64;
+        let ops = 300 + r.gen_below(300);
+        for _ in 0..ops {
+            if r.gen_bool(0.6) || heap.is_empty() {
+                let t = match r.gen_below(8) {
+                    0..=2 => now,                                // exact ties
+                    3..=4 => now + r.gen_below(1 << DAY_SHIFT),  // same day
+                    5..=6 => now + r.gen_below(64 << DAY_SHIFT), // across days
+                    _ => now + horizon + r.gen_below(horizon),   // beyond horizon
+                };
+                cq.push(Entry { t: Time::from_nanos(t), seq, slot: 0, gen: 0 });
+                heap.push(Reverse((Time::from_nanos(t), seq)));
+                seq += 1;
+            } else {
+                if r.gen_bool(0.25) {
+                    let p = cq.peek().map(|e| (e.t, e.seq));
+                    assert_eq!(p, heap.peek().map(|Reverse(k)| *k), "case {case}: peek");
+                }
+                let a = cq.pop().map(|e| (e.t, e.seq));
+                let b = heap.pop().map(|Reverse(k)| k);
+                assert_eq!(a, b, "case {case}: pop");
+                if let Some((t, _)) = a {
+                    now = t.as_nanos();
+                }
+            }
+            assert_eq!(cq.len(), heap.len(), "case {case}: len");
+        }
+        // Drain both completely; the tails must agree entry for entry.
+        loop {
+            let a = cq.pop().map(|e| (e.t, e.seq));
+            let b = heap.pop().map(|Reverse(k)| k);
+            assert_eq!(a, b, "case {case}: drain");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(cq.is_empty(), "case {case}");
+    });
+}
