@@ -3,7 +3,7 @@
 use std::rc::Rc;
 
 use oam_model::{Dur, NodeId};
-use oam_net::Packet;
+use oam_net::{Packet, PayloadBuf, PayloadView, SHORT_PAYLOAD_MAX};
 use oam_threads::Node;
 
 use crate::layer::Am;
@@ -60,6 +60,12 @@ impl<'a> AmToken<'a> {
         &self.pkt.payload
     }
 
+    /// A zero-copy view of the payload from byte `from` onward, sharing the
+    /// in-flight buffer's storage (usable past the handler's lifetime).
+    pub fn payload_view(&self, from: usize) -> PayloadView {
+        self.pkt.payload.view_from(from)
+    }
+
     /// Decode the `i`-th 32-bit little-endian argument word.
     ///
     /// # Panics
@@ -79,12 +85,12 @@ impl<'a> AmToken<'a> {
     /// CM-5 sends from handlers drain the network automatically; with
     /// `auto_drain_on_handler_send` disabled a full NI panics — "the
     /// program dies".
-    pub fn reply(&self, dst: NodeId, handler: HandlerId, payload: Vec<u8>) {
+    pub fn reply(&self, dst: NodeId, handler: HandlerId, payload: impl Into<PayloadBuf>) {
         self.am.send_from_handler(self.node, dst, handler, payload);
     }
 
     /// Start a bulk transfer from handler context.
-    pub fn reply_bulk(&self, dst: NodeId, handler: HandlerId, payload: Vec<u8>) {
+    pub fn reply_bulk(&self, dst: NodeId, handler: HandlerId, payload: impl Into<PayloadBuf>) {
         self.am.send_bulk(self.node, dst, handler, payload);
     }
 }
@@ -97,6 +103,20 @@ pub fn pack_u32(words: &[u32]) -> Vec<u8> {
         v.extend_from_slice(&w.to_le_bytes());
     }
     v
+}
+
+/// As [`pack_u32`], but straight into an allocation-free inline payload.
+///
+/// # Panics
+/// Panics if the words exceed [`SHORT_PAYLOAD_MAX`] bytes (more than four
+/// argument words).
+pub fn pack_u32_payload(words: &[u32]) -> PayloadBuf {
+    assert!(words.len() * 4 <= SHORT_PAYLOAD_MAX, "{} words won't inline", words.len());
+    let mut bytes = [0u8; SHORT_PAYLOAD_MAX];
+    for (i, w) in words.iter().enumerate() {
+        bytes[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    PayloadBuf::Inline { len: (words.len() * 4) as u8, bytes }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use std::rc::Rc;
 use std::task::{Context, Poll};
 
 use oam_model::{AbortReason, MachineConfig, NodeId};
-use oam_net::{Network, Packet, PacketKind};
+use oam_net::{BufPool, Network, Packet, PacketKind, PayloadBuf};
 use oam_threads::{Dispatcher, ExecMode, Flag, Node};
 
 use crate::handler::{AmToken, HandlerEntry, HandlerId, PacketHandler};
@@ -93,6 +93,12 @@ impl Am {
         &self.inner.cfg
     }
 
+    /// `node`'s payload-buffer pool (see [`BufPool`]): marshal bulk
+    /// payloads into leased buffers so storage recycles per message.
+    pub fn pool(&self, node: NodeId) -> &BufPool {
+        self.inner.net.pool(node)
+    }
+
     /// Register a handler on one node.
     ///
     /// # Panics
@@ -126,7 +132,7 @@ impl Am {
         node: &Node,
         dst: NodeId,
         handler: HandlerId,
-        payload: Vec<u8>,
+        payload: impl Into<PayloadBuf>,
     ) -> SendShort {
         SendShort {
             am: self.clone(),
@@ -143,7 +149,7 @@ impl Am {
         node: &Node,
         dst: NodeId,
         handler: HandlerId,
-        payload: Vec<u8>,
+        payload: impl Into<PayloadBuf>,
     ) {
         node.add_pending(self.inner.cfg.cost.am_send);
         let pkt = Packet::short(node.id(), dst, handler.0, payload);
@@ -164,7 +170,13 @@ impl Am {
     /// Start a bulk (scopy) transfer. Never blocks: the bulk engine has its
     /// own path to the receiver. Sender-side setup is charged here;
     /// receiver-side setup is charged when the completion is dispatched.
-    pub fn send_bulk(&self, node: &Node, dst: NodeId, handler: HandlerId, payload: Vec<u8>) {
+    pub fn send_bulk(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        handler: HandlerId,
+        payload: impl Into<PayloadBuf>,
+    ) {
         node.add_pending(self.inner.cfg.cost.scopy_setup_send);
         let dst_node = self.inner.nodes[dst.index()].clone();
         self.inner.net.start_bulk_after(

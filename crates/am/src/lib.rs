@@ -11,5 +11,7 @@
 pub mod handler;
 pub mod layer;
 
-pub use handler::{pack_u32, AmToken, HandlerEntry, HandlerId, InlineHandler, PacketHandler};
+pub use handler::{
+    pack_u32, pack_u32_payload, AmToken, HandlerEntry, HandlerId, InlineHandler, PacketHandler,
+};
 pub use layer::{Am, SendShort};

@@ -221,7 +221,10 @@ pub fn run(system: System, nprocs: usize, p: SorParams) -> AppOutcome {
                     let row = slab.cur[0].clone();
                     match system {
                         System::HandAm => {
-                            let payload = oam_rpc::to_bytes(&(FROM_BELOW as u32, parity, row));
+                            let payload = oam_rpc::to_payload(
+                                &(FROM_BELOW as u32, parity, row),
+                                env.am().pool(env.id()),
+                            );
                             env.am().send_bulk(env.node(), NodeId(me - 1), AM_STORE, payload);
                         }
                         _ => {
@@ -241,7 +244,10 @@ pub fn run(system: System, nprocs: usize, p: SorParams) -> AppOutcome {
                     let row = slab.cur[slab.height() - 1].clone();
                     match system {
                         System::HandAm => {
-                            let payload = oam_rpc::to_bytes(&(FROM_ABOVE as u32, parity, row));
+                            let payload = oam_rpc::to_payload(
+                                &(FROM_ABOVE as u32, parity, row),
+                                env.am().pool(env.id()),
+                            );
                             env.am().send_bulk(env.node(), NodeId(me + 1), AM_STORE, payload);
                         }
                         _ => {

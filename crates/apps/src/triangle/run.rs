@@ -17,7 +17,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 
-use oam_am::{pack_u32, AmToken, HandlerId};
+use oam_am::{pack_u32_payload, AmToken, HandlerId};
 use oam_machine::{MachineBuilder, Reducer};
 use oam_model::{Dur, NodeId};
 use oam_rpc::define_rpc_service;
@@ -280,7 +280,9 @@ pub fn run_configured(
                             sent_cum += 1;
                             match system {
                                 System::HandAm => {
-                                    env.am().send(env.node(), dst, AM_INSERT, pack_u32(&[s])).await;
+                                    env.am()
+                                        .send(env.node(), dst, AM_INSERT, pack_u32_payload(&[s]))
+                                        .await;
                                 }
                                 _ => {
                                     Triangle::insert::send(env.rpc(), env.node(), dst, s).await;

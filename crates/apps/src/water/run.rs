@@ -294,7 +294,10 @@ pub fn run(variant: WaterVariant, nprocs: usize, p: WaterParams) -> WaterOutcome
                     let dst = NodeId((me + off) % nprocs);
                     match variant.system {
                         System::HandAm => {
-                            let payload = oam_rpc::to_bytes(&(parity, flat.clone()));
+                            let payload = oam_rpc::to_payload(
+                                &(parity, flat.clone()),
+                                env.am().pool(env.id()),
+                            );
                             env.am().send_bulk(env.node(), dst, AM_POS, payload);
                         }
                         _ => {
@@ -357,7 +360,8 @@ pub fn run(variant: WaterVariant, nprocs: usize, p: WaterParams) -> WaterOutcome
                     let flat_upd: Vec<f64> = upd;
                     match variant.system {
                         System::HandAm => {
-                            let payload = oam_rpc::to_bytes(&(parity, flat_upd));
+                            let payload =
+                                oam_rpc::to_payload(&(parity, flat_upd), env.am().pool(env.id()));
                             env.am().send_bulk(env.node(), NodeId(dst), AM_UPD, payload);
                         }
                         _ => {

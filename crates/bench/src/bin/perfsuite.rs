@@ -50,6 +50,16 @@ define_rpc_service! {
             st.counter.set(v);
             v
         }
+
+        /// Consume a bulk payload, returning a checksum folded into the
+        /// running counter. Exercises the pooled bulk-transfer path.
+        rpc ingest(ctx, st, data: Vec<u8>) -> u64 {
+            let _ = ctx;
+            let sum: u64 = data.iter().map(|&b| b as u64).sum();
+            let v = st.counter.get().wrapping_add(sum).wrapping_add(1);
+            st.counter.set(v);
+            v
+        }
     }
 }
 
@@ -143,9 +153,46 @@ fn churn(rounds: u32, cfg: MachineConfig) -> AppOutcome {
     }
 }
 
+/// `rounds` back-to-back 4 KiB-payload RPCs from node 0 to node 1: a bulk
+/// transfer storm, so the measurement is dominated by payload marshaling
+/// and buffer management rather than per-message dispatch.
+fn bulk_churn(rounds: u32, cfg: MachineConfig) -> AppOutcome {
+    let machine = MachineBuilder::from_config(cfg).build();
+    let states: Vec<Rc<ChurnState>> =
+        (0..2).map(|_| Rc::new(ChurnState { counter: Cell::new(0) })).collect();
+    for (i, st) in states.iter().enumerate() {
+        Churn::register_all(machine.rpc(), NodeId(i), Rc::clone(st), oam_rpc::RpcMode::Orpc);
+    }
+    let answer = Rc::new(Cell::new(0u64));
+    let a = Rc::clone(&answer);
+    let report = machine.run(move |env| {
+        let a = Rc::clone(&a);
+        async move {
+            if env.id().index() == 0 {
+                let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+                let mut last = 0;
+                for _ in 0..rounds {
+                    last =
+                        Churn::ingest::call(env.rpc(), env.node(), NodeId(1), data.clone()).await;
+                }
+                a.set(last);
+            }
+            env.barrier().await;
+        }
+    });
+    AppOutcome {
+        elapsed: report.end_time.since(oam_model::Time::ZERO),
+        answer: answer.get(),
+        stats: report.stats,
+        events: report.events,
+        peak_queue_depth: report.peak_queue_depth,
+    }
+}
+
 fn run_suites(quick: bool) -> Vec<SuiteRun> {
     let churn_rounds: u32 = if quick { 5_000 } else { 50_000 };
     let churn_chaos_rounds: u32 = if quick { 2_000 } else { 20_000 };
+    let bulk_rounds: u32 = if quick { 500 } else { 5_000 };
     let sor_iters = if quick { 3 } else { 10 };
     let water_iters = if quick { 2 } else { 4 };
 
@@ -157,6 +204,7 @@ fn run_suites(quick: bool) -> Vec<SuiteRun> {
     vec![
         measure("null_rpc_churn", || churn(churn_rounds, MachineConfig::cm5(2))),
         measure("null_rpc_churn_chaos", || churn(churn_chaos_rounds, chaos_cfg(2, 0.01))),
+        measure("bulk_payload_churn", || bulk_churn(bulk_rounds, MachineConfig::cm5(2))),
         measure("tsp_n10", || tsp::run_configured(System::Orpc, MachineConfig::cm5(5), tsp_params)),
         measure("tsp_n10_chaos", || {
             tsp::run_configured(System::Orpc, chaos_cfg(5, 0.05), tsp_params)

@@ -25,7 +25,8 @@ use std::rc::Rc;
 use oam_model::{Dur, FaultPlan, MachineConfig, NodeId, NodeStats, Time, TraceKind};
 use oam_sim::Sim;
 
-use crate::packet::{Packet, PacketKind};
+use crate::packet::{Packet, PacketKind, PayloadBuf};
+use crate::pool::BufPool;
 
 /// Why an injection was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +134,10 @@ struct NetInner {
 pub struct Network {
     sim: Sim,
     inner: Rc<RefCell<NetInner>>,
+    /// One payload-buffer pool per node, for marshaling sends without
+    /// fresh heap allocations (see [`BufPool`]). Kept outside the
+    /// `RefCell` so leases never contend with fabric state borrows.
+    pools: Rc<[BufPool]>,
 }
 
 impl Network {
@@ -145,9 +150,11 @@ impl Network {
             .as_ref()
             .map(|p| p.stalls.iter().map(|s| (s.node, s.until)).collect())
             .unwrap_or_default();
+        let pools: Rc<[BufPool]> = (0..cfg.nodes).map(|_| BufPool::new()).collect();
         let net = Network {
             sim: sim.clone(),
             inner: Rc::new(RefCell::new(NetInner { cfg, nodes, stats, fault_hook: None })),
+            pools,
         };
         // A stalled node may have gone idle with packets already waiting in
         // its input FIFO; wake it the moment each stall window closes.
@@ -178,6 +185,12 @@ impl Network {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.inner.borrow().cfg.nodes
+    }
+
+    /// `node`'s payload-buffer pool: lease marshaling buffers here so their
+    /// storage is recycled once the message is consumed.
+    pub fn pool(&self, node: NodeId) -> &BufPool {
+        &self.pools[node.index()]
     }
 
     /// Register the callback invoked whenever a packet (or bulk completion)
@@ -278,7 +291,7 @@ impl Network {
         src: NodeId,
         dst: NodeId,
         tag: u32,
-        payload: Vec<u8>,
+        payload: impl Into<PayloadBuf>,
         on_complete: impl FnOnce(&Sim) + 'static,
     ) {
         self.start_bulk_after(src, dst, tag, payload, Dur::ZERO, on_complete)
@@ -291,10 +304,11 @@ impl Network {
         src: NodeId,
         dst: NodeId,
         tag: u32,
-        payload: Vec<u8>,
+        payload: impl Into<PayloadBuf>,
         delay: Dur,
         on_complete: impl FnOnce(&Sim) + 'static,
     ) {
+        let payload = payload.into();
         let complete_at = {
             let mut inner = self.inner.borrow_mut();
             let now = self.sim.now() + delay;

@@ -8,6 +8,8 @@
 
 pub mod fabric;
 pub mod packet;
+pub mod pool;
 
 pub use fabric::{InjectError, NetConfig, Network};
-pub use packet::{Packet, PacketKind, PayloadBuf, SHORT_PAYLOAD_MAX};
+pub use packet::{Packet, PacketKind, PayloadBuf, PayloadView, SHORT_PAYLOAD_MAX};
+pub use pool::{BufPool, PoolStats};

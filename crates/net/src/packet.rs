@@ -8,23 +8,49 @@
 //!
 //! Short payloads are stored inline in the packet ([`PayloadBuf`]), so the
 //! fabric's per-hop packet clones — duplication faults, retransmission
-//! buffers, staging queues — are plain memcpys with no heap traffic.
+//! buffers, staging queues — are plain memcpys with no heap traffic. Heap
+//! payloads share their storage through an [`Rc`], so those same clones are
+//! a refcount bump rather than a byte copy, and pool-leased storage
+//! ([`crate::BufPool`]) flows back to its pool when the last reference
+//! drops.
 
 use std::fmt;
 use std::ops::Deref;
+use std::rc::Rc;
 
 use oam_model::NodeId;
+
+use crate::pool::BufPool;
 
 /// Maximum payload of a short packet, in bytes (CM-5: 4 argument words).
 pub const SHORT_PAYLOAD_MAX: usize = 16;
 
+/// Reference-counted heap storage behind [`PayloadBuf::Heap`]. When the
+/// last reference drops, storage that was leased from a [`BufPool`] is
+/// returned to it for reuse.
+pub struct HeapBuf {
+    /// The payload bytes.
+    bytes: Vec<u8>,
+    /// Pool the storage was leased from, if any.
+    pool: Option<BufPool>,
+}
+
+impl Drop for HeapBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.reclaim(std::mem::take(&mut self.bytes));
+        }
+    }
+}
+
 /// A packet payload: stored inline when it fits a short packet
-/// ([`SHORT_PAYLOAD_MAX`] bytes), spilled to the heap only for bulk
-/// transfers. Cloning an inline payload allocates nothing.
+/// ([`SHORT_PAYLOAD_MAX`] bytes), spilled to `Rc`-shared heap storage only
+/// for bulk transfers. Cloning is O(1) for both variants — a memcpy of at
+/// most 16 bytes, or a refcount bump.
 ///
 /// Dereferences to `&[u8]`, so existing slice-based consumers (wire
 /// decoders, handlers) need no changes.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub enum PayloadBuf {
     /// At most [`SHORT_PAYLOAD_MAX`] bytes, stored in the packet itself.
     Inline {
@@ -33,8 +59,8 @@ pub enum PayloadBuf {
         /// Payload storage; bytes past `len` are zero.
         bytes: [u8; SHORT_PAYLOAD_MAX],
     },
-    /// A heap-backed payload of any size (bulk transfers).
-    Heap(Vec<u8>),
+    /// A shared heap-backed payload of any size (bulk transfers).
+    Heap(Rc<HeapBuf>),
 }
 
 impl PayloadBuf {
@@ -43,7 +69,7 @@ impl PayloadBuf {
     pub fn as_slice(&self) -> &[u8] {
         match self {
             PayloadBuf::Inline { len, bytes } => &bytes[..*len as usize],
-            PayloadBuf::Heap(v) => v,
+            PayloadBuf::Heap(h) => &h.bytes,
         }
     }
 
@@ -52,7 +78,7 @@ impl PayloadBuf {
     pub fn len(&self) -> usize {
         match self {
             PayloadBuf::Inline { len, .. } => *len as usize,
-            PayloadBuf::Heap(v) => v.len(),
+            PayloadBuf::Heap(h) => h.bytes.len(),
         }
     }
 
@@ -72,6 +98,36 @@ impl PayloadBuf {
         bytes[..src.len()].copy_from_slice(src);
         PayloadBuf::Inline { len: src.len() as u8, bytes }
     }
+
+    /// Wrap an owned heap buffer without pool backing, keeping it on the
+    /// heap regardless of size.
+    pub fn heap(bytes: Vec<u8>) -> Self {
+        PayloadBuf::Heap(Rc::new(HeapBuf { bytes, pool: None }))
+    }
+
+    /// Wrap a pool-leased buffer; the storage returns to `pool` when the
+    /// last reference drops.
+    pub(crate) fn pooled(bytes: Vec<u8>, pool: BufPool) -> Self {
+        PayloadBuf::Heap(Rc::new(HeapBuf { bytes, pool: Some(pool) }))
+    }
+
+    /// A zero-copy view of this payload from byte `start` to the end,
+    /// sharing the same storage (the view holds a clone of `self`, which is
+    /// O(1)).
+    ///
+    /// # Panics
+    /// Panics if `start > self.len()`.
+    pub fn view_from(&self, start: usize) -> PayloadView {
+        assert!(start <= self.len(), "view start {} past payload end {}", start, self.len());
+        PayloadView { buf: self.clone(), start }
+    }
+}
+
+impl Default for PayloadBuf {
+    /// The empty payload (inline, zero bytes).
+    fn default() -> Self {
+        PayloadBuf::Inline { len: 0, bytes: [0u8; SHORT_PAYLOAD_MAX] }
+    }
 }
 
 impl Deref for PayloadBuf {
@@ -89,7 +145,7 @@ impl From<Vec<u8>> for PayloadBuf {
         if v.len() <= SHORT_PAYLOAD_MAX {
             PayloadBuf::inline(&v)
         } else {
-            PayloadBuf::Heap(v)
+            PayloadBuf::heap(v)
         }
     }
 }
@@ -99,10 +155,19 @@ impl From<&[u8]> for PayloadBuf {
         if src.len() <= SHORT_PAYLOAD_MAX {
             PayloadBuf::inline(src)
         } else {
-            PayloadBuf::Heap(src.to_vec())
+            PayloadBuf::heap(src.to_vec())
         }
     }
 }
+
+impl PartialEq for PayloadBuf {
+    /// Byte-wise equality, independent of storage variant or sharing.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PayloadBuf {}
 
 impl PartialEq<Vec<u8>> for PayloadBuf {
     fn eq(&self, other: &Vec<u8>) -> bool {
@@ -127,6 +192,62 @@ impl fmt::Debug for PayloadBuf {
     /// traces and assertions don't distinguish inline from heap.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+/// A zero-copy suffix view of a [`PayloadBuf`]: the reply/result bytes of a
+/// message without the header prefix, still sharing the in-flight buffer's
+/// storage. Dereferences to `&[u8]`.
+#[derive(Clone, Default)]
+pub struct PayloadView {
+    buf: PayloadBuf,
+    start: usize,
+}
+
+impl PayloadView {
+    /// The viewed bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf.as_slice()[self.start..]
+    }
+
+    /// Length of the view in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for PayloadView {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for PayloadView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl PartialEq<[u8]> for PayloadView {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PayloadView {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -176,8 +297,8 @@ impl Packet {
     }
 
     /// Build a bulk-completion packet (internal to the network layer).
-    pub(crate) fn bulk_done(src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) -> Self {
-        Packet { src, dst, kind: PacketKind::BulkDone, tag, payload: PayloadBuf::Heap(payload) }
+    pub(crate) fn bulk_done(src: NodeId, dst: NodeId, tag: u32, payload: PayloadBuf) -> Self {
+        Packet { src, dst, kind: PacketKind::BulkDone, tag, payload }
     }
 
     /// Payload length in bytes.
@@ -211,7 +332,7 @@ mod tests {
 
     #[test]
     fn bulk_done_carries_arbitrary_sizes() {
-        let p = Packet::bulk_done(NodeId(0), NodeId(1), 3, vec![0u8; 4096]);
+        let p = Packet::bulk_done(NodeId(0), NodeId(1), 3, vec![0u8; 4096].into());
         assert_eq!(p.kind, PacketKind::BulkDone);
         assert_eq!(p.len(), 4096);
     }
@@ -233,5 +354,39 @@ mod tests {
         let buf: PayloadBuf = vec![0u8; 64].into();
         assert!(matches!(buf, PayloadBuf::Heap(_)));
         assert_eq!(buf.len(), 64);
+    }
+
+    #[test]
+    fn heap_clones_share_storage() {
+        let buf = PayloadBuf::heap(vec![9u8; 64]);
+        let copy = buf.clone();
+        let (PayloadBuf::Heap(a), PayloadBuf::Heap(b)) = (&buf, &copy) else {
+            panic!("expected heap payloads");
+        };
+        assert!(Rc::ptr_eq(a, b), "clone bumps the refcount instead of copying bytes");
+        assert_eq!(buf, copy);
+    }
+
+    #[test]
+    fn views_share_storage_and_skip_the_prefix() {
+        let mut bytes = vec![0u8; 64];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let buf = PayloadBuf::heap(bytes);
+        let view = buf.view_from(4);
+        assert_eq!(view.len(), 60);
+        assert_eq!(view[0], 4);
+        assert_eq!(&view[..4], &[4, 5, 6, 7]);
+        // The view keeps the storage alive on its own.
+        drop(buf);
+        assert_eq!(view[0], 4);
+    }
+
+    #[test]
+    fn equality_is_byte_wise_across_variants() {
+        let small: PayloadBuf = vec![1u8, 2, 3].into();
+        let heap = PayloadBuf::heap(vec![1u8, 2, 3]);
+        assert_eq!(small, heap);
     }
 }

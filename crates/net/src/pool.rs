@@ -1,0 +1,171 @@
+//! Recycled payload-buffer pool.
+//!
+//! Marshaling a bulk payload needs a heap buffer; without a pool every
+//! message allocates one and frees it a few simulated microseconds later.
+//! [`BufPool`] keeps those buffers on a per-node free list: a stub leases
+//! capacity, fills it, and wraps it into a [`PayloadBuf`]; when the last
+//! reference to the payload drops — after the handler on the receiving
+//! node has run — the storage returns to the pool it came from and the
+//! next send on the owning node reuses it.
+//!
+//! # Determinism
+//!
+//! The free list is LIFO and recycling happens at `Rc` drop time, which is
+//! itself a deterministic function of the simulation's event order. Two
+//! runs with the same seed therefore lease, fill, and reclaim the same
+//! buffers in the same order; pooling cannot perturb traces. (Buffer
+//! *addresses* differ between runs, but nothing observable derives from
+//! them.)
+//!
+//! # Aliasing safety
+//!
+//! A buffer is reclaimed only from [`HeapBuf`]'s `Drop`, i.e. when no
+//! [`PayloadBuf`] (and no [`crate::PayloadView`]) references it — live
+//! payloads can never alias pooled storage. As a tripwire, debug builds
+//! poison every reclaimed buffer with [`POISON`] before it re-enters the
+//! free list, so any use-after-reclaim shows up as sentinel bytes in
+//! tests.
+//!
+//! [`PayloadBuf`]: crate::PayloadBuf
+//! [`HeapBuf`]: crate::packet::HeapBuf
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::packet::PayloadBuf;
+
+/// Byte written over reclaimed buffers in debug builds, so a stale view
+/// into recycled storage is unmistakable in a failing assertion.
+pub const POISON: u8 = 0xA5;
+
+/// Reclaimed buffers retained per pool; beyond this, buffers are freed to
+/// the system allocator (bounds pool memory under bursty fan-out).
+const MAX_POOLED: usize = 32;
+
+#[derive(Default)]
+struct PoolInner {
+    /// LIFO free list — the most recently reclaimed buffer (warmest) is
+    /// leased first.
+    free: Vec<Vec<u8>>,
+    leases: u64,
+    reuses: u64,
+}
+
+/// Counters for tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Buffers handed out by [`BufPool::lease`].
+    pub leases: u64,
+    /// Leases served from the free list instead of the allocator.
+    pub reuses: u64,
+    /// Buffers currently parked on the free list.
+    pub free: usize,
+}
+
+/// A per-node pool of recycled payload buffers. Cheap to clone (handles
+/// share state).
+#[derive(Clone, Default)]
+pub struct BufPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lease an empty buffer with at least `capacity` bytes reserved,
+    /// reusing reclaimed storage when available.
+    pub fn lease(&self, capacity: usize) -> Vec<u8> {
+        let mut inner = self.inner.borrow_mut();
+        inner.leases += 1;
+        match inner.free.pop() {
+            Some(mut v) => {
+                inner.reuses += 1;
+                v.clear();
+                v.reserve(capacity);
+                v
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Wrap a filled buffer into a shared payload that returns its storage
+    /// to this pool when the last reference drops.
+    pub fn wrap(&self, bytes: Vec<u8>) -> PayloadBuf {
+        PayloadBuf::pooled(bytes, self.clone())
+    }
+
+    /// Return storage to the free list (called from `HeapBuf::drop`).
+    pub(crate) fn reclaim(&self, mut v: Vec<u8>) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.free.len() >= MAX_POOLED || v.capacity() == 0 {
+            return;
+        }
+        if cfg!(debug_assertions) {
+            // Aliasing tripwire: anything still (incorrectly) reading this
+            // storage now sees POISON instead of stale payload bytes.
+            for b in v.iter_mut() {
+                *b = POISON;
+            }
+        }
+        v.clear();
+        inner.free.push(v);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.borrow();
+        PoolStats { leases: inner.leases, reuses: inner.reuses, free: inner.free.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_reuses_reclaimed_storage_lifo() {
+        let pool = BufPool::new();
+        let a = pool.wrap({
+            let mut v = pool.lease(64);
+            v.extend_from_slice(&[1u8; 64]);
+            v
+        });
+        let b = pool.wrap({
+            let mut v = pool.lease(64);
+            v.extend_from_slice(&[2u8; 64]);
+            v
+        });
+        assert_eq!(pool.stats().reuses, 0, "nothing reclaimed yet");
+        drop(a);
+        drop(b);
+        assert_eq!(pool.stats().free, 2);
+        let v = pool.lease(16);
+        assert!(v.is_empty(), "leased buffers come back cleared");
+        assert!(v.capacity() >= 64, "storage is recycled, not reallocated");
+        assert_eq!(pool.stats(), PoolStats { leases: 3, reuses: 1, free: 1 });
+    }
+
+    #[test]
+    fn unpooled_payloads_do_not_feed_the_pool() {
+        let pool = BufPool::new();
+        drop(PayloadBuf::from(vec![0u8; 64]));
+        assert_eq!(pool.stats().free, 0);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let pool = BufPool::new();
+        let bufs: Vec<PayloadBuf> = (0..MAX_POOLED + 10)
+            .map(|_| {
+                let mut v = pool.lease(32);
+                v.extend_from_slice(&[7u8; 32]);
+                pool.wrap(v)
+            })
+            .collect();
+        drop(bufs);
+        assert_eq!(pool.stats().free, MAX_POOLED);
+    }
+}

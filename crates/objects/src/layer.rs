@@ -21,7 +21,9 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use oam_model::{Dur, NodeId};
-use oam_rpc::{from_bytes, handler_id_for, to_bytes, CallFactory, Rpc, RpcMode, Wire, WireReader};
+use oam_rpc::{
+    from_bytes, handler_id_for, to_bytes, CallFactory, Rpc, RpcMode, Wire, WireReader, WireWriter,
+};
 use oam_threads::Node;
 
 use crate::class::{op_id, ErasedClass, ObjectClass, OpId, Replica};
@@ -53,11 +55,11 @@ pub const APPLY_COST: Dur = Dur::from_nanos(1_000);
 /// argument is appended raw (no length framing) so a small method call
 /// fits the CM-5's argument words and travels as a short active message.
 fn encode_invocation(id: ObjId, op: OpId, arg: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + arg.len());
+    let mut out = WireWriter::new();
     id.0.encode(&mut out);
     op.0.encode(&mut out);
     out.extend_from_slice(arg);
-    out
+    out.into_vec()
 }
 
 /// Split a request payload (after the RPC call header) back into
@@ -120,7 +122,7 @@ impl Objects {
                     node.charge(APPLY_COST).await;
                     let result = objs.apply_at_home(&node, obj, op, &arg).await;
                     if call_id != oam_rpc::ONEWAY_SENTINEL {
-                        objs.inner.rpc.reply(&call, call_id, result).await;
+                        objs.inner.rpc.reply_raw(&call, call_id, &result).await;
                     }
                 })
             });

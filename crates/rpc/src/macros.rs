@@ -91,8 +91,7 @@ macro_rules! __rpc_method {
                 __dst: $crate::NodeId
                 $(, $arg : $aty)*
             ) -> $crate::__rpc_ret!($($ret)?) {
-                let __args = $crate::wire::to_bytes(&($($arg,)*));
-                let __reply = __rpc.call_raw(__node, __dst, ID, &__args).await;
+                let __reply = __rpc.call_args(__node, __dst, ID, &($($arg,)*)).await;
                 $crate::wire::from_bytes(&__reply).expect("reply decode")
             }
 
@@ -123,7 +122,7 @@ macro_rules! __rpc_method {
                         let $st = &*__state;
                         let __result: $crate::__rpc_ret!($($ret)?) = { $body };
                         if __call_id != $crate::ONEWAY_SENTINEL {
-                            __rpc.reply(&__call, __call_id, $crate::wire::to_bytes(&__result)).await;
+                            __rpc.reply(&__call, __call_id, &__result).await;
                         }
                     })
                 });
@@ -149,8 +148,7 @@ macro_rules! __rpc_method {
                 __dst: $crate::NodeId
                 $(, $arg : $aty)*
             ) {
-                let __args = $crate::wire::to_bytes(&($($arg,)*));
-                __rpc.send_oneway_raw(__node, __dst, ID, &__args).await;
+                __rpc.send_oneway_args(__node, __dst, ID, &($($arg,)*)).await;
             }
 
             /// Install the server side of this method on `node`.
@@ -182,7 +180,7 @@ macro_rules! __rpc_method {
                         // Reliable one-way calls carry a real call id and
                         // expect an empty reply as their delivery ack.
                         if __call_id != $crate::ONEWAY_SENTINEL {
-                            __rpc.reply(&__call, __call_id, ::std::vec::Vec::new()).await;
+                            __rpc.reply(&__call, __call_id, &()).await;
                         }
                     })
                 });

@@ -37,11 +37,11 @@ use std::rc::Rc;
 use oam_am::{Am, AmToken, HandlerEntry, HandlerId};
 use oam_core::{CallFactory, NackSender, OamCall, OptimisticEntry, ThreadedEntry};
 use oam_model::{AbortStrategy, Dur, MachineConfig, NodeId, TraceKind};
-use oam_net::Packet;
+use oam_net::{Packet, PayloadBuf, PayloadView};
 use oam_sim::{EventId, Sim};
 use oam_threads::{Flag, Node};
 
-use crate::wire::{Wire, WireReader};
+use crate::wire::{Wire, WireReader, WireWriter};
 
 /// Reserved handler id for RPC replies.
 pub const REPLY_ID: HandlerId = HandlerId(0xFFFF_0001);
@@ -100,7 +100,9 @@ enum Outcome {
 struct CallSlot {
     flag: Flag,
     outcome: Cell<Outcome>,
-    reply: RefCell<Vec<u8>>,
+    /// The reply bytes past the call header — a zero-copy view into the
+    /// delivered packet's buffer.
+    reply: RefCell<PayloadView>,
     /// One-way calls: nobody spins on the flag; the ack releases the slot.
     oneway: Cell<bool>,
     /// Retransmission attempts so far (drives the back-off exponent).
@@ -114,17 +116,32 @@ impl CallSlot {
         Rc::new(CallSlot {
             flag: Flag::new(),
             outcome: Cell::new(Outcome::Pending),
-            reply: RefCell::new(Vec::new()),
+            reply: RefCell::new(PayloadView::default()),
             oneway: Cell::new(false),
             attempts: Cell::new(0),
             timer: Cell::new(None),
         })
+    }
+
+    /// Return the slot to its freshly-allocated state for reuse.
+    fn reset(&self) {
+        self.flag.clear();
+        self.outcome.set(Outcome::Pending);
+        *self.reply.borrow_mut() = PayloadView::default();
+        self.oneway.set(false);
+        self.attempts.set(0);
+        self.timer.set(None);
     }
 }
 
 struct TableSlot {
     gen: u16,
     active: Option<Rc<CallSlot>>,
+    /// A released slot kept for reuse, saving the `Rc` allocation on the
+    /// next call through this index. Only stashed when nothing else holds
+    /// a reference (timer closures, late observers), so a reused slot can
+    /// never be completed by a stale path.
+    spare: Option<Rc<CallSlot>>,
 }
 
 /// Caller-side call table with generation-tagged ids. Indices are recycled
@@ -144,17 +161,24 @@ impl CallTable {
     }
 
     fn alloc(&mut self) -> (u32, Rc<CallSlot>) {
-        let slot = CallSlot::new();
         match self.free.pop() {
             Some(idx) => {
                 let s = &mut self.slots[idx as usize];
+                let slot = match s.spare.take() {
+                    Some(spare) => {
+                        spare.reset();
+                        spare
+                    }
+                    None => CallSlot::new(),
+                };
                 s.active = Some(Rc::clone(&slot));
                 (Self::pack(s.gen, idx), slot)
             }
             None => {
+                let slot = CallSlot::new();
                 let idx = self.slots.len();
                 assert!(idx < CALL_INDEX_MASK as usize, "call table overflow");
-                self.slots.push(TableSlot { gen: 0, active: Some(Rc::clone(&slot)) });
+                self.slots.push(TableSlot { gen: 0, active: Some(Rc::clone(&slot)), spare: None });
                 (Self::pack(0, idx as u16), slot)
             }
         }
@@ -180,7 +204,12 @@ impl CallTable {
         let s = &mut self.slots[idx];
         debug_assert_eq!(s.gen, gen, "releasing a stale call id");
         if s.gen == gen && s.active.is_some() {
-            s.active = None;
+            let slot = s.active.take().expect("checked is_some");
+            // Reusable only when the table held the last reference —
+            // callers drop their Rc before releasing to enable this.
+            if Rc::strong_count(&slot) == 1 {
+                s.spare = Some(slot);
+            }
             s.gen = s.gen.wrapping_add(1);
             self.free.push(idx as u16);
         }
@@ -199,8 +228,9 @@ struct DupEntry {
     /// through while a retransmitted or fabric-duplicated copy is not.
     claimed_by: Option<usize>,
     /// Cached reply payload (header included), re-sent verbatim when a
-    /// duplicate of an already-executed call arrives.
-    reply: Option<Rc<Vec<u8>>>,
+    /// duplicate of an already-executed call arrives. Shares the original
+    /// reply's buffer — caching is a refcount bump.
+    reply: Option<PayloadBuf>,
     done: bool,
 }
 
@@ -250,13 +280,17 @@ impl Rpc {
             let slot = r.inner.tables[idx].borrow().get(call_id);
             match slot {
                 Some(slot) if slot.outcome.get() == Outcome::Pending => {
-                    *slot.reply.borrow_mut() = t.payload()[4..].to_vec();
+                    // Zero-copy: the slot keeps a view into the delivered
+                    // packet's buffer rather than copying the reply out.
+                    *slot.reply.borrow_mut() = t.payload_view(4);
                     slot.outcome.set(Outcome::Replied);
                     r.cancel_timer(t.node().sim(), &slot);
                     slot.flag.set();
                     if slot.oneway.get() {
                         // Ack for a one-way call: nobody is waiting, release
-                        // the slot here.
+                        // the slot here (dropping our reference first so the
+                        // slot is eligible for reuse).
+                        drop(slot);
                         r.inner.tables[idx].borrow_mut().release(call_id);
                     }
                 }
@@ -321,7 +355,7 @@ impl Rpc {
     /// paper's stubs: anything that fits the CM-5's argument words (16
     /// bytes including the call header) goes as a short active message,
     /// everything else through the scopy engine.
-    async fn send_request(&self, node: &Node, dst: NodeId, id: HandlerId, payload: Vec<u8>) {
+    async fn send_request(&self, node: &Node, dst: NodeId, id: HandlerId, payload: PayloadBuf) {
         if payload.len() > self.inner.cfg.bulk_threshold {
             self.inner.am.send_bulk(node, dst, id, payload);
         } else {
@@ -329,25 +363,72 @@ impl Rpc {
         }
     }
 
-    /// Perform a synchronous RPC: marshals nothing itself — `args` are the
-    /// already-encoded argument bytes — but owns correlation, transport,
-    /// the reply wait, retransmission, and NACK back-off/retry. Returns the
+    /// Marshal `[call_id][args]` straight into a payload: inline (no
+    /// allocation) when it fits a short packet, into a buffer leased from
+    /// the node's pool otherwise.
+    fn marshal_request(
+        &self,
+        node: &Node,
+        call_id: u32,
+        write_args: &dyn Fn(&mut WireWriter),
+    ) -> PayloadBuf {
+        let mut w = WireWriter::pooled(self.inner.am.pool(node.id()).clone());
+        call_id.encode(&mut w);
+        write_args(&mut w);
+        w.finish()
+    }
+
+    /// Perform a synchronous RPC with `Wire`-encodable arguments (the
+    /// argument tuple of the generated stubs). Marshals directly into the
+    /// outgoing payload buffer and returns a zero-copy view of the encoded
+    /// reply.
+    pub async fn call_args<A: Wire>(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        args: &A,
+    ) -> PayloadView {
+        self.call_inner(node, dst, id, &|w| args.encode(w)).await
+    }
+
+    /// Perform a synchronous RPC with already-encoded argument bytes (for
+    /// dynamically-constructed calls). Returns a zero-copy view of the
     /// encoded reply.
-    ///
-    /// This is the primitive the generated stubs call; it is also usable
-    /// directly for dynamically-constructed calls.
-    pub async fn call_raw(&self, node: &Node, dst: NodeId, id: HandlerId, args: &[u8]) -> Vec<u8> {
+    pub async fn call_raw(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        args: &[u8],
+    ) -> PayloadView {
+        self.call_inner(node, dst, id, &|w| w.extend_from_slice(args)).await
+    }
+
+    /// The synchronous-call primitive: owns correlation, transport, the
+    /// reply wait, retransmission, and NACK back-off/retry. `write_args`
+    /// appends the encoded arguments (re-invoked on NACK retry, which
+    /// re-marshals under a fresh call id).
+    async fn call_inner(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        write_args: &dyn Fn(&mut WireWriter),
+    ) -> PayloadView {
         node.stats().borrow_mut().rpcs_sync += 1;
         node.add_pending(self.inner.cfg.cost.rpc_caller_overhead);
-        node.add_pending(self.marshal_cost(args.len()));
         let idx = node.id().index();
         let mut attempt = 0u32;
+        let mut charged = false;
         loop {
             let (call_id, slot) = self.inner.tables[idx].borrow_mut().alloc();
-            let mut payload = Vec::with_capacity(4 + args.len());
-            call_id.encode(&mut payload);
-            payload.extend_from_slice(args);
-            let resend = self.inner.reliable.then(|| Rc::new(payload.clone()));
+            let payload = self.marshal_request(node, call_id, write_args);
+            if !charged {
+                charged = true;
+                node.add_pending(self.marshal_cost(payload.len() - 4));
+            }
+            let resend = self.inner.reliable.then(|| payload.clone());
             self.send_request(node, dst, id, payload).await;
             if let Some(bytes) = resend {
                 self.arm_timer(node, dst, id, call_id, &slot, bytes);
@@ -356,6 +437,7 @@ impl Rpc {
             self.cancel_timer(node.sim(), &slot);
             let outcome = slot.outcome.get();
             let reply = slot.reply.borrow().clone();
+            drop(slot); // the table must hold the last reference to reuse it
             self.inner.tables[idx].borrow_mut().release(call_id);
             match outcome {
                 Outcome::Replied => {
@@ -372,27 +454,46 @@ impl Rpc {
         }
     }
 
-    /// Perform an asynchronous (one-way) RPC. Fire-and-forget on a lossless
-    /// fabric; with retransmission enabled the call is correlated and
-    /// acknowledged like a two-way call (the caller just does not wait),
-    /// so a lost request or ack is recovered by the timer.
+    /// Perform an asynchronous (one-way) RPC with `Wire`-encodable
+    /// arguments. Fire-and-forget on a lossless fabric; with retransmission
+    /// enabled the call is correlated and acknowledged like a two-way call
+    /// (the caller just does not wait), so a lost request or ack is
+    /// recovered by the timer.
+    pub async fn send_oneway_args<A: Wire>(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        args: &A,
+    ) {
+        self.oneway_inner(node, dst, id, &|w| args.encode(w)).await
+    }
+
+    /// As [`Rpc::send_oneway_args`], with already-encoded argument bytes.
     pub async fn send_oneway_raw(&self, node: &Node, dst: NodeId, id: HandlerId, args: &[u8]) {
+        self.oneway_inner(node, dst, id, &|w| w.extend_from_slice(args)).await
+    }
+
+    async fn oneway_inner(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        write_args: &dyn Fn(&mut WireWriter),
+    ) {
         node.stats().borrow_mut().rpcs_async += 1;
-        node.add_pending(self.marshal_cost(args.len()));
         if !self.inner.reliable {
-            let mut payload = Vec::with_capacity(4 + args.len());
-            ONEWAY_SENTINEL.encode(&mut payload);
-            payload.extend_from_slice(args);
+            let payload = self.marshal_request(node, ONEWAY_SENTINEL, write_args);
+            node.add_pending(self.marshal_cost(payload.len() - 4));
             self.send_request(node, dst, id, payload).await;
             return;
         }
         let idx = node.id().index();
         let (call_id, slot) = self.inner.tables[idx].borrow_mut().alloc();
         slot.oneway.set(true);
-        let mut payload = Vec::with_capacity(4 + args.len());
-        call_id.encode(&mut payload);
-        payload.extend_from_slice(args);
-        let bytes = Rc::new(payload.clone());
+        let payload = self.marshal_request(node, call_id, write_args);
+        node.add_pending(self.marshal_cost(payload.len() - 4));
+        let bytes = payload.clone();
         self.send_request(node, dst, id, payload).await;
         self.arm_timer(node, dst, id, call_id, &slot, bytes);
     }
@@ -408,7 +509,7 @@ impl Rpc {
         handler: HandlerId,
         call_id: u32,
         slot: &Rc<CallSlot>,
-        bytes: Rc<Vec<u8>>,
+        bytes: PayloadBuf,
     ) {
         if slot.outcome.get() != Outcome::Pending {
             return; // completed while the request was still being sent
@@ -437,7 +538,7 @@ impl Rpc {
         handler: HandlerId,
         call_id: u32,
         slot: &Rc<CallSlot>,
-        bytes: Rc<Vec<u8>>,
+        bytes: PayloadBuf,
     ) {
         slot.timer.set(None);
         if slot.outcome.get() != Outcome::Pending {
@@ -451,13 +552,14 @@ impl Rpc {
         // the resend is NI-engine work, not processor work, so no cost is
         // charged; if the FIFO is full right now this round is skipped and
         // the back-off timer tries again. Oversized requests re-run the
-        // bulk engine.
+        // bulk engine. The resend copies are refcounted views of the
+        // original request buffer, not byte copies.
         if bytes.len() > self.inner.cfg.bulk_threshold {
-            self.inner.am.send_bulk(node, dst, handler, (*bytes).clone());
+            self.inner.am.send_bulk(node, dst, handler, bytes.clone());
             node.stats().borrow_mut().retransmits += 1;
             node.emit(TraceKind::CallRetransmit { call_id, dst, attempt });
         } else {
-            let pkt = Packet::short(node.id(), dst, handler.0, (*bytes).clone());
+            let pkt = Packet::short(node.id(), dst, handler.0, bytes.clone());
             if self.inner.am.network().try_inject(pkt).is_ok() {
                 node.stats().borrow_mut().retransmits += 1;
                 node.emit(TraceKind::CallRetransmit { call_id, dst, attempt });
@@ -489,20 +591,34 @@ impl Rpc {
         node.spin_on(flag).await;
     }
 
-    /// Send the reply for a completed call (server side). Chooses short or
+    /// Send the reply for a completed call (server side), marshaling the
+    /// result directly into the outgoing payload buffer. Chooses short or
     /// bulk transport like requests do. With duplicate suppression active
-    /// the encoded reply is cached so a retransmitted request can be
-    /// answered without re-executing the procedure.
-    pub async fn reply(&self, call: &OamCall, call_id: u32, result: Vec<u8>) {
+    /// the encoded reply is cached (by reference) so a retransmitted
+    /// request can be answered without re-executing the procedure.
+    pub async fn reply<T: Wire>(&self, call: &OamCall, call_id: u32, result: &T) {
+        let mut w = WireWriter::pooled(self.inner.am.pool(call.node.id()).clone());
+        call_id.encode(&mut w);
+        result.encode(&mut w);
+        self.reply_payload(call, call_id, w.finish()).await
+    }
+
+    /// As [`Rpc::reply`], with an already-encoded result (layers that
+    /// marshal their own return values, e.g. the object layer).
+    pub async fn reply_raw(&self, call: &OamCall, call_id: u32, result: &[u8]) {
+        let mut w = WireWriter::pooled(self.inner.am.pool(call.node.id()).clone());
+        call_id.encode(&mut w);
+        w.extend_from_slice(result);
+        self.reply_payload(call, call_id, w.finish()).await
+    }
+
+    async fn reply_payload(&self, call: &OamCall, call_id: u32, payload: PayloadBuf) {
         let node = &call.node;
-        node.add_pending(self.marshal_cost(result.len()));
-        let mut payload = Vec::with_capacity(4 + result.len());
-        call_id.encode(&mut payload);
-        payload.extend_from_slice(&result);
+        node.add_pending(self.marshal_cost(payload.len() - 4));
         if self.inner.dedup_on && call_id != ONEWAY_SENTINEL {
             let key = (call.pkt.src, call_id);
             if let Some(e) = self.inner.dedup[node.id().index()].borrow_mut().get_mut(&key) {
-                e.reply = Some(Rc::new(payload.clone()));
+                e.reply = Some(payload.clone());
             }
         }
         let dst = call.pkt.src;
@@ -530,7 +646,7 @@ impl Rpc {
             enum Decision {
                 Run,
                 Drop,
-                Resend(Option<Rc<Vec<u8>>>),
+                Resend(Option<PayloadBuf>),
             }
             let caller = call.pkt.src;
             let key = (caller, call_id);
@@ -572,14 +688,12 @@ impl Rpc {
                     call.node.stats().borrow_mut().dups_suppressed += 1;
                     call.node.emit(TraceKind::DupSuppressed { caller, call_id });
                     let payload = match reply {
-                        Some(r) => (*r).clone(),
+                        Some(r) => r,
                         None => {
                             // Completed without a cached reply (should not
                             // happen — acks cache too); synthesize an empty
                             // one so the caller can still make progress.
-                            let mut p = Vec::with_capacity(4);
-                            call_id.encode(&mut p);
-                            p
+                            PayloadBuf::inline(&call_id.to_le_bytes())
                         }
                     };
                     rpc.inner.am.send_from_handler(&call.node, caller, REPLY_ID, payload);
@@ -630,8 +744,7 @@ impl Rpc {
                             let call_id = peek_call_id(&call.pkt.payload);
                             debug_assert_ne!(call_id, ONEWAY_SENTINEL);
                             rpc.dedup_forget(call.node.id().index(), call.pkt.src, call_id);
-                            let mut payload = Vec::with_capacity(4);
-                            call_id.encode(&mut payload);
+                            let payload = PayloadBuf::inline(&call_id.to_le_bytes());
                             am.send_from_handler(&call.node, call.pkt.src, NACK_ID, payload);
                         });
                         entry = entry.with_nack(nack);
@@ -737,9 +850,10 @@ mod tests {
 
     #[test]
     fn decode_request_splits_header_and_args() {
-        let mut p = Vec::new();
+        let mut p = WireWriter::new();
         7u32.encode(&mut p);
         (3u32, 4.5f64).encode(&mut p);
+        let p = p.into_vec();
         let (cid, (a, b)): (u32, (u32, f64)) = decode_request(&p);
         assert_eq!(cid, 7);
         assert_eq!(a, 3);

@@ -6,8 +6,16 @@
 //!
 //! Encoding: little-endian fixed-width integers and floats; `Vec`/`String`
 //! are a `u32` length followed by elements; `Option` is a presence byte.
+//!
+//! Encoders write into a [`WireWriter`]: an inline-first sink that keeps
+//! payloads up to [`SHORT_PAYLOAD_MAX`] bytes on the stack (they become
+//! allocation-free inline packet payloads) and spills larger ones into a
+//! buffer leased from the sending node's [`BufPool`], so even bulk
+//! marshaling recycles storage instead of allocating per message.
 
 use core::fmt;
+
+use oam_net::{BufPool, PayloadBuf, SHORT_PAYLOAD_MAX};
 
 /// Marshaling/unmarshaling failure: the payload did not match the expected
 /// shape. In this simulation that is always a programming error (there is
@@ -62,19 +70,137 @@ impl<'a> WireReader<'a> {
     }
 }
 
+/// Marshaling sink. Encodes accumulate in a stack buffer while they fit a
+/// short packet ([`SHORT_PAYLOAD_MAX`] bytes); the first write past that
+/// spills everything into a heap buffer — leased from a [`BufPool`] when
+/// one was attached, so bulk marshaling reuses recycled storage.
+pub struct WireWriter {
+    inline: [u8; SHORT_PAYLOAD_MAX],
+    /// Bytes used in `inline`; meaningless once `spill` is `Some`.
+    inline_len: usize,
+    spill: Option<Vec<u8>>,
+    pool: Option<BufPool>,
+}
+
+impl WireWriter {
+    /// A writer with no pool: spilled buffers come from (and return to) the
+    /// global allocator.
+    pub fn new() -> Self {
+        WireWriter { inline: [0u8; SHORT_PAYLOAD_MAX], inline_len: 0, spill: None, pool: None }
+    }
+
+    /// A writer that leases its spill buffer from `pool`; the resulting
+    /// payload returns the storage on last drop.
+    pub fn pooled(pool: BufPool) -> Self {
+        WireWriter {
+            inline: [0u8; SHORT_PAYLOAD_MAX],
+            inline_len: 0,
+            spill: None,
+            pool: Some(pool),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        match &self.spill {
+            Some(v) => v.len(),
+            None => self.inline_len,
+        }
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one byte.
+    #[inline]
+    pub fn push(&mut self, b: u8) {
+        if let Some(v) = &mut self.spill {
+            v.push(b);
+        } else if self.inline_len < SHORT_PAYLOAD_MAX {
+            self.inline[self.inline_len] = b;
+            self.inline_len += 1;
+        } else {
+            self.spill_then(&[b]);
+        }
+    }
+
+    /// Append raw bytes.
+    #[inline]
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        if let Some(v) = &mut self.spill {
+            v.extend_from_slice(src);
+        } else if self.inline_len + src.len() <= SHORT_PAYLOAD_MAX {
+            self.inline[self.inline_len..self.inline_len + src.len()].copy_from_slice(src);
+            self.inline_len += src.len();
+        } else {
+            self.spill_then(src);
+        }
+    }
+
+    /// Move the inline bytes to a heap buffer and append `src` (cold path:
+    /// runs at most once per writer).
+    fn spill_then(&mut self, src: &[u8]) {
+        let cap = (self.inline_len + src.len()).max(64);
+        let mut v = match &self.pool {
+            Some(p) => p.lease(cap),
+            None => Vec::with_capacity(cap),
+        };
+        v.extend_from_slice(&self.inline[..self.inline_len]);
+        v.extend_from_slice(src);
+        self.spill = Some(v);
+    }
+
+    /// Finish into a payload: inline (allocation-free) when the bytes fit a
+    /// short packet, otherwise the spilled — possibly pool-leased — buffer.
+    pub fn finish(self) -> PayloadBuf {
+        match self.spill {
+            Some(v) => match self.pool {
+                Some(p) => p.wrap(v),
+                None => PayloadBuf::heap(v),
+            },
+            None => PayloadBuf::inline(&self.inline[..self.inline_len]),
+        }
+    }
+
+    /// Finish into a plain byte vector (for callers that need owned bytes;
+    /// a pool-leased spill buffer is detached from its pool).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self.spill {
+            Some(v) => v,
+            None => self.inline[..self.inline_len].to_vec(),
+        }
+    }
+}
+
+impl Default for WireWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Types that can cross the simulated wire.
 pub trait Wire: Sized {
     /// Append this value's encoding to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
+    fn encode(&self, out: &mut WireWriter);
     /// Decode one value.
     fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError>;
 }
 
 /// Encode a value into a fresh buffer.
 pub fn to_bytes<T: Wire>(v: &T) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = WireWriter::new();
     v.encode(&mut out);
-    out
+    out.into_vec()
+}
+
+/// Encode a value into a payload, leasing heap storage (if any is needed)
+/// from `pool`.
+pub fn to_payload<T: Wire>(v: &T, pool: &BufPool) -> PayloadBuf {
+    let mut out = WireWriter::pooled(pool.clone());
+    v.encode(&mut out);
+    out.finish()
 }
 
 /// Decode a value that must consume the whole buffer.
@@ -90,7 +216,7 @@ pub fn from_bytes<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
 macro_rules! wire_int {
     ($($t:ty),*) => {$(
         impl Wire for $t {
-            fn encode(&self, out: &mut Vec<u8>) {
+            fn encode(&self, out: &mut WireWriter) {
                 out.extend_from_slice(&self.to_le_bytes());
             }
             fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -107,7 +233,7 @@ macro_rules! wire_int {
 wire_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
 
 impl Wire for usize {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireWriter) {
         (*self as u64).encode(out);
     }
     fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -116,7 +242,7 @@ impl Wire for usize {
 }
 
 impl Wire for bool {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireWriter) {
         out.push(*self as u8);
     }
     fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -125,14 +251,14 @@ impl Wire for bool {
 }
 
 impl Wire for () {
-    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn encode(&self, _out: &mut WireWriter) {}
     fn decode(_rd: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(())
     }
 }
 
 impl<T: Wire> Wire for Option<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireWriter) {
         match self {
             None => out.push(0),
             Some(v) => {
@@ -151,7 +277,7 @@ impl<T: Wire> Wire for Option<T> {
 }
 
 impl<T: Wire> Wire for Vec<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireWriter) {
         (self.len() as u32).encode(out);
         for v in self {
             v.encode(out);
@@ -168,7 +294,7 @@ impl<T: Wire> Wire for Vec<T> {
 }
 
 impl Wire for String {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireWriter) {
         (self.len() as u32).encode(out);
         out.extend_from_slice(self.as_bytes());
     }
@@ -181,7 +307,7 @@ impl Wire for String {
 }
 
 impl<const N: usize, T: Wire + Copy + Default> Wire for [T; N] {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireWriter) {
         for v in self {
             v.encode(out);
         }
@@ -198,7 +324,7 @@ impl<const N: usize, T: Wire + Copy + Default> Wire for [T; N] {
 macro_rules! wire_tuple {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Wire),+> Wire for ($($name,)+) {
-            fn encode(&self, out: &mut Vec<u8>) {
+            fn encode(&self, out: &mut WireWriter) {
                 $(self.$idx.encode(out);)+
             }
             fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {

@@ -63,6 +63,11 @@ impl Flag {
         self.0.set(true);
     }
 
+    /// Reset the flag to unset (for reusing a flag across waits).
+    pub fn clear(&self) {
+        self.0.set(false);
+    }
+
     /// Current value.
     pub fn get(&self) -> bool {
         self.0.get()

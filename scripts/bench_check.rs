@@ -25,12 +25,20 @@ use std::process::ExitCode;
 /// baseline (0.15 = +15%). Above this, the gate fails.
 const MAX_WALL_REGRESSION: f64 = 0.15;
 
+/// Maximum tolerated heap-allocation-count growth per suite (0.20 = +20%).
+/// Unlike wall-clock, alloc counts are deterministic for a fixed workload,
+/// so growth past the threshold means the code path really did start
+/// allocating more — the slack only absorbs intentional small changes that
+/// don't warrant re-recording.
+const MAX_ALLOC_REGRESSION: f64 = 0.20;
+
 #[derive(Debug, Default, Clone)]
 struct Suite {
     name: String,
     wall_ms: f64,
     events: u64,
     answer: u64,
+    allocs: u64,
 }
 
 /// Extract the value of `"key": ...` from a flat object body. String
@@ -87,6 +95,7 @@ fn parse_suites(json: &str) -> Vec<Suite> {
                 wall_ms: num("wall_ms"),
                 events: num("events") as u64,
                 answer: num("answer") as u64,
+                allocs: num("allocs") as u64,
             }
         })
         .collect()
@@ -144,27 +153,44 @@ fn main() -> ExitCode {
             continue;
         }
         let delta = (n.wall_ms - b.wall_ms) / b.wall_ms.max(1e-9);
+        // Alloc counts are deterministic; gate them like wall-clock but
+        // with their own threshold. Baselines recorded before alloc
+        // tracking carry 0 — skip the check rather than divide by it.
+        let alloc_delta =
+            (b.allocs > 0).then(|| (n.allocs as f64 - b.allocs as f64) / b.allocs as f64);
         let verdict = if delta > MAX_WALL_REGRESSION {
             failures += 1;
             "REGRESSED"
+        } else if alloc_delta.is_some_and(|d| d > MAX_ALLOC_REGRESSION) {
+            failures += 1;
+            "ALLOC REGRESSED"
         } else {
             "ok"
         };
         let events_note = if n.events != b.events { " (events changed; consider re-recording baseline)" } else { "" };
+        let alloc_note = match alloc_delta {
+            Some(d) => format!(" allocs {} -> {} ({:+.1}%)", b.allocs, n.allocs, d * 100.0),
+            None => String::new(),
+        };
         println!(
-            "{:<24} {:>12.2} {:>12.2} {:>+7.1}%   {verdict}{events_note}",
+            "{:<24} {:>12.2} {:>12.2} {:>+7.1}%   {verdict}{alloc_note}{events_note}",
             b.name, b.wall_ms, n.wall_ms, delta * 100.0
         );
     }
     if failures > 0 {
         eprintln!(
-            "\nbench_check: {failures} suite(s) regressed more than {:.0}% (or drifted); \
-             if intentional, re-record with `cargo run --release -p oam-bench --bin perfsuite \
-             -- --quick --out BENCH_baseline.json`",
-            MAX_WALL_REGRESSION * 100.0
+            "\nbench_check: {failures} suite(s) regressed more than {:.0}% wall (or {:.0}% \
+             allocs, or drifted); if intentional, re-record with `cargo run --release -p \
+             oam-bench --bin perfsuite -- --quick --out BENCH_baseline.json`",
+            MAX_WALL_REGRESSION * 100.0,
+            MAX_ALLOC_REGRESSION * 100.0
         );
         return ExitCode::FAILURE;
     }
-    println!("\nbench_check: all suites within {:.0}% of baseline", MAX_WALL_REGRESSION * 100.0);
+    println!(
+        "\nbench_check: all suites within {:.0}% wall / {:.0}% allocs of baseline",
+        MAX_WALL_REGRESSION * 100.0,
+        MAX_ALLOC_REGRESSION * 100.0
+    );
     ExitCode::SUCCESS
 }

@@ -12,9 +12,14 @@
 //! re-record with `OAM_PRINT_GOLDEN=1 cargo test -q --test
 //! determinism_golden -- --nocapture`.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use optimistic_active_messages::apps::tsp::{self, TspParams};
 use optimistic_active_messages::apps::System;
-use optimistic_active_messages::model::{Dur, FaultPlan, MachineConfig, ReliabilityConfig};
+use optimistic_active_messages::machine::MachineBuilder;
+use optimistic_active_messages::model::{Dur, FaultPlan, MachineConfig, NodeId, ReliabilityConfig};
+use optimistic_active_messages::rpc::define_rpc_service;
 use optimistic_active_messages::trace::Recorder;
 
 /// FNV-1a 64-bit over `bytes` — stable, dependency-free fingerprint.
@@ -86,6 +91,111 @@ fn fixed_seed_tsp_chaos_trace_is_byte_identical_to_the_pre_swap_golden() {
         "trace bytes drifted (hash {hash:#018x}): the event queue no longer preserves the \
          original (time, seq) execution order"
     );
+}
+
+// ---------------------------------------------------------------------
+// Bulk-transfer golden scenario
+// ---------------------------------------------------------------------
+
+/// State for the bulk-ingest service: a running checksum.
+pub struct SinkState {
+    /// Accumulated checksum of everything ingested.
+    pub sum: Cell<u64>,
+}
+
+define_rpc_service! {
+    /// Consumes bulk payloads, folding them into a checksum.
+    service Sink {
+        state SinkState;
+
+        /// Fold `data` into the running checksum and return it.
+        rpc ingest(ctx, st, data: Vec<u8>) -> u64 {
+            let _ = ctx;
+            let s: u64 = data.iter().map(|&b| b as u64).sum();
+            let v = st.sum.get().wrapping_add(s).wrapping_add(1);
+            st.sum.set(v);
+            v
+        }
+    }
+}
+
+/// The bulk scenario: 40 rounds of 4 KiB payloads from node 0 to node 1
+/// over the same 5% drop/dup/delay fabric with retransmission. This drives
+/// the pooled-buffer bulk path — lease, spill, Rc-shared retransmit
+/// copies, pool recycling — under chaos, so buffer management feeds the
+/// trace alongside the executor, fabric, and RPC reliability layers.
+fn chaos_bulk() -> (Recorder, u64, u64, u64) {
+    let p = 0.05;
+    let cfg = MachineConfig::cm5(2)
+        .with_fault_plan(FaultPlan::drop_only(p).with_dup(p).with_delay(p, Dur::from_micros(20)))
+        .with_reliability(ReliabilityConfig::retransmitting());
+    let machine = MachineBuilder::from_config(cfg).build();
+    for i in 0..2 {
+        Sink::register_all(
+            machine.rpc(),
+            NodeId(i),
+            Rc::new(SinkState { sum: Cell::new(0) }),
+            optimistic_active_messages::rpc::RpcMode::Orpc,
+        );
+    }
+    let rec = Recorder::new();
+    for n in machine.nodes() {
+        rec.attach(n);
+    }
+    let answer = Rc::new(Cell::new(0u64));
+    let a = Rc::clone(&answer);
+    let report = machine.run(move |env| {
+        let a = Rc::clone(&a);
+        async move {
+            if env.id().index() == 0 {
+                let mut last = 0;
+                for round in 0..40u32 {
+                    let data: Vec<u8> =
+                        (0..4096u32).map(|i| ((i.wrapping_mul(31) + round) % 251) as u8).collect();
+                    last = Sink::ingest::call(env.rpc(), env.node(), NodeId(1), data).await;
+                }
+                a.set(last);
+            }
+            env.barrier().await;
+        }
+    });
+    (rec, answer.get(), report.end_time.as_nanos(), report.events)
+}
+
+const GOLDEN_BULK_TRACE_HASH: u64 = 0x0476_0e00_f408_10f9;
+const GOLDEN_BULK_ANSWER: u64 = 20_478_066;
+const GOLDEN_BULK_END_NS: u64 = 49_358_050;
+const GOLDEN_BULK_EVENTS: u64 = 964;
+
+#[test]
+fn fixed_seed_bulk_chaos_trace_is_byte_identical_to_the_recorded_golden() {
+    let (rec, answer, end_ns, events) = chaos_bulk();
+    let bytes = trace_bytes(&rec);
+    let hash = fnv1a(&bytes);
+    if std::env::var("OAM_PRINT_GOLDEN").is_ok() {
+        println!(
+            "GOLDEN_BULK_TRACE_HASH = {hash:#018x}\nGOLDEN_BULK_ANSWER = {answer}\nGOLDEN_BULK_END_NS = {end_ns}\nGOLDEN_BULK_EVENTS = {events}\n({} trace events, {} bytes)",
+            rec.len(),
+            bytes.len(),
+        );
+    }
+    assert!(rec.len() > 100, "trace is non-trivial ({} events)", rec.len());
+    assert_eq!(answer, GOLDEN_BULK_ANSWER, "bulk chaos checksum drifted");
+    assert_eq!(end_ns, GOLDEN_BULK_END_NS, "virtual end time drifted");
+    assert_eq!(events, GOLDEN_BULK_EVENTS, "executed event count drifted");
+    assert_eq!(
+        hash, GOLDEN_BULK_TRACE_HASH,
+        "bulk trace bytes drifted (hash {hash:#018x}): the pooled payload path altered \
+         observable scheduling order"
+    );
+}
+
+#[test]
+fn bulk_golden_scenario_is_reproducible_within_one_binary() {
+    let (rec_a, ans_a, end_a, ev_a) = chaos_bulk();
+    let (rec_b, ans_b, end_b, ev_b) = chaos_bulk();
+    assert_eq!(trace_bytes(&rec_a), trace_bytes(&rec_b));
+    assert_eq!((ans_a, end_a, ev_a), (ans_b, end_b, ev_b));
 }
 
 #[test]
