@@ -134,8 +134,15 @@ pub fn sequential(p: SorParams) -> (u64, Dur) {
 
 /// Run SOR on `nprocs` nodes.
 pub fn run(system: System, nprocs: usize, p: SorParams) -> AppOutcome {
+    run_configured(system, oam_model::MachineConfig::cm5(nprocs), p)
+}
+
+/// As [`run`], with a caller-supplied machine configuration (mode,
+/// abort-strategy, and policy ablations).
+pub fn run_configured(system: System, cfg: oam_model::MachineConfig, p: SorParams) -> AppOutcome {
+    let nprocs = cfg.nodes;
     assert!(nprocs <= p.rows, "at least one row per node");
-    let machine = MachineBuilder::new(nprocs).build();
+    let machine = MachineBuilder::from_config(cfg).build();
 
     let rpc_states: Vec<Rc<SorState>> = (0..nprocs)
         .map(|i| {

@@ -5,5 +5,7 @@
 pub mod run;
 pub mod sim;
 
-pub use run::{providers, run, sequential, targets, WaterOutcome, WaterParams, WaterVariant};
+pub use run::{
+    providers, run, run_configured, sequential, targets, WaterOutcome, WaterParams, WaterVariant,
+};
 pub use sim::{initial_molecules, kinetic_energy, Molecule};

@@ -179,12 +179,23 @@ pub fn sequential(p: WaterParams) -> (u64, Dur) {
 
 /// Run Water on `nprocs` nodes.
 pub fn run(variant: WaterVariant, nprocs: usize, p: WaterParams) -> WaterOutcome {
+    run_configured(variant, oam_model::MachineConfig::cm5(nprocs), p)
+}
+
+/// As [`run`], with a caller-supplied machine configuration (mode,
+/// abort-strategy, and policy ablations).
+pub fn run_configured(
+    variant: WaterVariant,
+    cfg: oam_model::MachineConfig,
+    p: WaterParams,
+) -> WaterOutcome {
+    let nprocs = cfg.nodes;
     assert!(
         variant.system != System::HandAm || variant.barrier,
         "the AM variant requires barriers (the paper's AM Water would die without them)"
     );
     assert!(nprocs <= p.molecules);
-    let machine = MachineBuilder::new(nprocs).build();
+    let machine = MachineBuilder::from_config(cfg).build();
 
     let rpc_states: Vec<Rc<WaterState>> = (0..nprocs)
         .map(|i| {

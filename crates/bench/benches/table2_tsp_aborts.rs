@@ -5,11 +5,12 @@
 
 use oam_apps::tsp::{self, TspParams};
 use oam_apps::System;
-use oam_bench::report::{print_table, quick_mode, write_csv};
+use oam_bench::report::{per_method_rows, print_table, quick_mode, write_csv, PER_METHOD_HEADERS};
 
 fn main() {
     let params = TspParams::default();
     let slaves: &[usize] = if quick_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 127] };
+    let mut last_stats = None;
     // Paper's "% Successes" row for comparison.
     let paper: &[(usize, f64)] = &[
         (1, 100.0),
@@ -38,9 +39,17 @@ fn main() {
             format!("{rate:.1}"),
             paper_rate,
         ]);
+        last_stats = Some((s, out.stats));
     }
     let headers = ["slaves", "# OAMs", "successes", "% success", "paper %"];
     print_table("Table 2: OAM success rate in TSP (ORPC)", &headers, &rows);
+    if let Some((s, stats)) = &last_stats {
+        print_table(
+            &format!("Per-method OAM breakdown ({s} slaves)"),
+            &PER_METHOD_HEADERS,
+            &per_method_rows(stats),
+        );
+    }
     if let Err(e) = write_csv("table2_tsp_aborts", &headers, &rows) {
         eprintln!("csv not written: {e}");
         std::process::exit(1);

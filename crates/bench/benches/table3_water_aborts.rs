@@ -5,7 +5,7 @@
 
 use oam_apps::water::{self, WaterParams, WaterVariant};
 use oam_apps::System;
-use oam_bench::report::{print_table, quick_mode, write_csv};
+use oam_bench::report::{per_method_rows, print_table, quick_mode, write_csv, PER_METHOD_HEADERS};
 
 fn main() {
     let params =
@@ -16,6 +16,7 @@ fn main() {
         &[(2, 100.0), (4, 100.0), (8, 100.0), (16, 100.0), (32, 99.8), (64, 99.7), (128, 99.6)];
     let variant = WaterVariant { system: System::Orpc, barrier: false };
     let mut rows = Vec::new();
+    let mut last_stats = None;
     for &p in procs {
         let out = water::run(variant, p, params);
         let t = out.outcome.stats.total();
@@ -32,9 +33,17 @@ fn main() {
             format!("{rate:.1}"),
             paper_rate,
         ]);
+        last_stats = Some((p, out.outcome.stats));
     }
     let headers = ["procs", "# OAMs", "successes", "% success", "paper %"];
     print_table("Table 3: OAM success rate in Water (ORPC, no barriers)", &headers, &rows);
+    if let Some((p, stats)) = &last_stats {
+        print_table(
+            &format!("Per-method OAM breakdown ({p} procs)"),
+            &PER_METHOD_HEADERS,
+            &per_method_rows(stats),
+        );
+    }
     if let Err(e) = write_csv("table3_water_aborts", &headers, &rows) {
         eprintln!("csv not written: {e}");
         std::process::exit(1);

@@ -41,6 +41,42 @@ pub fn experiments_dir() -> io::Result<PathBuf> {
     Ok(dir)
 }
 
+/// Column headers matching [`per_method_rows`].
+pub const PER_METHOD_HEADERS: [&str; 9] = [
+    "method",
+    "attempts",
+    "inline ok",
+    "aborts",
+    "promoted",
+    "rerun",
+    "nacked",
+    "threaded",
+    "switches",
+];
+
+/// Render a machine's per-method OAM statistics as table rows (one row
+/// per registered method that saw traffic), for use with
+/// [`PER_METHOD_HEADERS`].
+pub fn per_method_rows(stats: &oam_model::MachineStats) -> Vec<Vec<String>> {
+    stats
+        .per_method_total()
+        .iter()
+        .map(|(id, m)| {
+            vec![
+                stats.method_name(*id),
+                m.attempts.to_string(),
+                m.inline_ok.to_string(),
+                m.total_aborts().to_string(),
+                m.promotions.to_string(),
+                m.reruns.to_string(),
+                m.nacks_sent.to_string(),
+                m.threaded.to_string(),
+                m.mode_switches.to_string(),
+            ]
+        })
+        .collect()
+}
+
 /// Print an aligned table to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

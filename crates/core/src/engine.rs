@@ -1,17 +1,18 @@
-//! The Optimistic Active Message execution engine — the paper's core
-//! mechanism (§2).
+//! The policy-driven call engine — the paper's core mechanism (§2) behind
+//! one dispatch path.
 //!
 //! A remote procedure is compiled (here: written as an `async` block built
 //! by a *factory*) under two optimistic assumptions: it will not block, and
-//! it will finish quickly. The engine executes it **inline** in the message
-//! handler by polling the future once on the receiving thread's stack:
+//! it will finish quickly. Under [`CallMode::Orpc`] the engine executes it
+//! **inline** in the message handler by polling the future once on the
+//! receiving thread's stack:
 //!
 //! * `Poll::Ready` without suspension → **success**: the call ran as a pure
 //!   Active Message; no thread was ever created (the provisional slot is
 //!   released for free).
 //! * `Poll::Pending` → the handler attempted to block or ran too long; the
 //!   node's abort-cause cell says why ([`AbortReason`]), and the execution
-//!   **aborts** per the configured [`AbortStrategy`]:
+//!   **aborts** per the method's resolved [`AbortStrategy`]:
 //!     * [`AbortStrategy::Promote`] — the partially-executed future becomes
 //!       a real thread (*lazy thread creation*, the paper's continuation
 //!       abort). No work is redone; the wait-list registrations the handler
@@ -24,33 +25,81 @@
 //!     * [`AbortStrategy::Nack`] — the future is dropped and a negative
 //!       acknowledgment is sent to the caller, who backs off and resends.
 //!
+//! Under [`CallMode::Trpc`] every call is dispatched straight to a fresh
+//! thread — Traditional RPC, the paper's comparison baseline (§3.2).
+//!
+//! Which of the two a method uses, how aborts resolve, and how long the
+//! optimistic attempt may run are all per-method knobs carried by
+//! [`ExecPolicy`] (`MachineConfig::policies`, falling back to the global
+//! defaults), so one [`MethodSite`] registry entry serves both modes — the
+//! old `OptimisticEntry`/`ThreadedEntry` split is gone.
+//!
+//! # Adaptive dispatch
+//!
+//! An [`ExecPolicy`] may carry an [`AdaptivePolicy`]: the site then counts
+//! attempts and aborts over a sliding window and **demotes** the method
+//! from ORPC to TRPC when the window's abort rate crosses the configured
+//! threshold — the runtime analogue of the paper's §6 observation that
+//! ORPC only wins when handlers usually don't block. After a configured
+//! number of threaded calls the site **re-probes**: it switches back to
+//! ORPC for a short probe window and stays only if the abort rate has
+//! dropped below the (hysteretic) promotion threshold. Every transition
+//! emits [`TraceKind::ModeSwitch`]. All counters are driven by message
+//! arrivals in virtual time, so the switching points are a pure function
+//! of the simulated execution — adaptive runs are exactly as deterministic
+//! and replayable as static ones.
+//!
 //! # The rerun idempotency contract
 //!
-//! A procedure registered under [`AbortStrategy::Rerun`] may be executed
-//! more than once *per arrival*: the optimistic attempt runs the body from
-//! the top, and if it aborts, a fresh future built from the **same**
+//! A procedure resolved as [`AbortStrategy::Rerun`] may be executed more
+//! than once *per arrival*: the optimistic attempt runs the body from the
+//! top, and if it aborts, a fresh future built from the **same**
 //! [`OamCall`] (same `Rc<Packet>`) replays it as a thread. The §3.3 rule —
 //! mutate shared state only after every lock is held and every condition
 //! tested — is exactly what makes that replay safe: all observable effects
 //! happen in the post-synchronization suffix, which runs once.
 //!
-//! Layers above rely on this shape. The RPC runtime's duplicate-suppression
-//! table distinguishes a *rerun* (same packet instance, allowed through)
-//! from a *retransmission or fabric duplicate* (same call id on a different
-//! packet instance, suppressed) by `Rc` identity of `OamCall::pkt` — so the
-//! contract extends to lossy networks: a call body may be attempted several
-//! times on one arrival but is **executed to completion at most once per
-//! call id**, no matter how many copies of the request the fabric delivers.
+//! # Reliability: duplicate suppression
+//!
+//! When the fabric can deliver duplicates (retransmission enabled, or a
+//! fault plan that duplicates packets), the engine keeps a per-server-node
+//! table of [`CallFrame`]s keyed on `(caller, call_id)`. A request is
+//! *fresh* the first time its key is seen; an abort-driven rerun of the
+//! same packet instance (by `Rc` address) is allowed through; any other
+//! copy is a duplicate — dropped while the original is still executing,
+//! answered from the frame's cached reply once it has finished. So a call
+//! body may be attempted several times on one arrival but is **executed to
+//! completion at most once per call id**, no matter how many copies of the
+//! request the fabric delivers. The RPC layer injects the reply-resend
+//! hook ([`CallEngine::set_reply_resender`]) because it owns the reply
+//! wire format; NACKed calls are forgotten ([`CallEngine::forget_call`])
+//! so the caller's re-issue can execute.
 
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
 use oam_am::{Am, PacketHandler};
-use oam_model::{AbortReason, AbortStrategy};
-use oam_net::Packet;
+use oam_model::{
+    AbortReason, AbortStrategy, AdaptivePolicy, CallMode, Dur, ExecPolicy, MachineConfig, NodeId,
+    TraceKind,
+};
+use oam_net::{Packet, PayloadBuf};
 use oam_threads::{ExecMode, Node, Placement};
+
+/// `call_id` marking a one-way (asynchronous) RPC: nothing to correlate,
+/// suppress, or reply to.
+pub const ONEWAY_SENTINEL: u32 = u32::MAX;
+
+/// Decode just the call-correlation header (first word, little-endian)
+/// from a request payload.
+pub fn peek_call_id(payload: &[u8]) -> u32 {
+    let bytes: [u8; 4] = payload[..4].try_into().expect("request call id");
+    u32::from_le_bytes(bytes)
+}
 
 /// The context an optimistic call executes in: everything a handler body
 /// needs to compute, synchronize, and reply.
@@ -73,61 +122,343 @@ pub type CallFactory = Rc<dyn Fn(&OamCall) -> Pin<Box<dyn Future<Output = ()>>>>
 /// wire format.
 pub type NackSender = Rc<dyn Fn(&OamCall)>;
 
-/// A registry entry that executes messages as Optimistic Active Messages.
-pub struct OptimisticEntry {
-    factory: CallFactory,
-    nack: Option<NackSender>,
-    strategy_override: Option<AbortStrategy>,
+/// Re-sends the cached (or synthesized) reply for a suppressed duplicate
+/// of an already-completed call. Owned by the stub layer, which knows the
+/// reply wire format.
+pub type ReplyResender = Rc<dyn Fn(&OamCall, u32, Option<PayloadBuf>)>;
+
+/// Server-side record of one logical call, keyed `(caller, call_id)` in
+/// the engine's dedup table. Carries the reliability state that used to be
+/// scattered through the RPC runtime: which packet instance claimed the
+/// call (so reruns pass and retransmissions don't), the cached reply for
+/// answering duplicates, and completion.
+struct CallFrame {
+    /// While executing, the packet instance (by `Rc` address) that claimed
+    /// the call — so an abort-driven *rerun* of the same arrival is allowed
+    /// through while a retransmitted or fabric-duplicated copy is not.
+    claimed_by: Option<usize>,
+    /// Cached reply payload (header included), re-sent verbatim when a
+    /// duplicate of an already-executed call arrives. Shares the original
+    /// reply's buffer — caching is a refcount bump.
+    reply: Option<PayloadBuf>,
+    done: bool,
 }
 
-impl OptimisticEntry {
-    /// Execute calls built by `factory` optimistically, resolving aborts
-    /// per the machine's configured strategy.
-    pub fn new(factory: CallFactory) -> Self {
-        OptimisticEntry { factory, nack: None, strategy_override: None }
+struct EngineInner {
+    cfg: Rc<MachineConfig>,
+    /// Per-server-node duplicate suppression; only consulted when faults or
+    /// retransmission make duplicates possible.
+    dedup: Vec<RefCell<HashMap<(NodeId, u32), CallFrame>>>,
+    /// Duplicate suppression enabled (retransmission on, or a fault plan
+    /// that can duplicate/redeliver packets).
+    dedup_on: bool,
+    /// Registered method names by handler id — collision detection at
+    /// registration time plus human-readable report labels.
+    names: RefCell<BTreeMap<u32, String>>,
+    resend_reply: RefCell<Option<ReplyResender>>,
+}
+
+/// The call engine: owns the server-side call lifecycle for every
+/// registered remote procedure — mode selection, the optimistic attempt,
+/// abort resolution, duplicate suppression, and the per-method name
+/// registry. One per machine; cheap to clone.
+#[derive(Clone)]
+pub struct CallEngine {
+    inner: Rc<EngineInner>,
+}
+
+impl CallEngine {
+    /// Build the engine for a machine of `nodes` processors.
+    pub fn new(cfg: Rc<MachineConfig>, nodes: usize) -> Self {
+        let dedup_on = cfg.reliability.retransmit || cfg.fault_plan.is_some();
+        CallEngine {
+            inner: Rc::new(EngineInner {
+                cfg,
+                dedup: (0..nodes).map(|_| RefCell::new(HashMap::new())).collect(),
+                dedup_on,
+                names: RefCell::new(BTreeMap::new()),
+                resend_reply: RefCell::new(None),
+            }),
+        }
     }
 
-    /// Provide the NACK constructor (required if the machine uses
+    /// Machine configuration.
+    pub fn config(&self) -> &Rc<MachineConfig> {
+        &self.inner.cfg
+    }
+
+    /// Whether duplicate suppression is active on this machine.
+    pub fn dedup_enabled(&self) -> bool {
+        self.inner.dedup_on
+    }
+
+    /// Install the hook that answers a suppressed duplicate of a completed
+    /// call (required before duplicates can arrive; the RPC layer installs
+    /// it because it owns the reply wire format).
+    pub fn set_reply_resender(&self, f: ReplyResender) {
+        *self.inner.resend_reply.borrow_mut() = Some(f);
+    }
+
+    /// The execution policy for method `id`: the per-method entry from
+    /// `MachineConfig::policies` if present, else the defaults for the mode
+    /// the method was registered under.
+    pub fn policy_for(&self, id: u32, registered: CallMode) -> ExecPolicy {
+        self.inner
+            .cfg
+            .policies
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| ExecPolicy::for_mode(registered))
+    }
+
+    /// Record a method name for handler `id`, panicking if a *different*
+    /// name already claimed the id — `handler_id_for` is a 31-bit FNV-1a
+    /// hash, so two names can collide silently otherwise. Registering the
+    /// same name again (e.g. on every node) is fine.
+    pub fn register_name(&self, id: u32, name: &str) {
+        let mut names = self.inner.names.borrow_mut();
+        match names.get(&id) {
+            Some(prev) if prev != name => panic!(
+                "handler id collision: {id:#010x} is claimed by both `{prev}` and `{name}` — \
+                 rename one of the methods"
+            ),
+            Some(_) => {}
+            None => {
+                names.insert(id, name.to_string());
+            }
+        }
+    }
+
+    /// Registered handler-id → method-name mappings (for report labels).
+    pub fn method_names(&self) -> BTreeMap<u32, String> {
+        self.inner.names.borrow().clone()
+    }
+
+    /// Build the registry entry executing calls built by `factory` under
+    /// `policy`. `expects_reply` distinguishes `rpc` from `oneway` methods:
+    /// only reply-bearing calls can be NACKed (the caller is waiting);
+    /// one-way calls resolved as NACK fall back to rerun.
+    pub fn site(
+        &self,
+        policy: ExecPolicy,
+        expects_reply: bool,
+        factory: CallFactory,
+    ) -> MethodSite {
+        let mut abort = policy.abort.unwrap_or(self.inner.cfg.abort_strategy);
+        if abort == AbortStrategy::Nack && !expects_reply {
+            abort = AbortStrategy::Rerun;
+        }
+        let adaptive = policy.adaptive.map(|p| AdaptiveState {
+            policy: p,
+            mode: Cell::new(policy.mode),
+            window_attempts: Cell::new(0),
+            window_aborts: Cell::new(0),
+            trpc_calls: Cell::new(0),
+            probing: Cell::new(false),
+        });
+        MethodSite {
+            engine: self.clone(),
+            factory,
+            nack: None,
+            abort,
+            budget: policy.handler_budget,
+            static_mode: policy.mode,
+            correlated: false,
+            adaptive,
+        }
+    }
+
+    /// Cache the encoded reply for `(caller, call_id)` on `server` so a
+    /// retransmitted request can be answered without re-executing.
+    pub fn cache_reply(&self, server: usize, caller: NodeId, call_id: u32, payload: PayloadBuf) {
+        if self.inner.dedup_on {
+            if let Some(f) = self.inner.dedup[server].borrow_mut().get_mut(&(caller, call_id)) {
+                f.reply = Some(payload);
+            }
+        }
+    }
+
+    /// Forget a call frame after a NACK: the server rejected the call
+    /// without executing it, and the caller will re-issue it (under a fresh
+    /// call id), so a retransmission of *this* id must be free to execute.
+    pub fn forget_call(&self, server: usize, caller: NodeId, call_id: u32) {
+        if self.inner.dedup_on {
+            self.inner.dedup[server].borrow_mut().remove(&(caller, call_id));
+        }
+    }
+}
+
+/// Per-method adaptive-dispatch state (interior-mutable: sites live behind
+/// `Rc` in the handler registry).
+struct AdaptiveState {
+    policy: AdaptivePolicy,
+    /// Current effective mode (starts at the policy's static mode).
+    mode: Cell<CallMode>,
+    window_attempts: Cell<u32>,
+    window_aborts: Cell<u32>,
+    /// Threaded calls served since demotion (drives re-probing).
+    trpc_calls: Cell<u32>,
+    /// Currently re-probing ORPC after a demotion (shorter window, stricter
+    /// threshold).
+    probing: Cell<bool>,
+}
+
+/// The registry entry for one remote procedure on one node: executes
+/// arrivals per its resolved [`ExecPolicy`] — optimistically inline under
+/// ORPC, thread-per-call under TRPC, or adaptively between the two.
+pub struct MethodSite {
+    engine: CallEngine,
+    factory: CallFactory,
+    nack: Option<NackSender>,
+    /// Resolved abort resolution (per-method override, else global).
+    abort: AbortStrategy,
+    /// Per-method optimistic run-length budget override.
+    budget: Option<Dur>,
+    static_mode: CallMode,
+    /// Payloads start with a `call_id` correlation header (RPC framing),
+    /// enabling duplicate suppression.
+    correlated: bool,
+    adaptive: Option<AdaptiveState>,
+}
+
+impl MethodSite {
+    /// Provide the NACK constructor (required if the method resolves to
     /// [`AbortStrategy::Nack`]).
     pub fn with_nack(mut self, nack: NackSender) -> Self {
         self.nack = Some(nack);
         self
     }
 
-    /// Override the abort strategy for this entry only.
-    pub fn with_strategy(mut self, s: AbortStrategy) -> Self {
-        self.strategy_override = Some(s);
+    /// Mark payloads as carrying the RPC `call_id` correlation header,
+    /// enabling duplicate suppression on lossy fabrics.
+    pub fn with_call_correlation(mut self) -> Self {
+        self.correlated = true;
         self
     }
-}
 
-impl PacketHandler for OptimisticEntry {
-    fn handle(&self, am: &Am, node: &Node, pkt: Packet) {
+    /// The abort resolution this method executes under.
+    pub fn abort_strategy(&self) -> AbortStrategy {
+        self.abort
+    }
+
+    /// The mode the next arrival will dispatch under.
+    pub fn current_mode(&self) -> CallMode {
+        match &self.adaptive {
+            Some(a) => a.mode.get(),
+            None => self.static_mode,
+        }
+    }
+
+    /// Build the handler future for an arrival, applying duplicate
+    /// suppression first when it is active: a fresh call claims its
+    /// [`CallFrame`] and marks it done on completion; a rerun of the same
+    /// packet instance passes; a retransmitted or fabric-duplicated copy is
+    /// suppressed (dropped mid-execution, answered from the reply cache
+    /// after).
+    fn build_future(&self, call: &OamCall) -> Pin<Box<dyn Future<Output = ()>>> {
+        let eng = &self.engine.inner;
+        if !eng.dedup_on || !self.correlated {
+            return (self.factory)(call);
+        }
+        let call_id = peek_call_id(&call.pkt.payload);
+        if call_id == ONEWAY_SENTINEL {
+            // Unreliable oneway: nothing to correlate or suppress.
+            return (self.factory)(call);
+        }
+        enum Decision {
+            Run,
+            Drop,
+            Resend(Option<PayloadBuf>),
+        }
+        let caller = call.pkt.src;
+        let key = (caller, call_id);
+        let sidx = call.node.id().index();
+        let pkt_ptr = Rc::as_ptr(&call.pkt) as usize;
+        let decision = {
+            let mut map = eng.dedup[sidx].borrow_mut();
+            match map.get(&key) {
+                None => {
+                    map.insert(
+                        key,
+                        CallFrame { claimed_by: Some(pkt_ptr), reply: None, done: false },
+                    );
+                    Decision::Run
+                }
+                Some(f) if f.done => Decision::Resend(f.reply.clone()),
+                Some(f) if f.claimed_by == Some(pkt_ptr) => Decision::Run,
+                Some(_) => Decision::Drop,
+            }
+        };
+        match decision {
+            Decision::Run => {
+                let fut = (self.factory)(call);
+                let engine = self.engine.clone();
+                Box::pin(async move {
+                    fut.await;
+                    if let Some(f) = engine.inner.dedup[sidx].borrow_mut().get_mut(&key) {
+                        f.done = true;
+                        f.claimed_by = None;
+                    }
+                })
+            }
+            Decision::Drop => {
+                call.node.stats().borrow_mut().dups_suppressed += 1;
+                call.node.emit(TraceKind::DupSuppressed { caller, call_id });
+                Box::pin(async {})
+            }
+            Decision::Resend(reply) => {
+                call.node.stats().borrow_mut().dups_suppressed += 1;
+                call.node.emit(TraceKind::DupSuppressed { caller, call_id });
+                let resend = eng
+                    .resend_reply
+                    .borrow()
+                    .clone()
+                    .expect("duplicate suppression requires a reply resender");
+                resend(call, call_id, reply);
+                Box::pin(async {})
+            }
+        }
+    }
+
+    /// One optimistic attempt: poll the handler future once on the current
+    /// stack, then resolve success or abort.
+    fn run_optimistic(&self, am: &Am, node: &Node, pkt: Packet) {
         let cfg = Rc::clone(node.config());
-        let strategy = self.strategy_override.unwrap_or(cfg.abort_strategy);
-        node.stats().borrow_mut().oam_attempts += 1;
+        let tag = pkt.tag;
+        {
+            let mut st = node.stats().borrow_mut();
+            st.oam_attempts += 1;
+            st.method_mut(tag).attempts += 1;
+        }
         node.add_pending(cfg.cost.oam_entry);
 
         let call = OamCall { am: am.clone(), node: node.clone(), pkt: Rc::new(pkt) };
         let tid = node.reserve_provisional();
-        let mut fut = (self.factory)(&call);
+        let mut fut = self.build_future(&call);
 
         // Optimistic inline execution: one poll on the current stack.
         let prev_mode = node.set_mode(ExecMode::Optimistic);
         let prev_provisional = node.set_active_provisional_replace(Some(tid));
+        let prev_budget = node.set_handler_budget_override(self.budget);
         node.reset_handler_elapsed();
         let waker = Waker::noop();
         let mut cx = Context::from_waker(waker);
         let outcome = fut.as_mut().poll(&mut cx);
+        node.set_handler_budget_override(prev_budget);
         node.set_active_provisional_replace(prev_provisional);
         node.set_mode(prev_mode);
 
-        match outcome {
+        let aborted = match outcome {
             Poll::Ready(()) => {
                 node.release_provisional(tid);
-                node.stats().borrow_mut().oam_successes += 1;
-                node.emit(oam_model::TraceKind::OamSuccess { tag: call.pkt.tag });
+                {
+                    let mut st = node.stats().borrow_mut();
+                    st.oam_successes += 1;
+                    st.method_mut(tag).inline_ok += 1;
+                }
+                node.emit(TraceKind::OamSuccess { tag });
                 node.add_pending(cfg.cost.oam_commit);
+                false
             }
             Poll::Pending => {
                 let cause = node
@@ -136,12 +467,17 @@ impl PacketHandler for OptimisticEntry {
                 {
                     let mut st = node.stats().borrow_mut();
                     st.record_abort(cause);
+                    st.method_mut(tag).aborts[cause.index()] += 1;
                 }
-                node.emit(oam_model::TraceKind::OamAborted { tag: call.pkt.tag, reason: cause });
+                node.emit(TraceKind::OamAborted { tag, reason: cause });
                 node.add_pending(cfg.cost.oam_abort_overhead);
-                match strategy {
+                match self.abort {
                     AbortStrategy::Promote => {
-                        node.stats().borrow_mut().oam_promotions += 1;
+                        {
+                            let mut st = node.stats().borrow_mut();
+                            st.oam_promotions += 1;
+                            st.method_mut(tag).promotions += 1;
+                        }
                         node.promote(tid, fut);
                         if needs_immediate_wake(cause) {
                             node.make_runnable(tid, Placement::Policy);
@@ -151,23 +487,101 @@ impl PacketHandler for OptimisticEntry {
                         // Undo: dropping the future deregisters it from any
                         // wait lists it joined.
                         drop(fut);
-                        node.stats().borrow_mut().oam_reruns += 1;
-                        let fresh = (self.factory)(&call);
+                        {
+                            let mut st = node.stats().borrow_mut();
+                            st.oam_reruns += 1;
+                            st.method_mut(tag).reruns += 1;
+                        }
+                        let fresh = self.build_future(&call);
                         node.promote(tid, fresh);
                         node.make_runnable(tid, Placement::Policy);
                     }
                     AbortStrategy::Nack => {
                         drop(fut);
                         node.release_provisional(tid);
-                        node.stats().borrow_mut().oam_nacks_sent += 1;
+                        {
+                            let mut st = node.stats().borrow_mut();
+                            st.oam_nacks_sent += 1;
+                            st.method_mut(tag).nacks_sent += 1;
+                        }
                         let nack = self
                             .nack
                             .as_ref()
-                            .expect("AbortStrategy::Nack requires a NACK sender on the entry");
+                            .expect("AbortStrategy::Nack requires a NACK sender on the site");
                         nack(&call);
                     }
                 }
+                true
             }
+        };
+        self.after_attempt(node, tag, aborted);
+    }
+
+    /// Thread-per-call dispatch (TRPC, or an adaptively demoted method).
+    fn run_threaded(&self, am: &Am, node: &Node, pkt: Packet) {
+        let tag = pkt.tag;
+        node.add_pending(node.config().cost.trpc_dispatch);
+        node.stats().borrow_mut().method_mut(tag).threaded += 1;
+        let call = OamCall { am: am.clone(), node: node.clone(), pkt: Rc::new(pkt) };
+        let fut = self.build_future(&call);
+        node.spawn_incoming(fut);
+        if let Some(a) = &self.adaptive {
+            let served = a.trpc_calls.get() + 1;
+            a.trpc_calls.set(served);
+            if served >= a.policy.reprobe_after {
+                a.probing.set(true);
+                a.window_attempts.set(0);
+                a.window_aborts.set(0);
+                self.switch_mode(node, tag, a, CallMode::Orpc);
+            }
+        }
+    }
+
+    /// Fold one optimistic outcome into the adaptive window; demote (or
+    /// settle a probe) at window boundaries.
+    fn after_attempt(&self, node: &Node, tag: u32, aborted: bool) {
+        let Some(a) = &self.adaptive else { return };
+        let attempts = a.window_attempts.get() + 1;
+        a.window_attempts.set(attempts);
+        if aborted {
+            a.window_aborts.set(a.window_aborts.get() + 1);
+        }
+        let probing = a.probing.get();
+        let window = if probing { a.policy.probe_window } else { a.policy.window };
+        if attempts < window {
+            return;
+        }
+        let pct = a.window_aborts.get().saturating_mul(100) / attempts;
+        a.window_attempts.set(0);
+        a.window_aborts.set(0);
+        if probing {
+            a.probing.set(false);
+            if pct > a.policy.promote_abort_pct {
+                // Probe failed: back to threads for another re-probe period.
+                self.switch_mode(node, tag, a, CallMode::Trpc);
+            }
+            // Probe passed: stay ORPC with full windows.
+        } else if pct >= a.policy.demote_abort_pct {
+            self.switch_mode(node, tag, a, CallMode::Trpc);
+        }
+    }
+
+    fn switch_mode(&self, node: &Node, tag: u32, a: &AdaptiveState, to: CallMode) {
+        let from = a.mode.replace(to);
+        if from == to {
+            return;
+        }
+        a.trpc_calls.set(0);
+        node.stats().borrow_mut().method_mut(tag).mode_switches += 1;
+        node.emit(TraceKind::ModeSwitch { tag, from, to });
+    }
+}
+
+impl PacketHandler for MethodSite {
+    fn handle(&self, am: &Am, node: &Node, pkt: Packet) {
+        match self.current_mode() {
+            CallMode::Orpc => self.run_optimistic(am, node, pkt),
+            CallMode::Trpc => self.run_threaded(am, node, pkt),
         }
     }
 }
@@ -176,28 +590,6 @@ impl PacketHandler for OptimisticEntry {
 /// rerun thread must be made runnable explicitly.
 fn needs_immediate_wake(cause: AbortReason) -> bool {
     matches!(cause, AbortReason::NetworkFull | AbortReason::RanTooLong)
-}
-
-/// A registry entry that always creates a thread per message — Traditional
-/// RPC, the paper's comparison baseline (§3.2).
-pub struct ThreadedEntry {
-    factory: CallFactory,
-}
-
-impl ThreadedEntry {
-    /// Execute every call built by `factory` in a fresh thread.
-    pub fn new(factory: CallFactory) -> Self {
-        ThreadedEntry { factory }
-    }
-}
-
-impl PacketHandler for ThreadedEntry {
-    fn handle(&self, am: &Am, node: &Node, pkt: Packet) {
-        node.add_pending(node.config().cost.trpc_dispatch);
-        let call = OamCall { am: am.clone(), node: node.clone(), pkt: Rc::new(pkt) };
-        let fut = (self.factory)(&call);
-        node.spawn_incoming(fut);
-    }
 }
 
 #[cfg(test)]
@@ -210,7 +602,10 @@ mod tests {
     use oam_threads::{CondVar, Mutex};
     use std::cell::{Cell, RefCell};
 
-    fn build(nprocs: usize, cfg: MachineConfig) -> (Sim, Am, Vec<Rc<RefCell<NodeStats>>>) {
+    fn build(
+        nprocs: usize,
+        cfg: MachineConfig,
+    ) -> (Sim, Am, CallEngine, Vec<Rc<RefCell<NodeStats>>>) {
         let sim = Sim::new(5);
         let cfg = Rc::new(cfg);
         let stats: Vec<Rc<RefCell<NodeStats>>> =
@@ -219,8 +614,9 @@ mod tests {
         let nodes: Vec<Node> = (0..nprocs)
             .map(|i| Node::new(&sim, NodeId(i), nprocs, Rc::clone(&cfg), Rc::clone(&stats[i])))
             .collect();
+        let engine = CallEngine::new(Rc::clone(&cfg), nprocs);
         let am = Am::new(net, cfg, nodes);
-        (sim, am, stats)
+        (sim, am, engine, stats)
     }
 
     const CALL: HandlerId = HandlerId(10);
@@ -236,7 +632,7 @@ mod tests {
 
     #[test]
     fn non_blocking_handler_succeeds_without_creating_a_thread() {
-        let (sim, am, stats) = build(2, MachineConfig::cm5(2));
+        let (sim, am, engine, stats) = build(2, MachineConfig::cm5(2));
         let hits = Rc::new(Cell::new(0u32));
         let h = hits.clone();
         let factory: CallFactory = Rc::new(move |_call| {
@@ -245,7 +641,8 @@ mod tests {
                 h.set(h.get() + 1);
             })
         });
-        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        let site = engine.site(ExecPolicy::orpc(), true, factory);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
         send_one(&am, vec![]);
         sim.run();
         assert_eq!(hits.get(), 1);
@@ -254,11 +651,15 @@ mod tests {
         assert_eq!(st.oam_successes, 1);
         assert_eq!(st.total_aborts(), 0);
         assert_eq!(st.threads_created, 0, "success path never creates a thread");
+        let m = &st.per_method[&CALL.0];
+        assert_eq!(m.attempts, 1);
+        assert_eq!(m.inline_ok, 1);
+        assert_eq!(m.threaded, 0);
     }
 
     #[test]
     fn lock_held_aborts_and_promotion_finishes_after_release() {
-        let (sim, am, stats) = build(2, MachineConfig::cm5(2));
+        let (sim, am, engine, stats) = build(2, MachineConfig::cm5(2));
         let node1 = am.nodes()[1].clone();
         let m = Mutex::new(&node1, 0u32);
         let m2 = m.clone();
@@ -271,7 +672,8 @@ mod tests {
                 g.with_mut(|v| *v += 1);
             })
         });
-        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        let site = engine.site(ExecPolicy::orpc(), true, factory);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
         // A server thread holds the lock while spin-waiting (and therefore
         // polling — the incoming OAM dispatches inline and must abort).
         let release = oam_threads::Flag::new();
@@ -295,12 +697,15 @@ mod tests {
         assert_eq!(st.oam_promotions, 1);
         // The lock-holder thread plus the promoted continuation.
         assert_eq!(st.threads_created, 2);
+        let pm = &st.per_method[&CALL.0];
+        assert_eq!(pm.aborts[AbortReason::LockHeld.index()], 1);
+        assert_eq!(pm.promotions, 1);
     }
 
     #[test]
     fn rerun_strategy_replays_the_whole_call() {
         let cfg = MachineConfig::cm5(2).with_abort_strategy(AbortStrategy::Rerun);
-        let (sim, am, stats) = build(2, cfg);
+        let (sim, am, engine, stats) = build(2, cfg);
         let node1 = am.nodes()[1].clone();
         let m = Mutex::new(&node1, ());
         let pre_lock_executions = Rc::new(Cell::new(0u32));
@@ -314,7 +719,8 @@ mod tests {
                 body.set(body.get() + 1);
             })
         });
-        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        let site = engine.site(ExecPolicy::orpc(), true, factory);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
         let release = oam_threads::Flag::new();
         let (n1, mh, rel) = (node1.clone(), m.clone(), release.clone());
         node1.spawn(async move {
@@ -334,12 +740,13 @@ mod tests {
         assert_eq!(body_executions.get(), 1);
         assert_eq!(stats[1].borrow().oam_reruns, 1);
         assert_eq!(stats[1].borrow().oam_promotions, 0);
+        assert_eq!(stats[1].borrow().per_method[&CALL.0].reruns, 1);
     }
 
     #[test]
     fn nack_strategy_notifies_the_sender() {
         let cfg = MachineConfig::cm5(2).with_abort_strategy(AbortStrategy::Nack);
-        let (sim, am, stats) = build(2, cfg);
+        let (sim, am, engine, stats) = build(2, cfg);
         const NACK: HandlerId = HandlerId(11);
         let node1 = am.nodes()[1].clone();
         let m = Mutex::new(&node1, ());
@@ -354,11 +761,9 @@ mod tests {
             let src = call.pkt.src;
             call.am.send_from_handler(&call.node, src, NACK, vec![]);
         });
-        am.register(
-            NodeId(1),
-            CALL,
-            HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory).with_nack(nack))),
-        );
+        let site = engine.site(ExecPolicy::orpc(), true, factory).with_nack(nack);
+        assert_eq!(site.abort_strategy(), AbortStrategy::Nack);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
         let nacks_seen = Rc::new(Cell::new(0u32));
         let ns = nacks_seen.clone();
         am.register(NodeId(0), NACK, HandlerEntry::Inline(Rc::new(move |_t| ns.set(ns.get() + 1))));
@@ -378,12 +783,22 @@ mod tests {
         assert_eq!(nacks_seen.get(), 1);
         let st = stats[1].borrow();
         assert_eq!(st.oam_nacks_sent, 1);
+        assert_eq!(st.per_method[&CALL.0].nacks_sent, 1);
         assert_eq!(st.threads_created, 1, "only the lock-holder thread; the call never became one");
     }
 
     #[test]
+    fn nack_on_oneway_falls_back_to_rerun() {
+        let cfg = MachineConfig::cm5(2).with_abort_strategy(AbortStrategy::Nack);
+        let (_sim, _am, engine, _stats) = build(2, cfg);
+        let factory: CallFactory = Rc::new(|_call| Box::pin(async {}));
+        let site = engine.site(ExecPolicy::orpc(), false, factory);
+        assert_eq!(site.abort_strategy(), AbortStrategy::Rerun);
+    }
+
+    #[test]
     fn condition_false_aborts_and_signal_resumes_the_promotion() {
-        let (sim, am, stats) = build(2, MachineConfig::cm5(2));
+        let (sim, am, engine, stats) = build(2, MachineConfig::cm5(2));
         let node1 = am.nodes()[1].clone();
         let m = Mutex::new(&node1, false);
         let cv = CondVar::new(&node1);
@@ -399,7 +814,8 @@ mod tests {
                 d.set(true);
             })
         });
-        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        let site = engine.site(ExecPolicy::orpc(), true, factory);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
         // Setter thread spin-waits (polling — the OAM dispatches inline,
         // finds the condition false, aborts), then flips the condition at
         // t≈200 µs.
@@ -426,7 +842,7 @@ mod tests {
 
     #[test]
     fn too_long_handler_aborts_at_checkpoint_and_finishes_as_thread() {
-        let (sim, am, stats) = build(2, MachineConfig::cm5(2)); // budget 200 µs
+        let (sim, am, engine, stats) = build(2, MachineConfig::cm5(2)); // budget 200 µs
         let finished = Rc::new(Cell::new(false));
         let f = finished.clone();
         let factory: CallFactory = Rc::new(move |call| {
@@ -440,7 +856,8 @@ mod tests {
                 f.set(true);
             })
         });
-        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        let site = engine.site(ExecPolicy::orpc(), true, factory);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
         send_one(&am, vec![]);
         sim.run();
         assert!(finished.get());
@@ -451,13 +868,44 @@ mod tests {
     }
 
     #[test]
+    fn per_method_budget_override_lets_long_handlers_finish_inline() {
+        // Same 500 µs handler as the too-long test, but the method's policy
+        // raises the budget above the machine's 200 µs default: every
+        // checkpoint passes and the call completes inline.
+        let (sim, am, engine, stats) = build(2, MachineConfig::cm5(2));
+        let finished = Rc::new(Cell::new(false));
+        let f = finished.clone();
+        let factory: CallFactory = Rc::new(move |call| {
+            let node = call.node.clone();
+            let f = f.clone();
+            Box::pin(async move {
+                for _ in 0..10 {
+                    node.charge(Dur::from_micros(50)).await;
+                    node.checkpoint().await;
+                }
+                f.set(true);
+            })
+        });
+        let policy = ExecPolicy::orpc().with_budget(Dur::from_micros(1_000));
+        let site = engine.site(policy, true, factory);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
+        send_one(&am, vec![]);
+        sim.run();
+        assert!(finished.get());
+        let st = stats[1].borrow();
+        assert_eq!(st.oam_successes, 1);
+        assert_eq!(st.total_aborts(), 0);
+        assert_eq!(st.threads_created, 0);
+    }
+
+    #[test]
     fn network_full_aborts_when_auto_drain_disabled() {
         let mut cfg = MachineConfig::cm5(3);
         cfg.auto_drain_on_handler_send = false;
         cfg.ni_out_capacity = 1;
         cfg.fabric_capacity = 1;
         cfg.ni_in_capacity = 1;
-        let (sim, am, stats) = build(3, cfg);
+        let (sim, am, engine, stats) = build(3, cfg);
         const FAN: HandlerId = HandlerId(12);
         const SINK: HandlerId = HandlerId(13);
         let delivered = Rc::new(Cell::new(0u32));
@@ -473,7 +921,8 @@ mod tests {
                 }
             })
         });
-        am.register(NodeId(1), FAN, HandlerEntry::Custom(Rc::new(OptimisticEntry::new(factory))));
+        let site = engine.site(ExecPolicy::orpc(), true, factory);
+        am.register(NodeId(1), FAN, HandlerEntry::Custom(Rc::new(site)));
         am.register(NodeId(2), SINK, HandlerEntry::Inline(Rc::new(move |_t| d.set(d.get() + 1))));
         let node0 = am.nodes()[0].clone();
         let am2 = am.clone();
@@ -489,8 +938,8 @@ mod tests {
     }
 
     #[test]
-    fn threaded_entry_always_creates_a_thread() {
-        let (sim, am, stats) = build(2, MachineConfig::cm5(2));
+    fn trpc_site_always_creates_a_thread() {
+        let (sim, am, engine, stats) = build(2, MachineConfig::cm5(2));
         let hits = Rc::new(Cell::new(0u32));
         let h = hits.clone();
         let factory: CallFactory = Rc::new(move |_call| {
@@ -499,7 +948,8 @@ mod tests {
                 h.set(h.get() + 1);
             })
         });
-        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(ThreadedEntry::new(factory))));
+        let site = engine.site(ExecPolicy::trpc(), true, factory);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
         for _ in 0..3 {
             send_one(&am, vec![]);
         }
@@ -508,5 +958,67 @@ mod tests {
         let st = stats[1].borrow();
         assert_eq!(st.threads_created, 3);
         assert_eq!(st.oam_attempts, 0, "TRPC never attempts optimistic execution");
+        assert_eq!(st.per_method[&CALL.0].threaded, 3);
+    }
+
+    #[test]
+    fn adaptive_site_demotes_reprobes_and_redemotes_deterministically() {
+        // Handler always trips RanTooLong under a tiny per-method budget, so
+        // every optimistic attempt aborts. Adaptive windows: demote after 2
+        // attempts, re-probe after 3 threaded calls, settle the probe after
+        // 2 attempts.
+        let (sim, am, engine, stats) = build(2, MachineConfig::cm5(2));
+        let factory: CallFactory = Rc::new(move |call| {
+            let node = call.node.clone();
+            Box::pin(async move {
+                node.charge(Dur::from_micros(50)).await;
+                node.checkpoint().await;
+            })
+        });
+        let adaptive = AdaptivePolicy {
+            window: 2,
+            demote_abort_pct: 50,
+            reprobe_after: 3,
+            probe_window: 2,
+            promote_abort_pct: 0,
+        };
+        let policy = ExecPolicy::adaptive(adaptive).with_budget(Dur::from_micros(10));
+        let site = engine.site(policy, true, factory);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
+        // 10 sequential calls: 2 attempts (abort, abort) → demote; 3
+        // threaded → re-probe; 2 probe attempts (abort, abort) → re-demote;
+        // 3 threaded → re-probe again.
+        let node0 = am.nodes()[0].clone();
+        let am2 = am.clone();
+        let n0 = node0.clone();
+        node0.spawn(async move {
+            for _ in 0..10 {
+                am2.send(&n0, NodeId(1), CALL, vec![]).await;
+                n0.charge(Dur::from_micros(500)).await;
+            }
+        });
+        sim.run();
+        let st = stats[1].borrow();
+        let m = &st.per_method[&CALL.0];
+        assert_eq!(m.attempts, 4, "two initial attempts plus two probe attempts");
+        assert_eq!(m.aborts[AbortReason::RanTooLong.index()], 4);
+        assert_eq!(m.threaded, 6, "two demotion periods of three threaded calls");
+        assert_eq!(m.mode_switches, 4, "demote, re-probe, re-demote, re-probe");
+    }
+
+    #[test]
+    #[should_panic(expected = "handler id collision")]
+    fn registering_two_names_for_one_id_panics() {
+        let (_sim, _am, engine, _stats) = build(2, MachineConfig::cm5(2));
+        engine.register_name(5, "Alpha::first");
+        engine.register_name(5, "Beta::second");
+    }
+
+    #[test]
+    fn re_registering_the_same_name_is_allowed() {
+        let (_sim, _am, engine, _stats) = build(2, MachineConfig::cm5(2));
+        engine.register_name(5, "Alpha::first");
+        engine.register_name(5, "Alpha::first"); // per-node re-registration
+        assert_eq!(engine.method_names()[&5], "Alpha::first");
     }
 }

@@ -6,8 +6,8 @@ use std::rc::Rc;
 
 use oam_am::Am;
 use oam_model::{
-    AbortStrategy, CostModel, Dur, MachineConfig, MachineStats, NodeId, NodeStats, QueuePolicy,
-    Time,
+    AbortStrategy, CostModel, Dur, ExecPolicy, MachineConfig, MachineStats, NodeId, NodeStats,
+    QueuePolicy, Time,
 };
 use oam_net::{NetConfig, Network};
 use oam_rpc::Rpc;
@@ -64,6 +64,15 @@ impl MachineBuilder {
     /// Resolution of aborted optimistic executions.
     pub fn abort_strategy(mut self, s: AbortStrategy) -> Self {
         self.cfg.abort_strategy = s;
+        self
+    }
+
+    /// Attach a per-method execution policy: mode, abort resolution,
+    /// optimistic run-length budget, adaptive switching. Overrides the mode
+    /// the service registers with; methods without a policy keep the global
+    /// defaults.
+    pub fn policy(mut self, method: oam_am::HandlerId, p: ExecPolicy) -> Self {
+        self.cfg.policies.insert(method.0, p);
         self
     }
 
@@ -280,9 +289,11 @@ impl Machine {
         })
     }
 
-    /// Snapshot all nodes' statistics.
+    /// Snapshot all nodes' statistics, labelled with the registered method
+    /// names for the per-method breakdown.
     pub fn harvest(&self) -> MachineStats {
         MachineStats::new(self.stats.iter().map(|s| s.borrow().clone()).collect())
+            .with_method_names(self.rpc.method_names())
     }
 }
 
@@ -462,6 +473,51 @@ mod tests {
             }
         });
         assert_eq!(out.get(), 30);
+    }
+
+    #[test]
+    fn per_method_policy_overrides_registration_mode() {
+        // Registered as ORPC, but the builder forces this method to TRPC:
+        // the call must never be attempted optimistically.
+        let id = oam_rpc::handler_id_for("test::forced");
+        let m = MachineBuilder::new(2).policy(id, ExecPolicy::trpc()).build();
+        let hits = Rc::new(Cell::new(0u32));
+        for node in m.nodes() {
+            let h = hits.clone();
+            let factory: oam_rpc::CallFactory = Rc::new(move |_call| {
+                let h = h.clone();
+                Box::pin(async move {
+                    h.set(h.get() + 1);
+                })
+            });
+            m.rpc().register(node.id(), id, oam_rpc::RpcMode::Orpc, factory, false);
+        }
+        let report = m.run(move |env| async move {
+            if env.id().index() == 0 {
+                env.rpc().send_oneway_raw(env.node(), NodeId(1), id, &[]).await;
+            }
+            env.barrier().await;
+        });
+        assert_eq!(hits.get(), 1);
+        let total = report.stats.total();
+        assert_eq!(total.oam_attempts, 0, "policy forced thread-per-call");
+        assert_eq!(total.per_method[&id.0].threaded, 1);
+    }
+
+    #[test]
+    fn harvest_attaches_registered_method_names() {
+        let m = MachineBuilder::new(2).build();
+        let id = m.rpc().register_named(
+            NodeId(1),
+            "Named::probe",
+            oam_rpc::RpcMode::Orpc,
+            Rc::new(|_call| Box::pin(async {})),
+            false,
+        );
+        let report = m.run(|env| async move {
+            env.charge_micros(1).await;
+        });
+        assert_eq!(report.stats.method_name(id.0), "Named::probe");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Whole-machine configuration.
 
+use std::collections::BTreeMap;
+
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
 use crate::time::Dur;
@@ -52,6 +54,143 @@ impl AbortStrategy {
             AbortStrategy::Rerun => "rerun",
             AbortStrategy::Nack => "nack",
         }
+    }
+}
+
+/// How a registered remote procedure executes on arrival — the paper's two
+/// stub-compiler outputs (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CallMode {
+    /// Optimistic RPC: run the procedure inline as an Optimistic Active
+    /// Message, falling back to a thread only on abort.
+    #[default]
+    Orpc,
+    /// Traditional RPC: always create a thread per call.
+    Trpc,
+}
+
+impl CallMode {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CallMode::Orpc => "ORPC",
+            CallMode::Trpc => "TRPC",
+        }
+    }
+}
+
+/// Adaptive dispatch parameters: when a method carries one of these, the
+/// call engine watches its abort rate and *demotes* it from ORPC to TRPC
+/// once optimism stops paying (the runtime analogue of the paper's §6
+/// observation that ORPC only wins when handlers usually don't block),
+/// then periodically *re-probes* ORPC in case the contention was a phase.
+///
+/// All thresholds are integer percentages and all windows are call counts,
+/// so mode switching is a pure function of the (seed-deterministic) arrival
+/// sequence — runs with the same seed switch at the same virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptivePolicy {
+    /// Attempts per observation window while executing optimistically.
+    pub window: u32,
+    /// Demote to TRPC when a window's abort percentage reaches this.
+    pub demote_abort_pct: u32,
+    /// TRPC calls to serve before re-probing ORPC.
+    pub reprobe_after: u32,
+    /// Attempts in a re-probe window (usually smaller than `window`).
+    pub probe_window: u32,
+    /// A probe re-promotes to ORPC only if its abort percentage is at most
+    /// this (hysteresis: strictly below `demote_abort_pct`).
+    pub promote_abort_pct: u32,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            window: 32,
+            demote_abort_pct: 50,
+            reprobe_after: 256,
+            probe_window: 16,
+            promote_abort_pct: 10,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// Validate thresholds and window sizes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 || self.probe_window == 0 || self.reprobe_after == 0 {
+            return Err("adaptive windows must be at least 1 call".into());
+        }
+        if self.demote_abort_pct > 100 || self.promote_abort_pct > 100 {
+            return Err("adaptive percentages must be in 0..=100".into());
+        }
+        if self.promote_abort_pct >= self.demote_abort_pct {
+            return Err("promote_abort_pct must be below demote_abort_pct (hysteresis)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-method execution policy: everything the call engine needs to decide
+/// how one remote procedure runs. `None` fields inherit the machine-wide
+/// configuration, so a default policy built from a registration mode is
+/// behaviourally identical to the pre-policy runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPolicy {
+    /// Initial dispatch mode.
+    pub mode: CallMode,
+    /// Abort resolution; `None` inherits [`MachineConfig::abort_strategy`].
+    pub abort: Option<AbortStrategy>,
+    /// Optimistic run-length budget; `None` inherits
+    /// [`MachineConfig::handler_budget`].
+    pub handler_budget: Option<Dur>,
+    /// Adaptive ORPC→TRPC demotion; `None` keeps the mode fixed.
+    pub adaptive: Option<AdaptivePolicy>,
+}
+
+impl ExecPolicy {
+    /// The default policy for a registration in `mode`: inherit every
+    /// machine-wide setting, no adaptation.
+    pub fn for_mode(mode: CallMode) -> Self {
+        ExecPolicy { mode, abort: None, handler_budget: None, adaptive: None }
+    }
+
+    /// Optimistic execution with inherited abort strategy and budget.
+    pub fn orpc() -> Self {
+        Self::for_mode(CallMode::Orpc)
+    }
+
+    /// A thread per call.
+    pub fn trpc() -> Self {
+        Self::for_mode(CallMode::Trpc)
+    }
+
+    /// Optimistic execution with adaptive demotion to TRPC.
+    pub fn adaptive(a: AdaptivePolicy) -> Self {
+        ExecPolicy { adaptive: Some(a), ..Self::orpc() }
+    }
+
+    /// Builder-style abort-strategy override.
+    pub fn with_abort(mut self, s: AbortStrategy) -> Self {
+        self.abort = Some(s);
+        self
+    }
+
+    /// Builder-style handler-budget override.
+    pub fn with_budget(mut self, d: Dur) -> Self {
+        self.handler_budget = Some(d);
+        self
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(a) = &self.adaptive {
+            a.validate()?;
+            if self.mode != CallMode::Orpc {
+                return Err("adaptive policies must start in ORPC mode".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -137,6 +276,11 @@ pub struct MachineConfig {
     pub fault_plan: Option<FaultPlan>,
     /// End-to-end RPC reliability policy (timeouts, retransmission, acks).
     pub reliability: ReliabilityConfig,
+    /// Per-method execution policies, keyed by raw handler id. Methods
+    /// without an entry execute under a default policy derived from their
+    /// registration mode and the machine-wide settings above, reproducing
+    /// the pre-policy runtime exactly.
+    pub policies: BTreeMap<u32, ExecPolicy>,
 }
 
 impl MachineConfig {
@@ -158,6 +302,7 @@ impl MachineConfig {
             auto_drain_on_handler_send: true,
             fault_plan: None,
             reliability: ReliabilityConfig::default(),
+            policies: BTreeMap::new(),
         }
     }
 
@@ -206,6 +351,13 @@ impl MachineConfig {
         self
     }
 
+    /// Builder-style per-method policy override (`method` is the raw
+    /// handler id, e.g. `MyService::my_method::ID.0`).
+    pub fn with_policy(mut self, method: u32, p: ExecPolicy) -> Self {
+        self.policies.insert(method, p);
+        self
+    }
+
     /// Validate internal consistency (positive capacities, at least one node).
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes == 0 {
@@ -225,6 +377,9 @@ impl MachineConfig {
         }
         if self.reliability.retransmit && self.reliability.retransmit_timeout == Dur::ZERO {
             return Err("retransmit timeout must be positive".into());
+        }
+        for (id, p) in &self.policies {
+            p.validate().map_err(|e| format!("policy for handler {id:#010x}: {e}"))?;
         }
         Ok(())
     }
@@ -260,6 +415,52 @@ mod tests {
         c.ni_in_capacity = 1;
         c.fabric_capacity = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn exec_policy_defaults_inherit_machine_config() {
+        let p = ExecPolicy::orpc();
+        assert_eq!(p.mode, CallMode::Orpc);
+        assert!(p.abort.is_none() && p.handler_budget.is_none() && p.adaptive.is_none());
+        assert!(p.validate().is_ok());
+        let p = ExecPolicy::trpc().with_abort(AbortStrategy::Rerun);
+        assert_eq!(p.mode, CallMode::Trpc);
+        assert_eq!(p.abort, Some(AbortStrategy::Rerun));
+        assert_eq!(CallMode::Orpc.label(), "ORPC");
+        assert_eq!(CallMode::Trpc.label(), "TRPC");
+    }
+
+    #[test]
+    fn adaptive_policy_validation() {
+        assert!(AdaptivePolicy::default().validate().is_ok());
+        let bad = AdaptivePolicy { window: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = AdaptivePolicy { demote_abort_pct: 120, ..Default::default() };
+        assert!(bad.validate().is_err());
+        // No hysteresis gap: promote >= demote.
+        let bad =
+            AdaptivePolicy { promote_abort_pct: 50, demote_abort_pct: 50, ..Default::default() };
+        assert!(bad.validate().is_err());
+        // Adaptive policies must start optimistic.
+        let p = ExecPolicy { mode: CallMode::Trpc, ..ExecPolicy::adaptive(Default::default()) };
+        assert!(p.validate().is_err());
+        // And an invalid adaptive policy fails machine validation.
+        let cfg = MachineConfig::cm5(2).with_policy(
+            7,
+            ExecPolicy::adaptive(AdaptivePolicy { probe_window: 0, ..Default::default() }),
+        );
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn machine_config_carries_policies() {
+        let cfg = MachineConfig::cm5(2)
+            .with_policy(1, ExecPolicy::trpc())
+            .with_policy(2, ExecPolicy::adaptive(AdaptivePolicy::default()));
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.policies.len(), 2);
+        assert_eq!(cfg.policies[&1].mode, CallMode::Trpc);
+        assert!(cfg.policies[&2].adaptive.is_some());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! [`NodeStats`]; [`MachineStats`] aggregates them after a run.
 
 use core::fmt;
+use std::collections::BTreeMap;
 
 use crate::time::Dur;
 
@@ -54,6 +55,62 @@ impl fmt::Display for AbortReason {
             AbortReason::RanTooLong => "ran-too-long",
         };
         f.write_str(s)
+    }
+}
+
+/// Per-method call-engine counters — the per-procedure slice of Tables 2
+/// and 3, plus the adaptive-dispatch history. Keyed by raw handler id in
+/// [`NodeStats::per_method`] (a `BTreeMap` so aggregation and reports
+/// iterate in a deterministic order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MethodStats {
+    /// Optimistic attempts of this method (as receiver).
+    pub attempts: u64,
+    /// Attempts that completed inline without aborting.
+    pub inline_ok: u64,
+    /// Aborts by reason; index with [`AbortReason::index`].
+    pub aborts: [u64; 4],
+    /// Aborts resolved by promoting the partially-run handler.
+    pub promotions: u64,
+    /// Aborts resolved by re-running the whole call as a thread.
+    pub reruns: u64,
+    /// Aborts resolved by NACKing the sender.
+    pub nacks_sent: u64,
+    /// Calls dispatched straight to a thread (TRPC mode, including calls
+    /// served while adaptively demoted).
+    pub threaded: u64,
+    /// Adaptive mode switches (demotions and re-promotions).
+    pub mode_switches: u64,
+}
+
+impl MethodStats {
+    /// Total aborts across all reasons.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// Fraction of optimistic attempts that completed inline; `None` if
+    /// the method was never attempted optimistically.
+    pub fn success_rate(&self) -> Option<f64> {
+        if self.attempts == 0 {
+            None
+        } else {
+            Some(self.inline_ok as f64 / self.attempts as f64)
+        }
+    }
+
+    /// Accumulate another method-counter set into this one.
+    pub fn merge(&mut self, other: &MethodStats) {
+        self.attempts += other.attempts;
+        self.inline_ok += other.inline_ok;
+        for i in 0..self.aborts.len() {
+            self.aborts[i] += other.aborts[i];
+        }
+        self.promotions += other.promotions;
+        self.reruns += other.reruns;
+        self.nacks_sent += other.nacks_sent;
+        self.threaded += other.threaded;
+        self.mode_switches += other.mode_switches;
     }
 }
 
@@ -135,6 +192,12 @@ pub struct NodeStats {
     pub compute_time: Dur,
     /// Virtual time this node spent idle (no runnable thread, empty NI).
     pub idle_time: Dur,
+
+    // ---- per-method breakdown ----
+    /// Call-engine counters broken down by remote procedure (raw handler
+    /// id); the node-level OAM counters above are their sums plus any
+    /// non-engine traffic.
+    pub per_method: BTreeMap<u32, MethodStats>,
 }
 
 impl NodeStats {
@@ -174,6 +237,12 @@ impl NodeStats {
         }
     }
 
+    /// The method-counter slot for `id`, creating it on first use.
+    #[inline]
+    pub fn method_mut(&mut self, id: u32) -> &mut MethodStats {
+        self.per_method.entry(id).or_default()
+    }
+
     /// Accumulate another node's counters into this one.
     pub fn merge(&mut self, other: &NodeStats) {
         self.oam_attempts += other.oam_attempts;
@@ -209,6 +278,9 @@ impl NodeStats {
         self.stale_replies_dropped += other.stale_replies_dropped;
         self.compute_time += other.compute_time;
         self.idle_time += other.idle_time;
+        for (id, m) in &other.per_method {
+            self.per_method.entry(*id).or_default().merge(m);
+        }
     }
 }
 
@@ -217,12 +289,39 @@ impl NodeStats {
 pub struct MachineStats {
     /// Per-node counters, indexed by node id.
     pub per_node: Vec<NodeStats>,
+    /// Human-readable names for the handler ids appearing in
+    /// [`NodeStats::per_method`], when the runtime knows them.
+    pub method_names: BTreeMap<u32, String>,
 }
 
 impl MachineStats {
     /// Wrap harvested per-node counters.
     pub fn new(per_node: Vec<NodeStats>) -> Self {
-        MachineStats { per_node }
+        MachineStats { per_node, method_names: BTreeMap::new() }
+    }
+
+    /// Attach handler-id → name mappings for report rendering.
+    pub fn with_method_names(mut self, names: BTreeMap<u32, String>) -> Self {
+        self.method_names = names;
+        self
+    }
+
+    /// Machine-wide per-method counters (every node's merged), in
+    /// deterministic handler-id order.
+    pub fn per_method_total(&self) -> BTreeMap<u32, MethodStats> {
+        let mut acc: BTreeMap<u32, MethodStats> = BTreeMap::new();
+        for n in &self.per_node {
+            for (id, m) in &n.per_method {
+                acc.entry(*id).or_default().merge(m);
+            }
+        }
+        acc
+    }
+
+    /// Display name for a handler id: the registered name if known, else
+    /// the hex id.
+    pub fn method_name(&self, id: u32) -> String {
+        self.method_names.get(&id).cloned().unwrap_or_else(|| format!("{id:#010x}"))
     }
 
     /// Sum of all nodes' counters.
@@ -290,6 +389,26 @@ mod tests {
         let m = MachineStats::new(vec![n0, n1]);
         assert_eq!(m.nodes(), 2);
         assert_eq!(m.total().messages_sent, 42);
+    }
+
+    #[test]
+    fn per_method_counters_aggregate_across_nodes() {
+        let mut n0 = NodeStats::new();
+        n0.method_mut(7).attempts = 3;
+        n0.method_mut(7).inline_ok = 2;
+        n0.method_mut(7).aborts[AbortReason::LockHeld.index()] = 1;
+        let mut n1 = NodeStats::new();
+        n1.method_mut(7).attempts = 1;
+        n1.method_mut(9).threaded = 5;
+        let m = MachineStats::new(vec![n0, n1]);
+        let total = m.per_method_total();
+        assert_eq!(total[&7].attempts, 4);
+        assert_eq!(total[&7].inline_ok, 2);
+        assert_eq!(total[&7].total_aborts(), 1);
+        assert_eq!(total[&9].threaded, 5);
+        assert_eq!(m.method_name(9), "0x00000009");
+        let m = m.with_method_names([(9u32, "Svc::op".to_string())].into_iter().collect());
+        assert_eq!(m.method_name(9), "Svc::op");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! exports them (Chrome trace JSON, text timelines, summaries). With no
 //! observer installed the emission cost is a null check.
 
+use crate::config::CallMode;
 use crate::stats::AbortReason;
 use crate::time::{Dur, Time};
 use crate::NodeId;
@@ -126,6 +127,15 @@ pub enum TraceKind {
         /// The stale correlation id.
         call_id: u32,
     },
+    /// The adaptive call engine switched a method's dispatch mode.
+    ModeSwitch {
+        /// Handler tag of the method that switched.
+        tag: u32,
+        /// Mode it was running under.
+        from: CallMode,
+        /// Mode it runs under from now on.
+        to: CallMode,
+    },
 }
 
 impl TraceKind {
@@ -147,6 +157,7 @@ impl TraceKind {
             TraceKind::CallRetransmit { .. } => "retransmit",
             TraceKind::DupSuppressed { .. } => "dup-suppressed",
             TraceKind::StaleReplyDropped { .. } => "stale-reply",
+            TraceKind::ModeSwitch { .. } => "mode-switch",
         }
     }
 }
@@ -177,6 +188,7 @@ mod tests {
             TraceKind::CallRetransmit { call_id: 0, dst: NodeId(1), attempt: 1 },
             TraceKind::DupSuppressed { caller: NodeId(0), call_id: 0 },
             TraceKind::StaleReplyDropped { call_id: 0 },
+            TraceKind::ModeSwitch { tag: 1, from: CallMode::Orpc, to: CallMode::Trpc },
         ];
         let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len(), "labels are distinct");

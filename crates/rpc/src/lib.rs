@@ -17,11 +17,13 @@ pub mod wire;
 pub use runtime::{
     decode_request, handler_id_for, Rpc, RpcCtx, RpcMode, NACK_ID, ONEWAY_SENTINEL, REPLY_ID,
 };
-pub use wire::{from_bytes, to_bytes, to_payload, Wire, WireError, WireReader, WireWriter};
+pub use wire::{
+    from_bytes, to_bytes, to_payload, RawTail, Wire, WireError, WireReader, WireWriter,
+};
 
 // Re-exports the generated stubs refer to via `$crate::`.
 pub use oam_am::HandlerId;
-pub use oam_core::{CallFactory, OamCall};
+pub use oam_core::{CallEngine, CallFactory, MethodSite, OamCall};
 pub use oam_model::NodeId;
 pub use oam_net::{BufPool, PayloadBuf, PayloadView};
 pub use oam_threads::Node;

@@ -126,7 +126,13 @@ macro_rules! __rpc_method {
                         }
                     })
                 });
-                __rpc.register(__node, ID, __mode, __factory, true);
+                __rpc.register_named(
+                    __node,
+                    concat!(stringify!($svc), "::", stringify!($name)),
+                    __mode,
+                    __factory,
+                    true,
+                );
             }
         }
     };
@@ -184,7 +190,13 @@ macro_rules! __rpc_method {
                         }
                     })
                 });
-                __rpc.register(__node, ID, __mode, __factory, false);
+                __rpc.register_named(
+                    __node,
+                    concat!(stringify!($svc), "::", stringify!($name)),
+                    __mode,
+                    __factory,
+                    false,
+                );
             }
         }
     };

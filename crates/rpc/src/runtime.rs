@@ -31,24 +31,25 @@
 //! duplication, and delay.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use oam_am::{Am, AmToken, HandlerEntry, HandlerId};
-use oam_core::{CallFactory, NackSender, OamCall, OptimisticEntry, ThreadedEntry};
-use oam_model::{AbortStrategy, Dur, MachineConfig, NodeId, TraceKind};
+use oam_core::{peek_call_id, CallEngine, CallFactory, NackSender, OamCall};
+use oam_model::{AbortStrategy, Dur, ExecPolicy, MachineConfig, NodeId, TraceKind};
 use oam_net::{Packet, PayloadBuf, PayloadView};
 use oam_sim::{EventId, Sim};
 use oam_threads::{Flag, Node};
 
 use crate::wire::{Wire, WireReader, WireWriter};
 
+/// `call_id` marking a one-way (asynchronous) RPC (engine re-export).
+pub use oam_core::ONEWAY_SENTINEL;
+
 /// Reserved handler id for RPC replies.
 pub const REPLY_ID: HandlerId = HandlerId(0xFFFF_0001);
 /// Reserved handler id for RPC NACKs.
 pub const NACK_ID: HandlerId = HandlerId(0xFFFF_0002);
-/// `call_id` marking a one-way (asynchronous) RPC.
-pub const ONEWAY_SENTINEL: u32 = u32::MAX;
 
 /// Low bits of a `call_id` index the call table; high bits carry the slot
 /// generation.
@@ -71,24 +72,12 @@ pub const fn handler_id_for(name: &str) -> HandlerId {
 }
 
 /// How a registered service executes its remote procedures — the paper's
-/// two stub-compiler outputs (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum RpcMode {
-    /// Optimistic RPC: run the procedure as an Optimistic Active Message.
-    Orpc,
-    /// Traditional RPC: always create a thread per call.
-    Trpc,
-}
-
-impl RpcMode {
-    /// Human-readable label for reports.
-    pub fn label(self) -> &'static str {
-        match self {
-            RpcMode::Orpc => "ORPC",
-            RpcMode::Trpc => "TRPC",
-        }
-    }
-}
+/// two stub-compiler outputs (§3.2). This is the model's [`CallMode`]
+/// under its historical RPC-layer name; per-method `ExecPolicy` entries in
+/// `MachineConfig::policies` override the mode a service registers with.
+///
+/// [`CallMode`]: oam_model::CallMode
+pub use oam_model::CallMode as RpcMode;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Outcome {
@@ -221,31 +210,16 @@ impl CallTable {
     }
 }
 
-/// Server-side duplicate-suppression state for one `(caller, call_id)`.
-struct DupEntry {
-    /// While executing, the packet instance (by `Rc` address) that claimed
-    /// the call — so an abort-driven *rerun* of the same arrival is allowed
-    /// through while a retransmitted or fabric-duplicated copy is not.
-    claimed_by: Option<usize>,
-    /// Cached reply payload (header included), re-sent verbatim when a
-    /// duplicate of an already-executed call arrives. Shares the original
-    /// reply's buffer — caching is a refcount bump.
-    reply: Option<PayloadBuf>,
-    done: bool,
-}
-
 struct RpcInner {
     am: Am,
     cfg: Rc<MachineConfig>,
     tables: Vec<RefCell<CallTable>>,
-    /// Per-server-node duplicate suppression; only populated when faults or
-    /// retransmission make duplicates possible.
-    dedup: Vec<RefCell<HashMap<(NodeId, u32), DupEntry>>>,
+    /// The call engine owning server-side dispatch: mode selection,
+    /// optimistic attempts, abort resolution, duplicate suppression, and
+    /// the method-name registry.
+    engine: CallEngine,
     /// Retransmission enabled (per-call timers armed).
     reliable: bool,
-    /// Duplicate suppression enabled (retransmission on, or a fault plan
-    /// that can duplicate/redeliver packets).
-    dedup_on: bool,
 }
 
 /// Handle to the RPC runtime. Cheap to clone.
@@ -261,15 +235,28 @@ impl Rpc {
         let cfg = Rc::clone(am.config());
         let n = am.nodes().len();
         let reliable = cfg.reliability.retransmit;
-        let dedup_on = reliable || cfg.fault_plan.is_some();
+        let engine = CallEngine::new(Rc::clone(&cfg), n);
+        // The engine answers suppressed duplicates of completed calls with
+        // the frame's cached reply; a frame that somehow completed without
+        // one (acks cache too, so this should not happen) gets an empty
+        // reply synthesized so the caller can still make progress.
+        let am2 = am.clone();
+        engine.set_reply_resender(Rc::new(
+            move |call: &OamCall, call_id: u32, cached: Option<PayloadBuf>| {
+                let payload = match cached {
+                    Some(r) => r,
+                    None => PayloadBuf::inline(&call_id.to_le_bytes()),
+                };
+                am2.send_from_handler(&call.node, call.pkt.src, REPLY_ID, payload);
+            },
+        ));
         let rpc = Rpc {
             inner: Rc::new(RpcInner {
                 am,
                 cfg,
                 tables: (0..n).map(|_| RefCell::new(CallTable::default())).collect(),
-                dedup: (0..n).map(|_| RefCell::new(HashMap::new())).collect(),
+                engine,
                 reliable,
-                dedup_on,
             }),
         };
         let r = rpc.clone();
@@ -329,6 +316,17 @@ impl Rpc {
     /// The AM layer underneath.
     pub fn am(&self) -> &Am {
         &self.inner.am
+    }
+
+    /// The call engine owning server-side dispatch.
+    pub fn engine(&self) -> &CallEngine {
+        &self.inner.engine
+    }
+
+    /// Registered handler-id → `"Service::method"` names (for report
+    /// labels next to per-method stats).
+    pub fn method_names(&self) -> BTreeMap<u32, String> {
+        self.inner.engine.method_names()
     }
 
     /// Machine configuration.
@@ -615,11 +613,13 @@ impl Rpc {
     async fn reply_payload(&self, call: &OamCall, call_id: u32, payload: PayloadBuf) {
         let node = &call.node;
         node.add_pending(self.marshal_cost(payload.len() - 4));
-        if self.inner.dedup_on && call_id != ONEWAY_SENTINEL {
-            let key = (call.pkt.src, call_id);
-            if let Some(e) = self.inner.dedup[node.id().index()].borrow_mut().get_mut(&key) {
-                e.reply = Some(payload.clone());
-            }
+        if self.inner.engine.dedup_enabled() && call_id != ONEWAY_SENTINEL {
+            self.inner.engine.cache_reply(
+                node.id().index(),
+                call.pkt.src,
+                call_id,
+                payload.clone(),
+            );
         }
         let dst = call.pkt.src;
         if payload.len() > self.inner.cfg.bulk_threshold {
@@ -629,92 +629,11 @@ impl Rpc {
         }
     }
 
-    /// Wrap a handler factory with server-side duplicate suppression. A
-    /// request is *fresh* the first time its `(caller, call_id)` is seen;
-    /// an abort-driven rerun of the same packet instance is allowed
-    /// through; any other copy is a duplicate — dropped while the original
-    /// is still executing, answered from the reply cache once it has
-    /// finished.
-    fn dedup_factory(&self, inner_factory: CallFactory) -> CallFactory {
-        let rpc = self.clone();
-        Rc::new(move |call: &OamCall| {
-            let call_id = peek_call_id(&call.pkt.payload);
-            if call_id == ONEWAY_SENTINEL {
-                // Unreliable oneway: nothing to correlate or suppress.
-                return inner_factory(call);
-            }
-            enum Decision {
-                Run,
-                Drop,
-                Resend(Option<PayloadBuf>),
-            }
-            let caller = call.pkt.src;
-            let key = (caller, call_id);
-            let sidx = call.node.id().index();
-            let pkt_ptr = Rc::as_ptr(&call.pkt) as usize;
-            let decision = {
-                let mut map = rpc.inner.dedup[sidx].borrow_mut();
-                match map.get(&key) {
-                    None => {
-                        map.insert(
-                            key,
-                            DupEntry { claimed_by: Some(pkt_ptr), reply: None, done: false },
-                        );
-                        Decision::Run
-                    }
-                    Some(e) if e.done => Decision::Resend(e.reply.clone()),
-                    Some(e) if e.claimed_by == Some(pkt_ptr) => Decision::Run,
-                    Some(_) => Decision::Drop,
-                }
-            };
-            match decision {
-                Decision::Run => {
-                    let fut = inner_factory(call);
-                    let rpc = rpc.clone();
-                    Box::pin(async move {
-                        fut.await;
-                        if let Some(e) = rpc.inner.dedup[sidx].borrow_mut().get_mut(&key) {
-                            e.done = true;
-                            e.claimed_by = None;
-                        }
-                    })
-                }
-                Decision::Drop => {
-                    call.node.stats().borrow_mut().dups_suppressed += 1;
-                    call.node.emit(TraceKind::DupSuppressed { caller, call_id });
-                    Box::pin(async {})
-                }
-                Decision::Resend(reply) => {
-                    call.node.stats().borrow_mut().dups_suppressed += 1;
-                    call.node.emit(TraceKind::DupSuppressed { caller, call_id });
-                    let payload = match reply {
-                        Some(r) => r,
-                        None => {
-                            // Completed without a cached reply (should not
-                            // happen — acks cache too); synthesize an empty
-                            // one so the caller can still make progress.
-                            PayloadBuf::inline(&call_id.to_le_bytes())
-                        }
-                    };
-                    rpc.inner.am.send_from_handler(&call.node, caller, REPLY_ID, payload);
-                    Box::pin(async {})
-                }
-            }
-        })
-    }
-
-    /// Forget a dedup claim after a NACK: the server rejected the call
-    /// without executing it, and the caller will re-issue it (under a fresh
-    /// call id), so a retransmission of *this* id must be free to execute.
-    fn dedup_forget(&self, server: usize, caller: NodeId, call_id: u32) {
-        if self.inner.dedup_on {
-            self.inner.dedup[server].borrow_mut().remove(&(caller, call_id));
-        }
-    }
-
-    /// Register a remote procedure on `node` in the given mode. The factory
-    /// builds the handler future (decode → body → reply). `expects_reply`
-    /// distinguishes `rpc` from `oneway` methods: under
+    /// Register a remote procedure on `node`. `mode` is the mode the
+    /// service was registered with — a per-method [`ExecPolicy`] in
+    /// `MachineConfig::policies` overrides it (and everything else). The
+    /// factory builds the handler future (decode → body → reply).
+    /// `expects_reply` distinguishes `rpc` from `oneway` methods: under
     /// [`AbortStrategy::Nack`] only reply-bearing calls can be NACKed
     /// (the caller is waiting); one-way calls fall back to rerun.
     pub fn register(
@@ -725,36 +644,51 @@ impl Rpc {
         factory: CallFactory,
         expects_reply: bool,
     ) {
-        let factory = if self.inner.dedup_on { self.dedup_factory(factory) } else { factory };
-        match mode {
-            RpcMode::Trpc => {
-                self.inner.am.register(
-                    node,
-                    id,
-                    HandlerEntry::Custom(Rc::new(ThreadedEntry::new(factory))),
-                );
-            }
-            RpcMode::Orpc => {
-                let mut entry = OptimisticEntry::new(factory);
-                if self.inner.cfg.abort_strategy == AbortStrategy::Nack {
-                    if expects_reply {
-                        let am = self.inner.am.clone();
-                        let rpc = self.clone();
-                        let nack: NackSender = Rc::new(move |call: &OamCall| {
-                            let call_id = peek_call_id(&call.pkt.payload);
-                            debug_assert_ne!(call_id, ONEWAY_SENTINEL);
-                            rpc.dedup_forget(call.node.id().index(), call.pkt.src, call_id);
-                            let payload = PayloadBuf::inline(&call_id.to_le_bytes());
-                            am.send_from_handler(&call.node, call.pkt.src, NACK_ID, payload);
-                        });
-                        entry = entry.with_nack(nack);
-                    } else {
-                        entry = entry.with_strategy(AbortStrategy::Rerun);
-                    }
-                }
-                self.inner.am.register(node, id, HandlerEntry::Custom(Rc::new(entry)));
-            }
+        let policy = self.inner.engine.policy_for(id.0, mode);
+        self.register_policied(node, id, policy, factory, expects_reply);
+    }
+
+    /// As [`Rpc::register`], recording the method's `"Service::method"`
+    /// name in the engine's registry first — which panics if a *different*
+    /// name already hashed to the same handler id. The generated stubs
+    /// register through this path.
+    pub fn register_named(
+        &self,
+        node: NodeId,
+        name: &str,
+        mode: RpcMode,
+        factory: CallFactory,
+        expects_reply: bool,
+    ) -> HandlerId {
+        let id = handler_id_for(name);
+        self.inner.engine.register_name(id.0, name);
+        self.register(node, id, mode, factory, expects_reply);
+        id
+    }
+
+    fn register_policied(
+        &self,
+        node: NodeId,
+        id: HandlerId,
+        policy: ExecPolicy,
+        factory: CallFactory,
+        expects_reply: bool,
+    ) {
+        let mut site =
+            self.inner.engine.site(policy, expects_reply, factory).with_call_correlation();
+        if site.abort_strategy() == AbortStrategy::Nack {
+            let am = self.inner.am.clone();
+            let engine = self.inner.engine.clone();
+            let nack: NackSender = Rc::new(move |call: &OamCall| {
+                let call_id = peek_call_id(&call.pkt.payload);
+                debug_assert_ne!(call_id, ONEWAY_SENTINEL);
+                engine.forget_call(call.node.id().index(), call.pkt.src, call_id);
+                let payload = PayloadBuf::inline(&call_id.to_le_bytes());
+                am.send_from_handler(&call.node, call.pkt.src, NACK_ID, payload);
+            });
+            site = site.with_nack(nack);
         }
+        self.inner.am.register(node, id, HandlerEntry::Custom(Rc::new(site)));
     }
 }
 
@@ -787,12 +721,6 @@ impl RpcCtx {
     pub fn checkpoint(&self) -> oam_threads::Checkpoint {
         self.call.node.checkpoint()
     }
-}
-
-/// Decode just the call header from a request payload.
-fn peek_call_id(payload: &[u8]) -> u32 {
-    let mut rd = WireReader::new(payload);
-    u32::decode(&mut rd).expect("request call id")
 }
 
 /// Decode the call header and argument tuple from a request payload.

@@ -293,6 +293,25 @@ impl<T: Wire> Wire for Vec<T> {
     }
 }
 
+/// Unframed trailing bytes: encodes with **no** length prefix and decodes
+/// by consuming everything left in the payload. For layers that marshal
+/// their own opaque argument or result blobs (e.g. the object layer's
+/// per-class operation encodings) — as the final stub argument or the
+/// return value it keeps their wire format byte-identical to a hand-rolled
+/// `[header][raw bytes]` layout. Must be the *last* field decoded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RawTail(pub Vec<u8>);
+
+impl Wire for RawTail {
+    fn encode(&self, out: &mut WireWriter) {
+        out.extend_from_slice(&self.0);
+    }
+    fn decode(rd: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let b = rd.take(rd.remaining(), "RawTail")?;
+        Ok(RawTail(b.to_vec()))
+    }
+}
+
 impl Wire for String {
     fn encode(&self, out: &mut WireWriter) {
         (self.len() as u32).encode(out);

@@ -105,6 +105,10 @@ pub(crate) struct NodeInner {
     /// Virtual time consumed so far by the inline handler being executed
     /// (drives "ran too long" detection at `checkpoint()`s).
     handler_elapsed: Cell<Dur>,
+    /// Per-method handler-budget override installed by the call engine for
+    /// the duration of one optimistic attempt; `None` falls back to the
+    /// machine-wide `handler_budget`.
+    handler_budget_override: Cell<Option<Dur>>,
     /// The provisional thread id of the optimistic execution in progress.
     active_provisional: Cell<Option<ThreadId>>,
     dispatcher: RefCell<Option<Rc<dyn Dispatcher>>>,
@@ -149,6 +153,7 @@ impl Node {
                 block_kind: RefCell::new(None),
                 abort_cause: Cell::new(None),
                 handler_elapsed: Cell::new(Dur::ZERO),
+                handler_budget_override: Cell::new(None),
                 active_provisional: Cell::new(None),
                 dispatcher: RefCell::new(None),
                 stepping: Cell::new(false),
@@ -282,6 +287,19 @@ impl Node {
     /// Virtual time consumed by the inline handler so far.
     pub fn handler_elapsed(&self) -> Dur {
         self.inner.handler_elapsed.get()
+    }
+
+    /// Install (or clear) a per-method handler-budget override, returning
+    /// the previous one so nested dispatches can restore it.
+    pub fn set_handler_budget_override(&self, budget: Option<Dur>) -> Option<Dur> {
+        self.inner.handler_budget_override.replace(budget)
+    }
+
+    /// The run-length budget the current optimistic attempt is checked
+    /// against: the per-method override if one is installed, else the
+    /// machine-wide `handler_budget`.
+    pub fn effective_handler_budget(&self) -> Dur {
+        self.inner.handler_budget_override.get().unwrap_or(self.inner.cfg.handler_budget)
     }
 
     // ---- thread management ----
@@ -815,7 +833,7 @@ impl Future for Checkpoint {
         }
         match this.node.mode() {
             ExecMode::Optimistic => {
-                if this.node.handler_elapsed() > this.node.config().handler_budget {
+                if this.node.handler_elapsed() > this.node.effective_handler_budget() {
                     this.tripped = true;
                     this.node.set_abort_cause(AbortReason::RanTooLong);
                     Poll::Pending

@@ -132,6 +132,15 @@ pub fn to_chrome_json(rec: &Recorder) -> String {
                     r#"  {{"name":"stale-reply {call_id}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"t"}}"#
                 );
             }
+            TraceKind::ModeSwitch { tag, from, to } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"mode-switch {tag} {}->{}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p"}}"#,
+                    from.label(),
+                    to.label()
+                );
+            }
             TraceKind::ThreadSpawned { .. } => {}
         }
     }
@@ -172,6 +181,8 @@ pub struct NodeSummary {
     /// Reliability events (timeouts, retransmits, suppressed duplicates,
     /// stale replies) on this node.
     pub recoveries: usize,
+    /// Adaptive-dispatch mode switches on this node.
+    pub mode_switches: usize,
     /// Total time spent idle (closed intervals only).
     pub idle: Dur,
 }
@@ -200,6 +211,7 @@ pub fn summarize(rec: &Recorder, nodes: usize) -> Vec<NodeSummary> {
             | TraceKind::CallRetransmit { .. }
             | TraceKind::DupSuppressed { .. }
             | TraceKind::StaleReplyDropped { .. } => s.recoveries += 1,
+            TraceKind::ModeSwitch { .. } => s.mode_switches += 1,
             TraceKind::ThreadSpawned { .. } | TraceKind::ThreadFinished { .. } => {}
         }
     }

@@ -86,10 +86,11 @@ pub use oam_trace as trace;
 /// Everything needed to build and run programs on the simulated machine.
 pub mod prelude {
     pub use oam_am::{AmToken, HandlerEntry, HandlerId};
-    pub use oam_core::{CallFactory, OamCall, OptimisticEntry, ThreadedEntry};
+    pub use oam_core::{CallEngine, CallFactory, MethodSite, OamCall};
     pub use oam_machine::{Collectives, Machine, MachineBuilder, NodeEnv, Reducer, RunReport};
     pub use oam_model::{
-        AbortReason, AbortStrategy, CostModel, Dur, MachineConfig, NodeId, QueuePolicy, Time,
+        AbortReason, AbortStrategy, AdaptivePolicy, CallMode, CostModel, Dur, ExecPolicy,
+        MachineConfig, NodeId, QueuePolicy, Time,
     };
     pub use oam_rpc::{define_rpc_service, Rpc, RpcCtx, RpcMode, Wire};
     pub use oam_threads::{CondVar, Flag, JoinHandle, Mutex, Node};

@@ -1,0 +1,93 @@
+//! Differential correctness for the unified call engine: every
+//! application must compute the **bit-identical** answer whether its
+//! remote procedures run optimistically (ORPC) or with a thread per call
+//! (TRPC), under every abort-resolution strategy, across machine seeds.
+//! Dispatch policy schedules work; it must never change results.
+
+use optimistic_active_messages::apps::sor::SorParams;
+use optimistic_active_messages::apps::tsp::TspParams;
+use optimistic_active_messages::apps::water::{WaterParams, WaterVariant};
+use optimistic_active_messages::apps::{sor, triangle, tsp, water, System};
+use optimistic_active_messages::prelude::*;
+
+const SEEDS: [u64; 3] = [1, 0xBEEF, 0x5EED_5EED];
+const MODES: [System; 2] = [System::Orpc, System::Trpc];
+const STRATEGIES: [AbortStrategy; 3] =
+    [AbortStrategy::Promote, AbortStrategy::Rerun, AbortStrategy::Nack];
+
+fn cfg(nodes: usize, seed: u64, strategy: AbortStrategy) -> MachineConfig {
+    MachineConfig::cm5(nodes).with_seed(seed).with_abort_strategy(strategy)
+}
+
+#[test]
+fn triangle_answers_are_mode_and_strategy_invariant() {
+    let (sol, pos, _) = triangle::sequential(4);
+    let expect = (sol << 40) | pos;
+    for seed in SEEDS {
+        for mode in MODES {
+            for strategy in STRATEGIES {
+                let out = triangle::run_configured(mode, cfg(3, seed, strategy), 4, 1);
+                assert_eq!(
+                    out.answer,
+                    expect,
+                    "triangle {} {strategy:?} seed={seed:#x}",
+                    mode.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tsp_answers_are_mode_and_strategy_invariant() {
+    let p = TspParams { ncities: 9, prefix_len: 3, ..Default::default() };
+    let (best, _, _) = tsp::sequential(p);
+    for seed in SEEDS {
+        for mode in MODES {
+            for strategy in STRATEGIES {
+                let out = tsp::run_configured(mode, cfg(4, seed, strategy), p);
+                assert_eq!(
+                    out.answer,
+                    best as u64,
+                    "tsp {} {strategy:?} seed={seed:#x}",
+                    mode.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sor_answers_are_mode_and_strategy_invariant() {
+    let p = SorParams { rows: 16, cols: 8, iters: 3 };
+    let (ck, _) = sor::sequential(p);
+    for seed in SEEDS {
+        for mode in MODES {
+            for strategy in STRATEGIES {
+                let out = sor::run_configured(mode, cfg(4, seed, strategy), p);
+                assert_eq!(out.answer, ck, "sor {} {strategy:?} seed={seed:#x}", mode.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn water_answers_are_mode_and_strategy_invariant() {
+    let p = WaterParams { molecules: 12, iters: 2 };
+    let mut reference = None;
+    for seed in SEEDS {
+        for mode in MODES {
+            for strategy in STRATEGIES {
+                let variant = WaterVariant { system: mode, barrier: true };
+                let out = water::run_configured(variant, cfg(4, seed, strategy), p);
+                let expect = *reference.get_or_insert(out.outcome.answer);
+                assert_eq!(
+                    out.outcome.answer,
+                    expect,
+                    "water {} {strategy:?} seed={seed:#x}",
+                    mode.label()
+                );
+            }
+        }
+    }
+}
