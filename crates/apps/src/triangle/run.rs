@@ -18,7 +18,7 @@ use std::collections::HashSet;
 use std::rc::Rc;
 
 use oam_am::{pack_u32_payload, AmToken, HandlerId};
-use oam_machine::{MachineBuilder, Reducer};
+use oam_machine::{run_partitioned, Reducer, ShardApp};
 use oam_model::{Dur, NodeId};
 use oam_rpc::define_rpc_service;
 use oam_threads::Mutex;
@@ -153,185 +153,215 @@ pub fn run_configured(
 ) -> AppOutcome {
     assert!(poll_every > 0);
     let nprocs = cfg.nodes;
-    let machine = MachineBuilder::from_config(cfg).build();
-    let board = Rc::new(Board::new(size));
 
-    // Per-node state. The AM variant keeps the table in a RefCell: handler
-    // atomicity comes from non-preemption, the hand-synthesized critical
-    // region of the paper's AM code.
-    let rpc_states: Vec<Rc<TriangleState>> = (0..nprocs)
-        .map(|i| {
-            Rc::new(TriangleState { core: Mutex::new(&machine.nodes()[i], TriangleCore::new()) })
-        })
-        .collect();
-    let am_states: Vec<Rc<RefCell<TriangleCore>>> =
-        (0..nprocs).map(|_| Rc::new(RefCell::new(TriangleCore::new()))).collect();
+    let (report, answer) = run_partitioned(cfg, move |machine| {
+        let board = Rc::new(Board::new(size));
 
-    match system {
-        System::HandAm => {
-            for (i, st) in am_states.iter().enumerate() {
-                let st = Rc::clone(st);
-                machine.am().register(
-                    NodeId(i),
-                    AM_INSERT,
-                    oam_am::HandlerEntry::Inline(Rc::new(move |t: &AmToken| {
-                        t.charge(INSERT_COST);
-                        let mut c = st.borrow_mut();
-                        c.received += 1;
-                        c.insert(t.arg_u32(0));
-                    })),
-                );
+        // Per-node state. The AM variant keeps the table in a RefCell:
+        // handler atomicity comes from non-preemption, the hand-synthesized
+        // critical region of the paper's AM code.
+        let rpc_states: Vec<Rc<TriangleState>> = (0..nprocs)
+            .map(|i| {
+                Rc::new(TriangleState {
+                    core: Mutex::new(&machine.nodes()[i], TriangleCore::new()),
+                })
+            })
+            .collect();
+        let am_states: Vec<Rc<RefCell<TriangleCore>>> =
+            (0..nprocs).map(|_| Rc::new(RefCell::new(TriangleCore::new()))).collect();
+
+        match system {
+            System::HandAm => {
+                for (i, st) in am_states.iter().enumerate() {
+                    let st = Rc::clone(st);
+                    machine.am().register(
+                        NodeId(i),
+                        AM_INSERT,
+                        oam_am::HandlerEntry::Inline(Rc::new(move |t: &AmToken| {
+                            t.charge(INSERT_COST);
+                            let mut c = st.borrow_mut();
+                            c.received += 1;
+                            c.insert(t.arg_u32(0));
+                        })),
+                    );
+                }
+            }
+            System::Orpc | System::Trpc => {
+                for (i, st) in rpc_states.iter().enumerate() {
+                    Triangle::register_all(
+                        machine.rpc(),
+                        NodeId(i),
+                        Rc::clone(st),
+                        system.rpc_mode(),
+                    );
+                }
             }
         }
-        System::Orpc | System::Trpc => {
-            for (i, st) in rpc_states.iter().enumerate() {
-                Triangle::register_all(machine.rpc(), NodeId(i), Rc::clone(st), system.rpc_mode());
-            }
-        }
-    }
 
-    let sent_reduce = Reducer::new(machine.collectives(), |a: &u64, b: &u64| a + b);
-    let recv_reduce = Reducer::new(machine.collectives(), |a: &u64, b: &u64| a + b);
-    let next_reduce = Reducer::new(machine.collectives(), |a: &u64, b: &u64| a + b);
-    let answer_reduce = Reducer::new(machine.collectives(), |a: &u64, b: &u64| a + b);
-    let answer_out = Rc::new(Cell::new(0u64));
+        let sent_reduce = Reducer::new(machine.collectives(), |a: &u64, b: &u64| a + b);
+        let recv_reduce = Reducer::new(machine.collectives(), |a: &u64, b: &u64| a + b);
+        let next_reduce = Reducer::new(machine.collectives(), |a: &u64, b: &u64| a + b);
+        let answer_reduce = Reducer::new(machine.collectives(), |a: &u64, b: &u64| a + b);
+        let answer_out = Rc::new(Cell::new(0u64));
 
-    let rpc_states = Rc::new(rpc_states);
-    let am_states = Rc::new(am_states);
-    let out = Rc::clone(&answer_out);
-    let report = machine.run(move |env| {
-        let board = Rc::clone(&board);
-        let rpc_states = Rc::clone(&rpc_states);
-        let am_states = Rc::clone(&am_states);
-        let (sent_r, recv_r, next_r, ans_r) =
-            (sent_reduce.clone(), recv_reduce.clone(), next_reduce.clone(), answer_reduce.clone());
-        let out = Rc::clone(&out);
-        async move {
-            let me = env.id().index();
-            let nprocs = env.nprocs();
+        let rpc_states = Rc::new(rpc_states);
+        let am_states = Rc::new(am_states);
+        let out = Rc::clone(&answer_out);
+        let main = move |env: oam_machine::NodeEnv| {
+            let board = Rc::clone(&board);
+            let rpc_states = Rc::clone(&rpc_states);
+            let am_states = Rc::clone(&am_states);
+            let (sent_r, recv_r, next_r, ans_r) = (
+                sent_reduce.clone(),
+                recv_reduce.clone(),
+                next_reduce.clone(),
+                answer_reduce.clone(),
+            );
+            let out = Rc::clone(&out);
+            let fut: std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> =
+                Box::pin(async move {
+                    let me = env.id().index();
+                    let nprocs = env.nprocs();
 
-            // Helpers over the two state representations.
-            let local_insert = {
-                let rpc_states = Rc::clone(&rpc_states);
-                let am_states = Rc::clone(&am_states);
-                move |pos: Position| match system {
-                    System::HandAm => am_states[me].borrow_mut().insert(pos),
-                    _ => rpc_states[me]
-                        .core
-                        .try_lock()
-                        .expect("own table free")
-                        .with_mut(|c| c.insert(pos)),
-                }
-            };
-            let take_frontier = {
-                let rpc_states = Rc::clone(&rpc_states);
-                let am_states = Rc::clone(&am_states);
-                move || -> Vec<Position> {
-                    match system {
-                        System::HandAm => std::mem::take(&mut am_states[me].borrow_mut().next),
-                        _ => rpc_states[me]
-                            .core
-                            .try_lock()
-                            .expect("own table free")
-                            .with_mut(|c| std::mem::take(&mut c.next)),
-                    }
-                }
-            };
-            let read_counts = {
-                let rpc_states = Rc::clone(&rpc_states);
-                let am_states = Rc::clone(&am_states);
-                move || -> (u64, u64) {
-                    match system {
-                        System::HandAm => {
-                            let c = am_states[me].borrow();
-                            (c.received, c.solutions)
+                    // Helpers over the two state representations.
+                    let local_insert = {
+                        let rpc_states = Rc::clone(&rpc_states);
+                        let am_states = Rc::clone(&am_states);
+                        move |pos: Position| match system {
+                            System::HandAm => am_states[me].borrow_mut().insert(pos),
+                            _ => rpc_states[me]
+                                .core
+                                .try_lock()
+                                .expect("own table free")
+                                .with_mut(|c| c.insert(pos)),
                         }
-                        _ => rpc_states[me]
-                            .core
-                            .try_lock()
-                            .expect("own table free")
-                            .with(|c| (c.received, c.solutions)),
-                    }
-                }
-            };
-
-            // Seed the search at the initial position's owner.
-            let init = board.initial();
-            if owner(init, nprocs).index() == me {
-                env.charge(INSERT_COST).await;
-                local_insert(init);
-            }
-            env.barrier().await;
-
-            let mut sent_cum = 0u64;
-            loop {
-                let frontier = take_frontier();
-                let mut succs: Vec<Position> = Vec::with_capacity(16);
-                for (i, pos) in frontier.iter().enumerate() {
-                    succs.clear();
-                    board.for_each_successor(*pos, |s| succs.push(s));
-                    env.charge(EXPAND_BASE + EXTEND_COST.times(succs.len() as u64)).await;
-                    for &s in &succs {
-                        let dst = owner(s, nprocs);
-                        if dst.index() == me {
-                            env.charge(INSERT_COST).await;
-                            local_insert(s);
-                        } else {
-                            sent_cum += 1;
+                    };
+                    let take_frontier = {
+                        let rpc_states = Rc::clone(&rpc_states);
+                        let am_states = Rc::clone(&am_states);
+                        move || -> Vec<Position> {
                             match system {
                                 System::HandAm => {
-                                    env.am()
-                                        .send(env.node(), dst, AM_INSERT, pack_u32_payload(&[s]))
-                                        .await;
+                                    std::mem::take(&mut am_states[me].borrow_mut().next)
                                 }
-                                _ => {
-                                    Triangle::insert::send(env.rpc(), env.node(), dst, s).await;
-                                }
+                                _ => rpc_states[me]
+                                    .core
+                                    .try_lock()
+                                    .expect("own table free")
+                                    .with_mut(|c| std::mem::take(&mut c.next)),
                             }
                         }
-                    }
-                    if (i + 1) % poll_every == 0 {
-                        env.poll().await;
-                    }
-                }
-                // Level termination: every sent insert has been processed.
-                loop {
-                    env.barrier().await;
-                    let total_sent = sent_r.reduce(env.node(), sent_cum).await;
-                    let total_recv = recv_r.reduce(env.node(), read_counts().0).await;
-                    if total_sent == total_recv {
-                        break;
-                    }
-                    env.poll().await;
-                }
-                let next_len = match system {
-                    System::HandAm => am_states[me].borrow().next.len() as u64,
-                    _ => {
-                        rpc_states[me].core.try_lock().expect("free").with(|c| c.next.len() as u64)
-                    }
-                };
-                if next_r.reduce(env.node(), next_len).await == 0 {
-                    break;
-                }
-            }
+                    };
+                    let read_counts = {
+                        let rpc_states = Rc::clone(&rpc_states);
+                        let am_states = Rc::clone(&am_states);
+                        move || -> (u64, u64) {
+                            match system {
+                                System::HandAm => {
+                                    let c = am_states[me].borrow();
+                                    (c.received, c.solutions)
+                                }
+                                _ => rpc_states[me]
+                                    .core
+                                    .try_lock()
+                                    .expect("own table free")
+                                    .with(|c| (c.received, c.solutions)),
+                            }
+                        }
+                    };
 
-            // Gather the answer.
-            let (_, solutions) = read_counts();
-            let positions = match system {
-                System::HandAm => am_states[me].borrow().seen.len() as u64,
-                _ => rpc_states[me].core.try_lock().expect("free").with(|c| c.seen.len() as u64),
-            };
-            let total_solutions = ans_r.reduce(env.node(), solutions).await;
-            let total_positions = ans_r.reduce(env.node(), positions).await;
-            if me == 0 {
-                out.set(pack_answer(total_solutions, total_positions));
-            }
-        }
+                    // Seed the search at the initial position's owner.
+                    let init = board.initial();
+                    if owner(init, nprocs).index() == me {
+                        env.charge(INSERT_COST).await;
+                        local_insert(init);
+                    }
+                    env.barrier().await;
+
+                    let mut sent_cum = 0u64;
+                    loop {
+                        let frontier = take_frontier();
+                        let mut succs: Vec<Position> = Vec::with_capacity(16);
+                        for (i, pos) in frontier.iter().enumerate() {
+                            succs.clear();
+                            board.for_each_successor(*pos, |s| succs.push(s));
+                            env.charge(EXPAND_BASE + EXTEND_COST.times(succs.len() as u64)).await;
+                            for &s in &succs {
+                                let dst = owner(s, nprocs);
+                                if dst.index() == me {
+                                    env.charge(INSERT_COST).await;
+                                    local_insert(s);
+                                } else {
+                                    sent_cum += 1;
+                                    match system {
+                                        System::HandAm => {
+                                            env.am()
+                                                .send(
+                                                    env.node(),
+                                                    dst,
+                                                    AM_INSERT,
+                                                    pack_u32_payload(&[s]),
+                                                )
+                                                .await;
+                                        }
+                                        _ => {
+                                            Triangle::insert::send(env.rpc(), env.node(), dst, s)
+                                                .await;
+                                        }
+                                    }
+                                }
+                            }
+                            if (i + 1) % poll_every == 0 {
+                                env.poll().await;
+                            }
+                        }
+                        // Level termination: every sent insert has been processed.
+                        loop {
+                            env.barrier().await;
+                            let total_sent = sent_r.reduce(env.node(), sent_cum).await;
+                            let total_recv = recv_r.reduce(env.node(), read_counts().0).await;
+                            if total_sent == total_recv {
+                                break;
+                            }
+                            env.poll().await;
+                        }
+                        let next_len = match system {
+                            System::HandAm => am_states[me].borrow().next.len() as u64,
+                            _ => rpc_states[me]
+                                .core
+                                .try_lock()
+                                .expect("free")
+                                .with(|c| c.next.len() as u64),
+                        };
+                        if next_r.reduce(env.node(), next_len).await == 0 {
+                            break;
+                        }
+                    }
+
+                    // Gather the answer.
+                    let (_, solutions) = read_counts();
+                    let positions = match system {
+                        System::HandAm => am_states[me].borrow().seen.len() as u64,
+                        _ => rpc_states[me]
+                            .core
+                            .try_lock()
+                            .expect("free")
+                            .with(|c| c.seen.len() as u64),
+                    };
+                    let total_solutions = ans_r.reduce(env.node(), solutions).await;
+                    let total_positions = ans_r.reduce(env.node(), positions).await;
+                    if me == 0 {
+                        out.set(pack_answer(total_solutions, total_positions));
+                    }
+                });
+            fut
+        };
+        ShardApp { main: Box::new(main), finish: Box::new(move |_| answer_out.get()) }
     });
 
     AppOutcome {
         elapsed: report.end_time.since(oam_model::Time::ZERO),
-        answer: answer_out.get(),
+        answer,
         stats: report.stats,
         events: report.events,
         peak_queue_depth: report.peak_queue_depth,

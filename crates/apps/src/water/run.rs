@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use oam_am::{AmToken, HandlerId};
-use oam_machine::{MachineBuilder, Reducer};
+use oam_machine::{run_partitioned, Reducer, ShardApp};
 use oam_model::{Dur, NodeId, Time};
 use oam_rpc::define_rpc_service;
 use oam_threads::Flag;
@@ -195,254 +195,271 @@ pub fn run_configured(
         "the AM variant requires barriers (the paper's AM Water would die without them)"
     );
     assert!(nprocs <= p.molecules);
-    let machine = MachineBuilder::from_config(cfg).build();
+    let params = p;
 
-    let rpc_states: Vec<Rc<WaterState>> = (0..nprocs)
-        .map(|i| {
-            let node = &machine.nodes()[i];
-            Rc::new(WaterState {
-                pos: (0..nprocs)
-                    .map(|_| [BoundarySlot::new(node), BoundarySlot::new(node)])
-                    .collect(),
-                upd: (0..nprocs)
-                    .map(|_| [BoundarySlot::new(node), BoundarySlot::new(node)])
-                    .collect(),
+    let (report, (answer, after_first_iter)) = run_partitioned(cfg, move |machine| {
+        let rpc_states: Vec<Rc<WaterState>> = (0..nprocs)
+            .map(|i| {
+                let node = &machine.nodes()[i];
+                Rc::new(WaterState {
+                    pos: (0..nprocs)
+                        .map(|_| [BoundarySlot::new(node), BoundarySlot::new(node)])
+                        .collect(),
+                    upd: (0..nprocs)
+                        .map(|_| [BoundarySlot::new(node), BoundarySlot::new(node)])
+                        .collect(),
+                })
             })
-        })
-        .collect();
-    let am_states: Vec<Rc<AmWater>> = (0..nprocs)
-        .map(|_| {
-            Rc::new(AmWater {
-                pos: (0..nprocs).map(|_| Default::default()).collect(),
-                upd: (0..nprocs).map(|_| Default::default()).collect(),
+            .collect();
+        let am_states: Vec<Rc<AmWater>> = (0..nprocs)
+            .map(|_| {
+                Rc::new(AmWater {
+                    pos: (0..nprocs).map(|_| Default::default()).collect(),
+                    upd: (0..nprocs).map(|_| Default::default()).collect(),
+                })
             })
-        })
-        .collect();
+            .collect();
 
-    match variant.system {
-        System::HandAm => {
-            for (i, st) in am_states.iter().enumerate() {
-                for (id, which) in [(AM_POS, 0usize), (AM_UPD, 1usize)] {
-                    let st = Rc::clone(st);
-                    machine.am().register(
+        match variant.system {
+            System::HandAm => {
+                for (i, st) in am_states.iter().enumerate() {
+                    for (id, which) in [(AM_POS, 0usize), (AM_UPD, 1usize)] {
+                        let st = Rc::clone(st);
+                        machine.am().register(
+                            NodeId(i),
+                            id,
+                            oam_am::HandlerEntry::Inline(Rc::new(move |t: &AmToken| {
+                                let (parity, data): (u32, Vec<f64>) =
+                                    oam_rpc::from_bytes(t.payload()).expect("water decode");
+                                let src = t.src().index();
+                                let (slot, flag) = if which == 0 {
+                                    &st.pos[src][parity as usize]
+                                } else {
+                                    &st.upd[src][parity as usize]
+                                };
+                                let f = flag.borrow().clone();
+                                assert!(
+                                    !f.get(),
+                                    "AM Water: buffer occupied at message arrival — the program dies"
+                                );
+                                *slot.borrow_mut() = Some(data);
+                                f.set();
+                            })),
+                        );
+                    }
+                }
+            }
+            System::Orpc | System::Trpc => {
+                for (i, st) in rpc_states.iter().enumerate() {
+                    Water::register_all(
+                        machine.rpc(),
                         NodeId(i),
-                        id,
-                        oam_am::HandlerEntry::Inline(Rc::new(move |t: &AmToken| {
-                            let (parity, data): (u32, Vec<f64>) =
-                                oam_rpc::from_bytes(t.payload()).expect("water decode");
-                            let src = t.src().index();
-                            let (slot, flag) = if which == 0 {
-                                &st.pos[src][parity as usize]
-                            } else {
-                                &st.upd[src][parity as usize]
-                            };
-                            let f = flag.borrow().clone();
-                            assert!(
-                                !f.get(),
-                                "AM Water: buffer occupied at message arrival — the program dies"
-                            );
-                            *slot.borrow_mut() = Some(data);
-                            f.set();
-                        })),
+                        Rc::clone(st),
+                        variant.system.rpc_mode(),
                     );
                 }
             }
         }
-        System::Orpc | System::Trpc => {
-            for (i, st) in rpc_states.iter().enumerate() {
-                Water::register_all(
-                    machine.rpc(),
-                    NodeId(i),
-                    Rc::clone(st),
-                    variant.system.rpc_mode(),
-                );
-            }
-        }
-    }
 
-    let energy_reduce = Reducer::new(machine.collectives(), |a: &u64, b: &u64| a.wrapping_add(*b));
-    let answer_out = Rc::new(Cell::new(0u64));
-    let first_iter_out = Rc::new(Cell::new(Dur::ZERO));
+        let energy_reduce =
+            Reducer::new(machine.collectives(), |a: &u64, b: &u64| a.wrapping_add(*b));
+        let answer_out = Rc::new(Cell::new(0u64));
+        let first_iter_out = Rc::new(Cell::new(Dur::ZERO));
 
-    let rpc_states = Rc::new(rpc_states);
-    let am_states = Rc::new(am_states);
-    let out = Rc::clone(&answer_out);
-    let first_out = Rc::clone(&first_iter_out);
-    let params = p;
-    let report = machine.run(move |env| {
-        let rpc_states = Rc::clone(&rpc_states);
-        let am_states = Rc::clone(&am_states);
-        let energy_r = energy_reduce.clone();
-        let out = Rc::clone(&out);
-        let first_out = Rc::clone(&first_out);
-        async move {
-            let me = env.id().index();
-            let nprocs = env.nprocs();
-            let copy_cost = env.config().cost.copy_per_byte;
-            let (m0, m1) = crate::sor::grid::partition(params.molecules, nprocs, me);
-            let all_mols = initial_molecules(params.molecules);
-            let mut mols: Vec<Molecule> = all_mols[m0..m1].to_vec();
-            let my_targets = targets(me, nprocs);
-            let my_providers = providers(me, nprocs);
+        let rpc_states = Rc::new(rpc_states);
+        let am_states = Rc::new(am_states);
+        let out = Rc::clone(&answer_out);
+        let first_out = Rc::clone(&first_iter_out);
+        let main = move |env: oam_machine::NodeEnv| {
+            let rpc_states = Rc::clone(&rpc_states);
+            let am_states = Rc::clone(&am_states);
+            let energy_r = energy_reduce.clone();
+            let out = Rc::clone(&out);
+            let first_out = Rc::clone(&first_out);
+            let fut: std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> =
+                Box::pin(async move {
+                    let me = env.id().index();
+                    let nprocs = env.nprocs();
+                    let copy_cost = env.config().cost.copy_per_byte;
+                    let (m0, m1) = crate::sor::grid::partition(params.molecules, nprocs, me);
+                    let all_mols = initial_molecules(params.molecules);
+                    let mut mols: Vec<Molecule> = all_mols[m0..m1].to_vec();
+                    let my_targets = targets(me, nprocs);
+                    let my_providers = providers(me, nprocs);
 
-            // Prime AM flags.
-            if variant.system == System::HandAm {
-                for src in 0..nprocs {
-                    for par in 0..2 {
-                        *am_states[me].pos[src][par].1.borrow_mut() = Flag::new();
-                        *am_states[me].upd[src][par].1.borrow_mut() = Flag::new();
-                    }
-                }
-            }
-            env.barrier().await;
-
-            for it in 0..params.iters {
-                let parity = (it % 2) as u32;
-
-                // ---- Phase A: broadcast positions to every other node.
-                let flat: Vec<f64> = mols.iter().flat_map(|m| m.pos).collect();
-                for off in 1..nprocs {
-                    let dst = NodeId((me + off) % nprocs);
-                    match variant.system {
-                        System::HandAm => {
-                            let payload = oam_rpc::to_payload(
-                                &(parity, flat.clone()),
-                                env.am().pool(env.id()),
-                            );
-                            env.am().send_bulk(env.node(), dst, AM_POS, payload);
-                        }
-                        _ => {
-                            Water::store_positions::send(
-                                env.rpc(),
-                                env.node(),
-                                dst,
-                                parity,
-                                flat.clone(),
-                            )
-                            .await;
+                    // Prime AM flags.
+                    if variant.system == System::HandAm {
+                        for src in 0..nprocs {
+                            for par in 0..2 {
+                                *am_states[me].pos[src][par].1.borrow_mut() = Flag::new();
+                                *am_states[me].upd[src][par].1.borrow_mut() = Flag::new();
+                            }
                         }
                     }
-                }
-
-                // ---- Internal pairs (overlap with the broadcasts).
-                let my_pos: Vec<[f64; 3]> = mols.iter().map(|m| m.pos).collect();
-                let mut acc = vec![[0.0f64; 3]; mols.len()];
-                let pairs = block_internal(&my_pos, &mut acc);
-                if pairs > 0 {
-                    env.charge(PAIR_COST.times(pairs)).await;
-                }
-                env.poll().await;
-
-                // ---- Consume every other node's positions (fixed order);
-                //      compute cross pairs for my half-shell targets.
-                let mut remote_acc: Vec<(usize, Vec<f64>)> = Vec::new();
-                for off in 1..nprocs {
-                    let src = (me + off) % nprocs;
-                    let data: Vec<f64> = match variant.system {
-                        System::HandAm => {
-                            let flag = am_states[me].pos[src][parity as usize].1.borrow().clone();
-                            env.node().spin_on(flag).await;
-                            *am_states[me].pos[src][parity as usize].1.borrow_mut() = Flag::new();
-                            am_states[me].pos[src][parity as usize]
-                                .0
-                                .borrow_mut()
-                                .take()
-                                .expect("positions present")
-                        }
-                        _ => {
-                            let v = rpc_states[me].pos[src][parity as usize].take().await;
-                            env.charge(copy_cost.times((v.len() * 8) as u64)).await;
-                            v
-                        }
-                    };
-                    if my_targets.contains(&src) {
-                        let pos_b: Vec<[f64; 3]> =
-                            data.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
-                        let mut acc_b = vec![[0.0f64; 3]; pos_b.len()];
-                        let pairs = block_cross(&my_pos, &pos_b, &mut acc, &mut acc_b);
-                        env.charge(PAIR_COST.times(pairs)).await;
-                        remote_acc.push((src, acc_b.iter().flat_map(|a| *a).collect::<Vec<f64>>()));
-                    }
-                    env.poll().await;
-                }
-
-                // ---- Phase B: scatter combined update messages.
-                for (dst, upd) in remote_acc.drain(..) {
-                    let flat_upd: Vec<f64> = upd;
-                    match variant.system {
-                        System::HandAm => {
-                            let payload =
-                                oam_rpc::to_payload(&(parity, flat_upd), env.am().pool(env.id()));
-                            env.am().send_bulk(env.node(), NodeId(dst), AM_UPD, payload);
-                        }
-                        _ => {
-                            Water::store_updates::send(
-                                env.rpc(),
-                                env.node(),
-                                NodeId(dst),
-                                parity,
-                                flat_upd,
-                            )
-                            .await;
-                        }
-                    }
-                }
-
-                // ---- Apply updates from my providers, in fixed order.
-                for &src in &my_providers {
-                    let data: Vec<f64> = match variant.system {
-                        System::HandAm => {
-                            let flag = am_states[me].upd[src][parity as usize].1.borrow().clone();
-                            env.node().spin_on(flag).await;
-                            *am_states[me].upd[src][parity as usize].1.borrow_mut() = Flag::new();
-                            am_states[me].upd[src][parity as usize]
-                                .0
-                                .borrow_mut()
-                                .take()
-                                .expect("updates present")
-                        }
-                        _ => {
-                            let v = rpc_states[me].upd[src][parity as usize].take().await;
-                            env.charge(copy_cost.times((v.len() * 8) as u64)).await;
-                            v
-                        }
-                    };
-                    for (i, c) in data.chunks_exact(3).enumerate() {
-                        for k in 0..3 {
-                            acc[i][k] += c[k];
-                        }
-                    }
-                    env.charge(APPLY_COST.times(mols.len() as u64)).await;
-                }
-
-                // ---- Integrate.
-                integrate(&mut mols, &acc);
-                env.charge(INTEGRATE_COST.times(mols.len() as u64)).await;
-
-                if it == 0 && me == 0 {
-                    first_out.set(env.now().since(Time::ZERO));
-                }
-                if variant.barrier {
                     env.barrier().await;
-                }
-            }
 
-            let total = energy_r.reduce(env.node(), energy_checksum(&mols)).await;
-            if me == 0 {
-                out.set(total);
-            }
+                    for it in 0..params.iters {
+                        let parity = (it % 2) as u32;
+
+                        // ---- Phase A: broadcast positions to every other node.
+                        let flat: Vec<f64> = mols.iter().flat_map(|m| m.pos).collect();
+                        for off in 1..nprocs {
+                            let dst = NodeId((me + off) % nprocs);
+                            match variant.system {
+                                System::HandAm => {
+                                    let payload = oam_rpc::to_payload(
+                                        &(parity, flat.clone()),
+                                        env.am().pool(env.id()),
+                                    );
+                                    env.am().send_bulk(env.node(), dst, AM_POS, payload);
+                                }
+                                _ => {
+                                    Water::store_positions::send(
+                                        env.rpc(),
+                                        env.node(),
+                                        dst,
+                                        parity,
+                                        flat.clone(),
+                                    )
+                                    .await;
+                                }
+                            }
+                        }
+
+                        // ---- Internal pairs (overlap with the broadcasts).
+                        let my_pos: Vec<[f64; 3]> = mols.iter().map(|m| m.pos).collect();
+                        let mut acc = vec![[0.0f64; 3]; mols.len()];
+                        let pairs = block_internal(&my_pos, &mut acc);
+                        if pairs > 0 {
+                            env.charge(PAIR_COST.times(pairs)).await;
+                        }
+                        env.poll().await;
+
+                        // ---- Consume every other node's positions (fixed order);
+                        //      compute cross pairs for my half-shell targets.
+                        let mut remote_acc: Vec<(usize, Vec<f64>)> = Vec::new();
+                        for off in 1..nprocs {
+                            let src = (me + off) % nprocs;
+                            let data: Vec<f64> = match variant.system {
+                                System::HandAm => {
+                                    let flag =
+                                        am_states[me].pos[src][parity as usize].1.borrow().clone();
+                                    env.node().spin_on(flag).await;
+                                    *am_states[me].pos[src][parity as usize].1.borrow_mut() =
+                                        Flag::new();
+                                    am_states[me].pos[src][parity as usize]
+                                        .0
+                                        .borrow_mut()
+                                        .take()
+                                        .expect("positions present")
+                                }
+                                _ => {
+                                    let v = rpc_states[me].pos[src][parity as usize].take().await;
+                                    env.charge(copy_cost.times((v.len() * 8) as u64)).await;
+                                    v
+                                }
+                            };
+                            if my_targets.contains(&src) {
+                                let pos_b: Vec<[f64; 3]> =
+                                    data.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+                                let mut acc_b = vec![[0.0f64; 3]; pos_b.len()];
+                                let pairs = block_cross(&my_pos, &pos_b, &mut acc, &mut acc_b);
+                                env.charge(PAIR_COST.times(pairs)).await;
+                                remote_acc.push((
+                                    src,
+                                    acc_b.iter().flat_map(|a| *a).collect::<Vec<f64>>(),
+                                ));
+                            }
+                            env.poll().await;
+                        }
+
+                        // ---- Phase B: scatter combined update messages.
+                        for (dst, upd) in remote_acc.drain(..) {
+                            let flat_upd: Vec<f64> = upd;
+                            match variant.system {
+                                System::HandAm => {
+                                    let payload = oam_rpc::to_payload(
+                                        &(parity, flat_upd),
+                                        env.am().pool(env.id()),
+                                    );
+                                    env.am().send_bulk(env.node(), NodeId(dst), AM_UPD, payload);
+                                }
+                                _ => {
+                                    Water::store_updates::send(
+                                        env.rpc(),
+                                        env.node(),
+                                        NodeId(dst),
+                                        parity,
+                                        flat_upd,
+                                    )
+                                    .await;
+                                }
+                            }
+                        }
+
+                        // ---- Apply updates from my providers, in fixed order.
+                        for &src in &my_providers {
+                            let data: Vec<f64> = match variant.system {
+                                System::HandAm => {
+                                    let flag =
+                                        am_states[me].upd[src][parity as usize].1.borrow().clone();
+                                    env.node().spin_on(flag).await;
+                                    *am_states[me].upd[src][parity as usize].1.borrow_mut() =
+                                        Flag::new();
+                                    am_states[me].upd[src][parity as usize]
+                                        .0
+                                        .borrow_mut()
+                                        .take()
+                                        .expect("updates present")
+                                }
+                                _ => {
+                                    let v = rpc_states[me].upd[src][parity as usize].take().await;
+                                    env.charge(copy_cost.times((v.len() * 8) as u64)).await;
+                                    v
+                                }
+                            };
+                            for (i, c) in data.chunks_exact(3).enumerate() {
+                                for k in 0..3 {
+                                    acc[i][k] += c[k];
+                                }
+                            }
+                            env.charge(APPLY_COST.times(mols.len() as u64)).await;
+                        }
+
+                        // ---- Integrate.
+                        integrate(&mut mols, &acc);
+                        env.charge(INTEGRATE_COST.times(mols.len() as u64)).await;
+
+                        if it == 0 && me == 0 {
+                            first_out.set(env.now().since(Time::ZERO));
+                        }
+                        if variant.barrier {
+                            env.barrier().await;
+                        }
+                    }
+
+                    let total = energy_r.reduce(env.node(), energy_checksum(&mols)).await;
+                    if me == 0 {
+                        out.set(total);
+                    }
+                });
+            fut
+        };
+        ShardApp {
+            main: Box::new(main),
+            finish: Box::new(move |_| (answer_out.get(), first_iter_out.get())),
         }
     });
 
     WaterOutcome {
         outcome: AppOutcome {
             elapsed: report.end_time.since(Time::ZERO),
-            answer: answer_out.get(),
+            answer,
             stats: report.stats,
             events: report.events,
             peak_queue_depth: report.peak_queue_depth,
         },
-        after_first_iter: first_iter_out.get(),
+        after_first_iter,
     }
 }
 

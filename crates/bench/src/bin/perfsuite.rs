@@ -11,7 +11,16 @@
 //! ```sh
 //! cargo run --release -p oam-bench --bin perfsuite            # full sizes
 //! cargo run --release -p oam-bench --bin perfsuite -- --quick # CI sizes
+//! cargo run --release -p oam-bench --bin perfsuite -- --jobs 4 # parallel
 //! ```
+//!
+//! `--jobs N` runs independent suites on a pool of `N` host threads. Wall
+//! clocks and deterministic counters stay meaningful (each suite still
+//! runs [`REPS`] times on one thread, best kept), but the allocation
+//! columns do **not**: the counting allocator is process-global, so with
+//! `N > 1` a suite's snapshot window includes every other in-flight
+//! suite's allocations. Keep the default `--jobs 1` for runs whose
+//! `allocs` numbers feed the CI gate.
 
 use std::cell::Cell;
 use std::fmt::Write as _;
@@ -189,42 +198,119 @@ fn bulk_churn(rounds: u32, cfg: MachineConfig) -> AppOutcome {
     }
 }
 
-fn run_suites(quick: bool) -> Vec<SuiteRun> {
+/// One suite definition: a name plus a body that can run on any host
+/// thread (`--jobs`).
+struct SuiteSpec {
+    name: &'static str,
+    body: Box<dyn FnMut() -> AppOutcome + Send>,
+}
+
+fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
     let churn_rounds: u32 = if quick { 5_000 } else { 50_000 };
     let churn_chaos_rounds: u32 = if quick { 2_000 } else { 20_000 };
     let bulk_rounds: u32 = if quick { 500 } else { 5_000 };
     let sor_iters = if quick { 3 } else { 10 };
     let water_iters = if quick { 2 } else { 4 };
+    let sharded_iters = if quick { 2 } else { 6 };
 
+    let tsp_params = TspParams { ncities: 10, prefix_len: 4, ..Default::default() };
+    let spec =
+        |name: &'static str, body: Box<dyn FnMut() -> AppOutcome + Send>| SuiteSpec { name, body };
+    // The 64-node SOR workload, run single-shard and with 4 shard worker
+    // threads: the shard-scaling row for EXPERIMENTS.md. Identical virtual
+    // work (answer, end time, per-node stats) — only the host-side
+    // execution strategy differs.
+    let sor_64node = |shards: usize, iters: usize| {
+        sor::run_configured(
+            System::Orpc,
+            MachineConfig::cm5(64).with_shards(shards),
+            oam_apps::sor::SorParams { rows: 256, cols: 128, iters },
+        )
+    };
+    vec![
+        spec("null_rpc_churn", Box::new(move || churn(churn_rounds, MachineConfig::cm5(2)))),
+        spec(
+            "null_rpc_churn_chaos",
+            Box::new(move || churn(churn_chaos_rounds, chaos_cfg(2, 0.01))),
+        ),
+        spec(
+            "bulk_payload_churn",
+            Box::new(move || bulk_churn(bulk_rounds, MachineConfig::cm5(2))),
+        ),
+        spec(
+            "tsp_n10",
+            Box::new(move || tsp::run_configured(System::Orpc, MachineConfig::cm5(5), tsp_params)),
+        ),
+        spec(
+            "tsp_n10_chaos",
+            Box::new(move || tsp::run_configured(System::Orpc, chaos_cfg(5, 0.05), tsp_params)),
+        ),
+        spec(
+            "sor_256",
+            Box::new(move || {
+                sor::run(
+                    System::Orpc,
+                    4,
+                    oam_apps::sor::SorParams { rows: 256, cols: 256, iters: sor_iters },
+                )
+            }),
+        ),
+        spec(
+            "water_64",
+            Box::new(move || {
+                water::run(
+                    WaterVariant { system: System::Orpc, barrier: true },
+                    4,
+                    WaterParams { molecules: 64, iters: water_iters },
+                )
+                .outcome
+            }),
+        ),
+        spec("sor_64node", Box::new(move || sor_64node(1, sharded_iters))),
+        spec("sor_64node_shards4", Box::new(move || sor_64node(4, sharded_iters))),
+    ]
+}
+
+fn run_suites(quick: bool, jobs: usize) -> Vec<SuiteRun> {
     // Unmeasured warm-up: fault in code pages and the allocator's arenas so
     // the first measured suite is not charged for process cold start.
     let _ = churn(200, MachineConfig::cm5(2));
 
-    let tsp_params = TspParams { ncities: 10, prefix_len: 4, ..Default::default() };
-    vec![
-        measure("null_rpc_churn", || churn(churn_rounds, MachineConfig::cm5(2))),
-        measure("null_rpc_churn_chaos", || churn(churn_chaos_rounds, chaos_cfg(2, 0.01))),
-        measure("bulk_payload_churn", || bulk_churn(bulk_rounds, MachineConfig::cm5(2))),
-        measure("tsp_n10", || tsp::run_configured(System::Orpc, MachineConfig::cm5(5), tsp_params)),
-        measure("tsp_n10_chaos", || {
-            tsp::run_configured(System::Orpc, chaos_cfg(5, 0.05), tsp_params)
-        }),
-        measure("sor_256", || {
-            sor::run(
-                System::Orpc,
-                4,
-                oam_apps::sor::SorParams { rows: 256, cols: 256, iters: sor_iters },
-            )
-        }),
-        measure("water_64", || {
-            water::run(
-                WaterVariant { system: System::Orpc, barrier: true },
-                4,
-                WaterParams { molecules: 64, iters: water_iters },
-            )
-            .outcome
-        }),
-    ]
+    let specs = suite_specs(quick);
+    if jobs <= 1 {
+        return specs
+            .into_iter()
+            .map(|s| {
+                let run = measure(s.name, s.body);
+                println!("[suite] {:<22} {:>10.2} ms", run.name, run.wall.as_secs_f64() * 1e3);
+                run
+            })
+            .collect();
+    }
+
+    // Thread-pool mode: workers pull the next unstarted suite off a shared
+    // queue; results land back in definition order so the report (and any
+    // baseline diff) is independent of scheduling.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let n = specs.len();
+    let queue: Mutex<Vec<(usize, SuiteSpec)>> =
+        Mutex::new(specs.into_iter().enumerate().rev().collect());
+    let done: Mutex<Vec<Option<SuiteRun>>> = Mutex::new((0..n).map(|_| None).collect());
+    let live = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let Some((idx, s)) = queue.lock().expect("queue").pop() else { break };
+                live.fetch_add(1, Ordering::Relaxed);
+                let run = measure(s.name, s.body);
+                live.fetch_sub(1, Ordering::Relaxed);
+                println!("[suite] {:<22} {:>10.2} ms", run.name, run.wall.as_secs_f64() * 1e3);
+                done.lock().expect("done")[idx] = Some(run);
+            });
+        }
+    });
+    done.into_inner().expect("done").into_iter().map(|r| r.expect("all suites ran")).collect()
 }
 
 fn json_report(mode: &str, suites: &[SuiteRun]) -> String {
@@ -257,14 +343,27 @@ fn json_report(mode: &str, suites: &[SuiteRun]) -> String {
 
 fn main() {
     let mut quick = false;
+    let mut jobs = 1usize;
     let mut out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .expect("--jobs needs a positive integer");
+            }
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a path"))),
             "--help" | "-h" => {
-                println!("usage: perfsuite [--quick] [--out PATH]");
+                println!("usage: perfsuite [--quick] [--jobs N] [--out PATH]");
+                println!(
+                    "  --jobs N  run independent suites on N host threads; with N > 1 the\n\
+                     \x20           alloc columns include other in-flight suites' allocations\n\
+                     \x20           (the counting allocator is process-global)"
+                );
                 return;
             }
             other => {
@@ -274,7 +373,7 @@ fn main() {
         }
     }
     let mode = if quick { "quick" } else { "full" };
-    let suites = run_suites(quick);
+    let suites = run_suites(quick, jobs);
 
     println!(
         "{:<22} {:>10} {:>12} {:>12} {:>6} {:>12} {:>14}",

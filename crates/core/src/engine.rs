@@ -63,7 +63,7 @@
 //!
 //! When the fabric can deliver duplicates (retransmission enabled, or a
 //! fault plan that duplicates packets), the engine keeps a per-server-node
-//! table of [`CallFrame`]s keyed on `(caller, call_id)`. A request is
+//! table of `CallFrame`s keyed on `(caller, call_id)`. A request is
 //! *fresh* the first time its key is seen; an abort-driven rerun of the
 //! same packet instance (by `Rc` address) is allowed through; any other
 //! copy is a duplicate — dropped while the original is still executing,

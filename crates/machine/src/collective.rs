@@ -9,12 +9,90 @@
 //! runnable threads, exactly like a CM-5 node spinning on the control-
 //! network status register.
 
+use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::collections::BTreeMap;
+use std::rc::{Rc, Weak};
+use std::sync::Arc;
 
-use oam_model::Dur;
-use oam_sim::Sim;
+use oam_model::{Dur, Time};
+use oam_sim::{event_key, Sim, KEY_CLASS_COLLECTIVE};
 use oam_threads::{Flag, Node};
+
+// ---------------------------------------------------------------------------
+// Sharded-replica support
+// ---------------------------------------------------------------------------
+//
+// Under the sharded executor every shard builds a *replica* of each
+// reducer (setup code runs identically on every shard, so replicas are
+// created in the same order and get the same ids). A node's contribution
+// is recorded in its shard's replica and broadcast to every other shard
+// at the next epoch barrier; once a replica has all `n` contributions it
+// schedules the publish event at `max(contribution time) + latency` under
+// a collective-class key, so every shard fires the publish at the same
+// virtual time with the same ordering key. The collective latency must be
+// at least the coordinator's lookahead for the conservative fence
+// argument to cover these cross-shard effects (asserted at creation).
+
+/// One reduction contribution crossing shard threads. The value is type-
+/// erased (`Arc<dyn Any>`) so a single record type serves every reducer;
+/// the owning replica downcasts it back.
+#[derive(Clone)]
+pub struct ReduceRecord {
+    /// Replica id (creation order, identical on every shard).
+    pub reducer: u32,
+    /// Reduction round the contribution belongs to.
+    pub round: u64,
+    /// Contributing node.
+    pub node: u32,
+    /// Virtual time of the contribution.
+    pub t: Time,
+    /// The contributed value.
+    pub value: Arc<dyn Any + Send + Sync>,
+}
+
+/// Integration interface the shard worker uses to deliver remote
+/// contributions to the replica that owns them.
+pub(crate) trait ReduceSink {
+    fn integrate(&self, rec: ReduceRecord);
+}
+
+/// Per-shard collective context: the outbox of contributions awaiting the
+/// next epoch barrier, the replica registry, and which nodes this shard
+/// owns (only they are kicked at publish).
+pub struct ShardCollectives {
+    pub(crate) outbox: RefCell<Vec<ReduceRecord>>,
+    pub(crate) sinks: RefCell<Vec<Weak<dyn ReduceSink>>>,
+    pub(crate) owned: std::ops::Range<usize>,
+    pub(crate) lookahead: Dur,
+}
+
+impl ShardCollectives {
+    /// Create the context for one shard owning `owned` nodes.
+    pub fn new(owned: std::ops::Range<usize>, lookahead: Dur) -> Self {
+        ShardCollectives {
+            outbox: RefCell::new(Vec::new()),
+            sinks: RefCell::new(Vec::new()),
+            owned,
+            lookahead,
+        }
+    }
+
+    /// Drain the contributions queued for broadcast at the next barrier.
+    pub fn drain_outbox(&self) -> Vec<ReduceRecord> {
+        std::mem::take(&mut *self.outbox.borrow_mut())
+    }
+
+    /// Deliver a contribution received from another shard to its replica.
+    pub fn integrate(&self, rec: ReduceRecord) {
+        let sink = self.sinks.borrow()[rec.reducer as usize].upgrade();
+        // A dropped replica means the app no longer holds the reducer;
+        // late contributions to it cannot be observed by anyone.
+        if let Some(sink) = sink {
+            sink.integrate(rec);
+        }
+    }
+}
 
 /// One reduction round. Entrants hold an `Rc` to the round they joined,
 /// so a node may start the *next* round before slower nodes have read this
@@ -39,7 +117,46 @@ impl<T> Round<T> {
     }
 }
 
-type ReduceOp<T> = Box<dyn Fn(&T, &T) -> T>;
+type ReduceOp<T> = Rc<dyn Fn(&T, &T) -> T>;
+
+/// Sharded-replica state of one reducer (see the module notes above).
+struct ShardedReduce<T> {
+    /// Replica id: creation order, identical on every shard.
+    id: u32,
+    ctx: Rc<ShardCollectives>,
+    /// The round local contributions belong to; advanced by each publish.
+    current_round: Rc<Cell<u64>>,
+    /// Open rounds by number. At most a handful live at once: a round
+    /// publishes as soon as its last contribution is integrated.
+    rounds: Rc<RefCell<BTreeMap<u64, Rc<ShardRound<T>>>>>,
+}
+
+/// One round of a sharded reducer replica: per-node `(time, value)`
+/// contributions, folded in `(time, node)` order at publish so every
+/// shard computes bit-identical results.
+struct ShardRound<T> {
+    values: RefCell<Vec<Option<(Time, T)>>>,
+    count: Cell<usize>,
+    flag: Flag,
+    result: RefCell<Option<T>>,
+}
+
+impl<T> ShardRound<T> {
+    fn new(n: usize) -> Rc<Self> {
+        Rc::new(ShardRound {
+            values: RefCell::new((0..n).map(|_| None).collect()),
+            count: Cell::new(0),
+            flag: Flag::new(),
+            result: RefCell::new(None),
+        })
+    }
+}
+
+impl<T> ShardedReduce<T> {
+    fn round_handle(&self, round_no: u64, n: usize) -> Rc<ShardRound<T>> {
+        Rc::clone(self.rounds.borrow_mut().entry(round_no).or_insert_with(|| ShardRound::new(n)))
+    }
+}
 
 struct ReduceInner<T> {
     sim: Sim,
@@ -47,6 +164,7 @@ struct ReduceInner<T> {
     latency: Dur,
     op: ReduceOp<T>,
     current: RefCell<Option<Rc<Round<T>>>>,
+    sharded: Option<ShardedReduce<T>>,
 }
 
 /// A reusable global reduction (and, with `bool`/`|`, the CM-5 global-OR).
@@ -62,33 +180,62 @@ impl<T> Clone for Reducer<T> {
     }
 }
 
-impl<T: Clone + 'static> Reducer<T> {
+impl<T: Clone + Send + Sync + 'static> Reducer<T> {
     /// Create a reducer combining contributions with `op` (must be
     /// associative and commutative — contributions combine in arrival
     /// order).
     pub fn new(coll: &Collectives, op: impl Fn(&T, &T) -> T + 'static) -> Self {
-        Self::with_latency(&coll.sim, coll.nodes.clone(), coll.reduction_latency, op)
+        Self::with_latency(
+            &coll.sim,
+            coll.nodes.clone(),
+            coll.reduction_latency,
+            coll.shard.clone(),
+            op,
+        )
     }
 
     fn with_latency(
         sim: &Sim,
         nodes: Vec<Node>,
         latency: Dur,
+        shard: Option<Rc<ShardCollectives>>,
         op: impl Fn(&T, &T) -> T + 'static,
     ) -> Self {
-        Reducer {
-            inner: Rc::new(ReduceInner {
-                sim: sim.clone(),
-                nodes,
-                latency,
-                op: Box::new(op),
-                current: RefCell::new(None),
-            }),
+        let sharded = shard.map(|ctx| {
+            assert!(
+                latency >= ctx.lookahead,
+                "collective latency {latency} below shard lookahead {}",
+                ctx.lookahead
+            );
+            let id = ctx.sinks.borrow().len() as u32;
+            ShardedReduce {
+                id,
+                ctx,
+                current_round: Rc::new(Cell::new(0)),
+                rounds: Rc::new(RefCell::new(BTreeMap::new())),
+            }
+        });
+        let inner = Rc::new(ReduceInner {
+            sim: sim.clone(),
+            nodes,
+            latency,
+            op: Rc::new(op),
+            current: RefCell::new(None),
+            sharded,
+        });
+        if let Some(sh) = &inner.sharded {
+            let weak: Weak<dyn ReduceSink> =
+                Rc::downgrade(&(Rc::clone(&inner) as Rc<dyn ReduceSink>));
+            sh.ctx.sinks.borrow_mut().push(weak);
         }
+        Reducer { inner }
     }
 
     /// Contribute this node's value and wait for the combined result.
     pub async fn reduce(&self, node: &Node, value: T) -> T {
+        if self.inner.sharded.is_some() {
+            return self.reduce_sharded(node, value).await;
+        }
         let idx = node.id().index();
         let n = self.inner.nodes.len();
         // Join the current round, or open a fresh one.
@@ -134,6 +281,106 @@ impl<T: Clone + 'static> Reducer<T> {
         let result = round.result.borrow().clone().expect("reduction result published");
         result
     }
+
+    /// Sharded-replica contribution path: record locally, queue the
+    /// broadcast for the next epoch barrier, and spin until the replica
+    /// publishes the round.
+    async fn reduce_sharded(&self, node: &Node, value: T) -> T {
+        let sh = self.inner.sharded.as_ref().expect("sharded path without replica state");
+        let idx = node.id().index();
+        let t = self.inner.sim.now();
+        let round_no = sh.current_round.get();
+        let round = sh.round_handle(round_no, self.inner.nodes.len());
+        sh.ctx.outbox.borrow_mut().push(ReduceRecord {
+            reducer: sh.id,
+            round: round_no,
+            node: idx as u32,
+            t,
+            value: Arc::new(value.clone()),
+        });
+        self.inner.integrate_contribution(round_no, idx, t, value);
+        node.spin_on(round.flag.clone()).await;
+        let result = round.result.borrow().clone().expect("reduction result published");
+        result
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> ReduceInner<T> {
+    /// Record one contribution in the replica; schedules the publish event
+    /// once all nodes have contributed. Runs both for local contributions
+    /// (from [`Reducer::reduce`]) and for remote ones delivered by the
+    /// shard worker between the epoch barriers.
+    fn integrate_contribution(&self, round_no: u64, node: usize, t: Time, value: T) {
+        let sh = self.sharded.as_ref().expect("contribution to a legacy reducer replica");
+        let n = self.nodes.len();
+        let round = sh.round_handle(round_no, n);
+        {
+            let mut vals = round.values.borrow_mut();
+            assert!(
+                vals[node].replace((t, value)).is_none(),
+                "node contributed twice to one reduction round"
+            );
+        }
+        round.count.set(round.count.get() + 1);
+        if round.count.get() < n {
+            return;
+        }
+        // Round complete on this replica: publish at the last contribution
+        // time plus the control-network latency (matching the legacy
+        // schedule), under a key every shard derives identically.
+        let t_pub = round
+            .values
+            .borrow()
+            .iter()
+            .flatten()
+            .map(|(t, _)| *t)
+            .max()
+            .expect("round has contributions")
+            + self.latency;
+        debug_assert!(round_no < 1 << 32, "reduction round counter overflow");
+        let key =
+            event_key(0, KEY_CLASS_COLLECTIVE, (u64::from(sh.id) << 32) | (round_no & 0xFFFF_FFFF));
+        let op = Rc::clone(&self.op);
+        let nodes = self.nodes.clone();
+        let owned = sh.ctx.owned.clone();
+        let current = Rc::clone(&sh.current_round);
+        let rounds = Rc::clone(&sh.rounds);
+        let done = round;
+        self.sim.schedule_at_raw(t_pub, key, 0, move |_| {
+            rounds.borrow_mut().remove(&round_no);
+            let mut entries: Vec<(Time, usize, T)> = done
+                .values
+                .borrow_mut()
+                .iter_mut()
+                .enumerate()
+                .map(|(i, v)| {
+                    let (t, val) = v.take().expect("every node contributed");
+                    (t, i, val)
+                })
+                .collect();
+            entries.sort_by_key(|e| (e.0, e.1));
+            let mut it = entries.into_iter();
+            let (_, _, first) = it.next().expect("at least one node");
+            let acc = it.fold(first, |a, (_, _, v)| op(&a, &v));
+            *done.result.borrow_mut() = Some(acc);
+            done.flag.set();
+            current.set(round_no + 1);
+            for i in owned.clone() {
+                nodes[i].kick();
+            }
+        });
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> ReduceSink for ReduceInner<T> {
+    fn integrate(&self, rec: ReduceRecord) {
+        let value = rec
+            .value
+            .downcast_ref::<T>()
+            .expect("reduction contribution value type mismatch")
+            .clone();
+        self.integrate_contribution(rec.round, rec.node as usize, rec.t, value);
+    }
 }
 
 /// The collective-communication substrate: a split-phase barrier plus
@@ -144,13 +391,39 @@ pub struct Collectives {
     nodes: Vec<Node>,
     reduction_latency: Dur,
     barrier: Reducer<()>,
+    shard: Option<Rc<ShardCollectives>>,
 }
 
 impl Collectives {
     /// Build the collectives for a machine.
     pub fn new(sim: &Sim, nodes: Vec<Node>, barrier_latency: Dur, reduction_latency: Dur) -> Self {
-        let barrier = Reducer::with_latency(sim, nodes.clone(), barrier_latency, |_, _| ());
-        Collectives { sim: sim.clone(), nodes, reduction_latency, barrier }
+        let barrier = Reducer::with_latency(sim, nodes.clone(), barrier_latency, None, |_, _| ());
+        Collectives { sim: sim.clone(), nodes, reduction_latency, barrier, shard: None }
+    }
+
+    /// Build the collectives for one shard of a partitioned machine:
+    /// reducers become replicas coordinated through `ctx` (see the module
+    /// notes).
+    pub fn new_sharded(
+        sim: &Sim,
+        nodes: Vec<Node>,
+        barrier_latency: Dur,
+        reduction_latency: Dur,
+        ctx: Rc<ShardCollectives>,
+    ) -> Self {
+        let barrier = Reducer::with_latency(
+            sim,
+            nodes.clone(),
+            barrier_latency,
+            Some(Rc::clone(&ctx)),
+            |_, _| (),
+        );
+        Collectives { sim: sim.clone(), nodes, reduction_latency, barrier, shard: Some(ctx) }
+    }
+
+    /// The shard context, when built via [`Collectives::new_sharded`].
+    pub fn shard_ctx(&self) -> Option<&Rc<ShardCollectives>> {
+        self.shard.as_ref()
     }
 
     /// Wait until every node has entered the barrier. Split-phase

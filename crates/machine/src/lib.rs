@@ -10,8 +10,10 @@
 
 pub mod collective;
 pub mod machine;
+pub mod shard_run;
 pub mod watchdog;
 
 pub use collective::{Collectives, Reducer};
 pub use machine::{Machine, MachineBuilder, NodeEnv, RunReport};
+pub use shard_run::{run_partitioned, CrossMsg, ShardApp};
 pub use watchdog::{HangKind, HangReport, NodeHangInfo};

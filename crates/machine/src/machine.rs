@@ -82,6 +82,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Number of host shards (worker threads) a partitioned run splits the
+    /// simulated nodes across (see [`crate::run_partitioned`]). Overrides
+    /// the `OAM_SHARDS` environment variable.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg = self.cfg.with_shards(shards);
+        self
+    }
+
     /// Mutate the configuration in place (escape hatch for experiments).
     pub fn tweak(mut self, f: impl FnOnce(&mut MachineConfig)) -> Self {
         f(&mut self.cfg);
@@ -113,6 +121,51 @@ impl MachineBuilder {
             nodes.clone(),
             cfg.cost.barrier_latency,
             cfg.cost.reduction_latency,
+        );
+        Machine { sim, cfg, stats, net, am, rpc, coll, nodes }
+    }
+
+    /// Build one shard of a partitioned machine: keyed simulator, epoch-mode
+    /// network, and replica collectives. `owners[i]` is the shard owning
+    /// node `i`; this machine drives the nodes owned by `shard` while the
+    /// rest are built identically but stay inert (they receive no spawns
+    /// and no deliveries). Used by [`crate::run_partitioned`].
+    pub fn build_shard(self, owners: &[usize], shard: usize, lookahead: Dur) -> Machine {
+        self.cfg.validate().expect("invalid machine configuration");
+        assert!(
+            self.cfg.fault_plan.is_none(),
+            "fault injection draws from the global RNG in pump order; run single-shard"
+        );
+        assert_eq!(owners.len(), self.cfg.nodes, "owner table must cover every node");
+        let cfg = Rc::new(self.cfg);
+        let sim = Sim::new_keyed(cfg.seed, cfg.nodes);
+        let stats: Vec<Rc<RefCell<NodeStats>>> =
+            (0..cfg.nodes).map(|_| Rc::new(RefCell::new(NodeStats::new()))).collect();
+        let net = Network::new_epoch(
+            &sim,
+            NetConfig::from_machine(&cfg),
+            stats.clone(),
+            owners.to_vec(),
+            shard,
+        );
+        let nodes: Vec<Node> = (0..cfg.nodes)
+            .map(|i| Node::new(&sim, NodeId(i), cfg.nodes, Rc::clone(&cfg), Rc::clone(&stats[i])))
+            .collect();
+        let am = Am::new(net.clone(), Rc::clone(&cfg), nodes.clone());
+        let rpc = Rpc::new(am.clone());
+        let first = owners.iter().position(|&s| s == shard).expect("shard owns at least one node");
+        let last = owners.iter().rposition(|&s| s == shard).expect("shard owns at least one node");
+        debug_assert!(
+            owners[first..=last].iter().all(|&s| s == shard),
+            "shard ownership must be a contiguous node range"
+        );
+        let ctx = Rc::new(crate::collective::ShardCollectives::new(first..last + 1, lookahead));
+        let coll = Collectives::new_sharded(
+            &sim,
+            nodes.clone(),
+            cfg.cost.barrier_latency,
+            cfg.cost.reduction_latency,
+            ctx,
         );
         Machine { sim, cfg, stats, net, am, rpc, coll, nodes }
     }
@@ -291,7 +344,16 @@ impl Machine {
 
     /// Snapshot all nodes' statistics, labelled with the registered method
     /// names for the per-method breakdown.
+    ///
+    /// Folds each node's trailing idle window (last wake to now) into its
+    /// `idle_time` first, so the reported figure is the node's total
+    /// non-active virtual time regardless of where its final no-op wake
+    /// happened to land.
     pub fn harvest(&self) -> MachineStats {
+        let now = self.sim.now();
+        for n in &self.nodes {
+            n.finalize_idle(now);
+        }
         MachineStats::new(self.stats.iter().map(|s| s.borrow().clone()).collect())
             .with_method_names(self.rpc.method_names())
     }

@@ -1,0 +1,260 @@
+//! Partitioned (sharded) machine execution: one host worker thread per
+//! shard of simulated nodes, synchronized by conservative epochs.
+//!
+//! Each shard owns a contiguous range of nodes and runs them on a private
+//! keyed [`Sim`](oam_sim::Sim) — its own calendar queue, RNG streams, and
+//! thread-local state. Workers execute every event strictly before the
+//! agreed fence, then meet at a barrier to exchange the only data that
+//! crosses threads: cross-shard network packets and collective
+//! contributions ([`CrossMsg`]). The fence advances by the fabric's
+//! conservative lookahead (the minimum cross-shard latency), so no shard
+//! can ever receive a record dated before an event it already executed.
+
+use std::future::Future;
+use std::pin::Pin;
+
+use oam_model::{Dur, MachineConfig, MachineStats, NodeStats, Time};
+use oam_net::CrossNet;
+use oam_sim::{partition, shard_range, Coordinator, Outgoing, Route};
+use oam_threads::Flag;
+
+use crate::collective::ReduceRecord;
+use crate::machine::{Machine, MachineBuilder, NodeEnv, RunReport};
+
+/// A boundary record crossing shard threads at an epoch barrier.
+#[derive(Clone)]
+pub enum CrossMsg {
+    /// A network packet or bulk transfer bound for a node on another shard.
+    Net(CrossNet),
+    /// A collective contribution, broadcast to every replica.
+    Reduce(ReduceRecord),
+}
+
+/// What a shard runs: the SPMD node main plus a finalizer that extracts
+/// the application's answer from the machine after the run goes quiet.
+///
+/// Produced per shard by the `setup` closure handed to
+/// [`run_partitioned`]; `setup` also performs the side effects that must
+/// happen identically on every shard replica (handler registration,
+/// reducer creation) so event keys and collective ids line up across
+/// shards.
+/// A boxed SPMD node main: invoked once per owned node, returning that
+/// node's boxed main future.
+pub type NodeMain = Box<dyn Fn(NodeEnv) -> Pin<Box<dyn Future<Output = ()>>>>;
+
+/// The pieces of an application a shard needs: its node main and the
+/// answer extractor. See the module docs for the setup contract.
+pub struct ShardApp<R> {
+    /// The node main, boxed so every shard's setup can capture its own
+    /// thread-local state.
+    pub main: NodeMain,
+    /// Reads the final answer out of the (quiet) machine. Only invoked on
+    /// shard 0, whose replica owns node 0 — the node that writes answers
+    /// in every app in this repo.
+    pub finish: Box<dyn FnOnce(&Machine) -> R>,
+}
+
+/// Per-shard outcome carried back to the coordinating thread.
+struct ShardResult<R> {
+    end_time: Time,
+    events: u64,
+    peak_queue_depth: u64,
+    completed: bool,
+    /// Stats for the nodes this shard owns, paired with their node ids.
+    per_node: Vec<(usize, NodeStats)>,
+    /// Registered RPC method names (shard 0 only; identical everywhere).
+    method_names: Option<std::collections::BTreeMap<u32, String>>,
+    /// The application answer (shard 0 only).
+    answer: Option<R>,
+}
+
+/// Conservative lookahead for a configuration: the minimum latency of any
+/// cross-shard effect — wire latency for packets, and the collective
+/// latencies for reduction publishes.
+fn conservative_lookahead(cfg: &MachineConfig) -> Dur {
+    cfg.cost.wire_latency.min(cfg.cost.barrier_latency).min(cfg.cost.reduction_latency)
+}
+
+/// Run an application across `cfg.effective_shards()` host threads and
+/// merge the per-shard reports into one [`RunReport`].
+///
+/// With one shard (the default) this is byte-for-byte the legacy
+/// single-threaded path — same engine, same global event sequence, same
+/// traces. With `S ≥ 2` shards, nodes are partitioned into contiguous
+/// ranges and executed in parallel under conservative epoch
+/// synchronization; answers and per-node statistics are independent of
+/// the shard count.
+///
+/// `setup` runs once per shard against that shard's machine replica and
+/// must be deterministic: register the same handlers and create the same
+/// reducers in the same order on every shard.
+///
+/// # Panics
+/// Panics if any node main fails to complete (distributed deadlock), like
+/// [`Machine::run`].
+pub fn run_partitioned<R: Send + 'static>(
+    cfg: MachineConfig,
+    setup: impl Fn(&Machine) -> ShardApp<R> + Send + Sync,
+) -> (RunReport, R) {
+    let shards = cfg.effective_shards();
+    // Debug/validation knob: run the epoch engine even at one shard
+    // (single-threaded, keyed events, arrival-time link reservation).
+    // Useful for isolating engine differences from partitioning: the epoch
+    // engine is partition-invariant, so a forced 1-shard run is
+    // bit-identical to any S ≥ 2 run.
+    let force_epoch = std::env::var_os("OAM_SHARD_FORCE_EPOCH").is_some();
+    if shards == 1 && !force_epoch {
+        let machine = MachineBuilder::from_config(cfg).build();
+        let app = setup(&machine);
+        let report = machine.run(|env| (app.main)(env));
+        let answer = (app.finish)(&machine);
+        return (report, answer);
+    }
+
+    let nodes = cfg.nodes;
+    let lookahead = conservative_lookahead(&cfg);
+    let owners = partition(nodes, shards);
+    let coord = Coordinator::<CrossMsg>::new(shards, lookahead);
+
+    let results: Vec<ShardResult<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let cfg = cfg.clone();
+                let coord = &coord;
+                let owners = &owners;
+                let setup = &setup;
+                scope.spawn(move || run_shard(cfg, coord, owners, shard, lookahead, setup))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    });
+
+    // Merge: per-node stats reassembled by node id, counters summed or
+    // maxed, the answer taken from shard 0.
+    let mut per_node: Vec<Option<NodeStats>> = vec![None; nodes];
+    let mut end_time = Time::ZERO;
+    let mut events = 0u64;
+    let mut peak = 0u64;
+    let mut completed = true;
+    let mut answer = None;
+    let mut method_names = None;
+    for r in results {
+        end_time = end_time.max(r.end_time);
+        events += r.events;
+        peak = peak.max(r.peak_queue_depth);
+        completed &= r.completed;
+        for (i, s) in r.per_node {
+            per_node[i] = Some(s);
+        }
+        if let Some(a) = r.answer {
+            answer = Some(a);
+        }
+        if let Some(m) = r.method_names {
+            method_names = Some(m);
+        }
+    }
+    let stats = MachineStats::new(
+        per_node.into_iter().map(|s| s.expect("every node owned by some shard")).collect(),
+    )
+    .with_method_names(method_names.unwrap_or_default());
+    assert!(
+        completed,
+        "partitioned run did not complete: some node main is deadlocked (end time {end_time})"
+    );
+    let report = RunReport { end_time, stats, completed, events, peak_queue_depth: peak };
+    (report, answer.expect("shard 0 produces the answer"))
+}
+
+/// Worker body for one shard: build the replica machine, spawn mains on
+/// owned nodes, then alternate event execution and barrier exchange until
+/// every shard is idle.
+fn run_shard<R>(
+    cfg: MachineConfig,
+    coord: &Coordinator<CrossMsg>,
+    owners: &[usize],
+    shard: usize,
+    lookahead: Dur,
+    setup: &(impl Fn(&Machine) -> ShardApp<R> + Send + Sync),
+) -> ShardResult<R> {
+    let nodes = cfg.nodes;
+    let shards = coord_shards(owners);
+    let owned = shard_range(nodes, shards, shard);
+    let machine = MachineBuilder::from_config(cfg).build_shard(owners, shard, lookahead);
+    let app = setup(&machine);
+    let ctx = machine
+        .collectives()
+        .shard_ctx()
+        .expect("build_shard installs a shard collective context")
+        .clone();
+
+    let done: Vec<(usize, Flag)> = owned
+        .clone()
+        .map(|i| {
+            let flag = Flag::new();
+            let env = machine.env(i);
+            let fut = (app.main)(env);
+            let f = flag.clone();
+            machine.nodes()[i].spawn(async move {
+                fut.await;
+                f.set();
+            });
+            (i, flag)
+        })
+        .collect();
+
+    let mut fence = Time::ZERO;
+    loop {
+        machine.sim().run_before(fence);
+
+        let mut out = Vec::new();
+        for rec in machine.network().drain_cross() {
+            let dst_shard = owners[rec.dst().index()];
+            out.push(Outgoing { route: Route::Shard(dst_shard), msg: CrossMsg::Net(rec) });
+        }
+        for rec in ctx.drain_outbox() {
+            out.push(Outgoing { route: Route::Broadcast, msg: CrossMsg::Reduce(rec) });
+        }
+
+        let incoming = coord.exchange(shard, out);
+        let mut net_batch = Vec::new();
+        for msg in incoming {
+            match msg {
+                CrossMsg::Net(rec) => net_batch.push(rec),
+                CrossMsg::Reduce(rec) => ctx.integrate(rec),
+            }
+        }
+        machine.network().apply_cross(net_batch);
+
+        // Integration may have scheduled events earlier than what
+        // run_before reported, so re-peek before agreeing on the fence.
+        let local_next = machine.sim().next_event_time();
+        match coord.agree(shard, local_next) {
+            Some(f) => fence = f,
+            None => break,
+        }
+    }
+
+    // Shard-local clocks stop at their own last event; fold trailing idle
+    // windows at the agreed global end so `idle_time` is the same total
+    // (end − active) the single-shard engine reports.
+    let end = coord.agree_end(shard, machine.sim().now());
+    for n in machine.nodes() {
+        n.finalize_idle(end);
+    }
+
+    let stats = machine.harvest();
+    ShardResult {
+        end_time: machine.sim().now(),
+        events: machine.sim().events_executed(),
+        peak_queue_depth: machine.sim().peak_event_queue_depth(),
+        completed: done.iter().all(|(_, f)| f.get()),
+        per_node: done.iter().map(|(i, _)| (*i, stats.per_node[*i].clone())).collect(),
+        method_names: (shard == 0).then(|| machine.rpc().method_names()),
+        answer: (shard == 0).then(|| (app.finish)(&machine)),
+    }
+}
+
+/// Number of shards implied by an owner table (max owner + 1).
+fn coord_shards(owners: &[usize]) -> usize {
+    owners.iter().copied().max().map_or(1, |m| m + 1)
+}

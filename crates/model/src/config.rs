@@ -281,6 +281,13 @@ pub struct MachineConfig {
     /// registration mode and the machine-wide settings above, reproducing
     /// the pre-policy runtime exactly.
     pub policies: BTreeMap<u32, ExecPolicy>,
+    /// Host-parallelism shard count: partition the simulated nodes into
+    /// this many shards, one host worker thread each, synchronized by
+    /// conservative epochs. `None` (the default) defers to the
+    /// `OAM_SHARDS` environment variable, falling back to 1
+    /// (single-threaded). Results are identical for any shard count; see
+    /// `MachineConfig::effective_shards` for the resolution rules.
+    pub shards: Option<usize>,
 }
 
 impl MachineConfig {
@@ -303,6 +310,7 @@ impl MachineConfig {
             fault_plan: None,
             reliability: ReliabilityConfig::default(),
             policies: BTreeMap::new(),
+            shards: None,
         }
     }
 
@@ -358,6 +366,32 @@ impl MachineConfig {
         self
     }
 
+    /// Builder-style shard-count override. An explicit value wins over the
+    /// `OAM_SHARDS` environment variable; `with_shards(1)` pins a run to
+    /// the single-threaded engine regardless of environment.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Resolve the effective shard count for this configuration:
+    ///
+    /// 1. explicit [`MachineConfig::shards`] if set, else the `OAM_SHARDS`
+    ///    environment variable, else 1;
+    /// 2. clamped to `[1, nodes]`;
+    /// 3. forced to 1 when a [`FaultPlan`] is present — fault draws come
+    ///    from the single global RNG stream in fabric pump order, which
+    ///    only the single-threaded engine reproduces.
+    pub fn effective_shards(&self) -> usize {
+        let requested = self.shards.unwrap_or_else(|| {
+            std::env::var("OAM_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+        });
+        if self.fault_plan.is_some() {
+            return 1;
+        }
+        requested.clamp(1, self.nodes.max(1))
+    }
+
     /// Validate internal consistency (positive capacities, at least one node).
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes == 0 {
@@ -380,6 +414,9 @@ impl MachineConfig {
         }
         for (id, p) in &self.policies {
             p.validate().map_err(|e| format!("policy for handler {id:#010x}: {e}"))?;
+        }
+        if self.shards == Some(0) {
+            return Err("shard count must be at least 1".into());
         }
         Ok(())
     }

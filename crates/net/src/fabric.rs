@@ -25,8 +25,74 @@ use std::rc::Rc;
 use oam_model::{Dur, FaultPlan, MachineConfig, NodeId, NodeStats, Time, TraceKind};
 use oam_sim::Sim;
 
-use crate::packet::{Packet, PacketKind, PayloadBuf};
+use crate::packet::{CrossPayload, Packet, PacketKind, PayloadBuf};
 use crate::pool::BufPool;
+
+/// A cross-shard network record — the only fabric data that crosses shard
+/// threads in a sharded (epoch-mode) run. Everything here is plain `Send`
+/// data; payloads travel in their [`CrossPayload`] boundary form and are
+/// rewrapped into pooled buffers on the receiving shard.
+///
+/// The `key` was allocated from the *source* node's counter on the source
+/// shard ([`Sim::alloc_key_for`]), so inserting the record under it on the
+/// destination shard reproduces the exact global event order a
+/// single-shard run would have used.
+#[derive(Clone)]
+pub enum CrossNet {
+    /// A short packet entering the destination's fabric queue at `ready`.
+    Short {
+        /// Partition-independent event key (source node's counter).
+        key: u64,
+        /// Fabric arrival time (`pump time + wire latency`).
+        ready: Time,
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Handler tag.
+        tag: u32,
+        /// Payload in boundary form.
+        payload: CrossPayload,
+    },
+    /// A bulk transfer reaching the destination at `arrive` (`send_start +
+    /// wire latency`); the receiver-side link reservation happens there.
+    Bulk {
+        /// Partition-independent event key (source node's counter).
+        key: u64,
+        /// When the transfer front reaches the destination.
+        arrive: Time,
+        /// Receiver link occupation (`bytes × scopy_per_byte`).
+        dur: Dur,
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Completion tag.
+        tag: u32,
+        /// Payload in boundary form.
+        payload: CrossPayload,
+    },
+}
+
+impl CrossNet {
+    /// The node whose shard must integrate this record.
+    pub fn dst(&self) -> NodeId {
+        match self {
+            CrossNet::Short { dst, .. } | CrossNet::Bulk { dst, .. } => *dst,
+        }
+    }
+}
+
+/// Epoch-mode (sharded) state: which nodes this fabric instance executes,
+/// and the records bound for other shards since the last barrier.
+struct EpochNet {
+    /// Owning shard of every node, indexed by node id.
+    owners: Vec<usize>,
+    /// This instance's shard index.
+    shard: usize,
+    /// Outgoing cross-shard records, drained at each epoch barrier.
+    outbox: Vec<CrossNet>,
+}
 
 /// Why an injection was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +193,9 @@ struct NetInner {
     nodes: Vec<NodeNet>,
     stats: Vec<Rc<RefCell<NodeStats>>>,
     fault_hook: Option<FaultHook>,
+    /// `Some` in sharded (epoch) mode; `None` for the single-threaded
+    /// legacy engine.
+    epoch: Option<EpochNet>,
 }
 
 /// Handle to the simulated network. Cheap to clone.
@@ -153,7 +222,13 @@ impl Network {
         let pools: Rc<[BufPool]> = (0..cfg.nodes).map(|_| BufPool::new()).collect();
         let net = Network {
             sim: sim.clone(),
-            inner: Rc::new(RefCell::new(NetInner { cfg, nodes, stats, fault_hook: None })),
+            inner: Rc::new(RefCell::new(NetInner {
+                cfg,
+                nodes,
+                stats,
+                fault_hook: None,
+                epoch: None,
+            })),
             pools,
         };
         // A stalled node may have gone idle with packets already waiting in
@@ -168,6 +243,66 @@ impl Network {
             });
         }
         net
+    }
+
+    /// Build a fabric instance for one shard of a sharded run. `owners`
+    /// maps every node id to its owning shard; this instance executes the
+    /// nodes owned by `shard` and routes traffic for other shards into its
+    /// outbox ([`Network::drain_cross`]).
+    ///
+    /// Epoch mode requires a lossless fabric (fault draws come from the
+    /// global RNG stream in pump order, which only the legacy engine
+    /// reproduces) and never exercises the fabric-capacity stall path: the
+    /// destination's queue depth lives on another thread, so back-pressure
+    /// from the (deep, CM-5-sized) fabric buffer is waived.
+    pub fn new_epoch(
+        sim: &Sim,
+        cfg: NetConfig,
+        stats: Vec<Rc<RefCell<NodeStats>>>,
+        owners: Vec<usize>,
+        shard: usize,
+    ) -> Self {
+        assert!(cfg.fault_plan.is_none(), "epoch mode requires a lossless fabric");
+        assert_eq!(owners.len(), cfg.nodes, "one owner per node required");
+        let net = Network::new(sim, cfg, stats);
+        net.inner.borrow_mut().epoch = Some(EpochNet { owners, shard, outbox: Vec::new() });
+        net
+    }
+
+    /// Drain the records bound for other shards (epoch mode); called at
+    /// each barrier. The caller routes each record to
+    /// `owners[record.dst()]`.
+    pub fn drain_cross(&self) -> Vec<CrossNet> {
+        let mut inner = self.inner.borrow_mut();
+        let epoch = inner.epoch.as_mut().expect("drain_cross requires epoch mode");
+        std::mem::take(&mut epoch.outbox)
+    }
+
+    /// Integrate records received from other shards (epoch mode): each is
+    /// inserted as an event under its pre-allocated key, reproducing the
+    /// order a single-shard run would have executed it in. Runs on the
+    /// destination shard's thread, between the exchange and agree barrier
+    /// phases.
+    pub fn apply_cross(&self, records: Vec<CrossNet>) {
+        for rec in records {
+            match rec {
+                CrossNet::Short { key, ready, src, dst, tag, payload } => {
+                    let payload = payload.into_payload(Some(&self.pools[dst.index()]));
+                    let pkt = Packet::short(src, dst, tag, payload);
+                    let net = self.clone();
+                    self.sim.schedule_at_raw(ready, key, dst.index() as u32, move |_| {
+                        net.ingress_short(ready, pkt);
+                    });
+                }
+                CrossNet::Bulk { key, arrive, dur, src, dst, tag, payload } => {
+                    let payload = payload.into_payload(Some(&self.pools[dst.index()]));
+                    let net = self.clone();
+                    self.sim.schedule_at_raw(arrive, key, dst.index() as u32, move |_| {
+                        net.ingress_bulk(src, dst, tag, payload, dur);
+                    });
+                }
+            }
+        }
     }
 
     /// Install the observer invoked for every injected fault (drop,
@@ -309,7 +444,14 @@ impl Network {
         on_complete: impl FnOnce(&Sim) + 'static,
     ) {
         let payload = payload.into();
-        let complete_at = {
+        enum BulkPath {
+            /// Legacy: both link reservations made at send time.
+            Legacy { complete_at: Time },
+            /// Epoch: only the sender's link is reserved here; the
+            /// receiver side happens in a keyed ingress event at `arrive`.
+            Epoch { arrive: Time, dur: Dur },
+        }
+        let path = {
             let mut inner = self.inner.borrow_mut();
             let now = self.sim.now() + delay;
             let dur = inner.cfg.scopy_per_byte.times(payload.len() as u64);
@@ -320,31 +462,66 @@ impl Network {
             let send_start = now.max(inner.nodes[src.index()].out_link_free);
             let send_end = send_start + dur;
             inner.nodes[src.index()].out_link_free = send_end;
-            let recv_start =
-                (send_start + inner.cfg.wire_latency).max(inner.nodes[dst.index()].in_link_free);
-            let recv_end = recv_start + dur;
-            inner.nodes[dst.index()].in_link_free = recv_end;
             {
                 let mut st = inner.stats[src.index()].borrow_mut();
                 st.bulk_transfers_sent += 1;
                 st.bytes_sent += payload.len() as u64;
             }
-            recv_end
-        };
-        let net = self.clone();
-        self.sim.schedule_at(complete_at, move |sim| {
-            let hook = {
-                let mut inner = net.inner.borrow_mut();
-                inner.nodes[dst.index()]
-                    .completions
-                    .push_back(Packet::bulk_done(src, dst, tag, payload));
-                inner.nodes[dst.index()].arrival_hook.clone()
-            };
-            on_complete(sim);
-            if let Some(h) = hook {
-                h(sim);
+            if inner.epoch.is_some() {
+                BulkPath::Epoch { arrive: send_start + inner.cfg.wire_latency, dur }
+            } else {
+                let recv_start = (send_start + inner.cfg.wire_latency)
+                    .max(inner.nodes[dst.index()].in_link_free);
+                let recv_end = recv_start + dur;
+                inner.nodes[dst.index()].in_link_free = recv_end;
+                BulkPath::Legacy { complete_at: recv_end }
             }
-        });
+        };
+        match path {
+            BulkPath::Legacy { complete_at } => {
+                let net = self.clone();
+                self.sim.schedule_at_for(complete_at, dst.index() as u32, move |sim| {
+                    let hook = {
+                        let mut inner = net.inner.borrow_mut();
+                        inner.nodes[dst.index()]
+                            .completions
+                            .push_back(Packet::bulk_done(src, dst, tag, payload));
+                        inner.nodes[dst.index()].arrival_hook.clone()
+                    };
+                    on_complete(sim);
+                    if let Some(h) = hook {
+                        h(sim);
+                    }
+                });
+            }
+            BulkPath::Epoch { arrive, dur } => {
+                // The receiver-side reservation and completion happen in a
+                // keyed ingress event on the destination's shard;
+                // `on_complete` is dropped (it cannot cross threads) and
+                // replaced by a second arrival-hook invocation — see
+                // `ingress_bulk`.
+                drop(on_complete);
+                let key = self.sim.alloc_key_for(src.index() as u32);
+                if self.owns(dst.index()) {
+                    let net = self.clone();
+                    self.sim.schedule_at_raw(arrive, key, dst.index() as u32, move |_| {
+                        net.ingress_bulk(src, dst, tag, payload, dur);
+                    });
+                } else {
+                    let rec = CrossNet::Bulk {
+                        key,
+                        arrive,
+                        dur,
+                        src,
+                        dst,
+                        tag,
+                        payload: payload.to_cross(),
+                    };
+                    let mut inner = self.inner.borrow_mut();
+                    inner.epoch.as_mut().expect("epoch path").outbox.push(rec);
+                }
+            }
+        }
     }
 
     /// Total packets currently buffered anywhere in the network (output
@@ -377,7 +554,7 @@ impl Network {
             n.out_link_free.max(head_launch).max(self.sim.now())
         };
         let net = self.clone();
-        self.sim.schedule_at(at, move |_| net.pump(src));
+        self.sim.schedule_at_for(at, src as u32, move |_| net.pump(src));
     }
 
     /// Move the head of `src`'s output FIFO into the fabric, if the
@@ -386,7 +563,18 @@ impl Network {
         enum Outcome {
             Retry(Time),
             Stalled,
-            Sent { dst: usize, delivered: bool, waiters: Vec<SpaceWaiter> },
+            Sent {
+                dst: usize,
+                delivered: bool,
+                waiters: Vec<SpaceWaiter>,
+            },
+            /// Epoch mode: the packet leaves the sender; ingress at the
+            /// destination happens via a keyed event (local or cross-shard).
+            SentEpoch {
+                ready: Time,
+                pkt: Packet,
+                waiters: Vec<SpaceWaiter>,
+            },
             Idle,
         }
         let mut fault_events: Vec<TraceKind> = Vec::new();
@@ -396,6 +584,7 @@ impl Network {
             let fabric_cap = inner.cfg.fabric_capacity;
             let wire = inner.cfg.wire_latency;
             let gap = inner.cfg.packet_gap;
+            let epoch_mode = inner.epoch.is_some();
             let n = &mut inner.nodes[src];
             n.pump_scheduled = false;
             let head = n.out_fifo.front().map(|(launch, pkt)| (*launch, pkt.dst.index()));
@@ -406,6 +595,19 @@ impl Network {
                     // scheduled, or the head packet's launch time is still
                     // ahead; try again then.
                     Outcome::Retry(n.out_link_free.max(launch))
+                }
+                Some(_) if epoch_mode => {
+                    // Epoch mode: no fabric-capacity stall (the
+                    // destination's queue lives on another thread) and no
+                    // fault draws (lossless fabric asserted). The packet
+                    // enters the destination's fabric queue via a keyed
+                    // ingress event at `ready`, identically whether the
+                    // destination is local or remote.
+                    let (_, pkt) = n.out_fifo.pop_front().expect("checked non-empty");
+                    n.out_link_free = now + gap;
+                    let ready = now + wire;
+                    let waiters = std::mem::take(&mut n.space_waiters);
+                    Outcome::SentEpoch { ready, pkt, waiters }
                 }
                 Some((_, dst)) => {
                     if inner.nodes[dst].pending.len() >= fabric_cap {
@@ -486,7 +688,7 @@ impl Network {
             Outcome::Retry(at) => {
                 let net = self.clone();
                 self.inner.borrow_mut().nodes[src].pump_scheduled = true;
-                self.sim.schedule_at(at, move |_| net.pump(src));
+                self.sim.schedule_at_for(at, src as u32, move |_| net.pump(src));
             }
             Outcome::Sent { dst, delivered, waiters } => {
                 if delivered {
@@ -497,7 +699,87 @@ impl Network {
                     w(&self.sim);
                 }
             }
+            Outcome::SentEpoch { ready, pkt, waiters } => {
+                // Key allocated from the sender's counter *now*, at the
+                // pump — the same global-order point on every partition.
+                let key = self.sim.alloc_key_for(src as u32);
+                let dst = pkt.dst;
+                if self.owns(dst.index()) {
+                    let net = self.clone();
+                    self.sim.schedule_at_raw(ready, key, dst.index() as u32, move |_| {
+                        net.ingress_short(ready, pkt);
+                    });
+                } else {
+                    let rec = CrossNet::Short {
+                        key,
+                        ready,
+                        src: pkt.src,
+                        dst,
+                        tag: pkt.tag,
+                        payload: pkt.payload.to_cross(),
+                    };
+                    let mut inner = self.inner.borrow_mut();
+                    inner.epoch.as_mut().expect("epoch outcome").outbox.push(rec);
+                }
+                self.ensure_pump(src); // more queued output?
+                for w in waiters {
+                    w(&self.sim);
+                }
+            }
         }
+    }
+
+    /// Epoch mode: does this fabric instance execute `node`? Always true
+    /// in legacy mode.
+    fn owns(&self, node: usize) -> bool {
+        let inner = self.inner.borrow();
+        match &inner.epoch {
+            Some(e) => e.owners[node] == e.shard,
+            None => true,
+        }
+    }
+
+    /// Epoch mode: a short packet reaches `pkt.dst`'s fabric queue at
+    /// `ready`. Runs as a keyed event on the destination's shard.
+    fn ingress_short(&self, ready: Time, pkt: Packet) {
+        let dst = pkt.dst.index();
+        self.inner.borrow_mut().nodes[dst].pending.push_back((ready, pkt));
+        self.ensure_delivery(dst);
+    }
+
+    /// Epoch mode: the front of a bulk transfer reaches `dst` now. Reserve
+    /// the inbound link and schedule the completion, keyed from the
+    /// *destination's* counter (this event runs on the destination's
+    /// shard, so the allocation point is partition-independent).
+    fn ingress_bulk(&self, src: NodeId, dst: NodeId, tag: u32, payload: PayloadBuf, dur: Dur) {
+        let recv_end = {
+            let mut inner = self.inner.borrow_mut();
+            let now = self.sim.now();
+            let n = &mut inner.nodes[dst.index()];
+            let recv_start = now.max(n.in_link_free);
+            let recv_end = recv_start + dur;
+            n.in_link_free = recv_end;
+            recv_end
+        };
+        let net = self.clone();
+        self.sim.schedule_at_for(recv_end, dst.index() as u32, move |sim| {
+            let hook = {
+                let mut inner = net.inner.borrow_mut();
+                inner.nodes[dst.index()]
+                    .completions
+                    .push_back(Packet::bulk_done(src, dst, tag, payload));
+                inner.nodes[dst.index()].arrival_hook.clone()
+            };
+            // Legacy runs `on_complete` (the receiver's kick, installed by
+            // the AM layer) and then the arrival hook (also the kick).
+            // Closures don't cross shards, so epoch mode replays the same
+            // pair through the hook — the AM layer asserts the equivalence
+            // when wiring a sharded machine.
+            if let Some(h) = hook {
+                h(sim);
+                h(sim);
+            }
+        });
     }
 
     /// Arrange delivery of the next fabric packet into `dst`'s input FIFO.
@@ -514,7 +796,7 @@ impl Network {
             ready.max(n.in_link_free).max(self.sim.now())
         };
         let net = self.clone();
-        self.sim.schedule_at(at, move |_| net.deliver(dst));
+        self.sim.schedule_at_for(at, dst as u32, move |_| net.deliver(dst));
     }
 
     /// Move one fabric packet into `dst`'s input FIFO; wake the node and any

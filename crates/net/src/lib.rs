@@ -10,6 +10,6 @@ pub mod fabric;
 pub mod packet;
 pub mod pool;
 
-pub use fabric::{InjectError, NetConfig, Network};
-pub use packet::{Packet, PacketKind, PayloadBuf, PayloadView, SHORT_PAYLOAD_MAX};
+pub use fabric::{CrossNet, InjectError, NetConfig, Network};
+pub use packet::{CrossPayload, Packet, PacketKind, PayloadBuf, PayloadView, SHORT_PAYLOAD_MAX};
 pub use pool::{BufPool, PoolStats};

@@ -195,6 +195,56 @@ impl fmt::Debug for PayloadBuf {
     }
 }
 
+/// A `Send`-able snapshot of a payload, used only at shard boundaries.
+///
+/// Within a shard, payloads stay in their `Rc`-shared, pool-leased form
+/// (the zero-copy path). When a packet must cross to another shard's
+/// thread, its bytes are copied out into this owned form, shipped through
+/// the coordinator, and rewrapped into a [`PayloadBuf`] on the receiving
+/// shard (leased from that shard's pool when one is supplied). Content is
+/// identical; only the storage changes hands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CrossPayload {
+    /// A short payload, carried by value.
+    Inline {
+        /// Number of meaningful bytes in `bytes`.
+        len: u8,
+        /// Payload storage; bytes past `len` are zero.
+        bytes: [u8; SHORT_PAYLOAD_MAX],
+    },
+    /// A bulk payload, copied out of its shared storage.
+    Heap(Vec<u8>),
+}
+
+impl CrossPayload {
+    /// Rewrap into a [`PayloadBuf`] on the receiving shard. Bulk payloads
+    /// lease storage from `pool` when given one, so the destination's
+    /// zero-copy recycling still applies to cross-shard traffic.
+    pub fn into_payload(self, pool: Option<&BufPool>) -> PayloadBuf {
+        match self {
+            CrossPayload::Inline { len, bytes } => PayloadBuf::Inline { len, bytes },
+            CrossPayload::Heap(v) => match pool {
+                Some(pool) => {
+                    let mut buf = pool.lease(v.len());
+                    buf.extend_from_slice(&v);
+                    pool.wrap(buf)
+                }
+                None => PayloadBuf::heap(v),
+            },
+        }
+    }
+}
+
+impl PayloadBuf {
+    /// Snapshot this payload into its [`Send`]-able cross-shard form.
+    pub fn to_cross(&self) -> CrossPayload {
+        match self {
+            PayloadBuf::Inline { len, bytes } => CrossPayload::Inline { len: *len, bytes: *bytes },
+            PayloadBuf::Heap(h) => CrossPayload::Heap(h.bytes.clone()),
+        }
+    }
+}
+
 /// A zero-copy suffix view of a [`PayloadBuf`]: the reply/result bytes of a
 /// message without the header prefix, still sharing the in-flight buffer's
 /// storage. Dereferences to `&[u8]`.

@@ -514,14 +514,15 @@ impl Rpc {
         }
         let rel = &self.inner.cfg.reliability;
         let exp = slot.attempts.get().min(rel.max_backoff_exp);
-        let jitter = node
-            .sim()
-            .with_rng(|r| r.gen_inclusive(0, self.inner.cfg.cost.nack_backoff_base.as_nanos()));
+        let src = node.id().index() as u32;
+        let jitter = node.sim().with_rng_for(src, |r| {
+            r.gen_inclusive(0, self.inner.cfg.cost.nack_backoff_base.as_nanos())
+        });
         let delay = rel.retransmit_timeout.times(1u64 << exp) + Dur::from_nanos(jitter);
         let rpc = self.clone();
         let node2 = node.clone();
         let slot2 = Rc::clone(slot);
-        let ev = node.sim().schedule_after(delay, move |_| {
+        let ev = node.sim().schedule_after_for(delay, src, move |_| {
             rpc.on_timeout(&node2, dst, handler, call_id, &slot2, bytes);
         });
         slot.timer.set(Some(ev));
@@ -577,12 +578,13 @@ impl Rpc {
     async fn backoff(&self, node: &Node, attempt: u32) {
         let base = self.inner.cfg.cost.nack_backoff_base;
         let factor = 1u64 << attempt.min(4);
-        let jitter_ns = node.sim().with_rng(|r| r.gen_inclusive(0, base.as_nanos() / 2));
+        let src = node.id().index() as u32;
+        let jitter_ns = node.sim().with_rng_for(src, |r| r.gen_inclusive(0, base.as_nanos() / 2));
         let delay = base.times(factor) + Dur::from_nanos(jitter_ns);
         let flag = Flag::new();
         let f = flag.clone();
         let n = node.clone();
-        node.sim().schedule_after(delay, move |_| {
+        node.sim().schedule_after_for(delay, src, move |_| {
             f.set();
             n.kick();
         });

@@ -165,7 +165,42 @@ impl Drop for EventAction {
 /// snapshot the generation and are ignored once it moves on.
 struct EventSlot {
     gen: u32,
+    /// Node the event is attributed to (keyed mode); becomes the ambient
+    /// owner while the action runs. Unused in legacy mode.
+    owner: u32,
     action: Option<EventAction>,
+}
+
+/// Bit layout of a keyed event sequence number: `node:16 | class:4 |
+/// counter:44`. Within one timestamp, events order by node, then class,
+/// then per-node issue order — none of which depend on how nodes are
+/// partitioned into shards, so the total (time, seq) order is identical
+/// for any shard count.
+const KEY_CLASS_SHIFT: u32 = 44;
+const KEY_NODE_SHIFT: u32 = 48;
+const KEY_COUNTER_MASK: u64 = (1 << KEY_CLASS_SHIFT) - 1;
+
+/// Event class for ordinary node-attributed activity.
+pub const KEY_CLASS_NODE: u32 = 0;
+/// Event class for collective publish replicas (ordered after a node's
+/// ordinary events at the same instant; the counter carries the reducer
+/// id and round so replicas agree across shards without a node counter).
+pub const KEY_CLASS_COLLECTIVE: u32 = 1;
+
+/// Pack a partition-independent event key.
+pub fn event_key(node: u32, class: u32, counter: u64) -> u64 {
+    debug_assert!(node < (1 << 16), "node id exceeds key width");
+    debug_assert!(class < (1 << 4), "event class exceeds key width");
+    debug_assert!(counter <= KEY_COUNTER_MASK, "event counter exceeded 2^44");
+    ((node as u64) << KEY_NODE_SHIFT) | ((class as u64) << KEY_CLASS_SHIFT) | counter
+}
+
+/// Keyed-mode state: per-node sequence counters and RNG streams, plus the
+/// ambient owner node used to attribute events scheduled from node code.
+struct KeyedState {
+    counters: Vec<u64>,
+    rngs: Vec<Prng>,
+    owner: u32,
 }
 
 /// Multiplicative hasher for the task table. Task ids are dense monotone
@@ -244,11 +279,73 @@ struct Inner {
     /// Recycled buffer swapped with the wake queue on each drain.
     wake_scratch: Vec<u64>,
     rng: Prng,
+    /// Partition-independent keying (sharded runs); `None` in legacy mode,
+    /// where `next_seq` provides global scheduling-order tie-breaks.
+    keyed: Option<KeyedState>,
     events_executed: u64,
     tasks_polled: u64,
     /// High-water mark of the event queue (pending entries, including
     /// stale cancelled ones), for capacity planning and perf harnesses.
     queue_peak: u64,
+}
+
+impl Inner {
+    /// Next tie-break key for an event attributed to the ambient owner:
+    /// the global scheduling counter in legacy mode, the owner node's
+    /// class-0 counter in keyed mode.
+    fn next_key_ambient(&mut self) -> (u64, u32) {
+        match self.keyed.as_mut() {
+            Some(k) => {
+                let node = k.owner;
+                let c = k.counters[node as usize];
+                k.counters[node as usize] += 1;
+                (event_key(node, KEY_CLASS_NODE, c), node)
+            }
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                (seq, 0)
+            }
+        }
+    }
+
+    /// Next tie-break key for an event explicitly attributed to `node`.
+    /// Legacy mode ignores the attribution (bit-identical to
+    /// [`Inner::next_key_ambient`]).
+    fn next_key_for(&mut self, node: u32) -> (u64, u32) {
+        match self.keyed.as_mut() {
+            Some(k) => {
+                let c = k.counters[node as usize];
+                k.counters[node as usize] += 1;
+                (event_key(node, KEY_CLASS_NODE, c), node)
+            }
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                (seq, 0)
+            }
+        }
+    }
+
+    fn push_event(&mut self, at: Time, seq: u64, owner: u32, action: EventAction) -> EventId {
+        let at = at.max(self.now);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                let slot = &mut self.slots[s as usize];
+                slot.action = Some(action);
+                slot.owner = owner;
+                s
+            }
+            None => {
+                self.slots.push(EventSlot { gen: 0, owner, action: Some(action) });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.queue.push(Entry { t: at, seq, slot, gen });
+        self.queue_peak = self.queue_peak.max(self.queue.len() as u64);
+        EventId::new(slot, gen)
+    }
 }
 
 /// Handle to the simulation. Cheap to clone; all clones share state.
@@ -273,12 +370,67 @@ impl Sim {
                 ready: VecDeque::new(),
                 wake_scratch: Vec::new(),
                 rng: Prng::seed_from_u64(seed),
+                keyed: None,
                 events_executed: 0,
                 tasks_polled: 0,
                 queue_peak: 0,
             })),
             wakes: Arc::new(WakeQueue::default()),
         }
+    }
+
+    /// Create a simulation in **keyed** mode: equal-time events order by a
+    /// `(node, class, per-node counter)` key instead of global scheduling
+    /// order, and each of the `nodes` simulated nodes gets its own RNG
+    /// stream derived from `seed`. The resulting event order — and thus
+    /// every result — is the same no matter how nodes are partitioned
+    /// across shards.
+    pub fn new_keyed(seed: u64, nodes: usize) -> Self {
+        let sim = Sim::new(seed);
+        {
+            let mut inner = sim.inner.borrow_mut();
+            inner.keyed = Some(KeyedState {
+                counters: vec![0; nodes],
+                rngs: (0..nodes)
+                    .map(|n| {
+                        // Distinct stream per node, stable across shard
+                        // counts: mix the node id into the machine seed.
+                        let stream = seed ^ (n as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        Prng::seed_from_u64(stream)
+                    })
+                    .collect(),
+                owner: 0,
+            });
+        }
+        sim
+    }
+
+    /// Whether this simulation uses partition-independent event keys.
+    pub fn is_keyed(&self) -> bool {
+        self.inner.borrow().keyed.is_some()
+    }
+
+    /// Set the ambient owner node (keyed mode) and return the previous one.
+    /// Node schedulers wrap their execution in a swap/restore pair so that
+    /// events scheduled from node code are attributed to that node. No-op
+    /// returning 0 in legacy mode.
+    pub fn swap_owner(&self, node: u32) -> u32 {
+        match self.inner.borrow_mut().keyed.as_mut() {
+            Some(k) => std::mem::replace(&mut k.owner, node),
+            None => 0,
+        }
+    }
+
+    /// Allocate the next class-0 event key for `node` without scheduling
+    /// anything. Used at shard boundaries: the source shard allocates the
+    /// key while pumping, and the destination shard inserts the event under
+    /// it, so both sides agree on the global order. Panics in legacy mode.
+    pub fn alloc_key_for(&self, node: u32) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let k = inner.keyed.as_mut().expect("alloc_key_for requires keyed mode");
+        let c = k.counters[node as usize];
+        k.counters[node as usize] += 1;
+        event_key(node, KEY_CLASS_NODE, c)
     }
 
     /// Current virtual time.
@@ -312,34 +464,76 @@ impl Sim {
         f(&mut self.inner.borrow_mut().rng)
     }
 
+    /// Run `f` with the RNG stream that serves `node`: the per-node stream
+    /// in keyed mode, the single global stream in legacy mode (preserving
+    /// the draw order existing golden traces depend on).
+    pub fn with_rng_for<R>(&self, node: u32, f: impl FnOnce(&mut Prng) -> R) -> R {
+        let mut inner = self.inner.borrow_mut();
+        match inner.keyed.as_mut() {
+            Some(k) => f(&mut k.rngs[node as usize]),
+            None => f(&mut inner.rng),
+        }
+    }
+
     /// Schedule `action` to run at absolute time `at` (clamped to `now` if
     /// already past). Returns an id usable with [`Sim::cancel`].
+    ///
+    /// In keyed mode the event is attributed to the ambient owner node
+    /// (see [`Sim::swap_owner`]); use [`Sim::schedule_at_for`] to attribute
+    /// it explicitly.
     pub fn schedule_at(&self, at: Time, action: impl FnOnce(&Sim) + 'static) -> EventId {
         let mut inner = self.inner.borrow_mut();
-        let at = at.max(inner.now);
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        let action = EventAction::new(action);
-        let slot = match inner.free_slots.pop() {
-            Some(s) => {
-                inner.slots[s as usize].action = Some(action);
-                s
-            }
-            None => {
-                inner.slots.push(EventSlot { gen: 0, action: Some(action) });
-                (inner.slots.len() - 1) as u32
-            }
-        };
-        let gen = inner.slots[slot as usize].gen;
-        inner.queue.push(Entry { t: at, seq, slot, gen });
-        inner.queue_peak = inner.queue_peak.max(inner.queue.len() as u64);
-        EventId::new(slot, gen)
+        let (seq, owner) = inner.next_key_ambient();
+        inner.push_event(at, seq, owner, EventAction::new(action))
     }
 
     /// Schedule `action` to run `after` from now.
     pub fn schedule_after(&self, after: Dur, action: impl FnOnce(&Sim) + 'static) -> EventId {
         let at = self.now() + after;
         self.schedule_at(at, action)
+    }
+
+    /// Schedule `action` at `at`, attributed to `node`. Identical to
+    /// [`Sim::schedule_at`] in legacy mode (same global sequence counter);
+    /// in keyed mode the event takes `node`'s next class-0 key and runs
+    /// with `node` as the ambient owner.
+    pub fn schedule_at_for(
+        &self,
+        at: Time,
+        node: u32,
+        action: impl FnOnce(&Sim) + 'static,
+    ) -> EventId {
+        let mut inner = self.inner.borrow_mut();
+        let (seq, owner) = inner.next_key_for(node);
+        inner.push_event(at, seq, owner, EventAction::new(action))
+    }
+
+    /// Schedule `action` `after` from now, attributed to `node`.
+    pub fn schedule_after_for(
+        &self,
+        after: Dur,
+        node: u32,
+        action: impl FnOnce(&Sim) + 'static,
+    ) -> EventId {
+        let at = self.now() + after;
+        self.schedule_at_for(at, node, action)
+    }
+
+    /// Insert an event under a pre-allocated key (keyed mode only). This is
+    /// the shard-boundary primitive: the key was allocated on the shard
+    /// that owns its node (via [`Sim::alloc_key_for`] or [`event_key`]),
+    /// and the event body runs on the shard inserting it. No counter is
+    /// touched here.
+    pub fn schedule_at_raw(
+        &self,
+        at: Time,
+        seq: u64,
+        owner: u32,
+        action: impl FnOnce(&Sim) + 'static,
+    ) -> EventId {
+        let mut inner = self.inner.borrow_mut();
+        debug_assert!(inner.keyed.is_some(), "schedule_at_raw requires keyed mode");
+        inner.push_event(at, seq, owner, EventAction::new(action))
     }
 
     /// Cancel a pending event. Returns `true` if it had not yet fired.
@@ -413,6 +607,37 @@ impl Sim {
         }
     }
 
+    /// Drive the simulation until every ready task and pending wake is
+    /// drained and the earliest remaining event is at or beyond `limit`.
+    /// Returns the time of that earliest event, or `None` if none remain.
+    ///
+    /// This is the shard worker's epoch step: with a conservative fence it
+    /// is safe to fire everything strictly before `limit` because no other
+    /// shard can inject an effect earlier than the fence.
+    pub fn run_before(&self, limit: Time) -> Option<Time> {
+        loop {
+            self.drain_wakes();
+            let next_ready = self.inner.borrow_mut().ready.pop_front();
+            if let Some(tid) = next_ready {
+                self.poll_task(tid);
+                continue;
+            }
+            match self.peek_event_time() {
+                Some(t) if t < limit => {
+                    self.fire_next_event();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// The earliest pending event time without firing it. Shard workers
+    /// re-peek after integrating cross-shard records (which may schedule
+    /// events earlier than what [`Sim::run_before`] reported).
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.peek_event_time()
+    }
+
     fn peek_event_time(&self) -> Option<Time> {
         let mut inner = self.inner.borrow_mut();
         // Discard stale (cancelled) queue entries.
@@ -467,11 +692,15 @@ impl Sim {
                             continue;
                         }
                         let action = s.action.take().expect("live slot has an action");
+                        let owner = s.owner;
                         s.gen = s.gen.wrapping_add(1);
                         inner.free_slots.push(e.slot);
                         debug_assert!(e.t >= inner.now, "event queue went backwards");
                         inner.now = e.t;
                         inner.events_executed += 1;
+                        if let Some(k) = inner.keyed.as_mut() {
+                            k.owner = owner;
+                        }
                         break action;
                     }
                 }

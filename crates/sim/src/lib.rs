@@ -25,9 +25,11 @@ pub mod calq;
 pub mod executor;
 pub mod mem;
 pub mod rng;
+pub mod shard;
 pub mod timer;
 
-pub use executor::{EventId, Sim, TaskId};
+pub use executor::{event_key, EventId, Sim, TaskId, KEY_CLASS_COLLECTIVE, KEY_CLASS_NODE};
 pub use mem::{alloc_snapshot, AllocSnapshot, CountingAlloc};
 pub use rng::Prng;
+pub use shard::{partition, shard_range, Coordinator, Outgoing, Route};
 pub use timer::{sleep, sleep_until, Sleep};

@@ -1,0 +1,296 @@
+//! Conservative epoch synchronization for sharded parallel simulation.
+//!
+//! A machine partitioned into S shards runs one host thread per shard,
+//! each driving its own [`Sim`](crate::Sim) over the nodes it owns. The
+//! only data crossing threads are boundary records (packets, bulk
+//! reservations, collective contributions), exchanged at epoch barriers
+//! managed by the [`Coordinator`].
+//!
+//! ## The epoch argument
+//!
+//! Every cross-shard effect generated at virtual time `t` takes effect no
+//! earlier than `t + L`, where the lookahead `L` is the minimum latency of
+//! any cross-node interaction (wire latency and collective latencies).
+//! With a global fence `f = min(next pending event across shards) + L`,
+//! each shard can execute all events strictly before `f` without ever
+//! receiving an effect that should have preempted one of them: a remote
+//! effect produced at `t < f` lands at `t + L ≥ min_next + L = f`.
+//!
+//! Each epoch runs two barrier phases:
+//!
+//! 1. [`Coordinator::exchange`] — shards deposit their outgoing boundary
+//!    records and receive the records addressed to them (or broadcast).
+//! 2. [`Coordinator::agree`] — after integrating the received records
+//!    (which may schedule new local events), shards agree on the next
+//!    fence from the global minimum next-event time, or terminate when no
+//!    shard has work left.
+//!
+//! The integration step sits *between* the phases because it changes the
+//! local next-event time; folding both into one barrier would let a shard
+//! terminate (or pick a fence) while a just-received record still owes it
+//! work.
+
+use std::sync::{Condvar, Mutex};
+
+use oam_model::{Dur, Time};
+
+/// Destination of a boundary record deposited at [`Coordinator::exchange`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Deliver to the shard owning this destination shard index.
+    Shard(usize),
+    /// Deliver to every *other* shard (collective contributions).
+    Broadcast,
+}
+
+/// An outgoing boundary record: where it goes and what it is.
+pub struct Outgoing<M> {
+    /// Routing choice.
+    pub route: Route,
+    /// The record itself; must be `Send` — this is the only application
+    /// data that crosses shard threads.
+    pub msg: M,
+}
+
+struct Phase<M> {
+    /// Barrier generation, incremented each time a phase completes.
+    generation: u64,
+    /// Number of shards that have arrived at the current phase.
+    arrived: usize,
+    /// Per-destination-shard mailboxes for the exchange phase.
+    mailboxes: Vec<Vec<M>>,
+    /// Per-shard next-event times for the agree phase (`None` = idle).
+    next_times: Vec<Option<Time>>,
+    /// Outcome of the last agree phase, latched for late readers.
+    fence: Option<Time>,
+}
+
+/// Barrier-based coordinator shared by all shard worker threads.
+///
+/// `M` is the boundary record type; it is the only thing that must be
+/// `Send`. All simulation state stays thread-local to its shard.
+pub struct Coordinator<M> {
+    shards: usize,
+    /// Conservative lookahead: minimum latency of any cross-shard effect.
+    lookahead: Dur,
+    state: Mutex<Phase<M>>,
+    cv: Condvar,
+}
+
+impl<M: Send> Coordinator<M> {
+    /// Create a coordinator for `shards` workers with the given lookahead
+    /// (the fabric's minimum `wire_latency`, capped by the collective
+    /// latencies).
+    pub fn new(shards: usize, lookahead: Dur) -> Self {
+        assert!(shards >= 1, "coordinator needs at least one shard");
+        assert!(lookahead > Dur::ZERO, "lookahead must be positive");
+        Coordinator {
+            shards,
+            lookahead,
+            state: Mutex::new(Phase {
+                generation: 0,
+                arrived: 0,
+                mailboxes: (0..shards).map(|_| Vec::new()).collect(),
+                next_times: vec![None; shards],
+                fence: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The conservative lookahead this coordinator was built with.
+    pub fn lookahead(&self) -> Dur {
+        self.lookahead
+    }
+
+    /// Exchange boundary records: deposit `out`, wait for every shard to
+    /// arrive, and return the records addressed to `shard`.
+    ///
+    /// Broadcast records are cloned into every other shard's mailbox.
+    /// Records from a single source preserve their deposit order; the
+    /// receiving side must not rely on inter-source order (it re-sorts by
+    /// the records' deterministic keys).
+    pub fn exchange(&self, shard: usize, out: Vec<Outgoing<M>>) -> Vec<M>
+    where
+        M: Clone,
+    {
+        let mut st = self.state.lock().expect("coordinator poisoned");
+        for o in out {
+            match o.route {
+                Route::Shard(dst) => st.mailboxes[dst].push(o.msg),
+                Route::Broadcast => {
+                    for dst in 0..self.shards {
+                        if dst != shard {
+                            st.mailboxes[dst].push(o.msg.clone());
+                        }
+                    }
+                }
+            }
+        }
+        st.arrived += 1;
+        let gen = st.generation;
+        if st.arrived == self.shards {
+            // Last arrival opens the collection side of the barrier.
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                st = self.cv.wait(st).expect("coordinator poisoned");
+            }
+        }
+        std::mem::take(&mut st.mailboxes[shard])
+    }
+
+    /// Agree on the next fence. `local_next` is this shard's earliest
+    /// pending event time after integrating the exchanged records (`None`
+    /// if the shard is idle). Returns `Some(fence)` — execute everything
+    /// strictly before it — or `None` when every shard is idle and the run
+    /// is complete.
+    pub fn agree(&self, shard: usize, local_next: Option<Time>) -> Option<Time> {
+        let mut st = self.state.lock().expect("coordinator poisoned");
+        st.next_times[shard] = local_next;
+        st.arrived += 1;
+        let gen = st.generation;
+        if st.arrived == self.shards {
+            st.arrived = 0;
+            st.generation += 1;
+            st.fence =
+                st.next_times.iter().flatten().min().map(|&earliest| earliest + self.lookahead);
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                st = self.cv.wait(st).expect("coordinator poisoned");
+            }
+        }
+        st.fence
+    }
+
+    /// One final barrier after termination: agree on the global end time
+    /// (the maximum shard-local clock). Shards stop their clocks at their
+    /// own last executed event, so trailing idle accounting must fold at
+    /// this shared instant to be independent of the partition.
+    pub fn agree_end(&self, shard: usize, local_now: Time) -> Time {
+        let mut st = self.state.lock().expect("coordinator poisoned");
+        st.next_times[shard] = Some(local_now);
+        st.arrived += 1;
+        let gen = st.generation;
+        if st.arrived == self.shards {
+            st.arrived = 0;
+            st.generation += 1;
+            st.fence = st.next_times.iter().flatten().max().copied();
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                st = self.cv.wait(st).expect("coordinator poisoned");
+            }
+        }
+        st.fence.expect("every shard reported a clock")
+    }
+}
+
+/// Partition `nodes` simulated nodes into `shards` contiguous ranges, as
+/// balanced as possible (sizes differ by at most one). Returns the owning
+/// shard of each node, indexed by node id.
+pub fn partition(nodes: usize, shards: usize) -> Vec<usize> {
+    assert!(shards >= 1, "need at least one shard");
+    let shards = shards.min(nodes.max(1));
+    let base = nodes / shards;
+    let extra = nodes % shards;
+    let mut owners = Vec::with_capacity(nodes);
+    for shard in 0..shards {
+        let len = base + usize::from(shard < extra);
+        owners.extend(std::iter::repeat_n(shard, len));
+    }
+    owners
+}
+
+/// The node-id range owned by `shard` under [`partition`].
+pub fn shard_range(nodes: usize, shards: usize, shard: usize) -> std::ops::Range<usize> {
+    let shards = shards.min(nodes.max(1));
+    let base = nodes / shards;
+    let extra = nodes % shards;
+    let start = shard * base + shard.min(extra);
+    let len = base + usize::from(shard < extra);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn partition_covers_all_nodes_contiguously() {
+        for nodes in 1..=65 {
+            for shards in 1..=8 {
+                let owners = partition(nodes, shards);
+                assert_eq!(owners.len(), nodes);
+                // Owners are non-decreasing (contiguous ranges) and every
+                // range matches shard_range.
+                let eff = shards.min(nodes);
+                for s in 0..eff {
+                    let r = shard_range(nodes, shards, s);
+                    assert!(!r.is_empty(), "shard {s} empty for {nodes}x{shards}");
+                    for n in r {
+                        assert_eq!(owners[n], s);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_routes_and_broadcasts() {
+        let coord = Arc::new(Coordinator::<u32>::new(3, Dur::from_nanos(100)));
+        let results: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|shard| {
+                    let coord = Arc::clone(&coord);
+                    scope.spawn(move || {
+                        let out = vec![
+                            Outgoing { route: Route::Shard((shard + 1) % 3), msg: shard as u32 },
+                            Outgoing { route: Route::Broadcast, msg: 100 + shard as u32 },
+                        ];
+                        let mut got = coord.exchange(shard, out);
+                        got.sort_unstable();
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Shard s receives the direct message from (s+2)%3 plus the two
+        // broadcasts from the other shards.
+        assert_eq!(results[0], vec![2, 101, 102]);
+        assert_eq!(results[1], vec![0, 100, 102]);
+        assert_eq!(results[2], vec![1, 100, 101]);
+    }
+
+    #[test]
+    fn agree_produces_global_min_fence_and_terminates() {
+        let coord = Arc::new(Coordinator::<()>::new(2, Dur::from_nanos(50)));
+        let fences: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|shard| {
+                    let coord = Arc::clone(&coord);
+                    scope.spawn(move || {
+                        let next = if shard == 0 {
+                            Some(Time::from_nanos(200))
+                        } else {
+                            Some(Time::from_nanos(120))
+                        };
+                        let f1 = coord.agree(shard, next);
+                        let f2 = coord.agree(shard, None);
+                        (f1, f2)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (f1, f2) in fences {
+            assert_eq!(f1, Some(Time::from_nanos(170)), "fence = global min + lookahead");
+            assert_eq!(f2, None, "all-idle round terminates");
+        }
+    }
+}

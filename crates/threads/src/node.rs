@@ -545,6 +545,26 @@ impl Node {
 
     // ---- the scheduler ----
 
+    /// Fold the still-open trailing idle window into the statistics, as of
+    /// `at` (typically the end of the run). While a run is in progress,
+    /// idle time accrues only when a kick ends an idle period — which
+    /// leaves the final window (last wake to end of run) uncounted, and
+    /// makes the total sensitive to exactly *when* the last no-op wake
+    /// lands. Folding the tail at harvest makes `idle_time` equal to the
+    /// node's total non-active virtual time, independent of execution
+    /// strategy. Idempotent; emits no trace (the node does not wake).
+    pub fn finalize_idle(&self, at: Time) {
+        if self.inner.run_state.get() != RunState::Idle {
+            return;
+        }
+        if let Some(since) = self.inner.idle_since.get() {
+            if at > since {
+                self.inner.stats.borrow_mut().idle_time += at.since(since);
+                self.inner.idle_since.set(Some(at));
+            }
+        }
+    }
+
     /// Run the scheduler loop until the node blocks on virtual time, goes
     /// idle, or finishes. Invoked by events (arrivals, settles, external
     /// wakes); re-entrant calls are ignored.
@@ -565,7 +585,11 @@ impl Node {
             self.emit(TraceKind::IdleEnd);
         }
         self.inner.run_state.set(RunState::Active);
+        // Attribute everything scheduled from node code to this node while
+        // the step loop runs (keyed/sharded mode; no-op otherwise).
+        let prev_owner = self.inner.sim.swap_owner(self.inner.id.index() as u32);
         self.step();
+        self.inner.sim.swap_owner(prev_owner);
     }
 
     fn wake_if_idle(&self) {
@@ -574,7 +598,7 @@ impl Node {
             && !self.inner.kick_scheduled.replace(true)
         {
             let node = self.clone();
-            self.inner.sim.schedule_after(Dur::ZERO, move |_| {
+            self.inner.sim.schedule_after_for(Dur::ZERO, self.inner.id.index() as u32, move |_| {
                 node.inner.kick_scheduled.set(false);
                 node.kick();
             });
@@ -590,10 +614,14 @@ impl Node {
             if !pending.is_zero() {
                 self.inner.run_state.set(RunState::Settling);
                 let node = self.clone();
-                self.inner.sim.schedule_after(pending, move |_| {
-                    node.inner.run_state.set(RunState::Active);
-                    node.kick();
-                });
+                self.inner.sim.schedule_after_for(
+                    pending,
+                    self.inner.id.index() as u32,
+                    move |_| {
+                        node.inner.run_state.set(RunState::Active);
+                        node.kick();
+                    },
+                );
                 break;
             }
 

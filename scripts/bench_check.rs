@@ -128,7 +128,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut failures = 0u32;
+    // Every gate violation, phrased for the failure summary: suite name,
+    // baseline vs result, percentage delta.
+    let mut failures: Vec<String> = Vec::new();
     println!(
         "{:<24} {:>12} {:>12} {:>8}   verdict",
         "suite", "base ms", "new ms", "delta"
@@ -136,7 +138,7 @@ fn main() -> ExitCode {
     for b in &base {
         let Some(n) = new.iter().find(|n| n.name == b.name) else {
             println!("{:<24} {:>12.2} {:>12} {:>8}   MISSING from new results", b.name, b.wall_ms, "-", "-");
-            failures += 1;
+            failures.push(format!("{}: missing from new results (baseline {:.2} ms)", b.name, b.wall_ms));
             continue;
         };
         // Determinism cross-check: same suite definition must do the same
@@ -149,7 +151,8 @@ fn main() -> ExitCode {
                 "{:<24} {:>12.2} {:>12.2} {:>8}   ANSWER DRIFT ({} -> {})",
                 b.name, b.wall_ms, n.wall_ms, "-", b.answer, n.answer
             );
-            failures += 1;
+            failures
+                .push(format!("{}: answer drift (baseline {} vs result {})", b.name, b.answer, n.answer));
             continue;
         }
         let delta = (n.wall_ms - b.wall_ms) / b.wall_ms.max(1e-9);
@@ -159,10 +162,24 @@ fn main() -> ExitCode {
         let alloc_delta =
             (b.allocs > 0).then(|| (n.allocs as f64 - b.allocs as f64) / b.allocs as f64);
         let verdict = if delta > MAX_WALL_REGRESSION {
-            failures += 1;
+            failures.push(format!(
+                "{}: wall {:.2} ms (baseline) vs {:.2} ms (result), {:+.1}% > +{:.0}% limit",
+                b.name,
+                b.wall_ms,
+                n.wall_ms,
+                delta * 100.0,
+                MAX_WALL_REGRESSION * 100.0
+            ));
             "REGRESSED"
         } else if alloc_delta.is_some_and(|d| d > MAX_ALLOC_REGRESSION) {
-            failures += 1;
+            failures.push(format!(
+                "{}: allocs {} (baseline) vs {} (result), {:+.1}% > +{:.0}% limit",
+                b.name,
+                b.allocs,
+                n.allocs,
+                alloc_delta.unwrap_or(0.0) * 100.0,
+                MAX_ALLOC_REGRESSION * 100.0
+            ));
             "ALLOC REGRESSED"
         } else {
             "ok"
@@ -177,13 +194,14 @@ fn main() -> ExitCode {
             b.name, b.wall_ms, n.wall_ms, delta * 100.0
         );
     }
-    if failures > 0 {
+    if !failures.is_empty() {
+        eprintln!("\nbench_check: {} suite(s) failed the gate:", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
         eprintln!(
-            "\nbench_check: {failures} suite(s) regressed more than {:.0}% wall (or {:.0}% \
-             allocs, or drifted); if intentional, re-record with `cargo run --release -p \
-             oam-bench --bin perfsuite -- --quick --out BENCH_baseline.json`",
-            MAX_WALL_REGRESSION * 100.0,
-            MAX_ALLOC_REGRESSION * 100.0
+            "if intentional, re-record with `cargo run --release -p oam-bench --bin perfsuite \
+             -- --quick --out BENCH_baseline.json`"
         );
         return ExitCode::FAILURE;
     }

@@ -91,3 +91,109 @@ fn water_answers_are_mode_and_strategy_invariant() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Shard-count invariance: partitioning the simulator across host worker
+// threads is a performance knob, never a semantics knob. Every app must
+// produce the identical answer, identical virtual end time, and
+// identical per-node statistics for any shard count.
+// ---------------------------------------------------------------------
+
+const SHARD_SEEDS: [u64; 2] = [1, 0xBEEF];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn shard_cfg(nodes: usize, seed: u64, shards: usize) -> MachineConfig {
+    cfg(nodes, seed, AbortStrategy::Promote).with_shards(shards)
+}
+
+/// Assert two outcomes are observably identical: answer, virtual end
+/// time, and the full per-node statistics vector.
+fn assert_outcomes_match(
+    a: &optimistic_active_messages::apps::AppOutcome,
+    b: &optimistic_active_messages::apps::AppOutcome,
+    what: &str,
+) {
+    assert_eq!(a.answer, b.answer, "{what}: answer");
+    assert_eq!(a.elapsed, b.elapsed, "{what}: virtual end time");
+    assert_eq!(a.stats, b.stats, "{what}: per-node stats");
+}
+
+#[test]
+fn triangle_is_shard_count_invariant() {
+    for seed in SHARD_SEEDS {
+        for mode in MODES {
+            let reference = triangle::run_configured(mode, shard_cfg(4, seed, 1), 4, 1);
+            for shards in SHARD_COUNTS {
+                let out = triangle::run_configured(mode, shard_cfg(4, seed, shards), 4, 1);
+                assert_outcomes_match(
+                    &reference,
+                    &out,
+                    &format!("triangle {} seed={seed:#x} shards={shards}", mode.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tsp_is_shard_count_invariant() {
+    let p = TspParams { ncities: 9, prefix_len: 3, ..Default::default() };
+    for seed in SHARD_SEEDS {
+        for mode in MODES {
+            let reference = tsp::run_configured(mode, shard_cfg(4, seed, 1), p);
+            for shards in SHARD_COUNTS {
+                let out = tsp::run_configured(mode, shard_cfg(4, seed, shards), p);
+                assert_outcomes_match(
+                    &reference,
+                    &out,
+                    &format!("tsp {} seed={seed:#x} shards={shards}", mode.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sor_is_shard_count_invariant() {
+    let p = SorParams { rows: 16, cols: 8, iters: 3 };
+    for seed in SHARD_SEEDS {
+        for mode in [System::HandAm, System::Orpc, System::Trpc] {
+            let reference = sor::run_configured(mode, shard_cfg(4, seed, 1), p);
+            for shards in SHARD_COUNTS {
+                let out = sor::run_configured(mode, shard_cfg(4, seed, shards), p);
+                assert_outcomes_match(
+                    &reference,
+                    &out,
+                    &format!("sor {} seed={seed:#x} shards={shards}", mode.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn water_is_shard_count_invariant() {
+    let p = WaterParams { molecules: 12, iters: 2 };
+    for seed in SHARD_SEEDS {
+        for mode in MODES {
+            for barrier in [true, false] {
+                let variant = WaterVariant { system: mode, barrier };
+                let reference = water::run_configured(variant, shard_cfg(4, seed, 1), p);
+                for shards in SHARD_COUNTS {
+                    let out = water::run_configured(variant, shard_cfg(4, seed, shards), p);
+                    assert_outcomes_match(
+                        &reference.outcome,
+                        &out.outcome,
+                        &format!("water {} seed={seed:#x} shards={shards}", variant.label()),
+                    );
+                    assert_eq!(
+                        reference.after_first_iter,
+                        out.after_first_iter,
+                        "water {} seed={seed:#x} shards={shards}: first-iteration time",
+                        variant.label()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -453,3 +453,45 @@ fn calendar_queue_matches_binary_heap_order() {
         assert!(cq.is_empty(), "case {case}");
     });
 }
+
+// ---------------------------------------------------------------------
+// Shard partitioning
+// ---------------------------------------------------------------------
+
+/// Every shard partition must cover every node exactly once, with no
+/// overlap, in contiguous per-shard ranges, and `shard_range` must agree
+/// with the owner table for every shard.
+#[test]
+fn shard_partition_covers_every_node_exactly_once() {
+    use optimistic_active_messages::sim::{partition, shard_range};
+    for_cases(200, |case, rng| {
+        let nodes = 1 + rng.gen_below(200) as usize;
+        let shards = 1 + rng.gen_below(32) as usize;
+        let owners = partition(nodes, shards);
+        assert_eq!(owners.len(), nodes, "case {case}: one owner per node");
+        // Owners are non-decreasing (contiguous ranges) and within bounds.
+        let effective = shards.min(nodes);
+        for w in owners.windows(2) {
+            assert!(w[0] <= w[1], "case {case}: owners must be sorted: {owners:?}");
+            assert!(w[1] <= w[0] + 1, "case {case}: no shard skipped: {owners:?}");
+        }
+        assert_eq!(owners[0], 0, "case {case}");
+        assert_eq!(owners[nodes - 1], effective - 1, "case {case}: all shards used");
+        // shard_range reproduces the owner table exactly; the ranges
+        // tile [0, nodes) with no gap and no overlap.
+        let mut covered = vec![0u32; nodes];
+        let mut sizes = Vec::new();
+        for s in 0..effective {
+            let r = shard_range(nodes, effective, s);
+            sizes.push(r.len());
+            for i in r {
+                assert_eq!(owners[i], s, "case {case}: range/owner mismatch at node {i}");
+                covered[i] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "case {case}: coverage {covered:?}");
+        // Balanced: sizes differ by at most one.
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(hi - lo <= 1, "case {case}: unbalanced {sizes:?}");
+    });
+}
