@@ -9,9 +9,15 @@
 //! * [`sor`] — successive overrelaxation with bulk boundary exchange;
 //! * [`water`] — an n-body molecular-dynamics code with broadcast and
 //!   scatter communication phases.
+//!
+//! Plus [`service`], an open-loop overload experiment that is not in the
+//! paper: a key-value service under million-client Poisson load, used to
+//! evaluate the runtime's admission control, backpressure, and deadline
+//! handling (see `DESIGN.md` §13).
 
 #![warn(missing_docs)]
 
+pub mod service;
 pub mod sor;
 pub mod system;
 pub mod triangle;

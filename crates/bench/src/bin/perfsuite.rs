@@ -28,6 +28,7 @@ use std::path::PathBuf;
 use std::rc::Rc;
 use std::time::Instant;
 
+use oam_apps::service::{self, ServiceParams};
 use oam_apps::tsp::TspParams;
 use oam_apps::water::{WaterParams, WaterVariant};
 use oam_apps::{sor, tsp, water, AppOutcome, System};
@@ -72,6 +73,50 @@ define_rpc_service! {
     }
 }
 
+/// Overload scorecard columns, present only for the open-loop service
+/// suites (virtual-time latency quantiles are deterministic, so the CI
+/// gate can watch p99 drift like any other counter).
+#[derive(Clone, Copy)]
+struct ServiceCols {
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    goodput_per_sec: f64,
+    completed: u64,
+    shed: u64,
+    expired: u64,
+    abandoned: u64,
+}
+
+/// What a suite body hands back: the common app outcome, plus the service
+/// scorecard when the workload has one.
+struct SuiteOut {
+    app: AppOutcome,
+    service: Option<ServiceCols>,
+}
+
+impl From<AppOutcome> for SuiteOut {
+    fn from(app: AppOutcome) -> Self {
+        SuiteOut { app, service: None }
+    }
+}
+
+impl From<service::ServiceOutcome> for SuiteOut {
+    fn from(o: service::ServiceOutcome) -> Self {
+        let cols = ServiceCols {
+            p50_us: o.p50.as_micros_f64(),
+            p99_us: o.p99.as_micros_f64(),
+            p999_us: o.p999.as_micros_f64(),
+            goodput_per_sec: o.goodput_per_sec,
+            completed: o.completed,
+            shed: o.shed,
+            expired: o.expired,
+            abandoned: o.abandoned,
+        };
+        SuiteOut { app: o.app, service: Some(cols) }
+    }
+}
+
 /// One measured suite.
 struct SuiteRun {
     name: &'static str,
@@ -82,6 +127,7 @@ struct SuiteRun {
     alloc: AllocSnapshot,
     answer: u64,
     totals: NodeStats,
+    service: Option<ServiceCols>,
 }
 
 impl SuiteRun {
@@ -105,7 +151,7 @@ const REPS: usize = 3;
 
 /// Time `body` [`REPS`] times, keeping the fastest run, bracketing it with
 /// allocator snapshots.
-fn measure(name: &'static str, mut body: impl FnMut() -> AppOutcome) -> SuiteRun {
+fn measure(name: &'static str, mut body: impl FnMut() -> SuiteOut) -> SuiteRun {
     let mut best: Option<SuiteRun> = None;
     for _ in 0..REPS {
         let before = alloc_snapshot();
@@ -116,12 +162,13 @@ fn measure(name: &'static str, mut body: impl FnMut() -> AppOutcome) -> SuiteRun
         let run = SuiteRun {
             name,
             wall,
-            virtual_us: out.elapsed.as_micros_f64(),
-            events: out.events,
-            peak_queue_depth: out.peak_queue_depth,
+            virtual_us: out.app.elapsed.as_micros_f64(),
+            events: out.app.events,
+            peak_queue_depth: out.app.peak_queue_depth,
             alloc,
-            answer: out.answer,
-            totals: out.stats.total(),
+            answer: out.app.answer,
+            totals: out.app.stats.total(),
+            service: out.service,
         };
         if best.as_ref().is_none_or(|b| run.wall < b.wall) {
             best = Some(run);
@@ -202,7 +249,7 @@ fn bulk_churn(rounds: u32, cfg: MachineConfig) -> AppOutcome {
 /// thread (`--jobs`).
 struct SuiteSpec {
     name: &'static str,
-    body: Box<dyn FnMut() -> AppOutcome + Send>,
+    body: Box<dyn FnMut() -> SuiteOut + Send>,
 }
 
 fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
@@ -214,8 +261,9 @@ fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
     let sharded_iters = if quick { 2 } else { 6 };
 
     let tsp_params = TspParams { ncities: 10, prefix_len: 4, ..Default::default() };
+    let service_arrivals: u32 = if quick { 96 } else { 192 };
     let spec =
-        |name: &'static str, body: Box<dyn FnMut() -> AppOutcome + Send>| SuiteSpec { name, body };
+        |name: &'static str, body: Box<dyn FnMut() -> SuiteOut + Send>| SuiteSpec { name, body };
     // The 64-node SOR workload, run single-shard and with 4 shard worker
     // threads: the shard-scaling row for EXPERIMENTS.md. Identical virtual
     // work (answer, end time, per-node stats) — only the host-side
@@ -228,22 +276,26 @@ fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
         )
     };
     vec![
-        spec("null_rpc_churn", Box::new(move || churn(churn_rounds, MachineConfig::cm5(2)))),
+        spec("null_rpc_churn", Box::new(move || churn(churn_rounds, MachineConfig::cm5(2)).into())),
         spec(
             "null_rpc_churn_chaos",
-            Box::new(move || churn(churn_chaos_rounds, chaos_cfg(2, 0.01))),
+            Box::new(move || churn(churn_chaos_rounds, chaos_cfg(2, 0.01)).into()),
         ),
         spec(
             "bulk_payload_churn",
-            Box::new(move || bulk_churn(bulk_rounds, MachineConfig::cm5(2))),
+            Box::new(move || bulk_churn(bulk_rounds, MachineConfig::cm5(2)).into()),
         ),
         spec(
             "tsp_n10",
-            Box::new(move || tsp::run_configured(System::Orpc, MachineConfig::cm5(5), tsp_params)),
+            Box::new(move || {
+                tsp::run_configured(System::Orpc, MachineConfig::cm5(5), tsp_params).into()
+            }),
         ),
         spec(
             "tsp_n10_chaos",
-            Box::new(move || tsp::run_configured(System::Orpc, chaos_cfg(5, 0.05), tsp_params)),
+            Box::new(move || {
+                tsp::run_configured(System::Orpc, chaos_cfg(5, 0.05), tsp_params).into()
+            }),
         ),
         spec(
             "sor_256",
@@ -253,6 +305,7 @@ fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
                     4,
                     oam_apps::sor::SorParams { rows: 256, cols: 256, iters: sor_iters },
                 )
+                .into()
             }),
         ),
         spec(
@@ -264,10 +317,45 @@ fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
                     WaterParams { molecules: 64, iters: water_iters },
                 )
                 .outcome
+                .into()
             }),
         ),
-        spec("sor_64node", Box::new(move || sor_64node(1, sharded_iters))),
-        spec("sor_64node_shards4", Box::new(move || sor_64node(4, sharded_iters))),
+        spec("sor_64node", Box::new(move || sor_64node(1, sharded_iters).into())),
+        spec("sor_64node_shards4", Box::new(move || sor_64node(4, sharded_iters).into())),
+        // The open-loop overload experiment (DESIGN.md §13): goodput and
+        // tail latency at the saturation knee, past it, and past it with
+        // admission control off. The latency quantiles are virtual-time,
+        // hence deterministic; bench_check gates p99 drift.
+        spec(
+            "service_openloop_1x",
+            Box::new(move || {
+                service::run(ServiceParams { arrivals: service_arrivals, ..Default::default() })
+                    .into()
+            }),
+        ),
+        spec(
+            "service_openloop_2x",
+            Box::new(move || {
+                service::run(ServiceParams {
+                    load_x100: 200,
+                    arrivals: service_arrivals,
+                    ..Default::default()
+                })
+                .into()
+            }),
+        ),
+        spec(
+            "service_openloop_2x_noadm",
+            Box::new(move || {
+                service::run(ServiceParams {
+                    load_x100: 200,
+                    admission: false,
+                    arrivals: service_arrivals,
+                    ..Default::default()
+                })
+                .into()
+            }),
+        ),
     ]
 }
 
@@ -334,7 +422,22 @@ fn json_report(mode: &str, suites: &[SuiteRun]) -> String {
         let _ = writeln!(s, "      \"messages_sent\": {},", t.messages_sent);
         let _ = writeln!(s, "      \"oam_attempts\": {},", t.oam_attempts);
         let _ = writeln!(s, "      \"oam_successes\": {},", t.oam_successes);
-        let _ = writeln!(s, "      \"retransmits\": {}", t.retransmits);
+        match &r.service {
+            None => {
+                let _ = writeln!(s, "      \"retransmits\": {}", t.retransmits);
+            }
+            Some(sv) => {
+                let _ = writeln!(s, "      \"retransmits\": {},", t.retransmits);
+                let _ = writeln!(s, "      \"p50_us\": {:.3},", sv.p50_us);
+                let _ = writeln!(s, "      \"p99_us\": {:.3},", sv.p99_us);
+                let _ = writeln!(s, "      \"p999_us\": {:.3},", sv.p999_us);
+                let _ = writeln!(s, "      \"goodput_per_sec\": {:.1},", sv.goodput_per_sec);
+                let _ = writeln!(s, "      \"completed\": {},", sv.completed);
+                let _ = writeln!(s, "      \"shed\": {},", sv.shed);
+                let _ = writeln!(s, "      \"expired\": {},", sv.expired);
+                let _ = writeln!(s, "      \"abandoned\": {}", sv.abandoned);
+            }
+        }
         let _ = write!(s, "    }}{}", if i + 1 < suites.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");

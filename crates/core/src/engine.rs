@@ -84,8 +84,8 @@ use std::task::{Context, Poll, Waker};
 
 use oam_am::{Am, PacketHandler};
 use oam_model::{
-    AbortReason, AbortStrategy, AdaptivePolicy, CallMode, Dur, ExecPolicy, MachineConfig, NodeId,
-    TraceKind,
+    AbortReason, AbortStrategy, AdaptivePolicy, AdmissionConfig, CallMode, Dur, ExecPolicy,
+    MachineConfig, NodeId, TraceKind,
 };
 use oam_net::{Packet, PayloadBuf};
 use oam_threads::{ExecMode, Node, Placement};
@@ -94,10 +94,22 @@ use oam_threads::{ExecMode, Node, Placement};
 /// suppress, or reply to.
 pub const ONEWAY_SENTINEL: u32 = u32::MAX;
 
+/// Deadline-header value marking a call with no deadline. Requests carry a
+/// deadline word only on machines with admission control configured.
+pub const NO_DEADLINE: u32 = u32::MAX;
+
 /// Decode just the call-correlation header (first word, little-endian)
 /// from a request payload.
 pub fn peek_call_id(payload: &[u8]) -> u32 {
     let bytes: [u8; 4] = payload[..4].try_into().expect("request call id");
+    u32::from_le_bytes(bytes)
+}
+
+/// Decode the deadline header (second word, little-endian, absolute
+/// virtual microseconds) from a request payload. Only meaningful on
+/// machines with [`AdmissionConfig`] set — without it the word is absent.
+pub fn peek_deadline_us(payload: &[u8]) -> u32 {
+    let bytes: [u8; 4] = payload[4..8].try_into().expect("request deadline");
     u32::from_le_bytes(bytes)
 }
 
@@ -126,6 +138,11 @@ pub type NackSender = Rc<dyn Fn(&OamCall)>;
 /// of an already-completed call. Owned by the stub layer, which knows the
 /// reply wire format.
 pub type ReplyResender = Rc<dyn Fn(&OamCall, u32, Option<PayloadBuf>)>;
+
+/// Builds and sends the NACK for a call shed by admission control, with
+/// the retry-after hint (microseconds) to carry. Owned by the stub layer,
+/// which knows the NACK wire format.
+pub type ShedNackSender = Rc<dyn Fn(&OamCall, u32)>;
 
 /// Server-side record of one logical call, keyed `(caller, call_id)` in
 /// the engine's dedup table. Carries the reliability state that used to be
@@ -156,6 +173,14 @@ struct EngineInner {
     /// registration time plus human-readable report labels.
     names: RefCell<BTreeMap<u32, String>>,
     resend_reply: RefCell<Option<ReplyResender>>,
+    /// Overload control, copied out of the config for cheap access.
+    admission: Option<AdmissionConfig>,
+    /// Per-node count of engine-admitted calls still in flight (inline,
+    /// promoted, rerun, or queued as threads). Only maintained when
+    /// `admission` is set; empty otherwise so existing workloads pay
+    /// nothing.
+    pending: Vec<Rc<Cell<usize>>>,
+    shed_nack: RefCell<Option<ShedNackSender>>,
 }
 
 /// The call engine: owns the server-side call lifecycle for every
@@ -171,6 +196,12 @@ impl CallEngine {
     /// Build the engine for a machine of `nodes` processors.
     pub fn new(cfg: Rc<MachineConfig>, nodes: usize) -> Self {
         let dedup_on = cfg.reliability.retransmit || cfg.fault_plan.is_some();
+        let admission = cfg.admission;
+        let pending = if admission.is_some() {
+            (0..nodes).map(|_| Rc::new(Cell::new(0))).collect()
+        } else {
+            Vec::new()
+        };
         CallEngine {
             inner: Rc::new(EngineInner {
                 cfg,
@@ -178,6 +209,9 @@ impl CallEngine {
                 dedup_on,
                 names: RefCell::new(BTreeMap::new()),
                 resend_reply: RefCell::new(None),
+                admission,
+                pending,
+                shed_nack: RefCell::new(None),
             }),
         }
     }
@@ -197,6 +231,34 @@ impl CallEngine {
     /// it because it owns the reply wire format).
     pub fn set_reply_resender(&self, f: ReplyResender) {
         *self.inner.resend_reply.borrow_mut() = Some(f);
+    }
+
+    /// Install the hook that NACKs a call shed by admission control
+    /// (required when [`MachineConfig::admission`] is set; the RPC layer
+    /// installs it because it owns the NACK wire format).
+    pub fn set_shed_nack(&self, f: ShedNackSender) {
+        *self.inner.shed_nack.borrow_mut() = Some(f);
+    }
+
+    /// The machine's admission-control configuration, if overload control
+    /// is on.
+    pub fn admission(&self) -> Option<AdmissionConfig> {
+        self.inner.admission
+    }
+
+    /// Engine-admitted calls currently in flight on `node` (0 when
+    /// admission control is off — the counter is only maintained under it).
+    pub fn pending_calls(&self, node: usize) -> usize {
+        self.inner.pending.get(node).map_or(0, |p| p.get())
+    }
+
+    /// Whether the dedup table already tracks `(caller, call_id)` on
+    /// `server` — i.e. the call is executing or has completed there.
+    /// Retransmitted copies of such calls must bypass admission and
+    /// deadline checks and fall through to duplicate suppression, or a
+    /// shed retransmission would break exactly-once execution.
+    pub fn knows_call(&self, server: usize, caller: NodeId, call_id: u32) -> bool {
+        self.inner.dedup_on && self.inner.dedup[server].borrow().contains_key(&(caller, call_id))
     }
 
     /// The execution policy for method `id`: the per-method entry from
@@ -245,7 +307,8 @@ impl CallEngine {
         factory: CallFactory,
     ) -> MethodSite {
         let mut abort = policy.abort.unwrap_or(self.inner.cfg.abort_strategy);
-        if abort == AbortStrategy::Nack && !expects_reply {
+        let nack_fallback = abort == AbortStrategy::Nack && !expects_reply;
+        if nack_fallback {
             abort = AbortStrategy::Rerun;
         }
         let adaptive = policy.adaptive.map(|p| AdaptiveState {
@@ -261,9 +324,11 @@ impl CallEngine {
             factory,
             nack: None,
             abort,
+            nack_fallback,
             budget: policy.handler_budget,
             static_mode: policy.mode,
             correlated: false,
+            expects_reply,
             adaptive,
         }
     }
@@ -312,13 +377,44 @@ pub struct MethodSite {
     nack: Option<NackSender>,
     /// Resolved abort resolution (per-method override, else global).
     abort: AbortStrategy,
+    /// The policy asked for [`AbortStrategy::Nack`] on a one-way method;
+    /// the resolution fell back to rerun (no caller to NACK) and aborts
+    /// count as [`oam_model::MethodStats::nack_fallback_reruns`].
+    nack_fallback: bool,
     /// Per-method optimistic run-length budget override.
     budget: Option<Dur>,
     static_mode: CallMode,
     /// Payloads start with a `call_id` correlation header (RPC framing),
     /// enabling duplicate suppression.
     correlated: bool,
+    /// The method replies (an `rpc`, not a `oneway`): only these calls are
+    /// subject to admission control and deadlines — their caller can see
+    /// the NACK or give up.
+    expects_reply: bool,
     adaptive: Option<AdaptiveState>,
+}
+
+/// RAII token for one engine-admitted call: created when admission control
+/// accepts an arrival, decrements the node's pending counter when the call
+/// finishes (inline, as a promoted/rerun thread, or on NACK abort).
+struct AdmitGuard {
+    pending: Rc<Cell<usize>>,
+}
+
+impl AdmitGuard {
+    fn new(pending: &Rc<Cell<usize>>, node: &Node) -> Self {
+        let n = pending.get() + 1;
+        pending.set(n);
+        let mut st = node.stats().borrow_mut();
+        st.admission_peak = st.admission_peak.max(n as u64);
+        AdmitGuard { pending: Rc::clone(pending) }
+    }
+}
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.pending.set(self.pending.get().saturating_sub(1));
+    }
 }
 
 impl MethodSite {
@@ -422,7 +518,7 @@ impl MethodSite {
 
     /// One optimistic attempt: poll the handler future once on the current
     /// stack, then resolve success or abort.
-    fn run_optimistic(&self, am: &Am, node: &Node, pkt: Packet) {
+    fn run_optimistic(&self, am: &Am, node: &Node, pkt: Packet, admit: Option<AdmitGuard>) {
         let cfg = Rc::clone(node.config());
         let tag = pkt.tag;
         {
@@ -450,6 +546,7 @@ impl MethodSite {
 
         let aborted = match outcome {
             Poll::Ready(()) => {
+                drop(admit);
                 node.release_provisional(tid);
                 {
                     let mut st = node.stats().borrow_mut();
@@ -478,7 +575,7 @@ impl MethodSite {
                             st.oam_promotions += 1;
                             st.method_mut(tag).promotions += 1;
                         }
-                        node.promote(tid, fut);
+                        node.promote(tid, guarded(fut, admit));
                         if needs_immediate_wake(cause) {
                             node.make_runnable(tid, Placement::Policy);
                         }
@@ -490,14 +587,20 @@ impl MethodSite {
                         {
                             let mut st = node.stats().borrow_mut();
                             st.oam_reruns += 1;
-                            st.method_mut(tag).reruns += 1;
+                            let m = st.method_mut(tag);
+                            if self.nack_fallback {
+                                m.nack_fallback_reruns += 1;
+                            } else {
+                                m.reruns += 1;
+                            }
                         }
                         let fresh = self.build_future(&call);
-                        node.promote(tid, fresh);
+                        node.promote(tid, guarded(fresh, admit));
                         node.make_runnable(tid, Placement::Policy);
                     }
                     AbortStrategy::Nack => {
                         drop(fut);
+                        drop(admit);
                         node.release_provisional(tid);
                         {
                             let mut st = node.stats().borrow_mut();
@@ -518,13 +621,13 @@ impl MethodSite {
     }
 
     /// Thread-per-call dispatch (TRPC, or an adaptively demoted method).
-    fn run_threaded(&self, am: &Am, node: &Node, pkt: Packet) {
+    fn run_threaded(&self, am: &Am, node: &Node, pkt: Packet, admit: Option<AdmitGuard>) {
         let tag = pkt.tag;
         node.add_pending(node.config().cost.trpc_dispatch);
         node.stats().borrow_mut().method_mut(tag).threaded += 1;
         let call = OamCall { am: am.clone(), node: node.clone(), pkt: Rc::new(pkt) };
         let fut = self.build_future(&call);
-        node.spawn_incoming(fut);
+        node.spawn_incoming(guarded(fut, admit));
         if let Some(a) = &self.adaptive {
             let served = a.trpc_calls.get() + 1;
             a.trpc_calls.set(served);
@@ -577,11 +680,98 @@ impl MethodSite {
     }
 }
 
+impl MethodSite {
+    /// Overload-control gate, run before dispatch on machines with
+    /// admission configured. Returns `Err(())` when the arrival was
+    /// consumed (expired or shed); `Ok(guard)` hands the admission token to
+    /// the dispatch path.
+    ///
+    /// Order matters:
+    /// 1. calls the dedup table already tracks bypass every check — a
+    ///    retransmitted copy of an executing or completed call must reach
+    ///    duplicate suppression, or shedding it would make the caller
+    ///    re-issue under a fresh id and execute the body twice;
+    /// 2. expired calls are dropped before any work (the caller's local
+    ///    expiry event resolves the call — no reply is owed);
+    /// 3. the overload signal demotes adaptive methods to TRPC *before*
+    ///    the abort storm that queue growth would cause;
+    /// 4. arrivals beyond the pending budget are shed with a NACK whose
+    ///    retry-after hint scales with queue depth.
+    fn admission_gate(&self, am: &Am, node: &Node, pkt: &Packet) -> Result<Option<AdmitGuard>, ()> {
+        let eng = &self.engine.inner;
+        let Some(adm) = eng.admission else { return Ok(None) };
+        if !self.correlated || !self.expects_reply {
+            return Ok(None);
+        }
+        let call_id = peek_call_id(&pkt.payload);
+        if call_id == ONEWAY_SENTINEL {
+            return Ok(None);
+        }
+        let caller = pkt.src;
+        let sidx = node.id().index();
+        let tag = pkt.tag;
+        if self.engine.knows_call(sidx, caller, call_id) {
+            // Executing or completed: fall through to dedup handling with
+            // no second admission token.
+            return Ok(None);
+        }
+        let deadline_us = peek_deadline_us(&pkt.payload);
+        if deadline_us != NO_DEADLINE && node.now().as_nanos() > u64::from(deadline_us) * 1_000 {
+            node.stats().borrow_mut().calls_expired += 1;
+            node.emit(TraceKind::CallExpired { tag, caller, call_id });
+            return Err(());
+        }
+        let pending = &eng.pending[sidx];
+        if let Some(a) = &self.adaptive {
+            if adm.overload_demote_depth > 0
+                && a.mode.get() == CallMode::Orpc
+                && pending.get() >= adm.overload_demote_depth
+            {
+                a.probing.set(false);
+                a.window_attempts.set(0);
+                a.window_aborts.set(0);
+                self.switch_mode(node, tag, a, CallMode::Trpc);
+            }
+        }
+        if pending.get() >= adm.pending_budget {
+            // The hint is derived from the admitted-call depth only. The NI
+            // input backlog would sharpen it, but that snapshot is
+            // sensitive to same-timestamp event micro-order, which the
+            // host-parallel engine does not reproduce — and the hint goes
+            // out on the wire, so it must be partition-invariant.
+            let depth = pending.get();
+            let base_ns = node.config().cost.nack_backoff_base.as_nanos();
+            let hint_ns =
+                (depth as u64).saturating_mul(base_ns).min(adm.retry_after_cap.as_nanos());
+            let retry_after_us = (hint_ns / 1_000).max(1) as u32;
+            {
+                let mut st = node.stats().borrow_mut();
+                st.calls_shed += 1;
+                st.method_mut(tag).shed += 1;
+            }
+            node.emit(TraceKind::CallShed { tag, caller, call_id, retry_after_us });
+            let call = OamCall { am: am.clone(), node: node.clone(), pkt: Rc::new(pkt.clone()) };
+            let shed = eng
+                .shed_nack
+                .borrow()
+                .clone()
+                .expect("admission control requires a shed-NACK sender on the engine");
+            shed(&call, retry_after_us);
+            return Err(());
+        }
+        Ok(Some(AdmitGuard::new(pending, node)))
+    }
+}
+
 impl PacketHandler for MethodSite {
     fn handle(&self, am: &Am, node: &Node, pkt: Packet) {
+        let admit = match self.admission_gate(am, node, &pkt) {
+            Ok(admit) => admit,
+            Err(()) => return,
+        };
         match self.current_mode() {
-            CallMode::Orpc => self.run_optimistic(am, node, pkt),
-            CallMode::Trpc => self.run_threaded(am, node, pkt),
+            CallMode::Orpc => self.run_optimistic(am, node, pkt, admit),
+            CallMode::Trpc => self.run_threaded(am, node, pkt, admit),
         }
     }
 }
@@ -590,6 +780,21 @@ impl PacketHandler for MethodSite {
 /// rerun thread must be made runnable explicitly.
 fn needs_immediate_wake(cause: AbortReason) -> bool {
     matches!(cause, AbortReason::NetworkFull | AbortReason::RanTooLong)
+}
+
+/// Wrap a handler future so the admission token is released exactly when
+/// the call finishes. No-op (and no allocation) without a token.
+fn guarded(
+    fut: Pin<Box<dyn Future<Output = ()>>>,
+    admit: Option<AdmitGuard>,
+) -> Pin<Box<dyn Future<Output = ()>>> {
+    match admit {
+        None => fut,
+        Some(g) => Box::pin(async move {
+            let _g = g;
+            fut.await;
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -794,6 +999,48 @@ mod tests {
         let factory: CallFactory = Rc::new(|_call| Box::pin(async {}));
         let site = engine.site(ExecPolicy::orpc(), false, factory);
         assert_eq!(site.abort_strategy(), AbortStrategy::Rerun);
+    }
+
+    #[test]
+    fn nack_fallback_rerun_on_oneway_counts_in_its_own_column() {
+        // A one-way call has no caller slot to NACK, so AbortStrategy::Nack
+        // silently degrades to Rerun — the stats must say which reruns were
+        // that fallback rather than folding them into the ordinary column.
+        let cfg = MachineConfig::cm5(2).with_abort_strategy(AbortStrategy::Nack);
+        let (sim, am, engine, stats) = build(2, cfg);
+        let node1 = am.nodes()[1].clone();
+        let m = Mutex::new(&node1, ());
+        let body_executions = Rc::new(Cell::new(0u32));
+        let (m2, body) = (m.clone(), body_executions.clone());
+        let factory: CallFactory = Rc::new(move |_call| {
+            let (m, body) = (m2.clone(), body.clone());
+            Box::pin(async move {
+                let _g = m.lock().await;
+                body.set(body.get() + 1);
+            })
+        });
+        let site = engine.site(ExecPolicy::orpc(), false, factory);
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
+        let release = oam_threads::Flag::new();
+        let (n1, mh, rel) = (node1.clone(), m.clone(), release.clone());
+        node1.spawn(async move {
+            let _g = mh.lock().await;
+            n1.spin_on(rel).await;
+        });
+        let n1k = node1.clone();
+        sim.schedule_at(oam_model::Time::from_nanos(50_000), move |_| {
+            release.set();
+            n1k.kick();
+        });
+        send_one(&am, vec![]);
+        sim.run();
+        assert_eq!(body_executions.get(), 1, "the fallback rerun completed the call");
+        let st = stats[1].borrow();
+        assert_eq!(st.oam_reruns, 1);
+        assert_eq!(st.oam_nacks_sent, 0, "nothing to NACK on a one-way call");
+        let pm = &st.per_method[&CALL.0];
+        assert_eq!(pm.nack_fallback_reruns, 1, "fallback reruns get their own counter");
+        assert_eq!(pm.reruns, 0, "…and stay out of the ordinary rerun column");
     }
 
     #[test]

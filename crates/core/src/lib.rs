@@ -17,6 +17,6 @@
 pub mod engine;
 
 pub use engine::{
-    peek_call_id, CallEngine, CallFactory, MethodSite, NackSender, OamCall, ReplyResender,
-    ONEWAY_SENTINEL,
+    peek_call_id, peek_deadline_us, CallEngine, CallFactory, MethodSite, NackSender, OamCall,
+    ReplyResender, ShedNackSender, NO_DEADLINE, ONEWAY_SENTINEL,
 };

@@ -10,10 +10,12 @@
 
 pub mod collective;
 pub mod machine;
+pub mod openloop;
 pub mod shard_run;
 pub mod watchdog;
 
 pub use collective::{Collectives, Reducer};
 pub use machine::{Machine, MachineBuilder, NodeEnv, RunReport};
+pub use openloop::{arrivals_for, pace_until, Arrival, CallClass, OpenLoopConfig, OpenLoopTracker};
 pub use shard_run::{run_partitioned, CrossMsg, ShardApp};
-pub use watchdog::{HangKind, HangReport, NodeHangInfo};
+pub use watchdog::{budget_from_env, HangKind, HangReport, NodeHangInfo};

@@ -296,11 +296,16 @@ impl Machine {
     /// request with retransmission disabled) or was still live when the
     /// budget ran out, with per-node scheduler snapshots, outstanding-call
     /// counts, and in-flight packets.
+    ///
+    /// The budget can be overridden without code changes through the
+    /// `OAM_WATCHDOG_MS` environment variable (virtual milliseconds); see
+    /// [`crate::watchdog::budget_from_env`].
     pub fn run_with_watchdog<F, Fut>(&self, budget: Time, main: F) -> Result<RunReport, HangReport>
     where
         F: Fn(NodeEnv) -> Fut,
         Fut: Future<Output = ()> + 'static,
     {
+        let budget = crate::watchdog::budget_from_env(budget);
         let done: Vec<Flag> = (0..self.cfg.nodes).map(|_| Flag::new()).collect();
         for (i, flag) in done.iter().enumerate() {
             let env = self.env(i);
@@ -330,6 +335,7 @@ impl Machine {
             .map(|(node, flag)| NodeHangInfo {
                 diag: node.diagnostics(),
                 outstanding_calls: self.rpc.outstanding_calls(node.id()),
+                input_queue_depth: self.net.input_depth(node.id()),
                 main_done: flag.get(),
             })
             .collect();

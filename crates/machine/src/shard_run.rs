@@ -102,7 +102,16 @@ pub fn run_partitioned<R: Send + 'static>(
     // Useful for isolating engine differences from partitioning: the epoch
     // engine is partition-invariant, so a forced 1-shard run is
     // bit-identical to any S ≥ 2 run.
-    let force_epoch = std::env::var_os("OAM_SHARD_FORCE_EPOCH").is_some();
+    //
+    // Admission-controlled machines always take the epoch engine: overload
+    // outcomes (which call gets shed) are decided at same-timestamp event
+    // ties, and the legacy engine breaks those by global insertion order
+    // while the keyed engine does not. Pinning the keyed order makes shed
+    // decisions independent of the shard count. Fault plans still need the
+    // legacy engine (the epoch pump asserts a lossless fabric), and
+    // `effective_shards` already forces them to one shard.
+    let force_epoch = std::env::var_os("OAM_SHARD_FORCE_EPOCH").is_some()
+        || (cfg.admission.is_some() && cfg.fault_plan.is_none());
     if shards == 1 && !force_epoch {
         let machine = MachineBuilder::from_config(cfg).build();
         let app = setup(&machine);

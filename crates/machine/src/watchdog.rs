@@ -53,6 +53,9 @@ pub struct NodeHangInfo {
     pub diag: NodeDiag,
     /// RPCs this node issued that never completed (no reply, ack, or NACK).
     pub outstanding_calls: usize,
+    /// Packets sitting in this node's NI input FIFO at the stop — a large
+    /// backlog on a live machine points at overload rather than deadlock.
+    pub input_queue_depth: usize,
     /// Whether this node's main ran to completion.
     pub main_done: bool,
 }
@@ -71,6 +74,22 @@ pub struct HangReport {
     pub in_flight_packets: usize,
     /// Simulation events executed before the stop.
     pub events: u64,
+}
+
+/// The watchdog's virtual-time budget: `default`, unless the
+/// `OAM_WATCHDOG_MS` environment variable names a budget in virtual
+/// milliseconds — letting CI tighten (catch livelock early) or loosen
+/// (debug a slow config) every watchdogged run without code changes. An
+/// unparsable value falls back to `default`.
+pub fn budget_from_env(default: Time) -> Time {
+    match std::env::var("OAM_WATCHDOG_MS") {
+        Ok(v) => v
+            .trim()
+            .parse::<u64>()
+            .ok()
+            .map_or(default, |ms| Time::from_nanos(ms.saturating_mul(1_000_000))),
+        Err(_) => default,
+    }
 }
 
 impl HangReport {
@@ -97,7 +116,7 @@ impl fmt::Display for HangReport {
             writeln!(
                 f,
                 "  node {}: main {}, {} live ({} runnable, {} spinning, {} parked), \
-                 {} outstanding call(s){}",
+                 {} outstanding call(s), {} queued input(s){}",
                 d.node.index(),
                 if n.main_done { "done" } else { "STUCK" },
                 d.live_threads,
@@ -105,6 +124,7 @@ impl fmt::Display for HangReport {
                 d.spinning,
                 d.parked,
                 n.outstanding_calls,
+                n.input_queue_depth,
                 if d.idle { ", idle" } else { "" },
             )?;
         }
@@ -129,13 +149,35 @@ mod tests {
     }
 
     #[test]
+    fn budget_env_override_parses_and_falls_back() {
+        // Serialized within this test: set, read, and restore the variable
+        // so no other watchdogged test in this binary observes it.
+        std::env::set_var("OAM_WATCHDOG_MS", "25");
+        assert_eq!(budget_from_env(Time::from_nanos(1)), Time::from_nanos(25_000_000));
+        std::env::set_var("OAM_WATCHDOG_MS", "not-a-number");
+        assert_eq!(budget_from_env(Time::from_nanos(7)), Time::from_nanos(7));
+        std::env::remove_var("OAM_WATCHDOG_MS");
+        assert_eq!(budget_from_env(Time::from_nanos(9)), Time::from_nanos(9));
+    }
+
+    #[test]
     fn report_accessors_and_display() {
         let r = HangReport {
             kind: HangKind::Deadlock,
             at: Time::from_nanos(123),
             nodes: vec![
-                NodeHangInfo { diag: diag(0, 1), outstanding_calls: 1, main_done: false },
-                NodeHangInfo { diag: diag(1, 0), outstanding_calls: 0, main_done: true },
+                NodeHangInfo {
+                    diag: diag(0, 1),
+                    outstanding_calls: 1,
+                    input_queue_depth: 3,
+                    main_done: false,
+                },
+                NodeHangInfo {
+                    diag: diag(1, 0),
+                    outstanding_calls: 0,
+                    input_queue_depth: 0,
+                    main_done: true,
+                },
             ],
             in_flight_packets: 0,
             events: 42,

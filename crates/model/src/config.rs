@@ -194,6 +194,55 @@ impl ExecPolicy {
     }
 }
 
+/// Per-node overload control: bound the number of engine-admitted calls in
+/// flight and shed the excess deterministically with NACKs that carry a
+/// retry-after hint.
+///
+/// Off (`MachineConfig::admission = None`) by default so existing workloads
+/// and goldens are untouched: with no admission config the wire format
+/// carries no deadline header and no call is ever shed. When present, every
+/// two-way request carries a 4-byte deadline word, servers drop expired
+/// calls before execution, and arrivals beyond `pending_budget` are NACKed
+/// back with a queue-depth-derived retry-after hint instead of being
+/// queued without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum engine-admitted calls pending per node (executing inline,
+    /// promoted, rerun, or queued as threads). Arrivals beyond this are
+    /// shed with a NACK.
+    pub pending_budget: usize,
+    /// Upper bound on the retry-after hint a shed NACK may carry.
+    pub retry_after_cap: Dur,
+    /// Adaptive methods demote to TRPC as soon as the node's pending-call
+    /// depth reaches this threshold (demote *before* the abort storm, not
+    /// after). `0` disables the overload signal and leaves demotion purely
+    /// abort-rate driven.
+    pub overload_demote_depth: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            pending_budget: 64,
+            retry_after_cap: Dur::from_micros(500),
+            overload_demote_depth: 48,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Validate budgets.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pending_budget == 0 {
+            return Err("admission pending budget must be at least 1 call".into());
+        }
+        if self.retry_after_cap == Dur::ZERO {
+            return Err("retry-after cap must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// End-to-end RPC reliability policy: what the client stubs do about lost
 /// requests and replies.
 ///
@@ -276,6 +325,10 @@ pub struct MachineConfig {
     pub fault_plan: Option<FaultPlan>,
     /// End-to-end RPC reliability policy (timeouts, retransmission, acks).
     pub reliability: ReliabilityConfig,
+    /// Per-node overload control (admission budget, shed NACKs with
+    /// retry-after, per-call deadlines). `None` (the default) disables
+    /// overload control entirely and keeps the wire format header-free.
+    pub admission: Option<AdmissionConfig>,
     /// Per-method execution policies, keyed by raw handler id. Methods
     /// without an entry execute under a default policy derived from their
     /// registration mode and the machine-wide settings above, reproducing
@@ -309,6 +362,7 @@ impl MachineConfig {
             auto_drain_on_handler_send: true,
             fault_plan: None,
             reliability: ReliabilityConfig::default(),
+            admission: None,
             policies: BTreeMap::new(),
             shards: None,
         }
@@ -356,6 +410,13 @@ impl MachineConfig {
     /// [`ReliabilityConfig::retransmitting`] next to a lossy fault plan).
     pub fn with_reliability(mut self, r: ReliabilityConfig) -> Self {
         self.reliability = r;
+        self
+    }
+
+    /// Builder-style admission-control override (turns overload control —
+    /// shed NACKs, retry-after hints, per-call deadlines — on).
+    pub fn with_admission(mut self, a: AdmissionConfig) -> Self {
+        self.admission = Some(a);
         self
     }
 
@@ -411,6 +472,9 @@ impl MachineConfig {
         }
         if self.reliability.retransmit && self.reliability.retransmit_timeout == Dur::ZERO {
             return Err("retransmit timeout must be positive".into());
+        }
+        if let Some(a) = &self.admission {
+            a.validate()?;
         }
         for (id, p) in &self.policies {
             p.validate().map_err(|e| format!("policy for handler {id:#010x}: {e}"))?;
@@ -498,6 +562,23 @@ mod tests {
         assert_eq!(cfg.policies.len(), 2);
         assert_eq!(cfg.policies[&1].mode, CallMode::Trpc);
         assert!(cfg.policies[&2].adaptive.is_some());
+    }
+
+    #[test]
+    fn admission_config_validation() {
+        assert!(MachineConfig::cm5(2).admission.is_none(), "off by default");
+        let cfg = MachineConfig::cm5(2).with_admission(AdmissionConfig::default());
+        assert!(cfg.validate().is_ok());
+        let bad = MachineConfig::cm5(2)
+            .with_admission(AdmissionConfig { pending_budget: 0, ..Default::default() });
+        assert!(bad.validate().is_err());
+        let bad = MachineConfig::cm5(2)
+            .with_admission(AdmissionConfig { retry_after_cap: Dur::ZERO, ..Default::default() });
+        assert!(bad.validate().is_err());
+        // overload_demote_depth 0 is legal: it just disables the signal.
+        let cfg = MachineConfig::cm5(2)
+            .with_admission(AdmissionConfig { overload_demote_depth: 0, ..Default::default() });
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

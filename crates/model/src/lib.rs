@@ -16,12 +16,12 @@ pub mod time;
 pub mod trace;
 
 pub use config::{
-    AbortStrategy, AdaptivePolicy, CallMode, ExecPolicy, MachineConfig, QueuePolicy,
-    ReliabilityConfig,
+    AbortStrategy, AdaptivePolicy, AdmissionConfig, CallMode, ExecPolicy, MachineConfig,
+    QueuePolicy, ReliabilityConfig,
 };
 pub use cost::CostModel;
 pub use fault::{FaultPlan, LinkDegradation, NodeStall};
 pub use ids::NodeId;
-pub use stats::{AbortReason, MachineStats, MethodStats, NodeStats};
+pub use stats::{AbortReason, LatencyHistogram, MachineStats, MethodStats, NodeStats};
 pub use time::{Dur, Time};
 pub use trace::{TraceEvent, TraceKind, TraceObserver};

@@ -58,6 +58,116 @@ impl fmt::Display for AbortReason {
     }
 }
 
+/// A log-bucketed latency histogram with deterministic integer quantiles.
+///
+/// Buckets grow geometrically (4 sub-buckets per octave of nanoseconds), so
+/// the whole range from 1 ns to ~584 years fits in at most 256 buckets with
+/// a worst-case relative quantile error of ~19%. The bucket vector is
+/// allocated lazily, so a default histogram costs nothing — existing
+/// workloads that never record a latency keep their allocation counts.
+///
+/// Everything is integer arithmetic on counts and bucket indices: merging
+/// shard-harvested histograms and then taking a quantile yields the same
+/// answer on every host, which is what lets the chaos tests compare whole
+/// [`NodeStats`] values bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sample counts per log bucket (lazily grown, trailing zeros trimmed
+    /// by construction: the vector is only ever as long as the highest
+    /// occupied bucket + 1).
+    buckets: Vec<u64>,
+    /// Total samples recorded.
+    count: u64,
+    /// Sum of all recorded latencies, for mean computations.
+    total: Dur,
+}
+
+/// Sub-bucket resolution: 2^2 = 4 buckets per octave.
+const LAT_SUBBITS: u32 = 2;
+
+impl LatencyHistogram {
+    /// Bucket index for a latency of `ns` nanoseconds.
+    fn bucket_of(ns: u64) -> usize {
+        // Octave = position of the highest set bit; sub-bucket = the next
+        // LAT_SUBBITS bits below it. Values below 2^LAT_SUBBITS ns map to
+        // the first buckets directly.
+        let sub = 1u64 << LAT_SUBBITS;
+        if ns < sub {
+            return ns as usize;
+        }
+        let octave = 63 - ns.leading_zeros();
+        let low = (ns >> (octave - LAT_SUBBITS)) & (sub - 1);
+        (((octave - LAT_SUBBITS + 1) as u64 * sub) + low) as usize
+    }
+
+    /// Representative latency (upper bound) of bucket `i` in nanoseconds.
+    fn bucket_upper(i: usize) -> u64 {
+        let sub = 1usize << LAT_SUBBITS;
+        if i < sub {
+            return i as u64;
+        }
+        let octave = (i / sub - 1) as u32 + LAT_SUBBITS;
+        let low = (i % sub) as u64;
+        // Inclusive upper bound of the bucket: one below the next bucket's
+        // lower bound.
+        (((1u64 << LAT_SUBBITS) + low + 1) << (octave - LAT_SUBBITS)) - 1
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, lat: Dur) {
+        let idx = Self::bucket_of(lat.as_nanos());
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total += lat;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency; [`Dur::ZERO`] when empty.
+    pub fn mean(&self) -> Dur {
+        match self.total.as_nanos().checked_div(self.count) {
+            Some(ns) => Dur::from_nanos(ns),
+            None => Dur::ZERO,
+        }
+    }
+
+    /// The latency at quantile `q` (0.0 ..= 1.0): an upper bound on the
+    /// bucket holding the ceil(q·count)-th sample. [`Dur::ZERO`] when
+    /// empty. Deterministic: pure integer rank arithmetic.
+    pub fn quantile(&self, q: f64) -> Dur {
+        if self.count == 0 {
+            return Dur::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Dur::from_nanos(Self::bucket_upper(i));
+            }
+        }
+        Dur::from_nanos(Self::bucket_upper(self.buckets.len().saturating_sub(1)))
+    }
+
+    /// Accumulate another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.total += other.total;
+    }
+}
+
 /// Per-method call-engine counters — the per-procedure slice of Tables 2
 /// and 3, plus the adaptive-dispatch history. Keyed by raw handler id in
 /// [`NodeStats::per_method`] (a `BTreeMap` so aggregation and reports
@@ -81,6 +191,14 @@ pub struct MethodStats {
     pub threaded: u64,
     /// Adaptive mode switches (demotions and re-promotions).
     pub mode_switches: u64,
+    /// Arrivals shed by admission control before execution (NACKed back
+    /// with a retry-after hint).
+    pub shed: u64,
+    /// Aborts of one-way calls under [`crate::AbortStrategy::Nack`] that
+    /// fell back to rerun because there is no caller to NACK. Distinct
+    /// from [`MethodStats::reruns`], which counts the strategy chosen on
+    /// purpose.
+    pub nack_fallback_reruns: u64,
 }
 
 impl MethodStats {
@@ -111,6 +229,8 @@ impl MethodStats {
         self.nacks_sent += other.nacks_sent;
         self.threaded += other.threaded;
         self.mode_switches += other.mode_switches;
+        self.shed += other.shed;
+        self.nack_fallback_reruns += other.nack_fallback_reruns;
     }
 }
 
@@ -186,6 +306,26 @@ pub struct NodeStats {
     /// Replies/acks that arrived for an already-completed call and were
     /// dropped instead of corrupting a recycled call slot.
     pub stale_replies_dropped: u64,
+
+    // ---- overload control ----
+    /// Deadline-bearing calls this node issued that completed with a reply.
+    pub calls_completed: u64,
+    /// Deadline-bearing calls this node issued and gave up on (deadline
+    /// expired before a reply, or the NACK back-off would overrun it).
+    pub calls_abandoned: u64,
+    /// Arrivals this node shed as server via admission control.
+    pub calls_shed: u64,
+    /// Arrivals this node dropped as server because their deadline had
+    /// already expired.
+    pub calls_expired: u64,
+    /// NACK retries whose delay honored a server-supplied retry-after hint
+    /// instead of the blind exponential back-off.
+    pub retry_after_honored: u64,
+    /// High-water mark of engine-admitted pending calls on this node.
+    pub admission_peak: u64,
+    /// Client-observed call latencies (request issue to reply integration)
+    /// for deadline-bearing calls.
+    pub latency: LatencyHistogram,
 
     // ---- time accounting ----
     /// Virtual time this node spent in application compute charges.
@@ -276,6 +416,13 @@ impl NodeStats {
         self.retransmits += other.retransmits;
         self.dups_suppressed += other.dups_suppressed;
         self.stale_replies_dropped += other.stale_replies_dropped;
+        self.calls_completed += other.calls_completed;
+        self.calls_abandoned += other.calls_abandoned;
+        self.calls_shed += other.calls_shed;
+        self.calls_expired += other.calls_expired;
+        self.retry_after_honored += other.retry_after_honored;
+        self.admission_peak = self.admission_peak.max(other.admission_peak);
+        self.latency.merge(&other.latency);
         self.compute_time += other.compute_time;
         self.idle_time += other.idle_time;
         for (id, m) in &other.per_method {
@@ -409,6 +556,81 @@ mod tests {
         assert_eq!(m.method_name(9), "0x00000009");
         let m = m.with_method_names([(9u32, "Svc::op".to_string())].into_iter().collect());
         assert_eq!(m.method_name(9), "Svc::op");
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), Dur::ZERO);
+        assert_eq!(h.count(), 0);
+        for us in 1..=1000u64 {
+            h.record(Dur::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        let p999 = h.quantile(0.999);
+        assert!(p50 <= p99 && p99 <= p999, "{p50:?} {p99:?} {p999:?}");
+        // Log buckets: the quantile is an upper bound within ~19% of the
+        // true value, and never below it.
+        assert!(p50 >= Dur::from_micros(500) && p50 <= Dur::from_micros(625), "{p50:?}");
+        assert!(p99 >= Dur::from_micros(990) && p99 <= Dur::from_micros(1250), "{p99:?}");
+        assert!(h.mean() >= Dur::from_micros(490) && h.mean() <= Dur::from_micros(510));
+    }
+
+    #[test]
+    fn latency_histogram_merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut both = LatencyHistogram::default();
+        for i in 0..500u64 {
+            let d = Dur::from_nanos(i * i + 1);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            both.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a, both, "merge must be exactly additive");
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_monotone() {
+        // bucket_of must be monotone non-decreasing and bucket_upper an
+        // upper bound for everything mapped into the bucket.
+        let mut prev = 0usize;
+        for ns in 0..=4096u64 {
+            let b = LatencyHistogram::bucket_of(ns);
+            assert!(b >= prev, "bucket_of must not decrease at {ns}");
+            assert!(
+                LatencyHistogram::bucket_upper(b) >= ns,
+                "upper({b}) = {} < {ns}",
+                LatencyHistogram::bucket_upper(b)
+            );
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn overload_counters_merge_and_peak_takes_max() {
+        let mut a = NodeStats::new();
+        a.calls_shed = 3;
+        a.admission_peak = 7;
+        a.latency.record(Dur::from_micros(10));
+        let mut b = NodeStats::new();
+        b.calls_shed = 2;
+        b.calls_expired = 1;
+        b.admission_peak = 5;
+        a.merge(&b);
+        assert_eq!(a.calls_shed, 5);
+        assert_eq!(a.calls_expired, 1);
+        assert_eq!(a.admission_peak, 7, "peak merges by max, not sum");
+        assert_eq!(a.latency.count(), 1);
     }
 
     #[test]

@@ -136,6 +136,33 @@ pub enum TraceKind {
         /// Mode it runs under from now on.
         to: CallMode,
     },
+    /// Admission control shed an arriving call before execution.
+    CallShed {
+        /// Handler tag of the shed method.
+        tag: u32,
+        /// Caller being NACKed.
+        caller: NodeId,
+        /// The shed call.
+        call_id: u32,
+        /// Retry-after hint sent with the NACK, in microseconds.
+        retry_after_us: u32,
+    },
+    /// The server dropped an arriving call whose deadline had passed.
+    CallExpired {
+        /// Handler tag of the expired method.
+        tag: u32,
+        /// Caller whose call expired.
+        caller: NodeId,
+        /// The expired call.
+        call_id: u32,
+    },
+    /// The client gave up on a call because its deadline expired.
+    CallAbandoned {
+        /// The abandoned call.
+        call_id: u32,
+        /// Callee it was issued to.
+        dst: NodeId,
+    },
 }
 
 impl TraceKind {
@@ -158,6 +185,9 @@ impl TraceKind {
             TraceKind::DupSuppressed { .. } => "dup-suppressed",
             TraceKind::StaleReplyDropped { .. } => "stale-reply",
             TraceKind::ModeSwitch { .. } => "mode-switch",
+            TraceKind::CallShed { .. } => "shed",
+            TraceKind::CallExpired { .. } => "expired",
+            TraceKind::CallAbandoned { .. } => "abandoned",
         }
     }
 }
@@ -189,6 +219,9 @@ mod tests {
             TraceKind::DupSuppressed { caller: NodeId(0), call_id: 0 },
             TraceKind::StaleReplyDropped { call_id: 0 },
             TraceKind::ModeSwitch { tag: 1, from: CallMode::Orpc, to: CallMode::Trpc },
+            TraceKind::CallShed { tag: 1, caller: NodeId(0), call_id: 0, retry_after_us: 10 },
+            TraceKind::CallExpired { tag: 1, caller: NodeId(0), call_id: 0 },
+            TraceKind::CallAbandoned { call_id: 0, dst: NodeId(1) },
         ];
         let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len(), "labels are distinct");

@@ -15,7 +15,8 @@ pub mod runtime;
 pub mod wire;
 
 pub use runtime::{
-    decode_request, handler_id_for, Rpc, RpcCtx, RpcMode, NACK_ID, ONEWAY_SENTINEL, REPLY_ID,
+    decode_request, handler_id_for, CallError, Rpc, RpcCtx, RpcMode, NACK_ID, ONEWAY_SENTINEL,
+    REPLY_ID,
 };
 pub use wire::{
     from_bytes, to_bytes, to_payload, RawTail, Wire, WireError, WireReader, WireWriter,

@@ -110,7 +110,7 @@ macro_rules! __rpc_method {
                     ::std::boxed::Box::pin(async move {
                         #[allow(unused_variables, unused_parens)]
                         let (__call_id, ($($arg,)*)): (u32, ($($aty,)*)) =
-                            $crate::decode_request(&__call.pkt.payload);
+                            __rpc.decode_request(&__call.pkt.payload);
                         __call.node.add_pending(
                             __rpc.config().cost.marshal_per_word
                                 .times(__call.pkt.payload.len().div_ceil(4) as u64),
@@ -172,7 +172,7 @@ macro_rules! __rpc_method {
                     ::std::boxed::Box::pin(async move {
                         #[allow(unused_variables, unused_parens)]
                         let (__call_id, ($($arg,)*)): (u32, ($($aty,)*)) =
-                            $crate::decode_request(&__call.pkt.payload);
+                            __rpc.decode_request(&__call.pkt.payload);
                         __call.node.add_pending(
                             __rpc.config().cost.marshal_per_word
                                 .times(__call.pkt.payload.len().div_ceil(4) as u64),

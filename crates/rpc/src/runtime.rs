@@ -35,8 +35,8 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use oam_am::{Am, AmToken, HandlerEntry, HandlerId};
-use oam_core::{peek_call_id, CallEngine, CallFactory, NackSender, OamCall};
-use oam_model::{AbortStrategy, Dur, ExecPolicy, MachineConfig, NodeId, TraceKind};
+use oam_core::{peek_call_id, CallEngine, CallFactory, NackSender, OamCall, NO_DEADLINE};
+use oam_model::{AbortStrategy, Dur, ExecPolicy, MachineConfig, NodeId, Time, TraceKind};
 use oam_net::{Packet, PayloadBuf, PayloadView};
 use oam_sim::{EventId, Sim};
 use oam_threads::{Flag, Node};
@@ -83,7 +83,14 @@ pub use oam_model::CallMode as RpcMode;
 enum Outcome {
     Pending,
     Replied,
-    Nacked,
+    /// NACKed by the server (abort or admission shed). `retry_after_us`
+    /// carries the server's back-off hint; `0` means none — the caller
+    /// falls back to blind exponential back-off.
+    Nacked {
+        retry_after_us: u32,
+    },
+    /// The caller's local deadline expired before any server response.
+    Expired,
 }
 
 struct CallSlot {
@@ -98,6 +105,8 @@ struct CallSlot {
     attempts: Cell<u32>,
     /// Armed retransmission timer, if any.
     timer: Cell<Option<EventId>>,
+    /// Armed deadline-expiry event, if any (deadline-bearing calls only).
+    expiry: Cell<Option<EventId>>,
 }
 
 impl CallSlot {
@@ -109,6 +118,7 @@ impl CallSlot {
             oneway: Cell::new(false),
             attempts: Cell::new(0),
             timer: Cell::new(None),
+            expiry: Cell::new(None),
         })
     }
 
@@ -120,6 +130,7 @@ impl CallSlot {
         self.oneway.set(false);
         self.attempts.set(0);
         self.timer.set(None);
+        self.expiry.set(None);
     }
 }
 
@@ -250,6 +261,20 @@ impl Rpc {
                 am2.send_from_handler(&call.node, call.pkt.src, REPLY_ID, payload);
             },
         ));
+        // Admission control sheds arrivals with an extended NACK carrying
+        // the engine-computed retry-after hint.
+        if engine.admission().is_some() {
+            let am3 = am.clone();
+            engine.set_shed_nack(Rc::new(move |call: &OamCall, retry_after_us: u32| {
+                let call_id = peek_call_id(&call.pkt.payload);
+                am3.send_from_handler(
+                    &call.node,
+                    call.pkt.src,
+                    NACK_ID,
+                    nack_payload(call_id, retry_after_us),
+                );
+            }));
+        }
         let rpc = Rpc {
             inner: Rc::new(RpcInner {
                 am,
@@ -295,12 +320,21 @@ impl Rpc {
         rpc.inner.am.register_inline_all(NACK_ID, move |t: &AmToken| {
             let mut rd = WireReader::new(t.payload());
             let call_id = u32::decode(&mut rd).expect("nack call id");
+            // Extended NACKs (admission-controlled machines) carry a
+            // second word with the retry-after hint; legacy 4-byte NACKs
+            // mean "no hint".
+            let retry_after_us =
+                if t.payload().len() >= 8 { u32::decode(&mut rd).unwrap_or(0) } else { 0 };
             let idx = t.node().id().index();
+            // Counted on arrival, live slot or not: the server ledger says
+            // one NACK per shed/refused call, and this is the client-side
+            // half of that ledger. A NACK that raced the caller's local
+            // expiry was still received.
+            t.node().stats().borrow_mut().nacks_received += 1;
             let slot = r.inner.tables[idx].borrow().get(call_id);
             match slot {
                 Some(slot) if slot.outcome.get() == Outcome::Pending => {
-                    t.node().stats().borrow_mut().nacks_received += 1;
-                    slot.outcome.set(Outcome::Nacked);
+                    slot.outcome.set(Outcome::Nacked { retry_after_us });
                     r.cancel_timer(t.node().sim(), &slot);
                     slot.flag.set();
                 }
@@ -349,6 +383,17 @@ impl Rpc {
         self.inner.cfg.cost.marshal_per_word.times(bytes.div_ceil(4) as u64)
     }
 
+    /// Bytes of framing ahead of the encoded arguments in a request
+    /// payload: the call-id word, plus the deadline word on machines with
+    /// admission control.
+    fn header_len(&self) -> usize {
+        if self.inner.cfg.admission.is_some() {
+            8
+        } else {
+            4
+        }
+    }
+
     /// Send a request payload, choosing short AM or bulk transfer like the
     /// paper's stubs: anything that fits the CM-5's argument words (16
     /// bytes including the call header) goes as a short active message,
@@ -361,19 +406,39 @@ impl Rpc {
         }
     }
 
-    /// Marshal `[call_id][args]` straight into a payload: inline (no
-    /// allocation) when it fits a short packet, into a buffer leased from
-    /// the node's pool otherwise.
+    /// Marshal `[call_id][deadline?][args]` straight into a payload:
+    /// inline (no allocation) when it fits a short packet, into a buffer
+    /// leased from the node's pool otherwise. The deadline word (absolute
+    /// virtual microseconds, [`NO_DEADLINE`] for none) is written only on
+    /// machines with admission control, so header-free configurations keep
+    /// their exact wire format.
     fn marshal_request(
         &self,
         node: &Node,
         call_id: u32,
+        deadline_us: u32,
         write_args: &dyn Fn(&mut WireWriter),
     ) -> PayloadBuf {
         let mut w = WireWriter::pooled(self.inner.am.pool(node.id()).clone());
         call_id.encode(&mut w);
+        if self.inner.cfg.admission.is_some() {
+            deadline_us.encode(&mut w);
+        }
         write_args(&mut w);
         w.finish()
+    }
+
+    /// Decode the call header and argument tuple from a request payload,
+    /// skipping the deadline word on admission-controlled machines.
+    /// Returns `(call_id, args)`. Used by the generated stubs.
+    pub fn decode_request<A: Wire>(&self, payload: &[u8]) -> (u32, A) {
+        let mut rd = WireReader::new(payload);
+        let call_id = u32::decode(&mut rd).expect("request call id");
+        if self.inner.cfg.admission.is_some() {
+            let _deadline_us = u32::decode(&mut rd).expect("request deadline");
+        }
+        let args = A::decode(&mut rd).expect("request arguments");
+        (call_id, args)
     }
 
     /// Perform a synchronous RPC with `Wire`-encodable arguments (the
@@ -403,10 +468,24 @@ impl Rpc {
         self.call_inner(node, dst, id, &|w| w.extend_from_slice(args)).await
     }
 
-    /// The synchronous-call primitive: owns correlation, transport, the
-    /// reply wait, retransmission, and NACK back-off/retry. `write_args`
-    /// appends the encoded arguments (re-invoked on NACK retry, which
-    /// re-marshals under a fresh call id).
+    /// Perform a synchronous RPC with a per-call deadline (requires
+    /// [`oam_model::MachineConfig::admission`]). The deadline travels in
+    /// the request header: the server drops the call unexecuted if it
+    /// arrives (or is retransmitted) past it, and the caller gives up
+    /// locally at the same instant — returning
+    /// [`CallError::DeadlineExpired`] — instead of retrying forever.
+    pub async fn try_call_args<A: Wire>(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        args: &A,
+        deadline: Dur,
+    ) -> Result<PayloadView, CallError> {
+        self.call_inner_opts(node, dst, id, &|w| args.encode(w), Some(deadline)).await
+    }
+
+    /// The synchronous-call primitive without a deadline: cannot fail.
     async fn call_inner(
         &self,
         node: &Node,
@@ -414,25 +493,55 @@ impl Rpc {
         id: HandlerId,
         write_args: &dyn Fn(&mut WireWriter),
     ) -> PayloadView {
+        match self.call_inner_opts(node, dst, id, write_args, None).await {
+            Ok(reply) => reply,
+            Err(e) => unreachable!("deadline-free call cannot fail: {e:?}"),
+        }
+    }
+
+    /// The synchronous-call primitive: owns correlation, transport, the
+    /// reply wait, retransmission, deadline expiry, and NACK
+    /// back-off/retry. `write_args` appends the encoded arguments
+    /// (re-invoked on NACK retry, which re-marshals under a fresh call
+    /// id).
+    async fn call_inner_opts(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        write_args: &dyn Fn(&mut WireWriter),
+        deadline: Option<Dur>,
+    ) -> Result<PayloadView, CallError> {
         node.stats().borrow_mut().rpcs_sync += 1;
         node.add_pending(self.inner.cfg.cost.rpc_caller_overhead);
         let idx = node.id().index();
+        let issued = node.now();
+        let deadline_abs = deadline.map(|d| issued + d);
+        // Header word: absolute deadline in µs, rounded up so the server
+        // never expires a call before its caller would.
+        let deadline_us = deadline_abs.map_or(NO_DEADLINE, |t| {
+            t.as_nanos().div_ceil(1_000).min(u64::from(NO_DEADLINE) - 1) as u32
+        });
         let mut attempt = 0u32;
         let mut charged = false;
         loop {
             let (call_id, slot) = self.inner.tables[idx].borrow_mut().alloc();
-            let payload = self.marshal_request(node, call_id, write_args);
+            let payload = self.marshal_request(node, call_id, deadline_us, write_args);
             if !charged {
                 charged = true;
-                node.add_pending(self.marshal_cost(payload.len() - 4));
+                node.add_pending(self.marshal_cost(payload.len() - self.header_len()));
             }
             let resend = self.inner.reliable.then(|| payload.clone());
             self.send_request(node, dst, id, payload).await;
             if let Some(bytes) = resend {
                 self.arm_timer(node, dst, id, call_id, &slot, bytes);
             }
+            if let Some(at) = deadline_abs {
+                self.arm_expiry(node, &slot, at);
+            }
             node.spin_on(slot.flag.clone()).await;
             self.cancel_timer(node.sim(), &slot);
+            self.cancel_expiry(node.sim(), &slot);
             let outcome = slot.outcome.get();
             let reply = slot.reply.borrow().clone();
             drop(slot); // the table must hold the last reference to reuse it
@@ -441,11 +550,35 @@ impl Rpc {
                 Outcome::Replied => {
                     node.add_pending(self.inner.cfg.cost.reply_integrate);
                     node.add_pending(self.marshal_cost(reply.len()));
-                    return reply;
+                    if deadline_abs.is_some() {
+                        let mut st = node.stats().borrow_mut();
+                        st.calls_completed += 1;
+                        st.latency.record(node.now().since(issued));
+                    }
+                    return Ok(reply);
                 }
-                Outcome::Nacked => {
+                Outcome::Nacked { retry_after_us } => {
                     attempt += 1;
-                    self.backoff(node, attempt).await;
+                    let delay = self.backoff_delay(node, attempt, retry_after_us);
+                    if let Some(at) = deadline_abs {
+                        if node.now() + delay >= at {
+                            // The retry could not complete in time; give up
+                            // now rather than hammer a server that told us
+                            // to wait.
+                            node.stats().borrow_mut().calls_abandoned += 1;
+                            node.emit(TraceKind::CallAbandoned { call_id, dst });
+                            return Err(CallError::DeadlineExpired);
+                        }
+                    }
+                    if retry_after_us > 0 {
+                        node.stats().borrow_mut().retry_after_honored += 1;
+                    }
+                    self.backoff_sleep(node, delay).await;
+                }
+                Outcome::Expired => {
+                    node.stats().borrow_mut().calls_abandoned += 1;
+                    node.emit(TraceKind::CallAbandoned { call_id, dst });
+                    return Err(CallError::DeadlineExpired);
                 }
                 Outcome::Pending => unreachable!("flag set without an outcome"),
             }
@@ -481,16 +614,16 @@ impl Rpc {
     ) {
         node.stats().borrow_mut().rpcs_async += 1;
         if !self.inner.reliable {
-            let payload = self.marshal_request(node, ONEWAY_SENTINEL, write_args);
-            node.add_pending(self.marshal_cost(payload.len() - 4));
+            let payload = self.marshal_request(node, ONEWAY_SENTINEL, NO_DEADLINE, write_args);
+            node.add_pending(self.marshal_cost(payload.len() - self.header_len()));
             self.send_request(node, dst, id, payload).await;
             return;
         }
         let idx = node.id().index();
         let (call_id, slot) = self.inner.tables[idx].borrow_mut().alloc();
         slot.oneway.set(true);
-        let payload = self.marshal_request(node, call_id, write_args);
-        node.add_pending(self.marshal_cost(payload.len() - 4));
+        let payload = self.marshal_request(node, call_id, NO_DEADLINE, write_args);
+        node.add_pending(self.marshal_cost(payload.len() - self.header_len()));
         let bytes = payload.clone();
         self.send_request(node, dst, id, payload).await;
         self.arm_timer(node, dst, id, call_id, &slot, bytes);
@@ -573,14 +706,53 @@ impl Rpc {
         }
     }
 
-    /// Exponential back-off with deterministic jitter after a NACK. The
-    /// waiter spin-polls (it must keep serving incoming messages).
-    async fn backoff(&self, node: &Node, attempt: u32) {
+    /// Arm the caller-side deadline-expiry event: if the call is still
+    /// pending at `at`, mark it [`Outcome::Expired`], stop retransmitting,
+    /// and wake the waiter.
+    fn arm_expiry(&self, node: &Node, slot: &Rc<CallSlot>, at: Time) {
+        let src = node.id().index() as u32;
+        let rpc = self.clone();
+        let node2 = node.clone();
+        let slot2 = Rc::clone(slot);
+        let when = at.max(node.now());
+        let ev = node.sim().schedule_at_for(when, src, move |_| {
+            slot2.expiry.set(None);
+            if slot2.outcome.get() != Outcome::Pending {
+                return;
+            }
+            slot2.outcome.set(Outcome::Expired);
+            rpc.cancel_timer(node2.sim(), &slot2);
+            slot2.flag.set();
+            node2.kick();
+        });
+        slot.expiry.set(Some(ev));
+    }
+
+    fn cancel_expiry(&self, sim: &Sim, slot: &CallSlot) {
+        if let Some(ev) = slot.expiry.take() {
+            sim.cancel(ev);
+        }
+    }
+
+    /// The post-NACK retry delay. With a server-supplied `retry_after_us`
+    /// hint the caller honors it (plus small jitter to de-correlate
+    /// synchronized retries); without one it falls back to blind
+    /// exponential back-off from `nack_backoff_base`.
+    fn backoff_delay(&self, node: &Node, attempt: u32, retry_after_us: u32) -> Dur {
         let base = self.inner.cfg.cost.nack_backoff_base;
-        let factor = 1u64 << attempt.min(4);
         let src = node.id().index() as u32;
         let jitter_ns = node.sim().with_rng_for(src, |r| r.gen_inclusive(0, base.as_nanos() / 2));
-        let delay = base.times(factor) + Dur::from_nanos(jitter_ns);
+        if retry_after_us > 0 {
+            Dur::from_micros(u64::from(retry_after_us)) + Dur::from_nanos(jitter_ns)
+        } else {
+            base.times(1u64 << attempt.min(4)) + Dur::from_nanos(jitter_ns)
+        }
+    }
+
+    /// Sleep for `delay` after a NACK. The waiter spin-polls (it must keep
+    /// serving incoming messages).
+    async fn backoff_sleep(&self, node: &Node, delay: Dur) {
+        let src = node.id().index() as u32;
         let flag = Flag::new();
         let f = flag.clone();
         let n = node.clone();
@@ -681,17 +853,56 @@ impl Rpc {
         if site.abort_strategy() == AbortStrategy::Nack {
             let am = self.inner.am.clone();
             let engine = self.inner.engine.clone();
+            let rpc = self.clone();
             let nack: NackSender = Rc::new(move |call: &OamCall| {
                 let call_id = peek_call_id(&call.pkt.payload);
                 debug_assert_ne!(call_id, ONEWAY_SENTINEL);
                 engine.forget_call(call.node.id().index(), call.pkt.src, call_id);
-                let payload = PayloadBuf::inline(&call_id.to_le_bytes());
+                // On admission-controlled machines abort NACKs carry the
+                // same queue-derived retry-after hint as shed NACKs, so
+                // aborted callers back off proportionally too.
+                let payload = match rpc.retry_after_hint_us(&call.node) {
+                    Some(hint) => nack_payload(call_id, hint),
+                    None => PayloadBuf::inline(&call_id.to_le_bytes()),
+                };
                 am.send_from_handler(&call.node, call.pkt.src, NACK_ID, payload);
             });
             site = site.with_nack(nack);
         }
         self.inner.am.register(node, id, HandlerEntry::Custom(Rc::new(site)));
     }
+
+    /// The retry-after hint for a NACK leaving `node`: the admitted
+    /// pending-call depth scaled by the NACK back-off base, capped by the
+    /// configured ceiling. Deliberately ignores the NI input backlog — its
+    /// instantaneous depth depends on same-timestamp event micro-order,
+    /// which the host-parallel engine does not reproduce, and a wire-borne
+    /// hint must be partition-invariant. `None` when the machine has no
+    /// admission control (legacy hint-free NACKs).
+    fn retry_after_hint_us(&self, node: &Node) -> Option<u32> {
+        let adm = self.inner.engine.admission()?;
+        let depth = self.inner.engine.pending_calls(node.id().index());
+        let base_ns = self.inner.cfg.cost.nack_backoff_base.as_nanos();
+        let hint_ns = (depth as u64).saturating_mul(base_ns).min(adm.retry_after_cap.as_nanos());
+        Some((hint_ns / 1_000).max(1) as u32)
+    }
+}
+
+/// Encode the extended NACK payload `[call_id][retry_after_us]`.
+fn nack_payload(call_id: u32, retry_after_us: u32) -> PayloadBuf {
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&call_id.to_le_bytes());
+    bytes[4..].copy_from_slice(&retry_after_us.to_le_bytes());
+    PayloadBuf::inline(&bytes)
+}
+
+/// Why a deadline-bearing call returned without a reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallError {
+    /// The per-call deadline passed before a reply arrived: either the
+    /// caller's local expiry fired, or the remaining budget could not
+    /// absorb the server's requested back-off.
+    DeadlineExpired,
 }
 
 /// Context passed to remote-procedure bodies by the generated stubs.

@@ -141,6 +141,30 @@ pub fn to_chrome_json(rec: &Recorder) -> String {
                     to.label()
                 );
             }
+            TraceKind::CallShed { tag, caller, call_id, retry_after_us } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"shed {tag}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"caller":{},"call_id":{call_id},"retry_after_us":{retry_after_us}}}}}"#,
+                    caller.index()
+                );
+            }
+            TraceKind::CallExpired { tag, caller, call_id } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"expired {tag}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"caller":{},"call_id":{call_id}}}}}"#,
+                    caller.index()
+                );
+            }
+            TraceKind::CallAbandoned { call_id, dst } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"abandoned {call_id}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"dst":{}}}}}"#,
+                    dst.index()
+                );
+            }
             TraceKind::ThreadSpawned { .. } => {}
         }
     }
@@ -183,6 +207,9 @@ pub struct NodeSummary {
     pub recoveries: usize,
     /// Adaptive-dispatch mode switches on this node.
     pub mode_switches: usize,
+    /// Overload-control events on this node (calls shed by admission
+    /// control, dropped past their deadline, or abandoned by the caller).
+    pub overload: usize,
     /// Total time spent idle (closed intervals only).
     pub idle: Dur,
 }
@@ -212,6 +239,9 @@ pub fn summarize(rec: &Recorder, nodes: usize) -> Vec<NodeSummary> {
             | TraceKind::DupSuppressed { .. }
             | TraceKind::StaleReplyDropped { .. } => s.recoveries += 1,
             TraceKind::ModeSwitch { .. } => s.mode_switches += 1,
+            TraceKind::CallShed { .. }
+            | TraceKind::CallExpired { .. }
+            | TraceKind::CallAbandoned { .. } => s.overload += 1,
             TraceKind::ThreadSpawned { .. } | TraceKind::ThreadFinished { .. } => {}
         }
     }

@@ -25,6 +25,14 @@ use std::process::ExitCode;
 /// baseline (0.15 = +15%). Above this, the gate fails.
 const MAX_WALL_REGRESSION: f64 = 0.15;
 
+/// Maximum tolerated p99 latency growth for service suites (0.25 = +25%).
+/// The quantile is virtual-time, hence deterministic for a fixed workload,
+/// but the histogram is log-bucketed: one bucket step is ~25%, so the
+/// threshold trips on any real bucket move while ignoring formatting
+/// noise. Suites without a `p99_us` field (or a zero baseline) skip the
+/// check, mirroring the allocs gate.
+const MAX_P99_REGRESSION: f64 = 0.25;
+
 /// Maximum tolerated heap-allocation-count growth per suite (0.20 = +20%).
 /// Unlike wall-clock, alloc counts are deterministic for a fixed workload,
 /// so growth past the threshold means the code path really did start
@@ -39,6 +47,7 @@ struct Suite {
     events: u64,
     answer: u64,
     allocs: u64,
+    p99_us: f64,
 }
 
 /// Extract the value of `"key": ...` from a flat object body. String
@@ -96,6 +105,7 @@ fn parse_suites(json: &str) -> Vec<Suite> {
                 events: num("events") as u64,
                 answer: num("answer") as u64,
                 allocs: num("allocs") as u64,
+                p99_us: num("p99_us"),
             }
         })
         .collect()
@@ -161,6 +171,9 @@ fn main() -> ExitCode {
         // tracking carry 0 — skip the check rather than divide by it.
         let alloc_delta =
             (b.allocs > 0).then(|| (n.allocs as f64 - b.allocs as f64) / b.allocs as f64);
+        // Service suites also carry a deterministic virtual-time p99; a
+        // zero/absent baseline skips the check (same pattern as allocs).
+        let p99_delta = (b.p99_us > 0.0).then(|| (n.p99_us - b.p99_us) / b.p99_us);
         let verdict = if delta > MAX_WALL_REGRESSION {
             failures.push(format!(
                 "{}: wall {:.2} ms (baseline) vs {:.2} ms (result), {:+.1}% > +{:.0}% limit",
@@ -181,6 +194,16 @@ fn main() -> ExitCode {
                 MAX_ALLOC_REGRESSION * 100.0
             ));
             "ALLOC REGRESSED"
+        } else if p99_delta.is_some_and(|d| d > MAX_P99_REGRESSION) {
+            failures.push(format!(
+                "{}: p99 {:.0} us (baseline) vs {:.0} us (result), {:+.1}% > +{:.0}% limit",
+                b.name,
+                b.p99_us,
+                n.p99_us,
+                p99_delta.unwrap_or(0.0) * 100.0,
+                MAX_P99_REGRESSION * 100.0
+            ));
+            "P99 REGRESSED"
         } else {
             "ok"
         };
@@ -189,8 +212,12 @@ fn main() -> ExitCode {
             Some(d) => format!(" allocs {} -> {} ({:+.1}%)", b.allocs, n.allocs, d * 100.0),
             None => String::new(),
         };
+        let p99_note = match p99_delta {
+            Some(d) => format!(" p99 {:.0} -> {:.0} us ({:+.1}%)", b.p99_us, n.p99_us, d * 100.0),
+            None => String::new(),
+        };
         println!(
-            "{:<24} {:>12.2} {:>12.2} {:>+7.1}%   {verdict}{alloc_note}{events_note}",
+            "{:<24} {:>12.2} {:>12.2} {:>+7.1}%   {verdict}{alloc_note}{p99_note}{events_note}",
             b.name, b.wall_ms, n.wall_ms, delta * 100.0
         );
     }
@@ -206,9 +233,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "\nbench_check: all suites within {:.0}% wall / {:.0}% allocs of baseline",
+        "\nbench_check: all suites within {:.0}% wall / {:.0}% allocs / {:.0}% p99 of baseline",
         MAX_WALL_REGRESSION * 100.0,
-        MAX_ALLOC_REGRESSION * 100.0
+        MAX_ALLOC_REGRESSION * 100.0,
+        MAX_P99_REGRESSION * 100.0
     );
     ExitCode::SUCCESS
 }

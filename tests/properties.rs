@@ -8,6 +8,7 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use optimistic_active_messages::apps::service::{self, ServiceParams};
 use optimistic_active_messages::apps::triangle::Board;
 use optimistic_active_messages::machine::MachineBuilder;
 use optimistic_active_messages::model::{Dur, MachineConfig, NodeId, NodeStats, Time};
@@ -493,5 +494,53 @@ fn shard_partition_covers_every_node_exactly_once() {
         // Balanced: sizes differ by at most one.
         let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
         assert!(hi - lo <= 1, "case {case}: unbalanced {sizes:?}");
+    });
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+/// Under any seed and any shard count, the admission gate's two contracts
+/// hold: the pending-call count never exceeds the configured budget (the
+/// per-node high-water mark is recorded as `admission_peak`), and every
+/// shed call is answered with exactly one NACK — no silent drops, no
+/// duplicate refusals. With the default Promote abort strategy the shed
+/// path is the only NACK producer, so the two counters must agree to the
+/// message. The shard dimension also pins partition invariance: the same
+/// overload story must come out of the 1-shard and 2-shard engines.
+#[test]
+fn admission_budget_holds_and_every_shed_call_nacks_exactly_once() {
+    for_cases(4, |case, r| {
+        let seed = r.next_u64();
+        let mut per_shard = Vec::new();
+        for shards in [1usize, 2] {
+            let o = service::run(ServiceParams {
+                load_x100: 250,
+                arrivals: 48,
+                seed,
+                shards,
+                ..ServiceParams::default()
+            });
+            let t = o.app.stats.total();
+            for n in &o.app.stats.per_node {
+                assert!(
+                    n.admission_peak <= service::PENDING_BUDGET as u64,
+                    "case {case} shards {shards}: peak {} exceeds budget {}",
+                    n.admission_peak,
+                    service::PENDING_BUDGET
+                );
+            }
+            assert_eq!(t.oam_nacks_sent, 0, "case {case}: Promote strategy never abort-NACKs");
+            assert_eq!(
+                t.calls_shed, t.nacks_received,
+                "case {case} shards {shards}: each shed call gets exactly one NACK"
+            );
+            per_shard.push((o.app.answer, o.app.elapsed, o.completed, o.shed, o.app.stats));
+        }
+        assert_eq!(
+            per_shard[0], per_shard[1],
+            "case {case}: shard count must not change the story"
+        );
     });
 }
