@@ -147,6 +147,9 @@ pub struct ServiceParams {
     /// Pin the host-parallel engine's shard count (`0` inherits the
     /// `OAM_SHARDS` environment, like any other run).
     pub shards: usize,
+    /// Pin the execution backend (`None` inherits the `OAM_BACKEND`
+    /// environment, like any other run).
+    pub backend: Option<oam_model::Backend>,
 }
 
 impl Default for ServiceParams {
@@ -162,6 +165,7 @@ impl Default for ServiceParams {
             seed: 0x5e41_11ce,
             fault: None,
             shards: 0,
+            backend: None,
         }
     }
 }
@@ -253,6 +257,9 @@ pub fn run(params: ServiceParams) -> ServiceOutcome {
     }
     if params.shards > 0 {
         cfg = cfg.with_shards(params.shards);
+    }
+    if let Some(b) = params.backend {
+        cfg = cfg.with_backend(b);
     }
     if params.variant == ServiceVariant::Adaptive {
         for id in [Kv::get::ID, Kv::put::ID, Kv::scan::ID] {

@@ -34,7 +34,7 @@ use oam_apps::water::{WaterParams, WaterVariant};
 use oam_apps::{sor, tsp, water, AppOutcome, System};
 use oam_bench::report::workspace_root;
 use oam_machine::MachineBuilder;
-use oam_model::{Dur, FaultPlan, MachineConfig, NodeId, NodeStats, ReliabilityConfig};
+use oam_model::{Backend, Dur, FaultPlan, MachineConfig, NodeId, NodeStats, ReliabilityConfig};
 use oam_rpc::define_rpc_service;
 use oam_sim::{alloc_snapshot, AllocSnapshot, CountingAlloc};
 
@@ -351,6 +351,58 @@ fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
                     load_x100: 200,
                     admission: false,
                     arrivals: service_arrivals,
+                    ..Default::default()
+                })
+                .into()
+            }),
+        ),
+        // Native host-threads backend rows: wall time here is *real* —
+        // modeled compute charges pace in wall-clock, one OS thread per
+        // node — so sizes are kept small and the virtual-time and event
+        // columns are not comparable to the sim rows. These suites are
+        // intentionally absent from BENCH_baseline.json: bench_check only
+        // gates suites present in the baseline, so the native rows report
+        // without failing CI on host-scheduling noise.
+        spec(
+            "native_sor",
+            Box::new(move || {
+                sor::run_configured(
+                    System::Orpc,
+                    MachineConfig::cm5(4).with_backend(Backend::Native),
+                    oam_apps::sor::SorParams { rows: 32, cols: 16, iters: 3 },
+                )
+                .into()
+            }),
+        ),
+        spec(
+            "native_tsp",
+            Box::new(move || {
+                tsp::run_configured(
+                    System::Orpc,
+                    MachineConfig::cm5(4).with_backend(Backend::Native),
+                    TspParams { ncities: 9, prefix_len: 3, ..Default::default() },
+                )
+                .into()
+            }),
+        ),
+        spec(
+            "native_water",
+            Box::new(move || {
+                water::run_configured(
+                    WaterVariant { system: System::Orpc, barrier: true },
+                    MachineConfig::cm5(4).with_backend(Backend::Native),
+                    WaterParams { molecules: 12, iters: 2 },
+                )
+                .outcome
+                .into()
+            }),
+        ),
+        spec(
+            "native_service",
+            Box::new(move || {
+                service::run(ServiceParams {
+                    arrivals: 48,
+                    backend: Some(Backend::Native),
                     ..Default::default()
                 })
                 .into()

@@ -10,12 +10,14 @@
 
 pub mod collective;
 pub mod machine;
+pub mod native_run;
 pub mod openloop;
 pub mod shard_run;
 pub mod watchdog;
 
 pub use collective::{Collectives, Reducer};
 pub use machine::{Machine, MachineBuilder, NodeEnv, RunReport};
+pub use native_run::{run_native, try_run_native, NativeMsg};
 pub use openloop::{arrivals_for, pace_until, Arrival, CallClass, OpenLoopConfig, OpenLoopTracker};
 pub use shard_run::{run_partitioned, CrossMsg, ShardApp};
 pub use watchdog::{budget_from_env, HangKind, HangReport, NodeHangInfo};

@@ -90,6 +90,15 @@ impl MachineBuilder {
         self
     }
 
+    /// Execution backend for a partitioned run (see
+    /// [`crate::run_partitioned`]): the discrete-event simulator or the
+    /// native host-threads runtime. Overrides the `OAM_BACKEND`
+    /// environment variable.
+    pub fn backend(mut self, b: oam_model::Backend) -> Self {
+        self.cfg = self.cfg.with_backend(b);
+        self
+    }
+
     /// Mutate the configuration in place (escape hatch for experiments).
     pub fn tweak(mut self, f: impl FnOnce(&mut MachineConfig)) -> Self {
         f(&mut self.cfg);
@@ -160,6 +169,52 @@ impl MachineBuilder {
             "shard ownership must be a contiguous node range"
         );
         let ctx = Rc::new(crate::collective::ShardCollectives::new(first..last + 1, lookahead));
+        let coll = Collectives::new_sharded(
+            &sim,
+            nodes.clone(),
+            cfg.cost.barrier_latency,
+            cfg.cost.reduction_latency,
+            ctx,
+        );
+        Machine { sim, cfg, stats, net, am, rpc, coll, nodes }
+    }
+
+    /// Build the single-node replica a native (host-threads) run drives on
+    /// one OS thread: a wall-clock simulator sharing `clock` with every
+    /// other replica, a fabric whose cross-node records leave through
+    /// `port` immediately, and collectives owning exactly `node`. The
+    /// ownership map is the identity (replica *i* executes node *i*), so
+    /// this is [`MachineBuilder::build_shard`] with nodes-many shards and
+    /// real time. Used by [`crate::native_run`].
+    pub fn build_native(
+        self,
+        node: usize,
+        lookahead: Dur,
+        clock: std::sync::Arc<oam_sim::WallClock>,
+        port: Rc<dyn oam_net::FabricPort>,
+    ) -> Machine {
+        self.cfg.validate().expect("invalid machine configuration");
+        assert!(self.cfg.fault_plan.is_none(), "the native backend requires a lossless fabric");
+        assert!(node < self.cfg.nodes, "node index out of range");
+        let cfg = Rc::new(self.cfg);
+        let sim = Sim::new_native(cfg.seed, cfg.nodes, clock);
+        let stats: Vec<Rc<RefCell<NodeStats>>> =
+            (0..cfg.nodes).map(|_| Rc::new(RefCell::new(NodeStats::new()))).collect();
+        let owners: Vec<usize> = (0..cfg.nodes).collect();
+        let net = Network::new_backend(
+            &sim,
+            NetConfig::from_machine(&cfg),
+            stats.clone(),
+            owners,
+            node,
+            port,
+        );
+        let nodes: Vec<Node> = (0..cfg.nodes)
+            .map(|i| Node::new(&sim, NodeId(i), cfg.nodes, Rc::clone(&cfg), Rc::clone(&stats[i])))
+            .collect();
+        let am = Am::new(net.clone(), Rc::clone(&cfg), nodes.clone());
+        let rpc = Rpc::new(am.clone());
+        let ctx = Rc::new(crate::collective::ShardCollectives::new(node..node + 1, lookahead));
         let coll = Collectives::new_sharded(
             &sim,
             nodes.clone(),

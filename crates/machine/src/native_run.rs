@@ -1,0 +1,348 @@
+//! Native (host-threads) machine execution: one OS thread per simulated
+//! node, real channels for packet delivery, wall-clock time in place of
+//! virtual time.
+//!
+//! Structurally this is the sharded engine with every barrier removed:
+//! each node gets a full machine replica on its own thread (identity
+//! ownership — node *i*'s replica executes exactly node *i*), but instead
+//! of batching cross-node records until an epoch fence, the fabric's
+//! [`ChannelPort`](oam_net::ChannelPort) pushes each record onto the
+//! destination thread's channel the moment the pump emits it, and every
+//! replica's clock is the shared [`WallClock`]. Modeled compute charges
+//! therefore pace in *real* time, and event order across nodes is
+//! whatever the hardware produced: answers of data-deterministic programs
+//! are reproducible, traces and timings are not (see DESIGN.md §14).
+//!
+//! Termination is a two-phase protocol. Each thread reports its main's
+//! completion to the coordinator (the caller's thread); once every main
+//! has reported — or a *real-time* watchdog budget expires — the
+//! coordinator raises a stop flag and sends each thread a shutdown
+//! message, so threads parked on their channels wake promptly. Threads
+//! then harvest their replica (stats, scheduler diagnostics) and join;
+//! on timeout the per-node snapshots become a [`HangReport`].
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use oam_model::{MachineConfig, MachineStats, NodeId, NodeStats, Time};
+use oam_net::CrossNet;
+use oam_sim::WallClock;
+use oam_threads::{Flag, NodeDiag};
+
+use crate::collective::ReduceRecord;
+use crate::machine::{Machine, MachineBuilder, RunReport};
+use crate::shard_run::{conservative_lookahead, ShardApp};
+use crate::watchdog::{budget_from_env, HangKind, HangReport, NodeHangInfo};
+
+/// A record crossing node threads on the native backend.
+pub enum NativeMsg {
+    /// A network packet or bulk transfer bound for this node.
+    Net(CrossNet),
+    /// A collective contribution from another node's replica.
+    Reduce(ReduceRecord),
+    /// Coordinator order: stop serving and harvest.
+    Shutdown,
+}
+
+/// Default real-time watchdog budget for a native run. Generous because
+/// wall time covers real modeled compute charges; `OAM_WATCHDOG_MS`
+/// overrides it (interpreted as *real* milliseconds here).
+const DEFAULT_BUDGET: Time = Time::from_nanos(30_000_000_000);
+
+/// Events fired per [`oam_sim::Sim::run_wall`] pass before the node loop
+/// re-checks its channel and the stop flag.
+const EVENT_BATCH: u64 = 4096;
+
+/// Gaps to the next due event shorter than this are spin-waited (polling
+/// the channel) instead of parking — `recv_timeout` granularity is far
+/// coarser than the microsecond-scale charges being paced.
+const SPIN_GAP_NS: u64 = 200_000;
+
+/// Longest single park: bounds how stale a thread's view of the stop flag
+/// can get even if its shutdown message were lost.
+const MAX_PARK: Duration = Duration::from_millis(20);
+
+/// What a node thread carries back to the coordinator at join.
+struct NodeExit<R> {
+    node: usize,
+    main_done: bool,
+    end_time: Time,
+    events: u64,
+    peak_queue_depth: u64,
+    stats: NodeStats,
+    diag: NodeDiag,
+    outstanding_calls: usize,
+    input_queue_depth: usize,
+    method_names: Option<BTreeMap<u32, String>>,
+    answer: Option<R>,
+}
+
+/// Run an application on the native backend: `cfg.nodes` OS threads,
+/// channel-delivered packets, wall-clock pacing. Same contract as
+/// [`crate::run_partitioned`] (which delegates here when
+/// `cfg.effective_backend()` is native): `setup` runs once per node
+/// thread against that thread's replica and must register the same
+/// handlers in the same order everywhere; the answer comes from node 0.
+///
+/// # Panics
+/// Panics with the [`HangReport`] display if the run does not complete
+/// within the real-time watchdog budget (default 30 s, `OAM_WATCHDOG_MS`
+/// to override).
+pub fn run_native<R: Send + 'static>(
+    cfg: MachineConfig,
+    setup: impl Fn(&Machine) -> ShardApp<R> + Send + Sync,
+) -> (RunReport, R) {
+    match try_run_native(cfg, budget_from_env(DEFAULT_BUDGET), setup) {
+        Ok(out) => out,
+        Err(hang) => panic!("native run did not complete:\n{hang}"),
+    }
+}
+
+/// As [`run_native`], but with an explicit *real-time* budget, returning
+/// the hang diagnosis instead of panicking. All node threads are joined
+/// before this returns, whichever way the run ends: the shutdown
+/// broadcast wakes even threads parked on empty channels, so a hung
+/// handler leaks nothing.
+pub fn try_run_native<R: Send + 'static>(
+    cfg: MachineConfig,
+    budget: Time,
+    setup: impl Fn(&Machine) -> ShardApp<R> + Send + Sync,
+) -> Result<(RunReport, R), HangReport> {
+    cfg.validate().expect("invalid machine configuration");
+    assert!(cfg.fault_plan.is_none(), "the native backend requires a lossless fabric");
+    let nodes = cfg.nodes;
+    let lookahead = conservative_lookahead(&cfg);
+    let clock = Arc::new(WallClock::start());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (txs, rxs): (Vec<Sender<NativeMsg>>, Vec<Receiver<NativeMsg>>) =
+        (0..nodes).map(|_| mpsc::channel()).unzip();
+    let (done_tx, done_rx) = mpsc::channel::<usize>();
+
+    let mut timed_out = false;
+    let exits: Vec<NodeExit<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(node, rx)| {
+                let cfg = cfg.clone();
+                let txs = txs.clone();
+                let clock = Arc::clone(&clock);
+                let stop = Arc::clone(&stop);
+                let done_tx = done_tx.clone();
+                let setup = &setup;
+                scope.spawn(move || {
+                    run_node(cfg, node, lookahead, clock, stop, txs, rx, done_tx, setup)
+                })
+            })
+            .collect();
+        drop(done_tx);
+
+        // Coordinator: wait for every main against the real-time budget.
+        let deadline = Instant::now() + Duration::from_nanos(budget.as_nanos());
+        let mut mains_done = 0usize;
+        while mains_done < nodes {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match done_rx.recv_timeout(remaining) {
+                Ok(_) => mains_done += 1,
+                Err(RecvTimeoutError::Timeout) => {
+                    timed_out = true;
+                    break;
+                }
+                // Every sender gone: all threads exited (only possible via
+                // panic before completion); joining below propagates it.
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        stop.store(true, Ordering::Release);
+        for tx in &txs {
+            let _ = tx.send(NativeMsg::Shutdown);
+        }
+        handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
+    });
+
+    if timed_out {
+        return Err(HangReport {
+            kind: HangKind::BudgetExceeded,
+            at: clock.now(),
+            in_flight_packets: exits.iter().map(|e| e.input_queue_depth).sum(),
+            events: exits.iter().map(|e| e.events).sum(),
+            nodes: exits
+                .into_iter()
+                .map(|e| NodeHangInfo {
+                    diag: e.diag,
+                    outstanding_calls: e.outstanding_calls,
+                    input_queue_depth: e.input_queue_depth,
+                    main_done: e.main_done,
+                })
+                .collect(),
+        });
+    }
+
+    // Merge exactly like the sharded engine: per-node stats reassembled by
+    // id, counters summed or maxed, the answer taken from node 0.
+    let mut per_node: Vec<Option<NodeStats>> = vec![None; nodes];
+    let mut end_time = Time::ZERO;
+    let mut events = 0u64;
+    let mut peak = 0u64;
+    let mut completed = true;
+    let mut answer = None;
+    let mut method_names = None;
+    for e in exits {
+        end_time = end_time.max(e.end_time);
+        events += e.events;
+        peak = peak.max(e.peak_queue_depth);
+        completed &= e.main_done;
+        per_node[e.node] = Some(e.stats);
+        if let Some(a) = e.answer {
+            answer = Some(a);
+        }
+        if let Some(m) = e.method_names {
+            method_names = Some(m);
+        }
+    }
+    assert!(completed, "native run incomplete without a watchdog timeout");
+    let stats =
+        MachineStats::new(per_node.into_iter().map(|s| s.expect("one exit per node")).collect())
+            .with_method_names(method_names.unwrap_or_default());
+    let report = RunReport { end_time, stats, completed, events, peak_queue_depth: peak };
+    Ok((report, answer.expect("node 0 produces the answer")))
+}
+
+/// Thread body for one node: build the replica, spawn the main, then
+/// alternate wall-clock event execution with channel service until the
+/// coordinator orders shutdown.
+#[allow(clippy::too_many_arguments)]
+fn run_node<R>(
+    cfg: MachineConfig,
+    node: usize,
+    lookahead: oam_model::Dur,
+    clock: Arc<WallClock>,
+    stop: Arc<AtomicBool>,
+    txs: Vec<Sender<NativeMsg>>,
+    rx: Receiver<NativeMsg>,
+    done_tx: Sender<usize>,
+    setup: &(impl Fn(&Machine) -> ShardApp<R> + Send + Sync),
+) -> NodeExit<R> {
+    let route_txs = txs.clone();
+    let port = Rc::new(oam_net::ChannelPort::new(move |rec: CrossNet| {
+        // A send can race shutdown: the receiver may already have exited.
+        let _ = route_txs[rec.dst().index()].send(NativeMsg::Net(rec));
+    }));
+    let machine =
+        MachineBuilder::from_config(cfg).build_native(node, lookahead, Arc::clone(&clock), port);
+    let app = setup(&machine);
+    let ctx = machine
+        .collectives()
+        .shard_ctx()
+        .expect("build_native installs a shard collective context")
+        .clone();
+
+    let done = Flag::new();
+    {
+        let env = machine.env(node);
+        let fut = (app.main)(env);
+        let f = done.clone();
+        machine.nodes()[node].spawn(async move {
+            fut.await;
+            f.set();
+        });
+    }
+
+    let mut reported = false;
+    loop {
+        let next = machine.sim().run_wall(EVENT_BATCH);
+        for rec in ctx.drain_outbox() {
+            for (i, tx) in txs.iter().enumerate() {
+                if i != node {
+                    let _ = tx.send(NativeMsg::Reduce(rec.clone()));
+                }
+            }
+        }
+        if done.get() && !reported {
+            reported = true;
+            let _ = done_tx.send(node);
+        }
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+
+        // Wait for the next due local event or an incoming record,
+        // whichever comes first.
+        let msg = match next {
+            Some(t) => {
+                let gap = t.saturating_since(clock.now());
+                if gap.is_zero() {
+                    // Batch bound hit with work still due: just poll.
+                    rx.try_recv().ok()
+                } else if gap.as_nanos() <= SPIN_GAP_NS {
+                    let mut got = None;
+                    while clock.now() < t && !stop.load(Ordering::Acquire) {
+                        if let Ok(m) = rx.try_recv() {
+                            got = Some(m);
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    got
+                } else {
+                    rx.recv_timeout(Duration::from_nanos(gap.as_nanos()).min(MAX_PARK)).ok()
+                }
+            }
+            None => rx.recv_timeout(MAX_PARK).ok(),
+        };
+        if let Some(first) = msg {
+            let mut shutdown = integrate(&machine, &ctx, first);
+            while let Ok(m) = rx.try_recv() {
+                shutdown |= integrate(&machine, &ctx, m);
+            }
+            if shutdown {
+                break;
+            }
+        }
+    }
+
+    // Harvest this replica. Trailing idle is folded at the local stop time
+    // (the clock is shared, so per-node end times agree to within shutdown
+    // skew).
+    let end = machine.sim().now();
+    machine.nodes()[node].finalize_idle(end);
+    let stats = machine.harvest();
+    NodeExit {
+        node,
+        main_done: done.get(),
+        end_time: end,
+        events: machine.sim().events_executed(),
+        peak_queue_depth: machine.sim().peak_event_queue_depth(),
+        stats: stats.per_node[node].clone(),
+        diag: machine.nodes()[node].diagnostics(),
+        outstanding_calls: machine.rpc().outstanding_calls(NodeId(node)),
+        input_queue_depth: machine.network().input_depth(NodeId(node)),
+        method_names: (node == 0).then(|| machine.rpc().method_names()),
+        answer: (node == 0).then(|| (app.finish)(&machine)),
+    }
+}
+
+/// Apply one incoming record to this node's replica. Returns `true` on a
+/// shutdown order.
+fn integrate(
+    machine: &Machine,
+    ctx: &Rc<crate::collective::ShardCollectives>,
+    msg: NativeMsg,
+) -> bool {
+    match msg {
+        NativeMsg::Net(rec) => {
+            machine.network().apply_cross(vec![rec]);
+            false
+        }
+        NativeMsg::Reduce(rec) => {
+            ctx.integrate(rec);
+            false
+        }
+        NativeMsg::Shutdown => true,
+    }
+}

@@ -71,7 +71,7 @@ struct ShardResult<R> {
 /// Conservative lookahead for a configuration: the minimum latency of any
 /// cross-shard effect — wire latency for packets, and the collective
 /// latencies for reduction publishes.
-fn conservative_lookahead(cfg: &MachineConfig) -> Dur {
+pub(crate) fn conservative_lookahead(cfg: &MachineConfig) -> Dur {
     cfg.cost.wire_latency.min(cfg.cost.barrier_latency).min(cfg.cost.reduction_latency)
 }
 
@@ -96,6 +96,12 @@ pub fn run_partitioned<R: Send + 'static>(
     cfg: MachineConfig,
     setup: impl Fn(&Machine) -> ShardApp<R> + Send + Sync,
 ) -> (RunReport, R) {
+    // Backend dispatch: the native host-threads runtime replaces the whole
+    // epoch machinery below (one thread per node, no fences, wall-clock
+    // time); the simulator backends continue here.
+    if cfg.effective_backend() == oam_model::Backend::Native {
+        return crate::native_run::run_native(cfg, setup);
+    }
     let shards = cfg.effective_shards();
     // Debug/validation knob: run the epoch engine even at one shard
     // (single-threaded, keyed events, arrival-time link reservation).

@@ -341,6 +341,37 @@ pub struct MachineConfig {
     /// (single-threaded). Results are identical for any shard count; see
     /// `MachineConfig::effective_shards` for the resolution rules.
     pub shards: Option<usize>,
+    /// Execution backend: the discrete-event simulator (virtual time,
+    /// bit-deterministic) or the native host-threads runtime (one OS
+    /// thread per node, real channels, wall-clock time —
+    /// answer-deterministic only). `None` (the default) defers to the
+    /// `OAM_BACKEND` environment variable, falling back to the simulator;
+    /// see `MachineConfig::effective_backend` for the resolution rules.
+    pub backend: Option<Backend>,
+}
+
+/// Which runtime executes a partitioned run (`run_partitioned`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The discrete-event simulator: virtual time, deterministic event
+    /// order, bit-identical traces and goldens for a given seed.
+    #[default]
+    Sim,
+    /// The native host-threads runtime: one OS thread per simulated node,
+    /// channel-delivered packets, wall-clock time. Answers are
+    /// deterministic for data-deterministic programs; timings and traces
+    /// are not.
+    Native,
+}
+
+impl Backend {
+    /// Short label (`"sim"` / `"native"`), as accepted by `OAM_BACKEND`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Native => "native",
+        }
+    }
 }
 
 impl MachineConfig {
@@ -365,6 +396,7 @@ impl MachineConfig {
             admission: None,
             policies: BTreeMap::new(),
             shards: None,
+            backend: None,
         }
     }
 
@@ -433,6 +465,33 @@ impl MachineConfig {
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards);
         self
+    }
+
+    /// Builder-style backend override. An explicit value wins over the
+    /// `OAM_BACKEND` environment variable; `with_backend(Backend::Sim)`
+    /// pins a run to the simulator regardless of environment.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Resolve the effective backend for this configuration:
+    ///
+    /// 1. explicit [`MachineConfig::backend`] if set, else the
+    ///    `OAM_BACKEND` environment variable (`"native"` selects the
+    ///    host-threads runtime; anything else means the simulator);
+    /// 2. forced to [`Backend::Sim`] when a [`FaultPlan`] is present — the
+    ///    native runtime, like the epoch engine, assumes a lossless fabric
+    ///    (fault draws come from the single global RNG stream in pump
+    ///    order, which only the single-threaded simulator reproduces).
+    pub fn effective_backend(&self) -> Backend {
+        if self.fault_plan.is_some() {
+            return Backend::Sim;
+        }
+        self.backend.unwrap_or_else(|| match std::env::var("OAM_BACKEND").as_deref() {
+            Ok("native") => Backend::Native,
+            _ => Backend::Sim,
+        })
     }
 
     /// Resolve the effective shard count for this configuration:

@@ -16,7 +16,7 @@ pub mod time;
 pub mod trace;
 
 pub use config::{
-    AbortStrategy, AdaptivePolicy, AdmissionConfig, CallMode, ExecPolicy, MachineConfig,
+    AbortStrategy, AdaptivePolicy, AdmissionConfig, Backend, CallMode, ExecPolicy, MachineConfig,
     QueuePolicy, ReliabilityConfig,
 };
 pub use cost::CostModel;

@@ -25,6 +25,7 @@ use std::rc::Rc;
 use oam_model::{Dur, FaultPlan, MachineConfig, NodeId, NodeStats, Time, TraceKind};
 use oam_sim::Sim;
 
+use crate::backend::{EpochPort, FabricPort};
 use crate::packet::{CrossPayload, Packet, PacketKind, PayloadBuf};
 use crate::pool::BufPool;
 
@@ -83,15 +84,16 @@ impl CrossNet {
     }
 }
 
-/// Epoch-mode (sharded) state: which nodes this fabric instance executes,
-/// and the records bound for other shards since the last barrier.
+/// Partitioned-mode state: which nodes this fabric instance executes, and
+/// the [`FabricPort`] that carries records bound for nodes it does not.
 struct EpochNet {
     /// Owning shard of every node, indexed by node id.
     owners: Vec<usize>,
     /// This instance's shard index.
     shard: usize,
-    /// Outgoing cross-shard records, drained at each epoch barrier.
-    outbox: Vec<CrossNet>,
+    /// Outbound edge: an epoch outbox (sim backend) or an immediate
+    /// channel route (native backend).
+    port: Rc<dyn FabricPort>,
 }
 
 /// Why an injection was refused.
@@ -262,10 +264,26 @@ impl Network {
         owners: Vec<usize>,
         shard: usize,
     ) -> Self {
-        assert!(cfg.fault_plan.is_none(), "epoch mode requires a lossless fabric");
+        Network::new_backend(sim, cfg, stats, owners, shard, Rc::new(EpochPort::new()))
+    }
+
+    /// As [`Network::new_epoch`], with a caller-supplied [`FabricPort`]
+    /// deciding what happens to records bound for nodes this instance does
+    /// not execute: an [`EpochPort`] batches them until the barrier (sim
+    /// backend), a [`crate::backend::ChannelPort`] routes them immediately
+    /// (native backend).
+    pub fn new_backend(
+        sim: &Sim,
+        cfg: NetConfig,
+        stats: Vec<Rc<RefCell<NodeStats>>>,
+        owners: Vec<usize>,
+        shard: usize,
+        port: Rc<dyn FabricPort>,
+    ) -> Self {
+        assert!(cfg.fault_plan.is_none(), "partitioned mode requires a lossless fabric");
         assert_eq!(owners.len(), cfg.nodes, "one owner per node required");
         let net = Network::new(sim, cfg, stats);
-        net.inner.borrow_mut().epoch = Some(EpochNet { owners, shard, outbox: Vec::new() });
+        net.inner.borrow_mut().epoch = Some(EpochNet { owners, shard, port });
         net
     }
 
@@ -273,9 +291,11 @@ impl Network {
     /// each barrier. The caller routes each record to
     /// `owners[record.dst()]`.
     pub fn drain_cross(&self) -> Vec<CrossNet> {
-        let mut inner = self.inner.borrow_mut();
-        let epoch = inner.epoch.as_mut().expect("drain_cross requires epoch mode");
-        std::mem::take(&mut epoch.outbox)
+        let port = {
+            let inner = self.inner.borrow();
+            Rc::clone(&inner.epoch.as_ref().expect("drain_cross requires partitioned mode").port)
+        };
+        port.drain()
     }
 
     /// Integrate records received from other shards (epoch mode): each is
@@ -517,8 +537,7 @@ impl Network {
                         tag,
                         payload: payload.to_cross(),
                     };
-                    let mut inner = self.inner.borrow_mut();
-                    inner.epoch.as_mut().expect("epoch path").outbox.push(rec);
+                    self.port_send(rec);
                 }
             }
         }
@@ -718,8 +737,7 @@ impl Network {
                         tag: pkt.tag,
                         payload: pkt.payload.to_cross(),
                     };
-                    let mut inner = self.inner.borrow_mut();
-                    inner.epoch.as_mut().expect("epoch outcome").outbox.push(rec);
+                    self.port_send(rec);
                 }
                 self.ensure_pump(src); // more queued output?
                 for w in waiters {
@@ -727,6 +745,17 @@ impl Network {
                 }
             }
         }
+    }
+
+    /// Hand a record for a non-owned node to the backend port, with no
+    /// internals borrowed (a native port re-enters nothing here, but an
+    /// immediate route must be free to run arbitrary code).
+    fn port_send(&self, rec: CrossNet) {
+        let port = {
+            let inner = self.inner.borrow();
+            Rc::clone(&inner.epoch.as_ref().expect("partitioned mode").port)
+        };
+        port.send(rec);
     }
 
     /// Epoch mode: does this fabric instance execute `node`? Always true

@@ -6,10 +6,12 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod fabric;
 pub mod packet;
 pub mod pool;
 
+pub use backend::{ChannelPort, EpochPort, FabricPort};
 pub use fabric::{CrossNet, InjectError, NetConfig, Network};
 pub use packet::{CrossPayload, Packet, PacketKind, PayloadBuf, PayloadView, SHORT_PAYLOAD_MAX};
 pub use pool::{BufPool, PoolStats};

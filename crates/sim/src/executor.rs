@@ -287,6 +287,11 @@ struct Inner {
     /// High-water mark of the event queue (pending entries, including
     /// stale cancelled ones), for capacity planning and perf harnesses.
     queue_peak: u64,
+    /// Wall-clock time source (native backend); `None` in simulator mode.
+    /// Lives here rather than on the `Sim` handle so the handle stays two
+    /// words — closures capturing a `Sim` must keep fitting the event
+    /// slab's inline buffer ([`ACTION_WORDS`]).
+    wall: Option<Arc<WallClock>>,
 }
 
 impl Inner {
@@ -348,6 +353,28 @@ impl Inner {
     }
 }
 
+/// A shared wall-clock time source for the native (host-threads) backend:
+/// virtual `Time` measured as real nanoseconds elapsed since a common
+/// origin. Every node's `Sim` in a native run holds the same clock, so
+/// timestamps taken on different OS threads are comparable.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// Start the clock: `now()` reads zero at this instant.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        WallClock { origin: std::time::Instant::now() }
+    }
+
+    /// Real time elapsed since the origin, as a virtual `Time`.
+    pub fn now(&self) -> Time {
+        Time::from_nanos(self.origin.elapsed().as_nanos() as u64)
+    }
+}
+
 /// Handle to the simulation. Cheap to clone; all clones share state.
 #[derive(Clone)]
 pub struct Sim {
@@ -374,6 +401,7 @@ impl Sim {
                 events_executed: 0,
                 tasks_polled: 0,
                 queue_peak: 0,
+                wall: None,
             })),
             wakes: Arc::new(WakeQueue::default()),
         }
@@ -405,9 +433,26 @@ impl Sim {
         sim
     }
 
+    /// Create a simulation in **native** mode: keyed (per-node RNG streams
+    /// and partition-independent event keys, as [`Sim::new_keyed`]) but
+    /// paced by `clock` — shared wall-clock time. Pending events become
+    /// *due* once the wall clock reaches their timestamp; drive them with
+    /// [`Sim::run_wall`]. [`Sim::now`] still reads the last fired event's
+    /// time, which trails the clock by at most one batch.
+    pub fn new_native(seed: u64, nodes: usize, clock: Arc<WallClock>) -> Self {
+        let sim = Sim::new_keyed(seed, nodes);
+        sim.inner.borrow_mut().wall = Some(clock);
+        sim
+    }
+
     /// Whether this simulation uses partition-independent event keys.
     pub fn is_keyed(&self) -> bool {
         self.inner.borrow().keyed.is_some()
+    }
+
+    /// Whether this simulation is driven by a wall clock (native backend).
+    pub fn is_native(&self) -> bool {
+        self.inner.borrow().wall.is_some()
     }
 
     /// Set the ambient owner node (keyed mode) and return the previous one.
@@ -433,7 +478,13 @@ impl Sim {
         event_key(node, KEY_CLASS_NODE, c)
     }
 
-    /// Current virtual time.
+    /// Current virtual time: the time of the last fired event. This holds
+    /// in native mode too — events only fire once the wall clock reaches
+    /// their timestamp (see [`Sim::run_wall`]), so logical time trails the
+    /// shared [`WallClock`] by at most the in-progress batch. Code that
+    /// needs the real current instant (watchdogs, wait-gap pacing) reads
+    /// the clock directly; keeping `now` a plain field load keeps the
+    /// simulator's hottest accessor branch-free.
     pub fn now(&self) -> Time {
         self.inner.borrow().now
     }
@@ -625,6 +676,37 @@ impl Sim {
             match self.peek_event_time() {
                 Some(t) if t < limit => {
                     self.fire_next_event();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Native-mode pass: poll ready tasks and fire every event whose
+    /// timestamp the wall clock has reached, up to `max_events` firings so
+    /// that callers under a dense event stream still get back regularly to
+    /// check stop flags and incoming channels. Returns the earliest
+    /// pending event time (which may already be due if the batch bound was
+    /// hit), or `None` when the queue is empty.
+    pub fn run_wall(&self, max_events: u64) -> Option<Time> {
+        let clock = Arc::clone(
+            self.inner.borrow().wall.as_ref().expect("run_wall requires a native-mode sim"),
+        );
+        let mut fired = 0u64;
+        loop {
+            self.drain_wakes();
+            let next_ready = self.inner.borrow_mut().ready.pop_front();
+            if let Some(tid) = next_ready {
+                self.poll_task(tid);
+                continue;
+            }
+            match self.peek_event_time() {
+                Some(t) if t <= clock.now() => {
+                    if fired >= max_events {
+                        return Some(t);
+                    }
+                    self.fire_next_event();
+                    fired += 1;
                 }
                 other => return other,
             }

@@ -28,7 +28,9 @@ pub mod rng;
 pub mod shard;
 pub mod timer;
 
-pub use executor::{event_key, EventId, Sim, TaskId, KEY_CLASS_COLLECTIVE, KEY_CLASS_NODE};
+pub use executor::{
+    event_key, EventId, Sim, TaskId, WallClock, KEY_CLASS_COLLECTIVE, KEY_CLASS_NODE,
+};
 pub use mem::{alloc_snapshot, AllocSnapshot, CountingAlloc};
 pub use rng::Prng;
 pub use shard::{partition, shard_range, Coordinator, Outgoing, Route};

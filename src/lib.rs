@@ -89,7 +89,7 @@ pub mod prelude {
     pub use oam_core::{CallEngine, CallFactory, MethodSite, OamCall};
     pub use oam_machine::{Collectives, Machine, MachineBuilder, NodeEnv, Reducer, RunReport};
     pub use oam_model::{
-        AbortReason, AbortStrategy, AdaptivePolicy, CallMode, CostModel, Dur, ExecPolicy,
+        AbortReason, AbortStrategy, AdaptivePolicy, Backend, CallMode, CostModel, Dur, ExecPolicy,
         MachineConfig, NodeId, QueuePolicy, Time,
     };
     pub use oam_rpc::{define_rpc_service, Rpc, RpcCtx, RpcMode, Wire};
