@@ -126,6 +126,10 @@ struct SuiteRun {
     peak_queue_depth: u64,
     alloc: AllocSnapshot,
     answer: u64,
+    /// Epoch-engine rounds (0 under the legacy/native engines). A
+    /// host-schedule invariant under the epoch engine: bench_check gates it
+    /// for exact equality against the baseline.
+    epochs: u64,
     totals: NodeStats,
     service: Option<ServiceCols>,
 }
@@ -167,6 +171,7 @@ fn measure(name: &'static str, mut body: impl FnMut() -> SuiteOut) -> SuiteRun {
             peak_queue_depth: out.app.peak_queue_depth,
             alloc,
             answer: out.app.answer,
+            epochs: out.app.stats.engine.epochs,
             totals: out.app.stats.total(),
             service: out.service,
         };
@@ -275,6 +280,18 @@ fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
             oam_apps::sor::SorParams { rows: 256, cols: 128, iters },
         )
     };
+    // The 256-node SOR workload: four times the nodes of sor_64node with the
+    // same per-shard node count at 4 shards, so cross-shard traffic per
+    // barrier grows while per-epoch local work stays comparable — the row
+    // where adaptive fence skipping and the spin-then-park barrier have to
+    // earn their keep. Same bit-identical-virtual-work invariant as above.
+    let sor_256node = |shards: usize, iters: usize| {
+        sor::run_configured(
+            System::Orpc,
+            MachineConfig::cm5(256).with_shards(shards),
+            oam_apps::sor::SorParams { rows: 512, cols: 64, iters },
+        )
+    };
     vec![
         spec("null_rpc_churn", Box::new(move || churn(churn_rounds, MachineConfig::cm5(2)).into())),
         spec(
@@ -322,6 +339,9 @@ fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
         ),
         spec("sor_64node", Box::new(move || sor_64node(1, sharded_iters).into())),
         spec("sor_64node_shards4", Box::new(move || sor_64node(4, sharded_iters).into())),
+        spec("sor_256node", Box::new(move || sor_256node(1, sharded_iters).into())),
+        spec("sor_256node_shards2", Box::new(move || sor_256node(2, sharded_iters).into())),
+        spec("sor_256node_shards4", Box::new(move || sor_256node(4, sharded_iters).into())),
         // The open-loop overload experiment (DESIGN.md §13): goodput and
         // tail latency at the saturation knee, past it, and past it with
         // admission control off. The latency quantiles are virtual-time,
@@ -471,6 +491,7 @@ fn json_report(mode: &str, suites: &[SuiteRun]) -> String {
         let _ = writeln!(s, "      \"allocs\": {},", r.alloc.allocs);
         let _ = writeln!(s, "      \"alloc_bytes\": {},", r.alloc.bytes);
         let _ = writeln!(s, "      \"answer\": {},", r.answer);
+        let _ = writeln!(s, "      \"epochs\": {},", r.epochs);
         let _ = writeln!(s, "      \"messages_sent\": {},", t.messages_sent);
         let _ = writeln!(s, "      \"oam_attempts\": {},", t.oam_attempts);
         let _ = writeln!(s, "      \"oam_successes\": {},", t.oam_successes);

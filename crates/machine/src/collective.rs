@@ -83,6 +83,13 @@ impl ShardCollectives {
         std::mem::take(&mut *self.outbox.borrow_mut())
     }
 
+    /// As [`ShardCollectives::drain_outbox`], but append into a
+    /// caller-owned buffer so the epoch hot loop reuses one allocation
+    /// (the outbox keeps its own capacity too).
+    pub fn drain_outbox_into(&self, out: &mut Vec<ReduceRecord>) {
+        out.append(&mut self.outbox.borrow_mut());
+    }
+
     /// Deliver a contribution received from another shard to its replica.
     pub fn integrate(&self, rec: ReduceRecord) {
         let sink = self.sinks.borrow()[rec.reducer as usize].upgrade();

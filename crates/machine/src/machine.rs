@@ -254,6 +254,15 @@ pub struct RunReport {
     pub peak_queue_depth: u64,
 }
 
+impl RunReport {
+    /// Host-engine epoch counters for this run: epochs stepped, empty
+    /// epochs fused, fences widened. All zero outside the sharded epoch
+    /// engine (legacy and native runs).
+    pub fn engine(&self) -> &oam_model::EngineCounters {
+        &self.stats.engine
+    }
+}
+
 impl Machine {
     /// The simulation handle.
     pub fn sim(&self) -> &Sim {

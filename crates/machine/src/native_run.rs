@@ -336,7 +336,7 @@ fn integrate(
 ) -> bool {
     match msg {
         NativeMsg::Net(rec) => {
-            machine.network().apply_cross(vec![rec]);
+            machine.network().apply_cross(&mut vec![rec]);
             false
         }
         NativeMsg::Reduce(rec) => {

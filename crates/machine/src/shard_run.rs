@@ -4,18 +4,25 @@
 //! Each shard owns a contiguous range of nodes and runs them on a private
 //! keyed [`Sim`](oam_sim::Sim) — its own calendar queue, RNG streams, and
 //! thread-local state. Workers execute every event strictly before the
-//! agreed fence, then meet at a barrier to exchange the only data that
-//! crosses threads: cross-shard network packets and collective
-//! contributions ([`CrossMsg`]). The fence advances by the fabric's
-//! conservative lookahead (the minimum cross-shard latency), so no shard
-//! can ever receive a record dated before an event it already executed.
+//! current fence, then meet at a lock-free barrier. Rounds with cross
+//! traffic exchange the only data that crosses threads — cross-shard
+//! network packets and collective contributions ([`CrossMsg`]) — through
+//! per-(src, dst) mailbox slots and agree on the next fence at a second
+//! barrier; quiet rounds fuse everything into a single barrier and, under
+//! the adaptive fence policy, widen the fence past one lookahead where the
+//! effect-horizon argument allows (see `oam_sim::shard`). No shard can
+//! ever receive a record dated before an event it already executed, so
+//! answers, stats, and keyed event order are independent of the shard
+//! count and of the fence policy.
 
 use std::future::Future;
 use std::pin::Pin;
 
-use oam_model::{Dur, MachineConfig, MachineStats, NodeStats, Time};
+use oam_model::{Dur, EngineCounters, MachineConfig, MachineStats, NodeStats, Time};
 use oam_net::CrossNet;
-use oam_sim::{partition, shard_range, Coordinator, Outgoing, Route};
+use oam_sim::{
+    default_spin, partition, shard_range, Coordinator, Fence, FencePolicy, Round, ShardPort,
+};
 use oam_threads::Flag;
 
 use crate::collective::ReduceRecord;
@@ -64,6 +71,8 @@ struct ShardResult<R> {
     per_node: Vec<(usize, NodeStats)>,
     /// Registered RPC method names (shard 0 only; identical everywhere).
     method_names: Option<std::collections::BTreeMap<u32, String>>,
+    /// Epoch counters; identical on every shard by construction.
+    engine: EngineCounters,
     /// The application answer (shard 0 only).
     answer: Option<R>,
 }
@@ -116,8 +125,8 @@ pub fn run_partitioned<R: Send + 'static>(
     // decisions independent of the shard count. Fault plans still need the
     // legacy engine (the epoch pump asserts a lossless fabric), and
     // `effective_shards` already forces them to one shard.
-    let force_epoch = std::env::var_os("OAM_SHARD_FORCE_EPOCH").is_some()
-        || (cfg.admission.is_some() && cfg.fault_plan.is_none());
+    let force_epoch =
+        cfg.effective_force_epoch() || (cfg.admission.is_some() && cfg.fault_plan.is_none());
     if shards == 1 && !force_epoch {
         let machine = MachineBuilder::from_config(cfg).build();
         let app = setup(&machine);
@@ -129,7 +138,12 @@ pub fn run_partitioned<R: Send + 'static>(
     let nodes = cfg.nodes;
     let lookahead = conservative_lookahead(&cfg);
     let owners = partition(nodes, shards);
-    let coord = Coordinator::<CrossMsg>::new(shards, lookahead);
+    // Host-scheduling knobs (never outcome-affecting; see ShardTuning).
+    let policy =
+        if cfg.effective_naive_fence() { FencePolicy::Naive } else { FencePolicy::Adaptive };
+    let spin = cfg.effective_spin().unwrap_or_else(|| default_spin(shards));
+    let pin = cfg.effective_pin();
+    let coord = Coordinator::<CrossMsg>::new(shards, lookahead).with_policy(policy).with_spin(spin);
 
     let results: Vec<ShardResult<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
@@ -138,7 +152,7 @@ pub fn run_partitioned<R: Send + 'static>(
                 let coord = &coord;
                 let owners = &owners;
                 let setup = &setup;
-                scope.spawn(move || run_shard(cfg, coord, owners, shard, lookahead, setup))
+                scope.spawn(move || run_shard(cfg, coord, owners, shard, lookahead, pin, setup))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
@@ -153,6 +167,7 @@ pub fn run_partitioned<R: Send + 'static>(
     let mut completed = true;
     let mut answer = None;
     let mut method_names = None;
+    let mut engine: Option<EngineCounters> = None;
     for r in results {
         end_time = end_time.max(r.end_time);
         events += r.events;
@@ -167,11 +182,19 @@ pub fn run_partitioned<R: Send + 'static>(
         if let Some(m) = r.method_names {
             method_names = Some(m);
         }
+        match engine {
+            Some(e) => debug_assert_eq!(
+                e, r.engine,
+                "epoch counters must agree across shards (derived from shared data)"
+            ),
+            None => engine = Some(r.engine),
+        }
     }
     let stats = MachineStats::new(
         per_node.into_iter().map(|s| s.expect("every node owned by some shard")).collect(),
     )
-    .with_method_names(method_names.unwrap_or_default());
+    .with_method_names(method_names.unwrap_or_default())
+    .with_engine(engine.unwrap_or_default());
     assert!(
         completed,
         "partitioned run did not complete: some node main is deadlocked (end time {end_time})"
@@ -189,8 +212,13 @@ fn run_shard<R>(
     owners: &[usize],
     shard: usize,
     lookahead: Dur,
+    pin: bool,
     setup: &(impl Fn(&Machine) -> ShardApp<R> + Send + Sync),
 ) -> ShardResult<R> {
+    if pin {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        pin_current_thread(shard % cores);
+    }
     let nodes = cfg.nodes;
     let shards = coord_shards(owners);
     let owned = shard_range(nodes, shards, shard);
@@ -217,42 +245,71 @@ fn run_shard<R>(
         })
         .collect();
 
-    let mut fence = Time::ZERO;
+    let mut port: ShardPort<'_, CrossMsg> = coord.port(shard);
+    // Hot-loop buffers, hoisted so the steady state allocates nothing:
+    // drained cross records, drained collective contributions, and the
+    // incoming net batch all recycle their capacity every epoch.
+    let mut cross: Vec<CrossNet> = Vec::new();
+    let mut reduce: Vec<ReduceRecord> = Vec::new();
+    let mut net_batch: Vec<CrossNet> = Vec::new();
+    let mut fence = Fence::Before(Time::ZERO);
     loop {
-        machine.sim().run_before(fence);
-
-        let mut out = Vec::new();
-        for rec in machine.network().drain_cross() {
-            let dst_shard = owners[rec.dst().index()];
-            out.push(Outgoing { route: Route::Shard(dst_shard), msg: CrossMsg::Net(rec) });
-        }
-        for rec in ctx.drain_outbox() {
-            out.push(Outgoing { route: Route::Broadcast, msg: CrossMsg::Reduce(rec) });
-        }
-
-        let incoming = coord.exchange(shard, out);
-        let mut net_batch = Vec::new();
-        for msg in incoming {
-            match msg {
-                CrossMsg::Net(rec) => net_batch.push(rec),
-                CrossMsg::Reduce(rec) => ctx.integrate(rec),
+        let local_next = match fence {
+            Fence::Before(limit) => {
+                let (next, ran) = machine.sim().run_before_counted(limit);
+                if ran {
+                    // Only an executed event or polled task can have put
+                    // anything in the outboxes; idle windows skip the
+                    // scans entirely.
+                    machine.network().drain_cross_into(&mut cross);
+                    for rec in cross.drain(..) {
+                        port.send(owners[rec.dst().index()], CrossMsg::Net(rec));
+                    }
+                    ctx.drain_outbox_into(&mut reduce);
+                    for rec in reduce.drain(..) {
+                        port.broadcast(CrossMsg::Reduce(rec));
+                    }
+                }
+                next
             }
-        }
-        machine.network().apply_cross(net_batch);
+            Fence::Unbounded => {
+                // Single-shard epoch runs: no peer exists, so run to
+                // quiescence. The fabric owns every node and records no
+                // cross packets; collective contributions still queue for
+                // broadcast, which at one shard has no recipients.
+                machine.sim().run();
+                machine.network().drain_cross_into(&mut cross);
+                debug_assert!(cross.is_empty(), "single-shard fabric routed a cross record");
+                ctx.drain_outbox_into(&mut reduce);
+                reduce.clear();
+                None
+            }
+            Fence::Done => unreachable!("the loop breaks on Done"),
+        };
 
-        // Integration may have scheduled events earlier than what
-        // run_before reported, so re-peek before agreeing on the fence.
-        let local_next = machine.sim().next_event_time();
-        match coord.agree(shard, local_next) {
-            Some(f) => fence = f,
-            None => break,
-        }
+        fence = match port.sync(local_next) {
+            Round::Quiet(Fence::Done) => break,
+            Round::Quiet(f) => f,
+            Round::Traffic => {
+                port.drain_incoming(|msg| match msg {
+                    CrossMsg::Net(rec) => net_batch.push(rec),
+                    CrossMsg::Reduce(rec) => ctx.integrate(rec),
+                });
+                machine.network().apply_cross(&mut net_batch);
+                // Integration may have scheduled events earlier than what
+                // run_before reported, so re-peek before agreeing.
+                match port.agree(machine.sim().next_event_time()) {
+                    Fence::Done => break,
+                    f => f,
+                }
+            }
+        };
     }
 
     // Shard-local clocks stop at their own last event; fold trailing idle
     // windows at the agreed global end so `idle_time` is the same total
     // (end − active) the single-shard engine reports.
-    let end = coord.agree_end(shard, machine.sim().now());
+    let end = port.finish(machine.sim().now());
     for n in machine.nodes() {
         n.finalize_idle(end);
     }
@@ -265,6 +322,7 @@ fn run_shard<R>(
         completed: done.iter().all(|(_, f)| f.get()),
         per_node: done.iter().map(|(i, _)| (*i, stats.per_node[*i].clone())).collect(),
         method_names: (shard == 0).then(|| machine.rpc().method_names()),
+        engine: port.counters(),
         answer: (shard == 0).then(|| (app.finish)(&machine)),
     }
 }
@@ -273,3 +331,32 @@ fn run_shard<R>(
 fn coord_shards(owners: &[usize]) -> usize {
     owners.iter().copied().max().map_or(1, |m| m + 1)
 }
+
+/// Pin the calling thread to host CPU `cpu` (best effort: failures are
+/// ignored — pinning is a throughput hint, never a correctness
+/// requirement). Raw `sched_setaffinity` syscall because the workspace
+/// deliberately has no libc dependency.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn pin_current_thread(cpu: usize) {
+    // 1024-CPU mask, the kernel's traditional cpu_set_t size.
+    let mut mask = [0u64; 16];
+    mask[(cpu / 64) % mask.len()] |= 1u64 << (cpu % 64);
+    unsafe {
+        let mut ret: i64 = 203; // __NR_sched_setaffinity
+        std::arch::asm!(
+            "syscall",
+            inout("rax") ret,
+            in("rdi") 0usize, // pid 0 = calling thread
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        let _ = ret;
+    }
+}
+
+/// No-op fallback where the raw syscall isn't available.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn pin_current_thread(_cpu: usize) {}

@@ -348,6 +348,42 @@ pub struct MachineConfig {
     /// `OAM_BACKEND` environment variable, falling back to the simulator;
     /// see `MachineConfig::effective_backend` for the resolution rules.
     pub backend: Option<Backend>,
+    /// Host-engine tuning for the sharded epoch executor (fence policy,
+    /// barrier spin budget, thread pinning). These knobs change host-side
+    /// scheduling only — simulation outcomes are bit-identical for every
+    /// setting. Every field defaults to "resolve from the environment".
+    pub tuning: ShardTuning,
+}
+
+/// Tuning knobs for the sharded epoch engine's host-side scheduling.
+///
+/// None of these affect simulation outcomes: answers, per-node stats, and
+/// golden traces are bit-identical for every combination (the differential
+/// tests assert this). They only trade host cycles: how shard workers wait
+/// at the epoch barrier, whether they pin to cores, and whether the
+/// adaptive fence policy may widen epochs past one lookahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ShardTuning {
+    /// Force the naive reference fence policy — classic
+    /// `global min + lookahead` every epoch, with an unconditional
+    /// exchange round — instead of the adaptive policy (quiet-round
+    /// barrier fusion + min-holder fence widening). `None` defers to
+    /// `OAM_FENCE=naive`. The differential tests run both policies
+    /// against each other.
+    pub naive_fence: Option<bool>,
+    /// Barrier spin budget: iterations a shard worker spins at the epoch
+    /// barrier before parking its thread. `None` defers to `OAM_SPIN`,
+    /// else an automatic default: spin only when the host has at least
+    /// one core per shard (spinning on an oversubscribed host burns the
+    /// quantum the peer shard needs).
+    pub spin: Option<u32>,
+    /// Pin shard workers to host cores (`shard % cores`; Linux only, best
+    /// effort). `None` defers to `OAM_PIN` (`1`/`true`).
+    pub pin: Option<bool>,
+    /// Run the epoch engine even at one shard (normally a single-shard,
+    /// fault-free run takes the legacy in-process engine). `None` defers
+    /// to `OAM_SHARD_FORCE_EPOCH`.
+    pub force_epoch: Option<bool>,
 }
 
 /// Which runtime executes a partitioned run (`run_partitioned`).
@@ -397,6 +433,7 @@ impl MachineConfig {
             policies: BTreeMap::new(),
             shards: None,
             backend: None,
+            tuning: ShardTuning::default(),
         }
     }
 
@@ -473,6 +510,46 @@ impl MachineConfig {
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = Some(backend);
         self
+    }
+
+    /// Builder-style epoch-engine tuning override (fence policy, barrier
+    /// spin budget, pinning). Explicit fields win over their environment
+    /// variables; see [`ShardTuning`].
+    pub fn with_tuning(mut self, tuning: ShardTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Resolve the effective fence policy: `true` selects the naive
+    /// reference policy. Explicit [`ShardTuning::naive_fence`] wins, then
+    /// `OAM_FENCE=naive`, else the adaptive policy.
+    pub fn effective_naive_fence(&self) -> bool {
+        self.tuning
+            .naive_fence
+            .unwrap_or_else(|| matches!(std::env::var("OAM_FENCE").as_deref(), Ok("naive")))
+    }
+
+    /// Resolve the explicit barrier spin budget, if any: explicit
+    /// [`ShardTuning::spin`] wins, then `OAM_SPIN`. `None` means "let the
+    /// engine pick" (spin only when the host has a core per shard).
+    pub fn effective_spin(&self) -> Option<u32> {
+        self.tuning.spin.or_else(|| std::env::var("OAM_SPIN").ok().and_then(|v| v.parse().ok()))
+    }
+
+    /// Resolve whether shard workers pin to host cores: explicit
+    /// [`ShardTuning::pin`] wins, then `OAM_PIN` (`1`/`true`), else off.
+    pub fn effective_pin(&self) -> bool {
+        self.tuning
+            .pin
+            .unwrap_or_else(|| matches!(std::env::var("OAM_PIN").as_deref(), Ok("1") | Ok("true")))
+    }
+
+    /// Resolve whether a single-shard run still uses the epoch engine:
+    /// explicit [`ShardTuning::force_epoch`] wins, then the presence of
+    /// `OAM_SHARD_FORCE_EPOCH`, else off. (Admission-controlled fault-free
+    /// runs force the epoch engine regardless; see `run_partitioned`.)
+    pub fn effective_force_epoch(&self) -> bool {
+        self.tuning.force_epoch.unwrap_or_else(|| std::env::var("OAM_SHARD_FORCE_EPOCH").is_ok())
     }
 
     /// Resolve the effective backend for this configuration:

@@ -17,11 +17,13 @@ pub mod trace;
 
 pub use config::{
     AbortStrategy, AdaptivePolicy, AdmissionConfig, Backend, CallMode, ExecPolicy, MachineConfig,
-    QueuePolicy, ReliabilityConfig,
+    QueuePolicy, ReliabilityConfig, ShardTuning,
 };
 pub use cost::CostModel;
 pub use fault::{FaultPlan, LinkDegradation, NodeStall};
 pub use ids::NodeId;
-pub use stats::{AbortReason, LatencyHistogram, MachineStats, MethodStats, NodeStats};
+pub use stats::{
+    AbortReason, EngineCounters, LatencyHistogram, MachineStats, MethodStats, NodeStats,
+};
 pub use time::{Dur, Time};
 pub use trace::{TraceEvent, TraceKind, TraceObserver};

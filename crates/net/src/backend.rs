@@ -27,6 +27,13 @@ pub trait FabricPort {
         Vec::new()
     }
 
+    /// As [`FabricPort::drain`], but append into a caller-owned buffer so
+    /// the epoch hot loop reuses one allocation forever. Batching ports
+    /// should override this together with `drain`.
+    fn drain_into(&self, out: &mut Vec<CrossNet>) {
+        out.append(&mut self.drain());
+    }
+
     /// Backend label, for diagnostics.
     fn name(&self) -> &'static str;
 }
@@ -53,6 +60,12 @@ impl FabricPort for EpochPort {
 
     fn drain(&self) -> Vec<CrossNet> {
         std::mem::take(&mut self.outbox.borrow_mut())
+    }
+
+    fn drain_into(&self, out: &mut Vec<CrossNet>) {
+        // `append` empties the outbox in place, so both the outbox's and
+        // the caller's capacities survive the epoch.
+        out.append(&mut self.outbox.borrow_mut());
     }
 
     fn name(&self) -> &'static str {

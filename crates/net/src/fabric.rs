@@ -250,7 +250,7 @@ impl Network {
     /// Build a fabric instance for one shard of a sharded run. `owners`
     /// maps every node id to its owning shard; this instance executes the
     /// nodes owned by `shard` and routes traffic for other shards into its
-    /// outbox ([`Network::drain_cross`]).
+    /// outbox ([`Network::drain_cross_into`]).
     ///
     /// Epoch mode requires a lossless fabric (fault draws come from the
     /// global RNG stream in pump order, which only the legacy engine
@@ -287,24 +287,25 @@ impl Network {
         net
     }
 
-    /// Drain the records bound for other shards (epoch mode); called at
-    /// each barrier. The caller routes each record to
+    /// Drain the records bound for other shards (epoch mode) into a
+    /// caller-owned buffer, preserving its capacity across epochs; called
+    /// at each barrier. The caller routes each record to
     /// `owners[record.dst()]`.
-    pub fn drain_cross(&self) -> Vec<CrossNet> {
+    pub fn drain_cross_into(&self, out: &mut Vec<CrossNet>) {
         let port = {
             let inner = self.inner.borrow();
             Rc::clone(&inner.epoch.as_ref().expect("drain_cross requires partitioned mode").port)
         };
-        port.drain()
+        port.drain_into(out);
     }
 
     /// Integrate records received from other shards (epoch mode): each is
     /// inserted as an event under its pre-allocated key, reproducing the
     /// order a single-shard run would have executed it in. Runs on the
     /// destination shard's thread, between the exchange and agree barrier
-    /// phases.
-    pub fn apply_cross(&self, records: Vec<CrossNet>) {
-        for rec in records {
+    /// phases. Drains `records`, leaving the caller's capacity for reuse.
+    pub fn apply_cross(&self, records: &mut Vec<CrossNet>) {
+        for rec in records.drain(..) {
             match rec {
                 CrossNet::Short { key, ready, src, dst, tag, payload } => {
                     let payload = payload.into_payload(Some(&self.pools[dst.index()]));
@@ -535,7 +536,7 @@ impl Network {
                         src,
                         dst,
                         tag,
-                        payload: payload.to_cross(),
+                        payload: payload.to_cross(Some(&self.pools[src.index()])),
                     };
                     self.port_send(rec);
                 }
@@ -735,7 +736,7 @@ impl Network {
                         src: pkt.src,
                         dst,
                         tag: pkt.tag,
-                        payload: pkt.payload.to_cross(),
+                        payload: pkt.payload.to_cross(Some(&self.pools[pkt.src.index()])),
                     };
                     self.port_send(rec);
                 }

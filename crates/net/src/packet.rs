@@ -199,10 +199,14 @@ impl fmt::Debug for PayloadBuf {
 ///
 /// Within a shard, payloads stay in their `Rc`-shared, pool-leased form
 /// (the zero-copy path). When a packet must cross to another shard's
-/// thread, its bytes are copied out into this owned form, shipped through
-/// the coordinator, and rewrapped into a [`PayloadBuf`] on the receiving
-/// shard (leased from that shard's pool when one is supplied). Content is
-/// identical; only the storage changes hands.
+/// thread, its bytes are copied once into this owned form — into storage
+/// leased from the *source* node's pool ([`PayloadBuf::to_cross`]) — and
+/// the vector is then adopted as-is by the *destination* node's pool
+/// ([`CrossPayload::into_payload`]), no second copy. Capacity migrates
+/// from the source arena to the destination arena; under the symmetric
+/// traffic typical of boundary exchange it flows back the other way, so
+/// steady-state cross-shard traffic allocates nothing. Content is
+/// identical either way; only the storage changes hands.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CrossPayload {
     /// A short payload, carried by value.
@@ -218,17 +222,14 @@ pub enum CrossPayload {
 
 impl CrossPayload {
     /// Rewrap into a [`PayloadBuf`] on the receiving shard. Bulk payloads
-    /// lease storage from `pool` when given one, so the destination's
-    /// zero-copy recycling still applies to cross-shard traffic.
+    /// hand their vector straight to `pool` when given one — zero copy —
+    /// so the storage joins the destination's arena and recycles from
+    /// there.
     pub fn into_payload(self, pool: Option<&BufPool>) -> PayloadBuf {
         match self {
             CrossPayload::Inline { len, bytes } => PayloadBuf::Inline { len, bytes },
             CrossPayload::Heap(v) => match pool {
-                Some(pool) => {
-                    let mut buf = pool.lease(v.len());
-                    buf.extend_from_slice(&v);
-                    pool.wrap(buf)
-                }
+                Some(pool) => pool.wrap(v),
                 None => PayloadBuf::heap(v),
             },
         }
@@ -236,11 +237,22 @@ impl CrossPayload {
 }
 
 impl PayloadBuf {
-    /// Snapshot this payload into its [`Send`]-able cross-shard form.
-    pub fn to_cross(&self) -> CrossPayload {
+    /// Snapshot this payload into its [`Send`]-able cross-shard form. The
+    /// one unavoidable copy (the `Rc`-shared buffer may have other
+    /// holders) goes into storage leased from `pool` when one is given —
+    /// the source node's arena — so repeated boundary crossings recycle
+    /// capacity instead of allocating.
+    pub fn to_cross(&self, pool: Option<&BufPool>) -> CrossPayload {
         match self {
             PayloadBuf::Inline { len, bytes } => CrossPayload::Inline { len: *len, bytes: *bytes },
-            PayloadBuf::Heap(h) => CrossPayload::Heap(h.bytes.clone()),
+            PayloadBuf::Heap(h) => CrossPayload::Heap(match pool {
+                Some(pool) => {
+                    let mut v = pool.lease(h.bytes.len());
+                    v.extend_from_slice(&h.bytes);
+                    v
+                }
+                None => h.bytes.clone(),
+            }),
         }
     }
 }

@@ -17,6 +17,17 @@
 //! *addresses* differ between runs, but nothing observable derives from
 //! them.)
 //!
+//! # Cross-shard handoff
+//!
+//! Pools are per-node and single-threaded (`Rc`), so a payload crossing a
+//! shard boundary cannot keep its lease. Instead the copy made at the
+//! boundary ([`crate::CrossPayload`]) is leased from the *source* node's
+//! pool, shipped as a plain `Vec<u8>`, and adopted by the *destination*
+//! node's pool via [`BufPool::wrap`] — capacity migrates between arenas
+//! with the traffic instead of being allocated per crossing, and the
+//! symmetric exchange patterns of the sharded apps return it on the next
+//! reply.
+//!
 //! # Aliasing safety
 //!
 //! A buffer is reclaimed only from [`HeapBuf`]'s `Drop`, i.e. when no
@@ -153,6 +164,24 @@ mod tests {
         let pool = BufPool::new();
         drop(PayloadBuf::from(vec![0u8; 64]));
         assert_eq!(pool.stats().free, 0);
+    }
+
+    #[test]
+    fn cross_shard_handoff_migrates_capacity_between_arenas() {
+        let src = BufPool::new();
+        let dst = BufPool::new();
+        // Source side of a boundary crossing: the snapshot copy leases
+        // from the source node's pool.
+        let mut v = src.lease(64);
+        v.extend_from_slice(&[3u8; 64]);
+        let ptr = v.as_ptr();
+        // Destination side: the vector is adopted as-is, no second copy.
+        let p = dst.wrap(v);
+        assert_eq!(p.as_slice().as_ptr(), ptr, "wrap adopts the storage in place");
+        drop(p);
+        assert_eq!(dst.stats().free, 1, "capacity joined the destination arena");
+        assert_eq!(src.stats().free, 0, "and left the source arena for good");
+        assert!(dst.lease(16).capacity() >= 64, "the migrated buffer recycles");
     }
 
     #[test]

@@ -666,18 +666,30 @@ impl Sim {
     /// is safe to fire everything strictly before `limit` because no other
     /// shard can inject an effect earlier than the fence.
     pub fn run_before(&self, limit: Time) -> Option<Time> {
+        self.run_before_counted(limit).0
+    }
+
+    /// As [`Sim::run_before`], but also report whether any task polled or
+    /// event fired inside the window. An idle window cannot have produced
+    /// new cross-shard effects, so the epoch engine skips its outbox scans
+    /// entirely — the returned time doubles as the exact next-event report
+    /// for the fence agreement, saving a second queue peek.
+    pub fn run_before_counted(&self, limit: Time) -> (Option<Time>, bool) {
+        let mut ran = false;
         loop {
             self.drain_wakes();
             let next_ready = self.inner.borrow_mut().ready.pop_front();
             if let Some(tid) = next_ready {
                 self.poll_task(tid);
+                ran = true;
                 continue;
             }
             match self.peek_event_time() {
                 Some(t) if t < limit => {
                     self.fire_next_event();
+                    ran = true;
                 }
-                other => return other,
+                other => return (other, ran),
             }
         }
     }

@@ -33,5 +33,7 @@ pub use executor::{
 };
 pub use mem::{alloc_snapshot, AllocSnapshot, CountingAlloc};
 pub use rng::Prng;
-pub use shard::{partition, shard_range, Coordinator, Outgoing, Route};
+pub use shard::{
+    default_spin, partition, shard_range, Coordinator, Fence, FencePolicy, Round, ShardPort,
+};
 pub use timer::{sleep, sleep_until, Sleep};

@@ -1,0 +1,208 @@
+//! Concurrency stress for the lock-free epoch coordinator.
+//!
+//! The unit tests in `shard.rs` script exact epoch sequences; this test
+//! instead hammers the SPSC mailbox slots and the spin-then-park barrier
+//! with *randomized host timing*: each shard thread inserts random busy
+//! delays before depositing, between `sync` and `drain_incoming`, and
+//! before `agree`, so barrier arrivals interleave differently on every
+//! run and threads genuinely park and get unparked (spin budget 0) or
+//! race through the spin window (budget 4096). The protocol invariants
+//! must hold regardless:
+//!
+//! - **exactly-once, FIFO**: every message deposited for shard `d` by
+//!   shard `s` arrives at `d` exactly once, in deposit order (per-source
+//!   sequence numbers are strictly increasing at the receiver);
+//! - **agreed classification**: all shards classify every epoch the same
+//!   way (Quiet vs Traffic) — the `traffic_gen` handshake is global;
+//! - **agreed fences** under the naive policy, where the fence is a pure
+//!   function of the shared next-time snapshot (adaptive fences are
+//!   per-shard by design: the min-holder widens).
+//!
+//! Run sizes are deliberately small so the nightly ThreadSanitizer job
+//! can afford the whole matrix; TSan is the real assertion here — any
+//! misuse of the `UnsafeCell` slots shows up as a data race report.
+
+use oam_model::{Dur, Time};
+use oam_sim::{Coordinator, Fence, FencePolicy, Round};
+
+/// Logical rounds each shard drives before going silent (the silent
+/// round's all-idle snapshot terminates the run).
+const ROUNDS: u64 = 48;
+
+/// SplitMix-style step; good enough dispersion for schedule fuzzing.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let z = *state;
+    (z ^ (z >> 29)).wrapping_mul(0xbf58_476d_1ce4_e5b9) >> 17
+}
+
+/// Burn a random number of cycles so barrier arrivals interleave
+/// differently on every execution.
+fn jitter(rng: &mut u64) {
+    for _ in 0..lcg(rng) % 400 {
+        std::hint::spin_loop();
+    }
+}
+
+/// One shard's observable protocol history, compared across shards and
+/// against the senders' tallies after the threads join.
+struct ShardLog {
+    /// `true` = Traffic, `false` = Quiet, in epoch order.
+    classifications: Vec<bool>,
+    /// Every fence this shard was handed, in order (naive policy only —
+    /// adaptive fences legitimately differ across shards).
+    fences: Vec<Fence>,
+    /// Messages this shard deposited *for* each destination shard.
+    sent_to: Vec<u64>,
+    /// Messages this shard received *from* each source shard.
+    recv_from: Vec<u64>,
+    end: Time,
+}
+
+/// Drive `shards` worker threads through `ROUNDS` randomized epochs and
+/// check every invariant the coordinator promises.
+fn stress(shards: usize, spin: u32, policy: FencePolicy, seed: u64) {
+    let what = format!("shards={shards} spin={spin} policy={policy:?} seed={seed:#x}");
+    let coord = Coordinator::<(usize, u64)>::new(shards, Dur::from_micros(10))
+        .with_policy(policy)
+        .with_spin(spin);
+    let logs: Vec<ShardLog> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let coord = &coord;
+                let what = &what;
+                scope.spawn(move || {
+                    let mut rng = seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let mut port = coord.port(shard);
+                    let mut log = ShardLog {
+                        classifications: Vec::new(),
+                        fences: Vec::new(),
+                        sent_to: vec![0; shards],
+                        recv_from: vec![0; shards],
+                        end: Time::ZERO,
+                    };
+                    // Strictly-increasing per-source sequence stamps; the
+                    // receiver side asserts FIFO with them.
+                    let mut seq: u64 = 0;
+                    let mut last_seen: Vec<Option<u64>> = vec![None; shards];
+                    for round in 0..=ROUNDS {
+                        let active = round < ROUNDS;
+                        jitter(&mut rng);
+                        if active {
+                            // 0–3 unicasts plus an occasional broadcast,
+                            // all carrying (src, seq).
+                            for _ in 0..lcg(&mut rng) % 4 {
+                                let dst =
+                                    (shard + 1 + lcg(&mut rng) as usize % (shards - 1)) % shards;
+                                seq += 1;
+                                port.send(dst, (shard, seq));
+                                log.sent_to[dst] += 1;
+                            }
+                            if lcg(&mut rng) % 4 == 0 {
+                                seq += 1;
+                                port.broadcast((shard, seq));
+                                for (dst, n) in log.sent_to.iter_mut().enumerate() {
+                                    *n += u64::from(dst != shard);
+                                }
+                            }
+                        }
+                        let next = active.then(|| Time::from_nanos(10_000 * (round + 1)));
+                        let fence = match port.sync(next) {
+                            Round::Quiet(f) => {
+                                log.classifications.push(false);
+                                f
+                            }
+                            Round::Traffic => {
+                                log.classifications.push(true);
+                                jitter(&mut rng);
+                                port.drain_incoming(|(src, stamp)| {
+                                    log.recv_from[src] += 1;
+                                    assert!(
+                                        last_seen[src].is_none_or(|prev| stamp > prev),
+                                        "{what}: shard {shard} saw src {src} reorder \
+                                         ({:?} then {stamp})",
+                                        last_seen[src]
+                                    );
+                                    last_seen[src] = Some(stamp);
+                                });
+                                jitter(&mut rng);
+                                port.agree(next)
+                            }
+                        };
+                        log.fences.push(fence);
+                        if fence == Fence::Done {
+                            break;
+                        }
+                    }
+                    log.end = port.finish(Time::from_nanos(10_000 * ROUNDS));
+                    log
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+    });
+
+    // Exactly-once: what s deposited for d is precisely what d got from s.
+    for s in 0..shards {
+        for d in 0..shards {
+            assert_eq!(
+                logs[s].sent_to[d], logs[d].recv_from[s],
+                "{what}: shard {s} sent to {d} vs shard {d} received from {s}"
+            );
+        }
+    }
+    for log in &logs[1..] {
+        assert_eq!(
+            log.classifications, logs[0].classifications,
+            "{what}: epoch classifications diverged between shards"
+        );
+        assert_eq!(log.end, logs[0].end, "{what}: end-time agreement");
+        if policy == FencePolicy::Naive {
+            assert_eq!(
+                log.fences, logs[0].fences,
+                "{what}: naive fences must be identical on every shard"
+            );
+        }
+    }
+    assert_eq!(*logs[0].fences.last().expect("at least one epoch"), Fence::Done, "{what}");
+}
+
+#[test]
+fn randomized_timing_two_shards_parking() {
+    for seed in [1, 0xC0FFEE] {
+        for policy in [FencePolicy::Adaptive, FencePolicy::Naive] {
+            stress(2, 0, policy, seed);
+        }
+    }
+}
+
+#[test]
+fn randomized_timing_four_shards_parking() {
+    for seed in [1, 0xC0FFEE] {
+        for policy in [FencePolicy::Adaptive, FencePolicy::Naive] {
+            stress(4, 0, policy, seed);
+        }
+    }
+}
+
+#[test]
+fn randomized_timing_eight_shards_parking() {
+    // 8 threads on this host heavily oversubscribe: every barrier mixes
+    // parked and running waiters, the park/unpark hot path's worst case.
+    for seed in [1, 0xC0FFEE] {
+        for policy in [FencePolicy::Adaptive, FencePolicy::Naive] {
+            stress(8, 0, policy, seed);
+        }
+    }
+}
+
+#[test]
+fn randomized_timing_four_shards_spinning() {
+    // A real spin budget: waiters burn the window first, so unparks race
+    // against spin-exits and the generation check does the dedup.
+    for seed in [1, 0xC0FFEE] {
+        for policy in [FencePolicy::Adaptive, FencePolicy::Naive] {
+            stress(4, 4096, policy, seed);
+        }
+    }
+}

@@ -47,6 +47,7 @@ struct Suite {
     events: u64,
     answer: u64,
     allocs: u64,
+    epochs: u64,
     p99_us: f64,
 }
 
@@ -105,6 +106,7 @@ fn parse_suites(json: &str) -> Vec<Suite> {
                 events: num("events") as u64,
                 answer: num("answer") as u64,
                 allocs: num("allocs") as u64,
+                epochs: num("epochs") as u64,
                 p99_us: num("p99_us"),
             }
         })
@@ -163,6 +165,23 @@ fn main() -> ExitCode {
             );
             failures
                 .push(format!("{}: answer drift (baseline {} vs result {})", b.name, b.answer, n.answer));
+            continue;
+        }
+        // The epoch count is a host-schedule invariant of the epoch engine:
+        // it depends only on the fence policy and the deterministic virtual
+        // workload, never on thread timing, so it must match *exactly*.
+        // Baselines recorded before the counter existed (or suites running
+        // the legacy/native engines) carry 0 — skip, same as allocs.
+        if b.epochs > 0 && n.epochs != b.epochs {
+            println!(
+                "{:<24} {:>12.2} {:>12.2} {:>8}   EPOCH DRIFT ({} -> {})",
+                b.name, b.wall_ms, n.wall_ms, "-", b.epochs, n.epochs
+            );
+            failures.push(format!(
+                "{}: epoch drift (baseline {} vs result {}) — fence schedule changed; \
+                 re-record if intentional",
+                b.name, b.epochs, n.epochs
+            ));
             continue;
         }
         let delta = (n.wall_ms - b.wall_ms) / b.wall_ms.max(1e-9);

@@ -90,7 +90,7 @@ pub mod prelude {
     pub use oam_machine::{Collectives, Machine, MachineBuilder, NodeEnv, Reducer, RunReport};
     pub use oam_model::{
         AbortReason, AbortStrategy, AdaptivePolicy, Backend, CallMode, CostModel, Dur, ExecPolicy,
-        MachineConfig, NodeId, QueuePolicy, Time,
+        MachineConfig, NodeId, QueuePolicy, ShardTuning, Time,
     };
     pub use oam_rpc::{define_rpc_service, Rpc, RpcCtx, RpcMode, Wire};
     pub use oam_threads::{CondVar, Flag, JoinHandle, Mutex, Node};
