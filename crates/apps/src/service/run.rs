@@ -89,12 +89,35 @@ define_rpc_service! {
             }
             sum
         }
+
+        /// The streaming variant of [`scan`]: yields each slot's value as
+        /// a chunk while the walk is still running, then closes with the
+        /// stripe sum. A client cancel (explicit, or deadline expiry at
+        /// `finish`) aborts the walk at its next suspension point, freeing
+        /// the stripe lock early instead of finishing a scan nobody wants.
+        stream scan_stream(ctx, st, tx, stripe: u32) [u64] -> u64 {
+            let g = st.stripes[stripe as usize].lock().await;
+            let n = g.with(|v| v.len());
+            let mut sum = 0u64;
+            let mut tx = tx;
+            for i in 0..n {
+                ctx.charge(super::SCAN_SLOT_COST).await;
+                ctx.checkpoint().await;
+                let x = g.with(|v| v[i]);
+                sum = sum.wrapping_add(x);
+                tx = tx.send(&x).await;
+            }
+            tx.close(&sum).await
+        }
     }
 }
 
 /// Handler id of the heavy method (exported for per-method policies and
 /// assertions in tests).
 pub const SCAN_ID: oam_rpc::HandlerId = oam_rpc::handler_id_for("Kv::scan");
+
+/// Handler id of the streaming scan (exported like [`SCAN_ID`]).
+pub const SCAN_STREAM_ID: oam_rpc::HandlerId = oam_rpc::handler_id_for("Kv::scan_stream");
 
 /// Server-side dispatch variant under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +164,11 @@ pub struct ServiceParams {
     pub deadline: Dur,
     /// Machine seed (drives both the fabric and the arrival schedules).
     pub seed: u64,
+    /// Serve heavy requests through the streaming scan (`Kv::scan_stream`
+    /// sessions: chunked replies, cancel-on-expiry) instead of the
+    /// single-shot `Kv::scan`. Off by default — the default wire traffic
+    /// stays byte-identical to the legacy single-shot protocol.
+    pub streaming: bool,
     /// Optional fault plan (chaos testing). When set, retransmission is
     /// turned on as well, so every surviving effect stays exactly-once.
     pub fault: Option<FaultPlan>,
@@ -163,6 +191,7 @@ impl Default for ServiceParams {
             arrivals: 192,
             deadline: Dur::from_micros(5_000),
             seed: 0x5e41_11ce,
+            streaming: false,
             fault: None,
             shards: 0,
             backend: None,
@@ -203,6 +232,12 @@ pub struct ServiceOutcome {
     pub abandoned: u64,
     /// Adaptive dispatch-mode switches across all methods and nodes.
     pub mode_switches: u64,
+    /// Streaming sessions opened (streaming mode only; zero otherwise).
+    pub sessions_opened: u64,
+    /// Sessions that ended with the server's Close, fully consumed.
+    pub sessions_closed: u64,
+    /// Sessions torn down without a Close (cancel, expiry, error).
+    pub sessions_cancelled: u64,
     /// Median request latency.
     pub p50: Dur,
     /// 99th-percentile request latency.
@@ -262,7 +297,7 @@ pub fn run(params: ServiceParams) -> ServiceOutcome {
         cfg = cfg.with_backend(b);
     }
     if params.variant == ServiceVariant::Adaptive {
-        for id in [Kv::get::ID, Kv::put::ID, Kv::scan::ID] {
+        for id in [Kv::get::ID, Kv::put::ID, Kv::scan::ID, Kv::scan_stream::ID] {
             cfg = cfg.with_policy(id.0, ExecPolicy::adaptive(AdaptivePolicy::default()));
         }
     }
@@ -310,6 +345,28 @@ pub fn run(params: ServiceParams) -> ServiceOutcome {
                                 let (dst, stripe, slot) = place(a.key, p2.servers);
                                 let rpc = env2.rpc();
                                 let node = env2.node();
+                                if p2.streaming && a.class == CallClass::Heavy {
+                                    // Streaming scan: consume the chunks as
+                                    // they arrive, then collect the sum
+                                    // from the Close. A broken session
+                                    // (deadline, NACK budget) cancels —
+                                    // the server aborts mid-walk.
+                                    let opts =
+                                        oam_rpc::CallOpts::default().with_deadline(p2.deadline);
+                                    let mut h =
+                                        Kv::scan_stream::call_with(rpc, node, dst, opts, stripe)
+                                            .await;
+                                    let mut acc = 0u64;
+                                    while let Some(x) = h.next().await {
+                                        acc = acc.wrapping_add(x);
+                                    }
+                                    if let Ok(sum) = h.finish().await {
+                                        debug_assert_eq!(acc, sum, "chunks sum to the Close");
+                                        ck.set(ck.get().wrapping_add(sum).wrapping_add(1));
+                                    }
+                                    tr.finish();
+                                    return;
+                                }
                                 let res: Result<_, CallError> = match a.class {
                                     CallClass::Heavy => {
                                         rpc.try_call_args(
@@ -383,6 +440,9 @@ pub fn run(params: ServiceParams) -> ServiceOutcome {
         expired: total.calls_expired,
         abandoned: total.calls_abandoned,
         mode_switches,
+        sessions_opened: total.sessions_opened,
+        sessions_closed: total.sessions_closed,
+        sessions_cancelled: total.sessions_cancelled,
         p50: total.latency.quantile(0.50),
         p99: total.latency.quantile(0.99),
         p999: total.latency.quantile(0.999),
@@ -417,6 +477,29 @@ mod tests {
             a.completed + a.abandoned,
             arrivals,
             "every arrival either completes or is abandoned"
+        );
+    }
+
+    #[test]
+    fn streaming_scan_mode_is_deterministic_and_retires_every_session() {
+        let p = ServiceParams { streaming: true, ..small() };
+        let a = run(p.clone());
+        let b = run(p.clone());
+        assert_eq!(a.app.answer, b.app.answer);
+        assert_eq!(a.app.elapsed, b.app.elapsed);
+        assert!(a.sessions_opened > 0, "heavy arrivals open sessions");
+        assert_eq!(
+            a.sessions_opened,
+            a.sessions_closed + a.sessions_cancelled,
+            "every session ends in exactly one Close or Cancel"
+        );
+        let stats = a.app.stats.total();
+        assert!(stats.chunks_received > 0, "closed sessions delivered chunks");
+        let arrivals = u64::from(p.drivers as u32) * u64::from(p.arrivals);
+        assert_eq!(
+            a.completed + a.abandoned,
+            arrivals,
+            "the completion ledger holds under streaming heavies"
         );
     }
 

@@ -6,4 +6,4 @@ pub mod cities;
 pub mod run;
 
 pub use cities::{expand, generate_prefixes, Cities, Expansion};
-pub use run::{run, run_configured, run_hooked, sequential, TspParams, TspState};
+pub use run::{run, run_configured, run_hooked, run_pipelined, sequential, TspParams, TspState};

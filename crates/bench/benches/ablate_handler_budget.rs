@@ -58,7 +58,9 @@ fn run(budget_us: u64, chunks: u32) -> (f64, u64, f64) {
                 // Node 1 grinds long calls on node 0.
                 1 => {
                     for _ in 0..calls {
-                        Work::grind::call(env.rpc(), env.node(), NodeId(0), chunks).await;
+                        Work::grind::call(env.rpc(), env.node(), NodeId(0), chunks)
+                            .await
+                            .expect("reply decode");
                     }
                 }
                 // Node 2 fires latency probes at node 0 the whole time.
@@ -66,7 +68,9 @@ fn run(budget_us: u64, chunks: u32) -> (f64, u64, f64) {
                     let mut total = 0.0;
                     for _ in 0..calls * 4 {
                         let t0 = env.now();
-                        Work::probe::call(env.rpc(), env.node(), NodeId(0)).await;
+                        Work::probe::call(env.rpc(), env.node(), NodeId(0))
+                            .await
+                            .expect("reply decode");
                         total += env.now().since(t0).as_micros_f64();
                         env.charge_micros(40).await;
                     }

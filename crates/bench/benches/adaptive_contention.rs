@@ -123,7 +123,7 @@ fn run(variant: Variant, nodes: usize, holds: u64, calls: u64) -> (Dur, MethodSt
                 }
             } else {
                 for _ in 0..calls {
-                    Hot::bump::call(env.rpc(), env.node(), NodeId(0)).await;
+                    Hot::bump::call(env.rpc(), env.node(), NodeId(0)).await.expect("reply decode");
                 }
             }
             env.barrier().await;

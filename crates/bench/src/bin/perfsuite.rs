@@ -198,7 +198,9 @@ fn churn(rounds: u32, cfg: MachineConfig) -> AppOutcome {
             if env.id().index() == 0 {
                 let mut last = 0;
                 for _ in 0..rounds {
-                    last = Churn::bump::call(env.rpc(), env.node(), NodeId(1)).await;
+                    last = Churn::bump::call(env.rpc(), env.node(), NodeId(1))
+                        .await
+                        .expect("reply decode");
                 }
                 a.set(last);
             }
@@ -233,8 +235,9 @@ fn bulk_churn(rounds: u32, cfg: MachineConfig) -> AppOutcome {
                 let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
                 let mut last = 0;
                 for _ in 0..rounds {
-                    last =
-                        Churn::ingest::call(env.rpc(), env.node(), NodeId(1), data.clone()).await;
+                    last = Churn::ingest::call(env.rpc(), env.node(), NodeId(1), data.clone())
+                        .await
+                        .expect("reply decode");
                 }
                 a.set(last);
             }
@@ -314,6 +317,18 @@ fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
                 tsp::run_configured(System::Orpc, chaos_cfg(5, 0.05), tsp_params).into()
             }),
         ),
+        // The pipelining pair, at 2 slaves so the run is slave-bound (at 4+
+        // slaves the master's GEN_COST pacing dominates and prefetching a
+        // job cannot create jobs faster). Same machine, same instance; the
+        // only difference is the slaves' call schedule: tsp_pipelined keeps
+        // one get_job outstanding while expanding the previous route, so
+        // the virtual_us gap between these two rows is the round trip the
+        // pipelined stubs hide.
+        spec("tsp_n10_s2", Box::new(move || tsp::run(System::Orpc, 2, tsp_params).into())),
+        spec(
+            "tsp_pipelined",
+            Box::new(move || tsp::run_pipelined(System::Orpc, 2, tsp_params).into()),
+        ),
         spec(
             "sor_256",
             Box::new(move || {
@@ -371,6 +386,21 @@ fn suite_specs(quick: bool) -> Vec<SuiteSpec> {
                     load_x100: 200,
                     admission: false,
                     arrivals: service_arrivals,
+                    ..Default::default()
+                })
+                .into()
+            }),
+        ),
+        // The open-loop service with heavy requests fetching their scans
+        // as chunked streaming sessions instead of one bulk reply — the
+        // row that prices the session protocol (chunk messages, session
+        // table, Close frames) against service_openloop_1x.
+        spec(
+            "service_stream_scan",
+            Box::new(move || {
+                service::run(ServiceParams {
+                    arrivals: service_arrivals,
+                    streaming: true,
                     ..Default::default()
                 })
                 .into()

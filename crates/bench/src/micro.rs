@@ -274,10 +274,13 @@ pub fn micro_rpc(params: MicroParams) -> Dur {
                             }
                             _ => {
                                 if payload.is_empty() {
-                                    Bench::incr::call(env.rpc(), env.node(), NodeId(1)).await;
+                                    Bench::incr::call(env.rpc(), env.node(), NodeId(1))
+                                        .await
+                                        .expect("reply decode");
                                 } else {
                                     Bench::sink::call(env.rpc(), env.node(), NodeId(1), payload)
-                                        .await;
+                                        .await
+                                        .expect("reply decode");
                                 }
                             }
                         }

@@ -42,7 +42,7 @@ pub fn experiments_dir() -> io::Result<PathBuf> {
 }
 
 /// Column headers matching [`per_method_rows`].
-pub const PER_METHOD_HEADERS: [&str; 9] = [
+pub const PER_METHOD_HEADERS: [&str; 11] = [
     "method",
     "attempts",
     "inline ok",
@@ -52,6 +52,8 @@ pub const PER_METHOD_HEADERS: [&str; 9] = [
     "nacked",
     "threaded",
     "switches",
+    "chunks",
+    "cancels",
 ];
 
 /// Render a machine's per-method OAM statistics as table rows (one row
@@ -72,6 +74,8 @@ pub fn per_method_rows(stats: &oam_model::MachineStats) -> Vec<Vec<String>> {
                 m.nacks_sent.to_string(),
                 m.threaded.to_string(),
                 m.mode_switches.to_string(),
+                m.chunks.to_string(),
+                m.cancels.to_string(),
             ]
         })
         .collect()

@@ -88,7 +88,7 @@ use oam_model::{
     MachineConfig, NodeId, TraceKind,
 };
 use oam_net::{Packet, PayloadBuf};
-use oam_threads::{ExecMode, Node, Placement};
+use oam_threads::{ExecMode, Node, Placement, ThreadId};
 
 /// `call_id` marking a one-way (asynchronous) RPC: nothing to correlate,
 /// suppress, or reply to.
@@ -98,6 +98,90 @@ pub const ONEWAY_SENTINEL: u32 = u32::MAX;
 /// deadline word only on machines with admission control configured.
 pub const NO_DEADLINE: u32 = u32::MAX;
 
+/// Bit position of the priority field inside the deadline header word.
+pub const PRIORITY_SHIFT: u32 = 30;
+
+/// Mask selecting the deadline field of the header word (low 30 bits).
+pub const DEADLINE_MASK: u32 = (1 << PRIORITY_SHIFT) - 1;
+
+/// Per-call dispatch priority, carried in the top two bits of the deadline
+/// header word (so it only travels on machines with [`AdmissionConfig`]
+/// set — without admission the word is absent and every call is
+/// [`Priority::Normal`]).
+///
+/// The encoding is chosen so the legacy format is preserved byte-for-byte:
+/// `Normal` writes the deadline word unchanged (top bits `00` for any
+/// representable deadline, `11` for the legacy [`NO_DEADLINE`] pattern),
+/// and both decode back to `Normal`. `High`/`Low` use the two patterns no
+/// legacy word produces. Deadlines on prioritized calls must therefore fit
+/// in 30 bits of absolute virtual microseconds (≈ 17.9 virtual minutes);
+/// [`pack_deadline_word`] debug-asserts this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Dispatch ahead of normal traffic; admission sheds it last.
+    High,
+    /// The default: exactly the legacy behavior.
+    #[default]
+    Normal,
+    /// Dispatch behind normal traffic; admission sheds it first.
+    Low,
+}
+
+impl Priority {
+    fn code(self) -> u32 {
+        match self {
+            Priority::High => 0b01,
+            Priority::Normal => 0b00,
+            Priority::Low => 0b10,
+        }
+    }
+
+    /// Where this priority places work on the run queue: `High` jumps the
+    /// queue, `Low` always yields to it, `Normal` follows the machine's
+    /// configured policy (identical to pre-priority dispatch).
+    pub fn placement(self) -> Placement {
+        match self {
+            Priority::High => Placement::Front,
+            Priority::Normal => Placement::Policy,
+            Priority::Low => Placement::Back,
+        }
+    }
+}
+
+/// Encode a deadline and priority into the request's deadline header word.
+/// `Normal` passes `deadline_us` through unchanged, keeping the legacy
+/// single-shot encoding byte-identical.
+pub fn pack_deadline_word(deadline_us: u32, prio: Priority) -> u32 {
+    if prio == Priority::Normal {
+        return deadline_us;
+    }
+    let field = if deadline_us == NO_DEADLINE {
+        DEADLINE_MASK
+    } else {
+        debug_assert!(
+            deadline_us < DEADLINE_MASK,
+            "deadline {deadline_us}µs does not fit the 30-bit field of a prioritized call"
+        );
+        deadline_us & DEADLINE_MASK
+    };
+    (prio.code() << PRIORITY_SHIFT) | field
+}
+
+/// Decode a deadline header word into `(deadline_us, priority)`. Top bits
+/// `00` and the legacy `NO_DEADLINE` pattern (`11`) decode as `Normal`
+/// with the word unchanged; an all-ones 30-bit field under `High`/`Low`
+/// restores [`NO_DEADLINE`].
+pub fn unpack_deadline_word(word: u32) -> (u32, Priority) {
+    let prio = match word >> PRIORITY_SHIFT {
+        0b01 => Priority::High,
+        0b10 => Priority::Low,
+        _ => return (word, Priority::Normal),
+    };
+    let field = word & DEADLINE_MASK;
+    let deadline = if field == DEADLINE_MASK { NO_DEADLINE } else { field };
+    (deadline, prio)
+}
+
 /// Decode just the call-correlation header (first word, little-endian)
 /// from a request payload.
 pub fn peek_call_id(payload: &[u8]) -> u32 {
@@ -105,12 +189,22 @@ pub fn peek_call_id(payload: &[u8]) -> u32 {
     u32::from_le_bytes(bytes)
 }
 
-/// Decode the deadline header (second word, little-endian, absolute
-/// virtual microseconds) from a request payload. Only meaningful on
-/// machines with [`AdmissionConfig`] set — without it the word is absent.
-pub fn peek_deadline_us(payload: &[u8]) -> u32 {
+fn peek_deadline_word(payload: &[u8]) -> u32 {
     let bytes: [u8; 4] = payload[4..8].try_into().expect("request deadline");
     u32::from_le_bytes(bytes)
+}
+
+/// Decode the deadline (second header word, little-endian, absolute
+/// virtual microseconds) from a request payload, with any priority bits
+/// stripped. Only meaningful on machines with [`AdmissionConfig`] set —
+/// without it the word is absent.
+pub fn peek_deadline_us(payload: &[u8]) -> u32 {
+    unpack_deadline_word(peek_deadline_word(payload)).0
+}
+
+/// Decode the per-call priority from a request payload's deadline word.
+pub fn peek_priority(payload: &[u8]) -> Priority {
+    unpack_deadline_word(peek_deadline_word(payload)).1
 }
 
 /// The context an optimistic call executes in: everything a handler body
@@ -161,11 +255,30 @@ struct CallFrame {
     done: bool,
 }
 
+/// Server-side cancellation record for one in-flight cancellable call,
+/// keyed `(caller, call_id)`. Registered when the call's future is built,
+/// removed when it completes (normally or by cancel).
+struct InflightCall {
+    /// A cancel frame arrived; the call's wrapper future resolves on its
+    /// next poll without touching the handler body again.
+    cancelled: bool,
+    /// Thread executing the call once it left the inline path (promoted,
+    /// rerun, or TRPC-dispatched), so a cancel can wake it promptly.
+    tid: Option<ThreadId>,
+    /// Handler tag, for per-method cancel accounting.
+    tag: u32,
+}
+
 struct EngineInner {
     cfg: Rc<MachineConfig>,
     /// Per-server-node duplicate suppression; only consulted when faults or
     /// retransmission make duplicates possible.
     dedup: Vec<RefCell<HashMap<(NodeId, u32), CallFrame>>>,
+    /// Per-server-node registry of in-flight *cancellable* calls (methods
+    /// registered with [`MethodSite::with_cancellation`] — streaming
+    /// sessions). Plain single-shot methods never touch it, keeping the
+    /// legacy hot path allocation-free.
+    inflight: Vec<RefCell<HashMap<(NodeId, u32), InflightCall>>>,
     /// Duplicate suppression enabled (retransmission on, or a fault plan
     /// that can duplicate/redeliver packets).
     dedup_on: bool,
@@ -206,6 +319,7 @@ impl CallEngine {
             inner: Rc::new(EngineInner {
                 cfg,
                 dedup: (0..nodes).map(|_| RefCell::new(HashMap::new())).collect(),
+                inflight: (0..nodes).map(|_| RefCell::new(HashMap::new())).collect(),
                 dedup_on,
                 names: RefCell::new(BTreeMap::new()),
                 resend_reply: RefCell::new(None),
@@ -329,6 +443,7 @@ impl CallEngine {
             static_mode: policy.mode,
             correlated: false,
             expects_reply,
+            cancellable: false,
             adaptive,
         }
     }
@@ -350,6 +465,68 @@ impl CallEngine {
         if self.inner.dedup_on {
             self.inner.dedup[server].borrow_mut().remove(&(caller, call_id));
         }
+        self.inner.inflight[server].borrow_mut().remove(&(caller, call_id));
+    }
+
+    /// Abort the in-flight execution of `(caller, call_id)` on `node` in
+    /// response to a client cancel frame. Marks the call cancelled — its
+    /// wrapper future resolves on its next poll, dropping the handler body
+    /// (which deregisters any wait-list registrations it holds) — and wakes
+    /// the executing thread at the queue front so the abort is prompt.
+    ///
+    /// Returns `false` when nothing was in flight under that key: the call
+    /// already completed, never arrived (the cancel overtook it through
+    /// fabric reordering), or was not registered as cancellable. Cancel is
+    /// best-effort by design — a lost or late cancel means the server runs
+    /// the call to completion and the client drops the stale results.
+    pub fn cancel_call(&self, node: &Node, caller: NodeId, call_id: u32) -> bool {
+        let sidx = node.id().index();
+        let hit = {
+            let mut map = self.inner.inflight[sidx].borrow_mut();
+            match map.get_mut(&(caller, call_id)) {
+                Some(e) if !e.cancelled => {
+                    e.cancelled = true;
+                    Some((e.tid, e.tag))
+                }
+                _ => None,
+            }
+        };
+        let Some((tid, tag)) = hit else { return false };
+        node.stats().borrow_mut().method_mut(tag).cancels += 1;
+        node.emit(TraceKind::CallCancelled { tag, caller, call_id });
+        if let Some(tid) = tid {
+            node.make_runnable(tid, Placement::Front);
+        }
+        true
+    }
+}
+
+/// Wraps a cancellable call's handler future: each poll first consults the
+/// engine's inflight registry and, once a cancel frame has marked the call,
+/// resolves immediately — dropping the handler future, whose `Drop` impls
+/// deregister it from any wait lists it joined (the same undo mechanism the
+/// rerun abort strategy relies on).
+struct Cancellable {
+    inner: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    engine: CallEngine,
+    sidx: usize,
+    key: (NodeId, u32),
+}
+
+impl Future for Cancellable {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let cancelled = this.engine.inner.inflight[this.sidx]
+            .borrow()
+            .get(&this.key)
+            .is_some_and(|e| e.cancelled);
+        if cancelled {
+            this.inner = None;
+            return Poll::Ready(());
+        }
+        this.inner.as_mut().expect("cancellable call polled after completion").as_mut().poll(cx)
     }
 }
 
@@ -391,6 +568,11 @@ pub struct MethodSite {
     /// subject to admission control and deadlines — their caller can see
     /// the NACK or give up.
     expects_reply: bool,
+    /// Executions register in the engine's inflight table so a client
+    /// cancel frame can abort them mid-flight (streaming sessions). Off by
+    /// default: single-shot calls keep the registration-free hot path and a
+    /// cancel aimed at them is a no-op on the server.
+    cancellable: bool,
     adaptive: Option<AdaptiveState>,
 }
 
@@ -432,6 +614,14 @@ impl MethodSite {
         self
     }
 
+    /// Register executions of this method in the engine's inflight table so
+    /// [`CallEngine::cancel_call`] can abort them. Requires call
+    /// correlation; the stub layer sets it on streaming (session) methods.
+    pub fn with_cancellation(mut self) -> Self {
+        self.cancellable = true;
+        self
+    }
+
     /// The abort resolution this method executes under.
     pub fn abort_strategy(&self) -> AbortStrategy {
         self.abort
@@ -453,7 +643,7 @@ impl MethodSite {
     /// after).
     fn build_future(&self, call: &OamCall) -> Pin<Box<dyn Future<Output = ()>>> {
         let eng = &self.engine.inner;
-        if !eng.dedup_on || !self.correlated {
+        if !self.correlated || (!eng.dedup_on && !self.cancellable) {
             return (self.factory)(call);
         }
         let call_id = peek_call_id(&call.pkt.payload);
@@ -461,64 +651,117 @@ impl MethodSite {
             // Unreliable oneway: nothing to correlate or suppress.
             return (self.factory)(call);
         }
-        enum Decision {
-            Run,
-            Drop,
-            Resend(Option<PayloadBuf>),
-        }
         let caller = call.pkt.src;
         let key = (caller, call_id);
         let sidx = call.node.id().index();
-        let pkt_ptr = Rc::as_ptr(&call.pkt) as usize;
-        let decision = {
-            let mut map = eng.dedup[sidx].borrow_mut();
-            match map.get(&key) {
-                None => {
-                    map.insert(
-                        key,
-                        CallFrame { claimed_by: Some(pkt_ptr), reply: None, done: false },
-                    );
-                    Decision::Run
-                }
-                Some(f) if f.done => Decision::Resend(f.reply.clone()),
-                Some(f) if f.claimed_by == Some(pkt_ptr) => Decision::Run,
-                Some(_) => Decision::Drop,
+        if eng.dedup_on {
+            enum Decision {
+                Run,
+                Drop,
+                Resend(Option<PayloadBuf>),
             }
-        };
-        match decision {
-            Decision::Run => {
-                let fut = (self.factory)(call);
-                let engine = self.engine.clone();
-                Box::pin(async move {
-                    fut.await;
-                    if let Some(f) = engine.inner.dedup[sidx].borrow_mut().get_mut(&key) {
-                        f.done = true;
-                        f.claimed_by = None;
+            let pkt_ptr = Rc::as_ptr(&call.pkt) as usize;
+            let decision = {
+                let mut map = eng.dedup[sidx].borrow_mut();
+                match map.get(&key) {
+                    None => {
+                        map.insert(
+                            key,
+                            CallFrame { claimed_by: Some(pkt_ptr), reply: None, done: false },
+                        );
+                        Decision::Run
                     }
-                })
+                    Some(f) if f.done => Decision::Resend(f.reply.clone()),
+                    Some(f) if f.claimed_by == Some(pkt_ptr) => Decision::Run,
+                    Some(_) => Decision::Drop,
+                }
+            };
+            match decision {
+                Decision::Run => {}
+                Decision::Drop => {
+                    call.node.stats().borrow_mut().dups_suppressed += 1;
+                    call.node.emit(TraceKind::DupSuppressed { caller, call_id });
+                    return Box::pin(async {});
+                }
+                Decision::Resend(reply) => {
+                    call.node.stats().borrow_mut().dups_suppressed += 1;
+                    call.node.emit(TraceKind::DupSuppressed { caller, call_id });
+                    let resend = eng
+                        .resend_reply
+                        .borrow()
+                        .clone()
+                        .expect("duplicate suppression requires a reply resender");
+                    resend(call, call_id, reply);
+                    return Box::pin(async {});
+                }
             }
-            Decision::Drop => {
-                call.node.stats().borrow_mut().dups_suppressed += 1;
-                call.node.emit(TraceKind::DupSuppressed { caller, call_id });
-                Box::pin(async {})
+        }
+        let tag = call.pkt.tag;
+        let fut = (self.factory)(call);
+        let engine = self.engine.clone();
+        let dedup_on = eng.dedup_on;
+        if !self.cancellable {
+            return Box::pin(async move {
+                fut.await;
+                if let Some(f) = engine.inner.dedup[sidx].borrow_mut().get_mut(&key) {
+                    f.done = true;
+                    f.claimed_by = None;
+                }
+            });
+        }
+        // Cancellable: register in the inflight table (an abort-driven rerun
+        // re-enters here with the entry — and any cancelled flag — intact)
+        // and interpose the cancel check on every poll. Completing marks the
+        // dedup frame done even on the cancel path, so retransmissions of a
+        // cancelled call are answered from the frame, not re-executed.
+        engine.inner.inflight[sidx].borrow_mut().entry(key).or_insert(InflightCall {
+            cancelled: false,
+            tid: None,
+            tag,
+        });
+        Box::pin(async move {
+            Cancellable { inner: Some(fut), engine: engine.clone(), sidx, key }.await;
+            engine.inner.inflight[sidx].borrow_mut().remove(&key);
+            if dedup_on {
+                if let Some(f) = engine.inner.dedup[sidx].borrow_mut().get_mut(&key) {
+                    f.done = true;
+                    f.claimed_by = None;
+                }
             }
-            Decision::Resend(reply) => {
-                call.node.stats().borrow_mut().dups_suppressed += 1;
-                call.node.emit(TraceKind::DupSuppressed { caller, call_id });
-                let resend = eng
-                    .resend_reply
-                    .borrow()
-                    .clone()
-                    .expect("duplicate suppression requires a reply resender");
-                resend(call, call_id, reply);
-                Box::pin(async {})
-            }
+        })
+    }
+
+    /// The inflight-table key this arrival registers under, when it is a
+    /// cancellable, correlated call.
+    fn inflight_key(&self, call: &OamCall) -> Option<(NodeId, u32)> {
+        if !self.cancellable || !self.correlated {
+            return None;
+        }
+        let call_id = peek_call_id(&call.pkt.payload);
+        if call_id == ONEWAY_SENTINEL {
+            return None;
+        }
+        Some((call.pkt.src, call_id))
+    }
+
+    /// Record the thread now executing a cancellable call so a cancel frame
+    /// can wake it.
+    fn record_tid(&self, sidx: usize, key: (NodeId, u32), tid: ThreadId) {
+        if let Some(e) = self.engine.inner.inflight[sidx].borrow_mut().get_mut(&key) {
+            e.tid = Some(tid);
         }
     }
 
     /// One optimistic attempt: poll the handler future once on the current
     /// stack, then resolve success or abort.
-    fn run_optimistic(&self, am: &Am, node: &Node, pkt: Packet, admit: Option<AdmitGuard>) {
+    fn run_optimistic(
+        &self,
+        am: &Am,
+        node: &Node,
+        pkt: Packet,
+        admit: Option<AdmitGuard>,
+        prio: Priority,
+    ) {
         let cfg = Rc::clone(node.config());
         let tag = pkt.tag;
         {
@@ -529,6 +772,8 @@ impl MethodSite {
         node.add_pending(cfg.cost.oam_entry);
 
         let call = OamCall { am: am.clone(), node: node.clone(), pkt: Rc::new(pkt) };
+        let ikey = self.inflight_key(&call);
+        let sidx = call.node.id().index();
         let tid = node.reserve_provisional();
         let mut fut = self.build_future(&call);
 
@@ -576,8 +821,11 @@ impl MethodSite {
                             st.method_mut(tag).promotions += 1;
                         }
                         node.promote(tid, guarded(fut, admit));
+                        if let Some(key) = ikey {
+                            self.record_tid(sidx, key, tid);
+                        }
                         if needs_immediate_wake(cause) {
-                            node.make_runnable(tid, Placement::Policy);
+                            node.make_runnable(tid, prio.placement());
                         }
                     }
                     AbortStrategy::Rerun => {
@@ -596,11 +844,19 @@ impl MethodSite {
                         }
                         let fresh = self.build_future(&call);
                         node.promote(tid, guarded(fresh, admit));
-                        node.make_runnable(tid, Placement::Policy);
+                        if let Some(key) = ikey {
+                            self.record_tid(sidx, key, tid);
+                        }
+                        node.make_runnable(tid, prio.placement());
                     }
                     AbortStrategy::Nack => {
                         drop(fut);
                         drop(admit);
+                        if let Some(key) = ikey {
+                            // The call will be re-issued under a fresh id;
+                            // drop its registration with it.
+                            self.engine.inner.inflight[sidx].borrow_mut().remove(&key);
+                        }
                         node.release_provisional(tid);
                         {
                             let mut st = node.stats().borrow_mut();
@@ -621,13 +877,24 @@ impl MethodSite {
     }
 
     /// Thread-per-call dispatch (TRPC, or an adaptively demoted method).
-    fn run_threaded(&self, am: &Am, node: &Node, pkt: Packet, admit: Option<AdmitGuard>) {
+    fn run_threaded(
+        &self,
+        am: &Am,
+        node: &Node,
+        pkt: Packet,
+        admit: Option<AdmitGuard>,
+        prio: Priority,
+    ) {
         let tag = pkt.tag;
         node.add_pending(node.config().cost.trpc_dispatch);
         node.stats().borrow_mut().method_mut(tag).threaded += 1;
         let call = OamCall { am: am.clone(), node: node.clone(), pkt: Rc::new(pkt) };
+        let ikey = self.inflight_key(&call);
         let fut = self.build_future(&call);
-        node.spawn_incoming(guarded(fut, admit));
+        let tid = node.spawn_incoming_at(guarded(fut, admit), prio.placement());
+        if let Some(key) = ikey {
+            self.record_tid(call.node.id().index(), key, tid);
+        }
         if let Some(a) = &self.adaptive {
             let served = a.trpc_calls.get() + 1;
             a.trpc_calls.set(served);
@@ -696,8 +963,17 @@ impl MethodSite {
     /// 3. the overload signal demotes adaptive methods to TRPC *before*
     ///    the abort storm that queue growth would cause;
     /// 4. arrivals beyond the pending budget are shed with a NACK whose
-    ///    retry-after hint scales with queue depth.
-    fn admission_gate(&self, am: &Am, node: &Node, pkt: &Packet) -> Result<Option<AdmitGuard>, ()> {
+    ///    retry-after hint scales with queue depth. The budget scales with
+    ///    the call's priority — high-priority calls are shed last (budget
+    ///    ×1.5), low-priority first (×0.5) — deterministically, since
+    ///    priority is read from the request header.
+    fn admission_gate(
+        &self,
+        am: &Am,
+        node: &Node,
+        pkt: &Packet,
+        prio: Priority,
+    ) -> Result<Option<AdmitGuard>, ()> {
         let eng = &self.engine.inner;
         let Some(adm) = eng.admission else { return Ok(None) };
         if !self.correlated || !self.expects_reply {
@@ -733,7 +1009,12 @@ impl MethodSite {
                 self.switch_mode(node, tag, a, CallMode::Trpc);
             }
         }
-        if pending.get() >= adm.pending_budget {
+        let budget = match prio {
+            Priority::High => adm.pending_budget + adm.pending_budget.div_ceil(2),
+            Priority::Normal => adm.pending_budget,
+            Priority::Low => (adm.pending_budget / 2).max(1),
+        };
+        if pending.get() >= budget {
             // The hint is derived from the admitted-call depth only. The NI
             // input backlog would sharpen it, but that snapshot is
             // sensitive to same-timestamp event micro-order, which the
@@ -763,15 +1044,31 @@ impl MethodSite {
     }
 }
 
+impl MethodSite {
+    /// The arrival's dispatch priority: read from the deadline header word,
+    /// which only exists on admission-configured machines for correlated,
+    /// reply-bearing calls. Everything else is `Normal`.
+    fn arrival_priority(&self, pkt: &Packet) -> Priority {
+        if self.engine.inner.admission.is_none() || !self.correlated || !self.expects_reply {
+            return Priority::Normal;
+        }
+        if peek_call_id(&pkt.payload) == ONEWAY_SENTINEL {
+            return Priority::Normal;
+        }
+        peek_priority(&pkt.payload)
+    }
+}
+
 impl PacketHandler for MethodSite {
     fn handle(&self, am: &Am, node: &Node, pkt: Packet) {
-        let admit = match self.admission_gate(am, node, &pkt) {
+        let prio = self.arrival_priority(&pkt);
+        let admit = match self.admission_gate(am, node, &pkt, prio) {
             Ok(admit) => admit,
             Err(()) => return,
         };
         match self.current_mode() {
-            CallMode::Orpc => self.run_optimistic(am, node, pkt, admit),
-            CallMode::Trpc => self.run_threaded(am, node, pkt, admit),
+            CallMode::Orpc => self.run_optimistic(am, node, pkt, admit, prio),
+            CallMode::Trpc => self.run_threaded(am, node, pkt, admit, prio),
         }
     }
 }
@@ -1267,5 +1564,88 @@ mod tests {
         engine.register_name(5, "Alpha::first");
         engine.register_name(5, "Alpha::first"); // per-node re-registration
         assert_eq!(engine.method_names()[&5], "Alpha::first");
+    }
+
+    #[test]
+    fn deadline_word_roundtrips_priorities_and_preserves_legacy_patterns() {
+        // Normal passes every word through unchanged in both directions.
+        for w in [0u32, 1, 12_345, DEADLINE_MASK - 1, NO_DEADLINE] {
+            assert_eq!(pack_deadline_word(w, Priority::Normal), w);
+            let (d, p) = unpack_deadline_word(pack_deadline_word(w, Priority::Normal));
+            assert_eq!((d, p), (w, Priority::Normal));
+        }
+        // High/Low round-trip deadlines, including the no-deadline marker.
+        for prio in [Priority::High, Priority::Low] {
+            for d in [0u32, 7, DEADLINE_MASK - 1, NO_DEADLINE] {
+                let word = pack_deadline_word(d, prio);
+                assert_ne!(word, pack_deadline_word(d, Priority::Normal).min(DEADLINE_MASK - 1));
+                assert_eq!(unpack_deadline_word(word), (d, prio));
+            }
+        }
+        // The legacy NO_DEADLINE pattern (top bits 11) is Normal.
+        assert_eq!(unpack_deadline_word(NO_DEADLINE), (NO_DEADLINE, Priority::Normal));
+    }
+
+    #[test]
+    fn priority_placement_maps_to_queue_positions() {
+        assert_eq!(Priority::High.placement(), Placement::Front);
+        assert_eq!(Priority::Normal.placement(), Placement::Policy);
+        assert_eq!(Priority::Low.placement(), Placement::Back);
+    }
+
+    #[test]
+    fn cancel_aborts_a_promoted_call_and_counts_it() {
+        // Handler blocks on a mutex a server thread holds; the optimistic
+        // attempt aborts and promotes. A cancel frame then kills the
+        // promoted continuation: the body after the lock never runs, the
+        // per-method cancel counter ticks, and the lock is released cleanly
+        // (the dropped future deregisters from the wait list).
+        let (sim, am, engine, stats) = build(2, MachineConfig::cm5(2));
+        let node1 = am.nodes()[1].clone();
+        let m = Mutex::new(&node1, 0u32);
+        let m2 = m.clone();
+        let factory: CallFactory = Rc::new(move |_call| {
+            let m = m2.clone();
+            Box::pin(async move {
+                let g = m.lock().await;
+                g.with_mut(|v| *v += 1);
+            })
+        });
+        let site = engine
+            .site(ExecPolicy::orpc(), true, factory)
+            .with_call_correlation()
+            .with_cancellation();
+        am.register(NodeId(1), CALL, HandlerEntry::Custom(Rc::new(site)));
+        // Payload: call_id header only (no admission ⇒ no deadline word).
+        send_one(&am, 7u32.to_le_bytes().to_vec());
+        let release = oam_threads::Flag::new();
+        let (n1, mh, rel) = (node1.clone(), m.clone(), release.clone());
+        node1.spawn(async move {
+            let _g = mh.lock().await;
+            n1.spin_on(rel).await;
+        });
+        // Cancel while the promoted continuation is parked on the lock,
+        // then release the lock; the body must still not run.
+        let (eng2, n1c) = (engine.clone(), node1.clone());
+        sim.schedule_at(oam_model::Time::from_nanos(200_000), move |_| {
+            assert!(eng2.cancel_call(&n1c, NodeId(0), 7), "call was in flight");
+            assert!(!eng2.cancel_call(&n1c, NodeId(0), 7), "second cancel is a no-op");
+        });
+        let n1k = node1.clone();
+        sim.schedule_at(oam_model::Time::from_nanos(400_000), move |_| {
+            release.set();
+            n1k.kick();
+        });
+        sim.run();
+        assert_eq!(m.try_lock().expect("lock free at end").get(), 0, "cancelled body never ran");
+        let st = stats[1].borrow();
+        assert_eq!(st.per_method[&CALL.0].cancels, 1);
+        assert_eq!(st.oam_promotions, 1);
+    }
+
+    #[test]
+    fn cancel_of_an_unknown_call_is_a_noop() {
+        let (_sim, am, engine, _stats) = build(2, MachineConfig::cm5(2));
+        assert!(!engine.cancel_call(&am.nodes()[1].clone(), NodeId(0), 99));
     }
 }

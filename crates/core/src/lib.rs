@@ -17,6 +17,7 @@
 pub mod engine;
 
 pub use engine::{
-    peek_call_id, peek_deadline_us, CallEngine, CallFactory, MethodSite, NackSender, OamCall,
-    ReplyResender, ShedNackSender, NO_DEADLINE, ONEWAY_SENTINEL,
+    pack_deadline_word, peek_call_id, peek_deadline_us, peek_priority, unpack_deadline_word,
+    CallEngine, CallFactory, MethodSite, NackSender, OamCall, Priority, ReplyResender,
+    ShedNackSender, DEADLINE_MASK, NO_DEADLINE, ONEWAY_SENTINEL, PRIORITY_SHIFT,
 };

@@ -199,6 +199,12 @@ pub struct MethodStats {
     /// from [`MethodStats::reruns`], which counts the strategy chosen on
     /// purpose.
     pub nack_fallback_reruns: u64,
+    /// Stream chunks emitted by handlers of this method (stream methods
+    /// only; single-shot methods keep this at zero).
+    pub chunks: u64,
+    /// In-flight executions of this method aborted by a client-sent
+    /// cancel frame.
+    pub cancels: u64,
 }
 
 impl MethodStats {
@@ -231,6 +237,8 @@ impl MethodStats {
         self.mode_switches += other.mode_switches;
         self.shed += other.shed;
         self.nack_fallback_reruns += other.nack_fallback_reruns;
+        self.chunks += other.chunks;
+        self.cancels += other.cancels;
     }
 }
 
@@ -326,6 +334,21 @@ pub struct NodeStats {
     /// Client-observed call latencies (request issue to reply integration)
     /// for deadline-bearing calls.
     pub latency: LatencyHistogram,
+
+    // ---- sessions (streaming RPC) ----
+    /// Streaming sessions this node opened as client.
+    pub sessions_opened: u64,
+    /// Sessions that ended with the server's Close (all chunks accounted).
+    pub sessions_closed: u64,
+    /// Sessions the client tore down without a Close: explicit cancel,
+    /// deadline expiry, or handle drop. Every opened session ends in
+    /// exactly one of closed or cancelled.
+    pub sessions_cancelled: u64,
+    /// Stream chunks this node received and delivered into a live session.
+    pub chunks_received: u64,
+    /// Chunks that arrived for a session no longer (or not yet) in the
+    /// table — late traffic from cancelled or re-keyed sessions.
+    pub orphan_chunks: u64,
 
     // ---- time accounting ----
     /// Virtual time this node spent in application compute charges.
@@ -423,6 +446,11 @@ impl NodeStats {
         self.retry_after_honored += other.retry_after_honored;
         self.admission_peak = self.admission_peak.max(other.admission_peak);
         self.latency.merge(&other.latency);
+        self.sessions_opened += other.sessions_opened;
+        self.sessions_closed += other.sessions_closed;
+        self.sessions_cancelled += other.sessions_cancelled;
+        self.chunks_received += other.chunks_received;
+        self.orphan_chunks += other.orphan_chunks;
         self.compute_time += other.compute_time;
         self.idle_time += other.idle_time;
         for (id, m) in &other.per_method {

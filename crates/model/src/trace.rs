@@ -163,6 +163,40 @@ pub enum TraceKind {
         /// Callee it was issued to.
         dst: NodeId,
     },
+    /// A streaming session was opened (client side; `call_id` is the
+    /// session id for its whole life).
+    SessionOpened {
+        /// The open call (= session id).
+        call_id: u32,
+        /// Server the stream was opened against.
+        dst: NodeId,
+    },
+    /// A streaming session ended with the server's Close, all chunks
+    /// accounted for (client side).
+    SessionClosed {
+        /// The session id.
+        call_id: u32,
+        /// Chunks the server declared (and the client reassembled).
+        chunks: u32,
+    },
+    /// The client tore a session down without a Close: explicit cancel,
+    /// deadline expiry, or handle drop.
+    SessionCancelled {
+        /// The session id.
+        call_id: u32,
+        /// Server the cancel frame was (best-effort) aimed at.
+        dst: NodeId,
+    },
+    /// A cancel frame aborted an in-flight handler execution (server
+    /// side).
+    CallCancelled {
+        /// Handler tag of the cancelled method.
+        tag: u32,
+        /// Caller that sent the cancel.
+        caller: NodeId,
+        /// The cancelled call.
+        call_id: u32,
+    },
 }
 
 impl TraceKind {
@@ -188,6 +222,10 @@ impl TraceKind {
             TraceKind::CallShed { .. } => "shed",
             TraceKind::CallExpired { .. } => "expired",
             TraceKind::CallAbandoned { .. } => "abandoned",
+            TraceKind::SessionOpened { .. } => "sess-open",
+            TraceKind::SessionClosed { .. } => "sess-close",
+            TraceKind::SessionCancelled { .. } => "sess-cancel",
+            TraceKind::CallCancelled { .. } => "cancelled",
         }
     }
 }
@@ -222,6 +260,10 @@ mod tests {
             TraceKind::CallShed { tag: 1, caller: NodeId(0), call_id: 0, retry_after_us: 10 },
             TraceKind::CallExpired { tag: 1, caller: NodeId(0), call_id: 0 },
             TraceKind::CallAbandoned { call_id: 0, dst: NodeId(1) },
+            TraceKind::SessionOpened { call_id: 0, dst: NodeId(1) },
+            TraceKind::SessionClosed { call_id: 0, chunks: 3 },
+            TraceKind::SessionCancelled { call_id: 0, dst: NodeId(1) },
+            TraceKind::CallCancelled { tag: 1, caller: NodeId(0), call_id: 0 },
         ];
         let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len(), "labels are distinct");

@@ -15,8 +15,9 @@ pub mod runtime;
 pub mod wire;
 
 pub use runtime::{
-    decode_request, handler_id_for, CallError, Rpc, RpcCtx, RpcMode, NACK_ID, ONEWAY_SENTINEL,
-    REPLY_ID,
+    decode_request, handler_id_for, CallError, CallHandle, CallOpts, RawCallHandle, Rpc, RpcCtx,
+    RpcMode, StreamClosed, StreamHandle, StreamTx, CANCEL_ID, NACK_ID, ONEWAY_SENTINEL, REPLY_ID,
+    SESSION_CHUNK_ID, SESSION_CHUNK_METHOD,
 };
 pub use wire::{
     from_bytes, to_bytes, to_payload, RawTail, Wire, WireError, WireReader, WireWriter,
@@ -24,7 +25,7 @@ pub use wire::{
 
 // Re-exports the generated stubs refer to via `$crate::`.
 pub use oam_am::HandlerId;
-pub use oam_core::{CallEngine, CallFactory, MethodSite, OamCall};
+pub use oam_core::{CallEngine, CallFactory, MethodSite, OamCall, Priority};
 pub use oam_model::NodeId;
 pub use oam_net::{BufPool, PayloadBuf, PayloadView};
 pub use oam_threads::Node;

@@ -32,6 +32,17 @@
 //!             let g = st.value.lock().await;
 //!             g.with_mut(|v| *v += 1);
 //!         }
+//!
+//!         /// Stream the values `0..n` back one by one, then report how
+//!         /// many were sent. `[u64]` is the chunk type; `-> u64` the
+//!         /// final value delivered by `close`.
+//!         stream ladder(ctx, st, tx, n: u64) [u64] -> u64 {
+//!             let mut tx = tx;
+//!             for i in 0..n {
+//!                 tx = tx.send(&i).await;
+//!             }
+//!             tx.close(&n).await
+//!         }
 //!     }
 //! }
 //! # fn main() {}
@@ -40,9 +51,14 @@
 //! For each method this generates a module `Counter::add` with:
 //!
 //! * `ID` — the handler id (an FNV hash of `"Counter::add"`);
-//! * a client stub — `call(rpc, node, dst, args..) -> Ret` for `rpc`
-//!   methods (synchronous: spin-waits for the reply), `send(..)` for
-//!   `oneway` methods (asynchronous, no reply);
+//! * a client stub — `call(rpc, node, dst, args..) -> Result<Ret, CallError>`
+//!   for `rpc` methods (synchronous: spin-waits for the reply; a reply
+//!   that fails to decode surfaces as [`CallError::ReplyDecode`] instead
+//!   of a panic), plus `call_with(.., opts, ..)` taking per-call
+//!   [`CallOpts`] (deadline, priority) and `issue`/`issue_with` returning
+//!   a [`CallHandle`] for pipelining (send now, await later); `send(..)`
+//!   for `oneway` methods (asynchronous, no reply); `call`/`call_with`
+//!   returning a [`StreamHandle`] for `stream` methods;
 //! * `register(rpc, node, state, mode)` — installs the server side in
 //!   either [`crate::RpcMode::Orpc`] or [`crate::RpcMode::Trpc`];
 //!
@@ -53,9 +69,31 @@
 //! correlates the reply, and handles NACK back-off — none of it visible at
 //! the call site.
 //!
+//! # Stream methods and session typestate
+//!
+//! A `stream` method's signature names a third binding (`tx` above) that
+//! the stub binds to a [`StreamTx`] — a *linear* session token. `send`
+//! consumes the token and returns it; `close` consumes it for good and
+//! returns the [`StreamClosed`] proof the body must evaluate to. The
+//! session protocol `Open → Chunk* → Close` is therefore enforced by the
+//! type system: sending after close or closing twice is a use-after-move
+//! error, and a body that never closes fails to type-check. On the client,
+//! [`StreamHandle::next`] yields chunks in order and
+//! [`StreamHandle::finish`] returns the final value;
+//! [`StreamHandle::cancel`] (or dropping the handle, or deadline expiry)
+//! retires the session as cancelled and aborts the server-side body at its
+//! next suspension point.
+//!
 //! Like the paper's prototype, a procedure registered under the *rerun*
 //! abort strategy must only mutate shared state after acquiring all its
 //! locks and testing all its conditions (§3.3).
+//!
+//! [`CallError::ReplyDecode`]: crate::CallError::ReplyDecode
+//! [`CallOpts`]: crate::CallOpts
+//! [`CallHandle`]: crate::CallHandle
+//! [`StreamTx`]: crate::StreamTx
+//! [`StreamClosed`]: crate::StreamClosed
+//! [`StreamHandle`]: crate::StreamHandle
 
 /// Selects the method return type (defaults to `()`).
 #[macro_export]
@@ -73,7 +111,7 @@ macro_rules! __rpc_ret {
 #[macro_export]
 #[doc(hidden)]
 macro_rules! __rpc_method {
-    (@rpc [$state:ty] $(#[$mmeta:meta])* $svc:ident $name:ident ($ctx:ident, $st:ident $(, $arg:ident : $aty:ty)*) ($($ret:ty)?) $body:block) => {
+    (@rpc [$state:ty] $(#[$mmeta:meta])* $svc:ident $name:ident ($ctx:ident, $st:ident $(, $arg:ident : $aty:ty)* $(,)?) () ($($ret:ty)?) $body:block) => {
         $(#[$mmeta])*
         #[allow(non_snake_case)]
         pub mod $name {
@@ -84,15 +122,60 @@ macro_rules! __rpc_method {
                 $crate::handler_id_for(concat!(stringify!($svc), "::", stringify!($name)));
 
             /// Synchronous client stub: marshals the arguments, sends the
-            /// request, spin-waits for the reply, and unmarshals the result.
+            /// request, spin-waits for the reply, and unmarshals the
+            /// result. A reply that does not decode as the return type
+            /// surfaces as [`CallError::ReplyDecode`].
+            ///
+            /// [`CallError::ReplyDecode`]: $crate::CallError::ReplyDecode
             pub async fn call(
                 __rpc: &$crate::Rpc,
                 __node: &$crate::Node,
                 __dst: $crate::NodeId
                 $(, $arg : $aty)*
-            ) -> $crate::__rpc_ret!($($ret)?) {
+            ) -> ::std::result::Result<$crate::__rpc_ret!($($ret)?), $crate::CallError> {
                 let __reply = __rpc.call_args(__node, __dst, ID, &($($arg,)*)).await;
-                $crate::wire::from_bytes(&__reply).expect("reply decode")
+                $crate::wire::from_bytes(&__reply).map_err($crate::CallError::ReplyDecode)
+            }
+
+            /// As [`call`], with per-call options (deadline, priority).
+            pub async fn call_with(
+                __rpc: &$crate::Rpc,
+                __node: &$crate::Node,
+                __dst: $crate::NodeId,
+                __opts: $crate::CallOpts
+                $(, $arg : $aty)*
+            ) -> ::std::result::Result<$crate::__rpc_ret!($($ret)?), $crate::CallError> {
+                let __reply =
+                    __rpc.call_args_with(__node, __dst, ID, &($($arg,)*), __opts).await?;
+                $crate::wire::from_bytes(&__reply).map_err($crate::CallError::ReplyDecode)
+            }
+
+            /// Pipelined client stub: issues the request (marshals and
+            /// sends) and returns immediately; await the returned handle's
+            /// `wait` for the decoded reply. Lets the caller overlap the
+            /// next call's marshaling with this call's remote execution.
+            pub async fn issue(
+                __rpc: &$crate::Rpc,
+                __node: &$crate::Node,
+                __dst: $crate::NodeId
+                $(, $arg : $aty)*
+            ) -> $crate::CallHandle<$crate::__rpc_ret!($($ret)?)> {
+                $crate::CallHandle::from_raw(
+                    __rpc.issue_args(__node, __dst, ID, &($($arg,)*)).await,
+                )
+            }
+
+            /// As [`issue`], with per-call options (deadline, priority).
+            pub async fn issue_with(
+                __rpc: &$crate::Rpc,
+                __node: &$crate::Node,
+                __dst: $crate::NodeId,
+                __opts: $crate::CallOpts
+                $(, $arg : $aty)*
+            ) -> $crate::CallHandle<$crate::__rpc_ret!($($ret)?)> {
+                $crate::CallHandle::from_raw(
+                    __rpc.issue_args_with(__node, __dst, ID, &($($arg,)*), __opts).await,
+                )
             }
 
             /// Install the server side of this method on `node`.
@@ -137,7 +220,7 @@ macro_rules! __rpc_method {
         }
     };
 
-    (@oneway [$state:ty] $(#[$mmeta:meta])* $svc:ident $name:ident ($ctx:ident, $st:ident $(, $arg:ident : $aty:ty)*) () $body:block) => {
+    (@oneway [$state:ty] $(#[$mmeta:meta])* $svc:ident $name:ident ($ctx:ident, $st:ident $(, $arg:ident : $aty:ty)* $(,)?) () () $body:block) => {
         $(#[$mmeta])*
         #[allow(non_snake_case)]
         pub mod $name {
@@ -200,6 +283,85 @@ macro_rules! __rpc_method {
             }
         }
     };
+
+    (@stream [$state:ty] $(#[$mmeta:meta])* $svc:ident $name:ident ($ctx:ident, $st:ident, $tx:ident $(, $arg:ident : $aty:ty)* $(,)?) ($chunk:ty) ($($ret:ty)?) $body:block) => {
+        $(#[$mmeta])*
+        #[allow(non_snake_case)]
+        pub mod $name {
+            use super::*;
+
+            /// Handler id of this remote procedure.
+            pub const ID: $crate::HandlerId =
+                $crate::handler_id_for(concat!(stringify!($svc), "::", stringify!($name)));
+
+            /// Open the stream: sends the request (the exact wire encoding
+            /// of a synchronous call) and returns the session handle.
+            /// Consume chunks with `next`, the final value with `finish`.
+            pub async fn call(
+                __rpc: &$crate::Rpc,
+                __node: &$crate::Node,
+                __dst: $crate::NodeId
+                $(, $arg : $aty)*
+            ) -> $crate::StreamHandle<$chunk, $crate::__rpc_ret!($($ret)?)> {
+                __rpc.open_stream(__node, __dst, ID, &($($arg,)*), $crate::CallOpts::default())
+                    .await
+            }
+
+            /// As [`call`], with per-call options (deadline, priority).
+            pub async fn call_with(
+                __rpc: &$crate::Rpc,
+                __node: &$crate::Node,
+                __dst: $crate::NodeId,
+                __opts: $crate::CallOpts
+                $(, $arg : $aty)*
+            ) -> $crate::StreamHandle<$chunk, $crate::__rpc_ret!($($ret)?)> {
+                __rpc.open_stream(__node, __dst, ID, &($($arg,)*), __opts).await
+            }
+
+            /// Install the server side of this method on `node`. The site
+            /// is registered cancellable: a client cancel frame aborts an
+            /// in-flight body at its next suspension point.
+            pub fn register(
+                __rpc: &$crate::Rpc,
+                __node: $crate::NodeId,
+                __state: ::std::rc::Rc<$state>,
+                __mode: $crate::RpcMode,
+            ) {
+                let __rpc_outer = __rpc.clone();
+                let __factory: $crate::CallFactory = ::std::rc::Rc::new(move |__call| {
+                    let __state = ::std::rc::Rc::clone(&__state);
+                    let __rpc = __rpc_outer.clone();
+                    let __call = __call.clone();
+                    ::std::boxed::Box::pin(async move {
+                        #[allow(unused_variables, unused_parens)]
+                        let (__call_id, ($($arg,)*)): (u32, ($($aty,)*)) =
+                            __rpc.decode_request(&__call.pkt.payload);
+                        __call.node.add_pending(
+                            __rpc.config().cost.marshal_per_word
+                                .times(__call.pkt.payload.len().div_ceil(4) as u64),
+                        );
+                        let __ctx_val = $crate::RpcCtx { call: __call.clone(), rpc: __rpc.clone() };
+                        #[allow(unused_variables)]
+                        let $ctx = &__ctx_val;
+                        #[allow(unused_variables)]
+                        let $st = &*__state;
+                        let $tx: $crate::StreamTx<$chunk> =
+                            $crate::StreamTx::new(__rpc.clone(), __call.clone(), __call_id);
+                        // The body must evaluate to the `StreamClosed`
+                        // proof only `StreamTx::close` can produce.
+                        let __closed: $crate::StreamClosed = { $body };
+                        let _ = __closed;
+                    })
+                });
+                __rpc.register_stream_named(
+                    __node,
+                    concat!(stringify!($svc), "::", stringify!($name)),
+                    __mode,
+                    __factory,
+                );
+            }
+        }
+    };
 }
 
 /// Generate client stubs, server dispatch, and marshaling for a service —
@@ -213,7 +375,7 @@ macro_rules! define_rpc_service {
             state $state:ty;
             $(
                 $(#[$mmeta:meta])*
-                $kind:ident $name:ident ($ctx:ident, $st:ident $(, $arg:ident : $aty:ty)* $(,)?) $(-> $ret:ty)? $body:block
+                $kind:ident $name:ident ($($params:tt)*) $([$chunk:ty])? $(-> $ret:ty)? $body:block
             )*
         }
     ) => {
@@ -224,7 +386,7 @@ macro_rules! define_rpc_service {
 
             $(
                 $crate::__rpc_method! {
-                    @$kind [$state] $(#[$mmeta])* $svc $name ($ctx, $st $(, $arg : $aty)*) ($($ret)?) $body
+                    @$kind [$state] $(#[$mmeta])* $svc $name ($($params)*) ($($chunk)?) ($($ret)?) $body
                 }
             )*
 

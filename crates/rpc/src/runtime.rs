@@ -31,11 +31,15 @@
 //! duplication, and delay.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
 use std::rc::Rc;
 
 use oam_am::{Am, AmToken, HandlerEntry, HandlerId};
-use oam_core::{peek_call_id, CallEngine, CallFactory, NackSender, OamCall, NO_DEADLINE};
+use oam_core::{
+    pack_deadline_word, peek_call_id, CallEngine, CallFactory, NackSender, OamCall, Priority,
+    NO_DEADLINE,
+};
 use oam_model::{AbortStrategy, Dur, ExecPolicy, MachineConfig, NodeId, Time, TraceKind};
 use oam_net::{Packet, PayloadBuf, PayloadView};
 use oam_sim::{EventId, Sim};
@@ -50,6 +54,21 @@ pub use oam_core::ONEWAY_SENTINEL;
 pub const REPLY_ID: HandlerId = HandlerId(0xFFFF_0001);
 /// Reserved handler id for RPC NACKs.
 pub const NACK_ID: HandlerId = HandlerId(0xFFFF_0002);
+/// Reserved handler id for call-cancel frames: payload `[call_id]`, sent
+/// by a client tearing down a pipelined call or a streaming session. The
+/// server aborts the matching in-flight execution (if any) through
+/// [`CallEngine::cancel_call`]. Cancel is fire-and-forget — a lost frame
+/// means the server completes the call and the client drops the stale
+/// results, never the reverse.
+pub const CANCEL_ID: HandlerId = HandlerId(0xFFFF_0003);
+
+/// Name of the internal chunk-delivery method every node registers: the
+/// server side of a stream sends each chunk as a (reliable, on lossy
+/// fabrics) one-way call of this method back at the stream's opener.
+pub const SESSION_CHUNK_METHOD: &str = "Session::chunk";
+
+/// Handler id of [`SESSION_CHUNK_METHOD`].
+pub const SESSION_CHUNK_ID: HandlerId = handler_id_for(SESSION_CHUNK_METHOD);
 
 /// Low bits of a `call_id` index the call table; high bits carry the slot
 /// generation.
@@ -221,10 +240,26 @@ impl CallTable {
     }
 }
 
+/// Client-side state of one open streaming session, shared between the
+/// [`StreamHandle`] and the node's chunk-delivery handler.
+struct SessionState {
+    /// Reassembly buffer: chunk `seq` → encoded chunk bytes. A `BTreeMap`
+    /// because chunks can arrive out of order (retransmission, fabric
+    /// reordering) and the handle consumes them strictly in sequence.
+    chunks: RefCell<BTreeMap<u32, Vec<u8>>>,
+    /// Wake signal shared with the open call's slot flag, so a chunk
+    /// arrival and the Close reply both wake the waiting client. Re-pointed
+    /// at the fresh slot's flag when a NACKed open is re-issued.
+    flag: RefCell<Flag>,
+}
+
 struct RpcInner {
     am: Am,
     cfg: Rc<MachineConfig>,
     tables: Vec<RefCell<CallTable>>,
+    /// Per-node open streaming sessions, keyed by the open call's id (the
+    /// session id chunks are addressed to).
+    sessions: Vec<RefCell<HashMap<u32, Rc<SessionState>>>>,
     /// The call engine owning server-side dispatch: mode selection,
     /// optimistic attempts, abort resolution, duplicate suppression, and
     /// the method-name registry.
@@ -280,6 +315,7 @@ impl Rpc {
                 am,
                 cfg,
                 tables: (0..n).map(|_| RefCell::new(CallTable::default())).collect(),
+                sessions: (0..n).map(|_| RefCell::new(HashMap::new())).collect(),
                 engine,
                 reliable,
             }),
@@ -344,7 +380,57 @@ impl Rpc {
                 }
             }
         });
+        let engine = rpc.inner.engine.clone();
+        rpc.inner.am.register_inline_all(CANCEL_ID, move |t: &AmToken| {
+            let mut rd = WireReader::new(t.payload());
+            let call_id = u32::decode(&mut rd).expect("cancel call id");
+            // A miss (call finished, was never admitted, or targets a
+            // non-cancellable method) is the expected race, not an error.
+            engine.cancel_call(t.node(), t.src(), call_id);
+        });
+        for i in 0..n {
+            rpc.register_chunk_method(NodeId(i));
+        }
         rpc
+    }
+
+    /// Install the internal chunk-delivery method on `node`: the server
+    /// half of every stream addresses its chunks here (a one-way call of
+    /// [`SESSION_CHUNK_METHOD`]), and this handler files them into the
+    /// owning session's reassembly buffer. Chunk filing never blocks, so
+    /// the method always runs as a successful optimistic execution.
+    fn register_chunk_method(&self, node: NodeId) {
+        let rpc_outer = self.clone();
+        let factory: CallFactory = Rc::new(move |call: &OamCall| {
+            let rpc = rpc_outer.clone();
+            let call = call.clone();
+            Box::pin(async move {
+                let (call_id, (session, seq, bytes)): (u32, (u32, u32, Vec<u8>)) =
+                    rpc.decode_request(&call.pkt.payload);
+                call.node.add_pending(rpc.marshal_cost(call.pkt.payload.len()));
+                let state =
+                    rpc.inner.sessions[call.node.id().index()].borrow().get(&session).cloned();
+                match state {
+                    Some(s) => {
+                        // Idempotent by `seq`: a retransmitted chunk
+                        // overwrites itself.
+                        s.chunks.borrow_mut().insert(seq, bytes);
+                        call.node.stats().borrow_mut().chunks_received += 1;
+                        let flag = s.flag.borrow().clone();
+                        flag.set();
+                    }
+                    None => {
+                        // Session already retired (cancelled, expired, or
+                        // closed with chunks still in flight).
+                        call.node.stats().borrow_mut().orphan_chunks += 1;
+                    }
+                }
+                if call_id != ONEWAY_SENTINEL {
+                    rpc.reply(&call, call_id, &()).await;
+                }
+            })
+        });
+        self.register_named(node, SESSION_CHUNK_METHOD, RpcMode::Orpc, factory, false);
     }
 
     /// The AM layer underneath.
@@ -482,7 +568,24 @@ impl Rpc {
         args: &A,
         deadline: Dur,
     ) -> Result<PayloadView, CallError> {
-        self.call_inner_opts(node, dst, id, &|w| args.encode(w), Some(deadline)).await
+        let opts = CallOpts { deadline: Some(deadline), ..CallOpts::default() };
+        self.call_inner_opts(node, dst, id, &|w| args.encode(w), opts).await
+    }
+
+    /// Perform a synchronous RPC with per-call options (deadline and/or
+    /// priority). The options travel in the request's header word, so they
+    /// require [`oam_model::MachineConfig::admission`]; on header-free
+    /// machines a priority is silently `Normal` and a deadline is
+    /// client-enforced only.
+    pub async fn call_args_with<A: Wire>(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        args: &A,
+        opts: CallOpts,
+    ) -> Result<PayloadView, CallError> {
+        self.call_inner_opts(node, dst, id, &|w| args.encode(w), opts).await
     }
 
     /// The synchronous-call primitive without a deadline: cannot fail.
@@ -493,10 +596,73 @@ impl Rpc {
         id: HandlerId,
         write_args: &dyn Fn(&mut WireWriter),
     ) -> PayloadView {
-        match self.call_inner_opts(node, dst, id, write_args, None).await {
+        match self.call_inner_opts(node, dst, id, write_args, CallOpts::default()).await {
             Ok(reply) => reply,
             Err(e) => unreachable!("deadline-free call cannot fail: {e:?}"),
         }
+    }
+
+    /// Compute the header word for a call issued now against `deadline_abs`:
+    /// the absolute deadline in µs (rounded up so the server never expires
+    /// a call before its caller would), with the priority packed into the
+    /// top bits (a no-op for `Normal`, keeping the legacy word bit-exact).
+    fn deadline_word(&self, deadline_abs: Option<Time>, prio: Priority) -> u32 {
+        let deadline_us = deadline_abs.map_or(NO_DEADLINE, |t| {
+            t.as_nanos().div_ceil(1_000).min(u64::from(NO_DEADLINE) - 1) as u32
+        });
+        pack_deadline_word(deadline_us, prio)
+    }
+
+    /// One issue attempt of a call: allocate a correlation slot, marshal,
+    /// charge the (once-per-call) marshal cost, send, and arm the
+    /// retransmission timer and deadline expiry. The returned slot is live
+    /// until a matching [`Rpc::wait_attempt`] (or manual teardown).
+    #[allow(clippy::too_many_arguments)]
+    async fn issue_attempt(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        write_args: &dyn Fn(&mut WireWriter),
+        deadline_word: u32,
+        deadline_abs: Option<Time>,
+        charged: &mut bool,
+    ) -> (u32, Rc<CallSlot>) {
+        let idx = node.id().index();
+        let (call_id, slot) = self.inner.tables[idx].borrow_mut().alloc();
+        let payload = self.marshal_request(node, call_id, deadline_word, write_args);
+        if !*charged {
+            *charged = true;
+            node.add_pending(self.marshal_cost(payload.len() - self.header_len()));
+        }
+        let resend = self.inner.reliable.then(|| payload.clone());
+        self.send_request(node, dst, id, payload).await;
+        if let Some(bytes) = resend {
+            self.arm_timer(node, dst, id, call_id, &slot, bytes);
+        }
+        if let Some(at) = deadline_abs {
+            self.arm_expiry(node, &slot, at);
+        }
+        (call_id, slot)
+    }
+
+    /// Wait for an issued attempt to settle, then tear its slot down and
+    /// release the call id. Returns the settled outcome and (for
+    /// [`Outcome::Replied`]) the reply view.
+    async fn wait_attempt(
+        &self,
+        node: &Node,
+        call_id: u32,
+        slot: Rc<CallSlot>,
+    ) -> (Outcome, PayloadView) {
+        node.spin_on(slot.flag.clone()).await;
+        self.cancel_timer(node.sim(), &slot);
+        self.cancel_expiry(node.sim(), &slot);
+        let outcome = slot.outcome.get();
+        let reply = slot.reply.borrow().clone();
+        drop(slot); // the table must hold the last reference to reuse it
+        self.inner.tables[node.id().index()].borrow_mut().release(call_id);
+        (outcome, reply)
     }
 
     /// The synchronous-call primitive: owns correlation, transport, the
@@ -510,42 +676,20 @@ impl Rpc {
         dst: NodeId,
         id: HandlerId,
         write_args: &dyn Fn(&mut WireWriter),
-        deadline: Option<Dur>,
+        opts: CallOpts,
     ) -> Result<PayloadView, CallError> {
         node.stats().borrow_mut().rpcs_sync += 1;
         node.add_pending(self.inner.cfg.cost.rpc_caller_overhead);
-        let idx = node.id().index();
         let issued = node.now();
-        let deadline_abs = deadline.map(|d| issued + d);
-        // Header word: absolute deadline in µs, rounded up so the server
-        // never expires a call before its caller would.
-        let deadline_us = deadline_abs.map_or(NO_DEADLINE, |t| {
-            t.as_nanos().div_ceil(1_000).min(u64::from(NO_DEADLINE) - 1) as u32
-        });
+        let deadline_abs = opts.deadline.map(|d| issued + d);
+        let deadline_word = self.deadline_word(deadline_abs, opts.priority);
         let mut attempt = 0u32;
         let mut charged = false;
         loop {
-            let (call_id, slot) = self.inner.tables[idx].borrow_mut().alloc();
-            let payload = self.marshal_request(node, call_id, deadline_us, write_args);
-            if !charged {
-                charged = true;
-                node.add_pending(self.marshal_cost(payload.len() - self.header_len()));
-            }
-            let resend = self.inner.reliable.then(|| payload.clone());
-            self.send_request(node, dst, id, payload).await;
-            if let Some(bytes) = resend {
-                self.arm_timer(node, dst, id, call_id, &slot, bytes);
-            }
-            if let Some(at) = deadline_abs {
-                self.arm_expiry(node, &slot, at);
-            }
-            node.spin_on(slot.flag.clone()).await;
-            self.cancel_timer(node.sim(), &slot);
-            self.cancel_expiry(node.sim(), &slot);
-            let outcome = slot.outcome.get();
-            let reply = slot.reply.borrow().clone();
-            drop(slot); // the table must hold the last reference to reuse it
-            self.inner.tables[idx].borrow_mut().release(call_id);
+            let (call_id, slot) = self
+                .issue_attempt(node, dst, id, write_args, deadline_word, deadline_abs, &mut charged)
+                .await;
+            let (outcome, reply) = self.wait_attempt(node, call_id, slot).await;
             match outcome {
                 Outcome::Replied => {
                     node.add_pending(self.inner.cfg.cost.reply_integrate);
@@ -583,6 +727,138 @@ impl Rpc {
                 Outcome::Pending => unreachable!("flag set without an outcome"),
             }
         }
+    }
+
+    /// Issue a call without waiting for its reply — the pipelining
+    /// primitive. Marshaling and sending happen here; the returned
+    /// [`RawCallHandle`] is awaited later with [`RawCallHandle::wait`],
+    /// letting the caller overlap the next call's marshaling (or any other
+    /// work) with this call's remote execution.
+    pub async fn issue_args<A: Wire>(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        args: &A,
+    ) -> RawCallHandle {
+        self.issue_args_with(node, dst, id, args, CallOpts::default()).await
+    }
+
+    /// As [`Rpc::issue_args`], with per-call options.
+    pub async fn issue_args_with<A: Wire>(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        args: &A,
+        opts: CallOpts,
+    ) -> RawCallHandle {
+        node.stats().borrow_mut().rpcs_sync += 1;
+        node.add_pending(self.inner.cfg.cost.rpc_caller_overhead);
+        let issued = node.now();
+        let deadline_abs = opts.deadline.map(|d| issued + d);
+        let deadline_word = self.deadline_word(deadline_abs, opts.priority);
+        // Keep the encoded arguments: a NACKed attempt re-issues them
+        // under a fresh call id from inside `wait`.
+        let args = crate::wire::to_bytes(args);
+        let mut charged = false;
+        let (call_id, slot) = self
+            .issue_attempt(
+                node,
+                dst,
+                id,
+                &|w| w.extend_from_slice(&args),
+                deadline_word,
+                deadline_abs,
+                &mut charged,
+            )
+            .await;
+        RawCallHandle {
+            rpc: self.clone(),
+            node: node.clone(),
+            dst,
+            id,
+            args,
+            issued,
+            deadline_abs,
+            deadline_word,
+            attempt: 0,
+            charged,
+            call_id,
+            slot: Some(slot),
+        }
+    }
+
+    /// Open a typed streaming session against a `stream` method: issues
+    /// the open exactly like a synchronous call (same wire encoding) and
+    /// registers a reassembly session keyed by the open's call id. Chunks
+    /// are consumed through the returned [`StreamHandle`].
+    pub async fn open_stream<A: Wire, C: Wire, F: Wire>(
+        &self,
+        node: &Node,
+        dst: NodeId,
+        id: HandlerId,
+        args: &A,
+        opts: CallOpts,
+    ) -> StreamHandle<C, F> {
+        node.add_pending(self.inner.cfg.cost.rpc_caller_overhead);
+        let issued = node.now();
+        let deadline_abs = opts.deadline.map(|d| issued + d);
+        let deadline_word = self.deadline_word(deadline_abs, opts.priority);
+        let args = crate::wire::to_bytes(args);
+        let mut charged = false;
+        let (call_id, slot) = self
+            .issue_attempt(
+                node,
+                dst,
+                id,
+                &|w| w.extend_from_slice(&args),
+                deadline_word,
+                deadline_abs,
+                &mut charged,
+            )
+            .await;
+        let session = Rc::new(SessionState {
+            chunks: RefCell::new(BTreeMap::new()),
+            flag: RefCell::new(slot.flag.clone()),
+        });
+        self.inner.sessions[node.id().index()].borrow_mut().insert(call_id, Rc::clone(&session));
+        node.stats().borrow_mut().sessions_opened += 1;
+        node.emit(TraceKind::SessionOpened { call_id, dst });
+        StreamHandle {
+            rpc: self.clone(),
+            node: node.clone(),
+            dst,
+            id,
+            args,
+            issued,
+            deadline_abs,
+            deadline_word,
+            attempt: 0,
+            charged,
+            call_id,
+            slot: Some(slot),
+            session,
+            next_seq: 0,
+            total: None,
+            fin: None,
+            error: None,
+            done: false,
+            _chunk: PhantomData,
+        }
+    }
+
+    /// Send the best-effort cancel frame for one of this node's calls to
+    /// `dst`. Fire-and-forget: no correlation slot, no retransmission — a
+    /// lost cancel just means the server completes the call and the
+    /// client's generation tag drops the stale reply.
+    fn send_cancel(&self, node: &Node, dst: NodeId, call_id: u32) {
+        self.inner.am.send_from_handler(
+            node,
+            dst,
+            CANCEL_ID,
+            PayloadBuf::inline(&call_id.to_le_bytes()),
+        );
     }
 
     /// Perform an asynchronous (one-way) RPC with `Wire`-encodable
@@ -840,6 +1116,25 @@ impl Rpc {
         id
     }
 
+    /// Register a `stream` method: like [`Rpc::register_named`], but the
+    /// engine site is made cancellable — an in-flight execution aborts at
+    /// its next suspension point when the opener's cancel frame arrives.
+    /// Only stream methods pay the per-call cancellation bookkeeping; the
+    /// single-shot hot path stays allocation-free.
+    pub fn register_stream_named(
+        &self,
+        node: NodeId,
+        name: &str,
+        mode: RpcMode,
+        factory: CallFactory,
+    ) -> HandlerId {
+        let id = handler_id_for(name);
+        self.inner.engine.register_name(id.0, name);
+        let policy = self.inner.engine.policy_for(id.0, mode);
+        self.register_policied_opts(node, id, policy, factory, true, true);
+        id
+    }
+
     fn register_policied(
         &self,
         node: NodeId,
@@ -848,8 +1143,23 @@ impl Rpc {
         factory: CallFactory,
         expects_reply: bool,
     ) {
+        self.register_policied_opts(node, id, policy, factory, expects_reply, false);
+    }
+
+    fn register_policied_opts(
+        &self,
+        node: NodeId,
+        id: HandlerId,
+        policy: ExecPolicy,
+        factory: CallFactory,
+        expects_reply: bool,
+        cancellable: bool,
+    ) {
         let mut site =
             self.inner.engine.site(policy, expects_reply, factory).with_call_correlation();
+        if cancellable {
+            site = site.with_cancellation();
+        }
         if site.abort_strategy() == AbortStrategy::Nack {
             let am = self.inner.am.clone();
             let engine = self.inner.engine.clone();
@@ -896,13 +1206,503 @@ fn nack_payload(call_id: u32, retry_after_us: u32) -> PayloadBuf {
     PayloadBuf::inline(&bytes)
 }
 
-/// Why a deadline-bearing call returned without a reply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why a call returned without a usable reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CallError {
     /// The per-call deadline passed before a reply arrived: either the
     /// caller's local expiry fired, or the remaining budget could not
     /// absorb the server's requested back-off.
     DeadlineExpired,
+    /// The reply (or a stream chunk) arrived but did not decode as the
+    /// stub's return type — a wire-schema mismatch surfaced to the caller
+    /// instead of a client panic.
+    ReplyDecode(crate::wire::WireError),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::DeadlineExpired => write!(f, "call deadline expired"),
+            CallError::ReplyDecode(e) => write!(f, "reply decode failed: {e:?}"),
+        }
+    }
+}
+
+/// Per-call options for the extended call entry points
+/// ([`Rpc::call_args_with`], [`Rpc::issue_args_with`],
+/// [`Rpc::open_stream`] and the generated `call_with` stubs).
+///
+/// Both fields travel in the header word that admission-controlled
+/// machines prepend to requests, so they are only *server*-enforced there;
+/// on header-free machines a deadline is still client-enforced (expiry +
+/// give-up) but a non-`Normal` priority is silently dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallOpts {
+    /// Give up after this long: the server drops the call unexecuted past
+    /// the deadline, and the caller stops waiting at the same instant.
+    pub deadline: Option<Dur>,
+    /// Dispatch and admission priority: `High` calls jump the run queue
+    /// and are admitted into 1.5× the pending budget; `Low` calls queue
+    /// behind everything and are shed at half of it.
+    pub priority: Priority,
+}
+
+impl CallOpts {
+    /// Builder: set the deadline.
+    pub fn with_deadline(mut self, d: Dur) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Builder: set the priority.
+    pub fn with_priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+}
+
+/// An issued, not-yet-awaited call — the pipelining primitive returned by
+/// [`Rpc::issue_args`]. The request is already on the wire; the caller
+/// collects the reply later with [`RawCallHandle::wait`], aborts it with
+/// [`RawCallHandle::cancel`], or just drops it (local teardown only — the
+/// server still executes, and its reply is dropped as stale).
+pub struct RawCallHandle {
+    rpc: Rpc,
+    node: Node,
+    dst: NodeId,
+    id: HandlerId,
+    /// Encoded argument bytes, kept for NACK-driven re-issue under a
+    /// fresh call id.
+    args: Vec<u8>,
+    issued: Time,
+    deadline_abs: Option<Time>,
+    deadline_word: u32,
+    attempt: u32,
+    charged: bool,
+    call_id: u32,
+    slot: Option<Rc<CallSlot>>,
+}
+
+impl RawCallHandle {
+    /// The call's current correlation id (changes on NACK re-issue).
+    pub fn call_id(&self) -> u32 {
+        self.call_id
+    }
+
+    /// Wait for the reply, driving NACK back-off/retry and deadline expiry
+    /// exactly like a synchronous call would. Consumes the handle.
+    pub async fn wait(mut self) -> Result<PayloadView, CallError> {
+        let rpc = self.rpc.clone();
+        let node = self.node.clone();
+        let args = std::mem::take(&mut self.args);
+        loop {
+            let slot = self.slot.take().expect("handle waited with a live slot");
+            let call_id = self.call_id;
+            let (outcome, reply) = rpc.wait_attempt(&node, call_id, slot).await;
+            match outcome {
+                Outcome::Replied => {
+                    node.add_pending(rpc.inner.cfg.cost.reply_integrate);
+                    node.add_pending(rpc.marshal_cost(reply.len()));
+                    if self.deadline_abs.is_some() {
+                        let mut st = node.stats().borrow_mut();
+                        st.calls_completed += 1;
+                        st.latency.record(node.now().since(self.issued));
+                    }
+                    return Ok(reply);
+                }
+                Outcome::Nacked { retry_after_us } => {
+                    self.attempt += 1;
+                    let delay = rpc.backoff_delay(&node, self.attempt, retry_after_us);
+                    if let Some(at) = self.deadline_abs {
+                        if node.now() + delay >= at {
+                            node.stats().borrow_mut().calls_abandoned += 1;
+                            node.emit(TraceKind::CallAbandoned { call_id, dst: self.dst });
+                            return Err(CallError::DeadlineExpired);
+                        }
+                    }
+                    if retry_after_us > 0 {
+                        node.stats().borrow_mut().retry_after_honored += 1;
+                    }
+                    rpc.backoff_sleep(&node, delay).await;
+                    let mut charged = self.charged;
+                    let (ncid, nslot) = rpc
+                        .issue_attempt(
+                            &node,
+                            self.dst,
+                            self.id,
+                            &|w| w.extend_from_slice(&args),
+                            self.deadline_word,
+                            self.deadline_abs,
+                            &mut charged,
+                        )
+                        .await;
+                    self.charged = charged;
+                    self.call_id = ncid;
+                    self.slot = Some(nslot);
+                }
+                Outcome::Expired => {
+                    node.stats().borrow_mut().calls_abandoned += 1;
+                    node.emit(TraceKind::CallAbandoned { call_id, dst: self.dst });
+                    return Err(CallError::DeadlineExpired);
+                }
+                Outcome::Pending => unreachable!("flag set without an outcome"),
+            }
+        }
+    }
+
+    /// Cancel the call: tells the server to abort the in-flight execution
+    /// (best-effort) and tears the local correlation down (via `Drop`).
+    pub fn cancel(self) {
+        self.rpc.send_cancel(&self.node, self.dst, self.call_id);
+    }
+}
+
+/// A [`RawCallHandle`] with a typed return value — what the generated
+/// `issue` stubs hand back. [`CallHandle::wait`] decodes the reply as `T`.
+pub struct CallHandle<T: Wire> {
+    raw: RawCallHandle,
+    _ret: PhantomData<T>,
+}
+
+impl<T: Wire> CallHandle<T> {
+    /// Wrap a raw handle. Used by the generated stubs.
+    #[doc(hidden)]
+    pub fn from_raw(raw: RawCallHandle) -> Self {
+        CallHandle { raw, _ret: PhantomData }
+    }
+
+    /// The call's current correlation id.
+    pub fn call_id(&self) -> u32 {
+        self.raw.call_id()
+    }
+
+    /// Wait for the reply and decode it as `T`.
+    pub async fn wait(self) -> Result<T, CallError> {
+        let reply = self.raw.wait().await?;
+        crate::wire::from_bytes(&reply).map_err(CallError::ReplyDecode)
+    }
+
+    /// Cancel the call (see [`RawCallHandle::cancel`]).
+    pub fn cancel(self) {
+        self.raw.cancel();
+    }
+}
+
+impl Drop for RawCallHandle {
+    fn drop(&mut self) {
+        // `wait` consumed the slot → nothing to tear down. Otherwise the
+        // call is still correlated: disarm its timers and free the id so a
+        // late reply is dropped as stale.
+        let Some(slot) = self.slot.take() else { return };
+        self.rpc.cancel_timer(self.node.sim(), &slot);
+        self.rpc.cancel_expiry(self.node.sim(), &slot);
+        drop(slot);
+        self.rpc.inner.tables[self.node.id().index()].borrow_mut().release(self.call_id);
+    }
+}
+
+/// The client half of an open streaming session, returned by
+/// [`Rpc::open_stream`] (the generated `call` stub of a `stream` method).
+/// Yields chunks in sequence through [`StreamHandle::next`]; ends with
+/// [`StreamHandle::finish`] (the server's final value) or
+/// [`StreamHandle::cancel`]. Dropping the handle without finishing counts
+/// the session as cancelled.
+pub struct StreamHandle<C: Wire, F: Wire> {
+    rpc: Rpc,
+    node: Node,
+    dst: NodeId,
+    id: HandlerId,
+    args: Vec<u8>,
+    issued: Time,
+    deadline_abs: Option<Time>,
+    deadline_word: u32,
+    attempt: u32,
+    charged: bool,
+    call_id: u32,
+    slot: Option<Rc<CallSlot>>,
+    session: Rc<SessionState>,
+    /// Next chunk sequence number to hand out.
+    next_seq: u32,
+    /// Total chunk count, known once the Close reply arrives.
+    total: Option<u32>,
+    /// The server's final value, held until `finish`.
+    fin: Option<F>,
+    error: Option<CallError>,
+    /// Retired via `finish`-Ok: `Drop` must not count it cancelled.
+    done: bool,
+    _chunk: PhantomData<C>,
+}
+
+impl<C: Wire, F: Wire> StreamHandle<C, F> {
+    /// The session id (= the open call's current correlation id).
+    pub fn session_id(&self) -> u32 {
+        self.call_id
+    }
+
+    /// Receive the next chunk in sequence, waiting for it to arrive if
+    /// necessary. Returns `None` once the stream is complete (Close seen
+    /// and every declared chunk consumed) or broken (NACK budget or
+    /// deadline exhausted, decode failure) — [`StreamHandle::finish`]
+    /// then reports which.
+    pub async fn next(&mut self) -> Option<C> {
+        loop {
+            let buffered = self.session.chunks.borrow_mut().remove(&self.next_seq);
+            if let Some(bytes) = buffered {
+                self.next_seq += 1;
+                match crate::wire::from_bytes::<C>(&bytes) {
+                    Ok(chunk) => return Some(chunk),
+                    Err(e) => {
+                        self.error = Some(CallError::ReplyDecode(e));
+                        return None;
+                    }
+                }
+            }
+            if self.error.is_some() {
+                return None;
+            }
+            if let Some(total) = self.total {
+                if self.next_seq >= total {
+                    return None;
+                }
+                // Closed but a declared chunk is still in flight
+                // (reordered or being retransmitted): keep waiting.
+            }
+            if self.slot.as_ref().is_some_and(|s| s.outcome.get() != Outcome::Pending) {
+                self.advance_outcome().await;
+                continue;
+            }
+            // Nothing actionable right now. Clearing then re-waiting is
+            // race-free: no await between the checks above and here, so
+            // any set flag was for state already consumed.
+            let flag = self.session.flag.borrow().clone();
+            flag.clear();
+            self.node.spin_on(flag).await;
+        }
+    }
+
+    /// Drive the settled open call forward: decode the Close reply, or
+    /// back off and re-issue after a NACK (re-keying the session under
+    /// the fresh call id), or surface deadline expiry.
+    async fn advance_outcome(&mut self) {
+        let slot = self.slot.take().expect("outcome checked on a live slot");
+        let call_id = self.call_id;
+        let (outcome, reply) = self.rpc.wait_attempt(&self.node, call_id, slot).await;
+        match outcome {
+            Outcome::Replied => {
+                self.node.add_pending(self.rpc.inner.cfg.cost.reply_integrate);
+                self.node.add_pending(self.rpc.marshal_cost(reply.len()));
+                let mut rd = WireReader::new(&reply);
+                let decoded = u32::decode(&mut rd).and_then(|n| F::decode(&mut rd).map(|f| (n, f)));
+                match decoded {
+                    Ok((count, fin)) => {
+                        self.total = Some(count);
+                        self.fin = Some(fin);
+                    }
+                    Err(e) => self.error = Some(CallError::ReplyDecode(e)),
+                }
+            }
+            Outcome::Nacked { retry_after_us } => {
+                self.attempt += 1;
+                let delay = self.rpc.backoff_delay(&self.node, self.attempt, retry_after_us);
+                if let Some(at) = self.deadline_abs {
+                    if self.node.now() + delay >= at {
+                        self.node.stats().borrow_mut().calls_abandoned += 1;
+                        self.node.emit(TraceKind::CallAbandoned { call_id, dst: self.dst });
+                        self.error = Some(CallError::DeadlineExpired);
+                        return;
+                    }
+                }
+                if retry_after_us > 0 {
+                    self.node.stats().borrow_mut().retry_after_honored += 1;
+                }
+                self.rpc.backoff_sleep(&self.node, delay).await;
+                // Re-issue under a fresh call id and re-key the session:
+                // the shed open never executed, so no chunks are lost.
+                let idx = self.node.id().index();
+                self.rpc.inner.sessions[idx].borrow_mut().remove(&call_id);
+                let args = std::mem::take(&mut self.args);
+                let mut charged = self.charged;
+                let (ncid, nslot) = self
+                    .rpc
+                    .issue_attempt(
+                        &self.node,
+                        self.dst,
+                        self.id,
+                        &|w| w.extend_from_slice(&args),
+                        self.deadline_word,
+                        self.deadline_abs,
+                        &mut charged,
+                    )
+                    .await;
+                self.args = args;
+                self.charged = charged;
+                *self.session.flag.borrow_mut() = nslot.flag.clone();
+                self.rpc.inner.sessions[idx].borrow_mut().insert(ncid, Rc::clone(&self.session));
+                self.call_id = ncid;
+                self.slot = Some(nslot);
+            }
+            Outcome::Expired => {
+                self.node.stats().borrow_mut().calls_abandoned += 1;
+                self.node.emit(TraceKind::CallAbandoned { call_id, dst: self.dst });
+                self.error = Some(CallError::DeadlineExpired);
+            }
+            Outcome::Pending => unreachable!("advance_outcome called on a settled slot"),
+        }
+    }
+
+    /// Wait for the server's Close and return its final value. On a broken
+    /// stream this sends the best-effort cancel frame (the server may
+    /// still be producing chunks nobody wants) and returns the error; the
+    /// session then retires as cancelled.
+    pub async fn finish(mut self) -> Result<F, CallError> {
+        loop {
+            if let Some(e) = self.error.take() {
+                self.rpc.send_cancel(&self.node, self.dst, self.call_id);
+                return Err(e);
+            }
+            if self.total.is_some() {
+                let fin = self.fin.take().expect("Close decoded with its final value");
+                self.retire_closed();
+                return Ok(fin);
+            }
+            if self.slot.as_ref().is_some_and(|s| s.outcome.get() != Outcome::Pending) {
+                self.advance_outcome().await;
+                continue;
+            }
+            let flag = self.session.flag.borrow().clone();
+            flag.clear();
+            self.node.spin_on(flag).await;
+        }
+    }
+
+    /// Cancel the session: tells the server to abort the in-flight stream
+    /// body (best-effort) and retires the session locally (via `Drop`).
+    pub fn cancel(self) {
+        self.rpc.send_cancel(&self.node, self.dst, self.call_id);
+    }
+
+    /// Retire a cleanly-closed session: the one path that counts
+    /// `sessions_closed` (everything else — cancel, error, drop — counts
+    /// `sessions_cancelled`), so `opened == closed + cancelled` holds per
+    /// handle retirement.
+    fn retire_closed(&mut self) {
+        self.done = true;
+        let idx = self.node.id().index();
+        self.rpc.inner.sessions[idx].borrow_mut().remove(&self.call_id);
+        let chunks = self.total.unwrap_or(0);
+        {
+            let mut st = self.node.stats().borrow_mut();
+            st.sessions_closed += 1;
+            if self.deadline_abs.is_some() {
+                st.calls_completed += 1;
+                st.latency.record(self.node.now().since(self.issued));
+            }
+        }
+        self.node.emit(TraceKind::SessionClosed { call_id: self.call_id, chunks });
+    }
+}
+
+impl<C: Wire, F: Wire> Drop for StreamHandle<C, F> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Local teardown only — no wire traffic from a destructor. An
+        // explicit `cancel` already sent the frame; a bare drop lets the
+        // generation tag absorb whatever the server still sends.
+        let idx = self.node.id().index();
+        self.rpc.inner.sessions[idx].borrow_mut().remove(&self.call_id);
+        if let Some(slot) = self.slot.take() {
+            self.rpc.cancel_timer(self.node.sim(), &slot);
+            self.rpc.cancel_expiry(self.node.sim(), &slot);
+            drop(slot);
+            self.rpc.inner.tables[idx].borrow_mut().release(self.call_id);
+        }
+        self.node.stats().borrow_mut().sessions_cancelled += 1;
+        self.node.emit(TraceKind::SessionCancelled { call_id: self.call_id, dst: self.dst });
+    }
+}
+
+/// The server half of an open stream: a typestate token threaded through
+/// the `stream` method body by the generated stub. Each
+/// [`StreamTx::send`] consumes the sender and returns it, and
+/// [`StreamTx::close`] consumes it for good, returning the
+/// [`StreamClosed`] proof the stub requires the body to evaluate to — so
+/// `send` after `close`, double `close`, and a body that never closes are
+/// all compile errors, not protocol violations.
+pub struct StreamTx<C: Wire> {
+    rpc: Rpc,
+    call: OamCall,
+    /// The session id chunks are addressed to (= the open's call id).
+    session: u32,
+    /// Next chunk sequence number.
+    seq: u32,
+    _chunk: PhantomData<C>,
+}
+
+impl<C: Wire> StreamTx<C> {
+    /// Build the sender for an open call. Used by the generated stubs.
+    #[doc(hidden)]
+    pub fn new(rpc: Rpc, call: OamCall, session: u32) -> Self {
+        StreamTx { rpc, call, session, seq: 0, _chunk: PhantomData }
+    }
+
+    /// The session id this stream serves.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// Chunks sent so far.
+    pub fn sent(&self) -> u32 {
+        self.seq
+    }
+
+    /// Send one chunk to the session's opener (a one-way call of the
+    /// internal chunk method — reliable wherever calls are). Every chunk
+    /// boundary is also a [`Node::checkpoint`]: a long-running promoted
+    /// stream handler dispatches deliverable messages between chunks —
+    /// which is what keeps the node responsive and lets a client's cancel
+    /// frame reach the engine while the stream is still producing.
+    pub async fn send(mut self, chunk: &C) -> StreamTx<C> {
+        let seq = self.seq;
+        self.seq += 1;
+        {
+            let mut st = self.call.node.stats().borrow_mut();
+            st.method_mut(self.call.pkt.tag).chunks += 1;
+        }
+        let bytes = crate::wire::to_bytes(chunk);
+        let caller = self.call.pkt.src;
+        self.rpc
+            .send_oneway_args(
+                &self.call.node,
+                caller,
+                SESSION_CHUNK_ID,
+                &(self.session, seq, bytes),
+            )
+            .await;
+        self.call.node.checkpoint().await;
+        self
+    }
+
+    /// Close the stream: replies to the open call with
+    /// `[chunk_count][final]`, which both delivers the final value and
+    /// (with duplicate suppression active) stops open-retransmissions from
+    /// re-running the body.
+    pub async fn close<F: Wire>(self, fin: &F) -> StreamClosed {
+        let mut w = WireWriter::pooled(self.rpc.inner.am.pool(self.call.node.id()).clone());
+        self.session.encode(&mut w);
+        self.seq.encode(&mut w);
+        fin.encode(&mut w);
+        self.rpc.reply_payload(&self.call, self.session, w.finish()).await;
+        StreamClosed { _priv: () }
+    }
+}
+
+/// Proof that a stream body closed its session — constructible only by
+/// [`StreamTx::close`]. The generated `stream` stubs type the method body
+/// as evaluating to this.
+pub struct StreamClosed {
+    _priv: (),
 }
 
 /// Context passed to remote-procedure bodies by the generated stubs.

@@ -49,7 +49,7 @@ define_rpc_service! {
                 // A synchronous call inside the handler: the optimistic
                 // execution must abort (it waits) and complete as a
                 // promoted thread.
-                Chain::relay::call(&ctx.rpc, ctx.node(), next, hops - 1, path).await
+                Chain::relay::call(&ctx.rpc, ctx.node(), next, hops - 1, path).await.expect("reply decode")
             }
         }
 
@@ -76,7 +76,8 @@ fn nested_synchronous_calls_abort_and_complete_as_threads() {
     let got: Rc<RefCell<Vec<u32>>> = Rc::default();
     let g = got.clone();
     node0.spawn(async move {
-        *g.borrow_mut() = Chain::relay::call(&r, &n0, NodeId(1), 5, Vec::new()).await;
+        *g.borrow_mut() =
+            Chain::relay::call(&r, &n0, NodeId(1), 5, Vec::new()).await.expect("reply decode");
     });
     sim.run();
     assert_eq!(*got.borrow(), vec![1, 2, 3, 0, 1, 2], "the relay visited six nodes in ring order");
@@ -103,7 +104,8 @@ fn nested_calls_also_work_under_trpc() {
     let got: Rc<RefCell<Vec<u32>>> = Rc::default();
     let g = got.clone();
     node0.spawn(async move {
-        *g.borrow_mut() = Chain::relay::call(&r, &n0, NodeId(1), 3, Vec::new()).await;
+        *g.borrow_mut() =
+            Chain::relay::call(&r, &n0, NodeId(1), 3, Vec::new()).await.expect("reply decode");
     });
     sim.run();
     assert_eq!(*got.borrow(), vec![1, 2, 0, 1]);
@@ -118,7 +120,7 @@ fn bulk_reply_roundtrips_large_data() {
     let ok = Rc::new(RefCell::new(false));
     let okc = ok.clone();
     node0.spawn(async move {
-        let v = Chain::big::call(&r, &n0, NodeId(1), 10_000).await;
+        let v = Chain::big::call(&r, &n0, NodeId(1), 10_000).await.expect("reply decode");
         assert_eq!(v.len(), 10_000);
         assert_eq!(v[9_999], 9_999);
         *okc.borrow_mut() = true;
@@ -141,7 +143,8 @@ fn deep_recursion_respects_dispatch_depth_limits() {
     let got: Rc<RefCell<usize>> = Rc::default();
     let g = got.clone();
     node0.spawn(async move {
-        let path = Chain::relay::call(&r, &n0, NodeId(1), 40, Vec::new()).await;
+        let path =
+            Chain::relay::call(&r, &n0, NodeId(1), 40, Vec::new()).await.expect("reply decode");
         *g.borrow_mut() = path.len();
     });
     sim.run();

@@ -109,10 +109,10 @@ fn sync_rpc_round_trip_in_both_modes() {
         let got: Rc<RefCell<Vec<Option<u64>>>> = Rc::default();
         let g = got.clone();
         node0.spawn(async move {
-            let a = Kv::put::call(&r, &n0, NodeId(1), 1, 100).await;
-            let b = Kv::put::call(&r, &n0, NodeId(1), 1, 200).await;
-            let c = Kv::get::call(&r, &n0, NodeId(1), 1).await;
-            let d = Kv::get::call(&r, &n0, NodeId(1), 9).await;
+            let a = Kv::put::call(&r, &n0, NodeId(1), 1, 100).await.expect("reply decode");
+            let b = Kv::put::call(&r, &n0, NodeId(1), 1, 200).await.expect("reply decode");
+            let c = Kv::get::call(&r, &n0, NodeId(1), 1).await.expect("reply decode");
+            let d = Kv::get::call(&r, &n0, NodeId(1), 9).await.expect("reply decode");
             g.borrow_mut().extend([a, b, c, d]);
         });
         sim.run();
@@ -144,7 +144,7 @@ fn oneway_rpc_delivers_without_reply() {
         Kv::put_async::send(&r, &n0, NodeId(1), 7, 77).await;
         // Oneways race with subsequent calls only through the same FIFO
         // channel, so this get observes the put.
-        *g.borrow_mut() = Kv::get::call(&r, &n0, NodeId(1), 7).await;
+        *g.borrow_mut() = Kv::get::call(&r, &n0, NodeId(1), 7).await.expect("reply decode");
     });
     sim.run();
     assert_eq!(*got.borrow(), Some(77));
@@ -163,7 +163,7 @@ fn large_payloads_travel_by_bulk_transfer() {
     let okc = ok.clone();
     node0.spawn(async move {
         let data: Vec<f64> = (0..80).map(|i| i as f64).collect(); // 640 B
-        let out = Kv::echo_buf::call(&r, &n0, NodeId(1), data.clone()).await;
+        let out = Kv::echo_buf::call(&r, &n0, NodeId(1), data.clone()).await.expect("reply decode");
         assert_eq!(out.len(), 80);
         assert!(out.iter().enumerate().all(|(i, x)| *x == 2.0 * i as f64));
         *okc.borrow_mut() = true;
@@ -190,8 +190,8 @@ fn gated_call_stays_parked_while_gate_closed() {
     let got: Rc<RefCell<Option<u64>>> = Rc::default();
     let g = got.clone();
     node0.spawn(async move {
-        Kv::put::call(&r, &n0, NodeId(1), 3, 33).await;
-        *g.borrow_mut() = Kv::gated_get::call(&r, &n0, NodeId(1), 3).await;
+        Kv::put::call(&r, &n0, NodeId(1), 3, 33).await.expect("reply decode");
+        *g.borrow_mut() = Kv::gated_get::call(&r, &n0, NodeId(1), 3).await.expect("reply decode");
     });
     let quiesced = sim.run_with_deadline(oam_model::Time::from_nanos(10_000_000));
     assert!(quiesced, "simulation must go quiet, not busy-loop");
@@ -215,8 +215,8 @@ fn gated_call_resumes_after_signal() {
     let got: Rc<RefCell<Option<u64>>> = Rc::default();
     let g = got.clone();
     node0.spawn(async move {
-        Kv::put::call(&r, &n0, NodeId(1), 3, 33).await;
-        *g.borrow_mut() = Kv::gated_get::call(&r, &n0, NodeId(1), 3).await;
+        Kv::put::call(&r, &n0, NodeId(1), 3, 33).await.expect("reply decode");
+        *g.borrow_mut() = Kv::gated_get::call(&r, &n0, NodeId(1), 3).await.expect("reply decode");
     });
     // A thread on node 1 opens the gate at ~300 µs.
     let st1 = Rc::clone(&states[1]);
@@ -269,7 +269,8 @@ fn nack_strategy_retries_until_success() {
     let got: Rc<RefCell<Option<Option<u64>>>> = Rc::default();
     let g = got.clone();
     node0.spawn(async move {
-        *g.borrow_mut() = Some(Kv::put::call(&r, &n0, NodeId(1), 1, 11).await);
+        *g.borrow_mut() =
+            Some(Kv::put::call(&r, &n0, NodeId(1), 1, 11).await.expect("reply decode"));
     });
     sim.run();
     assert_eq!(*got.borrow(), Some(None), "the put eventually succeeded");
@@ -297,11 +298,13 @@ fn orpc_and_trpc_agree_on_results() {
             node.spawn(async move {
                 let dst = NodeId((i + 1) % 4);
                 for k in 0..8u32 {
-                    Kv::put::call(&r, &n, dst, k, (i as u64) * 100 + k as u64).await;
+                    Kv::put::call(&r, &n, dst, k, (i as u64) * 100 + k as u64)
+                        .await
+                        .expect("reply decode");
                 }
                 let mut local = Vec::new();
                 for k in 0..8u32 {
-                    local.push(Kv::get::call(&r, &n, dst, k).await);
+                    local.push(Kv::get::call(&r, &n, dst, k).await.expect("reply decode"));
                 }
                 o.borrow_mut().extend(local);
             });

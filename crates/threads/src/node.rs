@@ -307,7 +307,7 @@ impl Node {
     /// Spawn an application thread (queued at the back). Returns a handle
     /// the spawner can `join`.
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
-        self.spawn_placed(fut, Placement::Back)
+        self.spawn_placed(fut, Placement::Back).0
     }
 
     /// Spawn a thread for an incoming RPC, placed per the machine's
@@ -316,14 +316,25 @@ impl Node {
         &self,
         fut: impl Future<Output = T> + 'static,
     ) -> JoinHandle<T> {
-        self.spawn_placed(fut, Placement::Policy)
+        self.spawn_placed(fut, Placement::Policy).0
+    }
+
+    /// Spawn a thread for an incoming RPC at an explicit queue position —
+    /// priority dispatch overrides the configured policy — and return its
+    /// thread id so the call engine can wake it for cancellation.
+    pub fn spawn_incoming_at(
+        &self,
+        fut: impl Future<Output = ()> + 'static,
+        place: Placement,
+    ) -> ThreadId {
+        self.spawn_placed(fut, place).1
     }
 
     fn spawn_placed<T: 'static>(
         &self,
         fut: impl Future<Output = T> + 'static,
         place: Placement,
-    ) -> JoinHandle<T> {
+    ) -> (JoinHandle<T>, ThreadId) {
         let handle = JoinHandle::new(self.clone());
         let inner = handle.shared();
         let node = self.clone();
@@ -350,7 +361,7 @@ impl Node {
         self.add_pending(self.inner.cfg.cost.enqueue_runnable);
         self.enqueue(tid, place);
         self.wake_if_idle();
-        handle
+        (handle, tid)
     }
 
     /// Reserve a provisional thread slot for an optimistic execution. If

@@ -165,6 +165,37 @@ pub fn to_chrome_json(rec: &Recorder) -> String {
                     dst.index()
                 );
             }
+            TraceKind::SessionOpened { call_id, dst } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"sess-open {call_id}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"dst":{}}}}}"#,
+                    dst.index()
+                );
+            }
+            TraceKind::SessionClosed { call_id, chunks } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"sess-close {call_id}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"chunks":{chunks}}}}}"#,
+                );
+            }
+            TraceKind::SessionCancelled { call_id, dst } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"sess-cancel {call_id}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"dst":{}}}}}"#,
+                    dst.index()
+                );
+            }
+            TraceKind::CallCancelled { tag, caller, call_id } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    r#"  {{"name":"cancelled {tag}","ph":"i","pid":{pid},"tid":0,"ts":{ts},"s":"p","args":{{"caller":{},"call_id":{call_id}}}}}"#,
+                    caller.index()
+                );
+            }
             TraceKind::ThreadSpawned { .. } => {}
         }
     }
@@ -210,6 +241,9 @@ pub struct NodeSummary {
     /// Overload-control events on this node (calls shed by admission
     /// control, dropped past their deadline, or abandoned by the caller).
     pub overload: usize,
+    /// Streaming-session lifecycle events on this node (opens, closes,
+    /// cancels, and server-side call cancellations).
+    pub sessions: usize,
     /// Total time spent idle (closed intervals only).
     pub idle: Dur,
 }
@@ -242,6 +276,10 @@ pub fn summarize(rec: &Recorder, nodes: usize) -> Vec<NodeSummary> {
             TraceKind::CallShed { .. }
             | TraceKind::CallExpired { .. }
             | TraceKind::CallAbandoned { .. } => s.overload += 1,
+            TraceKind::SessionOpened { .. }
+            | TraceKind::SessionClosed { .. }
+            | TraceKind::SessionCancelled { .. }
+            | TraceKind::CallCancelled { .. } => s.sessions += 1,
             TraceKind::ThreadSpawned { .. } | TraceKind::ThreadFinished { .. } => {}
         }
     }

@@ -90,7 +90,10 @@ fn main() {
                 st.ready.broadcast();
             } else {
                 loop {
-                    match JobQueue::take::call(env.rpc(), env.node(), NodeId(0)).await {
+                    match JobQueue::take::call(env.rpc(), env.node(), NodeId(0))
+                        .await
+                        .expect("reply decode")
+                    {
                         None => break,
                         Some(j) => {
                             env.charge(Dur::from_micros(50 + j % 7 * 10)).await;

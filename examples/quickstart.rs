@@ -55,7 +55,7 @@ fn run(mode: RpcMode) {
         let dst = NodeId((env.id().index() + 1) % env.nprocs());
         let mut last = 0;
         for i in 0..100u64 {
-            last = Counter::add::call(env.rpc(), env.node(), dst, i).await;
+            last = Counter::add::call(env.rpc(), env.node(), dst, i).await.expect("reply decode");
         }
         Counter::bump::send(env.rpc(), env.node(), dst).await;
         assert_eq!(last, (0..99).sum::<u64>());

@@ -72,7 +72,9 @@ fn main() {
                 }
             } else {
                 for _ in 0..3 {
-                    let j = Jobs::take::call(env.rpc(), env.node(), NodeId(0)).await;
+                    let j = Jobs::take::call(env.rpc(), env.node(), NodeId(0))
+                        .await
+                        .expect("reply decode");
                     env.charge(Dur::from_micros(30 + j * 5)).await;
                 }
             }

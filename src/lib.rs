@@ -60,7 +60,7 @@
 //!     let report = machine.run(|env| async move {
 //!         let dst = NodeId((env.id().index() + 1) % env.nprocs());
 //!         for i in 0..10 {
-//!             Counter::add::call(env.rpc(), env.node(), dst, i).await;
+//!             Counter::add::call(env.rpc(), env.node(), dst, i).await.expect("reply decode");
 //!         }
 //!     });
 //!     // Every call ran optimistically: no server threads were created.
@@ -86,12 +86,15 @@ pub use oam_trace as trace;
 /// Everything needed to build and run programs on the simulated machine.
 pub mod prelude {
     pub use oam_am::{AmToken, HandlerEntry, HandlerId};
-    pub use oam_core::{CallEngine, CallFactory, MethodSite, OamCall};
+    pub use oam_core::{CallEngine, CallFactory, MethodSite, OamCall, Priority};
     pub use oam_machine::{Collectives, Machine, MachineBuilder, NodeEnv, Reducer, RunReport};
     pub use oam_model::{
-        AbortReason, AbortStrategy, AdaptivePolicy, Backend, CallMode, CostModel, Dur, ExecPolicy,
-        MachineConfig, NodeId, QueuePolicy, ShardTuning, Time,
+        AbortReason, AbortStrategy, AdaptivePolicy, AdmissionConfig, Backend, CallMode, CostModel,
+        Dur, ExecPolicy, MachineConfig, NodeId, QueuePolicy, ShardTuning, Time,
     };
-    pub use oam_rpc::{define_rpc_service, Rpc, RpcCtx, RpcMode, Wire};
+    pub use oam_rpc::{
+        define_rpc_service, CallError, CallHandle, CallOpts, Rpc, RpcCtx, RpcMode, StreamClosed,
+        StreamHandle, StreamTx, Wire,
+    };
     pub use oam_threads::{CondVar, Flag, JoinHandle, Mutex, Node};
 }

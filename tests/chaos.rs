@@ -150,7 +150,9 @@ fn without_retransmission_a_lossy_run_yields_a_hang_report_not_a_hang() {
     let report = machine
         .run_with_watchdog(Time::from_nanos(1_000_000_000), |env| async move {
             if env.id().index() == 0 {
-                let _ = Echo::echo::call(env.rpc(), env.node(), NodeId(1), 1).await;
+                let _ = Echo::echo::call(env.rpc(), env.node(), NodeId(1), 1)
+                    .await
+                    .expect("reply decode");
             }
         })
         .expect_err("a run with certain loss and no retransmission cannot complete");
@@ -179,7 +181,9 @@ fn a_live_but_unfinished_run_reports_budget_exceeded() {
     let report = machine
         .run_with_watchdog(Time::from_nanos(50_000_000), |env| async move {
             if env.id().index() == 0 {
-                let _ = Echo::echo::call(env.rpc(), env.node(), NodeId(1), 1).await;
+                let _ = Echo::echo::call(env.rpc(), env.node(), NodeId(1), 1)
+                    .await
+                    .expect("reply decode");
             }
         })
         .expect_err("certain loss cannot complete even with retransmission");
@@ -242,6 +246,46 @@ fn overloaded_service_survives_chaos_and_a_server_stall() {
     assert_eq!(
         (a.completed, a.shed, a.expired, a.abandoned),
         (b.completed, b.shed, b.expired, b.abandoned)
+    );
+    assert_eq!(a.app.stats, b.app.stats, "identical per-node statistics, counter for counter");
+}
+
+#[test]
+fn streaming_scans_survive_5pct_chaos_and_retire_every_session() {
+    use optimistic_active_messages::apps::service::{run, ServiceParams};
+    // Heavy arrivals fetch their scans as chunked sessions over a 5%
+    // drop/dup/delay fabric. Chunks ride the reliable oneway path and the
+    // Open/Close pair rides the reliable request path, so the protocol
+    // must come out whole: every opened session ends in exactly one Close
+    // or exactly one Cancel, and the chunk totals match what the Close
+    // frames promised.
+    let params = || ServiceParams {
+        load_x100: 150,
+        arrivals: 64,
+        streaming: true,
+        fault: Some(chaos_plan(0.05)),
+        ..ServiceParams::default()
+    };
+    let a = run(params());
+    let t = a.app.stats.total();
+    assert!(t.packets_dropped > 0, "the plan did bite");
+    assert!(t.retransmits > 0, "losses were recovered by retransmission");
+    assert!(a.sessions_opened > 0, "heavy arrivals opened streaming sessions");
+    assert_eq!(
+        a.sessions_opened,
+        a.sessions_closed + a.sessions_cancelled,
+        "every session ends in exactly one Close or one Cancel"
+    );
+    assert!(t.chunks_received > 0, "sessions streamed chunks through the chaos");
+    let arrivals = (params().drivers as u64) * u64::from(params().arrivals);
+    assert_eq!(a.completed + a.abandoned, arrivals, "every arrival resolves exactly once");
+    // And the whole streaming story replays bit-for-bit from the seed.
+    let b = run(params());
+    assert_eq!(a.app.answer, b.app.answer);
+    assert_eq!(a.app.elapsed, b.app.elapsed);
+    assert_eq!(
+        (a.sessions_opened, a.sessions_closed, a.sessions_cancelled),
+        (b.sessions_opened, b.sessions_closed, b.sessions_cancelled)
     );
     assert_eq!(a.app.stats, b.app.stats, "identical per-node statistics, counter for counter");
 }

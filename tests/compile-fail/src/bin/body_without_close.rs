@@ -1,0 +1,22 @@
+//! MUST NOT COMPILE (E0308): a stream body that never closes — the body
+//! must produce the `StreamClosed` proof token, and only `close` (or a
+//! diverging expression) can.
+
+use oam_rpc::define_rpc_service;
+
+pub struct St;
+
+define_rpc_service! {
+    /// Fixture service.
+    service S {
+        state St;
+
+        /// Sends one chunk and just... stops.
+        stream nums(ctx, st, tx, n: u32) [u32] -> u32 {
+            let _ = (ctx, st);
+            tx.send(&n).await // error: `StreamTx` is not `StreamClosed`
+        }
+    }
+}
+
+fn main() {}

@@ -1,0 +1,24 @@
+//! MUST NOT COMPILE (E0382): sending a chunk after `close` — the close
+//! consumed the transmitter, so the session protocol has already ended.
+
+use oam_rpc::define_rpc_service;
+
+pub struct St;
+
+define_rpc_service! {
+    /// Fixture service.
+    service S {
+        state St;
+
+        /// Tries to chunk after closing.
+        stream nums(ctx, st, tx, n: u32) [u32] -> u32 {
+            let _ = (ctx, st);
+            let tx = tx.send(&1).await;
+            let closed = tx.close(&n).await;
+            let _ = tx.send(&2).await; // error: `tx` was moved by `close`
+            closed
+        }
+    }
+}
+
+fn main() {}

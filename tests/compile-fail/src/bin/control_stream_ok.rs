@@ -1,0 +1,33 @@
+//! Control case: a well-formed stream service and client MUST compile —
+//! proving the failing cases fail for the right reason, not because the
+//! fixture is broken.
+
+use oam_rpc::{define_rpc_service, Node, NodeId, Rpc};
+
+pub struct St;
+
+define_rpc_service! {
+    /// Fixture service.
+    service S {
+        state St;
+
+        /// Stream `0..n`, close with `n`.
+        stream nums(ctx, st, tx, n: u32) [u32] -> u32 {
+            let _ = (ctx, st);
+            let mut tx = tx;
+            for i in 0..n {
+                tx = tx.send(&i).await;
+            }
+            tx.close(&n).await
+        }
+    }
+}
+
+#[allow(dead_code)]
+async fn drive(rpc: &Rpc, node: &Node, dst: NodeId) -> u32 {
+    let mut h = S::nums::call(rpc, node, dst, 3).await;
+    while let Some(_x) = h.next().await {}
+    h.finish().await.expect("close arrives")
+}
+
+fn main() {}

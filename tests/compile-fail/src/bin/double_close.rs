@@ -1,0 +1,23 @@
+//! MUST NOT COMPILE (E0382): closing a session twice — the first close
+//! consumed the transmitter.
+
+use oam_rpc::define_rpc_service;
+
+pub struct St;
+
+define_rpc_service! {
+    /// Fixture service.
+    service S {
+        state St;
+
+        /// Tries to close twice.
+        stream nums(ctx, st, tx, n: u32) [u32] -> u32 {
+            let _ = (ctx, st);
+            let closed = tx.close(&n).await;
+            let _ = tx.close(&n).await; // error: `tx` was moved by the first `close`
+            closed
+        }
+    }
+}
+
+fn main() {}

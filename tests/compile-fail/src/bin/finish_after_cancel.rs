@@ -1,0 +1,32 @@
+//! MUST NOT COMPILE (E0382): finishing a session the client already
+//! cancelled — the cancel consumed the handle.
+
+use oam_rpc::{define_rpc_service, Node, NodeId, Rpc};
+
+pub struct St;
+
+define_rpc_service! {
+    /// Fixture service.
+    service S {
+        state St;
+
+        /// Stream `0..n`, close with `n`.
+        stream nums(ctx, st, tx, n: u32) [u32] -> u32 {
+            let _ = (ctx, st);
+            let mut tx = tx;
+            for i in 0..n {
+                tx = tx.send(&i).await;
+            }
+            tx.close(&n).await
+        }
+    }
+}
+
+#[allow(dead_code)]
+async fn drive(rpc: &Rpc, node: &Node, dst: NodeId) {
+    let h = S::nums::call(rpc, node, dst, 3).await;
+    h.cancel();
+    let _ = h.finish().await; // error: `h` was moved by `cancel`
+}
+
+fn main() {}

@@ -1,0 +1,32 @@
+//! MUST NOT COMPILE (E0382): reading more chunks after `finish` — the
+//! finish consumed the client-side handle along with the session.
+
+use oam_rpc::{define_rpc_service, Node, NodeId, Rpc};
+
+pub struct St;
+
+define_rpc_service! {
+    /// Fixture service.
+    service S {
+        state St;
+
+        /// Stream `0..n`, close with `n`.
+        stream nums(ctx, st, tx, n: u32) [u32] -> u32 {
+            let _ = (ctx, st);
+            let mut tx = tx;
+            for i in 0..n {
+                tx = tx.send(&i).await;
+            }
+            tx.close(&n).await
+        }
+    }
+}
+
+#[allow(dead_code)]
+async fn drive(rpc: &Rpc, node: &Node, dst: NodeId) {
+    let mut h = S::nums::call(rpc, node, dst, 3).await;
+    let _fin = h.finish().await;
+    let _ = h.next().await; // error: `h` was moved by `finish`
+}
+
+fn main() {}

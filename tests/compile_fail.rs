@@ -1,0 +1,57 @@
+//! The session-typestate compile-fail suite: out-of-order session
+//! operations must be *compile errors*, not runtime surprises. Each case
+//! is a tiny binary in the detached `tests/compile-fail` fixture package;
+//! this driver runs `cargo check` on it and asserts the diagnostic the
+//! typestate is designed to produce. A control case proves the harness
+//! isn't vacuously failing everything.
+//!
+//! No external dependency (trybuild &c.) — the whole dependency tree is
+//! path-local, so a plain offline `cargo check` is enough.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// `cargo check` one fixture bin; returns (compiled?, stderr).
+fn check(case: &str) -> (bool, String) {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let out = Command::new(env!("CARGO"))
+        .arg("check")
+        .arg("--quiet")
+        .arg("--offline")
+        .arg("--manifest-path")
+        .arg(root.join("tests/compile-fail/Cargo.toml"))
+        .arg("--bin")
+        .arg(case)
+        // A dedicated target dir: the fixture must never contend for the
+        // workspace build lock held by the very test run driving it.
+        .env("CARGO_TARGET_DIR", root.join("target/compile-fail"))
+        .output()
+        .expect("spawn cargo check");
+    (out.status.success(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+#[test]
+fn the_control_case_compiles() {
+    let (ok, stderr) = check("control_stream_ok");
+    assert!(ok, "a well-formed stream service and client must compile:\n{stderr}");
+}
+
+#[test]
+fn out_of_order_session_operations_are_compile_errors() {
+    // (fixture bin, expected rustc diagnostic)
+    let cases = [
+        ("chunk_after_close", "E0382"),
+        ("double_close", "E0382"),
+        ("body_without_close", "E0308"),
+        ("next_after_finish", "E0382"),
+        ("finish_after_cancel", "E0382"),
+    ];
+    for (case, code) in cases {
+        let (ok, stderr) = check(case);
+        assert!(!ok, "{case} must be rejected by the type system");
+        assert!(
+            stderr.contains(code),
+            "{case}: expected the typestate to produce {code}, got:\n{stderr}"
+        );
+    }
+}

@@ -152,7 +152,9 @@ fn chaos_bulk() -> (Recorder, u64, u64, u64) {
                 for round in 0..40u32 {
                     let data: Vec<u8> =
                         (0..4096u32).map(|i| ((i.wrapping_mul(31) + round) % 251) as u8).collect();
-                    last = Sink::ingest::call(env.rpc(), env.node(), NodeId(1), data).await;
+                    last = Sink::ingest::call(env.rpc(), env.node(), NodeId(1), data)
+                        .await
+                        .expect("reply decode");
                 }
                 a.set(last);
             }

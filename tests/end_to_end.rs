@@ -48,7 +48,9 @@ fn all_to_all_rpc_traffic_is_exact() {
             async move {
                 for off in 1..env.nprocs() {
                     let dst = NodeId((env.id().index() + off) % env.nprocs());
-                    let r = Ping::ping::call(env.rpc(), env.node(), dst, off as u64).await;
+                    let r = Ping::ping::call(env.rpc(), env.node(), dst, off as u64)
+                        .await
+                        .expect("reply decode");
                     assert_eq!(r, off as u64 + 1);
                 }
                 env.barrier().await;
@@ -65,7 +67,7 @@ fn orpc_machine_wide_statistics_are_consistent() {
     let report = machine.run(|env| async move {
         for i in 0..8u64 {
             let dst = NodeId((env.id().index() + 1) % env.nprocs());
-            Ping::ping::call(env.rpc(), env.node(), dst, i).await;
+            Ping::ping::call(env.rpc(), env.node(), dst, i).await.expect("reply decode");
         }
         env.barrier().await;
     });
@@ -119,7 +121,9 @@ fn whole_machine_runs_are_bit_deterministic() {
                 let mut acc = 0;
                 for i in 0..5u64 {
                     let dst = NodeId((env.id().index() + 1 + i as usize) % env.nprocs());
-                    acc += Ping::ping::call(env.rpc(), env.node(), dst, i).await;
+                    acc += Ping::ping::call(env.rpc(), env.node(), dst, i)
+                        .await
+                        .expect("reply decode");
                 }
                 let total = red.reduce(env.node(), acc).await;
                 if env.id().index() == 0 {

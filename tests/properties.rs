@@ -172,7 +172,9 @@ fn echo_rpc_roundtrips_across_the_short_bulk_boundary() {
         if env.id().index() == 0 {
             for n in BOUNDARY_SIZES {
                 let data: Vec<u8> = (0..n).map(|i| (i.wrapping_mul(37) % 256) as u8).collect();
-                let back = Echo::echo::call(env.rpc(), env.node(), NodeId(1), data.clone()).await;
+                let back = Echo::echo::call(env.rpc(), env.node(), NodeId(1), data.clone())
+                    .await
+                    .expect("reply decode");
                 assert_eq!(back, data, "echo len {n}");
             }
         }
