@@ -1,35 +1,48 @@
 //! Native (host-threads) machine execution: one OS thread per simulated
-//! node, real channels for packet delivery, wall-clock time in place of
-//! virtual time.
+//! node, lock-free SPSC rings for packet delivery, wall-clock time in
+//! place of virtual time.
 //!
 //! Structurally this is the sharded engine with every barrier removed:
 //! each node gets a full machine replica on its own thread (identity
 //! ownership — node *i*'s replica executes exactly node *i*), but instead
 //! of batching cross-node records until an epoch fence, the fabric's
-//! [`ChannelPort`](oam_net::ChannelPort) pushes each record onto the
-//! destination thread's channel the moment the pump emits it, and every
-//! replica's clock is the shared [`WallClock`]. Modeled compute charges
-//! therefore pace in *real* time, and event order across nodes is
-//! whatever the hardware produced: answers of data-deterministic programs
-//! are reproducible, traces and timings are not (see DESIGN.md §14).
+//! [`ChannelPort`](oam_net::ChannelPort) hands each record to a
+//! sender-side batcher ([`oam_net::BatchTx`]) in front of a bounded
+//! lock-free SPSC ring per directed node pair, and every replica's clock
+//! is the shared [`WallClock`]. Deposits coalesce until a flush boundary
+//! — the batch high-water mark (`cfg.effective_batch()`; `OAM_BATCH=1`
+//! is the per-message reference path) or the end of a handler-run pass —
+//! and each flush issues at most one wake signal through the consumer's
+//! [`oam_net::WakeGate`], so a burst of small AMs costs one wake, not N.
+//! Modeled compute charges pace in *real* time, and event order across
+//! nodes is whatever the hardware produced: answers of
+//! data-deterministic programs are reproducible, traces and timings are
+//! not (see DESIGN.md §14).
+//!
+//! Consumers wait with the same spin-then-park discipline as the epoch
+//! barrier: short gaps to the next due event spin-poll the rings, longer
+//! waits publish a parked state and re-check before parking (the
+//! no-lost-wake Dekker protocol in `oam_net::ring`), bounded by
+//! [`MAX_PARK`] so a thread's view of the stop flag never goes stale.
 //!
 //! Termination is a two-phase protocol. Each thread reports its main's
 //! completion to the coordinator (the caller's thread); once every main
 //! has reported — or a *real-time* watchdog budget expires — the
-//! coordinator raises a stop flag and sends each thread a shutdown
-//! message, so threads parked on their channels wake promptly. Threads
-//! then harvest their replica (stats, scheduler diagnostics) and join;
-//! on timeout the per-node snapshots become a [`HangReport`].
+//! coordinator raises a stop flag and wakes every gate, so threads
+//! parked on empty rings exit promptly. Threads then harvest their
+//! replica (stats, scheduler diagnostics) and join; on timeout the
+//! per-node snapshots become a [`HangReport`].
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use oam_model::{MachineConfig, MachineStats, NodeId, NodeStats, Time};
-use oam_net::CrossNet;
+use oam_model::{EngineCounters, MachineConfig, MachineStats, NodeId, NodeStats, Time};
+use oam_net::{spsc, BatchTx, CrossNet, RingRx, RingTx, WakeGate};
 use oam_sim::WallClock;
 use oam_threads::{Flag, NodeDiag};
 
@@ -44,8 +57,6 @@ pub enum NativeMsg {
     Net(CrossNet),
     /// A collective contribution from another node's replica.
     Reduce(ReduceRecord),
-    /// Coordinator order: stop serving and harvest.
-    Shutdown,
 }
 
 /// Default real-time watchdog budget for a native run. Generous because
@@ -54,17 +65,23 @@ pub enum NativeMsg {
 const DEFAULT_BUDGET: Time = Time::from_nanos(30_000_000_000);
 
 /// Events fired per [`oam_sim::Sim::run_wall`] pass before the node loop
-/// re-checks its channel and the stop flag.
+/// re-checks its rings and the stop flag.
 const EVENT_BATCH: u64 = 4096;
 
 /// Gaps to the next due event shorter than this are spin-waited (polling
-/// the channel) instead of parking — `recv_timeout` granularity is far
-/// coarser than the microsecond-scale charges being paced.
+/// the rings) instead of parking — park granularity is far coarser than
+/// the microsecond-scale charges being paced.
 const SPIN_GAP_NS: u64 = 200_000;
 
 /// Longest single park: bounds how stale a thread's view of the stop flag
-/// can get even if its shutdown message were lost.
+/// can get even if a wake signal were lost.
 const MAX_PARK: Duration = Duration::from_millis(20);
+
+/// Ring capacity for one directed node pair, sized so a full batch plus
+/// in-flight slack fits without producer spins in the common case.
+fn ring_capacity(batch: u32) -> usize {
+    (4 * batch as usize).clamp(64, 1024).next_power_of_two()
+}
 
 /// What a node thread carries back to the coordinator at join.
 struct NodeExit<R> {
@@ -79,10 +96,13 @@ struct NodeExit<R> {
     input_queue_depth: usize,
     method_names: Option<BTreeMap<u32, String>>,
     answer: Option<R>,
+    /// Delivery counters: this node's deposits/batches as a producer plus
+    /// the wake signals it received as a consumer.
+    engine: EngineCounters,
 }
 
 /// Run an application on the native backend: `cfg.nodes` OS threads,
-/// channel-delivered packets, wall-clock pacing. Same contract as
+/// ring-delivered packets, wall-clock pacing. Same contract as
 /// [`crate::run_partitioned`] (which delegates here when
 /// `cfg.effective_backend()` is native): `setup` runs once per node
 /// thread against that thread's replica and must register the same
@@ -104,9 +124,9 @@ pub fn run_native<R: Send + 'static>(
 
 /// As [`run_native`], but with an explicit *real-time* budget, returning
 /// the hang diagnosis instead of panicking. All node threads are joined
-/// before this returns, whichever way the run ends: the shutdown
-/// broadcast wakes even threads parked on empty channels, so a hung
-/// handler leaks nothing.
+/// before this returns, whichever way the run ends: the shutdown wake
+/// reaches even threads parked on empty rings, so a hung handler leaks
+/// nothing.
 pub fn try_run_native<R: Send + 'static>(
     cfg: MachineConfig,
     budget: Time,
@@ -116,27 +136,48 @@ pub fn try_run_native<R: Send + 'static>(
     assert!(cfg.fault_plan.is_none(), "the native backend requires a lossless fabric");
     let nodes = cfg.nodes;
     let lookahead = conservative_lookahead(&cfg);
+    let batch = cfg.effective_batch();
     let clock = Arc::new(WallClock::start());
     let stop = Arc::new(AtomicBool::new(false));
+    let gates: Vec<Arc<WakeGate>> = (0..nodes).map(|_| Arc::new(WakeGate::new())).collect();
 
-    let (txs, rxs): (Vec<Sender<NativeMsg>>, Vec<Receiver<NativeMsg>>) =
-        (0..nodes).map(|_| mpsc::channel()).unzip();
+    // One bounded SPSC ring per directed node pair. `tx_mat[src][dst]` /
+    // `rx_mat[dst][src]`; the diagonal stays empty (a node never routes
+    // to itself through the fabric).
+    let cap = ring_capacity(batch);
+    let mut tx_mat: Vec<Vec<Option<RingTx<NativeMsg>>>> =
+        (0..nodes).map(|_| (0..nodes).map(|_| None).collect()).collect();
+    let mut rx_mat: Vec<Vec<Option<RingRx<NativeMsg>>>> =
+        (0..nodes).map(|_| (0..nodes).map(|_| None).collect()).collect();
+    for src in 0..nodes {
+        for dst in 0..nodes {
+            if src != dst {
+                let (tx, rx) = spsc::<NativeMsg>(cap);
+                tx_mat[src][dst] = Some(tx);
+                rx_mat[dst][src] = Some(rx);
+            }
+        }
+    }
     let (done_tx, done_rx) = mpsc::channel::<usize>();
 
     let mut timed_out = false;
     let exits: Vec<NodeExit<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = rxs
+        let handles: Vec<_> = tx_mat
             .into_iter()
+            .zip(rx_mat)
             .enumerate()
-            .map(|(node, rx)| {
+            .map(|(node, (tx_row, rx_row))| {
                 let cfg = cfg.clone();
-                let txs = txs.clone();
                 let clock = Arc::clone(&clock);
                 let stop = Arc::clone(&stop);
+                let gates = gates.clone();
                 let done_tx = done_tx.clone();
                 let setup = &setup;
                 scope.spawn(move || {
-                    run_node(cfg, node, lookahead, clock, stop, txs, rx, done_tx, setup)
+                    run_node(
+                        cfg, node, lookahead, batch, clock, stop, gates, tx_row, rx_row, done_tx,
+                        setup,
+                    )
                 })
             })
             .collect();
@@ -159,8 +200,10 @@ pub fn try_run_native<R: Send + 'static>(
             }
         }
         stop.store(true, Ordering::Release);
-        for tx in &txs {
-            let _ = tx.send(NativeMsg::Shutdown);
+        // Unconditional wakes: set every gate's park token so threads
+        // mid-way into a park re-check the stop flag promptly.
+        for gate in &gates {
+            gate.wake();
         }
         handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
     });
@@ -192,6 +235,7 @@ pub fn try_run_native<R: Send + 'static>(
     let mut completed = true;
     let mut answer = None;
     let mut method_names = None;
+    let mut engine = EngineCounters::default();
     for e in exits {
         end_time = end_time.max(e.end_time);
         events += e.events;
@@ -204,34 +248,64 @@ pub fn try_run_native<R: Send + 'static>(
         if let Some(m) = e.method_names {
             method_names = Some(m);
         }
+        // No epochs on the native backend: only delivery counters, which
+        // sum across node threads.
+        engine.deposits += e.engine.deposits;
+        engine.batches += e.engine.batches;
+        engine.wakes += e.engine.wakes;
     }
     assert!(completed, "native run incomplete without a watchdog timeout");
     let stats =
         MachineStats::new(per_node.into_iter().map(|s| s.expect("one exit per node")).collect())
-            .with_method_names(method_names.unwrap_or_default());
+            .with_method_names(method_names.unwrap_or_default())
+            .with_engine(engine);
     let report = RunReport { end_time, stats, completed, events, peak_queue_depth: peak };
     Ok((report, answer.expect("node 0 produces the answer")))
 }
 
 /// Thread body for one node: build the replica, spawn the main, then
-/// alternate wall-clock event execution with channel service until the
+/// alternate wall-clock event execution with ring service until the
 /// coordinator orders shutdown.
 #[allow(clippy::too_many_arguments)]
 fn run_node<R>(
     cfg: MachineConfig,
     node: usize,
     lookahead: oam_model::Dur,
+    batch: u32,
     clock: Arc<WallClock>,
     stop: Arc<AtomicBool>,
-    txs: Vec<Sender<NativeMsg>>,
-    rx: Receiver<NativeMsg>,
+    gates: Vec<Arc<WakeGate>>,
+    tx_row: Vec<Option<RingTx<NativeMsg>>>,
+    mut rx_row: Vec<Option<RingRx<NativeMsg>>>,
     done_tx: Sender<usize>,
     setup: &(impl Fn(&Machine) -> ShardApp<R> + Send + Sync),
 ) -> NodeExit<R> {
-    let route_txs = txs.clone();
-    let port = Rc::new(oam_net::ChannelPort::new(move |rec: CrossNet| {
-        // A send can race shutdown: the receiver may already have exited.
-        let _ = route_txs[rec.dst().index()].send(NativeMsg::Net(rec));
+    gates[node].register();
+    // Sender-side batchers, one per destination. Shared with the fabric
+    // port's route closure; flushed at the high-water mark (inside
+    // BatchTx) and at the end of every run_wall pass (below).
+    let outbound: Rc<RefCell<Vec<Option<BatchTx<NativeMsg>>>>> = Rc::new(RefCell::new(
+        tx_row
+            .into_iter()
+            .enumerate()
+            .map(|(dst, tx)| tx.map(|tx| BatchTx::new(tx, Arc::clone(&gates[dst]), batch as usize)))
+            .collect(),
+    ));
+    let abandoned = {
+        let stop = Arc::clone(&stop);
+        move || stop.load(Ordering::Acquire)
+    };
+    let port = Rc::new(oam_net::ChannelPort::new({
+        let outbound = Rc::clone(&outbound);
+        let abandoned = abandoned.clone();
+        move |rec: CrossNet| {
+            let dst = rec.dst().index();
+            let mut out = outbound.borrow_mut();
+            out[dst]
+                .as_mut()
+                .expect("fabric never routes to self")
+                .send(NativeMsg::Net(rec), &abandoned);
+        }
     }));
     let machine =
         MachineBuilder::from_config(cfg).build_native(node, lookahead, Arc::clone(&clock), port);
@@ -256,11 +330,20 @@ fn run_node<R>(
     let mut reported = false;
     loop {
         let next = machine.sim().run_wall(EVENT_BATCH);
-        for rec in ctx.drain_outbox() {
-            for (i, tx) in txs.iter().enumerate() {
-                if i != node {
-                    let _ = tx.send(NativeMsg::Reduce(rec.clone()));
+        {
+            let mut out = outbound.borrow_mut();
+            for rec in ctx.drain_outbox() {
+                for (dst, tx) in out.iter_mut().enumerate() {
+                    if let Some(tx) = tx {
+                        debug_assert_ne!(dst, node);
+                        tx.send(NativeMsg::Reduce(rec.clone()), &abandoned);
+                    }
                 }
+            }
+            // End-of-pass flush boundary: everything this pass deposited
+            // leaves now, one wake signal per destination with records.
+            for tx in out.iter_mut().flatten() {
+                tx.flush(&abandoned);
             }
         }
         if done.get() && !reported {
@@ -273,35 +356,27 @@ fn run_node<R>(
 
         // Wait for the next due local event or an incoming record,
         // whichever comes first.
-        let msg = match next {
+        let pending = || rx_row.iter().flatten().any(RingRx::has_records);
+        match next {
             Some(t) => {
                 let gap = t.saturating_since(clock.now());
                 if gap.is_zero() {
-                    // Batch bound hit with work still due: just poll.
-                    rx.try_recv().ok()
+                    // Batch bound hit with work still due: fall through
+                    // and drain whatever is already here.
                 } else if gap.as_nanos() <= SPIN_GAP_NS {
-                    let mut got = None;
-                    while clock.now() < t && !stop.load(Ordering::Acquire) {
-                        if let Ok(m) = rx.try_recv() {
-                            got = Some(m);
-                            break;
-                        }
+                    while clock.now() < t && !pending() && !stop.load(Ordering::Acquire) {
                         std::hint::spin_loop();
                     }
-                    got
                 } else {
-                    rx.recv_timeout(Duration::from_nanos(gap.as_nanos()).min(MAX_PARK)).ok()
+                    gates[node]
+                        .park_unless(pending, Duration::from_nanos(gap.as_nanos()).min(MAX_PARK));
                 }
             }
-            None => rx.recv_timeout(MAX_PARK).ok(),
-        };
-        if let Some(first) = msg {
-            let mut shutdown = integrate(&machine, &ctx, first);
-            while let Ok(m) = rx.try_recv() {
-                shutdown |= integrate(&machine, &ctx, m);
-            }
-            if shutdown {
-                break;
+            None => gates[node].park_unless(pending, MAX_PARK),
+        }
+        for rx in rx_row.iter_mut().flatten() {
+            while let Some(m) = rx.pop() {
+                integrate(&machine, &ctx, m);
             }
         }
     }
@@ -312,6 +387,12 @@ fn run_node<R>(
     let end = machine.sim().now();
     machine.nodes()[node].finalize_idle(end);
     let stats = machine.harvest();
+    let mut engine = EngineCounters::default();
+    for tx in outbound.borrow().iter().flatten() {
+        engine.deposits += tx.deposits;
+        engine.batches += tx.batches;
+    }
+    engine.wakes = gates[node].wakes();
     NodeExit {
         node,
         main_done: done.get(),
@@ -324,25 +405,16 @@ fn run_node<R>(
         input_queue_depth: machine.network().input_depth(NodeId(node)),
         method_names: (node == 0).then(|| machine.rpc().method_names()),
         answer: (node == 0).then(|| (app.finish)(&machine)),
+        engine,
     }
 }
 
-/// Apply one incoming record to this node's replica. Returns `true` on a
-/// shutdown order.
-fn integrate(
-    machine: &Machine,
-    ctx: &Rc<crate::collective::ShardCollectives>,
-    msg: NativeMsg,
-) -> bool {
+/// Apply one incoming record to this node's replica.
+fn integrate(machine: &Machine, ctx: &Rc<crate::collective::ShardCollectives>, msg: NativeMsg) {
     match msg {
         NativeMsg::Net(rec) => {
             machine.network().apply_cross(&mut vec![rec]);
-            false
         }
-        NativeMsg::Reduce(rec) => {
-            ctx.integrate(rec);
-            false
-        }
-        NativeMsg::Shutdown => true,
+        NativeMsg::Reduce(rec) => ctx.integrate(rec),
     }
 }

@@ -1,5 +1,6 @@
-//! Partitioned (sharded) machine execution: one host worker thread per
-//! shard of simulated nodes, synchronized by conservative epochs.
+//! Partitioned (sharded) machine execution: shard replicas of simulated
+//! nodes multiplexed onto host worker threads, synchronized by
+//! conservative epochs.
 //!
 //! Each shard owns a contiguous range of nodes and runs them on a private
 //! keyed [`Sim`](oam_sim::Sim) — its own calendar queue, RNG streams, and
@@ -14,6 +15,23 @@
 //! ever receive a record dated before an event it already executed, so
 //! answers, stats, and keyed event order are independent of the shard
 //! count and of the fence policy.
+//!
+//! ## Workers vs shards
+//!
+//! The shard count fixes the *partition* (and therefore the epoch
+//! schedule); the worker count fixes how many OS threads drive it
+//! (`cfg.effective_workers()`, default one per host core, capped at the
+//! shard count). Each worker owns a contiguous range of shards and steps
+//! them in lockstep through the split-phase barrier: it arrives for every
+//! owned shard, then completes them — so barriers between co-located
+//! shards are function calls, and an epoch costs one wake per *worker*,
+//! not per shard. On a one-core host a 4-shard run is single-threaded and
+//! park-free while remaining bit-identical to the thread-per-shard run:
+//! the epoch engine is host-schedule invariant by construction.
+//!
+//! Cross-shard records take the batched delivery path by default (one
+//! mailbox publish per peer per epoch, `cfg.effective_batch()`); setting
+//! `OAM_BATCH=1` selects the per-message reference path.
 
 use std::future::Future;
 use std::pin::Pin;
@@ -49,6 +67,10 @@ pub enum CrossMsg {
 /// node's boxed main future.
 pub type NodeMain = Box<dyn Fn(NodeEnv) -> Pin<Box<dyn Future<Output = ()>>>>;
 
+/// A boxed answer extractor: reads the final result out of the (quiet)
+/// shard-0 machine.
+pub type FinishFn<R> = Box<dyn FnOnce(&Machine) -> R>;
+
 /// The pieces of an application a shard needs: its node main and the
 /// answer extractor. See the module docs for the setup contract.
 pub struct ShardApp<R> {
@@ -58,7 +80,7 @@ pub struct ShardApp<R> {
     /// Reads the final answer out of the (quiet) machine. Only invoked on
     /// shard 0, whose replica owns node 0 — the node that writes answers
     /// in every app in this repo.
-    pub finish: Box<dyn FnOnce(&Machine) -> R>,
+    pub finish: FinishFn<R>,
 }
 
 /// Per-shard outcome carried back to the coordinating thread.
@@ -139,23 +161,30 @@ pub fn run_partitioned<R: Send + 'static>(
     let lookahead = conservative_lookahead(&cfg);
     let owners = partition(nodes, shards);
     // Host-scheduling knobs (never outcome-affecting; see ShardTuning).
+    let workers = cfg.effective_workers(shards);
     let policy =
         if cfg.effective_naive_fence() { FencePolicy::Naive } else { FencePolicy::Adaptive };
-    let spin = cfg.effective_spin().unwrap_or_else(|| default_spin(shards));
+    let spin = cfg.effective_spin().unwrap_or_else(|| default_spin(workers));
     let pin = cfg.effective_pin();
-    let coord = Coordinator::<CrossMsg>::new(shards, lookahead).with_policy(policy).with_spin(spin);
+    let batched = cfg.effective_batch() > 1;
+    let coord = Coordinator::<CrossMsg>::new(shards, lookahead)
+        .with_policy(policy)
+        .with_spin(spin)
+        .with_batched(batched);
 
     let results: Vec<ShardResult<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards)
-            .map(|shard| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
                 let cfg = cfg.clone();
                 let coord = &coord;
                 let owners = &owners;
                 let setup = &setup;
-                scope.spawn(move || run_shard(cfg, coord, owners, shard, lookahead, pin, setup))
+                scope.spawn(move || {
+                    run_worker(cfg, coord, owners, worker, workers, lookahead, pin, setup)
+                })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        handles.into_iter().flat_map(|h| h.join().expect("shard worker panicked")).collect()
     });
 
     // Merge: per-node stats reassembled by node id, counters summed or
@@ -182,19 +211,20 @@ pub fn run_partitioned<R: Send + 'static>(
         if let Some(m) = r.method_names {
             method_names = Some(m);
         }
-        match engine {
-            Some(e) => debug_assert_eq!(
-                e, r.engine,
-                "epoch counters must agree across shards (derived from shared data)"
-            ),
+        // Round counters must agree across shards (asserted inside
+        // absorb); delivery counters sum.
+        match engine.as_mut() {
+            Some(e) => e.absorb(r.engine),
             None => engine = Some(r.engine),
         }
     }
+    let mut engine = engine.unwrap_or_default();
+    engine.wakes += coord.wakes();
     let stats = MachineStats::new(
         per_node.into_iter().map(|s| s.expect("every node owned by some shard")).collect(),
     )
     .with_method_names(method_names.unwrap_or_default())
-    .with_engine(engine.unwrap_or_default());
+    .with_engine(engine);
     assert!(
         completed,
         "partitioned run did not complete: some node main is deadlocked (end time {end_time})"
@@ -203,128 +233,197 @@ pub fn run_partitioned<R: Send + 'static>(
     (report, answer.expect("shard 0 produces the answer"))
 }
 
-/// Worker body for one shard: build the replica machine, spawn mains on
-/// owned nodes, then alternate event execution and barrier exchange until
-/// every shard is idle.
-fn run_shard<R>(
+/// One shard replica as driven by a worker thread: its machine, its port,
+/// and its progress through the epoch protocol.
+struct Lane<'c, R> {
+    shard: usize,
+    machine: Machine,
+    ctx: std::rc::Rc<crate::collective::ShardCollectives>,
+    port: ShardPort<'c, CrossMsg>,
+    /// Completion flags for the mains of this shard's owned nodes.
+    done: Vec<(usize, Flag)>,
+    /// The answer extractor (shard 0 only; consumed at the end).
+    finish: Option<FinishFn<R>>,
+    fence: Fence,
+}
+
+/// Worker body: build the replica machines for every shard this worker
+/// owns, spawn their mains, then step all of them in lockstep through the
+/// epoch protocol — arrive for every owned shard, then complete them, so
+/// barriers between co-located shards never block (see the module docs).
+#[allow(clippy::too_many_arguments)]
+fn run_worker<R>(
     cfg: MachineConfig,
     coord: &Coordinator<CrossMsg>,
     owners: &[usize],
-    shard: usize,
+    worker: usize,
+    workers: usize,
     lookahead: Dur,
     pin: bool,
     setup: &(impl Fn(&Machine) -> ShardApp<R> + Send + Sync),
-) -> ShardResult<R> {
+) -> Vec<ShardResult<R>> {
     if pin {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        pin_current_thread(shard % cores);
+        pin_current_thread(worker % cores);
     }
     let nodes = cfg.nodes;
     let shards = coord_shards(owners);
-    let owned = shard_range(nodes, shards, shard);
-    let machine = MachineBuilder::from_config(cfg).build_shard(owners, shard, lookahead);
-    let app = setup(&machine);
-    let ctx = machine
-        .collectives()
-        .shard_ctx()
-        .expect("build_shard installs a shard collective context")
-        .clone();
+    // Contiguous, balanced assignment of shards to workers — the same
+    // partition rule nodes use for shards.
+    let my_shards = shard_range(shards, workers, worker);
 
-    let done: Vec<(usize, Flag)> = owned
-        .clone()
-        .map(|i| {
-            let flag = Flag::new();
-            let env = machine.env(i);
-            let fut = (app.main)(env);
-            let f = flag.clone();
-            machine.nodes()[i].spawn(async move {
-                fut.await;
-                f.set();
-            });
-            (i, flag)
+    let mut lanes: Vec<Lane<'_, R>> = my_shards
+        .map(|shard| {
+            let machine =
+                MachineBuilder::from_config(cfg.clone()).build_shard(owners, shard, lookahead);
+            let app = setup(&machine);
+            let ctx = machine
+                .collectives()
+                .shard_ctx()
+                .expect("build_shard installs a shard collective context")
+                .clone();
+            let done: Vec<(usize, Flag)> = shard_range(nodes, shards, shard)
+                .map(|i| {
+                    let flag = Flag::new();
+                    let env = machine.env(i);
+                    let fut = (app.main)(env);
+                    let f = flag.clone();
+                    machine.nodes()[i].spawn(async move {
+                        fut.await;
+                        f.set();
+                    });
+                    (i, flag)
+                })
+                .collect();
+            Lane {
+                shard,
+                machine,
+                ctx,
+                port: coord.port(shard),
+                done,
+                finish: Some(app.finish),
+                fence: Fence::Before(Time::ZERO),
+            }
         })
         .collect();
 
-    let mut port: ShardPort<'_, CrossMsg> = coord.port(shard);
     // Hot-loop buffers, hoisted so the steady state allocates nothing:
     // drained cross records, drained collective contributions, and the
-    // incoming net batch all recycle their capacity every epoch.
+    // incoming net batch all recycle their capacity every epoch (shared
+    // across this worker's lanes — each lane drains them before the next
+    // uses them).
     let mut cross: Vec<CrossNet> = Vec::new();
     let mut reduce: Vec<ReduceRecord> = Vec::new();
     let mut net_batch: Vec<CrossNet> = Vec::new();
-    let mut fence = Fence::Before(Time::ZERO);
     loop {
-        let local_next = match fence {
-            Fence::Before(limit) => {
-                let (next, ran) = machine.sim().run_before_counted(limit);
-                if ran {
-                    // Only an executed event or polled task can have put
-                    // anything in the outboxes; idle windows skip the
-                    // scans entirely.
-                    machine.network().drain_cross_into(&mut cross);
-                    for rec in cross.drain(..) {
-                        port.send(owners[rec.dst().index()], CrossMsg::Net(rec));
+        // Phase 1: run every lane's window, deposit its records, arrive.
+        // No arrive blocks, so a worker can never deadlock against its
+        // own un-run lanes.
+        for lane in &mut lanes {
+            let local_next = match lane.fence {
+                Fence::Before(limit) => {
+                    let (next, ran) = lane.machine.sim().run_before_counted(limit);
+                    if ran {
+                        // Only an executed event or polled task can have
+                        // put anything in the outboxes; idle windows skip
+                        // the scans entirely.
+                        lane.machine.network().drain_cross_into(&mut cross);
+                        for rec in cross.drain(..) {
+                            lane.port.send(owners[rec.dst().index()], CrossMsg::Net(rec));
+                        }
+                        lane.ctx.drain_outbox_into(&mut reduce);
+                        for rec in reduce.drain(..) {
+                            lane.port.broadcast(CrossMsg::Reduce(rec));
+                        }
                     }
-                    ctx.drain_outbox_into(&mut reduce);
-                    for rec in reduce.drain(..) {
-                        port.broadcast(CrossMsg::Reduce(rec));
-                    }
+                    next
                 }
-                next
-            }
-            Fence::Unbounded => {
-                // Single-shard epoch runs: no peer exists, so run to
-                // quiescence. The fabric owns every node and records no
-                // cross packets; collective contributions still queue for
-                // broadcast, which at one shard has no recipients.
-                machine.sim().run();
-                machine.network().drain_cross_into(&mut cross);
-                debug_assert!(cross.is_empty(), "single-shard fabric routed a cross record");
-                ctx.drain_outbox_into(&mut reduce);
-                reduce.clear();
-                None
-            }
-            Fence::Done => unreachable!("the loop breaks on Done"),
-        };
+                Fence::Unbounded => {
+                    // Single-shard epoch runs: no peer exists, so run to
+                    // quiescence. The fabric owns every node and records
+                    // no cross packets; collective contributions still
+                    // queue for broadcast, which at one shard has no
+                    // recipients.
+                    lane.machine.sim().run();
+                    lane.machine.network().drain_cross_into(&mut cross);
+                    debug_assert!(cross.is_empty(), "single-shard fabric routed a cross record");
+                    lane.ctx.drain_outbox_into(&mut reduce);
+                    reduce.clear();
+                    None
+                }
+                Fence::Done => unreachable!("the loop breaks on Done"),
+            };
+            lane.port.arrive(local_next);
+        }
 
-        fence = match port.sync(local_next) {
-            Round::Quiet(Fence::Done) => break,
-            Round::Quiet(f) => f,
-            Round::Traffic => {
-                port.drain_incoming(|msg| match msg {
+        // Phase 2: complete every lane. Only the first complete can park
+        // (waiting on other workers); classification is derived from
+        // shared round data, so every lane sees the same variant.
+        let mut traffic = false;
+        let mut done = false;
+        for lane in &mut lanes {
+            match lane.port.complete() {
+                Round::Quiet(Fence::Done) => done = true,
+                Round::Quiet(f) => lane.fence = f,
+                Round::Traffic => traffic = true,
+            }
+        }
+        if done {
+            break;
+        }
+        if traffic {
+            // Drain + integrate on every lane, then the agree barrier —
+            // again arrive-all before complete-any.
+            for lane in &mut lanes {
+                lane.port.drain_incoming(|msg| match msg {
                     CrossMsg::Net(rec) => net_batch.push(rec),
-                    CrossMsg::Reduce(rec) => ctx.integrate(rec),
+                    CrossMsg::Reduce(rec) => lane.ctx.integrate(rec),
                 });
-                machine.network().apply_cross(&mut net_batch);
+                lane.machine.network().apply_cross(&mut net_batch);
                 // Integration may have scheduled events earlier than what
                 // run_before reported, so re-peek before agreeing.
-                match port.agree(machine.sim().next_event_time()) {
-                    Fence::Done => break,
-                    f => f,
+                let next = lane.machine.sim().next_event_time();
+                lane.port.arrive_agree(next);
+            }
+            for lane in &mut lanes {
+                match lane.port.complete_agree() {
+                    Fence::Done => done = true,
+                    f => lane.fence = f,
                 }
             }
-        };
+            if done {
+                break;
+            }
+        }
     }
 
     // Shard-local clocks stop at their own last event; fold trailing idle
     // windows at the agreed global end so `idle_time` is the same total
     // (end − active) the single-shard engine reports.
-    let end = port.finish(machine.sim().now());
-    for n in machine.nodes() {
-        n.finalize_idle(end);
+    for lane in &mut lanes {
+        lane.port.arrive_finish(lane.machine.sim().now());
     }
-
-    let stats = machine.harvest();
-    ShardResult {
-        end_time: machine.sim().now(),
-        events: machine.sim().events_executed(),
-        peak_queue_depth: machine.sim().peak_event_queue_depth(),
-        completed: done.iter().all(|(_, f)| f.get()),
-        per_node: done.iter().map(|(i, _)| (*i, stats.per_node[*i].clone())).collect(),
-        method_names: (shard == 0).then(|| machine.rpc().method_names()),
-        engine: port.counters(),
-        answer: (shard == 0).then(|| (app.finish)(&machine)),
-    }
+    lanes
+        .into_iter()
+        .map(|mut lane| {
+            let end = lane.port.complete_finish();
+            for n in lane.machine.nodes() {
+                n.finalize_idle(end);
+            }
+            let stats = lane.machine.harvest();
+            ShardResult {
+                end_time: lane.machine.sim().now(),
+                events: lane.machine.sim().events_executed(),
+                peak_queue_depth: lane.machine.sim().peak_event_queue_depth(),
+                completed: lane.done.iter().all(|(_, f)| f.get()),
+                per_node: lane.done.iter().map(|(i, _)| (*i, stats.per_node[*i].clone())).collect(),
+                method_names: (lane.shard == 0).then(|| lane.machine.rpc().method_names()),
+                engine: lane.port.counters(),
+                answer: (lane.shard == 0)
+                    .then(|| (lane.finish.take().expect("finish consumed once"))(&lane.machine)),
+            }
+        })
+        .collect()
 }
 
 /// Number of shards implied by an owner table (max owner + 1).

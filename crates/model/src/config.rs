@@ -384,6 +384,22 @@ pub struct ShardTuning {
     /// fault-free run takes the legacy in-process engine). `None` defers
     /// to `OAM_SHARD_FORCE_EPOCH`.
     pub force_epoch: Option<bool>,
+    /// Delivery batch size for the cross-worker fabric layer. `1` selects
+    /// the naive per-message path (one mailbox write per record in the
+    /// epoch engine, one ring push + wake signal per record on the native
+    /// backend); larger values coalesce deposits until a flush boundary
+    /// (the epoch barrier, or the native high-water mark / end of a
+    /// handler-run pass). `None` defers to `OAM_BATCH`, else
+    /// [`MachineConfig::DEFAULT_BATCH`]. Never outcome-affecting.
+    pub batch: Option<u32>,
+    /// Host worker threads driving the epoch engine's shards. Each worker
+    /// multiplexes a contiguous range of shard replicas, so barriers
+    /// between co-located shards cost function calls instead of
+    /// park/unpark round trips — one wake per epoch per *worker*, not per
+    /// shard. `None` defers to `OAM_WORKERS`, else `min(shards, host
+    /// cores)`. Never outcome-affecting (the epoch engine is
+    /// host-schedule invariant).
+    pub workers: Option<usize>,
 }
 
 /// Which runtime executes a partitioned run (`run_partitioned`).
@@ -411,6 +427,10 @@ impl Backend {
 }
 
 impl MachineConfig {
+    /// Default delivery batch size when neither [`ShardTuning::batch`] nor
+    /// `OAM_BATCH` is set (see [`MachineConfig::effective_batch`]).
+    pub const DEFAULT_BATCH: u32 = 32;
+
     /// CM-5-like defaults: deep network buffering, front-of-queue placement,
     /// promotion on abort.
     pub fn cm5(nodes: usize) -> Self {
@@ -544,6 +564,34 @@ impl MachineConfig {
             .unwrap_or_else(|| matches!(std::env::var("OAM_PIN").as_deref(), Ok("1") | Ok("true")))
     }
 
+    /// Resolve the effective delivery batch size: explicit
+    /// [`ShardTuning::batch`] wins, then `OAM_BATCH`, else
+    /// [`MachineConfig::DEFAULT_BATCH`]; clamped to at least 1. `1` is the
+    /// naive per-message delivery path.
+    pub fn effective_batch(&self) -> u32 {
+        self.tuning
+            .batch
+            .or_else(|| std::env::var("OAM_BATCH").ok().and_then(|v| v.parse().ok()))
+            .unwrap_or(Self::DEFAULT_BATCH)
+            .max(1)
+    }
+
+    /// Resolve the effective epoch worker-thread count for `shards`
+    /// shards: explicit [`ShardTuning::workers`] wins, then
+    /// `OAM_WORKERS`, else one worker per host core; clamped to
+    /// `[1, shards]`. On hosts with a core per shard this is one shard
+    /// per worker (maximum parallelism); on oversubscribed hosts shards
+    /// share workers and their barriers collapse into function calls.
+    pub fn effective_workers(&self, shards: usize) -> usize {
+        let requested = self
+            .tuning
+            .workers
+            .or_else(|| std::env::var("OAM_WORKERS").ok().and_then(|v| v.parse().ok()));
+        let requested = requested
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        requested.clamp(1, shards.max(1))
+    }
+
     /// Resolve whether a single-shard run still uses the epoch engine:
     /// explicit [`ShardTuning::force_epoch`] wins, then the presence of
     /// `OAM_SHARD_FORCE_EPOCH`, else off. (Admission-controlled fault-free
@@ -617,6 +665,12 @@ impl MachineConfig {
         }
         if self.shards == Some(0) {
             return Err("shard count must be at least 1".into());
+        }
+        if self.tuning.batch == Some(0) {
+            return Err("delivery batch size must be at least 1".into());
+        }
+        if self.tuning.workers == Some(0) {
+            return Err("epoch worker count must be at least 1".into());
         }
         Ok(())
     }
@@ -715,6 +769,47 @@ mod tests {
         let cfg = MachineConfig::cm5(2)
             .with_admission(AdmissionConfig { overload_demote_depth: 0, ..Default::default() });
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn batch_and_worker_tuning_resolution() {
+        let cfg = MachineConfig::cm5(8);
+        assert_eq!(cfg.effective_batch(), MachineConfig::DEFAULT_BATCH);
+        let naive =
+            MachineConfig::cm5(8).with_tuning(ShardTuning { batch: Some(1), ..Default::default() });
+        assert_eq!(naive.effective_batch(), 1);
+        // Workers never exceed the shard count and never drop below one.
+        let pinned = MachineConfig::cm5(8)
+            .with_tuning(ShardTuning { workers: Some(64), ..Default::default() });
+        assert_eq!(pinned.effective_workers(4), 4);
+        assert_eq!(pinned.effective_workers(1), 1);
+        let bad =
+            MachineConfig::cm5(8).with_tuning(ShardTuning { batch: Some(0), ..Default::default() });
+        assert!(bad.validate().is_err());
+        let bad = MachineConfig::cm5(8)
+            .with_tuning(ShardTuning { workers: Some(0), ..Default::default() });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn engine_counter_merge_sums_delivery_fields() {
+        use crate::EngineCounters;
+        let mut a = EngineCounters {
+            epochs: 5,
+            empty_epochs: 2,
+            fence_skips: 1,
+            deposits: 10,
+            batches: 3,
+            wakes: 4,
+        };
+        let b = EngineCounters { deposits: 7, batches: 2, wakes: 1, ..a };
+        a.absorb(b);
+        assert_eq!(a.epochs, 5);
+        assert_eq!(a.deposits, 17);
+        assert_eq!(a.batches, 5);
+        assert_eq!(a.wakes, 5);
+        assert!((a.msgs_per_batch() - 3.4).abs() < 1e-9);
+        assert_eq!(EngineCounters::default().msgs_per_batch(), 0.0);
     }
 
     #[test]

@@ -460,15 +460,21 @@ impl NodeStats {
 }
 
 /// Host-engine execution counters for one run: how many conservative
-/// epochs the sharded executor stepped through and how it spent them.
-/// All zero under the legacy single-threaded and native engines.
+/// epochs the sharded executor stepped through, how it spent them, and how
+/// the delivery layer batched the records crossing worker threads. All
+/// zero under the legacy single-threaded engine; the native backend fills
+/// only the delivery fields (it has no epochs).
 ///
 /// These describe the *host* schedule, not the simulated machine: they
 /// legitimately vary with the shard count while every simulation-domain
 /// counter stays bit-identical (fewer shards see fewer distinct fences).
 /// [`MachineStats`] equality therefore ignores this field — see its manual
-/// [`PartialEq`] impl. For a fixed config and shard count they are fully
-/// deterministic, which is what lets `bench_check` gate them exactly.
+/// [`PartialEq`] impl. The round fields (`epochs`, `empty_epochs`,
+/// `fence_skips`) and the epoch engine's `deposits`/`batches` are fully
+/// deterministic for a fixed config and shard count, which is what lets
+/// `bench_check` gate them exactly; `wakes` (and every native-backend
+/// field) additionally depends on host timing and core count, so it is
+/// reported but never exact-gated.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineCounters {
     /// Synchronization rounds the shard workers stepped through.
@@ -479,6 +485,42 @@ pub struct EngineCounters {
     /// Rounds in which the adaptive policy widened some shard's fence past
     /// the classic `global min + lookahead` bound.
     pub fence_skips: u64,
+    /// Boundary records handed to the delivery layer (cross-shard messages
+    /// in the epoch engine, ring-routed records in the native backend).
+    pub deposits: u64,
+    /// Non-empty batch publishes that carried those deposits: per-peer
+    /// mailbox appends in the epoch engine, ring flushes (each issuing at
+    /// most one wake signal) in the native backend. Under the naive
+    /// per-message path (`OAM_BATCH=1`) this equals `deposits`.
+    pub batches: u64,
+    /// Wake signals delivered to a parked (or possibly-parked) consumer:
+    /// barrier unparks in the epoch engine, post-flush unparks of a parked
+    /// receiver in the native backend. Host-timing dependent.
+    pub wakes: u64,
+}
+
+impl EngineCounters {
+    /// Fold another worker's counters into this one. The round counters
+    /// are derived from shared per-round data, so every worker reports the
+    /// same values; the delivery counters are per-worker and sum.
+    pub fn absorb(&mut self, other: EngineCounters) {
+        debug_assert_eq!(self.epochs, other.epochs, "epoch counts must agree across workers");
+        debug_assert_eq!(self.empty_epochs, other.empty_epochs);
+        debug_assert_eq!(self.fence_skips, other.fence_skips);
+        self.deposits += other.deposits;
+        self.batches += other.batches;
+        self.wakes += other.wakes;
+    }
+
+    /// Mean records per non-empty batch publish (1.0 on the naive
+    /// per-message path, 0.0 when nothing was deposited).
+    pub fn msgs_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.deposits as f64 / self.batches as f64
+        }
+    }
 }
 
 /// Whole-machine statistics: one entry per node plus the aggregate.

@@ -10,8 +10,10 @@ pub mod backend;
 pub mod fabric;
 pub mod packet;
 pub mod pool;
+pub mod ring;
 
 pub use backend::{ChannelPort, EpochPort, FabricPort};
 pub use fabric::{CrossNet, InjectError, NetConfig, Network};
 pub use packet::{CrossPayload, Packet, PacketKind, PayloadBuf, PayloadView, SHORT_PAYLOAD_MAX};
 pub use pool::{BufPool, PoolStats};
+pub use ring::{spsc, BatchTx, RingRx, RingTx, WakeGate};

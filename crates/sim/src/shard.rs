@@ -77,12 +77,39 @@
 //! order every access. Next-event times are double-buffered the same way
 //! by barrier parity.
 //!
+//! ## Batched deposits
+//!
+//! By default each port accumulates outgoing records in writer-local
+//! per-destination buffers and publishes them into the mailbox slots once
+//! per peer per epoch, at [`ShardPort::arrive`] — one slot append + one
+//! acquire per peer instead of one per message, with both the local
+//! buffers and the slots recycling their capacity forever. The naive
+//! per-message path ([`Coordinator::with_batched`]`(false)`, selected by
+//! `OAM_BATCH=1`) pushes straight into the slot on every
+//! [`ShardPort::send`]; both paths append records in the same
+//! (source-shard, emission) order, so receivers drain identical
+//! sequences and answers are bit-identical.
+//!
+//! ## The barrier, and split-phase arrival
+//!
 //! The barrier itself is sense-reversing: an arrival counter plus a
 //! generation word. The last arriver resets the counter, bumps the
 //! generation, and unparks the rest; waiters spin a bounded budget
 //! ([`Coordinator::with_spin`]) and then `thread::park()`. On hosts with
 //! a core per shard the spin wins; on oversubscribed hosts a zero budget
 //! hands the quantum straight to the peer shard ([`default_spin`]).
+//!
+//! Every barrier is exposed in two halves — [`ShardPort::arrive`] (write
+//! the snapshot, publish batches, count in) and [`ShardPort::complete`]
+//! (wait out the generation bump, classify the round) — so one worker
+//! thread can multiplex several shard replicas: it arrives for *all* of
+//! its shards before completing any, which makes deadlock impossible and
+//! turns barriers between co-located shards into plain function calls
+//! (on a one-worker host the generation has always already been bumped
+//! by the worker's own last arrival, so nothing ever parks). The
+//! blocking [`ShardPort::sync`] / [`ShardPort::agree`] /
+//! [`ShardPort::finish`] are the two halves fused, for thread-per-shard
+//! callers.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -174,6 +201,13 @@ pub struct Coordinator<M> {
     lookahead: Dur,
     policy: FencePolicy,
     spin: u32,
+    /// Batched deposits (module docs): accumulate per-destination and
+    /// publish once per peer per epoch. `false` is the naive per-message
+    /// reference path.
+    batched: bool,
+    /// Wake signals issued by barrier releases (unparks of other worker
+    /// threads). Host-schedule accounting only.
+    wakes: AtomicU64,
     /// Arrival count for the in-progress barrier.
     arrived: CachePadded<AtomicUsize>,
     /// Barrier generation: bumped by the last arriver with `Release`; the
@@ -205,6 +239,8 @@ impl<M> Coordinator<M> {
             lookahead,
             policy: FencePolicy::Adaptive,
             spin: default_spin(shards),
+            batched: true,
+            wakes: AtomicU64::new(0),
             arrived: CachePadded(AtomicUsize::new(0)),
             generation: CachePadded(AtomicU64::new(0)),
             traffic_gen: AtomicU64::new(u64::MAX),
@@ -227,14 +263,32 @@ impl<M> Coordinator<M> {
         self
     }
 
+    /// Builder-style delivery-path override: `false` selects the naive
+    /// per-message mailbox path (one slot push per [`ShardPort::send`])
+    /// instead of per-epoch batch publishing. Outcomes are bit-identical
+    /// either way; the differential tests race the two paths.
+    pub fn with_batched(mut self, batched: bool) -> Self {
+        self.batched = batched;
+        self
+    }
+
     /// The conservative lookahead all fences are built from.
     pub fn lookahead(&self) -> Dur {
         self.lookahead
     }
 
+    /// Wake signals issued by barrier releases so far (unparks of other
+    /// registered worker threads). One-worker runs report zero: the
+    /// worker's own last arrival always bumps the generation before any
+    /// of its completes could wait.
+    pub fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
+    }
+
     /// Obtain shard `shard`'s port. Must be called exactly once per
     /// shard, on the thread that will run that shard (the barrier
-    /// parks/unparks the calling thread).
+    /// parks/unparks the calling thread). A worker thread multiplexing
+    /// several shards calls this once per shard it owns.
     pub fn port(&self, shard: usize) -> ShardPort<'_, M> {
         assert!(shard < self.shards, "shard {shard} out of range 0..{}", self.shards);
         self.threads[shard]
@@ -247,6 +301,8 @@ impl<M> Coordinator<M> {
             exchanges: 0,
             deposited: false,
             awaiting_agree: false,
+            arrived: false,
+            out: (0..self.shards).map(|_| Vec::new()).collect(),
             scratch: (0..self.shards).map(|_| Vec::new()).collect(),
             counters: EngineCounters::default(),
         }
@@ -260,9 +316,10 @@ impl<M> Coordinator<M> {
         &self.next_times[parity * self.shards + shard]
     }
 
-    /// Sense-reversing spin-then-park barrier. `gen` is the caller's
-    /// current generation; returns once all shards have arrived.
-    fn barrier(&self, gen: u64) {
+    /// Arrival half of the sense-reversing barrier: count in, and if this
+    /// was the last expected arrival, bump the generation and wake the
+    /// other worker threads. Never blocks.
+    fn barrier_arrive(&self, gen: u64) {
         // AcqRel: acquire every earlier arriver's writes (slots, next
         // times) so the last arriver's generation bump releases them all.
         let arrived = self.arrived.0.fetch_add(1, Ordering::AcqRel) + 1;
@@ -270,27 +327,44 @@ impl<M> Coordinator<M> {
             self.arrived.0.store(0, Ordering::Relaxed);
             self.generation.0.store(gen + 1, Ordering::Release);
             let me = std::thread::current().id();
-            for slot in &self.threads {
+            for (i, slot) in self.threads.iter().enumerate() {
                 if let Some(t) = slot.get() {
-                    if t.id() != me {
-                        // Unpark on a running thread just sets a token (no
-                        // syscall), so waking everyone unconditionally
-                        // beats tracking who actually parked.
-                        t.unpark();
+                    if t.id() == me {
+                        continue;
                     }
+                    // A worker multiplexing several shards registers the
+                    // same thread once per shard; signal each distinct
+                    // thread once.
+                    let dup = self.threads[..i]
+                        .iter()
+                        .filter_map(OnceLock::get)
+                        .any(|p| p.id() == t.id());
+                    if dup {
+                        continue;
+                    }
+                    // Unpark on a running thread just sets a token (no
+                    // syscall), so waking everyone unconditionally
+                    // beats tracking who actually parked.
+                    self.wakes.fetch_add(1, Ordering::Relaxed);
+                    t.unpark();
                 }
             }
-        } else {
-            let mut budget = self.spin;
-            while self.generation.0.load(Ordering::Acquire) == gen {
-                if budget > 0 {
-                    budget -= 1;
-                    std::hint::spin_loop();
-                } else {
-                    // A stale unpark token makes park return spuriously;
-                    // the loop re-checks the generation either way.
-                    std::thread::park();
-                }
+        }
+    }
+
+    /// Wait half of the barrier: spin the configured budget on the
+    /// generation word, then park. Returns once the barrier for `gen` has
+    /// been released (possibly by the caller's own `barrier_arrive`).
+    fn barrier_wait(&self, gen: u64) {
+        let mut budget = self.spin;
+        while self.generation.0.load(Ordering::Acquire) == gen {
+            if budget > 0 {
+                budget -= 1;
+                std::hint::spin_loop();
+            } else {
+                // A stale unpark token makes park return spuriously;
+                // the loop re-checks the generation either way.
+                std::thread::park();
             }
         }
     }
@@ -370,6 +444,12 @@ pub struct ShardPort<'c, M> {
     deposited: bool,
     /// Protocol guard: a Traffic round's `agree` is still owed.
     awaiting_agree: bool,
+    /// Protocol guard: an `arrive` whose `complete` is still owed.
+    arrived: bool,
+    /// Writer-local per-destination batch buffers (batched mode):
+    /// deposits accumulate here and publish into the mailbox slots once
+    /// per peer at [`ShardPort::arrive`], capacities recycled forever.
+    out: Vec<Vec<M>>,
     /// Swap buffers for incoming mailboxes, one per source shard; drained
     /// by [`ShardPort::drain_incoming`], capacities recycled forever.
     scratch: Vec<Vec<M>>,
@@ -382,8 +462,11 @@ impl<M: Send> ShardPort<'_, M> {
         self.shard
     }
 
-    /// Epoch counters accumulated so far. Identical on every shard: each
-    /// one is derived from shared per-round data only.
+    /// Epoch counters accumulated so far. The round counters (`epochs`,
+    /// `empty_epochs`, `fence_skips`) are identical on every shard —
+    /// derived from shared per-round data only; the delivery counters
+    /// (`deposits`, `batches`) are this shard's own and sum across
+    /// shards (see `EngineCounters::absorb`).
     pub fn counters(&self) -> EngineCounters {
         self.counters
     }
@@ -393,14 +476,43 @@ impl<M: Send> ShardPort<'_, M> {
     /// shard, so `dst == self.shard()` is a caller bug.
     pub fn send(&mut self, dst: usize, msg: M) {
         debug_assert!(!self.awaiting_agree, "send between sync and agree");
+        debug_assert!(!self.arrived, "send between arrive and complete");
         assert_ne!(dst, self.shard, "cross-shard record routed to its own shard");
+        self.counters.deposits += 1;
+        self.deposited = true;
+        if self.coord.batched {
+            // Writer-local: published into the slot once per peer at the
+            // next arrive.
+            self.out[dst].push(msg);
+            return;
+        }
+        self.counters.batches += 1;
         let parity = (self.exchanges & 1) as usize;
         // SAFETY: this shard is the unique writer of its (src == shard)
         // slot row until it arrives at the next barrier, and the previous
         // reader of this parity finished before a barrier this shard has
         // already passed (module docs, "Lock-free exchange").
         unsafe { (*self.coord.slot(parity, self.shard, dst).0.get()).push(msg) };
-        self.deposited = true;
+    }
+
+    /// Publish the per-destination batch buffers into the mailbox slots:
+    /// one slot append per peer with pending records. Called on the way
+    /// into the sync barrier (batched mode; a no-op otherwise — the naive
+    /// path already wrote through).
+    fn publish_batches(&mut self) {
+        let parity = (self.exchanges & 1) as usize;
+        for dst in 0..self.coord.shards {
+            if self.out[dst].is_empty() {
+                continue;
+            }
+            self.counters.batches += 1;
+            // SAFETY: as in `send` — unique writer of its slot row until
+            // the next barrier; `append` moves the records out and keeps
+            // the local buffer's capacity.
+            unsafe {
+                (*self.coord.slot(parity, self.shard, dst).0.get()).append(&mut self.out[dst]);
+            }
+        }
     }
 
     /// Deposit a record for every other shard (replicated-collective
@@ -419,11 +531,14 @@ impl<M: Send> ShardPort<'_, M> {
         self.send(last, msg);
     }
 
-    /// Arrive at the epoch barrier with this shard's next local event
-    /// time (`None` when idle). Returns how the epoch proceeds — see the
-    /// [`Round`] docs for the obligations each variant carries.
-    pub fn sync(&mut self, local_next: Option<Time>) -> Round {
+    /// Arrival half of [`ShardPort::sync`]: publish this epoch's batches,
+    /// write the next-event snapshot, advertise deposits, and count in at
+    /// the barrier. Never blocks. A worker multiplexing several shards
+    /// arrives for all of them before completing any.
+    pub fn arrive(&mut self, local_next: Option<Time>) {
         debug_assert!(!self.awaiting_agree, "sync while an agree is owed");
+        debug_assert!(!self.arrived, "arrive while a complete is owed");
+        self.publish_batches();
         let gen = self.gen;
         let parity = (gen & 1) as usize;
         // SAFETY: unique writer of its own cell this round; readers wait
@@ -432,7 +547,19 @@ impl<M: Send> ShardPort<'_, M> {
         if self.deposited {
             self.coord.traffic_gen.store(gen, Ordering::Relaxed);
         }
-        self.coord.barrier(gen);
+        self.coord.barrier_arrive(gen);
+        self.arrived = true;
+    }
+
+    /// Completion half of [`ShardPort::sync`]: wait out the barrier, then
+    /// classify the round. Returns how the epoch proceeds — see the
+    /// [`Round`] docs for the obligations each variant carries.
+    pub fn complete(&mut self) -> Round {
+        debug_assert!(self.arrived, "complete without an arrive");
+        self.arrived = false;
+        let gen = self.gen;
+        let parity = (gen & 1) as usize;
+        self.coord.barrier_wait(gen);
         self.gen += 1;
         self.counters.epochs += 1;
         let deposits = self.coord.traffic_gen.load(Ordering::Relaxed) == gen;
@@ -466,6 +593,15 @@ impl<M: Send> ShardPort<'_, M> {
         }
     }
 
+    /// Arrive at the epoch barrier with this shard's next local event
+    /// time (`None` when idle) and wait for the round to classify
+    /// ([`ShardPort::arrive`] + [`ShardPort::complete`] fused, for
+    /// thread-per-shard callers).
+    pub fn sync(&mut self, local_next: Option<Time>) -> Round {
+        self.arrive(local_next);
+        self.complete()
+    }
+
     /// Drain the records received in this epoch's exchange, in
     /// deterministic source-shard order. Must complete between a
     /// [`Round::Traffic`] and the matching [`ShardPort::agree`].
@@ -477,41 +613,76 @@ impl<M: Send> ShardPort<'_, M> {
         }
     }
 
-    /// Second barrier of a traffic epoch: agree on the fence from
-    /// *post-integration* next-event times (integration may have
-    /// scheduled events earlier than the pre-exchange snapshot knew).
-    pub fn agree(&mut self, local_next: Option<Time>) -> Fence {
+    /// Arrival half of [`ShardPort::agree`]. Never blocks.
+    pub fn arrive_agree(&mut self, local_next: Option<Time>) {
         debug_assert!(self.awaiting_agree, "agree without a pending traffic round");
+        debug_assert!(!self.arrived, "arrive_agree while a complete is owed");
         debug_assert!(
             self.scratch.iter().all(Vec::is_empty),
             "agree with undrained incoming records"
         );
-        self.awaiting_agree = false;
         let gen = self.gen;
         let parity = (gen & 1) as usize;
-        // SAFETY: as in `sync`.
+        // SAFETY: as in `arrive`.
         unsafe { *self.coord.next_cell(parity, self.shard).0.get() = local_next };
-        self.coord.barrier(gen);
+        self.coord.barrier_arrive(gen);
+        self.arrived = true;
+    }
+
+    /// Completion half of [`ShardPort::agree`]: wait out the barrier and
+    /// compute the agreed fence.
+    pub fn complete_agree(&mut self) -> Fence {
+        debug_assert!(self.awaiting_agree && self.arrived, "complete_agree without arrive_agree");
+        self.awaiting_agree = false;
+        self.arrived = false;
+        let gen = self.gen;
+        let parity = (gen & 1) as usize;
+        self.coord.barrier_wait(gen);
         self.gen += 1;
         let (fence, skip) = self.coord.fence(parity, self.shard);
         self.counters.fence_skips += u64::from(skip);
         fence
     }
 
-    /// Final barrier after [`Fence::Done`]: agree on the global end time
-    /// (the maximum of all shards' local clocks) so every shard finalizes
-    /// idle accounting to the same instant.
-    pub fn finish(&mut self, local_now: Time) -> Time {
+    /// Second barrier of a traffic epoch: agree on the fence from
+    /// *post-integration* next-event times (integration may have
+    /// scheduled events earlier than the pre-exchange snapshot knew).
+    pub fn agree(&mut self, local_next: Option<Time>) -> Fence {
+        self.arrive_agree(local_next);
+        self.complete_agree()
+    }
+
+    /// Arrival half of [`ShardPort::finish`]. Never blocks.
+    pub fn arrive_finish(&mut self, local_now: Time) {
         debug_assert!(!self.awaiting_agree, "finish while an agree is owed");
+        debug_assert!(!self.arrived, "arrive_finish while a complete is owed");
         let gen = self.gen;
         let parity = (gen & 1) as usize;
-        // SAFETY: as in `sync`.
+        // SAFETY: as in `arrive`.
         unsafe { *self.coord.next_cell(parity, self.shard).0.get() = Some(local_now) };
-        self.coord.barrier(gen);
+        self.coord.barrier_arrive(gen);
+        self.arrived = true;
+    }
+
+    /// Completion half of [`ShardPort::finish`].
+    pub fn complete_finish(&mut self) -> Time {
+        debug_assert!(self.arrived, "complete_finish without arrive_finish");
+        self.arrived = false;
+        let gen = self.gen;
+        let parity = (gen & 1) as usize;
+        self.coord.barrier_wait(gen);
         self.gen += 1;
         // SAFETY: snapshot read between barriers, as in `fence`.
         let clock = |j: usize| unsafe { *self.coord.next_cell(parity, j).0.get() };
         (0..self.coord.shards).filter_map(clock).max().expect("every shard reported its clock")
+    }
+
+    /// Final barrier after [`Fence::Done`]: agree on the global end time
+    /// (the maximum of all shards' local clocks) so every shard finalizes
+    /// idle accounting to the same instant.
+    pub fn finish(&mut self, local_now: Time) -> Time {
+        self.arrive_finish(local_now);
+        self.complete_finish()
     }
 }
 
@@ -727,10 +898,82 @@ mod tests {
         });
         assert_eq!(a.0, ns(55), "end time is the max of local clocks");
         assert_eq!(b.0, ns(55));
-        assert_eq!(a.1, b.1, "counters are derived from shared data only");
-        assert_eq!(a.1.epochs, 3);
-        assert_eq!(a.1.empty_epochs, 2);
-        assert_eq!(a.1.fence_skips, 1, "only the unique-min quiet round widened");
+        // Round counters are derived from shared data only; delivery
+        // counters are per-shard (shard 0 sent the single record).
+        assert_eq!((a.1.epochs, a.1.empty_epochs, a.1.fence_skips), (3, 2, 1));
+        assert_eq!((b.1.epochs, b.1.empty_epochs, b.1.fence_skips), (3, 2, 1));
+        assert_eq!((a.1.deposits, a.1.batches), (1, 1));
+        assert_eq!((b.1.deposits, b.1.batches), (0, 0));
+    }
+
+    /// One worker thread multiplexes both shards through the split-phase
+    /// API: arrive for all, then complete for all. Nothing ever parks and
+    /// no wake signals are issued.
+    #[test]
+    fn split_phase_multiplexes_two_shards_on_one_thread() {
+        let coord = Coordinator::<u8>::new(2, Dur::from_nanos(10));
+        let mut p0 = coord.port(0);
+        let mut p1 = coord.port(1);
+        p0.send(1, 42);
+        p0.arrive(Some(ns(5)));
+        p1.arrive(Some(ns(30)));
+        assert_eq!(p0.complete(), Round::Traffic);
+        assert_eq!(p1.complete(), Round::Traffic);
+        let mut got = Vec::new();
+        p1.drain_incoming(|m| got.push(m));
+        assert_eq!(got, vec![42]);
+        p0.drain_incoming(|_| panic!("shard 0 received nothing"));
+        p0.arrive_agree(Some(ns(5)));
+        p1.arrive_agree(Some(ns(30)));
+        // Shard 0 holds the unique min: widened to min(30, 5+10) + 10.
+        assert_eq!(p0.complete_agree(), Fence::Before(ns(25)));
+        assert_eq!(p1.complete_agree(), Fence::Before(ns(15)));
+        p0.arrive(None);
+        p1.arrive(None);
+        assert_eq!(p0.complete(), Round::Quiet(Fence::Done));
+        assert_eq!(p1.complete(), Round::Quiet(Fence::Done));
+        p0.arrive_finish(ns(40));
+        p1.arrive_finish(ns(44));
+        assert_eq!(p0.complete_finish(), ns(44));
+        assert_eq!(p1.complete_finish(), ns(44));
+        assert_eq!(coord.wakes(), 0, "co-located shards never signal each other");
+    }
+
+    /// The naive per-message path and the batched path deliver identical
+    /// per-source sequences; only the batch accounting differs.
+    #[test]
+    fn naive_and_batched_paths_deliver_identically() {
+        let run = |batched: bool| {
+            let coord = Coordinator::<u32>::new(2, Dur::from_nanos(10)).with_batched(batched);
+            let mut p0 = coord.port(0);
+            let mut p1 = coord.port(1);
+            for i in 0..5 {
+                p0.send(1, i);
+            }
+            p1.send(0, 100);
+            p0.arrive(Some(ns(5)));
+            p1.arrive(Some(ns(5)));
+            assert_eq!(p0.complete(), Round::Traffic);
+            assert_eq!(p1.complete(), Round::Traffic);
+            let mut got0 = Vec::new();
+            let mut got1 = Vec::new();
+            p0.drain_incoming(|m| got0.push(m));
+            p1.drain_incoming(|m| got1.push(m));
+            p0.arrive_agree(None);
+            p1.arrive_agree(None);
+            p0.complete_agree();
+            p1.complete_agree();
+            (got0, got1, p0.counters(), p1.counters())
+        };
+        let (b0, b1, bc0, bc1) = run(true);
+        let (n0, n1, nc0, nc1) = run(false);
+        assert_eq!(b0, n0);
+        assert_eq!(b1, n1);
+        assert_eq!(b1, vec![0, 1, 2, 3, 4], "FIFO per directed pair");
+        assert_eq!((bc0.deposits, bc0.batches), (5, 1), "batched: one publish per peer");
+        assert_eq!((nc0.deposits, nc0.batches), (5, 5), "naive: one publish per record");
+        assert_eq!((bc1.deposits, bc1.batches), (1, 1));
+        assert_eq!((nc1.deposits, nc1.batches), (1, 1));
     }
 
     #[test]

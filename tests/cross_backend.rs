@@ -108,6 +108,51 @@ fn service_invariants_hold_across_backends() {
     }
 }
 
+/// Differential for the batched delivery layer: the batched (default)
+/// and naive per-message (`batch = 1`) paths must be bit-identical —
+/// same answers everywhere, and on the deterministic simulator the same
+/// full stats, virtual end time, and event count — across seeds and
+/// shard counts. `MachineStats` equality deliberately excludes the
+/// engine counters, which are *supposed* to differ (fewer batch
+/// publishes is the whole optimization); everything observable by the
+/// program must not.
+#[test]
+fn batched_and_naive_delivery_are_bit_identical_on_sim() {
+    let naive = ShardTuning { batch: Some(1), ..ShardTuning::default() };
+    let p = WaterParams { molecules: 12, iters: 2 };
+    let variant = WaterVariant { system: System::Orpc, barrier: true };
+    for seed in [7u64, 41] {
+        for shards in [1usize, 2, 4, 8] {
+            let cfg = on(Backend::Sim, 8).with_seed(seed).with_shards(shards);
+            let b = water::run_configured(variant, cfg.clone(), p).outcome;
+            let n = water::run_configured(variant, cfg.with_tuning(naive), p).outcome;
+            let at = format!("seed {seed} shards {shards}");
+            assert_eq!(b.answer, n.answer, "answer differs batched vs naive ({at})");
+            assert_eq!(b.stats, n.stats, "stats differ batched vs naive ({at})");
+            assert_eq!(b.elapsed, n.elapsed, "end time differs batched vs naive ({at})");
+            assert_eq!(b.events, n.events, "event count differs batched vs naive ({at})");
+        }
+    }
+}
+
+/// Native half of the batching differential: the ring-and-flush path and
+/// the per-message reference path (`batch = 1`, every send flushes) must
+/// agree on answers. Timings and wake counts legitimately differ on real
+/// cores, so only answers are compared, against the sequential oracle.
+#[test]
+fn batched_and_naive_delivery_agree_on_native() {
+    let naive = ShardTuning { batch: Some(1), ..ShardTuning::default() };
+    let p = SorParams { rows: 16, cols: 8, iters: 3 };
+    let (ck, _) = sor::sequential(p);
+    for seed in [7u64, 41] {
+        let cfg = on(Backend::Native, 4).with_seed(seed);
+        let b = sor::run_configured(System::Orpc, cfg.clone(), p);
+        let n = sor::run_configured(System::Orpc, cfg.with_tuning(naive), p);
+        assert_eq!(b.answer, ck, "batched native answer wrong (seed {seed})");
+        assert_eq!(n.answer, ck, "naive native answer wrong (seed {seed})");
+    }
+}
+
 /// Env-following smoke for the CI backend matrix: run one app through
 /// `cfg.effective_backend()` resolution (explicit pin absent), honoring
 /// whatever `OAM_BACKEND` the matrix leg exported.
